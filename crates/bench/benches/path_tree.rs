@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for the PathTree (trie) view.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nearpeer_bench::experiments::complexity::synthetic_path;
+use nearpeer_core::{PathTree, PeerId};
+
+const BRANCHING: u32 = 4;
+const DEPTH: u32 = 10;
+
+fn populated(n: usize) -> PathTree {
+    let root = synthetic_path(0, BRANCHING, DEPTH).landmark_router();
+    let mut tree = PathTree::new(root);
+    for i in 0..n as u64 {
+        let inserted = tree.insert(PeerId(i), &synthetic_path(i, BRANCHING, DEPTH));
+        assert!(inserted);
+    }
+    tree
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_tree/insert");
+    group.sample_size(10); // cloning large tries dominates setup cost
+    for &n in &[1_000usize, 16_000] {
+        let base = populated(n);
+        let path = synthetic_path(n as u64, BRANCHING, DEPTH);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut tree| {
+                    tree.insert(PeerId(u64::MAX), &path);
+                    tree
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_tree/branch_point");
+    for &n in &[1_000usize, 16_000] {
+        let tree = populated(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tree.branch_point(PeerId(1), PeerId(n as u64 - 1)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_branch_point);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for C1/C2: RouterIndex insertion and query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nearpeer_bench::experiments::complexity::synthetic_path;
+use nearpeer_core::{PeerId, RouterIndex};
+use std::collections::HashSet;
+
+const BRANCHING: u32 = 4;
+const DEPTH: u32 = 10;
+
+fn populated(n: usize) -> RouterIndex {
+    let mut idx = RouterIndex::new();
+    for i in 0..n as u64 {
+        idx.insert(PeerId(i), synthetic_path(i, BRANCHING, DEPTH))
+            .expect("unique ids");
+    }
+    idx
+}
+
+/// C1: one newcomer insertion at different populations — expected to grow
+/// like log n, not n.
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_index/insert");
+    group.sample_size(10); // cloning large indexes dominates setup cost
+    for &n in &[1_000usize, 8_000, 64_000] {
+        let base = populated(n);
+        let newcomer = synthetic_path(n as u64, BRANCHING, DEPTH);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut idx| {
+                    idx.insert(PeerId(u64::MAX), newcomer.clone())
+                        .expect("fresh id");
+                    idx
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// C2: closest-peer query at different populations — expected flat.
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_index/query");
+    let exclude = HashSet::new();
+    for &n in &[1_000usize, 8_000, 64_000] {
+        let idx = populated(n);
+        let query = synthetic_path(12_345 % n as u64, BRANCHING, DEPTH);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| idx.query_nearest(&query, 5, &exclude));
+        });
+    }
+    group.finish();
+}
+
+/// Removal (churn) cost.
+fn bench_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_index/remove");
+    group.sample_size(10);
+    for &n in &[1_000usize, 8_000] {
+        let base = populated(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut idx| {
+                    idx.remove(PeerId(n as u64 / 2));
+                    idx
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_query, bench_remove);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the routing substrate (the per-peer BFS that
+//! dominates experiment cost, and the oracle's route extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nearpeer_routing::{bfs_distances, shortest_path_tree, RouteOracle, SptMetric};
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use nearpeer_topology::RouterId;
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = mapper(&MapperConfig::with_access(800, 1_600), 7).unwrap();
+    let access = topo.access_routers();
+    let src = access[0];
+    let dst = access[access.len() - 1];
+
+    c.bench_function("routing/bfs_distances", |b| {
+        b.iter(|| bfs_distances(&topo, src));
+    });
+
+    c.bench_function("routing/spt_hops", |b| {
+        b.iter(|| shortest_path_tree(&topo, src, SptMetric::Hops));
+    });
+
+    c.bench_function("routing/spt_latency", |b| {
+        b.iter(|| shortest_path_tree(&topo, src, SptMetric::Latency));
+    });
+
+    c.bench_function("routing/oracle_route_cached", |b| {
+        let oracle = RouteOracle::new(&topo);
+        let _ = oracle.route(src, dst); // warm the destination tree
+        b.iter(|| oracle.route(src, dst));
+    });
+
+    c.bench_function("routing/oracle_rtt_cached", |b| {
+        let oracle = RouteOracle::new(&topo);
+        let _ = oracle.rtt_us(src, dst);
+        b.iter(|| oracle.rtt_us(src, dst));
+    });
+
+    c.bench_function("routing/branch_point", |b| {
+        let oracle = RouteOracle::new(&topo);
+        let mid = RouterId(0);
+        let _ = oracle.route(access[1], mid);
+        b.iter(|| oracle.branch_point(src, access[1], mid));
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

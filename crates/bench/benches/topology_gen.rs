@@ -1,0 +1,26 @@
+//! Criterion benchmarks for topology generation (experiment setup cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nearpeer_topology::generators::{
+    barabasi_albert, glp, mapper, BaConfig, GlpConfig, MapperConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_gen");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("ba", n), &n, |b, &n| {
+            b.iter(|| barabasi_albert(&BaConfig { n, m: 2 }, 7).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("glp", n), &n, |b, &n| {
+            b.iter(|| glp(&GlpConfig::default_with_n(n), 7).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mapper", n), &n, |b, &n| {
+            b.iter(|| mapper(&MapperConfig::with_access(n / 2, n / 2), 7).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

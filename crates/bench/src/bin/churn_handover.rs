@@ -1,0 +1,32 @@
+//! Experiment W3 — churn (faulty peers) and mobility handover.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::churn::{self, ChurnStudyConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        ChurnStudyConfig::quick()
+    } else {
+        ChurnStudyConfig::standard()
+    };
+    println!("W3 — churn, faulty peers and handover");
+    println!(
+        "{} peers over the trace, mean lifetime {:.0}s, {} handovers\n",
+        config.n_peers, config.mean_lifetime_secs, config.handovers
+    );
+
+    let result = churn::run(&config, 42);
+    print!("{}", result.table());
+    println!(
+        "\nhandover: fresh neighbor sets cost {:.2}x the stale ones \
+         (over {} handovers; < 1 means re-registration restored locality)",
+        result.handover_improvement, result.handovers_measured
+    );
+
+    if let Ok(writer) = ExperimentWriter::new("churn_handover") {
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

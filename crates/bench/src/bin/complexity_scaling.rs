@@ -1,0 +1,40 @@
+//! Experiments C1/C2 — the §2 complexity claims: `O(log n)` insertion,
+//! `O(1)` query.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::complexity::{self, ComplexityConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        ComplexityConfig::quick()
+    } else {
+        ComplexityConfig::standard()
+    };
+    println!("C1/C2 — RouterIndex insertion and query scaling");
+    println!(
+        "synthetic landmark tree: branching {}, depth {}, {} queries/point\n",
+        config.branching, config.depth, config.queries
+    );
+
+    let result = complexity::run(&config);
+    print!("{}", result.table());
+
+    let flat = result.query_is_flat(2.0);
+    println!(
+        "\nC2 {}: query cost flat while population grows {}x per step",
+        if flat { "HOLDS" } else { "VIOLATED" },
+        config
+            .populations
+            .windows(2)
+            .map(|w| w[1] / w[0].max(1))
+            .max()
+            .unwrap_or(1)
+    );
+
+    if let Ok(writer) = ExperimentWriter::new("complexity_scaling") {
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

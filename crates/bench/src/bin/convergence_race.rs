@@ -1,0 +1,47 @@
+//! Experiment C3 — the "quicker" claim: probes until a newcomer picks good
+//! neighbors, path-tree vs Vivaldi vs GNP.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::convergence::{self, ConvergenceConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        ConvergenceConfig::quick()
+    } else {
+        ConvergenceConfig::standard()
+    };
+    println!("C3 — measurement effort until accurate neighbor selection");
+    println!(
+        "{} peers, {} landmarks, k = {}\n",
+        config.n_peers, config.n_landmarks, config.k
+    );
+
+    let result = convergence::run(&config, 42);
+    print!("{}", result.table());
+    let series = result.series();
+    println!("\n{}", series.to_ascii_plot(64, 14));
+
+    if let Some(pt) = result.path_tree_point() {
+        match result.vivaldi_probes_to_reach(pt.d_ratio) {
+            Some(probes) => println!(
+                "Vivaldi needs ≈{probes:.0} probes/peer to match the path-tree \
+                 quality obtained with {:.1} probes ({}x more measurement)",
+                pt.probes_per_peer,
+                (probes / pt.probes_per_peer).round()
+            ),
+            None => println!(
+                "Vivaldi never reaches the path-tree quality ({:.3}) within the \
+                 measured rounds",
+                pt.d_ratio
+            ),
+        }
+    }
+
+    if let Ok(writer) = ExperimentWriter::new("convergence_race") {
+        let _ = writer.write_text("race.csv", &series.to_csv());
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

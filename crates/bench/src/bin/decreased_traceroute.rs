@@ -1,0 +1,27 @@
+//! Experiment W4 — the "decreased" traceroute ablation.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::decreased::{self, DecreasedConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        DecreasedConfig::quick()
+    } else {
+        DecreasedConfig::standard(args.seeds)
+    };
+    println!("W4 — decreased traceroute: probe budget vs neighbor quality");
+    println!(
+        "{} peers, {} landmarks, k = {}, seeds = {}\n",
+        config.n_peers, config.n_landmarks, config.k, config.seeds
+    );
+
+    let result = decreased::run(&config, args.threads);
+    print!("{}", result.table());
+
+    if let Ok(writer) = ExperimentWriter::new("decreased_traceroute") {
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

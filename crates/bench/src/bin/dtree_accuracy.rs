@@ -1,0 +1,32 @@
+//! Experiment A1 — how often the inferred tree distance equals the true
+//! shortest path, per topology family.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::dtree::{self, DtreeConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        DtreeConfig::quick()
+    } else {
+        DtreeConfig::standard(args.seeds)
+    };
+    println!("A1 — dtree accuracy: P[dtree = d] and stretch per family");
+    println!(
+        "{} peers, {} landmarks, {} sampled pairs, seeds = {}\n",
+        config.n_peers, config.n_landmarks, config.pairs, config.seeds
+    );
+
+    let result = dtree::run(&config, args.threads);
+    print!("{}", result.table());
+    println!(
+        "\nThe paper's assumption (most pairs verify d = dtree) should hold \
+         on the heavy-tailed families (mapper/ba/glp) and weaken on waxman."
+    );
+
+    if let Ok(writer) = ExperimentWriter::new("dtree_accuracy") {
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment W1 — landmark count × placement policy sweep.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::landmark_policies::{self, LandmarkStudyConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        LandmarkStudyConfig::quick()
+    } else {
+        LandmarkStudyConfig::standard(args.seeds)
+    };
+    println!("W1 — landmark management policies");
+    println!(
+        "{} peers, k = {}, seeds = {} (cells are D/Dclosest; lower is better)\n",
+        config.n_peers, config.k, config.seeds
+    );
+
+    let result = landmark_policies::run(&config, args.threads);
+    print!("{}", result.table());
+    let series = result.series();
+    println!("\n{}", series.to_ascii_plot(60, 14));
+
+    if let Ok(writer) = ExperimentWriter::new("landmark_policies") {
+        let _ = writer.write_text("sweep.csv", &series.to_csv());
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

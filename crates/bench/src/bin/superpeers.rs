@@ -1,0 +1,27 @@
+//! Experiment W2 — super-peer promotion thresholds and delegation.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::superpeers::{self, SuperPeerStudyConfig};
+use nearpeer_bench::ExperimentWriter;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let config = if args.quick {
+        SuperPeerStudyConfig::quick()
+    } else {
+        SuperPeerStudyConfig::standard()
+    };
+    println!("W2 — super-peers");
+    println!(
+        "{} peers, {} landmarks, regions at depth {} below the landmark\n",
+        config.n_peers, config.n_landmarks, config.region_depth
+    );
+
+    let result = superpeers::run(&config, 42);
+    print!("{}", result.table());
+
+    if let Ok(writer) = ExperimentWriter::new("superpeers") {
+        let _ = writer.write_json("result.json", &result);
+        println!("artifacts: {}", writer.dir().display());
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Options every experiment binary understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Reduced sweep for smoke-testing (`--quick`).
+    pub quick: bool,
+    /// Seeds per parameter point (`--seeds N`).
+    pub seeds: u64,
+    /// Worker threads (`--threads N`; default = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seeds: 3,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses from an iterator of arguments (without the program name).
+    /// Unknown flags abort with a usage message listing them.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--seeds" => {
+                    let v = iter.next().ok_or("--seeds needs a value")?;
+                    out.seeds = v.parse().map_err(|_| format!("bad --seeds value {v}"))?;
+                    if out.seeds == 0 {
+                        return Err("--seeds must be >= 1".into());
+                    }
+                }
+                "--threads" => {
+                    let v = iter.next().ok_or("--threads needs a value")?;
+                    out.threads =
+                        v.parse().map_err(|_| format!("bad --threads value {v}"))?;
+                    if out.threads == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--quick] [--seeds N] [--threads N]".into()
+                    )
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with the message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.quick);
+        assert_eq!(a.seeds, 3);
+        assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--quick", "--seeds", "7", "--threads", "2"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.seeds, 7);
+        assert_eq!(a.threads, 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--seeds"]).is_err());
+        assert!(parse(&["--seeds", "x"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

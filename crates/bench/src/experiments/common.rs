@@ -1,0 +1,132 @@
+//! Shared measurement: the paper's `D` metric over a populated swarm.
+
+use crate::swarm::Swarm;
+use nearpeer_routing::bfs_distances;
+use nearpeer_topology::RouterId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Sums of the paper's Figure-2 metric over all peers of a swarm:
+/// `D = Σ hop-distance(peer, assigned neighbor)` for the path-tree scheme,
+/// the random baseline and the brute-force optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityMeasure {
+    /// Σ D for the path-tree selection.
+    pub sum_d: u64,
+    /// Σ D for random selection.
+    pub sum_random: u64,
+    /// Σ D for the brute-force closest set.
+    pub sum_closest: u64,
+    /// Peers measured.
+    pub peers: usize,
+    /// Neighbors per peer (`k`).
+    pub k: usize,
+}
+
+impl QualityMeasure {
+    /// `D / Dclosest` (the paper's headline curve).
+    pub fn d_ratio(&self) -> f64 {
+        self.sum_d as f64 / self.sum_closest.max(1) as f64
+    }
+
+    /// `Drandom / Dclosest`.
+    pub fn random_ratio(&self) -> f64 {
+        self.sum_random as f64 / self.sum_closest.max(1) as f64
+    }
+}
+
+/// Measures neighbor-set quality over (a sample of) the swarm's peers.
+///
+/// For every measured peer one BFS from its access router prices all three
+/// neighbor sets consistently:
+/// * path-tree — the server's answer (`k` fresh neighbors);
+/// * random — `k` uniform peers (deterministic per `seed`);
+/// * closest — the `k` true nearest peers by hop distance.
+///
+/// `sample` bounds how many peers are measured (all when `None`).
+pub fn measure_quality(swarm: &mut Swarm<'_>, seed: u64, sample: Option<usize>) -> QualityMeasure {
+    let k = swarm.server.config().neighbor_count;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7175_616c); // "qual"
+    let mut measured: Vec<_> = swarm.peers.clone();
+    if let Some(limit) = sample {
+        measured.shuffle(&mut rng);
+        measured.truncate(limit);
+    }
+
+    let mut sum_d = 0u64;
+    let mut sum_random = 0u64;
+    let mut sum_closest = 0u64;
+    for &peer in &measured {
+        let attach = swarm.attachment[&peer];
+        let dist = bfs_distances(swarm.topo, attach);
+        let cost = |router: RouterId| dist[router.index()] as u64;
+
+        // Path-tree answer.
+        let neighbors = swarm
+            .server
+            .neighbors_of(peer, k)
+            .expect("peer registered by Swarm::build");
+        sum_d += neighbors
+            .iter()
+            .map(|n| cost(swarm.attachment[&n.peer]))
+            .sum::<u64>();
+
+        // Random baseline.
+        let mut pool: Vec<_> = swarm.peers.iter().copied().filter(|&p| p != peer).collect();
+        pool.shuffle(&mut rng);
+        sum_random += pool
+            .iter()
+            .take(k)
+            .map(|p| cost(swarm.attachment[p]))
+            .sum::<u64>();
+
+        // Brute-force closest.
+        let mut ranked: Vec<u64> = swarm
+            .peers
+            .iter()
+            .filter(|&&p| p != peer)
+            .map(|p| cost(swarm.attachment[p]))
+            .collect();
+        ranked.sort_unstable();
+        sum_closest += ranked.iter().take(k).sum::<u64>();
+    }
+    QualityMeasure { sum_d, sum_random, sum_closest, peers: measured.len(), k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swarm::SwarmConfig;
+    use nearpeer_topology::generators::{mapper, MapperConfig};
+
+    #[test]
+    fn ratios_are_sane_on_a_tiny_swarm() {
+        let topo = mapper(&MapperConfig::tiny(), 9).unwrap();
+        let cfg = SwarmConfig { n_peers: 50, ..Default::default() };
+        let mut swarm = Swarm::build(&topo, &cfg, 2).unwrap();
+        let q = measure_quality(&mut swarm, 0, None);
+        assert_eq!(q.peers, 50);
+        assert!(q.sum_closest > 0);
+        // The optimum lower-bounds both policies.
+        assert!(q.d_ratio() >= 1.0, "D ratio {} < 1", q.d_ratio());
+        assert!(q.random_ratio() >= 1.0);
+        // The scheme must beat random on an Internet-like map.
+        assert!(
+            q.d_ratio() < q.random_ratio(),
+            "path-tree {} not better than random {}",
+            q.d_ratio(),
+            q.random_ratio()
+        );
+    }
+
+    #[test]
+    fn sampling_limits_work() {
+        let topo = mapper(&MapperConfig::tiny(), 9).unwrap();
+        let cfg = SwarmConfig { n_peers: 40, ..Default::default() };
+        let mut swarm = Swarm::build(&topo, &cfg, 3).unwrap();
+        let q = measure_quality(&mut swarm, 1, Some(10));
+        assert_eq!(q.peers, 10);
+    }
+}

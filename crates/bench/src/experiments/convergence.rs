@@ -1,0 +1,339 @@
+//! Experiment C3 — "quicker": measurement effort until a newcomer can pick
+//! good neighbors.
+//!
+//! The paper's motivation (§1): coordinate systems need substantial
+//! measurement before they are accurate, while the landmark path-tree join
+//! needs one (cheap) traceroute plus one server round trip. This experiment
+//! races three mechanisms on the same swarm and reports *neighbor quality
+//! as a function of probes spent per peer*:
+//!
+//! * path-tree: probes = landmark pings + traceroute probes (one point);
+//! * GNP: probes = one RTT per landmark plus the embedding (one point);
+//! * Vivaldi: a curve — quality after each gossip round.
+
+use crate::swarm::{Swarm, SwarmConfig};
+use nearpeer_coord::{Coord, GnpConfig, GnpLandmarkSystem, VivaldiConfig, VivaldiNode};
+use nearpeer_core::PeerId;
+use nearpeer_metrics::{Series, SeriesSet, Table};
+use nearpeer_routing::{bfs_distances, RouteOracle};
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use nearpeer_topology::{RouterId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// C3 parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceConfig {
+    /// Peers in the swarm.
+    pub n_peers: usize,
+    /// Landmarks.
+    pub n_landmarks: usize,
+    /// Neighbors per peer.
+    pub k: usize,
+    /// Vivaldi gossip rounds measured (cumulative probes = round index).
+    pub vivaldi_rounds: Vec<u32>,
+    /// Peers sampled when pricing a neighbor policy (bounds BFS cost).
+    pub sample: usize,
+    /// GLP core size of the map.
+    pub core_size: usize,
+}
+
+impl ConvergenceConfig {
+    /// Standard configuration.
+    pub fn standard() -> Self {
+        Self {
+            n_peers: 400,
+            n_landmarks: 4,
+            k: 5,
+            vivaldi_rounds: vec![1, 2, 4, 8, 16, 32, 64, 128],
+            sample: 120,
+            core_size: 600,
+        }
+    }
+
+    /// Reduced configuration for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self {
+            n_peers: 80,
+            n_landmarks: 3,
+            k: 4,
+            vivaldi_rounds: vec![1, 4, 16],
+            sample: 30,
+            core_size: 120,
+        }
+    }
+}
+
+/// One mechanism's quality at a probe budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Mean probes spent per peer to reach this state.
+    pub probes_per_peer: f64,
+    /// `D/Dclosest` of the neighbor sets picked in this state.
+    pub d_ratio: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceResult {
+    /// Configuration used.
+    pub config: ConvergenceConfig,
+    /// All measured points (path-tree and GNP once, Vivaldi per round).
+    pub points: Vec<ConvergencePoint>,
+}
+
+impl ConvergenceResult {
+    /// Probe-budget → quality series per mechanism.
+    pub fn series(&self) -> SeriesSet {
+        let mut set = SeriesSet::new("probes per peer", "D/Dclosest");
+        for mech in ["path-tree", "gnp", "vivaldi"] {
+            let mut s = Series::new(mech);
+            for p in self.points.iter().filter(|p| p.mechanism == mech) {
+                s.push(p.probes_per_peer, p.d_ratio);
+            }
+            if !s.points.is_empty() {
+                set.series.push(s);
+            }
+        }
+        set
+    }
+
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "mechanism".into(),
+            "probes/peer".into(),
+            "D/Dclosest".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.mechanism.clone(),
+                format!("{:.1}", p.probes_per_peer),
+                format!("{:.3}", p.d_ratio),
+            ]);
+        }
+        t
+    }
+
+    /// The path-tree point (for assertions and summaries).
+    pub fn path_tree_point(&self) -> Option<&ConvergencePoint> {
+        self.points.iter().find(|p| p.mechanism == "path-tree")
+    }
+
+    /// Vivaldi's probes needed to reach (or beat) the given quality;
+    /// `None` if it never does within the measured rounds.
+    pub fn vivaldi_probes_to_reach(&self, d_ratio: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.mechanism == "vivaldi" && p.d_ratio <= d_ratio)
+            .map(|p| p.probes_per_peer)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+    }
+}
+
+/// Prices a neighbor-choice function against the brute-force optimum over
+/// a fixed sample of peers. Takes the swarm's pieces separately so callers
+/// can keep a mutable borrow of the server inside `pick`.
+fn quality_of_parts<F>(
+    topo: &Topology,
+    peers: &[PeerId],
+    attachment: &HashMap<PeerId, RouterId>,
+    sample: &[PeerId],
+    k: usize,
+    mut pick: F,
+) -> f64
+where
+    F: FnMut(PeerId) -> Vec<PeerId>,
+{
+    let mut sum_d = 0u64;
+    let mut sum_closest = 0u64;
+    for &peer in sample {
+        let dist = bfs_distances(topo, attachment[&peer]);
+        let cost = |r: RouterId| dist[r.index()] as u64;
+        let picked = pick(peer);
+        sum_d += picked
+            .iter()
+            .take(k)
+            .map(|p| cost(attachment[p]))
+            .sum::<u64>();
+        let mut all: Vec<u64> = peers
+            .iter()
+            .filter(|&&p| p != peer)
+            .map(|p| cost(attachment[p]))
+            .collect();
+        all.sort_unstable();
+        sum_closest += all.iter().take(k).sum::<u64>();
+    }
+    sum_d as f64 / sum_closest.max(1) as f64
+}
+
+fn nearest_by_coord(
+    coords: &HashMap<PeerId, Coord>,
+    peer: PeerId,
+    k: usize,
+) -> Vec<PeerId> {
+    let Some(me) = coords.get(&peer) else {
+        return Vec::new();
+    };
+    let mut ranked: Vec<(f64, PeerId)> = coords
+        .iter()
+        .filter(|&(&p, _)| p != peer)
+        .map(|(&p, c)| (me.distance(c), p))
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    ranked.truncate(k);
+    ranked.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Runs the convergence race.
+pub fn run(config: &ConvergenceConfig, seed: u64) -> ConvergenceResult {
+    let access = (config.n_peers as f64 * 1.3) as usize + 16;
+    let topology = mapper(&MapperConfig::with_access(config.core_size, access), seed)
+        .expect("mapper config is valid");
+    let swarm_cfg = SwarmConfig {
+        n_peers: config.n_peers,
+        n_landmarks: config.n_landmarks,
+        neighbor_count: config.k,
+        ..Default::default()
+    };
+    let mut swarm = Swarm::build(&topology, &swarm_cfg, seed).expect("swarm builds");
+    let topo = swarm.topo;
+    let oracle = RouteOracle::new(topo);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0117);
+    let mut sample = swarm.peers.clone();
+    sample.shuffle(&mut rng);
+    sample.truncate(config.sample.min(sample.len()));
+
+    let mut points = Vec::new();
+
+    // --- Path-tree: probes = landmark pings + traceroute probes. ---
+    let probes_pt = config.n_landmarks as f64 + swarm.mean_probes();
+    let peers = swarm.peers.clone();
+    let attachment = swarm.attachment.clone();
+    let k = config.k;
+    let server = &mut swarm.server;
+    let d_pt = quality_of_parts(topo, &peers, &attachment, &sample, k, |peer| {
+        server
+            .neighbors_of(peer, k)
+            .map(|ns| ns.into_iter().map(|n| n.peer).collect())
+            .unwrap_or_default()
+    });
+    points.push(ConvergencePoint {
+        mechanism: "path-tree".into(),
+        probes_per_peer: probes_pt,
+        d_ratio: d_pt,
+    });
+
+    // --- GNP: landmark fit + one probe per landmark per peer. ---
+    let lm_routers = swarm.landmarks.clone();
+    let n_lm = lm_routers.len();
+    let lm_rtt: Vec<Vec<f64>> = lm_routers
+        .iter()
+        .map(|&a| {
+            lm_routers
+                .iter()
+                .map(|&b| oracle.rtt_us(a, b).unwrap_or(0) as f64)
+                .collect()
+        })
+        .collect();
+    let gnp_cfg = GnpConfig {
+        dimensions: n_lm.saturating_sub(1).clamp(2, 3),
+        ..Default::default()
+    };
+    if let Some(gnp) = GnpLandmarkSystem::fit(&lm_rtt, &gnp_cfg) {
+        let coords: HashMap<PeerId, Coord> = peers
+            .iter()
+            .map(|&p| {
+                let rtts: Vec<f64> = lm_routers
+                    .iter()
+                    .map(|&lm| oracle.rtt_us(attachment[&p], lm).unwrap_or(0) as f64)
+                    .collect();
+                let (coord, _) = gnp.embed_host(&rtts).expect("length matches");
+                (p, coord)
+            })
+            .collect();
+        let d_gnp = quality_of_parts(topo, &peers, &attachment, &sample, k, |peer| {
+            nearest_by_coord(&coords, peer, k)
+        });
+        points.push(ConvergencePoint {
+            mechanism: "gnp".into(),
+            probes_per_peer: n_lm as f64,
+            d_ratio: d_gnp,
+        });
+    }
+
+    // --- Vivaldi: gossip rounds, measuring at the configured rounds. ---
+    let vcfg = VivaldiConfig::default();
+    let mut nodes: HashMap<PeerId, VivaldiNode> = peers
+        .iter()
+        .map(|&p| (p, VivaldiNode::new(&vcfg, &mut rng)))
+        .collect();
+    let max_round = *config.vivaldi_rounds.iter().max().unwrap_or(&0);
+    for round in 1..=max_round {
+        for &p in &peers {
+            let q = peers[rng.gen_range(0..peers.len())];
+            if p == q {
+                continue;
+            }
+            let (qc, qe) = {
+                let n = &nodes[&q];
+                (n.coord().clone(), n.error())
+            };
+            let sample_rtt = oracle
+                .rtt_us(attachment[&p], attachment[&q])
+                .unwrap_or(u64::MAX / 2) as f64;
+            nodes
+                .get_mut(&p)
+                .expect("all peers present")
+                .observe(&qc, qe, sample_rtt, &mut rng);
+        }
+        if config.vivaldi_rounds.contains(&round) {
+            let coords: HashMap<PeerId, Coord> =
+                nodes.iter().map(|(&p, n)| (p, n.coord().clone())).collect();
+            let d_viv = quality_of_parts(topo, &peers, &attachment, &sample, k, |peer| {
+                nearest_by_coord(&coords, peer, k)
+            });
+            points.push(ConvergencePoint {
+                mechanism: "vivaldi".into(),
+                probes_per_peer: round as f64,
+                d_ratio: d_viv,
+            });
+        }
+    }
+
+    ConvergenceResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_tree_is_quicker_than_early_vivaldi() {
+        let result = run(&ConvergenceConfig::quick(), 7);
+        let pt = result.path_tree_point().expect("path-tree measured");
+        assert!(pt.d_ratio >= 1.0);
+        // Early Vivaldi (round 1) must be clearly worse than the path-tree
+        // answer — that is the paper's whole point.
+        let viv_round1 = result
+            .points
+            .iter()
+            .find(|p| p.mechanism == "vivaldi" && p.probes_per_peer == 1.0)
+            .expect("vivaldi round 1 measured");
+        assert!(
+            viv_round1.d_ratio > pt.d_ratio,
+            "vivaldi@1 {} not worse than path-tree {}",
+            viv_round1.d_ratio,
+            pt.d_ratio
+        );
+        // Table and series render.
+        assert!(result.table().n_rows() >= 3);
+        assert!(result.series().series.len() >= 2);
+    }
+}

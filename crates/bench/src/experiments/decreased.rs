@@ -1,0 +1,187 @@
+//! Experiment W4 — the "decreased" traceroute.
+//!
+//! The paper: the tool "could be a decreased version of the original one
+//! because we are only interested with some routers along the path". This
+//! ablation sweeps probe plans and reports what partial paths cost in
+//! neighbor quality versus what they save in probes and join time.
+
+use crate::experiments::common::measure_quality;
+use crate::runner::run_parallel;
+use crate::swarm::{Swarm, SwarmConfig};
+use nearpeer_metrics::Table;
+use nearpeer_probe::{ProbePlan, TraceConfig};
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use serde::{Deserialize, Serialize};
+
+/// W4 parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecreasedConfig {
+    /// Peers.
+    pub n_peers: usize,
+    /// Landmarks.
+    pub n_landmarks: usize,
+    /// Neighbors per peer.
+    pub k: usize,
+    /// Seeds per plan.
+    pub seeds: u64,
+    /// GLP core size.
+    pub core_size: usize,
+    /// Peers sampled per quality measurement.
+    pub sample: Option<usize>,
+}
+
+impl DecreasedConfig {
+    /// Standard configuration.
+    pub fn standard(seeds: u64) -> Self {
+        Self {
+            n_peers: 800,
+            n_landmarks: 4,
+            k: 5,
+            seeds,
+            core_size: 1_000,
+            sample: Some(200),
+        }
+    }
+
+    /// Reduced configuration for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self {
+            n_peers: 120,
+            n_landmarks: 3,
+            k: 5,
+            seeds: 2,
+            core_size: 150,
+            sample: Some(60),
+        }
+    }
+
+    /// The probe plans every run sweeps.
+    pub fn plans() -> Vec<(String, ProbePlan)> {
+        vec![
+            ("full".into(), ProbePlan::Full),
+            ("stride-2".into(), ProbePlan::Stride(2)),
+            ("stride-4".into(), ProbePlan::Stride(4)),
+            ("budget-4".into(), ProbePlan::Budget(4)),
+            ("budget-2".into(), ProbePlan::Budget(2)),
+        ]
+    }
+}
+
+/// One plan's aggregated outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecreasedPoint {
+    /// Plan name.
+    pub plan: String,
+    /// Mean `D/Dclosest`.
+    pub d_ratio_mean: f64,
+    /// Mean probes per join.
+    pub probes_mean: f64,
+    /// Mean traceroute wall-clock per join (ms).
+    pub trace_ms_mean: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecreasedResult {
+    /// Configuration used.
+    pub config: DecreasedConfig,
+    /// One point per plan.
+    pub points: Vec<DecreasedPoint>,
+}
+
+impl DecreasedResult {
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "plan".into(),
+            "D/Dclosest".into(),
+            "probes/join".into(),
+            "trace ms/join".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.plan.clone(),
+                format!("{:.3}", p.d_ratio_mean),
+                format!("{:.1}", p.probes_mean),
+                format!("{:.1}", p.trace_ms_mean),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the W4 ablation.
+pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
+    let plans = DecreasedConfig::plans();
+    let jobs: Vec<(usize, u64)> = (0..plans.len())
+        .flat_map(|p| (0..config.seeds).map(move |s| (p, s)))
+        .collect();
+    let cfg = config.clone();
+    let plans_for_jobs = plans.clone();
+    let raw = run_parallel(jobs, threads, move |(plan_idx, seed)| {
+        let (_, plan) = plans_for_jobs[plan_idx];
+        let access = (cfg.n_peers as f64 * 1.3) as usize + 16;
+        let topo = mapper(&MapperConfig::with_access(cfg.core_size, access), seed)
+            .expect("valid mapper config");
+        let swarm_cfg = SwarmConfig {
+            n_peers: cfg.n_peers,
+            n_landmarks: cfg.n_landmarks,
+            neighbor_count: cfg.k,
+            trace: TraceConfig { plan, ..TraceConfig::default() },
+            ..Default::default()
+        };
+        let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
+        let q = measure_quality(&mut swarm, seed, cfg.sample);
+        (
+            plan_idx,
+            q.d_ratio(),
+            swarm.mean_probes(),
+            swarm.mean_trace_elapsed_us() / 1_000.0,
+        )
+    });
+
+    let points = plans
+        .iter()
+        .enumerate()
+        .map(|(idx, (name, _))| {
+            let mine: Vec<&(usize, f64, f64, f64)> =
+                raw.iter().filter(|r| r.0 == idx).collect();
+            let n = mine.len().max(1) as f64;
+            DecreasedPoint {
+                plan: name.clone(),
+                d_ratio_mean: mine.iter().map(|r| r.1).sum::<f64>() / n,
+                probes_mean: mine.iter().map(|r| r.2).sum::<f64>() / n,
+                trace_ms_mean: mine.iter().map(|r| r.3).sum::<f64>() / n,
+            }
+        })
+        .collect();
+    DecreasedResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreased_plans_trade_probes_for_quality() {
+        let result = run(&DecreasedConfig::quick(), 4);
+        assert_eq!(result.points.len(), DecreasedConfig::plans().len());
+        let full = result.points.iter().find(|p| p.plan == "full").unwrap();
+        let budget2 = result.points.iter().find(|p| p.plan == "budget-2").unwrap();
+        assert!(
+            budget2.probes_mean < full.probes_mean,
+            "budget-2 probes {} !< full {}",
+            budget2.probes_mean,
+            full.probes_mean
+        );
+        assert!(
+            budget2.trace_ms_mean < full.trace_ms_mean,
+            "budget-2 must be faster"
+        );
+        // Quality may degrade but must stay a valid ratio.
+        for p in &result.points {
+            assert!(p.d_ratio_mean >= 1.0, "{p:?}");
+        }
+        assert_eq!(result.table().n_rows(), result.points.len());
+    }
+}

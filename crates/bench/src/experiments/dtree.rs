@@ -1,0 +1,239 @@
+//! Experiment A1 — how often `dtree = d`.
+//!
+//! §2's core assumption: "we expect that most cases verify
+//! `d(p1,p2) = dtree(p1,p2)`", justified by the heavy-tailed router-level
+//! Internet. This ablation measures `P[dtree = d]` and the stretch
+//! distribution per topology family — including Waxman, whose Poisson
+//! degrees should visibly weaken the assumption.
+
+use crate::runner::run_parallel;
+use crate::swarm::{Swarm, SwarmConfig};
+use nearpeer_metrics::{Summary, Table};
+use nearpeer_routing::bfs_distances;
+use nearpeer_topology::generators::{
+    BaConfig, GlpConfig, MapperConfig, TopologySpec, TransitStubConfig, WaxmanConfig,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A1 parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtreeConfig {
+    /// Peers per swarm.
+    pub n_peers: usize,
+    /// Landmarks.
+    pub n_landmarks: usize,
+    /// Peer pairs sampled per run.
+    pub pairs: usize,
+    /// Seeds per family.
+    pub seeds: u64,
+}
+
+impl DtreeConfig {
+    /// Standard configuration.
+    pub fn standard(seeds: u64) -> Self {
+        Self { n_peers: 300, n_landmarks: 4, pairs: 2_000, seeds }
+    }
+
+    /// Reduced configuration for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self { n_peers: 60, n_landmarks: 3, pairs: 200, seeds: 1 }
+    }
+
+    /// The topology families swept (sized to the peer count).
+    pub fn families(&self) -> Vec<(String, TopologySpec)> {
+        let access = (self.n_peers as f64 * 1.4) as usize + 16;
+        let core = (self.n_peers * 2).max(100);
+        vec![
+            (
+                "mapper".into(),
+                TopologySpec::Mapper(MapperConfig::with_access(core, access)),
+            ),
+            (
+                "ba".into(),
+                TopologySpec::Ba(BaConfig { n: core + access, m: 2 }),
+            ),
+            (
+                "glp".into(),
+                TopologySpec::Glp(GlpConfig::default_with_n(core + access)),
+            ),
+            (
+                "waxman".into(),
+                TopologySpec::Waxman(WaxmanConfig {
+                    n: core + access,
+                    alpha: 0.12,
+                    beta: 0.12,
+                }),
+            ),
+            (
+                "transit-stub".into(),
+                TopologySpec::TransitStub(TransitStubConfig {
+                    transit_domains: 3,
+                    transit_size: 6,
+                    stubs_per_transit_router: 3,
+                    stub_size: 4,
+                    extra_edge_prob: 0.25,
+                    access_per_stub: 1 + access / (3 * 6 * 3),
+                }),
+            ),
+        ]
+    }
+}
+
+/// One family's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtreePoint {
+    /// Topology family name.
+    pub family: String,
+    /// `P[dtree = d]` over sampled pairs.
+    pub exact_fraction: f64,
+    /// Mean stretch `dtree / d`.
+    pub stretch_mean: f64,
+    /// 95th-percentile stretch.
+    pub stretch_p95: f64,
+    /// Pairs measured.
+    pub pairs: usize,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtreeResult {
+    /// Configuration used.
+    pub config: DtreeConfig,
+    /// One point per family.
+    pub points: Vec<DtreePoint>,
+}
+
+impl DtreeResult {
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "family".into(),
+            "P[dtree = d]".into(),
+            "stretch mean".into(),
+            "stretch p95".into(),
+            "pairs".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.family.clone(),
+                format!("{:.1}%", p.exact_fraction * 100.0),
+                format!("{:.3}", p.stretch_mean),
+                format!("{:.3}", p.stretch_p95),
+                p.pairs.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Point lookup by family.
+    pub fn family(&self, name: &str) -> Option<&DtreePoint> {
+        self.points.iter().find(|p| p.family == name)
+    }
+}
+
+/// Runs the A1 ablation.
+pub fn run(config: &DtreeConfig, threads: usize) -> DtreeResult {
+    let families = config.families();
+    let jobs: Vec<(usize, u64)> = (0..families.len())
+        .flat_map(|f| (0..config.seeds).map(move |s| (f, s)))
+        .collect();
+    let cfg = config.clone();
+    let fams = families.clone();
+    let raw = run_parallel(jobs, threads, move |(family_idx, seed)| {
+        let spec = &fams[family_idx].1;
+        let topo = spec.generate(seed).expect("valid family config");
+        // Swarm::build falls back to the lowest-degree routers on families
+        // without degree-1 routers (BA with m >= 2), so only cap by the
+        // router count itself.
+        let swarm_cfg = SwarmConfig {
+            n_peers: cfg.n_peers.min(topo.n_routers() / 2),
+            n_landmarks: cfg.n_landmarks,
+            ..Default::default()
+        };
+        let swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd7ee);
+        let mut exact = 0usize;
+        let mut stretches: Vec<f64> = Vec::with_capacity(cfg.pairs);
+        let mut pool = swarm.peers.clone();
+        if pool.len() < 2 {
+            return (family_idx, 0, stretches);
+        }
+        for _ in 0..cfg.pairs {
+            pool.shuffle(&mut rng);
+            let (a, b) = (pool[0], pool[1]);
+            let Some(dtree) = swarm.server.index().dtree(a, b) else {
+                continue;
+            };
+            let dist = bfs_distances(swarm.topo, swarm.attachment[&a]);
+            let d = dist[swarm.attachment[&b].index()];
+            if d == u32::MAX || d == 0 {
+                continue;
+            }
+            if dtree == d {
+                exact += 1;
+            }
+            stretches.push(dtree as f64 / d as f64);
+        }
+        (family_idx, exact, stretches)
+    });
+
+    let points = families
+        .iter()
+        .enumerate()
+        .map(|(idx, (name, _))| {
+            let mut exact = 0usize;
+            let mut stretches = Vec::new();
+            for (fi, e, s) in raw.iter().filter(|r| r.0 == idx) {
+                debug_assert_eq!(*fi, idx);
+                exact += e;
+                stretches.extend_from_slice(s);
+            }
+            let summary = Summary::new(&stretches);
+            DtreePoint {
+                family: name.clone(),
+                exact_fraction: exact as f64 / stretches.len().max(1) as f64,
+                stretch_mean: summary.as_ref().map_or(0.0, Summary::mean),
+                stretch_p95: summary.as_ref().map_or(0.0, |s| s.percentile(95.0)),
+                pairs: stretches.len(),
+            }
+        })
+        .collect();
+    DtreeResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_assumption_holds_better_than_waxman() {
+        let result = run(&DtreeConfig::quick(), 4);
+        assert_eq!(result.points.len(), 5);
+        let mapper = result.family("mapper").unwrap();
+        let waxman = result.family("waxman").unwrap();
+        assert!(mapper.pairs > 0 && waxman.pairs > 0);
+        // Stretch is always >= 1 (dtree cannot beat the true shortest path
+        // when both paths share a router on the route).
+        for p in &result.points {
+            assert!(
+                p.stretch_mean >= 0.999,
+                "{}: stretch {}",
+                p.family,
+                p.stretch_mean
+            );
+        }
+        // The heavy-tailed map must satisfy the assumption more often than
+        // the geometric one.
+        assert!(
+            mapper.exact_fraction >= waxman.exact_fraction,
+            "mapper {} < waxman {}",
+            mapper.exact_fraction,
+            waxman.exact_fraction
+        );
+        assert_eq!(result.table().n_rows(), 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Map validation — the §3 substitution check.
+//!
+//! The paper relies on an IR-level map from the *nem* mapper. Our
+//! substitute generators must exhibit the same statistics the algorithm
+//! depends on; this experiment prints them per family so DESIGN.md §3's
+//! claim ("our generators reproduce exactly those properties") is
+//! verifiable output, not prose.
+
+use crate::runner::run_parallel;
+use nearpeer_metrics::Table;
+use nearpeer_topology::analysis::{
+    double_sweep_diameter_lower_bound, global_clustering_coefficient, is_connected,
+    max_core_number, DegreeStats,
+};
+use nearpeer_topology::generators::{
+    BaConfig, GlpConfig, MapperConfig, TopologySpec, TransitStubConfig, WaxmanConfig,
+};
+use nearpeer_topology::RouterId;
+use serde::{Deserialize, Serialize};
+
+/// Map-validation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Approximate router count per generated map.
+    pub size: usize,
+}
+
+impl MappingConfig {
+    /// Standard size (comparable to nem-era maps).
+    pub fn standard() -> Self {
+        Self { size: 4_000 }
+    }
+
+    /// Reduced size for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self { size: 400 }
+    }
+
+    /// The families to validate.
+    pub fn families(&self) -> Vec<(String, TopologySpec)> {
+        let n = self.size.max(60);
+        vec![
+            (
+                "mapper".into(),
+                TopologySpec::Mapper(MapperConfig::with_access(n / 3, n / 2)),
+            ),
+            ("ba".into(), TopologySpec::Ba(BaConfig { n, m: 2 })),
+            ("glp".into(), TopologySpec::Glp(GlpConfig::default_with_n(n))),
+            (
+                "waxman".into(),
+                TopologySpec::Waxman(WaxmanConfig { n, alpha: 0.1, beta: 0.15 }),
+            ),
+            (
+                "transit-stub".into(),
+                TopologySpec::TransitStub(TransitStubConfig {
+                    transit_domains: 4,
+                    transit_size: 8,
+                    stubs_per_transit_router: 2,
+                    stub_size: (n / 150).max(2),
+                    extra_edge_prob: 0.25,
+                    access_per_stub: 2,
+                }),
+            ),
+        ]
+    }
+}
+
+/// One family's statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapPoint {
+    /// Family name.
+    pub family: String,
+    /// Router count.
+    pub routers: usize,
+    /// Link count.
+    pub links: usize,
+    /// Degree-1 routers (peer attachment points).
+    pub access_routers: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Max degree.
+    pub max_degree: usize,
+    /// Fitted power-law exponent (if the fit applies).
+    pub alpha: Option<f64>,
+    /// Maximum k-core.
+    pub max_core: usize,
+    /// Global clustering coefficient.
+    pub clustering: f64,
+    /// Diameter lower bound (double sweep).
+    pub diameter: u32,
+    /// Whether the map is connected.
+    pub connected: bool,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingResult {
+    /// Configuration used.
+    pub config: MappingConfig,
+    /// One point per family.
+    pub points: Vec<MapPoint>,
+}
+
+impl MappingResult {
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "family".into(),
+            "routers".into(),
+            "links".into(),
+            "access".into(),
+            "mean deg".into(),
+            "max deg".into(),
+            "alpha".into(),
+            "k-core".into(),
+            "clustering".into(),
+            "diam≥".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.family.clone(),
+                p.routers.to_string(),
+                p.links.to_string(),
+                p.access_routers.to_string(),
+                format!("{:.2}", p.mean_degree),
+                p.max_degree.to_string(),
+                p.alpha.map_or("-".into(), |a| format!("{a:.2}")),
+                p.max_core.to_string(),
+                format!("{:.3}", p.clustering),
+                p.diameter.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Point lookup by family.
+    pub fn family(&self, name: &str) -> Option<&MapPoint> {
+        self.points.iter().find(|p| p.family == name)
+    }
+}
+
+/// Validates every family at the configured size.
+pub fn run(config: &MappingConfig, seed: u64, threads: usize) -> MappingResult {
+    let families = config.families();
+    let points = run_parallel(families, threads, move |(name, spec)| {
+        let topo = spec.generate(seed).expect("valid family config");
+        let stats = DegreeStats::of(&topo);
+        MapPoint {
+            family: name,
+            routers: topo.n_routers(),
+            links: topo.n_links(),
+            access_routers: stats.n_access,
+            mean_degree: stats.mean,
+            max_degree: stats.max,
+            alpha: stats.power_law_alpha,
+            max_core: max_core_number(&topo),
+            clustering: global_clustering_coefficient(&topo),
+            diameter: double_sweep_diameter_lower_bound(&topo, RouterId(0)),
+            connected: is_connected(&topo),
+        }
+    });
+    MappingResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_their_signature_statistics() {
+        let result = run(&MappingConfig::quick(), 3, 4);
+        assert_eq!(result.points.len(), 5);
+        for p in &result.points {
+            assert!(p.connected, "{} not connected", p.family);
+            assert!(p.routers > 100, "{} too small", p.family);
+        }
+        let mapper = result.family("mapper").unwrap();
+        let waxman = result.family("waxman").unwrap();
+        // The nem-like profile must provide plenty of peer attachment
+        // points and a heavy tail.
+        assert!(mapper.access_routers >= 100);
+        assert!(mapper.alpha.is_some());
+        assert!(
+            mapper.max_degree > waxman.max_degree,
+            "mapper hubs ({}) must dwarf waxman's ({})",
+            mapper.max_degree,
+            waxman.max_degree
+        );
+        assert_eq!(result.table().n_rows(), 5);
+    }
+}

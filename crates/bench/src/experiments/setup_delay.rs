@@ -1,0 +1,287 @@
+//! Experiment A2 — end-to-end streaming setup delay.
+//!
+//! The motivating claim of §1: a shorter path to good neighbors shortens
+//! the live-streaming setup delay. This experiment builds a mesh overlay
+//! whose neighbor sets come either from the path-tree server or from random
+//! selection, streams chunks through `nearpeer-sim` over real topology
+//! latencies, and compares setup delay and continuity.
+
+use crate::swarm::{Swarm, SwarmConfig};
+use nearpeer_metrics::{Summary, Table};
+use nearpeer_overlay::{OverlayMsg, SourceActor, StreamPeer, StreamStats};
+use nearpeer_sim::links::TopologyLinks;
+use nearpeer_sim::{NodeId, SimTime, Simulator};
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A2 parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetupDelayConfig {
+    /// Streaming peers.
+    pub n_peers: usize,
+    /// Landmarks.
+    pub n_landmarks: usize,
+    /// Mesh neighbors per peer.
+    pub k: usize,
+    /// Chunks in the stream.
+    pub chunks: u64,
+    /// Chunk interval, microseconds.
+    pub chunk_interval_us: u64,
+    /// Chunks buffered before playback starts.
+    pub startup_chunks: usize,
+    /// GLP core size.
+    pub core_size: usize,
+}
+
+impl SetupDelayConfig {
+    /// Standard configuration.
+    pub fn standard() -> Self {
+        Self {
+            n_peers: 80,
+            n_landmarks: 4,
+            k: 4,
+            chunks: 150,
+            chunk_interval_us: 20_000,
+            startup_chunks: 4,
+            core_size: 400,
+        }
+    }
+
+    /// Reduced configuration for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self {
+            n_peers: 24,
+            n_landmarks: 3,
+            k: 3,
+            chunks: 60,
+            chunk_interval_us: 20_000,
+            startup_chunks: 3,
+            core_size: 120,
+        }
+    }
+}
+
+/// One policy's aggregated streaming outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetupDelayPoint {
+    /// Neighbor policy name.
+    pub policy: String,
+    /// Mean setup delay (ms) over peers that started playback.
+    pub setup_delay_ms_mean: f64,
+    /// 95th-percentile setup delay (ms).
+    pub setup_delay_ms_p95: f64,
+    /// Mean playback continuity.
+    pub continuity_mean: f64,
+    /// Peers that started playback.
+    pub started: usize,
+    /// Peers simulated.
+    pub peers: usize,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetupDelayResult {
+    /// Configuration used.
+    pub config: SetupDelayConfig,
+    /// One point per policy.
+    pub points: Vec<SetupDelayPoint>,
+}
+
+impl SetupDelayResult {
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "policy".into(),
+            "setup delay ms (mean)".into(),
+            "setup delay ms (p95)".into(),
+            "continuity".into(),
+            "started".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.policy.clone(),
+                format!("{:.1}", p.setup_delay_ms_mean),
+                format!("{:.1}", p.setup_delay_ms_p95),
+                format!("{:.3}", p.continuity_mean),
+                format!("{}/{}", p.started, p.peers),
+            ]);
+        }
+        t
+    }
+
+    /// Point lookup by policy.
+    pub fn policy(&self, name: &str) -> Option<&SetupDelayPoint> {
+        self.points.iter().find(|p| p.policy == name)
+    }
+}
+
+/// Runs one streaming session with the given per-peer neighbor lists
+/// (indices into the swarm's peer vector) and returns the per-peer stats.
+fn stream_session(
+    swarm: &Swarm<'_>,
+    neighbor_lists: &[Vec<usize>],
+    config: &SetupDelayConfig,
+    seed: u64,
+) -> Vec<StreamStats> {
+    let mut links = TopologyLinks::new(swarm.topo);
+    // Node 0 is the source, attached next to the first landmark; peers are
+    // nodes 1..=n.
+    let source_router = swarm.landmarks[0];
+    let mut sim: Simulator<OverlayMsg, TopologyLinks<'_>> = {
+        links.attach(NodeId(0), source_router);
+        for (i, peer) in swarm.peers.iter().enumerate() {
+            links.attach(NodeId(i as u32 + 1), swarm.attachment[peer]);
+        }
+        Simulator::new(links, seed)
+    };
+
+    // The source feeds the k peers closest to it (by hop count via the
+    // server's own landmark data we don't have here — use the first k
+    // registered peers, which is policy-neutral).
+    let feed: Vec<NodeId> = (0..config.k.min(swarm.peers.len()))
+        .map(|i| NodeId(i as u32 + 1))
+        .collect();
+    sim.add_actor(Box::new(SourceActor::new(
+        feed,
+        config.chunk_interval_us,
+        config.chunks,
+    )));
+
+    let mut handles = Vec::with_capacity(swarm.peers.len());
+    for (i, _) in swarm.peers.iter().enumerate() {
+        let stats = Rc::new(RefCell::new(StreamStats::default()));
+        // Mesh links are symmetric: neighbors of i, plus the source for the
+        // first k peers.
+        let mut mesh: Vec<NodeId> = neighbor_lists[i]
+            .iter()
+            .map(|&j| NodeId(j as u32 + 1))
+            .collect();
+        if i < config.k {
+            mesh.push(NodeId(0));
+        }
+        sim.add_actor(Box::new(StreamPeer::new(
+            mesh,
+            64,
+            config.chunk_interval_us,
+            config.startup_chunks,
+            config.chunks,
+            stats.clone(),
+        )));
+        handles.push(stats);
+    }
+
+    let horizon = SimTime(config.chunks * config.chunk_interval_us * 4);
+    sim.run_until(horizon);
+    handles.into_iter().map(|h| h.borrow().clone()).collect()
+}
+
+/// Runs the A2 comparison.
+pub fn run(config: &SetupDelayConfig, seed: u64) -> SetupDelayResult {
+    let access = (config.n_peers as f64 * 1.3) as usize + 16;
+    let topo = mapper(&MapperConfig::with_access(config.core_size, access), seed)
+        .expect("valid mapper config");
+    let swarm_cfg = SwarmConfig {
+        n_peers: config.n_peers,
+        n_landmarks: config.n_landmarks,
+        neighbor_count: config.k,
+        ..Default::default()
+    };
+    let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
+
+    // Path-tree neighbor lists (symmetrised: mesh links are bidirectional).
+    let n = swarm.peers.len();
+    let mut pathtree_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let peer = swarm.peers[i];
+        let neighbors = swarm.server.neighbors_of(peer, config.k).expect("registered");
+        for nb in neighbors {
+            let j = nb.peer.0 as usize;
+            if !pathtree_lists[i].contains(&j) {
+                pathtree_lists[i].push(j);
+            }
+            if !pathtree_lists[j].contains(&i) {
+                pathtree_lists[j].push(i);
+            }
+        }
+    }
+    // Standard mesh practice (and what a deployed system would do): one
+    // random long link per peer keeps locality-clustered meshes connected
+    // to the rest of the swarm.
+    let mut link_rng = StdRng::seed_from_u64(seed ^ 0x4c494e4b);
+    for i in 0..n {
+        let j = link_rng.gen_range(0..n);
+        if j != i {
+            if !pathtree_lists[i].contains(&j) {
+                pathtree_lists[i].push(j);
+            }
+            if !pathtree_lists[j].contains(&i) {
+                pathtree_lists[j].push(i);
+            }
+        }
+    }
+
+    // Random neighbor lists of the same out-degree.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x52414e44);
+    let mut random_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let mut pool: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        pool.shuffle(&mut rng);
+        for &j in pool.iter().take(config.k) {
+            if !random_lists[i].contains(&j) {
+                random_lists[i].push(j);
+            }
+            if !random_lists[j].contains(&i) {
+                random_lists[j].push(i);
+            }
+        }
+    }
+
+    let mut points = Vec::new();
+    for (name, lists) in [("path-tree", &pathtree_lists), ("random", &random_lists)] {
+        let stats = stream_session(&swarm, lists, config, seed);
+        let delays: Vec<f64> = stats
+            .iter()
+            .filter_map(|s| s.setup_delay_us().map(|d| d as f64 / 1_000.0))
+            .collect();
+        let continuity: Vec<f64> = stats
+            .iter()
+            .filter(|s| s.playback_started_at.is_some())
+            .map(StreamStats::continuity)
+            .collect();
+        let dsum = Summary::new(&delays);
+        let csum = Summary::new(&continuity);
+        points.push(SetupDelayPoint {
+            policy: name.into(),
+            setup_delay_ms_mean: dsum.as_ref().map_or(0.0, Summary::mean),
+            setup_delay_ms_p95: dsum.as_ref().map_or(0.0, |s| s.percentile(95.0)),
+            continuity_mean: csum.as_ref().map_or(0.0, Summary::mean),
+            started: delays.len(),
+            peers: n,
+        });
+    }
+    SetupDelayResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_policies_stream_and_report() {
+        let result = run(&SetupDelayConfig::quick(), 11);
+        assert_eq!(result.points.len(), 2);
+        let pt = result.policy("path-tree").unwrap();
+        let rnd = result.policy("random").unwrap();
+        // Most peers must manage to start playback under either policy.
+        assert!(pt.started * 10 >= pt.peers * 7, "{pt:?}");
+        assert!(rnd.started * 10 >= rnd.peers * 7, "{rnd:?}");
+        assert!(pt.setup_delay_ms_mean > 0.0);
+        assert!(rnd.setup_delay_ms_mean > 0.0);
+        assert_eq!(result.table().n_rows(), 2);
+    }
+}

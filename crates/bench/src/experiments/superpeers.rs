@@ -1,0 +1,199 @@
+//! Experiment W2 — super-peers.
+//!
+//! The paper is "investigating the opportunity to use some super-peers".
+//! This study populates a swarm with super-peer promotion enabled and
+//! sweeps the promotion threshold, reporting how much of the join load a
+//! super-peer tier could absorb.
+
+use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig, SuperPeerConfig};
+use nearpeer_metrics::Table;
+use nearpeer_probe::{TraceConfig, Tracer};
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// W2 sweep parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuperPeerStudyConfig {
+    /// Promotion thresholds to sweep.
+    pub thresholds: Vec<usize>,
+    /// Region depth (hops below the landmark).
+    pub region_depth: u32,
+    /// Peers.
+    pub n_peers: usize,
+    /// Landmarks.
+    pub n_landmarks: usize,
+    /// GLP core size.
+    pub core_size: usize,
+}
+
+impl SuperPeerStudyConfig {
+    /// Standard sweep.
+    pub fn standard() -> Self {
+        Self {
+            thresholds: vec![2, 4, 8, 16, 32],
+            region_depth: 2,
+            n_peers: 1_000,
+            n_landmarks: 4,
+            core_size: 800,
+        }
+    }
+
+    /// Reduced sweep for `--quick` and tests.
+    pub fn quick() -> Self {
+        Self {
+            thresholds: vec![2, 8],
+            region_depth: 2,
+            n_peers: 120,
+            n_landmarks: 3,
+            core_size: 150,
+        }
+    }
+}
+
+/// One threshold's outcome.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SuperPeerPoint {
+    /// Promotion threshold.
+    pub threshold: usize,
+    /// Super-peers elected.
+    pub super_peers: usize,
+    /// Regions observed.
+    pub regions: usize,
+    /// Fraction of peers whose region has a super-peer.
+    pub coverage: f64,
+    /// Fraction of joins that arrived with a delegate available.
+    pub delegated_joins: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuperPeerStudyResult {
+    /// Configuration used.
+    pub config: SuperPeerStudyConfig,
+    /// One point per threshold.
+    pub points: Vec<SuperPeerPoint>,
+}
+
+impl SuperPeerStudyResult {
+    /// Paper-style rows.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "threshold".into(),
+            "super-peers".into(),
+            "regions".into(),
+            "coverage".into(),
+            "delegated joins".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.threshold.to_string(),
+                p.super_peers.to_string(),
+                p.regions.to_string(),
+                format!("{:.1}%", p.coverage * 100.0),
+                format!("{:.1}%", p.delegated_joins * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the W2 sweep (sequential joins so delegation is observed in join
+/// order, like a real deployment).
+pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
+    let access = (config.n_peers as f64 * 1.3) as usize + 16;
+    let topo = mapper(&MapperConfig::with_access(config.core_size, access), seed)
+        .expect("valid mapper config");
+    let landmarks =
+        place_landmarks(&topo, config.n_landmarks, PlacementPolicy::DegreeMedium, seed);
+    let oracle = RouteOracle::new(&topo);
+    let tracer = Tracer::new(&oracle, TraceConfig::default());
+    let mut routers = topo.access_routers();
+    let mut rng = StdRng::seed_from_u64(seed);
+    routers.shuffle(&mut rng);
+    routers.truncate(config.n_peers);
+
+    // Pre-compute every peer's path once; replay per threshold.
+    let paths: Vec<PeerPath> = routers
+        .iter()
+        .enumerate()
+        .map(|(i, &attach)| {
+            let closest = landmarks
+                .iter()
+                .filter_map(|&lm| oracle.rtt_us(attach, lm).map(|rtt| (rtt, lm)))
+                .min()
+                .map(|(_, lm)| lm)
+                .expect("connected map");
+            let trace = tracer
+                .trace(attach, closest, seed ^ i as u64)
+                .expect("connected map");
+            PeerPath::new(trace.router_path()).expect("traced paths are valid")
+        })
+        .collect();
+
+    let points = config
+        .thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut server = ManagementServer::bootstrap(
+                &topo,
+                landmarks.clone(),
+                ServerConfig {
+                    neighbor_count: 5,
+                    cross_landmark_fallback: true,
+                    super_peers: Some(SuperPeerConfig {
+                        region_depth: config.region_depth,
+                        promote_threshold: threshold,
+                    }),
+                },
+            );
+            let mut delegated = 0usize;
+            for (i, path) in paths.iter().enumerate() {
+                let out = server
+                    .register(PeerId(i as u64), path.clone())
+                    .expect("unique ids");
+                if out.delegate.is_some() {
+                    delegated += 1;
+                }
+            }
+            let dir = server.super_peer_directory().expect("enabled");
+            SuperPeerPoint {
+                threshold,
+                super_peers: dir.n_super_peers(),
+                regions: dir.n_regions(),
+                coverage: dir.delegation_coverage(),
+                delegated_joins: delegated as f64 / paths.len().max(1) as f64,
+            }
+        })
+        .collect();
+    SuperPeerStudyResult { config: config.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_threshold_fewer_superpeers() {
+        let result = run(&SuperPeerStudyConfig::quick(), 3);
+        assert_eq!(result.points.len(), 2);
+        let low = &result.points[0];
+        let high = &result.points[1];
+        assert!(low.threshold < high.threshold);
+        assert!(
+            low.super_peers >= high.super_peers,
+            "threshold {} elected {} but {} elected {}",
+            low.threshold,
+            low.super_peers,
+            high.threshold,
+            high.super_peers
+        );
+        assert!(low.coverage >= high.coverage);
+        assert!(low.super_peers > 0, "tight threshold must elect someone");
+        assert!(result.table().n_rows() == 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every figure/table of the paper.
+//!
+//! Each experiment from DESIGN.md §6 is a function in [`experiments`] plus a
+//! thin binary in `src/bin/`:
+//!
+//! | id | binary | what it regenerates |
+//! |----|--------|---------------------|
+//! | F2 | `fig2_quality` | `D/Dclosest` and `Drandom/Dclosest` vs number of peers |
+//! | C1/C2 | `complexity_scaling` | insertion/query cost vs population |
+//! | C3 | `convergence_race` | probes-to-accuracy: path-tree vs Vivaldi vs GNP |
+//! | W1 | `landmark_policies` | landmark count × placement sweep |
+//! | W2 | `superpeers` | delegation coverage vs promotion threshold |
+//! | W3 | `churn_handover` | staleness & quality under churn and mobility |
+//! | W4 | `decreased_traceroute` | probe budget vs neighbor quality |
+//! | A1 | `dtree_accuracy` | P[dtree = d] per topology family |
+//! | A2 | `setup_delay` | end-to-end streaming setup delay per policy |
+//! | —  | `internet_mapping` | map-statistics validation (§3 substitution) |
+//!
+//! Binaries print the paper-style table, an ASCII rendition of the figure,
+//! and write CSV + a JSON manifest under `target/experiments/<name>/`
+//! (override with `NEARPEER_OUT`). All accept `--quick` for a reduced sweep
+//! and `--seeds N` / `--threads N`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+mod output;
+mod runner;
+mod swarm;
+
+pub use output::ExperimentWriter;
+pub use runner::run_parallel;
+pub use swarm::{Swarm, SwarmConfig};

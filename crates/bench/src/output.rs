@@ -1,0 +1,67 @@
+//! Experiment artifact output: CSVs and JSON manifests.
+
+use serde::Serialize;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Writes an experiment's artifacts under
+/// `$NEARPEER_OUT|target/experiments/<experiment>/`.
+#[derive(Debug, Clone)]
+pub struct ExperimentWriter {
+    dir: PathBuf,
+}
+
+impl ExperimentWriter {
+    /// Creates the output directory for an experiment.
+    pub fn new(experiment: &str) -> std::io::Result<Self> {
+        let base = std::env::var_os("NEARPEER_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/experiments"));
+        let dir = base.join(experiment);
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The experiment's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a text artifact (CSV, table dump) and returns its path.
+    pub fn write_text(&self, filename: &str, content: &str) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(filename);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(content.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes a JSON artifact and returns its path.
+    pub fn write_json<T: Serialize>(&self, filename: &str, value: &T) -> std::io::Result<PathBuf> {
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.write_text(filename, &json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_env_dir() {
+        let tmp = std::env::temp_dir().join(format!(
+            "nearpeer-writer-test-{}",
+            std::process::id()
+        ));
+        std::env::set_var("NEARPEER_OUT", &tmp);
+        let w = ExperimentWriter::new("unit").unwrap();
+        let p = w.write_text("hello.csv", "a,b\n1,2\n").unwrap();
+        assert!(p.exists());
+        assert_eq!(fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
+        let j = w.write_json("m.json", &serde_json::json!({"k": 1})).unwrap();
+        assert!(fs::read_to_string(&j).unwrap().contains("\"k\": 1"));
+        std::env::remove_var("NEARPEER_OUT");
+        let _ = fs::remove_dir_all(tmp);
+    }
+}

@@ -1,0 +1,236 @@
+//! Swarm construction: the common setup of every experiment.
+//!
+//! Mirrors the paper's §3 initialisation: peers attach to degree-1 routers,
+//! landmarks to medium-degree routers, every peer traceroutes to its
+//! closest landmark (by RTT) and registers with the management server.
+
+use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
+use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
+use nearpeer_probe::{TraceConfig, Tracer};
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::{RouterId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Swarm-building parameters.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Number of peers to attach and register.
+    pub n_peers: usize,
+    /// Number of landmarks.
+    pub n_landmarks: usize,
+    /// Landmark placement policy (the paper uses medium-degree routers).
+    pub placement: PlacementPolicy,
+    /// Neighbors per join answer (`k`).
+    pub neighbor_count: usize,
+    /// Traceroute behaviour (probe plan, faults).
+    pub trace: TraceConfig,
+    /// Enables the server's cross-landmark fallback.
+    pub cross_landmark_fallback: bool,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        Self {
+            n_peers: 200,
+            n_landmarks: 4,
+            placement: PlacementPolicy::DegreeMedium,
+            neighbor_count: 5,
+            trace: TraceConfig::default(),
+            cross_landmark_fallback: true,
+        }
+    }
+}
+
+/// Per-peer join cost bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCost {
+    /// Traceroute probes sent.
+    pub probes: u32,
+    /// Wall-clock cost of the traceroute, in microseconds.
+    pub trace_elapsed_us: u64,
+}
+
+/// A fully initialised swarm: topology + landmarks + populated server.
+pub struct Swarm<'t> {
+    /// The substrate.
+    pub topo: &'t Topology,
+    /// Landmark routers (index = `LandmarkId`).
+    pub landmarks: Vec<RouterId>,
+    /// The populated management server.
+    pub server: ManagementServer,
+    /// Registered peers in registration order.
+    pub peers: Vec<PeerId>,
+    /// Peer → access router.
+    pub attachment: HashMap<PeerId, RouterId>,
+    /// Peer → traceroute cost.
+    pub join_cost: HashMap<PeerId, JoinCost>,
+}
+
+impl<'t> Swarm<'t> {
+    /// Builds a swarm (deterministic per seed).
+    ///
+    /// Fails if the topology has fewer degree-1 routers than peers, or if a
+    /// peer ends up with no reachable landmark.
+    pub fn build(topo: &'t Topology, config: &SwarmConfig, seed: u64) -> Result<Self, String> {
+        let landmarks = place_landmarks(topo, config.n_landmarks, config.placement, seed);
+        if landmarks.is_empty() {
+            return Err("no landmarks could be placed".into());
+        }
+        let mut access = topo.access_routers();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7377_61726d); // "swarm"
+        access.shuffle(&mut rng);
+        if access.len() < config.n_peers {
+            // Families without degree-1 routers (e.g. BA with m >= 2):
+            // fall back to the lowest-degree non-landmark routers, which is
+            // the closest analogue of "the network edge" those maps offer.
+            let taken: std::collections::HashSet<RouterId> =
+                access.iter().copied().chain(landmarks.iter().copied()).collect();
+            let mut fallback: Vec<RouterId> = topo
+                .routers()
+                .filter(|r| !taken.contains(r))
+                .collect();
+            fallback.sort_by_key(|&r| (topo.degree(r), r));
+            access.extend(fallback.into_iter().take(config.n_peers - access.len()));
+        }
+        if access.len() < config.n_peers {
+            return Err(format!(
+                "topology has only {} usable access routers but {} peers requested",
+                access.len(),
+                config.n_peers
+            ));
+        }
+        access.truncate(config.n_peers);
+
+        let oracle = RouteOracle::new(topo);
+        let tracer = Tracer::new(&oracle, config.trace);
+        let mut server = ManagementServer::bootstrap(
+            topo,
+            landmarks.clone(),
+            ServerConfig {
+                neighbor_count: config.neighbor_count,
+                cross_landmark_fallback: config.cross_landmark_fallback,
+                super_peers: None,
+            },
+        );
+
+        let mut peers = Vec::with_capacity(config.n_peers);
+        let mut attachment = HashMap::with_capacity(config.n_peers);
+        let mut join_cost = HashMap::with_capacity(config.n_peers);
+        for (i, &attach) in access.iter().enumerate() {
+            let peer = PeerId(i as u64);
+            // Round 1: pick the closest landmark by RTT, then traceroute.
+            let closest = landmarks
+                .iter()
+                .filter_map(|&lm| oracle.rtt_us(attach, lm).map(|rtt| (rtt, lm)))
+                .min()
+                .map(|(_, lm)| lm)
+                .ok_or_else(|| format!("peer at {attach} reaches no landmark"))?;
+            let trace = tracer
+                .trace(attach, closest, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
+                .ok_or_else(|| format!("trace from {attach} to {closest} failed"))?;
+            let path = PeerPath::new(trace.router_path())
+                .map_err(|e| format!("bad traced path: {e}"))?;
+            server
+                .register(peer, path)
+                .map_err(|e| format!("register {peer}: {e}"))?;
+            peers.push(peer);
+            attachment.insert(peer, attach);
+            join_cost.insert(
+                peer,
+                JoinCost { probes: trace.probes_sent, trace_elapsed_us: trace.elapsed_us },
+            );
+        }
+        Ok(Self { topo, landmarks, server, peers, attachment, join_cost })
+    }
+
+    /// Mean traceroute probes per join.
+    pub fn mean_probes(&self) -> f64 {
+        if self.join_cost.is_empty() {
+            return 0.0;
+        }
+        self.join_cost.values().map(|c| c.probes as f64).sum::<f64>()
+            / self.join_cost.len() as f64
+    }
+
+    /// Mean traceroute wall-clock per join, microseconds.
+    pub fn mean_trace_elapsed_us(&self) -> f64 {
+        if self.join_cost.is_empty() {
+            return 0.0;
+        }
+        self.join_cost
+            .values()
+            .map(|c| c.trace_elapsed_us as f64)
+            .sum::<f64>()
+            / self.join_cost.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::generators::{mapper, MapperConfig};
+
+    fn tiny_topo() -> Topology {
+        mapper(&MapperConfig::tiny(), 5).unwrap()
+    }
+
+    #[test]
+    fn builds_and_registers_everyone() {
+        let topo = tiny_topo();
+        let cfg = SwarmConfig { n_peers: 40, n_landmarks: 3, ..Default::default() };
+        let swarm = Swarm::build(&topo, &cfg, 1).unwrap();
+        assert_eq!(swarm.peers.len(), 40);
+        assert_eq!(swarm.server.peer_count(), 40);
+        assert_eq!(swarm.landmarks.len(), 3);
+        assert!(swarm.mean_probes() > 0.0);
+        assert!(swarm.mean_trace_elapsed_us() > 0.0);
+        // Every peer is attached to a distinct access router.
+        let mut routers: Vec<RouterId> = swarm.attachment.values().copied().collect();
+        routers.sort();
+        routers.dedup();
+        assert_eq!(routers.len(), 40);
+        for r in routers {
+            assert_eq!(topo.degree(r), 1, "{r} is not an access router");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = tiny_topo();
+        let cfg = SwarmConfig { n_peers: 20, ..Default::default() };
+        let a = Swarm::build(&topo, &cfg, 3).unwrap();
+        let b = Swarm::build(&topo, &cfg, 3).unwrap();
+        assert_eq!(a.landmarks, b.landmarks);
+        assert_eq!(a.attachment, b.attachment);
+        let c = Swarm::build(&topo, &cfg, 4).unwrap();
+        assert!(a.attachment != c.attachment || a.landmarks != c.landmarks);
+    }
+
+    #[test]
+    fn too_many_peers_fails_cleanly() {
+        let topo = tiny_topo();
+        let cfg = SwarmConfig { n_peers: 100_000, ..Default::default() };
+        match Swarm::build(&topo, &cfg, 1) {
+            Err(err) => assert!(err.contains("access routers"), "{err}"),
+            Ok(_) => panic!("oversized swarm must fail"),
+        }
+    }
+
+    #[test]
+    fn every_peer_gets_neighbors_once_populated() {
+        let topo = tiny_topo();
+        let cfg = SwarmConfig { n_peers: 30, ..Default::default() };
+        let mut swarm = Swarm::build(&topo, &cfg, 2).unwrap();
+        for &peer in &swarm.peers.clone() {
+            let neigh = swarm.server.neighbors_of(peer, 5).unwrap();
+            assert!(
+                !neigh.is_empty(),
+                "{peer} got no neighbors in a 30-peer swarm"
+            );
+            assert!(neigh.iter().all(|n| n.peer != peer));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Convergence bookkeeping for coordinate systems.
+
+/// Tracks how a coordinate system's accuracy evolves with measurement
+/// effort — the quantity behind the paper's "substantial amount of time"
+/// argument (C3).
+///
+/// Callers record `(probes_used, relative_errors)` snapshots; the tracker
+/// answers "how many probes until the median error fell below X".
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTracker {
+    snapshots: Vec<(u64, f64)>, // (cumulative probes, median relative error)
+}
+
+impl ConvergenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a snapshot: cumulative probe count and the current relative
+    /// errors of the system (NaNs ignored). No-op if `errors` is empty.
+    pub fn record(&mut self, probes: u64, errors: &[f64]) {
+        let mut clean: Vec<f64> = errors.iter().copied().filter(|e| !e.is_nan()).collect();
+        if clean.is_empty() {
+            return;
+        }
+        clean.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        let median = clean[clean.len() / 2];
+        self.snapshots.push((probes, median));
+    }
+
+    /// All `(probes, median_error)` snapshots in recording order.
+    pub fn snapshots(&self) -> &[(u64, f64)] {
+        &self.snapshots
+    }
+
+    /// The smallest cumulative probe count at which the median error was at
+    /// or below `target`; `None` if never reached.
+    pub fn probes_to_reach(&self, target: f64) -> Option<u64> {
+        self.snapshots
+            .iter()
+            .find(|&&(_, err)| err <= target)
+            .map(|&(probes, _)| probes)
+    }
+
+    /// The last recorded median error, if any.
+    pub fn final_error(&self) -> Option<f64> {
+        self.snapshots.last().map(|&(_, e)| e)
+    }
+}
+
+/// Relative error of a prediction against ground truth:
+/// `|predicted − actual| / actual` (∞-safe: `actual <= 0` yields NaN so the
+/// tracker skips it).
+pub fn relative_error(predicted: f64, actual: f64) -> f64 {
+    if actual <= 0.0 {
+        f64::NAN
+    } else {
+        (predicted - actual).abs() / actual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_medians() {
+        let mut t = ConvergenceTracker::new();
+        t.record(10, &[1.0, 0.5, 0.8]);
+        t.record(20, &[0.4, 0.2, 0.3]);
+        assert_eq!(t.snapshots().len(), 2);
+        assert_eq!(t.snapshots()[0], (10, 0.8));
+        assert_eq!(t.snapshots()[1], (20, 0.3));
+        assert_eq!(t.final_error(), Some(0.3));
+    }
+
+    #[test]
+    fn probes_to_reach_threshold() {
+        let mut t = ConvergenceTracker::new();
+        t.record(10, &[0.9]);
+        t.record(20, &[0.5]);
+        t.record(30, &[0.1]);
+        assert_eq!(t.probes_to_reach(0.5), Some(20));
+        assert_eq!(t.probes_to_reach(0.05), None);
+        assert_eq!(t.probes_to_reach(2.0), Some(10));
+    }
+
+    #[test]
+    fn skips_empty_and_nan() {
+        let mut t = ConvergenceTracker::new();
+        t.record(10, &[]);
+        t.record(20, &[f64::NAN, 0.7]);
+        assert_eq!(t.snapshots().len(), 1);
+        assert_eq!(t.snapshots()[0], (20, 0.7));
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert!((relative_error(12.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!(relative_error(5.0, 0.0).is_nan());
+        assert!(relative_error(5.0, -1.0).is_nan());
+    }
+}

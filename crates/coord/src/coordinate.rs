@@ -1,0 +1,150 @@
+//! Euclidean coordinates with the Vivaldi height extension.
+
+use rand::Rng;
+
+/// A synthetic network coordinate: a Euclidean position plus a non-negative
+/// "height" modelling the access-link penalty (Dabek et al. §5.4).
+///
+/// Distance is `‖a − b‖ + h_a + h_b`: the height is paid on both ends of
+/// every path, like the last-mile hop of a DSL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coord {
+    /// Euclidean components.
+    pub v: Vec<f64>,
+    /// Height above the Euclidean plane (0 disables the extension).
+    pub height: f64,
+}
+
+impl Coord {
+    /// The origin of a `dim`-dimensional space with zero height.
+    pub fn origin(dim: usize) -> Self {
+        Self { v: vec![0.0; dim], height: 0.0 }
+    }
+
+    /// A random point in `[-scale, scale]^dim` (used to break symmetry at
+    /// startup).
+    pub fn random(dim: usize, scale: f64, rng: &mut impl Rng) -> Self {
+        Self {
+            v: (0..dim).map(|_| rng.gen_range(-scale..=scale)).collect(),
+            height: 0.0,
+        }
+    }
+
+    /// Dimensionality of the Euclidean part.
+    pub fn dim(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Predicted distance to another coordinate (same dimensionality).
+    pub fn distance(&self, other: &Coord) -> f64 {
+        let eucl: f64 = self
+            .v
+            .iter()
+            .zip(&other.v)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        eucl + self.height + other.height
+    }
+
+    /// Euclidean magnitude of the position vector.
+    pub fn magnitude(&self) -> f64 {
+        self.v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// The unit vector pointing from `other` towards `self`; if the two
+    /// positions coincide, a random unit direction (so coincident Vivaldi
+    /// nodes can still repel).
+    pub fn direction_from(&self, other: &Coord, rng: &mut impl Rng) -> Vec<f64> {
+        let mut diff: Vec<f64> =
+            self.v.iter().zip(&other.v).map(|(a, b)| a - b).collect();
+        let mag = diff.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if mag > 1e-9 {
+            for x in &mut diff {
+                *x /= mag;
+            }
+            return diff;
+        }
+        // Coincident: random direction.
+        loop {
+            let cand: Vec<f64> = (0..self.v.len()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            let m = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if m > 1e-6 {
+                return cand.into_iter().map(|x| x / m).collect();
+            }
+        }
+    }
+
+    /// Moves this coordinate by `step · dir` and bumps the height by
+    /// `height_step` (clamped at a small positive floor, per the Vivaldi
+    /// height rules).
+    pub fn displace(&mut self, dir: &[f64], step: f64, height_step: f64) {
+        for (x, d) in self.v.iter_mut().zip(dir) {
+            *x += step * d;
+        }
+        self.height = (self.height + height_step).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_symmetric_and_triangle_free_heights() {
+        let a = Coord { v: vec![0.0, 0.0], height: 1.0 };
+        let b = Coord { v: vec![3.0, 4.0], height: 2.0 };
+        assert_eq!(a.distance(&b), 5.0 + 3.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn origin_and_magnitude() {
+        let o = Coord::origin(3);
+        assert_eq!(o.dim(), 3);
+        assert_eq!(o.magnitude(), 0.0);
+        let c = Coord { v: vec![3.0, 4.0], height: 0.0 };
+        assert_eq!(c.magnitude(), 5.0);
+    }
+
+    #[test]
+    fn direction_unit_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Coord { v: vec![1.0, 1.0], height: 0.0 };
+        let b = Coord { v: vec![4.0, 5.0], height: 0.0 };
+        let d = b.direction_from(&a, &mut rng);
+        let mag: f64 = d.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((mag - 1.0).abs() < 1e-9);
+        assert!((d[0] - 0.6).abs() < 1e-9);
+        assert!((d[1] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coincident_direction_is_random_unit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Coord::origin(2);
+        let d = a.direction_from(&a.clone(), &mut rng);
+        let mag: f64 = d.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((mag - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displace_moves_and_clamps_height() {
+        let mut c = Coord::origin(2);
+        c.displace(&[1.0, 0.0], 2.5, -5.0);
+        assert_eq!(c.v, vec![2.5, 0.0]);
+        assert_eq!(c.height, 0.0, "height must not go negative");
+        c.displace(&[0.0, 1.0], 1.0, 0.75);
+        assert_eq!(c.height, 0.75);
+    }
+
+    #[test]
+    fn random_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Coord::random(4, 10.0, &mut rng);
+        assert_eq!(c.dim(), 4);
+        assert!(c.v.iter().all(|x| (-10.0..=10.0).contains(x)));
+    }
+}

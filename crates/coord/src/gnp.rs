@@ -1,0 +1,236 @@
+//! GNP-style landmark embedding (Ng & Zhang, INFOCOM 2002).
+
+use crate::coordinate::Coord;
+use crate::simplex::{nelder_mead, NelderMeadConfig};
+
+/// GNP parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnpConfig {
+    /// Embedding dimensionality (the original paper uses 7 landmarks in a
+    /// 5-D space; 2–3 dimensions suffice for simulated maps).
+    pub dimensions: usize,
+    /// Optimiser settings for both phases.
+    pub solver: NelderMeadConfig,
+}
+
+impl Default for GnpConfig {
+    fn default() -> Self {
+        Self {
+            dimensions: 3,
+            solver: NelderMeadConfig { max_evals: 5_000, tolerance: 1e-6, initial_step: 1_000.0 },
+        }
+    }
+}
+
+/// The landmark side of GNP: fixed landmark coordinates fitted from the
+/// full landmark-to-landmark RTT matrix, then per-host embeddings from the
+/// host's RTTs to each landmark.
+///
+/// The *cost* of a GNP join is `n_landmarks` RTT measurements plus a local
+/// optimisation — cheaper than Vivaldi convergence but still an active
+/// probing round, which is what experiment C3 quantifies.
+#[derive(Debug, Clone)]
+pub struct GnpLandmarkSystem {
+    landmarks: Vec<Coord>,
+    cfg: GnpConfig,
+    fit_error: f64,
+}
+
+impl GnpLandmarkSystem {
+    /// Fits landmark coordinates from the symmetric RTT matrix
+    /// `rtt[i][j]` (microseconds; diagonal ignored). Requires at least
+    /// `dimensions + 1` landmarks for a meaningful embedding.
+    ///
+    /// Returns `None` if the matrix is not square or too small.
+    pub fn fit(rtt: &[Vec<f64>], cfg: &GnpConfig) -> Option<Self> {
+        let n = rtt.len();
+        if n < cfg.dimensions + 1 || rtt.iter().any(|row| row.len() != n) {
+            return None;
+        }
+        let dim = cfg.dimensions;
+        // Jointly optimise all landmark positions: variables are the
+        // flattened coordinates. Landmark 0 is pinned at the origin to quash
+        // translation freedom (rotation freedom is harmless).
+        let objective = |x: &[f64]| -> f64 {
+            let coord = |i: usize| -> &[f64] {
+                if i == 0 {
+                    &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0][..dim]
+                } else {
+                    &x[(i - 1) * dim..i * dim]
+                }
+            };
+            let mut err = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d: f64 = coord(i)
+                        .iter()
+                        .zip(coord(j))
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum::<f64>()
+                        .sqrt();
+                    // Normalised squared error, as in the GNP paper.
+                    let m = rtt[i][j].max(1.0);
+                    err += ((d - rtt[i][j]) / m).powi(2);
+                }
+            }
+            err
+        };
+        // Start from a crude MDS-like guess: landmark i at distance
+        // rtt[0][i] along axis (i mod dim).
+        let mut x0 = vec![0.0; (n - 1) * dim];
+        for i in 1..n {
+            x0[(i - 1) * dim + (i % dim)] = rtt[0][i].max(1.0);
+        }
+        let (x, fit_error) = nelder_mead(objective, &x0, &cfg.solver);
+        let mut landmarks = Vec::with_capacity(n);
+        landmarks.push(Coord { v: vec![0.0; dim], height: 0.0 });
+        for i in 1..n {
+            landmarks.push(Coord {
+                v: x[(i - 1) * dim..i * dim].to_vec(),
+                height: 0.0,
+            });
+        }
+        Some(Self { landmarks, cfg: *cfg, fit_error })
+    }
+
+    /// Number of landmarks.
+    pub fn n_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// The fitted landmark coordinates.
+    pub fn landmarks(&self) -> &[Coord] {
+        &self.landmarks
+    }
+
+    /// Residual objective of the landmark fit (0 = perfectly embeddable).
+    pub fn fit_error(&self) -> f64 {
+        self.fit_error
+    }
+
+    /// Embeds one host from its RTTs to every landmark (same order as
+    /// [`Self::landmarks`]). Returns the coordinate and the residual error.
+    ///
+    /// Returns `None` if the RTT vector length does not match.
+    pub fn embed_host(&self, rtts: &[f64]) -> Option<(Coord, f64)> {
+        if rtts.len() != self.landmarks.len() {
+            return None;
+        }
+        let objective = |x: &[f64]| -> f64 {
+            let mut err = 0.0;
+            for (lm, &rtt) in self.landmarks.iter().zip(rtts) {
+                let d: f64 = x
+                    .iter()
+                    .zip(&lm.v)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                let m = rtt.max(1.0);
+                err += ((d - rtt) / m).powi(2);
+            }
+            err
+        };
+        // Start at the landmark with the smallest RTT.
+        let nearest = rtts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite RTTs"))
+            .map(|(i, _)| i)?;
+        let x0 = self.landmarks[nearest].v.clone();
+        let (x, err) = nelder_mead(objective, &x0, &self.cfg.solver);
+        Some((Coord { v: x, height: 0.0 }, err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground truth: points on a plane; RTT = Euclidean distance.
+    fn truth_points() -> Vec<(f64, f64)> {
+        vec![
+            (0.0, 0.0),
+            (80_000.0, 0.0),
+            (0.0, 60_000.0),
+            (70_000.0, 70_000.0),
+            (30_000.0, 10_000.0),
+        ]
+    }
+
+    fn rtt_matrix(points: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|&(xi, yi)| {
+                points
+                    .iter()
+                    .map(|&(xj, yj)| ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn landmark_fit_recovers_pairwise_distances() {
+        let pts = truth_points();
+        let rtt = rtt_matrix(&pts);
+        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let sys = GnpLandmarkSystem::fit(&rtt, &cfg).unwrap();
+        assert_eq!(sys.n_landmarks(), 5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let d = sys.landmarks()[i].distance(&sys.landmarks()[j]);
+                let rel = (d - rtt[i][j]).abs() / rtt[i][j].max(1.0);
+                assert!(rel < 0.15, "landmarks {i},{j}: {d} vs {} (rel {rel})", rtt[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn host_embedding_predicts_rtts() {
+        let pts = truth_points();
+        let rtt = rtt_matrix(&pts);
+        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let sys = GnpLandmarkSystem::fit(&rtt, &cfg).unwrap();
+        // A host at (40k, 30k).
+        let host = (40_000.0f64, 30_000.0f64);
+        let host_rtts: Vec<f64> = pts
+            .iter()
+            .map(|&(x, y)| ((host.0 - x).powi(2) + (host.1 - y).powi(2)).sqrt())
+            .collect();
+        let (coord, err) = sys.embed_host(&host_rtts).unwrap();
+        assert!(err < 0.1, "residual {err}");
+        // Distances from the embedded host to landmarks approximate RTTs.
+        for (lm, &want) in sys.landmarks().iter().zip(&host_rtts) {
+            let got = coord.distance(lm);
+            assert!(
+                (got - want).abs() / want.max(1.0) < 0.2,
+                "host-landmark {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        // Too few landmarks for the dimension.
+        assert!(GnpLandmarkSystem::fit(&[vec![0.0, 1.0], vec![1.0, 0.0]], &cfg).is_none());
+        // Ragged matrix.
+        assert!(GnpLandmarkSystem::fit(
+            &[vec![0.0, 1.0, 2.0], vec![1.0, 0.0], vec![2.0, 1.0, 0.0]],
+            &cfg
+        )
+        .is_none());
+        // Wrong host vector length.
+        let pts = truth_points();
+        let sys = GnpLandmarkSystem::fit(&rtt_matrix(&pts), &cfg).unwrap();
+        assert!(sys.embed_host(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fit_error_zero_for_perfectly_embeddable() {
+        let pts = truth_points();
+        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let sys = GnpLandmarkSystem::fit(&rtt_matrix(&pts), &cfg).unwrap();
+        assert!(sys.fit_error() < 0.05, "fit error {}", sys.fit_error());
+    }
+}

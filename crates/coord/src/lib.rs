@@ -1,0 +1,33 @@
+//! Network-coordinate baselines: Vivaldi and GNP.
+//!
+//! The paper's motivation (§1) is that coordinate systems "require a
+//! substantial amount of time before to deliver accurate information": a
+//! newcomer must exchange many measurements before its coordinate — and thus
+//! its notion of who is nearby — stabilises. This crate implements the two
+//! canonical schemes the paper cites so that the C3 experiment can race them
+//! against the landmark path-tree join:
+//!
+//! * [`VivaldiNode`] — the decentralised spring-relaxation algorithm (Dabek
+//!   et al., SIGCOMM 2004), with the height-vector extension;
+//! * [`GnpLandmarkSystem`] — landmark-based embedding (Ng & Zhang, INFOCOM
+//!   2002) solved with a dependency-free Nelder–Mead simplex
+//!   ([`nelder_mead`]);
+//! * [`ConvergenceTracker`] — relative-error bookkeeping shared by both.
+//!
+//! The crate is topology-agnostic: callers supply RTTs (in the reproduction
+//! these come from `nearpeer-routing`'s oracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convergence;
+mod coordinate;
+mod gnp;
+mod simplex;
+mod vivaldi;
+
+pub use convergence::{relative_error, ConvergenceTracker};
+pub use coordinate::Coord;
+pub use gnp::{GnpConfig, GnpLandmarkSystem};
+pub use simplex::{nelder_mead, NelderMeadConfig};
+pub use vivaldi::{VivaldiConfig, VivaldiNode};

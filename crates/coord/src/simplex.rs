@@ -1,0 +1,162 @@
+//! A small Nelder–Mead downhill-simplex minimiser.
+//!
+//! GNP solves two least-squares embeddings (landmark-landmark, then
+//! host-landmarks); the original paper uses the downhill simplex because the
+//! objective is cheap, low-dimensional and non-smooth at coincidence points.
+//! This is a faithful, dependency-free implementation with the standard
+//! reflection/expansion/contraction/shrink moves.
+
+/// Termination and move coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's objective spread falls below this.
+    pub tolerance: f64,
+    /// Initial simplex edge length around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        Self { max_evals: 2_000, tolerance: 1e-9, initial_step: 1.0 }
+    }
+}
+
+/// Minimises `f` starting from `x0`, returning `(argmin, min)`.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    config: &NelderMeadConfig,
+) -> (Vec<f64>, f64) {
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let n = x0.len();
+    assert!(n > 0, "cannot optimise a zero-dimensional point");
+    let mut evals = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = x0.to_vec();
+    let f0 = eval(&v0, &mut evals);
+    simplex.push((v0, f0));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += config.initial_step;
+        let fv = eval(&v, &mut evals);
+        simplex.push((v, fv));
+    }
+
+    while evals < config.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective not NaN"));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() < config.tolerance {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+        let worst_point = simplex[n].0.clone();
+        let second_worst = simplex[n - 1].1;
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = blend(&centroid, &worst_point, -ALPHA);
+        let f_ref = eval(&reflected, &mut evals);
+        if f_ref < best {
+            // Expansion.
+            let expanded = blend(&centroid, &worst_point, -GAMMA);
+            let f_exp = eval(&expanded, &mut evals);
+            simplex[n] = if f_exp < f_ref { (expanded, f_exp) } else { (reflected, f_ref) };
+            continue;
+        }
+        if f_ref < second_worst {
+            simplex[n] = (reflected, f_ref);
+            continue;
+        }
+        // Contraction (towards the worst point).
+        let contracted = blend(&centroid, &worst_point, RHO);
+        let f_con = eval(&contracted, &mut evals);
+        if f_con < simplex[n].1 {
+            simplex[n] = (contracted, f_con);
+            continue;
+        }
+        // Shrink everything towards the best point.
+        let best_point = simplex[0].0.clone();
+        for entry in &mut simplex[1..] {
+            entry.0 = blend(&best_point, &entry.0, SIGMA);
+            entry.1 = eval(&entry.0, &mut evals);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective not NaN"));
+    let (argmin, min) = simplex.swap_remove(0);
+    (argmin, min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let (x, fx) = nelder_mead(f, &[0.0, 0.0], &NelderMeadConfig::default());
+        assert!(fx < 1e-6, "fx = {fx}");
+        assert!((x[0] - 3.0).abs() < 1e-3);
+        assert!((x[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn minimises_rosenbrock_reasonably() {
+        let f = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let cfg = NelderMeadConfig { max_evals: 10_000, ..Default::default() };
+        let (x, fx) = nelder_mead(f, &[-1.2, 1.0], &cfg);
+        assert!(fx < 1e-4, "fx = {fx}, x = {x:?}");
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        use std::cell::Cell;
+        let count = Cell::new(0usize);
+        let f = |x: &[f64]| {
+            count.set(count.get() + 1);
+            x[0] * x[0]
+        };
+        let cfg = NelderMeadConfig { max_evals: 50, ..Default::default() };
+        let _ = nelder_mead(f, &[100.0], &cfg);
+        // Budget may be exceeded by at most one in-flight iteration's evals.
+        assert!(count.get() <= 55, "evals = {}", count.get());
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let f = |x: &[f64]| (x[0] - 7.0).abs();
+        let (x, fx) = nelder_mead(f, &[0.0], &NelderMeadConfig::default());
+        assert!(fx < 1e-3);
+        assert!((x[0] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn zero_dim_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], &NelderMeadConfig::default());
+    }
+}

@@ -1,0 +1,231 @@
+//! The Vivaldi spring-relaxation algorithm (Dabek et al., SIGCOMM 2004).
+
+use crate::coordinate::Coord;
+use rand::Rng;
+
+/// Vivaldi tuning constants (the paper's recommended values by default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VivaldiConfig {
+    /// Coordinate dimensionality.
+    pub dimensions: usize,
+    /// `c_c`: fraction of the estimated error a node moves per sample.
+    pub cc: f64,
+    /// `c_e`: weight of a new sample in the error EWMA.
+    pub ce: f64,
+    /// Enables the height-vector model.
+    pub use_height: bool,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        Self { dimensions: 2, cc: 0.25, ce: 0.25, use_height: false }
+    }
+}
+
+/// One node's Vivaldi state.
+///
+/// Each `observe` consumes one RTT sample to a remote node and nudges the
+/// local coordinate; the estimated relative error starts at the maximum
+/// (1.0) and decays as samples accumulate — the quantity whose slow decay
+/// the paper's "quicker" claim targets.
+///
+/// ```
+/// use nearpeer_coord::{VivaldiConfig, VivaldiNode};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut a = VivaldiNode::new(&VivaldiConfig::default(), &mut rng);
+/// let b = VivaldiNode::new(&VivaldiConfig::default(), &mut rng);
+/// a.observe(b.coord(), b.error(), 20_000.0, &mut rng);
+/// assert!(a.samples() == 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VivaldiNode {
+    coord: Coord,
+    error: f64,
+    cfg: VivaldiConfig,
+    samples: u64,
+}
+
+impl VivaldiNode {
+    /// Creates a node at a small random position (symmetry breaking).
+    pub fn new(cfg: &VivaldiConfig, rng: &mut impl Rng) -> Self {
+        Self {
+            coord: Coord::random(cfg.dimensions, 1.0, rng),
+            error: 1.0,
+            cfg: *cfg,
+            samples: 0,
+        }
+    }
+
+    /// Current coordinate.
+    pub fn coord(&self) -> &Coord {
+        &self.coord
+    }
+
+    /// Current estimated relative error (1.0 = clueless).
+    pub fn error(&self) -> f64 {
+        self.error
+    }
+
+    /// RTT samples consumed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Predicted RTT (same unit as the observations) to a remote coordinate.
+    pub fn predict(&self, remote: &Coord) -> f64 {
+        self.coord.distance(remote)
+    }
+
+    /// Consumes one measurement: the remote node's coordinate and error, and
+    /// the measured RTT (microseconds; any consistent unit works).
+    pub fn observe(
+        &mut self,
+        remote: &Coord,
+        remote_error: f64,
+        rtt: f64,
+        rng: &mut impl Rng,
+    ) {
+        if !(rtt.is_finite()) || rtt <= 0.0 {
+            return; // ignore nonsense samples rather than corrupting state
+        }
+        self.samples += 1;
+        let predicted = self.coord.distance(remote);
+
+        // Sample confidence balance: how much to trust us vs them.
+        let denom = self.error + remote_error;
+        let w = if denom > 0.0 { self.error / denom } else { 0.5 };
+
+        // Update the error EWMA with the sample's relative error.
+        let sample_rel_err = (predicted - rtt).abs() / rtt;
+        self.error = sample_rel_err * self.cfg.ce * w + self.error * (1.0 - self.cfg.ce * w);
+        self.error = self.error.clamp(0.0, 1.0);
+
+        // Spring displacement.
+        let delta = self.cfg.cc * w;
+        let force = rtt - predicted; // positive = too close, push away
+        let dir = self.coord.direction_from(remote, rng);
+        let height_step = if self.cfg.use_height {
+            // The height absorbs the share of the force that cannot be
+            // explained by the plane (both signs allowed, floor at 0).
+            delta * force * 0.1
+        } else {
+            0.0
+        };
+        self.coord.displace(&dir, delta * force, height_step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Embeds n nodes with ground-truth positions on a plane; RTTs are the
+    /// true distances. Vivaldi must drive the median relative error well
+    /// below the starting 1.0.
+    #[test]
+    fn converges_on_embeddable_rtts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 30;
+        let truth: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100_000.0), rng.gen_range(0.0..100_000.0)))
+            .collect();
+        let rtt = |i: usize, j: usize| {
+            let (xi, yi) = truth[i];
+            let (xj, yj) = truth[j];
+            ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(1.0)
+        };
+        let cfg = VivaldiConfig::default();
+        let mut nodes: Vec<VivaldiNode> =
+            (0..n).map(|_| VivaldiNode::new(&cfg, &mut rng)).collect();
+
+        for _round in 0..200 {
+            for i in 0..n {
+                for _ in 0..3 {
+                    let j = rng.gen_range(0..n);
+                    if i == j {
+                        continue;
+                    }
+                    let (rc, re) = (nodes[j].coord().clone(), nodes[j].error());
+                    nodes[i].observe(&rc, re, rtt(i, j), &mut rng);
+                }
+            }
+        }
+
+        // Median pairwise relative error.
+        let mut errs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let predicted = nodes[i].predict(nodes[j].coord());
+                let actual = rtt(i, j);
+                errs.push((predicted - actual).abs() / actual);
+            }
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[errs.len() / 2];
+        assert!(median < 0.3, "median relative error {median} too high");
+    }
+
+    #[test]
+    fn error_decreases_with_good_samples() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = VivaldiConfig::default();
+        let mut node = VivaldiNode::new(&cfg, &mut rng);
+        let anchor = Coord { v: vec![30_000.0, 0.0], height: 0.0 };
+        let initial_error = node.error();
+        for _ in 0..50 {
+            let rtt = node.coord().distance(&anchor).max(1.0);
+            node.observe(&anchor, 0.1, rtt, &mut rng);
+        }
+        assert!(node.error() < initial_error);
+        assert_eq!(node.samples(), 50);
+    }
+
+    #[test]
+    fn ignores_invalid_rtts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = VivaldiConfig::default();
+        let mut node = VivaldiNode::new(&cfg, &mut rng);
+        let before = node.coord().clone();
+        node.observe(&Coord::origin(2), 0.5, f64::NAN, &mut rng);
+        node.observe(&Coord::origin(2), 0.5, -5.0, &mut rng);
+        node.observe(&Coord::origin(2), 0.5, 0.0, &mut rng);
+        assert_eq!(node.samples(), 0);
+        assert_eq!(node.coord(), &before);
+    }
+
+    #[test]
+    fn height_model_keeps_height_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = VivaldiConfig { use_height: true, ..Default::default() };
+        let mut node = VivaldiNode::new(&cfg, &mut rng);
+        let anchor = Coord { v: vec![1_000.0, 1_000.0], height: 500.0 };
+        for i in 0..200 {
+            let rtt = 1_000.0 + (i % 7) as f64 * 300.0;
+            node.observe(&anchor, 0.3, rtt, &mut rng);
+            assert!(node.coord().height >= 0.0);
+        }
+    }
+
+    #[test]
+    fn two_nodes_find_their_distance() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = VivaldiConfig::default();
+        let mut a = VivaldiNode::new(&cfg, &mut rng);
+        let mut b = VivaldiNode::new(&cfg, &mut rng);
+        let true_rtt = 40_000.0;
+        for _ in 0..200 {
+            let (bc, be) = (b.coord().clone(), b.error());
+            a.observe(&bc, be, true_rtt, &mut rng);
+            let (ac, ae) = (a.coord().clone(), a.error());
+            b.observe(&ac, ae, true_rtt, &mut rng);
+        }
+        let predicted = a.predict(b.coord());
+        assert!(
+            (predicted - true_rtt).abs() / true_rtt < 0.1,
+            "predicted {predicted} vs {true_rtt}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the coordinate baselines.
+
+use nearpeer_coord::{
+    nelder_mead, Coord, GnpConfig, GnpLandmarkSystem, NelderMeadConfig, VivaldiConfig,
+    VivaldiNode,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nelder_mead_never_worse_than_start(
+        x0 in prop::collection::vec(-100.0f64..100.0, 1..5),
+        target in prop::collection::vec(-100.0f64..100.0, 1..5),
+    ) {
+        prop_assume!(x0.len() == target.len());
+        let f = |x: &[f64]| -> f64 {
+            x.iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        let start = f(&x0);
+        let (_, best) = nelder_mead(&f, &x0, &NelderMeadConfig::default());
+        prop_assert!(best <= start + 1e-12, "worsened: {} > {}", best, start);
+    }
+
+    #[test]
+    fn coord_distance_is_a_semimetric(
+        a in prop::collection::vec(-1e4f64..1e4, 2..4),
+        b in prop::collection::vec(-1e4f64..1e4, 2..4),
+        ha in 0.0f64..100.0,
+        hb in 0.0f64..100.0,
+    ) {
+        prop_assume!(a.len() == b.len());
+        let ca = Coord { v: a, height: ha };
+        let cb = Coord { v: b, height: hb };
+        // Symmetry and non-negativity.
+        prop_assert!((ca.distance(&cb) - cb.distance(&ca)).abs() < 1e-9);
+        prop_assert!(ca.distance(&cb) >= 0.0);
+        // Self-distance is twice the height (the access penalty is paid on
+        // both "ends").
+        prop_assert!((ca.distance(&ca.clone()) - 2.0 * ha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vivaldi_error_stays_in_unit_range(
+        rtts in prop::collection::vec(1.0f64..1e6, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = VivaldiConfig::default();
+        let mut node = VivaldiNode::new(&cfg, &mut rng);
+        let anchor = Coord { v: vec![5_000.0, 5_000.0], height: 0.0 };
+        for rtt in rtts {
+            node.observe(&anchor, 0.5, rtt, &mut rng);
+            prop_assert!((0.0..=1.0).contains(&node.error()), "error {}", node.error());
+            prop_assert!(node.coord().v.iter().all(|x| x.is_finite()));
+            prop_assert!(node.coord().height >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gnp_fit_is_deterministic(
+        pts in prop::collection::vec((-1e5f64..1e5, -1e5f64..1e5), 4..7),
+    ) {
+        let rtt: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|&(xi, yi)| {
+                pts.iter()
+                    .map(|&(xj, yj)| ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect();
+        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let a = GnpLandmarkSystem::fit(&rtt, &cfg);
+        let b = GnpLandmarkSystem::fit(&rtt, &cfg);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.n_landmarks(), b.n_landmarks());
+                prop_assert!((a.fit_error() - b.fit_error()).abs() < 1e-12);
+                for (la, lb) in a.landmarks().iter().zip(b.landmarks()) {
+                    prop_assert!((la.distance(lb)).abs() < 1e-9);
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "nondeterministic fit"),
+        }
+    }
+}

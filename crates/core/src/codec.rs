@@ -1,0 +1,381 @@
+//! Length-prefixed binary wire format for [`Message`].
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! +---------+---------+--------+-------------------+
+//! | u32 len | u8 ver  | u8 kind| payload (len-2 B) |
+//! +---------+---------+--------+-------------------+
+//! ```
+//!
+//! `len` counts everything after the length field. Decoding is strict:
+//! unknown versions or kinds, truncated payloads and trailing garbage
+//! inside a frame are typed errors, never panics — malformed input from the
+//! network must not take the server down.
+
+use crate::ids::PeerId;
+use crate::path::PeerPath;
+use crate::protocol::{Message, WireNeighbor};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nearpeer_topology::RouterId;
+use std::fmt;
+
+/// Protocol version emitted by this implementation.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame's `len` field — a peer path cannot plausibly
+/// exceed this, so anything larger is treated as an attack or corruption.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Not enough bytes for a complete frame (wait for more input).
+    Incomplete,
+    /// The length field exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// Unsupported protocol version.
+    UnknownVersion(u8),
+    /// Unsupported message kind.
+    UnknownKind(u8),
+    /// The payload was malformed (wrong length, invalid path, bad UTF-8).
+    BadPayload(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Incomplete => write!(f, "incomplete frame"),
+            CodecError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            CodecError::UnknownVersion(v) => write!(f, "unknown wire version {v}"),
+            CodecError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            CodecError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a message as one frame appended to `dst`.
+pub fn encode(msg: &Message, dst: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    match msg {
+        Message::ProbePing { nonce } => payload.put_u64(*nonce),
+        Message::ProbePong { nonce } => payload.put_u64(*nonce),
+        Message::JoinRequest { peer, path } => {
+            payload.put_u64(peer.0);
+            put_path(&mut payload, path);
+        }
+        Message::JoinReply { peer, neighbors, delegate } => {
+            payload.put_u64(peer.0);
+            payload.put_u16(neighbors.len() as u16);
+            for n in neighbors {
+                payload.put_u64(n.peer.0);
+                payload.put_u32(n.dtree);
+            }
+            match delegate {
+                Some(d) => {
+                    payload.put_u8(1);
+                    payload.put_u64(d.0);
+                }
+                None => payload.put_u8(0),
+            }
+        }
+        Message::JoinError { peer, reason } => {
+            payload.put_u64(peer.0);
+            let bytes = reason.as_bytes();
+            payload.put_u16(bytes.len().min(u16::MAX as usize) as u16);
+            payload.put_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+        }
+        Message::Leave { peer } => payload.put_u64(peer.0),
+        Message::HandoverRequest { peer, path } => {
+            payload.put_u64(peer.0);
+            put_path(&mut payload, path);
+        }
+        Message::Heartbeat { peer } => payload.put_u64(peer.0),
+    }
+    let len = payload.len() as u32 + 2;
+    dst.put_u32(len);
+    dst.put_u8(WIRE_VERSION);
+    dst.put_u8(msg.kind());
+    dst.extend_from_slice(&payload);
+}
+
+/// Encodes to a fresh buffer (convenience).
+pub fn encode_to_bytes(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode(msg, &mut buf);
+    buf.freeze()
+}
+
+fn put_path(dst: &mut BytesMut, path: &PeerPath) {
+    dst.put_u16(path.routers().len() as u16);
+    for r in path.routers() {
+        dst.put_u32(r.0);
+    }
+}
+
+/// Attempts to decode one frame from the front of `src`.
+///
+/// On success the frame's bytes are consumed; on [`CodecError::Incomplete`]
+/// nothing is consumed (feed more bytes and retry); on any other error the
+/// offending frame *is* consumed so the stream can resynchronise.
+pub fn decode(src: &mut BytesMut) -> Result<Message, CodecError> {
+    if src.len() < 4 {
+        return Err(CodecError::Incomplete);
+    }
+    let len = u32::from_be_bytes([src[0], src[1], src[2], src[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    if len < 2 {
+        src.advance(4 + len as usize);
+        return Err(CodecError::BadPayload("frame shorter than header".into()));
+    }
+    if src.len() < 4 + len as usize {
+        return Err(CodecError::Incomplete);
+    }
+    src.advance(4);
+    let mut frame = src.split_to(len as usize);
+    let version = frame.get_u8();
+    let kind = frame.get_u8();
+    if version != WIRE_VERSION {
+        return Err(CodecError::UnknownVersion(version));
+    }
+    let msg = decode_payload(kind, &mut frame)?;
+    if !frame.is_empty() {
+        return Err(CodecError::BadPayload(format!(
+            "{} trailing bytes in frame",
+            frame.len()
+        )));
+    }
+    Ok(msg)
+}
+
+fn need(frame: &BytesMut, n: usize, what: &str) -> Result<(), CodecError> {
+    if frame.len() < n {
+        Err(CodecError::BadPayload(format!("truncated {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_path(frame: &mut BytesMut) -> Result<PeerPath, CodecError> {
+    need(frame, 2, "path length")?;
+    let n = frame.get_u16() as usize;
+    need(frame, n * 4, "path routers")?;
+    let routers: Vec<RouterId> = (0..n).map(|_| RouterId(frame.get_u32())).collect();
+    PeerPath::new(routers).map_err(|e| CodecError::BadPayload(e.to_string()))
+}
+
+fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError> {
+    match kind {
+        1 | 2 => {
+            need(frame, 8, "nonce")?;
+            let nonce = frame.get_u64();
+            Ok(if kind == 1 {
+                Message::ProbePing { nonce }
+            } else {
+                Message::ProbePong { nonce }
+            })
+        }
+        3 | 7 => {
+            need(frame, 8, "peer id")?;
+            let peer = PeerId(frame.get_u64());
+            let path = get_path(frame)?;
+            Ok(if kind == 3 {
+                Message::JoinRequest { peer, path }
+            } else {
+                Message::HandoverRequest { peer, path }
+            })
+        }
+        4 => {
+            need(frame, 8 + 2, "join reply header")?;
+            let peer = PeerId(frame.get_u64());
+            let n = frame.get_u16() as usize;
+            need(frame, n * 12 + 1, "neighbors")?;
+            let neighbors = (0..n)
+                .map(|_| WireNeighbor { peer: PeerId(frame.get_u64()), dtree: frame.get_u32() })
+                .collect();
+            let delegate = match frame.get_u8() {
+                0 => None,
+                1 => {
+                    need(frame, 8, "delegate")?;
+                    Some(PeerId(frame.get_u64()))
+                }
+                other => {
+                    return Err(CodecError::BadPayload(format!(
+                        "bad delegate flag {other}"
+                    )))
+                }
+            };
+            Ok(Message::JoinReply { peer, neighbors, delegate })
+        }
+        5 => {
+            need(frame, 8 + 2, "join error header")?;
+            let peer = PeerId(frame.get_u64());
+            let n = frame.get_u16() as usize;
+            need(frame, n, "reason")?;
+            let reason = String::from_utf8(frame.split_to(n).to_vec())
+                .map_err(|e| CodecError::BadPayload(e.to_string()))?;
+            Ok(Message::JoinError { peer, reason })
+        }
+        6 => {
+            need(frame, 8, "peer id")?;
+            Ok(Message::Leave { peer: PeerId(frame.get_u64()) })
+        }
+        8 => {
+            need(frame, 8, "peer id")?;
+            Ok(Message::Heartbeat { peer: PeerId(frame.get_u64()) })
+        }
+        other => Err(CodecError::UnknownKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_path() -> PeerPath {
+        PeerPath::new(vec![RouterId(9), RouterId(4), RouterId(0)]).unwrap()
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::ProbePing { nonce: 0xDEAD_BEEF },
+            Message::ProbePong { nonce: 42 },
+            Message::JoinRequest { peer: PeerId(7), path: sample_path() },
+            Message::JoinReply {
+                peer: PeerId(7),
+                neighbors: vec![
+                    WireNeighbor { peer: PeerId(1), dtree: 2 },
+                    WireNeighbor { peer: PeerId(2), dtree: 5 },
+                ],
+                delegate: Some(PeerId(1)),
+            },
+            Message::JoinReply { peer: PeerId(8), neighbors: vec![], delegate: None },
+            Message::JoinError { peer: PeerId(9), reason: "unknown landmark".into() },
+            Message::Leave { peer: PeerId(3) },
+            Message::HandoverRequest { peer: PeerId(4), path: sample_path() },
+            Message::Heartbeat { peer: PeerId(5) },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_kind() {
+        for msg in all_messages() {
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            let decoded = decode(&mut buf).unwrap();
+            assert_eq!(decoded, msg);
+            assert!(buf.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn streaming_multiple_frames() {
+        let msgs = all_messages();
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut buf);
+        }
+        for want in &msgs {
+            let got = decode(&mut buf).unwrap();
+            assert_eq!(&got, want);
+        }
+        assert!(matches!(decode(&mut buf), Err(CodecError::Incomplete)));
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more() {
+        let mut full = BytesMut::new();
+        encode(&Message::Leave { peer: PeerId(1) }, &mut full);
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert!(
+                matches!(decode(&mut partial), Err(CodecError::Incomplete)),
+                "cut at {cut} must be incomplete"
+            );
+            assert_eq!(partial.len(), cut, "nothing consumed on Incomplete");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version_and_kind() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(2);
+        buf.put_u8(99); // version
+        buf.put_u8(1); // kind
+        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownVersion(99))));
+
+        let mut buf = BytesMut::new();
+        buf.put_u32(2);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(200); // kind
+        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownKind(200))));
+    }
+
+    #[test]
+    fn rejects_oversized_frames() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAX_FRAME_LEN + 1);
+        buf.put_slice(&[0u8; 16]);
+        assert!(matches!(decode(&mut buf), Err(CodecError::FrameTooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload_inside_frame() {
+        // A JoinRequest frame claiming a longer path than present.
+        let mut buf = BytesMut::new();
+        let mut payload = BytesMut::new();
+        payload.put_u64(1); // peer
+        payload.put_u16(5); // 5 routers claimed...
+        payload.put_u32(1); // ...but only one present
+        buf.put_u32(payload.len() as u32 + 2);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(3);
+        buf.extend_from_slice(&payload);
+        assert!(matches!(decode(&mut buf), Err(CodecError::BadPayload(_))));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_in_frame() {
+        let mut buf = BytesMut::new();
+        let mut payload = BytesMut::new();
+        payload.put_u64(1);
+        payload.put_u64(0xFFFF); // extra bytes after a valid Leave payload
+        buf.put_u32(payload.len() as u32 + 2);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(6);
+        buf.extend_from_slice(&payload);
+        assert!(matches!(decode(&mut buf), Err(CodecError::BadPayload(_))));
+    }
+
+    #[test]
+    fn rejects_looping_path_on_decode() {
+        let mut buf = BytesMut::new();
+        let mut payload = BytesMut::new();
+        payload.put_u64(1);
+        payload.put_u16(2);
+        payload.put_u32(7);
+        payload.put_u32(7); // repeated router = loop
+        buf.put_u32(payload.len() as u32 + 2);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(3);
+        buf.extend_from_slice(&payload);
+        assert!(matches!(decode(&mut buf), Err(CodecError::BadPayload(_))));
+    }
+
+    #[test]
+    fn resynchronises_after_bad_frame() {
+        let mut buf = BytesMut::new();
+        // Bad frame (unknown kind), then a good one.
+        buf.put_u32(2);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(250);
+        encode(&Message::Leave { peer: PeerId(5) }, &mut buf);
+        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownKind(250))));
+        assert_eq!(decode(&mut buf).unwrap(), Message::Leave { peer: PeerId(5) });
+    }
+}

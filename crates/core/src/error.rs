@@ -1,0 +1,41 @@
+//! Error type of the core crate.
+
+use crate::ids::PeerId;
+use std::fmt;
+
+/// Errors surfaced by the management server and its data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The peer is already registered (insertions must be preceded by
+    /// deregistration or use handover).
+    DuplicatePeer(PeerId),
+    /// The peer is not registered.
+    UnknownPeer(PeerId),
+    /// A peer path failed validation (empty, or contains a routing loop).
+    InvalidPath(String),
+    /// The server has no landmark matching the path's terminal router.
+    UnknownLandmark(String),
+    /// Wire-format decoding failed.
+    Codec(crate::codec::CodecError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicatePeer(p) => write!(f, "{p} is already registered"),
+            CoreError::UnknownPeer(p) => write!(f, "{p} is not registered"),
+            CoreError::InvalidPath(msg) => write!(f, "invalid peer path: {msg}"),
+            CoreError::UnknownLandmark(msg) => write!(f, "unknown landmark: {msg}"),
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<crate::codec::CodecError> for CoreError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! Identifiers used across the discovery system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a participating peer (assigned by the application).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PeerId(pub u64);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+/// Identifier of a landmark (dense index into the server's landmark table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LandmarkId(pub u32);
+
+impl LandmarkId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LandmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lmk{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PeerId(7).to_string(), "peer7");
+        assert_eq!(LandmarkId(2).to_string(), "lmk2");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(PeerId(2) < PeerId(10));
+        assert!(LandmarkId(0) < LandmarkId(1));
+        assert_eq!(LandmarkId(3).index(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's contribution: landmark path trees and the management server.
+//!
+//! This crate implements §2 of *A Quicker Way to Discover Nearby Peers*
+//! (Simon, Chen, Boudani, Straub — CoNEXT 2007) as a reusable library:
+//!
+//! * [`PeerPath`] — the router path a newcomer discovers with its
+//!   traceroute-like tool (round 1 of the protocol);
+//! * [`RouterIndex`] — the paper's data structure: a hash table keyed by
+//!   router whose entries are ordered lists of peers, giving `O(d·log n)`
+//!   insertion (`d` = path length, bounded by the topology diameter — the
+//!   paper's "`O(log n)`, the cost of inserting a new element in an ordered
+//!   list") and queries that never touch more than the answer (`O(1)` in
+//!   `n` — "accessing a data in a hash table");
+//! * [`PathTree`] — the per-landmark trie view used for analytics, branch
+//!   points (`dtree`) and super-peer regions;
+//! * [`ManagementServer`] — round 2: registry, neighbor selection, churn
+//!   removal, mobility handover and super-peer promotion;
+//! * [`policy`] — the selection baselines the evaluation compares against:
+//!   random (the paper's baseline), brute-force closest (`Dclosest`),
+//!   Vivaldi-distance and landmark-binning;
+//! * [`landmarks`] — placement policies for the W1 study (the paper places
+//!   landmarks at "medium-size degree" routers);
+//! * [`protocol`] / [`codec`] — the join protocol messages and their
+//!   length-prefixed wire format (`bytes`-based, property-tested);
+//! * [`actors`] — adapters running the protocol inside `nearpeer-sim` for
+//!   the end-to-end setup-delay experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actors;
+pub mod codec;
+mod error;
+mod ids;
+pub mod landmarks;
+mod path;
+mod path_tree;
+pub mod policy;
+pub mod protocol;
+mod router_index;
+mod server;
+mod superpeer;
+
+pub use error::CoreError;
+pub use ids::{LandmarkId, PeerId};
+pub use path::PeerPath;
+pub use path_tree::PathTree;
+pub use router_index::{Neighbor, RouterIndex};
+pub use server::{JoinOutcome, ManagementServer, ServerConfig};
+pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};

@@ -1,0 +1,141 @@
+//! The join-protocol messages.
+//!
+//! The protocol is deliberately small — it is a short paper's protocol:
+//!
+//! 1. newcomer → landmark: [`Message::ProbePing`] (RTT estimation to pick
+//!    the closest landmark); landmark → newcomer: [`Message::ProbePong`];
+//! 2. newcomer runs its traceroute (outside the message plane — it talks to
+//!    routers, not peers), then newcomer → server: [`Message::JoinRequest`]
+//!    carrying the discovered [`PeerPath`];
+//! 3. server → newcomer: [`Message::JoinReply`] with the closest peers.
+//!
+//! Churn and mobility add [`Message::Leave`] and
+//! [`Message::HandoverRequest`] (answered by another [`Message::JoinReply`]).
+
+use crate::ids::PeerId;
+use crate::path::PeerPath;
+use serde::{Deserialize, Serialize};
+
+/// One inferred neighbor as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireNeighbor {
+    /// The neighbor's peer id.
+    pub peer: PeerId,
+    /// The server's `dtree` estimate in hops.
+    pub dtree: u32,
+}
+
+/// Every message of the discovery protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Message {
+    /// RTT probe towards a landmark (round 1 preliminary).
+    ProbePing {
+        /// Echo token correlating ping and pong.
+        nonce: u64,
+    },
+    /// The landmark's answer.
+    ProbePong {
+        /// The echoed token.
+        nonce: u64,
+    },
+    /// Round 1 → 2 transition: the newcomer ships its router path.
+    JoinRequest {
+        /// The joining peer.
+        peer: PeerId,
+        /// The traceroute-discovered path to its closest landmark.
+        path: PeerPath,
+    },
+    /// Round 2 answer: the server's "short list of peers that are the
+    /// closest".
+    JoinReply {
+        /// The peer being answered.
+        peer: PeerId,
+        /// Closest peers, nearest first.
+        neighbors: Vec<WireNeighbor>,
+        /// A regional super-peer the newcomer may query next time (W2).
+        delegate: Option<PeerId>,
+    },
+    /// Join refusal (unknown landmark, malformed path, duplicate id).
+    JoinError {
+        /// The peer being refused.
+        peer: PeerId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Graceful departure.
+    Leave {
+        /// The departing peer.
+        peer: PeerId,
+    },
+    /// Mobility: the peer re-attached and re-traced (W3).
+    HandoverRequest {
+        /// The moving peer.
+        peer: PeerId,
+        /// Its fresh path from the new attachment point.
+        path: PeerPath,
+    },
+    /// Soft-state refresh: "still alive" (faulty-peer management, W3).
+    Heartbeat {
+        /// The live peer.
+        peer: PeerId,
+    },
+}
+
+impl Message {
+    /// Discriminant used by the wire codec.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::ProbePing { .. } => 1,
+            Message::ProbePong { .. } => 2,
+            Message::JoinRequest { .. } => 3,
+            Message::JoinReply { .. } => 4,
+            Message::JoinError { .. } => 5,
+            Message::Leave { .. } => 6,
+            Message::HandoverRequest { .. } => 7,
+            Message::Heartbeat { .. } => 8,
+        }
+    }
+
+    /// Short name for logs.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::ProbePing { .. } => "probe-ping",
+            Message::ProbePong { .. } => "probe-pong",
+            Message::JoinRequest { .. } => "join-request",
+            Message::JoinReply { .. } => "join-reply",
+            Message::JoinError { .. } => "join-error",
+            Message::Leave { .. } => "leave",
+            Message::HandoverRequest { .. } => "handover-request",
+            Message::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::RouterId;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let path = PeerPath::new(vec![RouterId(1), RouterId(0)]).unwrap();
+        let msgs = vec![
+            Message::ProbePing { nonce: 1 },
+            Message::ProbePong { nonce: 1 },
+            Message::JoinRequest { peer: PeerId(1), path: path.clone() },
+            Message::JoinReply { peer: PeerId(1), neighbors: vec![], delegate: None },
+            Message::JoinError { peer: PeerId(1), reason: "r".into() },
+            Message::Leave { peer: PeerId(1) },
+            Message::HandoverRequest { peer: PeerId(1), path },
+            Message::Heartbeat { peer: PeerId(1) },
+        ];
+        let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+        for m in &msgs {
+            assert!(!m.kind_name().is_empty());
+        }
+    }
+}

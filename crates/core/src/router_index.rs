@@ -1,0 +1,340 @@
+//! The paper's hash-table-of-ordered-lists data structure.
+
+use crate::error::CoreError;
+use crate::ids::PeerId;
+use crate::path::PeerPath;
+use nearpeer_topology::RouterId;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// One discovered neighbor: the peer and its inferred tree distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Neighbor {
+    /// The neighbor's id.
+    pub peer: PeerId,
+    /// The inferred hop distance `dtree` (through the deepest shared
+    /// router).
+    pub dtree: u32,
+}
+
+/// The core data structure of §2: `HashMap<RouterId, ordered set>` where
+/// each router's entry keeps the peers whose stored path traverses it,
+/// ordered by their hop count below the router.
+///
+/// * `insert` walks the peer's path (bounded by the topology diameter, not
+///   `n`) performing one ordered insertion per router — the paper's
+///   "`O(log n)`, inserting into an ordered list";
+/// * `query_nearest` walks the *query* path router by router (each a hash
+///   lookup) and k-way-merges the per-router ordered lists by combined
+///   depth, yielding the `k` smallest-`dtree` peers while touching only
+///   `O(k + path length)` entries — the paper's "`O(1)`, accessing a data
+///   in a hash table";
+/// * `remove` undoes the ordered insertions (churn, W3).
+///
+/// The structure is landmark-agnostic: peers routed to *different*
+/// landmarks still meet in the index at any shared router, which is exactly
+/// the cross-landmark fallback DESIGN.md §5 documents.
+#[derive(Debug, Default, Clone)]
+pub struct RouterIndex {
+    entries: HashMap<RouterId, BTreeSet<(u32, PeerId)>>,
+    paths: HashMap<PeerId, PeerPath>,
+}
+
+impl RouterIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered peers.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no peer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Whether the peer is registered.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.paths.contains_key(&peer)
+    }
+
+    /// The stored path of a peer.
+    pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
+        self.paths.get(&peer)
+    }
+
+    /// Iterator over all registered peers.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.paths.keys().copied()
+    }
+
+    /// Number of distinct routers referenced by stored paths.
+    pub fn n_routers(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Peers whose path traverses `router`, nearest-first (by hops below
+    /// the router).
+    pub fn peers_through(&self, router: RouterId) -> impl Iterator<Item = (PeerId, u32)> + '_ {
+        self.entries
+            .get(&router)
+            .into_iter()
+            .flat_map(|set| set.iter().map(|&(d, p)| (p, d)))
+    }
+
+    /// Registers a newcomer. `O(d · log n)` ordered insertions.
+    pub fn insert(&mut self, peer: PeerId, path: PeerPath) -> Result<(), CoreError> {
+        if self.paths.contains_key(&peer) {
+            return Err(CoreError::DuplicatePeer(peer));
+        }
+        for (router, depth) in path.with_depths() {
+            self.entries.entry(router).or_default().insert((depth, peer));
+        }
+        self.paths.insert(peer, path);
+        Ok(())
+    }
+
+    /// Deregisters a peer, returning its stored path.
+    pub fn remove(&mut self, peer: PeerId) -> Option<PeerPath> {
+        let path = self.paths.remove(&peer)?;
+        for (router, depth) in path.with_depths() {
+            if let Some(set) = self.entries.get_mut(&router) {
+                set.remove(&(depth, peer));
+                if set.is_empty() {
+                    self.entries.remove(&router);
+                }
+            }
+        }
+        Some(path)
+    }
+
+    /// Inferred tree distance between two *registered* peers.
+    pub fn dtree(&self, a: PeerId, b: PeerId) -> Option<u32> {
+        let pa = self.paths.get(&a)?;
+        let pb = self.paths.get(&b)?;
+        pa.dtree(pb).map(|(_, d)| d)
+    }
+
+    /// The `k` registered peers with smallest `dtree` to the query path,
+    /// ascending (ties broken by peer id via the ordered sets). Peers in
+    /// `exclude` (e.g. the newcomer itself) are skipped. Peers sharing no
+    /// router with the query path are invisible to this search.
+    pub fn query_nearest(
+        &self,
+        query: &PeerPath,
+        k: usize,
+        exclude: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // One lazy cursor per query-path router; heap orders by combined
+        // depth (query depth + candidate depth below the shared router).
+        struct Cursor<'a> {
+            query_depth: u32,
+            iter: std::collections::btree_set::Iter<'a, (u32, PeerId)>,
+        }
+        // Max-heap → wrap in Reverse for a min-heap keyed by
+        // (dtree, peer, router position) for total determinism.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+        let mut cursors: Vec<Cursor<'_>> = Vec::new();
+        for (router, query_depth) in query.with_depths() {
+            if let Some(set) = self.entries.get(&router) {
+                let mut iter = set.iter();
+                if let Some(&(cand_depth, peer)) = iter.next() {
+                    let idx = cursors.len();
+                    heap.push(std::cmp::Reverse((query_depth + cand_depth, peer, idx)));
+                    cursors.push(Cursor { query_depth, iter });
+                }
+            }
+        }
+
+        let mut seen: HashSet<PeerId> = HashSet::new();
+        let mut out = Vec::with_capacity(k);
+        while let Some(std::cmp::Reverse((dtree, peer, idx))) = heap.pop() {
+            // Advance the cursor this candidate came from.
+            let cursor = &mut cursors[idx];
+            if let Some(&(cand_depth, next_peer)) = cursor.iter.next() {
+                heap.push(std::cmp::Reverse((
+                    cursor.query_depth + cand_depth,
+                    next_peer,
+                    idx,
+                )));
+            }
+            if exclude.contains(&peer) || !seen.insert(peer) {
+                continue;
+            }
+            out.push(Neighbor { peer, dtree });
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    fn no_exclude() -> HashSet<PeerId> {
+        HashSet::new()
+    }
+
+    /// A small landmark tree (landmark router 0):
+    ///
+    /// ```text
+    ///          0 (lmk)
+    ///          |
+    ///          1
+    ///        /   \
+    ///       2     3
+    ///      / \     \
+    ///     4   5     6
+    /// ```
+    /// Peers: A@4, B@5, C@6, D@2.
+    fn populated() -> RouterIndex {
+        let mut idx = RouterIndex::new();
+        idx.insert(PeerId(0xA), path(&[4, 2, 1, 0])).unwrap();
+        idx.insert(PeerId(0xB), path(&[5, 2, 1, 0])).unwrap();
+        idx.insert(PeerId(0xC), path(&[6, 3, 1, 0])).unwrap();
+        idx.insert(PeerId(0xD), path(&[2, 1, 0])).unwrap();
+        idx
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = populated();
+        assert_eq!(idx.len(), 4);
+        assert!(idx.contains(PeerId(0xA)));
+        assert!(!idx.contains(PeerId(0xF)));
+        assert_eq!(idx.path_of(PeerId(0xC)).unwrap().attach(), RouterId(6));
+        // Router 1 is on everyone's path.
+        assert_eq!(idx.peers_through(RouterId(1)).count(), 4);
+        // Router 3 only carries C.
+        let through3: Vec<_> = idx.peers_through(RouterId(3)).collect();
+        assert_eq!(through3, vec![(PeerId(0xC), 1)]);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut idx = populated();
+        assert!(matches!(
+            idx.insert(PeerId(0xA), path(&[9, 0])),
+            Err(CoreError::DuplicatePeer(_))
+        ));
+    }
+
+    #[test]
+    fn dtree_between_registered() {
+        let idx = populated();
+        // A@4 and B@5 meet at router 2: 1 + 1.
+        assert_eq!(idx.dtree(PeerId(0xA), PeerId(0xB)), Some(2));
+        // A@4 and C@6 meet at router 1: 2 + 2.
+        assert_eq!(idx.dtree(PeerId(0xA), PeerId(0xC)), Some(4));
+        // D sits on A's path at router 2: 1 + 0.
+        assert_eq!(idx.dtree(PeerId(0xA), PeerId(0xD)), Some(1));
+        assert_eq!(idx.dtree(PeerId(0xA), PeerId(0xF)), None);
+    }
+
+    #[test]
+    fn query_orders_by_dtree() {
+        let idx = populated();
+        // Newcomer at router 4's position (same as A).
+        let q = path(&[4, 2, 1, 0]);
+        let result = idx.query_nearest(&q, 4, &no_exclude());
+        let peers: Vec<PeerId> = result.iter().map(|n| n.peer).collect();
+        // A at dtree 0, D at 1, B at 2, C at 4.
+        assert_eq!(
+            peers,
+            vec![PeerId(0xA), PeerId(0xD), PeerId(0xB), PeerId(0xC)]
+        );
+        let dts: Vec<u32> = result.iter().map(|n| n.dtree).collect();
+        assert_eq!(dts, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn query_respects_k_and_exclude() {
+        let idx = populated();
+        let q = path(&[4, 2, 1, 0]);
+        let excl: HashSet<PeerId> = [PeerId(0xA)].into_iter().collect();
+        let result = idx.query_nearest(&q, 2, &excl);
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].peer, PeerId(0xD));
+        assert_eq!(result[1].peer, PeerId(0xB));
+        assert!(idx.query_nearest(&q, 0, &no_exclude()).is_empty());
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let idx = populated();
+        let q = path(&[6, 3, 1, 0]);
+        let fast = idx.query_nearest(&q, 4, &no_exclude());
+        // Brute force over stored paths.
+        let mut brute: Vec<(u32, PeerId)> = idx
+            .peers()
+            .filter_map(|p| {
+                idx.path_of(p).and_then(|pp| q.dtree(pp)).map(|(_, d)| (d, p))
+            })
+            .collect();
+        brute.sort();
+        let brute_peers: Vec<PeerId> = brute.iter().map(|&(_, p)| p).collect();
+        let fast_peers: Vec<PeerId> = fast.iter().map(|n| n.peer).collect();
+        assert_eq!(fast_peers, brute_peers);
+        for (n, &(d, _)) in fast.iter().zip(&brute) {
+            assert_eq!(n.dtree, d);
+        }
+    }
+
+    #[test]
+    fn remove_cleans_entries() {
+        let mut idx = populated();
+        let removed = idx.remove(PeerId(0xA)).unwrap();
+        assert_eq!(removed.attach(), RouterId(4));
+        assert_eq!(idx.len(), 3);
+        assert!(idx.peers_through(RouterId(4)).next().is_none());
+        assert_eq!(idx.remove(PeerId(0xA)), None);
+        // Query no longer returns A.
+        let q = path(&[4, 2, 1, 0]);
+        let result = idx.query_nearest(&q, 4, &no_exclude());
+        assert!(result.iter().all(|n| n.peer != PeerId(0xA)));
+    }
+
+    #[test]
+    fn cross_landmark_peers_meet_at_shared_routers() {
+        let mut idx = RouterIndex::new();
+        // Peer X routes to landmark 100, peer Y to landmark 200; both paths
+        // cross router 7.
+        idx.insert(PeerId(1), path(&[10, 7, 8, 100])).unwrap();
+        idx.insert(PeerId(2), path(&[20, 7, 9, 200])).unwrap();
+        assert_eq!(idx.dtree(PeerId(1), PeerId(2)), Some(2));
+        let q = path(&[10, 7, 8, 100]);
+        let res = idx.query_nearest(&q, 2, &no_exclude());
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[1].peer, PeerId(2));
+        assert_eq!(res[1].dtree, 2);
+    }
+
+    #[test]
+    fn invisible_without_shared_router() {
+        let mut idx = RouterIndex::new();
+        idx.insert(PeerId(1), path(&[1, 2, 3])).unwrap();
+        let q = path(&[4, 5, 6]);
+        assert!(idx.query_nearest(&q, 5, &no_exclude()).is_empty());
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let idx = RouterIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.n_routers(), 0);
+        let q = path(&[1, 2]);
+        assert!(idx.query_nearest(&q, 3, &no_exclude()).is_empty());
+    }
+}

@@ -1,0 +1,669 @@
+//! The management server — round 2 of the paper's protocol.
+
+use crate::error::CoreError;
+use crate::ids::{LandmarkId, PeerId};
+use crate::path::PeerPath;
+use crate::path_tree::PathTree;
+use crate::router_index::{Neighbor, RouterIndex};
+use crate::superpeer::{SuperPeerConfig, SuperPeerDirectory};
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::{RouterId, Topology};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Neighbors returned to a newcomer (the paper's "short list").
+    pub neighbor_count: usize,
+    /// When the path-tree search finds fewer than `neighbor_count` peers,
+    /// fill the list with cross-landmark candidates ranked by the bridge
+    /// estimate `depth(p) + hops(L_p, L_q) + depth(q)` (DESIGN.md §5).
+    pub cross_landmark_fallback: bool,
+    /// Enables super-peer promotion (W2).
+    pub super_peers: Option<SuperPeerConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { neighbor_count: 5, cross_landmark_fallback: true, super_peers: None }
+    }
+}
+
+/// What a newcomer receives back from its join request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOutcome {
+    /// The landmark the peer registered under.
+    pub landmark: LandmarkId,
+    /// The closest peers the server inferred, nearest first.
+    pub neighbors: Vec<Neighbor>,
+    /// A super-peer in the newcomer's region that could have answered the
+    /// query instead of the server (W2), if one exists.
+    pub delegate: Option<PeerId>,
+}
+
+/// Per-landmark slice of a [`ServerReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LandmarkReport {
+    /// The landmark id.
+    pub landmark: LandmarkId,
+    /// Its router.
+    pub router: RouterId,
+    /// Peers registered under it.
+    pub peers: usize,
+    /// Routers in its path tree.
+    pub tree_routers: usize,
+    /// Route-inconsistency count (holes / instability).
+    pub route_inconsistencies: usize,
+}
+
+/// Operator-facing snapshot of a [`ManagementServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// Registered peers.
+    pub peers: usize,
+    /// Distinct routers referenced by stored paths.
+    pub indexed_routers: usize,
+    /// Current heartbeat epoch.
+    pub epoch: u64,
+    /// Super-peers currently elected.
+    pub super_peers: usize,
+    /// Aggregate counters.
+    pub stats: ServerStats,
+    /// One entry per landmark.
+    pub per_landmark: Vec<LandmarkReport>,
+}
+
+impl std::fmt::Display for ServerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} peers over {} routers (epoch {}, {} super-peers)",
+            self.peers, self.indexed_routers, self.epoch, self.super_peers
+        )?;
+        writeln!(
+            f,
+            "joins {} / queries {} / leaves {} / handovers {} / x-lmk fills {}",
+            self.stats.joins,
+            self.stats.queries,
+            self.stats.leaves,
+            self.stats.handovers,
+            self.stats.cross_landmark_fills
+        )?;
+        for lm in &self.per_landmark {
+            writeln!(
+                f,
+                "  {} at {}: {} peers, {} tree routers, {} inconsistencies",
+                lm.landmark, lm.router, lm.peers, lm.tree_routers, lm.route_inconsistencies
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Successful registrations.
+    pub joins: u64,
+    /// Closest-peer queries answered (including those inside joins).
+    pub queries: u64,
+    /// Neighbors served through the cross-landmark fallback.
+    pub cross_landmark_fills: u64,
+    /// Departures processed.
+    pub leaves: u64,
+    /// Mobility handovers processed.
+    pub handovers: u64,
+}
+
+/// The management server of §2: knows every peer's path to its landmark and
+/// answers "who is closest to this newcomer" from the [`RouterIndex`].
+///
+/// The server never sees the topology at runtime — it only consumes router
+/// paths, exactly like the deployed system would. (The [`Self::bootstrap`]
+/// constructor uses the topology once, standing in for the real system's
+/// landmark-to-landmark traceroutes at startup.)
+pub struct ManagementServer {
+    config: ServerConfig,
+    landmark_routers: Vec<RouterId>,
+    landmark_by_router: HashMap<RouterId, LandmarkId>,
+    /// Hop distance between landmark routers (bootstrap measurements).
+    landmark_dist: Vec<Vec<u32>>,
+    index: RouterIndex,
+    trees: Vec<PathTree>,
+    peer_landmark: HashMap<PeerId, LandmarkId>,
+    super_peers: Option<SuperPeerDirectory>,
+    stats: ServerStats,
+    /// Soft-state lease bookkeeping for faulty-peer expiry (W3): the epoch
+    /// at which each peer last checked in. Epochs are application-driven
+    /// ticks (e.g. heartbeat rounds), not wall clock — the server stays
+    /// deterministic.
+    last_seen: HashMap<PeerId, u64>,
+    epoch: u64,
+}
+
+impl ManagementServer {
+    /// Creates a server from landmark routers and their pairwise hop
+    /// distances (row-major square matrix; `u32::MAX` = unknown).
+    pub fn new(
+        landmark_routers: Vec<RouterId>,
+        landmark_dist: Vec<Vec<u32>>,
+        config: ServerConfig,
+    ) -> Self {
+        debug_assert_eq!(landmark_dist.len(), landmark_routers.len());
+        let landmark_by_router = landmark_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, LandmarkId(i as u32)))
+            .collect();
+        let trees = landmark_routers.iter().map(|&r| PathTree::new(r)).collect();
+        Self {
+            super_peers: config.super_peers.map(SuperPeerDirectory::new),
+            config,
+            landmark_by_router,
+            landmark_dist,
+            index: RouterIndex::new(),
+            trees,
+            peer_landmark: HashMap::new(),
+            stats: ServerStats::default(),
+            landmark_routers,
+            last_seen: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Convenience constructor measuring landmark-to-landmark hop distances
+    /// over the topology (the real system would traceroute between
+    /// landmarks once at startup).
+    pub fn bootstrap(topo: &Topology, landmark_routers: Vec<RouterId>, config: ServerConfig) -> Self {
+        let oracle = RouteOracle::new(topo);
+        let n = landmark_routers.len();
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for (i, &a) in landmark_routers.iter().enumerate() {
+            dist[i][i] = 0;
+            for (j, &b) in landmark_routers.iter().enumerate().skip(i + 1) {
+                if let Some(h) = oracle.hops(a, b) {
+                    dist[i][j] = h;
+                    dist[j][i] = h;
+                }
+            }
+        }
+        Self::new(landmark_routers, dist, config)
+    }
+
+    /// The landmark routers, indexed by [`LandmarkId`].
+    pub fn landmarks(&self) -> &[RouterId] {
+        &self.landmark_routers
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Registered peer count.
+    pub fn peer_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The landmark a peer registered under.
+    pub fn landmark_of(&self, peer: PeerId) -> Option<LandmarkId> {
+        self.peer_landmark.get(&peer).copied()
+    }
+
+    /// The stored path of a peer.
+    pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
+        self.index.path_of(peer)
+    }
+
+    /// The landmark tree (analytics view).
+    pub fn tree(&self, landmark: LandmarkId) -> Option<&PathTree> {
+        self.trees.get(landmark.index())
+    }
+
+    /// The super-peer directory, when enabled.
+    pub fn super_peer_directory(&self) -> Option<&SuperPeerDirectory> {
+        self.super_peers.as_ref()
+    }
+
+    /// Direct access to the underlying index (read-only).
+    pub fn index(&self) -> &RouterIndex {
+        &self.index
+    }
+
+    fn landmark_for_path(&self, path: &PeerPath) -> Result<LandmarkId, CoreError> {
+        self.landmark_by_router
+            .get(&path.landmark_router())
+            .copied()
+            .ok_or_else(|| {
+                CoreError::UnknownLandmark(format!(
+                    "path terminates at {} which is no landmark",
+                    path.landmark_router()
+                ))
+            })
+    }
+
+    /// Round 2, newcomer insertion: stores the peer's path (`O(d·log n)`)
+    /// and answers its closest peers.
+    pub fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        let landmark = self.landmark_for_path(&path)?;
+        self.index.insert(peer, path.clone())?;
+        self.trees[landmark.index()].insert(peer, &path);
+        self.peer_landmark.insert(peer, landmark);
+        let delegate = if let Some(dir) = self.super_peers.as_mut() {
+            let delegate = dir.super_peer_for(&path);
+            dir.on_register(peer, &path);
+            delegate
+        } else {
+            None
+        };
+        self.stats.joins += 1;
+        self.last_seen.insert(peer, self.epoch);
+        let neighbors = self.closest_to_path(&path, self.config.neighbor_count, Some(peer));
+        Ok(JoinOutcome { landmark, neighbors, delegate })
+    }
+
+    /// Removes a departed (or failed) peer — churn, W3.
+    pub fn deregister(&mut self, peer: PeerId) -> Result<(), CoreError> {
+        if self.index.remove(peer).is_none() {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        if let Some(landmark) = self.peer_landmark.remove(&peer) {
+            self.trees[landmark.index()].remove(peer);
+        }
+        if let Some(dir) = self.super_peers.as_mut() {
+            dir.on_deregister(peer);
+        }
+        self.last_seen.remove(&peer);
+        self.stats.leaves += 1;
+        Ok(())
+    }
+
+    /// Records a heartbeat from a live peer (faulty-peer management, W3).
+    pub fn heartbeat(&mut self, peer: PeerId) -> Result<(), CoreError> {
+        if !self.index.contains(peer) {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        self.last_seen.insert(peer, self.epoch);
+        Ok(())
+    }
+
+    /// Advances the server's heartbeat epoch and returns it. Applications
+    /// call this once per heartbeat round.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The current heartbeat epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Expires every peer not seen for more than `max_age` epochs,
+    /// returning the expired ids — this is how silently failed peers leave
+    /// the index (the staleness W3 measures without it).
+    pub fn expire_stale(&mut self, max_age: u64) -> Vec<PeerId> {
+        let cutoff = self.epoch.saturating_sub(max_age);
+        let stale: Vec<PeerId> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &seen)| seen < cutoff)
+            .map(|(&p, _)| p)
+            .collect();
+        for &peer in &stale {
+            // deregister also removes last_seen; counted as a leave.
+            let _ = self.deregister(peer);
+        }
+        stale
+    }
+
+    /// Mobility handover (W3): the peer re-traceroutes from its new
+    /// attachment and atomically replaces its record, receiving a fresh
+    /// neighbor list.
+    pub fn handover(&mut self, peer: PeerId, new_path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        if !self.index.contains(peer) {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        self.deregister(peer)?;
+        // deregister/register both count; fix up the stats to count one
+        // handover instead of a leave+join.
+        self.stats.leaves -= 1;
+        let outcome = self.register(peer, new_path)?;
+        self.stats.joins -= 1;
+        self.stats.handovers += 1;
+        Ok(outcome)
+    }
+
+    /// The closest registered peers to an arbitrary query path (`O(1)` in
+    /// the population, per §2).
+    pub fn closest_to_path(
+        &mut self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> Vec<Neighbor> {
+        self.stats.queries += 1;
+        let excl: HashSet<PeerId> = exclude.into_iter().collect();
+        let mut result = self.index.query_nearest(path, k, &excl);
+        if result.len() < k && self.config.cross_landmark_fallback {
+            let missing = k - result.len();
+            let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
+            let fill = self.cross_landmark_candidates(path, missing, &excl, &have);
+            self.stats.cross_landmark_fills += fill.len() as u64;
+            result.extend(fill);
+        }
+        result
+    }
+
+    /// Neighbors of an already-registered peer (fresh query).
+    pub fn neighbors_of(&mut self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
+        let path = self
+            .index
+            .path_of(peer)
+            .cloned()
+            .ok_or(CoreError::UnknownPeer(peer))?;
+        Ok(self.closest_to_path(&path, k, Some(peer)))
+    }
+
+    /// Builds an operator-facing snapshot of the server's state.
+    pub fn report(&self) -> ServerReport {
+        let per_landmark = self
+            .trees
+            .iter()
+            .enumerate()
+            .map(|(i, tree)| LandmarkReport {
+                landmark: LandmarkId(i as u32),
+                router: tree.root(),
+                peers: tree.n_peers(),
+                tree_routers: tree.n_nodes(),
+                route_inconsistencies: tree.inconsistencies(),
+            })
+            .collect();
+        ServerReport {
+            peers: self.index.len(),
+            indexed_routers: self.index.n_routers(),
+            epoch: self.epoch,
+            super_peers: self
+                .super_peers
+                .as_ref()
+                .map(|d| d.n_super_peers())
+                .unwrap_or(0),
+            stats: self.stats,
+            per_landmark,
+        }
+    }
+
+    /// Cross-landmark fill: rank foreign peers by
+    /// `depth(query) + hops(L_query, L_other) + depth(peer)` using the
+    /// per-landmark ordered lists at the landmark routers.
+    fn cross_landmark_candidates(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: &HashSet<PeerId>,
+        already: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        let Ok(own) = self.landmark_for_path(path) else {
+            return Vec::new();
+        };
+        let query_depth = path.depth();
+        // K-way merge over the other landmarks' peer lists (each ordered by
+        // depth below its landmark router).
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+        let mut iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + '_>> = Vec::new();
+        for (li, &lrouter) in self.landmark_routers.iter().enumerate() {
+            if LandmarkId(li as u32) == own {
+                continue;
+            }
+            let bridge = self.landmark_dist[own.index()][li];
+            if bridge == u32::MAX {
+                continue;
+            }
+            let mut iter = self.index.peers_through(lrouter);
+            if let Some((peer, depth)) = iter.next() {
+                let idx = iters.len();
+                heap.push(std::cmp::Reverse((query_depth + bridge + depth, peer, idx)));
+                iters.push(Box::new(iter));
+            }
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut emitted: HashSet<PeerId> = HashSet::new();
+        while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
+            if let Some((next_peer, depth)) = iters[idx].next() {
+                // All entries of one iterator share the same bridge+query
+                // part; recover it from the popped estimate.
+                let base = est - self.index.path_of(peer).map_or(0, |p| p.depth());
+                heap.push(std::cmp::Reverse((base + depth, next_peer, idx)));
+            }
+            if exclude.contains(&peer) || already.contains(&peer) || !emitted.insert(peer) {
+                continue;
+            }
+            out.push(Neighbor { peer, dtree: est });
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::presets::figure1;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    /// Two landmarks (routers 0 and 100), 5 hops apart.
+    fn two_landmark_server(config: ServerConfig) -> ManagementServer {
+        ManagementServer::new(
+            vec![RouterId(0), RouterId(100)],
+            vec![vec![0, 5], vec![5, 0]],
+            config,
+        )
+    }
+
+    #[test]
+    fn register_returns_nearest_neighbors() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        srv.register(PeerId(3), path(&[6, 3, 1, 0])).unwrap();
+        let out = srv.register(PeerId(4), path(&[7, 2, 1, 0])).unwrap();
+        assert_eq!(out.landmark, LandmarkId(0));
+        let peers: Vec<PeerId> = out.neighbors.iter().map(|n| n.peer).collect();
+        // 1 and 2 meet the newcomer at router 2 (dtree 2), 3 at router 1
+        // (dtree 4). The newcomer itself is excluded.
+        assert_eq!(peers, vec![PeerId(1), PeerId(2), PeerId(3)]);
+        assert_eq!(out.neighbors[0].dtree, 2);
+        assert_eq!(out.neighbors[2].dtree, 4);
+        assert_eq!(srv.peer_count(), 4);
+    }
+
+    #[test]
+    fn unknown_landmark_rejected() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        let err = srv.register(PeerId(1), path(&[4, 2, 99])).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownLandmark(_)));
+        assert_eq!(srv.peer_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        let err = srv.register(PeerId(1), path(&[5, 2, 1, 0])).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicatePeer(_)));
+    }
+
+    #[test]
+    fn deregister_and_unknown() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.deregister(PeerId(1)).unwrap();
+        assert_eq!(srv.peer_count(), 0);
+        assert!(matches!(
+            srv.deregister(PeerId(1)),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        assert_eq!(srv.landmark_of(PeerId(1)), None);
+        assert_eq!(srv.tree(LandmarkId(0)).unwrap().n_peers(), 0);
+    }
+
+    #[test]
+    fn handover_moves_the_peer() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        // Peer 1 moves to the other landmark's side.
+        let out = srv.handover(PeerId(1), path(&[111, 105, 100])).unwrap();
+        assert_eq!(out.landmark, LandmarkId(1));
+        assert_eq!(srv.landmark_of(PeerId(1)), Some(LandmarkId(1)));
+        assert_eq!(out.neighbors[0].peer, PeerId(2));
+        let stats = srv.stats();
+        assert_eq!(stats.handovers, 1);
+        assert_eq!(stats.joins, 2);
+        assert_eq!(stats.leaves, 0);
+        assert!(matches!(
+            srv.handover(PeerId(9), path(&[4, 2, 1, 0])),
+            Err(CoreError::UnknownPeer(_))
+        ));
+    }
+
+    #[test]
+    fn cross_landmark_fallback_fills() {
+        let mut srv = two_landmark_server(ServerConfig {
+            neighbor_count: 3,
+            ..ServerConfig::default()
+        });
+        // One local peer, two foreign peers at different depths.
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[110, 105, 100])).unwrap(); // depth 2
+        srv.register(PeerId(3), path(&[120, 121, 105, 100])).unwrap(); // depth 3
+        let fills_before = srv.stats().cross_landmark_fills;
+        let out = srv.register(PeerId(4), path(&[5, 2, 1, 0])).unwrap();
+        let peers: Vec<PeerId> = out.neighbors.iter().map(|n| n.peer).collect();
+        assert_eq!(peers[0], PeerId(1), "local peer first");
+        // Foreign fills ranked by depth: query depth 3 + bridge 5 + depth.
+        assert_eq!(peers[1], PeerId(2));
+        assert_eq!(peers[2], PeerId(3));
+        assert_eq!(out.neighbors[1].dtree, 3 + 5 + 2);
+        assert_eq!(out.neighbors[2].dtree, 3 + 5 + 3);
+        assert_eq!(srv.stats().cross_landmark_fills - fills_before, 2);
+    }
+
+    #[test]
+    fn fallback_disabled_returns_short_list() {
+        let mut srv = two_landmark_server(ServerConfig {
+            neighbor_count: 3,
+            cross_landmark_fallback: false,
+            ..ServerConfig::default()
+        });
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        let out = srv.register(PeerId(3), path(&[5, 2, 1, 0])).unwrap();
+        assert_eq!(out.neighbors.len(), 1);
+        assert_eq!(srv.stats().cross_landmark_fills, 0);
+    }
+
+    #[test]
+    fn super_peer_delegation_reported() {
+        let cfg = ServerConfig {
+            neighbor_count: 2,
+            super_peers: Some(SuperPeerConfig { region_depth: 2, promote_threshold: 2 }),
+            ..ServerConfig::default()
+        };
+        let mut srv = two_landmark_server(cfg);
+        assert!(srv
+            .register(PeerId(1), path(&[4, 2, 1, 0]))
+            .unwrap()
+            .delegate
+            .is_none());
+        assert!(srv
+            .register(PeerId(2), path(&[5, 2, 1, 0]))
+            .unwrap()
+            .delegate
+            .is_none(), "promotion happens after the second join");
+        // Third join in the same region can delegate to the elected peer 1.
+        let out = srv.register(PeerId(3), path(&[6, 2, 1, 0])).unwrap();
+        assert_eq!(out.delegate, Some(PeerId(1)));
+        let dir = srv.super_peer_directory().unwrap();
+        assert_eq!(dir.n_super_peers(), 1);
+    }
+
+    #[test]
+    fn bootstrap_measures_landmark_distances() {
+        let fig = figure1();
+        let ra = fig.core[0];
+        let rb = fig.core[1];
+        let srv = ManagementServer::bootstrap(
+            &fig.topology,
+            vec![fig.landmark, ra, rb],
+            ServerConfig::default(),
+        );
+        // lmk-ra adjacent, lmk-rb two hops.
+        assert_eq!(srv.landmark_dist[0][1], 1);
+        assert_eq!(srv.landmark_dist[0][2], 2);
+        assert_eq!(srv.landmark_dist[1][2], 1);
+        assert_eq!(srv.landmark_dist[2][0], 2);
+    }
+
+    #[test]
+    fn heartbeat_and_expiry() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        assert!(matches!(
+            srv.heartbeat(PeerId(9)),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        // Peer 1 keeps heartbeating; peer 2 fails silently.
+        for _ in 0..5 {
+            srv.advance_epoch();
+            srv.heartbeat(PeerId(1)).unwrap();
+        }
+        assert_eq!(srv.epoch(), 5);
+        let expired = srv.expire_stale(3);
+        assert_eq!(expired, vec![PeerId(2)]);
+        assert_eq!(srv.peer_count(), 1);
+        assert!(srv.path_of(PeerId(2)).is_none());
+        // Nothing further to expire.
+        assert!(srv.expire_stale(3).is_empty());
+        // Expired peers disappear from answers.
+        let neigh = srv.neighbors_of(PeerId(1), 5).unwrap();
+        assert!(neigh.is_empty());
+    }
+
+    #[test]
+    fn expiry_respects_grace_window() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.advance_epoch();
+        srv.advance_epoch();
+        // Age 2 with max_age 2: still inside the lease.
+        assert!(srv.expire_stale(2).is_empty());
+        srv.advance_epoch();
+        assert_eq!(srv.expire_stale(2), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn neighbors_of_registered_peer() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        let n = srv.neighbors_of(PeerId(1), 3).unwrap();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].peer, PeerId(2));
+        assert!(matches!(
+            srv.neighbors_of(PeerId(9), 3),
+            Err(CoreError::UnknownPeer(_))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Stream-reassembly tests for the wire codec: a TCP-like byte stream
+//! arrives in arbitrary segmentation, and the decoder must produce exactly
+//! the encoded message sequence regardless of where the cuts fall.
+
+use bytes::BytesMut;
+use nearpeer_core::codec::{decode, encode, CodecError};
+use nearpeer_core::protocol::{Message, WireNeighbor};
+use nearpeer_core::{PeerId, PeerPath};
+use nearpeer_topology::RouterId;
+use proptest::prelude::*;
+
+fn sample_messages() -> Vec<Message> {
+    let path = |ids: &[u32]| {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    };
+    vec![
+        Message::ProbePing { nonce: 1 },
+        Message::JoinRequest { peer: PeerId(1), path: path(&[9, 4, 0]) },
+        Message::JoinReply {
+            peer: PeerId(1),
+            neighbors: vec![WireNeighbor { peer: PeerId(2), dtree: 3 }],
+            delegate: None,
+        },
+        Message::Heartbeat { peer: PeerId(1) },
+        Message::HandoverRequest { peer: PeerId(1), path: path(&[7, 5, 0]) },
+        Message::Leave { peer: PeerId(1) },
+    ]
+}
+
+/// Feeds `wire` to the decoder in segments of the given sizes (cycled),
+/// returning every decoded message.
+fn feed_in_segments(wire: &[u8], segment_sizes: &[usize]) -> Vec<Message> {
+    let mut buf = BytesMut::new();
+    let mut out = Vec::new();
+    let mut sizes = segment_sizes.iter().copied().cycle();
+    let mut pos = 0;
+    while pos < wire.len() {
+        let take = sizes.next().unwrap_or(1).clamp(1, wire.len() - pos);
+        buf.extend_from_slice(&wire[pos..pos + take]);
+        pos += take;
+        loop {
+            match decode(&mut buf) {
+                Ok(msg) => out.push(msg),
+                Err(CodecError::Incomplete) => break,
+                Err(e) => panic!("unexpected decode error: {e}"),
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn byte_at_a_time_reassembly() {
+    let msgs = sample_messages();
+    let mut wire = BytesMut::new();
+    for m in &msgs {
+        encode(m, &mut wire);
+    }
+    let decoded = feed_in_segments(&wire, &[1]);
+    assert_eq!(decoded, msgs);
+}
+
+#[test]
+fn odd_segment_sizes_reassembly() {
+    let msgs = sample_messages();
+    let mut wire = BytesMut::new();
+    for m in &msgs {
+        encode(m, &mut wire);
+    }
+    for sizes in [&[3usize, 7, 1][..], &[13][..], &[2, 31][..], &[64][..]] {
+        let decoded = feed_in_segments(&wire, sizes);
+        assert_eq!(decoded, msgs, "segmentation {sizes:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_segmentation_yields_the_same_stream(
+        repeats in 1usize..5,
+        sizes in prop::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut msgs = Vec::new();
+        for _ in 0..repeats {
+            msgs.extend(sample_messages());
+        }
+        let mut wire = BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut wire);
+        }
+        let decoded = feed_in_segments(&wire, &sizes);
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn interleaved_garbage_frames_resync(
+        junk_kind in 100u8..255,
+        sizes in prop::collection::vec(1usize..24, 1..6),
+    ) {
+        use bytes::BufMut;
+        // good, junk, good — the decoder must error once and resync.
+        let good = Message::Heartbeat { peer: PeerId(42) };
+        let mut wire = BytesMut::new();
+        encode(&good, &mut wire);
+        wire.put_u32(2);
+        wire.put_u8(nearpeer_core::codec::WIRE_VERSION);
+        wire.put_u8(junk_kind); // unknown kind
+        encode(&good, &mut wire);
+
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        let mut errors = 0;
+        let mut cursor = 0;
+        let mut size_iter = sizes.iter().copied().cycle();
+        while cursor < wire.len() {
+            let take = size_iter.next().unwrap().min(wire.len() - cursor);
+            buf.extend_from_slice(&wire[cursor..cursor + take]);
+            cursor += take;
+            loop {
+                match decode(&mut buf) {
+                    Ok(m) => decoded.push(m),
+                    Err(CodecError::Incomplete) => break,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+        prop_assert_eq!(decoded.len(), 2);
+        prop_assert_eq!(errors, 1);
+    }
+}

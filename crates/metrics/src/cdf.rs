@@ -1,0 +1,113 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// `eval(x)` returns the fraction of samples `<= x`; `quantile(q)` inverts it.
+/// Both are O(log n) after the one-time sort at construction.
+///
+/// ```
+/// use nearpeer_metrics::Cdf;
+/// let cdf = Cdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF; `None` for an empty slice or NaN samples.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Some(Self { sorted })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x via binary search.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Value below which a `q` fraction of the samples fall (`q` clamped to
+    /// `[0, 1]`); the empirical quantile (inverse CDF, right-continuous).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Renders the CDF as `points` evenly spaced (value, fraction) pairs,
+    /// suitable for plotting.
+    pub fn points(&self, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_behaviour() {
+        let cdf = Cdf::new(&[1.0, 1.0, 2.0, 5.0]).unwrap();
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.5);
+        assert_eq!(cdf.eval(1.5), 0.5);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts() {
+        let cdf = Cdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.5), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn points_cover_range() {
+        let cdf = Cdf::new(&[0.0, 10.0]).unwrap();
+        let pts = cdf.points(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[4], (10.0, 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cdf::new(&[]).is_none());
+        assert!(Cdf::new(&[f64::NAN]).is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Confidence intervals for experiment means.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Nominal confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lower && x <= self.upper
+    }
+}
+
+/// z value for common two-sided confidence levels; falls back to 1.96.
+fn z_for_level(level: f64) -> f64 {
+    // Hard-coding the handful of levels experiments actually use avoids an
+    // inverse-erf implementation.
+    if (level - 0.90).abs() < 1e-9 {
+        1.6449
+    } else if (level - 0.95).abs() < 1e-9 {
+        1.9600
+    } else if (level - 0.99).abs() < 1e-9 {
+        2.5758
+    } else {
+        1.9600
+    }
+}
+
+/// Normal-approximation CI for the mean of `samples`.
+///
+/// Returns `None` for fewer than 2 samples (no variance estimate).
+pub fn normal_mean_ci(samples: &[f64], level: f64) -> Option<ConfidenceInterval> {
+    if samples.len() < 2 || samples.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    let z = z_for_level(level);
+    Some(ConfidenceInterval {
+        estimate: mean,
+        lower: mean - z * se,
+        upper: mean + z * se,
+        level,
+    })
+}
+
+/// Percentile-bootstrap CI for the mean, using a deterministic xorshift
+/// resampler seeded by `seed` (so experiment reports are reproducible without
+/// pulling `rand` into this crate).
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    if samples.len() < 2 || samples.iter().any(|x| x.is_nan()) || resamples == 0 {
+        return None;
+    }
+    let n = samples.len();
+    let mut state = seed.max(1); // xorshift64 must not start at 0
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            sum += samples[idx];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    Some(ConfidenceInterval {
+        estimate: mean,
+        lower: means[lo_idx],
+        upper: means[hi_idx],
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_ci_brackets_mean() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = normal_mean_ci(&xs, 0.95).unwrap();
+        assert!(ci.contains(ci.estimate));
+        assert!((ci.estimate - 49.5).abs() < 1e-12);
+        assert!(ci.lower < 49.5 && ci.upper > 49.5);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let ci90 = normal_mean_ci(&xs, 0.90).unwrap();
+        let ci99 = normal_mean_ci(&xs, 0.99).unwrap();
+        assert!(ci99.half_width() > ci90.half_width());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_sane() {
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 37) % 11) as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 0.95, 500, 42).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.95, 500, 42).unwrap();
+        assert_eq!(a, b);
+        assert!(a.lower <= a.estimate && a.estimate <= a.upper);
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert!(normal_mean_ci(&[1.0], 0.95).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 100, 1).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Statistics and reporting primitives for `nearpeer` experiments.
+//!
+//! Every experiment in the reproduction reduces to collections of scalar
+//! samples (hop distances, ratios, latencies, probe counts). This crate
+//! provides the small, dependency-light toolkit that the benchmark harness
+//! and the examples use to summarise those samples and render them in the
+//! same form the paper reports:
+//!
+//! * [`Summary`] / [`OnlineStats`] — batch and streaming moments,
+//! * [`Cdf`] — empirical distribution functions,
+//! * [`ConfidenceInterval`] — normal-approximation and bootstrap intervals,
+//! * [`Table`] — fixed-width ASCII tables (the "rows the paper reports"),
+//! * [`Series`] — named (x, y) traces with CSV export (the paper's figure).
+//!
+//! The crate is deliberately free of experiment-specific logic so that it can
+//! be reused by any crate in the workspace (and in doctests) without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod ci;
+mod online;
+mod series;
+mod summary;
+mod table;
+
+pub use cdf::Cdf;
+pub use ci::{bootstrap_mean_ci, normal_mean_ci, ConfidenceInterval};
+pub use online::OnlineStats;
+pub use series::{Series, SeriesSet};
+pub use summary::Summary;
+pub use table::{Align, Table};
+
+/// Computes the ratio of two sums, returning `None` when the denominator is
+/// zero (e.g. `D / Dclosest` in the paper's Figure 2).
+///
+/// ```
+/// assert_eq!(nearpeer_metrics::ratio(6.0, 3.0), Some(2.0));
+/// assert_eq!(nearpeer_metrics::ratio(6.0, 0.0), None);
+/// ```
+pub fn ratio(numerator: f64, denominator: f64) -> Option<f64> {
+    if denominator == 0.0 {
+        None
+    } else {
+        Some(numerator / denominator)
+    }
+}
+
+/// Arithmetic mean of a slice; `None` when empty.
+///
+/// ```
+/// assert_eq!(nearpeer_metrics::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(nearpeer_metrics::mean(&[]), None);
+/// ```
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}

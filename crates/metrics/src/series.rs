@@ -1,0 +1,208 @@
+//! Named (x, y) series with CSV export — the figure-regeneration format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named trace of (x, y) points, e.g. `D/Dclosest` versus peer count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Y value at the given x, if present (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// Largest y value, if any.
+    pub fn y_max(&self) -> Option<f64> {
+        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |a: f64| a.max(y)))
+        })
+    }
+
+    /// Smallest y value, if any.
+    pub fn y_min(&self) -> Option<f64> {
+        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |a: f64| a.min(y)))
+        })
+    }
+}
+
+/// A set of series sharing an x axis — one figure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSet {
+    /// Axis label for x.
+    pub x_label: String,
+    /// Axis label for y.
+    pub y_label: String,
+    /// The traces.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty figure with axis labels.
+    pub fn new(x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self { x_label: x_label.into(), y_label: y_label.into(), series: Vec::new() }
+    }
+
+    /// Adds a series and returns a mutable handle to it.
+    pub fn add(&mut self, name: impl Into<String>) -> &mut Series {
+        self.series.push(Series::new(name));
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// Finds a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the set as CSV: header `x,<name1>,<name2>,...`, one row per
+    /// distinct x (union of all series), empty cells where a series has no
+    /// point at that x.
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name.replace(',', ";"));
+        }
+        out.push('\n');
+        for x in xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    let _ = write!(out, "{y}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a crude ASCII plot (one char per cell), good enough to eyeball
+    /// trends in terminal output: rows are y buckets, columns x points.
+    pub fn to_ascii_plot(&self, width: usize, height: usize) -> String {
+        let width = width.max(8);
+        let height = height.max(4);
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if all.is_empty() {
+            return String::from("(empty plot)\n");
+        }
+        let (mut x_min, mut x_max, mut y_min, mut y_max) =
+            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for (x, y) in &all {
+            x_min = x_min.min(*x);
+            x_max = x_max.max(*x);
+            y_min = y_min.min(*y);
+            y_max = y_max.max(*y);
+        }
+        let x_span = if x_max > x_min { x_max - x_min } else { 1.0 };
+        let y_span = if y_max > y_min { y_max - y_min } else { 1.0 };
+        let mut grid = vec![vec![' '; width]; height];
+        let marks = ['*', '+', 'o', 'x', '#', '@'];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = marks[si % marks.len()];
+            for (x, y) in &s.points {
+                let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+                let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - row][col] = mark;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} (y: {:.3}..{:.3})", self.y_label, y_min, y_max);
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        let _ = writeln!(out, " {} (x: {:.0}..{:.0})", self.x_label, x_min, x_max);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} = {}", marks[si % marks.len()], s.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> SeriesSet {
+        let mut set = SeriesSet::new("n", "ratio");
+        let a = set.add("D/Dclosest");
+        a.push(600.0, 1.2);
+        a.push(800.0, 1.25);
+        let b = set.add("Drandom/Dclosest");
+        b.push(600.0, 2.3);
+        b.push(800.0, 2.25);
+        set
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample_set().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,D/Dclosest,Drandom/Dclosest");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("600,1.2,"));
+    }
+
+    #[test]
+    fn csv_handles_missing_points() {
+        let mut set = sample_set();
+        set.add("sparse").push(700.0, 9.9);
+        let csv = set.to_csv();
+        // 700 row exists with empty cells for the other two series.
+        assert!(csv.lines().any(|l| l.starts_with("700,,,9.9")), "csv:\n{csv}");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let set = sample_set();
+        let a = set.get("D/Dclosest").unwrap();
+        assert_eq!(a.y_at(600.0), Some(1.2));
+        assert_eq!(a.y_max(), Some(1.25));
+        assert_eq!(a.y_min(), Some(1.2));
+        assert!(set.get("nope").is_none());
+    }
+
+    #[test]
+    fn ascii_plot_mentions_series() {
+        let s = sample_set().to_ascii_plot(40, 10);
+        assert!(s.contains("D/Dclosest"));
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn commas_in_names_are_sanitised() {
+        let mut set = SeriesSet::new("x,axis", "y");
+        set.add("a,b").push(1.0, 2.0);
+        let csv = set.to_csv();
+        assert!(csv.starts_with("x;axis,a;b\n"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Batch summary statistics over a sample vector.
+
+use serde::{Deserialize, Serialize};
+
+/// A batch summary of a set of scalar samples.
+///
+/// Construction sorts a copy of the input once; percentile queries are then
+/// O(1). NaN samples are rejected at construction so the ordering is total.
+///
+/// ```
+/// use nearpeer_metrics::Summary;
+/// let s = Summary::new(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.median(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Summary {
+    /// Builds a summary; returns `None` for an empty slice or if any sample
+    /// is NaN.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = if sorted.len() < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        Some(Self { sorted, mean, variance })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: empty summaries cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`; values outside the
+    /// range are clamped.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 100.0);
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// The 50th percentile.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.sorted.len() as f64
+    }
+
+    /// The sorted samples backing this summary.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// One-line human rendering: `mean ± std [min, max] (n)`.
+    pub fn display_line(&self) -> String {
+        format!(
+            "{:.4} ± {:.4} [{:.4}, {:.4}] (n={})",
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Summary::new(&[]).is_none());
+        assert!(Summary::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::new(&[7.0]).unwrap();
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.percentile(0.0), 7.0);
+        assert_eq!(s.percentile(100.0), 7.0);
+        assert_eq!(s.median(), 7.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        // Samples 2,4,4,4,5,5,7,9: mean 5, population var 4, sample var 32/7.
+        let s = Summary::new(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let s = Summary::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        // rank = 0.5*(3) = 1.5 → halfway between 20 and 30.
+        assert_eq!(s.median(), 25.0);
+        // Clamping out-of-range p.
+        assert_eq!(s.percentile(-5.0), 10.0);
+        assert_eq!(s.percentile(150.0), 40.0);
+    }
+
+    #[test]
+    fn sum_matches() {
+        let s = Summary::new(&[1.5, 2.5, 3.0]).unwrap();
+        assert!((s.sum() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_line_contains_count() {
+        let s = Summary::new(&[1.0, 2.0]).unwrap();
+        assert!(s.display_line().contains("n=2"));
+    }
+}

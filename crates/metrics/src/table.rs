@@ -1,0 +1,146 @@
+//! Fixed-width ASCII table rendering for experiment reports.
+
+use std::fmt;
+
+/// Column alignment in a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple fixed-width ASCII table.
+///
+/// Experiment binaries print these so that "the rows the paper reports" are
+/// directly visible in terminal output and in CI logs.
+///
+/// ```
+/// use nearpeer_metrics::{Align, Table};
+/// let mut t = Table::new(vec!["n".into(), "D/Dclosest".into()]);
+/// t.align(vec![Align::Right, Align::Right]);
+/// t.row(vec!["600".into(), "1.21".into()]);
+/// let out = t.to_string();
+/// assert!(out.contains("D/Dclosest"));
+/// assert!(out.contains("1.21"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    align: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new(header: Vec<String>) -> Self {
+        let n = header.len();
+        Self { header, align: vec![Align::Left; n], rows: Vec::new() }
+    }
+
+    /// Sets per-column alignment; extra entries are ignored, missing ones
+    /// default to left.
+    pub fn align(&mut self, align: Vec<Align>) -> &mut Self {
+        for (i, a) in align.into_iter().enumerate().take(self.header.len()) {
+            self.align[i] = a;
+        }
+        self
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are truncated.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of floats rendered with `prec` decimals,
+    /// prefixed by a label cell.
+    pub fn row_f64(&mut self, label: &str, values: &[f64], prec: usize) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.prec$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                match self.align[i] {
+                    Align::Left => write!(f, " {:<w$} |", cell, w = widths[i])?,
+                    Align::Right => write!(f, " {:>w$} |", cell, w = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        let rule = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        rule(f)?;
+        render(f, &self.header)?;
+        rule(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        rule(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_alignment_and_padding() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.align(vec![Align::Left, Align::Right]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| a         |     1 |"), "got:\n{s}");
+        assert!(s.contains("| long-name |    22 |"), "got:\n{s}");
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["x".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.n_rows(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn row_f64_formats() {
+        let mut t = Table::new(vec!["k".into(), "v1".into(), "v2".into()]);
+        t.row_f64("r", &[1.23456, 2.0], 2);
+        let s = t.to_string();
+        assert!(s.contains("1.23"));
+        assert!(s.contains("2.00"));
+    }
+}

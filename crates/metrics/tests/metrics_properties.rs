@@ -1,0 +1,89 @@
+//! Property tests for the statistics toolkit.
+
+use nearpeer_metrics::{bootstrap_mean_ci, normal_mean_ci, Cdf, OnlineStats, Summary};
+use proptest::prelude::*;
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn online_matches_batch(samples in finite_samples(200)) {
+        let batch = Summary::new(&samples).unwrap();
+        let mut online = OnlineStats::new();
+        for &x in &samples {
+            online.push(x);
+        }
+        prop_assert_eq!(online.count() as usize, samples.len());
+        prop_assert!((online.mean() - batch.mean()).abs() <= 1e-6 * (1.0 + batch.mean().abs()));
+        prop_assert!(
+            (online.variance() - batch.variance()).abs()
+                <= 1e-6 * (1.0 + batch.variance().abs())
+        );
+        prop_assert_eq!(online.min().unwrap(), batch.min());
+        prop_assert_eq!(online.max().unwrap(), batch.max());
+    }
+
+    #[test]
+    fn merge_any_split_matches(samples in finite_samples(100), split in any::<prop::sample::Index>()) {
+        let cut = split.index(samples.len());
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &samples[..cut] {
+            left.push(x);
+        }
+        for &x in &samples[cut..] {
+            right.push(x);
+        }
+        let mut whole = OnlineStats::new();
+        for &x in &samples {
+            whole.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    #[test]
+    fn percentiles_are_monotone(samples in finite_samples(150), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let s = Summary::new(&samples).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.percentile(lo) <= s.percentile(hi));
+        prop_assert!(s.percentile(0.0) == s.min());
+        prop_assert!(s.percentile(100.0) == s.max());
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(samples in finite_samples(150), xs in prop::collection::vec(-1e6f64..1e6, 2..10)) {
+        let cdf = Cdf::new(&samples).unwrap();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let values: Vec<f64> = sorted.iter().map(|&x| cdf.eval(x)).collect();
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        for v in values {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Quantile inverts within the sample set.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let x = cdf.quantile(q);
+            prop_assert!(samples.contains(&x));
+        }
+    }
+
+    #[test]
+    fn cis_contain_the_sample_mean(samples in prop::collection::vec(-1e3f64..1e3, 3..80)) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        if let Some(ci) = normal_mean_ci(&samples, 0.95) {
+            prop_assert!(ci.contains(mean));
+            prop_assert!(ci.lower <= ci.upper);
+        }
+        if let Some(ci) = bootstrap_mean_ci(&samples, 0.95, 200, 7) {
+            prop_assert!((ci.estimate - mean).abs() < 1e-9);
+            prop_assert!(ci.lower <= ci.upper);
+        }
+    }
+}

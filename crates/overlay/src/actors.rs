@@ -1,0 +1,487 @@
+//! Streaming actors for `nearpeer-sim`: a chunk source and mesh peers.
+
+use crate::buffer::BufferMap;
+use crate::schedule::pick_request;
+use nearpeer_sim::{Actor, Context, NodeId, SimTime, TimerId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const TIMER_SOURCE_TICK: TimerId = TimerId(10);
+const TIMER_SCHEDULE: TimerId = TimerId(11);
+const TIMER_PLAYBACK: TimerId = TimerId(12);
+
+/// Mesh-pull streaming messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayMsg {
+    /// Sender advertises the chunks it holds (window base + held ids).
+    Announce {
+        /// Window base of the sender.
+        base: u64,
+        /// Chunk ids the sender holds.
+        have: Vec<u64>,
+    },
+    /// Ask the receiver for one chunk.
+    Request {
+        /// The wanted chunk.
+        chunk: u64,
+    },
+    /// Chunk delivery.
+    Chunk {
+        /// The delivered chunk.
+        chunk: u64,
+    },
+}
+
+/// The streaming source: produces one chunk per interval and announces it
+/// to its direct neighbors; serves requests for anything it has produced.
+pub struct SourceActor {
+    neighbors: Vec<NodeId>,
+    chunk_interval_us: u64,
+    total_chunks: u64,
+    produced: u64,
+}
+
+impl SourceActor {
+    /// Creates a source streaming `total_chunks` chunks to `neighbors`.
+    pub fn new(neighbors: Vec<NodeId>, chunk_interval_us: u64, total_chunks: u64) -> Self {
+        Self { neighbors, chunk_interval_us, total_chunks, produced: 0 }
+    }
+}
+
+impl Actor<OverlayMsg> for SourceActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, OverlayMsg>) {
+        ctx.set_timer(self.chunk_interval_us, TIMER_SOURCE_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, OverlayMsg>, from: NodeId, msg: OverlayMsg) {
+        if let OverlayMsg::Request { chunk } = msg {
+            if chunk < self.produced {
+                ctx.send(from, OverlayMsg::Chunk { chunk });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, OverlayMsg>, id: TimerId) {
+        if id != TIMER_SOURCE_TICK || self.produced >= self.total_chunks {
+            return;
+        }
+        let chunk = self.produced;
+        self.produced += 1;
+        // The announced base must advance with production, or receivers'
+        // fixed-size view of the source never slides past its window and
+        // chunks beyond it become invisible. Keep a generous tail so slow
+        // peers can still fetch recent history from the source.
+        let base = chunk.saturating_sub(31);
+        for &n in &self.neighbors {
+            ctx.send(
+                n,
+                OverlayMsg::Announce { base, have: vec![chunk] },
+            );
+        }
+        if self.produced < self.total_chunks {
+            ctx.set_timer(self.chunk_interval_us, TIMER_SOURCE_TICK);
+        }
+    }
+}
+
+/// Per-peer streaming outcome, shared with the experiment.
+#[derive(Debug, Default, Clone)]
+pub struct StreamStats {
+    /// When the peer entered the mesh.
+    pub started_at: Option<SimTime>,
+    /// When the first chunk arrived.
+    pub first_chunk_at: Option<SimTime>,
+    /// When playback began (buffer filled to the startup threshold) — the
+    /// paper's *setup delay* endpoint.
+    pub playback_started_at: Option<SimTime>,
+    /// Chunks received.
+    pub chunks_received: u64,
+    /// Chunks played on schedule.
+    pub chunks_played: u64,
+    /// Playback ticks that stalled on a missing chunk.
+    pub stalls: u64,
+    /// Chunks given up on after a stall streak (skipped, like a real
+    /// player dropping frames rather than freezing forever).
+    pub chunks_skipped: u64,
+    /// Requests sent.
+    pub requests_sent: u64,
+}
+
+impl StreamStats {
+    /// Setup delay (join → playback start), if playback started.
+    pub fn setup_delay_us(&self) -> Option<u64> {
+        match (self.started_at, self.playback_started_at) {
+            (Some(s), Some(p)) => Some(p.saturating_since(s)),
+            _ => None,
+        }
+    }
+
+    /// Playback continuity in `[0, 1]`: the fraction of the chunks the
+    /// player consumed (played or skipped) that were actually shown.
+    pub fn continuity(&self) -> f64 {
+        let total = self.chunks_played + self.chunks_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunks_played as f64 / total as f64
+        }
+    }
+}
+
+/// A mesh peer: announces what it has, requests what it misses
+/// (deadline-first near playback, rarest-first otherwise), plays back once
+/// `startup_chunks` are buffered.
+pub struct StreamPeer {
+    neighbors: Vec<NodeId>,
+    buffer: BufferMap,
+    neighbor_maps: HashMap<NodeId, BufferMap>,
+    pending: Vec<(u64, SimTime)>,
+    max_pending: usize,
+    request_timeout_us: u64,
+    chunk_interval_us: u64,
+    startup_chunks: usize,
+    urgent_horizon: u64,
+    playing: bool,
+    playback_pos: u64,
+    /// The stream's known length; playback stops at this chunk instead of
+    /// stalling forever past the end.
+    stream_end: u64,
+    /// Consecutive stalls at the current position; at
+    /// `max_stall_streak` the player skips the chunk (real players drop
+    /// frames instead of freezing until the horizon).
+    stall_streak: u32,
+    max_stall_streak: u32,
+    stats: Rc<RefCell<StreamStats>>,
+}
+
+impl StreamPeer {
+    /// Creates a peer with the given mesh neighbors (the source may be one
+    /// of them). `stream_end` is the stream length in chunks (playback
+    /// stops there; use `u64::MAX` for an open-ended stream).
+    pub fn new(
+        neighbors: Vec<NodeId>,
+        window: usize,
+        chunk_interval_us: u64,
+        startup_chunks: usize,
+        stream_end: u64,
+        stats: Rc<RefCell<StreamStats>>,
+    ) -> Self {
+        Self {
+            neighbors,
+            buffer: BufferMap::new(window),
+            neighbor_maps: HashMap::new(),
+            pending: Vec::new(),
+            max_pending: 4,
+            request_timeout_us: chunk_interval_us * 4,
+            chunk_interval_us,
+            startup_chunks: startup_chunks.max(1),
+            urgent_horizon: 3,
+            playing: false,
+            playback_pos: 0,
+            stream_end,
+            stall_streak: 0,
+            max_stall_streak: 8,
+            stats,
+        }
+    }
+
+    fn announce_to_neighbors(&self, ctx: &mut Context<'_, OverlayMsg>) {
+        let msg = OverlayMsg::Announce { base: self.buffer.base(), have: self.buffer.held() };
+        for &n in &self.neighbors {
+            ctx.send(n, msg.clone());
+        }
+    }
+
+    fn schedule_requests(&mut self, ctx: &mut Context<'_, OverlayMsg>) {
+        // Expire stale requests.
+        let now = ctx.now();
+        let timeout = self.request_timeout_us;
+        self.pending
+            .retain(|&(_, sent)| now.saturating_since(sent) < timeout);
+
+        while self.pending.len() < self.max_pending {
+            let pending_ids: Vec<u64> = self.pending.iter().map(|&(c, _)| c).collect();
+            let maps: Vec<BufferMap> = self
+                .neighbors
+                .iter()
+                .map(|n| {
+                    self.neighbor_maps
+                        .get(n)
+                        .cloned()
+                        .unwrap_or_else(|| BufferMap::new(1))
+                })
+                .collect();
+            let Some((chunk, provider)) = pick_request(
+                &self.buffer,
+                self.playback_pos,
+                self.urgent_horizon,
+                &maps,
+                &pending_ids,
+            ) else {
+                break;
+            };
+            let target = self.neighbors[provider];
+            ctx.send(target, OverlayMsg::Request { chunk });
+            self.pending.push((chunk, now));
+            self.stats.borrow_mut().requests_sent += 1;
+        }
+    }
+}
+
+impl Actor<OverlayMsg> for StreamPeer {
+    fn on_start(&mut self, ctx: &mut Context<'_, OverlayMsg>) {
+        self.stats.borrow_mut().started_at = Some(ctx.now());
+        self.announce_to_neighbors(ctx);
+        ctx.set_timer(self.chunk_interval_us / 2, TIMER_SCHEDULE);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, OverlayMsg>, from: NodeId, msg: OverlayMsg) {
+        match msg {
+            OverlayMsg::Announce { base, have } => {
+                let entry = self
+                    .neighbor_maps
+                    .entry(from)
+                    .or_insert_with(|| BufferMap::new(self.buffer.len().max(64)));
+                entry.advance(base);
+                for c in have {
+                    entry.mark(c);
+                }
+                self.schedule_requests(ctx);
+            }
+            OverlayMsg::Request { chunk } => {
+                if self.buffer.has(chunk) && self.buffer.base() <= chunk {
+                    ctx.send(from, OverlayMsg::Chunk { chunk });
+                }
+            }
+            OverlayMsg::Chunk { chunk } => {
+                self.pending.retain(|&(c, _)| c != chunk);
+                if self.buffer.mark(chunk) {
+                    let mut stats = self.stats.borrow_mut();
+                    stats.chunks_received += 1;
+                    if stats.first_chunk_at.is_none() {
+                        stats.first_chunk_at = Some(ctx.now());
+                    }
+                    let buffered = self.buffer.count();
+                    let start = !self.playing && buffered >= self.startup_chunks;
+                    if start {
+                        stats.playback_started_at = Some(ctx.now());
+                    }
+                    drop(stats);
+                    if start {
+                        self.playing = true;
+                        self.playback_pos = self.buffer.base();
+                        ctx.set_timer(self.chunk_interval_us, TIMER_PLAYBACK);
+                    }
+                    self.announce_to_neighbors(ctx);
+                }
+                self.schedule_requests(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, OverlayMsg>, id: TimerId) {
+        match id {
+            TIMER_SCHEDULE => {
+                self.schedule_requests(ctx);
+                ctx.set_timer(self.chunk_interval_us / 2, TIMER_SCHEDULE);
+            }
+            TIMER_PLAYBACK => {
+                if self.playback_pos >= self.stream_end {
+                    return; // stream over: stop the playback clock
+                }
+                if self.buffer.has(self.playback_pos) {
+                    self.stats.borrow_mut().chunks_played += 1;
+                    self.playback_pos += 1;
+                    self.buffer.advance(self.playback_pos);
+                    self.stall_streak = 0;
+                } else {
+                    let mut stats = self.stats.borrow_mut();
+                    stats.stalls += 1;
+                    self.stall_streak += 1;
+                    if self.stall_streak >= self.max_stall_streak {
+                        // Give the chunk up and move on.
+                        stats.chunks_skipped += 1;
+                        self.playback_pos += 1;
+                        self.buffer.advance(self.playback_pos);
+                        self.stall_streak = 0;
+                    }
+                }
+                ctx.set_timer(self.chunk_interval_us, TIMER_PLAYBACK);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_sim::links::Fixed;
+    use nearpeer_sim::Simulator;
+
+    const INTERVAL: u64 = 10_000; // 10 ms chunks
+
+    /// source → peer1 → peer2 chain; all chunks must flow through.
+    #[test]
+    fn chunks_propagate_through_the_mesh() {
+        let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(1_000), 1);
+        let s1 = Rc::new(RefCell::new(StreamStats::default()));
+        let s2 = Rc::new(RefCell::new(StreamStats::default()));
+
+        // Ids are assigned in insertion order; wire them up accordingly.
+        let source = NodeId(0);
+        let p1 = NodeId(1);
+        let p2 = NodeId(2);
+        sim.add_actor(Box::new(SourceActor::new(vec![p1], INTERVAL, 20)));
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![source, p2],
+            32,
+            INTERVAL,
+            2,
+            20,
+            s1.clone(),
+        )));
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![p1],
+            32,
+            INTERVAL,
+            2,
+            20,
+            s2.clone(),
+        )));
+
+        sim.run_until(SimTime::from_secs(2));
+        let s1 = s1.borrow();
+        let s2 = s2.borrow();
+        assert_eq!(s1.chunks_received, 20, "direct peer gets everything");
+        assert_eq!(s2.chunks_received, 20, "second-hop peer gets everything");
+        assert!(s1.playback_started_at.is_some());
+        assert!(s2.playback_started_at.is_some());
+        assert!(
+            s1.setup_delay_us().unwrap() <= s2.setup_delay_us().unwrap(),
+            "the peer next to the source starts no later"
+        );
+    }
+
+    #[test]
+    fn continuity_high_on_clean_links() {
+        let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(500), 2);
+        let stats = Rc::new(RefCell::new(StreamStats::default()));
+        let source = NodeId(0);
+        sim.add_actor(Box::new(SourceActor::new(vec![NodeId(1)], INTERVAL, 50)));
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![source],
+            32,
+            INTERVAL,
+            3,
+            50,
+            stats.clone(),
+        )));
+        sim.run_until(SimTime::from_secs(3));
+        let stats = stats.borrow();
+        assert_eq!(stats.chunks_received, 50);
+        assert!(
+            stats.continuity() > 0.9,
+            "continuity {} too low",
+            stats.continuity()
+        );
+        assert!(stats.stalls <= 3, "stalls = {}", stats.stalls);
+    }
+
+    #[test]
+    fn farther_peer_has_larger_setup_delay() {
+        // Two independent meshes with different link latencies.
+        let run = |latency_us: u64| -> u64 {
+            let mut sim: Simulator<OverlayMsg, Fixed> =
+                Simulator::new(Fixed(latency_us), 3);
+            let stats = Rc::new(RefCell::new(StreamStats::default()));
+            let source = NodeId(0);
+            sim.add_actor(Box::new(SourceActor::new(vec![NodeId(1)], INTERVAL, 30)));
+            sim.add_actor(Box::new(StreamPeer::new(
+                vec![source],
+                32,
+                INTERVAL,
+                3,
+                30,
+                stats.clone(),
+            )));
+            sim.run_until(SimTime::from_secs(2));
+            let delay = stats.borrow().setup_delay_us().expect("playback started");
+            delay
+        };
+        let near = run(500);
+        let far = run(20_000);
+        assert!(near < far, "near {near} >= far {far}");
+    }
+
+    #[test]
+    fn long_streams_outlive_the_announce_window() {
+        // Regression: streams longer than the 64-chunk buffer window must
+        // still deliver — the source's announce base has to slide.
+        let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(500), 5);
+        let stats = Rc::new(RefCell::new(StreamStats::default()));
+        let source = NodeId(0);
+        sim.add_actor(Box::new(SourceActor::new(vec![NodeId(1)], INTERVAL, 120)));
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![source],
+            64,
+            INTERVAL,
+            3,
+            120,
+            stats.clone(),
+        )));
+        sim.run_until(SimTime::from_secs(4));
+        let s = stats.borrow();
+        assert!(
+            s.chunks_received >= 115,
+            "only {} of 120 chunks delivered",
+            s.chunks_received
+        );
+        assert!(s.continuity() > 0.9, "continuity {}", s.continuity());
+    }
+
+    #[test]
+    fn player_skips_unrecoverable_chunks() {
+        let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(100), 9);
+        let stats = Rc::new(RefCell::new(StreamStats::default()));
+        // No neighbors: the peer can only play what we inject.
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![],
+            8,
+            INTERVAL,
+            1,
+            3, // stream of 3 chunks
+            stats.clone(),
+        )));
+        // Chunks 0 and 2 arrive; chunk 1 never does.
+        sim.inject_at(SimTime(500), NodeId(0), NodeId(0), OverlayMsg::Chunk { chunk: 0 });
+        sim.inject_at(SimTime(600), NodeId(0), NodeId(0), OverlayMsg::Chunk { chunk: 2 });
+        sim.run_until(SimTime::from_secs(2));
+        let s = stats.borrow();
+        assert_eq!(s.chunks_played, 2, "chunks 0 and 2 play");
+        assert_eq!(s.chunks_skipped, 1, "chunk 1 is given up on");
+        assert_eq!(s.stalls, 8, "one full stall streak before the skip");
+        assert!((s.continuity() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requests_answered_only_for_held_chunks() {
+        // A peer with an empty buffer must not answer requests.
+        let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(100), 4);
+        let stats = Rc::new(RefCell::new(StreamStats::default()));
+        sim.add_actor(Box::new(StreamPeer::new(
+            vec![],
+            8,
+            INTERVAL,
+            1,
+            10,
+            stats.clone(),
+        )));
+        sim.inject_at(SimTime(50), NodeId(0), NodeId(0), OverlayMsg::Request { chunk: 3 });
+        sim.run_until(SimTime::from_millis(100));
+        // No chunk was sent anywhere (messages_sent counts only the
+        // initial announces, which go nowhere with no neighbors).
+        assert_eq!(sim.stats().messages_sent, 0);
+    }
+}

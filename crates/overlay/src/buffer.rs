@@ -1,0 +1,162 @@
+//! The sliding chunk-availability window.
+
+/// A peer's buffer map: which chunks in the sliding window it holds.
+///
+/// Chunks are numbered from 0. The window `[base, base + len)` slides
+/// forward as playback progresses; chunks behind `base` are considered
+/// played out (and implicitly "had").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferMap {
+    base: u64,
+    have: Vec<bool>,
+}
+
+impl BufferMap {
+    /// An empty window of `len` chunks starting at chunk 0.
+    pub fn new(len: usize) -> Self {
+        Self { base: 0, have: vec![false; len.max(1)] }
+    }
+
+    /// First chunk of the window.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Window length in chunks.
+    pub fn len(&self) -> usize {
+        self.have.len()
+    }
+
+    /// Always false (the window has at least one slot).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `chunk` is held (chunks behind the window count as held —
+    /// they were played out).
+    pub fn has(&self, chunk: u64) -> bool {
+        if chunk < self.base {
+            return true;
+        }
+        let off = (chunk - self.base) as usize;
+        off < self.have.len() && self.have[off]
+    }
+
+    /// Marks a chunk received. Chunks outside the window are ignored (too
+    /// old: already played; too new: the window will slide to them).
+    /// Returns whether the mark took effect.
+    pub fn mark(&mut self, chunk: u64) -> bool {
+        if chunk < self.base {
+            return false;
+        }
+        let off = (chunk - self.base) as usize;
+        if off >= self.have.len() {
+            return false;
+        }
+        let was = self.have[off];
+        self.have[off] = true;
+        !was
+    }
+
+    /// Slides the window forward so that `new_base` is the first chunk,
+    /// dropping state for played-out chunks. Sliding backwards is a no-op.
+    pub fn advance(&mut self, new_base: u64) {
+        if new_base <= self.base {
+            return;
+        }
+        let shift = (new_base - self.base) as usize;
+        if shift >= self.have.len() {
+            self.have.iter_mut().for_each(|b| *b = false);
+        } else {
+            self.have.rotate_left(shift);
+            let len = self.have.len();
+            self.have[len - shift..].iter_mut().for_each(|b| *b = false);
+        }
+        self.base = new_base;
+    }
+
+    /// Chunks missing in `[from, to)` clamped to the window, ascending.
+    pub fn missing_in(&self, from: u64, to: u64) -> Vec<u64> {
+        let lo = from.max(self.base);
+        let hi = to.min(self.base + self.have.len() as u64);
+        (lo..hi).filter(|&c| !self.has(c)).collect()
+    }
+
+    /// Number of chunks held inside the window.
+    pub fn count(&self) -> usize {
+        self.have.iter().filter(|&&b| b).count()
+    }
+
+    /// Snapshot of the held chunk ids inside the window.
+    pub fn held(&self) -> Vec<u64> {
+        (self.base..self.base + self.have.len() as u64)
+            .filter(|&c| self.has(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let mut bm = BufferMap::new(8);
+        assert!(!bm.has(3));
+        assert!(bm.mark(3));
+        assert!(!bm.mark(3), "second mark is a no-op");
+        assert!(bm.has(3));
+        assert_eq!(bm.count(), 1);
+        assert_eq!(bm.held(), vec![3]);
+    }
+
+    #[test]
+    fn out_of_window_marks_ignored() {
+        let mut bm = BufferMap::new(4);
+        assert!(!bm.mark(10), "beyond the window");
+        bm.advance(5);
+        assert!(!bm.mark(2), "behind the window");
+        assert!(bm.has(2), "played-out chunks count as held");
+        assert_eq!(bm.count(), 0);
+    }
+
+    #[test]
+    fn advance_slides_and_clears() {
+        let mut bm = BufferMap::new(4); // window 0..4
+        bm.mark(1);
+        bm.mark(2);
+        bm.advance(2); // window 2..6
+        assert_eq!(bm.base(), 2);
+        assert!(bm.has(1), "played out");
+        assert!(bm.has(2), "still in window, kept");
+        assert!(!bm.has(3));
+        assert!(bm.mark(5));
+        // Advancing past everything clears the window.
+        bm.advance(100);
+        assert_eq!(bm.count(), 0);
+        // Backwards advance is a no-op.
+        bm.advance(50);
+        assert_eq!(bm.base(), 100);
+    }
+
+    #[test]
+    fn missing_in_range() {
+        let mut bm = BufferMap::new(6); // 0..6
+        bm.mark(0);
+        bm.mark(2);
+        bm.mark(5);
+        assert_eq!(bm.missing_in(0, 6), vec![1, 3, 4]);
+        // Clamped to the window.
+        assert_eq!(bm.missing_in(4, 100), vec![4]);
+        bm.advance(3);
+        assert_eq!(bm.missing_in(0, 9), vec![3, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn degenerate_window() {
+        let mut bm = BufferMap::new(0); // clamped to 1 slot
+        assert_eq!(bm.len(), 1);
+        assert!(bm.mark(0));
+        assert!(bm.has(0));
+    }
+}

@@ -1,0 +1,33 @@
+//! Mesh live-streaming overlay — the application the paper motivates.
+//!
+//! §1 of the paper: in mesh-based live streaming (PULSE-style), a newcomer
+//! experiences a *setup delay* before video becomes visible, and "the
+//! playback delay of a peer should ideally be the same than the ones of its
+//! neighbors because chunk exchanges are easier to manage when neighbors
+//! focus simultaneously on the same set of chunks". Closer neighbors →
+//! lower exchange latency → faster setup and tighter playback alignment.
+//!
+//! This crate provides the minimal honest version of such a system, enough
+//! to measure that end-to-end effect (experiment A2):
+//!
+//! * [`BufferMap`] — the sliding chunk window peers advertise;
+//! * [`pick_request`] — the request scheduler (rarest-first within the
+//!   window, playback-urgent first at the deadline);
+//! * [`SourceActor`] / [`StreamPeer`] — `nearpeer-sim` actors implementing
+//!   announce/request/deliver mesh-pull streaming;
+//! * [`StreamStats`] — per-peer startup delay, playback delay, continuity.
+//!
+//! Deliberately not modeled: video codecs, TCP dynamics, upload capacity
+//! auctions — the experiments compare neighbor *selection* policies, which
+//! only needs chunk exchange over realistic latencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actors;
+mod buffer;
+mod schedule;
+
+pub use actors::{OverlayMsg, SourceActor, StreamPeer, StreamStats};
+pub use buffer::BufferMap;
+pub use schedule::pick_request;

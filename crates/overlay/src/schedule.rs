@@ -1,0 +1,133 @@
+//! Chunk-request scheduling.
+
+use crate::buffer::BufferMap;
+
+/// Chooses the next chunk to request from the neighbors' advertised buffer
+/// maps — the standard mesh-pull hybrid:
+///
+/// 1. chunks within `urgent_horizon` of the playback position are fetched
+///    earliest-deadline-first (continuity beats rarity at the deadline);
+/// 2. otherwise, the rarest chunk among the neighbors is fetched
+///    (rarest-first spreads fresh chunks through the mesh).
+///
+/// `pending` chunks (already requested and in flight) are skipped. Returns
+/// `(chunk, index of a neighbor that has it)`; ties on rarity resolve to
+/// the earliest chunk, ties on provider to the lowest index (deterministic).
+pub fn pick_request(
+    mine: &BufferMap,
+    playback_pos: u64,
+    urgent_horizon: u64,
+    neighbors: &[BufferMap],
+    pending: &[u64],
+) -> Option<(u64, usize)> {
+    let window_end = mine.base() + mine.len() as u64;
+    let wanted: Vec<u64> = mine
+        .missing_in(mine.base(), window_end)
+        .into_iter()
+        .filter(|c| !pending.contains(c))
+        .collect();
+    if wanted.is_empty() {
+        return None;
+    }
+    let provider_of = |chunk: u64| neighbors.iter().position(|n| n.has(chunk) && n.base() <= chunk);
+
+    // Deadline pass: earliest missing chunk in the urgent horizon.
+    for &chunk in &wanted {
+        if chunk < playback_pos.saturating_add(urgent_horizon) {
+            if let Some(idx) = provider_of(chunk) {
+                return Some((chunk, idx));
+            }
+        }
+    }
+
+    // Rarity pass.
+    let mut best: Option<(usize, u64, usize)> = None; // (copies, chunk, provider)
+    for &chunk in &wanted {
+        let copies = neighbors
+            .iter()
+            .filter(|n| n.has(chunk) && n.base() <= chunk)
+            .count();
+        if copies == 0 {
+            continue;
+        }
+        let provider = provider_of(chunk).expect("copies > 0");
+        if best.is_none_or(|(c, ch, _)| (copies, chunk) < (c, ch)) {
+            best = Some((copies, chunk, provider));
+        }
+    }
+    best.map(|(_, chunk, provider)| (chunk, provider))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(len: usize, held: &[u64]) -> BufferMap {
+        let mut bm = BufferMap::new(len);
+        for &c in held {
+            bm.mark(c);
+        }
+        bm
+    }
+
+    #[test]
+    fn urgent_chunk_first() {
+        let mine = map_with(10, &[0]);
+        let n1 = map_with(10, &[1, 7]);
+        // Chunk 1 is within the urgent horizon of playback 0; chunk 7 is
+        // rarer? Same rarity — deadline wins anyway.
+        let pick = pick_request(&mine, 0, 3, &[n1], &[]);
+        assert_eq!(pick, Some((1, 0)));
+    }
+
+    #[test]
+    fn rarest_first_outside_horizon() {
+        let mine = map_with(10, &[]);
+        let n1 = map_with(10, &[5, 8]);
+        let n2 = map_with(10, &[5]);
+        // Playback far behind, horizon 0: pure rarity. Chunk 8 has one
+        // copy, chunk 5 has two.
+        let pick = pick_request(&mine, 0, 0, &[n1, n2], &[]);
+        assert_eq!(pick, Some((8, 0)));
+    }
+
+    #[test]
+    fn pending_chunks_skipped() {
+        let mine = map_with(10, &[]);
+        let n1 = map_with(10, &[2, 3]);
+        let pick = pick_request(&mine, 0, 10, &[n1], &[2]);
+        assert_eq!(pick, Some((3, 0)));
+    }
+
+    #[test]
+    fn nothing_available() {
+        let mine = map_with(4, &[]);
+        let empty = map_with(4, &[]);
+        assert_eq!(pick_request(&mine, 0, 2, &[empty], &[]), None);
+        // Full buffer: nothing wanted.
+        let full = map_with(2, &[0, 1]);
+        let n = map_with(2, &[0, 1]);
+        assert_eq!(pick_request(&full, 0, 2, &[n], &[]), None);
+    }
+
+    #[test]
+    fn provider_tie_breaks_to_lowest_index() {
+        let mine = map_with(4, &[]);
+        let a = map_with(4, &[1]);
+        let b = map_with(4, &[1]);
+        let pick = pick_request(&mine, 0, 4, &[a, b], &[]);
+        assert_eq!(pick, Some((1, 0)));
+    }
+
+    #[test]
+    fn neighbor_behind_the_chunk_does_not_count() {
+        // A neighbor whose window already slid past a chunk reports has()
+        // = true for played-out chunks but cannot serve them; provider_of
+        // requires base() <= chunk.
+        let mine = map_with(8, &[]);
+        let mut stale = map_with(4, &[]);
+        stale.advance(6); // base 6; chunks < 6 are "played out"
+        let pick = pick_request(&mine, 0, 8, &[stale], &[]);
+        assert_eq!(pick, None, "played-out chunks are not servable");
+    }
+}

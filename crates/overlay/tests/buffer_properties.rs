@@ -1,0 +1,106 @@
+//! Property tests for the overlay substrate: buffer-map semantics and
+//! scheduler sanity under arbitrary operation sequences.
+
+use nearpeer_overlay::{pick_request, BufferMap};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum BufOp {
+    Mark(u64),
+    Advance(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<BufOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..200).prop_map(BufOp::Mark),
+            (0u64..200).prop_map(BufOp::Advance),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn buffer_map_model_conformance(window in 1usize..32, ops in arb_ops()) {
+        let mut bm = BufferMap::new(window);
+        // Reference model: explicit base + held set.
+        let mut base = 0u64;
+        let mut held: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                BufOp::Mark(c) => {
+                    let in_window = c >= base && c < base + bm.len() as u64;
+                    let fresh = in_window && !held.contains(&c);
+                    prop_assert_eq!(bm.mark(c), fresh, "mark({}) base {}", c, base);
+                    if in_window {
+                        held.insert(c);
+                    }
+                }
+                BufOp::Advance(b) => {
+                    bm.advance(b);
+                    if b > base {
+                        base = b;
+                        held.retain(|&c| c >= base);
+                    }
+                }
+            }
+            prop_assert_eq!(bm.base(), base);
+            prop_assert_eq!(bm.count(), held.len());
+            for c in base..base + bm.len() as u64 {
+                prop_assert_eq!(bm.has(c), held.contains(&c), "has({})", c);
+            }
+            // Everything behind the base counts as played out.
+            if base > 0 {
+                prop_assert!(bm.has(base - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_in_is_complement_of_has(window in 1usize..24, marks in prop::collection::vec(0u64..24, 0..24)) {
+        let mut bm = BufferMap::new(window);
+        for c in marks {
+            bm.mark(c);
+        }
+        let missing = bm.missing_in(0, bm.len() as u64);
+        for c in 0..bm.len() as u64 {
+            prop_assert_eq!(missing.contains(&c), !bm.has(c));
+        }
+    }
+
+    #[test]
+    fn scheduler_only_requests_servable_missing_chunks(
+        window in 2usize..16,
+        my_marks in prop::collection::vec(0u64..16, 0..10),
+        neighbor_marks in prop::collection::vec(prop::collection::vec(0u64..16, 0..10), 1..4),
+        playback in 0u64..8,
+        horizon in 0u64..6,
+        pending in prop::collection::vec(0u64..16, 0..4),
+    ) {
+        let mut mine = BufferMap::new(window);
+        for c in my_marks {
+            mine.mark(c);
+        }
+        let neighbors: Vec<BufferMap> = neighbor_marks
+            .iter()
+            .map(|marks| {
+                let mut bm = BufferMap::new(window);
+                for &c in marks {
+                    bm.mark(c);
+                }
+                bm
+            })
+            .collect();
+        if let Some((chunk, provider)) =
+            pick_request(&mine, playback, horizon, &neighbors, &pending)
+        {
+            prop_assert!(!mine.has(chunk), "requested a chunk we hold");
+            prop_assert!(!pending.contains(&chunk), "requested an in-flight chunk");
+            prop_assert!(provider < neighbors.len());
+            prop_assert!(neighbors[provider].has(chunk), "provider lacks the chunk");
+        }
+    }
+}

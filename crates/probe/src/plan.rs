@@ -1,0 +1,91 @@
+//! Probe plans: which TTLs a trace probes.
+
+/// Strategy choosing which TTLs to probe — the paper's "decreased
+/// traceroute" knob (W4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbePlan {
+    /// Probe every TTL from 1 until the destination answers (classic
+    /// traceroute).
+    Full,
+    /// Probe TTL 1, then every `stride`-th TTL, then the destination. The
+    /// path arrives with holes, but the probe count drops by ~`stride`×.
+    Stride(u32),
+    /// Probe at most this many TTLs, evenly spread along the path (always
+    /// including TTL 1 and the destination).
+    Budget(u32),
+}
+
+impl ProbePlan {
+    /// The TTLs to probe for a route of `path_len` hops (destination at TTL
+    /// `path_len`). Always non-empty for `path_len >= 1`, always sorted,
+    /// always ends at `path_len`.
+    pub fn ttls(&self, path_len: u32) -> Vec<u32> {
+        if path_len == 0 {
+            return Vec::new();
+        }
+        match *self {
+            ProbePlan::Full => (1..=path_len).collect(),
+            ProbePlan::Stride(stride) => {
+                let stride = stride.max(1);
+                let mut ttls: Vec<u32> = (1..=path_len).step_by(stride as usize).collect();
+                if *ttls.last().expect("path_len >= 1") != path_len {
+                    ttls.push(path_len);
+                }
+                ttls
+            }
+            ProbePlan::Budget(budget) => {
+                let budget = budget.max(1).min(path_len);
+                if budget == 1 {
+                    return vec![path_len];
+                }
+                let mut ttls: Vec<u32> = (0..budget)
+                    .map(|i| 1 + (i as u64 * (path_len - 1) as u64 / (budget - 1) as u64) as u32)
+                    .collect();
+                ttls.dedup();
+                ttls
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_probes_everything() {
+        assert_eq!(ProbePlan::Full.ttls(4), vec![1, 2, 3, 4]);
+        assert!(ProbePlan::Full.ttls(0).is_empty());
+    }
+
+    #[test]
+    fn stride_keeps_endpoints() {
+        assert_eq!(ProbePlan::Stride(2).ttls(7), vec![1, 3, 5, 7]);
+        assert_eq!(ProbePlan::Stride(3).ttls(8), vec![1, 4, 7, 8]);
+        // Stride 0 behaves like stride 1.
+        assert_eq!(ProbePlan::Stride(0).ttls(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn budget_spreads_evenly() {
+        assert_eq!(ProbePlan::Budget(2).ttls(10), vec![1, 10]);
+        assert_eq!(ProbePlan::Budget(4).ttls(10), vec![1, 4, 7, 10]);
+        // Budget larger than the path degrades to Full.
+        assert_eq!(ProbePlan::Budget(99).ttls(3), vec![1, 2, 3]);
+        // Budget 1 probes only the destination.
+        assert_eq!(ProbePlan::Budget(1).ttls(5), vec![5]);
+    }
+
+    #[test]
+    fn always_sorted_and_terminal() {
+        for plan in [ProbePlan::Full, ProbePlan::Stride(3), ProbePlan::Budget(3)] {
+            for len in 1..20 {
+                let ttls = plan.ttls(len);
+                assert!(!ttls.is_empty());
+                assert!(ttls.windows(2).all(|w| w[0] < w[1]), "{plan:?} len {len}");
+                assert_eq!(*ttls.last().unwrap(), len, "{plan:?} len {len}");
+            }
+        }
+    }
+}

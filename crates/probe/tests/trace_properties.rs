@@ -1,0 +1,100 @@
+//! Property tests for the simulated traceroute: discovered paths must be
+//! consistent subsequences of the oracle route under every plan and fault
+//! mix.
+
+use nearpeer_probe::{ProbePlan, TraceConfig, Tracer};
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use nearpeer_topology::RouterId;
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = ProbePlan> {
+    prop_oneof![
+        Just(ProbePlan::Full),
+        (1u32..6).prop_map(ProbePlan::Stride),
+        (1u32..6).prop_map(ProbePlan::Budget),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trace_paths_are_route_subsequences(
+        seed in 0u64..300,
+        pick in any::<u64>(),
+        plan in arb_plan(),
+        loss in 0.0f64..0.6,
+        anon in 0.0f64..0.6,
+    ) {
+        let topo = mapper(&MapperConfig::with_access(40, 60), seed).unwrap();
+        let oracle = RouteOracle::new(&topo);
+        let access = topo.access_routers();
+        let src = access[(pick % access.len() as u64) as usize];
+        let dst = RouterId((pick % 40) as u32); // a core router
+        let cfg = TraceConfig {
+            plan,
+            loss_probability: loss,
+            anonymous_probability: anon,
+            probes_per_hop: 2,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(&oracle, cfg);
+        let trace = tracer.trace(src, dst, seed ^ pick).expect("connected");
+        let route = oracle.route(src, dst).expect("connected");
+
+        // The reported path is a subsequence of the true route, starting at
+        // the source.
+        let path = trace.router_path();
+        prop_assert_eq!(path[0], src);
+        let mut route_iter = route.iter();
+        for hop in &path {
+            prop_assert!(
+                route_iter.any(|r| r == hop),
+                "hop {} out of order or off-route", hop
+            );
+        }
+        // Probe accounting is sane.
+        prop_assert!(trace.probes_sent >= trace.hops.len() as u32);
+        prop_assert!(trace.completeness() >= 0.0 && trace.completeness() <= 1.0);
+        // The destination hop, when answered, is the destination.
+        if trace.destination_reached {
+            prop_assert_eq!(*path.last().unwrap(), dst);
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_faults(seed in 0u64..200, pick in any::<u64>()) {
+        let topo = mapper(&MapperConfig::with_access(40, 60), seed).unwrap();
+        let oracle = RouteOracle::new(&topo);
+        let access = topo.access_routers();
+        let src = access[(pick % access.len() as u64) as usize];
+        let dst = RouterId((pick % 40) as u32);
+        let clean = Tracer::new(&oracle, TraceConfig::default())
+            .trace(src, dst, seed)
+            .unwrap();
+        let lossy_cfg = TraceConfig { loss_probability: 0.5, ..TraceConfig::default() };
+        let lossy = Tracer::new(&oracle, lossy_cfg).trace(src, dst, seed).unwrap();
+        prop_assert!(lossy.probes_sent >= clean.probes_sent);
+        prop_assert!(lossy.elapsed_us >= clean.elapsed_us);
+    }
+
+    #[test]
+    fn plans_never_exceed_full_cost(seed in 0u64..200, stride in 2u32..6) {
+        let topo = mapper(&MapperConfig::with_access(40, 60), seed).unwrap();
+        let oracle = RouteOracle::new(&topo);
+        let access = topo.access_routers();
+        let src = access[0];
+        let dst = RouterId(0);
+        // A GLP core node can itself have degree 1, making it an "access"
+        // router; skip the degenerate src == dst draw.
+        prop_assume!(src != dst);
+        let full = Tracer::new(&oracle, TraceConfig::default())
+            .trace(src, dst, seed)
+            .unwrap();
+        let dec_cfg = TraceConfig { plan: ProbePlan::Stride(stride), ..TraceConfig::default() };
+        let dec = Tracer::new(&oracle, dec_cfg).trace(src, dst, seed).unwrap();
+        prop_assert!(dec.probes_sent <= full.probes_sent);
+        prop_assert!(dec.destination_reached);
+    }
+}

@@ -1,0 +1,134 @@
+//! Unweighted breadth-first searches.
+
+use nearpeer_topology::{RouterId, Topology};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every router; `u32::MAX` marks unreachable
+/// routers.
+pub fn bfs_distances(topo: &Topology, source: RouterId) -> Vec<u32> {
+    bfs_distances_bounded(topo, source, u32::MAX)
+}
+
+/// Hop distances from `source`, exploring at most `max_hops` hops outward
+/// (routers farther than that stay at `u32::MAX`). Used by the brute-force
+/// `Dclosest` baseline to stop early.
+pub fn bfs_distances_bounded(topo: &Topology, source: RouterId, max_hops: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; topo.n_routers()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        if dv >= max_hops {
+            continue;
+        }
+        for e in topo.neighbors(v) {
+            if dist[e.to.index()] == u32::MAX {
+                dist[e.to.index()] = dv + 1;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between two routers; `None` if disconnected.
+pub fn hop_distance(topo: &Topology, a: RouterId, b: RouterId) -> Option<u32> {
+    // Early exit BFS from a.
+    if a == b {
+        return Some(0);
+    }
+    let mut dist = vec![u32::MAX; topo.n_routers()];
+    dist[a.index()] = 0;
+    let mut queue = VecDeque::from([a]);
+    while let Some(v) = queue.pop_front() {
+        for e in topo.neighbors(v) {
+            if dist[e.to.index()] == u32::MAX {
+                dist[e.to.index()] = dist[v.index()] + 1;
+                if e.to == b {
+                    return Some(dist[e.to.index()]);
+                }
+                queue.push_back(e.to);
+            }
+        }
+    }
+    None
+}
+
+/// Multi-source BFS: for every router, the hop distance to the *nearest*
+/// source and that source's index in `sources`. Used to find each peer's
+/// closest landmark. Unreachable routers get `(u32::MAX, usize::MAX)`.
+///
+/// Ties between sources resolve to the source appearing earliest in
+/// `sources` (deterministic).
+pub fn multi_source_bfs(topo: &Topology, sources: &[RouterId]) -> Vec<(u32, usize)> {
+    let mut dist = vec![(u32::MAX, usize::MAX); topo.n_routers()];
+    let mut queue = VecDeque::new();
+    for (i, &s) in sources.iter().enumerate() {
+        if dist[s.index()].0 == u32::MAX {
+            dist[s.index()] = (0, i);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let (dv, sv) = dist[v.index()];
+        for e in topo.neighbors(v) {
+            if dist[e.to.index()].0 == u32::MAX {
+                dist[e.to.index()] = (dv + 1, sv);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::generators::regular;
+
+    #[test]
+    fn distances_on_a_line() {
+        let t = regular::line(5);
+        let d = bfs_distances(&t, RouterId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_stops_early() {
+        let t = regular::line(6);
+        let d = bfs_distances_bounded(&t, RouterId(0), 2);
+        assert_eq!(d, vec![0, 1, 2, u32::MAX, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn hop_distance_basics() {
+        let t = regular::ring(6);
+        assert_eq!(hop_distance(&t, RouterId(0), RouterId(0)), Some(0));
+        assert_eq!(hop_distance(&t, RouterId(0), RouterId(3)), Some(3));
+        assert_eq!(hop_distance(&t, RouterId(0), RouterId(5)), Some(1));
+    }
+
+    #[test]
+    fn hop_distance_disconnected() {
+        let t = nearpeer_topology::TopologyBuilder::with_routers(3).build();
+        assert_eq!(hop_distance(&t, RouterId(0), RouterId(2)), None);
+    }
+
+    #[test]
+    fn multi_source_nearest_and_tiebreak() {
+        let t = regular::line(7);
+        let near = multi_source_bfs(&t, &[RouterId(0), RouterId(6)]);
+        assert_eq!(near[1], (1, 0));
+        assert_eq!(near[5], (1, 1));
+        // Router 3 is equidistant (3 hops) from both; the earlier source
+        // index wins.
+        assert_eq!(near[3], (3, 0));
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let t = regular::line(3);
+        let near = multi_source_bfs(&t, &[]);
+        assert!(near.iter().all(|&(d, _)| d == u32::MAX));
+    }
+}

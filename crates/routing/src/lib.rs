@@ -1,0 +1,28 @@
+//! Shortest-path machinery and the deterministic route oracle.
+//!
+//! Internet routing is destination-based and stable over the timescales of a
+//! peer join, so the simulation models the route between two routers as the
+//! path through a deterministic shortest-path tree rooted at the destination
+//! (ties broken towards lower router ids, mirroring stable next-hop
+//! selection). This gives the substitution for real `traceroute` output (see
+//! DESIGN.md §3): the observable is the same — a fixed router sequence per
+//! (source, destination) pair.
+//!
+//! * [`bfs_distances`] / [`hop_distance`] — unweighted metrics (the paper's
+//!   evaluation metric `D` is a sum of hop distances);
+//! * [`ShortestPathTree`] — hop- or latency-weighted trees with path
+//!   extraction;
+//! * [`RouteOracle`] — cached per-destination trees, full router paths and
+//!   RTT estimates (used by the traceroute simulation and the coordinate
+//!   baselines).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfs;
+mod oracle;
+mod spt;
+
+pub use bfs::{bfs_distances, bfs_distances_bounded, hop_distance, multi_source_bfs};
+pub use oracle::RouteOracle;
+pub use spt::{shortest_path_tree, ShortestPathTree, SptMetric};

@@ -1,0 +1,167 @@
+//! The route oracle: stable router-level routes and RTTs.
+
+use crate::spt::{shortest_path_tree, ShortestPathTree, SptMetric};
+use nearpeer_topology::{RouterId, Topology};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Provides the route and RTT between any two routers of a topology,
+/// memoising one shortest-path tree per *destination* (destination-based
+/// routing, like the Internet's).
+///
+/// The oracle is the ground truth that the simulated traceroute walks hop by
+/// hop, and the RTT source for the coordinate baselines. Routes are
+/// deterministic: same topology, same routes, every run.
+///
+/// ```
+/// use nearpeer_routing::RouteOracle;
+/// use nearpeer_topology::{generators::regular, RouterId};
+/// let topo = regular::line(4);
+/// let oracle = RouteOracle::new(&topo);
+/// let route = oracle.route(RouterId(0), RouterId(3)).unwrap();
+/// assert_eq!(route, vec![RouterId(0), RouterId(1), RouterId(2), RouterId(3)]);
+/// ```
+pub struct RouteOracle<'t> {
+    topo: &'t Topology,
+    trees: RefCell<HashMap<RouterId, Rc<ShortestPathTree>>>,
+}
+
+impl<'t> RouteOracle<'t> {
+    /// Creates an oracle over a topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self { topo, trees: RefCell::new(HashMap::new()) }
+    }
+
+    /// The topology this oracle answers for.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The (cached) hop-metric tree rooted at `dst`.
+    pub fn tree_to(&self, dst: RouterId) -> Rc<ShortestPathTree> {
+        let mut trees = self.trees.borrow_mut();
+        trees
+            .entry(dst)
+            .or_insert_with(|| Rc::new(shortest_path_tree(self.topo, dst, SptMetric::Hops)))
+            .clone()
+    }
+
+    /// Number of destination trees currently memoised.
+    pub fn cached_trees(&self) -> usize {
+        self.trees.borrow().len()
+    }
+
+    /// The full router route `src, ..., dst`; `None` if disconnected.
+    pub fn route(&self, src: RouterId, dst: RouterId) -> Option<Vec<RouterId>> {
+        self.tree_to(dst).path_to_root(src)
+    }
+
+    /// Hop count of the route; `None` if disconnected.
+    pub fn hops(&self, src: RouterId, dst: RouterId) -> Option<u32> {
+        self.tree_to(dst).hops_to_root(src)
+    }
+
+    /// Round-trip time in microseconds along the (hop-shortest) route, i.e.
+    /// twice the accumulated one-way link latency. `None` if disconnected.
+    ///
+    /// Note this is deliberately *not* the latency-optimal path: real
+    /// Internet routes are not latency-shortest either, which is exactly the
+    /// effect the coordinate baselines have to cope with.
+    pub fn rtt_us(&self, src: RouterId, dst: RouterId) -> Option<u64> {
+        self.tree_to(dst).latency_to_root_us(src).map(|l| l * 2)
+    }
+
+    /// The router where the routes `a → dst` and `b → dst` first meet — the
+    /// branch point that the management server uses as the inferred
+    /// rendezvous (`rc` in the paper's Figure 1). `None` if either route is
+    /// missing.
+    pub fn branch_point(&self, a: RouterId, b: RouterId, dst: RouterId) -> Option<RouterId> {
+        let tree = self.tree_to(dst);
+        if !tree.reaches(a) || !tree.reaches(b) {
+            return None;
+        }
+        // Walk both paths from the leaves; mark a's path then walk b's.
+        let path_a = tree.path_to_root(a)?;
+        let on_a: std::collections::HashSet<RouterId> = path_a.into_iter().collect();
+        let path_b = tree.path_to_root(b)?;
+        path_b.into_iter().find(|r| on_a.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::generators::regular;
+    use nearpeer_topology::presets::figure1;
+
+    #[test]
+    fn route_endpoints_and_caching() {
+        let t = regular::grid(3, 3);
+        let oracle = RouteOracle::new(&t);
+        let route = oracle.route(RouterId(8), RouterId(0)).unwrap();
+        assert_eq!(route.first(), Some(&RouterId(8)));
+        assert_eq!(route.last(), Some(&RouterId(0)));
+        assert_eq!(oracle.cached_trees(), 1);
+        let _ = oracle.route(RouterId(7), RouterId(0));
+        assert_eq!(oracle.cached_trees(), 1, "same destination reuses the tree");
+        let _ = oracle.route(RouterId(7), RouterId(1));
+        assert_eq!(oracle.cached_trees(), 2);
+    }
+
+    #[test]
+    fn rtt_doubles_one_way() {
+        let t = regular::line(3); // links of 1000 us
+        let oracle = RouteOracle::new(&t);
+        assert_eq!(oracle.rtt_us(RouterId(0), RouterId(2)), Some(4_000));
+        assert_eq!(oracle.rtt_us(RouterId(0), RouterId(0)), Some(0));
+    }
+
+    #[test]
+    fn branch_point_matches_figure1() {
+        let fig = figure1();
+        let oracle = RouteOracle::new(&fig.topology);
+        let [p1, p2, p3, _] = fig.peers;
+        let rc = fig.core[2];
+        let rb = fig.core[1];
+        let ra = fig.core[0];
+        // p1 and p2 join at rc on the way to the landmark.
+        assert_eq!(oracle.branch_point(p1, p2, fig.landmark), Some(rc));
+        // p1 and p3 join in the core (ra): p1 goes rc→ra, p3 goes rb→ra.
+        let bp13 = oracle.branch_point(p1, p3, fig.landmark).unwrap();
+        assert!(bp13 == ra || bp13 == rb, "unexpected branch point {bp13}");
+    }
+
+    #[test]
+    fn branch_point_of_same_router_is_itself() {
+        let t = regular::line(4);
+        let oracle = RouteOracle::new(&t);
+        assert_eq!(
+            oracle.branch_point(RouterId(0), RouterId(0), RouterId(3)),
+            Some(RouterId(0))
+        );
+    }
+
+    #[test]
+    fn disconnected_routes_are_none() {
+        let t = nearpeer_topology::TopologyBuilder::with_routers(2).build();
+        let oracle = RouteOracle::new(&t);
+        assert_eq!(oracle.route(RouterId(0), RouterId(1)), None);
+        assert_eq!(oracle.hops(RouterId(0), RouterId(1)), None);
+        assert_eq!(oracle.rtt_us(RouterId(0), RouterId(1)), None);
+        assert_eq!(oracle.branch_point(RouterId(0), RouterId(1), RouterId(1)), None);
+    }
+
+    #[test]
+    fn routes_agree_with_hop_distance() {
+        let t = regular::grid(4, 3);
+        let oracle = RouteOracle::new(&t);
+        for a in t.routers() {
+            for b in t.routers() {
+                let via_route = oracle.hops(a, b).unwrap();
+                let direct = crate::hop_distance(&t, a, b).unwrap();
+                assert_eq!(via_route, direct, "{a}->{b}");
+            }
+        }
+    }
+}

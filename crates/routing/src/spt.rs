@@ -1,0 +1,211 @@
+//! Deterministic shortest-path trees.
+
+use nearpeer_topology::{RouterId, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which link metric the tree minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SptMetric {
+    /// Hop count (BFS); this is how the route oracle models Internet
+    /// routing, which is not latency-optimal.
+    Hops,
+    /// Sum of link latencies (Dijkstra); used when a latency-optimal
+    /// reference is needed.
+    Latency,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// A shortest-path tree rooted at one router, with deterministic tie-breaks
+/// (lowest-id parent at equal distance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPathTree {
+    root: RouterId,
+    metric: SptMetric,
+    parent: Vec<u32>,
+    hops: Vec<u32>,
+    latency_us: Vec<u64>,
+}
+
+impl ShortestPathTree {
+    /// The root router.
+    pub fn root(&self) -> RouterId {
+        self.root
+    }
+
+    /// The metric this tree minimises.
+    pub fn metric(&self) -> SptMetric {
+        self.metric
+    }
+
+    /// Parent of `v` on the path towards the root (`None` for the root
+    /// itself or unreachable routers).
+    pub fn parent(&self, v: RouterId) -> Option<RouterId> {
+        let p = self.parent[v.index()];
+        (p != NO_PARENT).then_some(RouterId(p))
+    }
+
+    /// Hop count from `v` to the root; `None` if unreachable.
+    pub fn hops_to_root(&self, v: RouterId) -> Option<u32> {
+        let h = self.hops[v.index()];
+        (h != u32::MAX).then_some(h)
+    }
+
+    /// Accumulated one-way latency from `v` to the root in microseconds;
+    /// `None` if unreachable.
+    pub fn latency_to_root_us(&self, v: RouterId) -> Option<u64> {
+        let l = self.latency_us[v.index()];
+        (l != u64::MAX).then_some(l)
+    }
+
+    /// Whether `v` can reach the root.
+    pub fn reaches(&self, v: RouterId) -> bool {
+        v == self.root || self.parent[v.index()] != NO_PARENT
+    }
+
+    /// The router path `v, ..., root` (inclusive); `None` if unreachable.
+    pub fn path_to_root(&self, v: RouterId) -> Option<Vec<RouterId>> {
+        if !self.reaches(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        Some(path)
+    }
+}
+
+/// Builds the shortest-path tree rooted at `root` under the given metric.
+///
+/// Determinism: adjacency lists are sorted, so BFS discovers equal-distance
+/// parents in ascending id order; Dijkstra relaxes strictly and pops
+/// `(distance, id)` pairs in total order — rebuilding the same tree for the
+/// same topology every time.
+pub fn shortest_path_tree(topo: &Topology, root: RouterId, metric: SptMetric) -> ShortestPathTree {
+    match metric {
+        SptMetric::Hops => bfs_tree(topo, root),
+        SptMetric::Latency => dijkstra_tree(topo, root),
+    }
+}
+
+fn bfs_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
+    let n = topo.n_routers();
+    let mut parent = vec![NO_PARENT; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut latency = vec![u64::MAX; n];
+    hops[root.index()] = 0;
+    latency[root.index()] = 0;
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for e in topo.neighbors(v) {
+            let u = e.to.index();
+            if hops[u] == u32::MAX {
+                hops[u] = hops[v.index()] + 1;
+                latency[u] = latency[v.index()] + e.latency_us as u64;
+                parent[u] = v.0;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    ShortestPathTree { root, metric: SptMetric::Hops, parent, hops, latency_us: latency }
+}
+
+fn dijkstra_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
+    let n = topo.n_routers();
+    let mut parent = vec![NO_PARENT; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut latency = vec![u64::MAX; n];
+    latency[root.index()] = 0;
+    hops[root.index()] = 0;
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((0, root.0)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > latency[v as usize] {
+            continue; // stale entry
+        }
+        for e in topo.neighbors(RouterId(v)) {
+            let u = e.to.index();
+            let nd = d + e.latency_us as u64;
+            if nd < latency[u] {
+                latency[u] = nd;
+                hops[u] = hops[v as usize] + 1;
+                parent[u] = v;
+                heap.push(Reverse((nd, e.to.0)));
+            }
+        }
+    }
+    ShortestPathTree { root, metric: SptMetric::Latency, parent, hops, latency_us: latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::generators::regular;
+    use nearpeer_topology::TopologyBuilder;
+
+    #[test]
+    fn bfs_tree_on_grid() {
+        let t = regular::grid(3, 3);
+        let spt = shortest_path_tree(&t, RouterId(0), SptMetric::Hops);
+        assert_eq!(spt.hops_to_root(RouterId(8)), Some(4));
+        let path = spt.path_to_root(RouterId(8)).unwrap();
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0], RouterId(8));
+        assert_eq!(*path.last().unwrap(), RouterId(0));
+        // Deterministic lowest-id parents: 8's parent must be 5 (not 7).
+        assert_eq!(spt.parent(RouterId(8)), Some(RouterId(5)));
+    }
+
+    #[test]
+    fn latency_tree_prefers_cheap_detour() {
+        // 0-1 expensive direct link, 0-2-1 cheap detour.
+        let mut b = TopologyBuilder::with_routers(3);
+        b.link(RouterId(0), RouterId(1), 10_000).unwrap();
+        b.link(RouterId(0), RouterId(2), 1_000).unwrap();
+        b.link(RouterId(2), RouterId(1), 1_000).unwrap();
+        let t = b.build();
+        let hops = shortest_path_tree(&t, RouterId(0), SptMetric::Hops);
+        assert_eq!(hops.hops_to_root(RouterId(1)), Some(1));
+        let lat = shortest_path_tree(&t, RouterId(0), SptMetric::Latency);
+        assert_eq!(lat.latency_to_root_us(RouterId(1)), Some(2_000));
+        assert_eq!(lat.hops_to_root(RouterId(1)), Some(2));
+        assert_eq!(
+            lat.path_to_root(RouterId(1)).unwrap(),
+            vec![RouterId(1), RouterId(2), RouterId(0)]
+        );
+    }
+
+    #[test]
+    fn unreachable_routers() {
+        let t = TopologyBuilder::with_routers(2).build();
+        let spt = shortest_path_tree(&t, RouterId(0), SptMetric::Hops);
+        assert!(!spt.reaches(RouterId(1)));
+        assert_eq!(spt.path_to_root(RouterId(1)), None);
+        assert_eq!(spt.hops_to_root(RouterId(1)), None);
+        assert_eq!(spt.latency_to_root_us(RouterId(1)), None);
+        // Root trivially reaches itself.
+        assert_eq!(spt.path_to_root(RouterId(0)), Some(vec![RouterId(0)]));
+    }
+
+    #[test]
+    fn bfs_latency_accumulates_along_tree_path() {
+        let mut b = TopologyBuilder::with_routers(3);
+        b.link(RouterId(0), RouterId(1), 100).unwrap();
+        b.link(RouterId(1), RouterId(2), 250).unwrap();
+        let t = b.build();
+        let spt = shortest_path_tree(&t, RouterId(0), SptMetric::Hops);
+        assert_eq!(spt.latency_to_root_us(RouterId(2)), Some(350));
+    }
+
+    #[test]
+    fn trees_are_deterministic() {
+        let t = regular::grid(4, 4);
+        let a = shortest_path_tree(&t, RouterId(5), SptMetric::Hops);
+        let b = shortest_path_tree(&t, RouterId(5), SptMetric::Hops);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! Actors and the command-collecting context.
+
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+
+/// Identifier of an actor inside one [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Application-chosen timer label, echoed back in
+/// [`Actor::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// Side effects an actor requests during one callback. Collected rather
+/// than applied re-entrantly, which keeps the engine free of interior
+/// mutability tricks.
+#[derive(Debug)]
+pub(crate) enum Command<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay_us: u64, id: TimerId },
+    Halt,
+}
+
+/// The actor's window into the simulation during a callback.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) me: NodeId,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) commands: Vec<Command<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's own id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The simulation RNG (one stream shared by the whole run, so actor
+    /// callbacks remain deterministic in event order).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to another actor; delivery time and loss are decided by
+    /// the simulator's [`crate::LinkModel`]. Sending to a dead or unknown
+    /// node silently drops (counted in [`crate::SimStats`]).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.commands.push(Command::Send { to, msg });
+    }
+
+    /// Schedules [`Actor::on_timer`] for this actor after `delay_us`.
+    pub fn set_timer(&mut self, delay_us: u64, id: TimerId) {
+        self.commands.push(Command::Timer { delay_us, id });
+    }
+
+    /// Requests the whole simulation to stop after this callback.
+    pub fn halt(&mut self) {
+        self.commands.push(Command::Halt);
+    }
+}
+
+/// A protocol endpoint driven by the simulator.
+///
+/// All callbacks receive a [`Context`] for sending messages and arming
+/// timers. Implementations should be deterministic given the context RNG.
+pub trait Actor<M> {
+    /// Called once when the actor enters the simulation.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _id: TimerId) {}
+
+    /// Called when the actor is removed (churn); last chance to account
+    /// state. No commands can be issued from the grave: the context still
+    /// works but sends from a removed actor are dropped by the engine.
+    fn on_stop(&mut self, _ctx: &mut Context<'_, M>) {}
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation — the PeerSim substitute.
+//!
+//! The paper runs its evaluation inside PeerSim. This crate provides the
+//! same capability as a seeded, single-threaded discrete-event engine in the
+//! spirit of the networking guides: event-driven, no async runtime, no
+//! surprises, bit-identical reruns for a given seed.
+//!
+//! Architecture:
+//!
+//! * [`SimTime`] — logical microseconds;
+//! * [`Actor`] — protocol endpoints (peers, landmarks, the management
+//!   server) handle messages and timers through a command-collecting
+//!   [`Context`] (no re-entrant borrows, in the spirit of simple poll-based
+//!   designs);
+//! * [`Simulator`] — the event loop: a binary-heap calendar of message
+//!   deliveries and timer firings, with FIFO tie-breaking by sequence
+//!   number;
+//! * [`LinkModel`] — pluggable message latency/loss: fixed, uniform, or
+//!   derived from a topology (half the oracle RTT between attachment
+//!   routers), with a fault-injection wrapper ([`links::Faulty`]).
+//!
+//! Churn (paper future-work W3) is exercised by scheduling
+//! [`Simulator::spawn_at`] / [`Simulator::kill_at`] events from a workload
+//! trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod engine;
+pub mod links;
+mod time;
+
+pub use actor::{Actor, Context, NodeId, TimerId};
+pub use engine::{SimStats, Simulator};
+pub use links::LinkModel;
+pub use time::SimTime;

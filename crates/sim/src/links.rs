@@ -1,0 +1,184 @@
+//! Link models: who reaches whom, how fast, and how unreliably.
+
+use crate::actor::NodeId;
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::{RouterId, Topology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Decides per message whether it arrives and after how long.
+pub trait LinkModel {
+    /// One-way transit time in microseconds for a message `from → to`, or
+    /// `None` if the message is lost.
+    fn transit_us(&mut self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<u64>;
+}
+
+/// Every message takes exactly this many microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub u64);
+
+impl LinkModel for Fixed {
+    fn transit_us(&mut self, _from: NodeId, _to: NodeId, _rng: &mut StdRng) -> Option<u64> {
+        Some(self.0)
+    }
+}
+
+/// Uniformly random transit time in `[lo, hi]` microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDelay {
+    /// Lower bound (inclusive).
+    pub lo: u64,
+    /// Upper bound (inclusive).
+    pub hi: u64,
+}
+
+impl LinkModel for UniformDelay {
+    fn transit_us(&mut self, _from: NodeId, _to: NodeId, rng: &mut StdRng) -> Option<u64> {
+        let (lo, hi) = (self.lo.min(self.hi), self.lo.max(self.hi));
+        Some(rng.gen_range(lo..=hi))
+    }
+}
+
+/// Transit time derived from a topology: half the oracle RTT between the
+/// attachment routers of the two endpoints (one-way latency along the
+/// hop-shortest route). Messages between unattached or disconnected nodes
+/// are lost.
+pub struct TopologyLinks<'t> {
+    oracle: RouteOracle<'t>,
+    attachment: Vec<Option<RouterId>>,
+}
+
+impl<'t> TopologyLinks<'t> {
+    /// Creates the model over a topology; attach nodes before running.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self { oracle: RouteOracle::new(topo), attachment: Vec::new() }
+    }
+
+    /// Declares that simulator node `node` sits behind access router
+    /// `router`.
+    pub fn attach(&mut self, node: NodeId, router: RouterId) {
+        if self.attachment.len() <= node.index() {
+            self.attachment.resize(node.index() + 1, None);
+        }
+        self.attachment[node.index()] = Some(router);
+    }
+
+    /// The attachment router of a node, if declared.
+    pub fn attachment(&self, node: NodeId) -> Option<RouterId> {
+        self.attachment.get(node.index()).copied().flatten()
+    }
+
+    /// The underlying route oracle (shared with application code that wants
+    /// consistent RTT estimates).
+    pub fn oracle(&self) -> &RouteOracle<'t> {
+        &self.oracle
+    }
+}
+
+impl LinkModel for TopologyLinks<'_> {
+    fn transit_us(&mut self, from: NodeId, to: NodeId, _rng: &mut StdRng) -> Option<u64> {
+        let a = self.attachment(from)?;
+        let b = self.attachment(to)?;
+        self.oracle.rtt_us(a, b).map(|rtt| rtt / 2)
+    }
+}
+
+/// Fault-injection wrapper: drops messages with a fixed probability and adds
+/// uniform jitter — the smoltcp-style `--drop-chance` knob for examples.
+pub struct Faulty<L> {
+    inner: L,
+    /// Probability in `[0, 1]` that a message is lost.
+    pub drop_probability: f64,
+    /// Maximum extra delay in microseconds, drawn uniformly.
+    pub max_jitter_us: u64,
+}
+
+impl<L> Faulty<L> {
+    /// Wraps an inner model with loss and jitter.
+    pub fn new(inner: L, drop_probability: f64, max_jitter_us: u64) -> Self {
+        Self { inner, drop_probability, max_jitter_us }
+    }
+
+    /// The wrapped model.
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
+    }
+}
+
+impl<L: LinkModel> LinkModel for Faulty<L> {
+    fn transit_us(&mut self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<u64> {
+        if self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability {
+            return None;
+        }
+        let base = self.inner.transit_us(from, to, rng)?;
+        let jitter = if self.max_jitter_us == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.max_jitter_us)
+        };
+        Some(base + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut r = rng();
+        assert_eq!(Fixed(5).transit_us(NodeId(0), NodeId(1), &mut r), Some(5));
+        let mut u = UniformDelay { lo: 10, hi: 20 };
+        for _ in 0..50 {
+            let d = u.transit_us(NodeId(0), NodeId(1), &mut r).unwrap();
+            assert!((10..=20).contains(&d));
+        }
+    }
+
+    #[test]
+    fn topology_links_use_half_rtt() {
+        let topo = nearpeer_topology::generators::regular::line(3); // 1000us links
+        let mut links = TopologyLinks::new(&topo);
+        links.attach(NodeId(0), RouterId(0));
+        links.attach(NodeId(1), RouterId(2));
+        let mut r = rng();
+        // RTT 0↔2 is 4000us, so one-way transit is 2000us.
+        assert_eq!(links.transit_us(NodeId(0), NodeId(1), &mut r), Some(2_000));
+        // Unattached node: lost.
+        assert_eq!(links.transit_us(NodeId(0), NodeId(9), &mut r), None);
+        assert_eq!(links.attachment(NodeId(1)), Some(RouterId(2)));
+    }
+
+    #[test]
+    fn faulty_drops_and_jitters() {
+        let mut r = rng();
+        let mut always_drop = Faulty::new(Fixed(100), 1.0, 0);
+        assert_eq!(always_drop.transit_us(NodeId(0), NodeId(1), &mut r), None);
+
+        let mut jittery = Faulty::new(Fixed(100), 0.0, 50);
+        let mut seen_extra = false;
+        for _ in 0..100 {
+            let d = jittery.transit_us(NodeId(0), NodeId(1), &mut r).unwrap();
+            assert!((100..=150).contains(&d));
+            if d > 100 {
+                seen_extra = true;
+            }
+        }
+        assert!(seen_extra, "jitter never applied");
+    }
+
+    #[test]
+    fn faulty_partial_drop_rate() {
+        let mut r = rng();
+        let mut half = Faulty::new(Fixed(1), 0.5, 0);
+        let delivered = (0..1000)
+            .filter(|_| half.transit_us(NodeId(0), NodeId(1), &mut r).is_some())
+            .count();
+        assert!((300..700).contains(&delivered), "delivered {delivered}/1000");
+    }
+}

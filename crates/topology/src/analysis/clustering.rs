@@ -1,0 +1,87 @@
+//! Clustering coefficients.
+
+use crate::{RouterId, Topology};
+
+/// Local clustering coefficient of one router: the fraction of pairs of its
+/// neighbors that are themselves linked. Degree < 2 yields 0.
+pub fn local_clustering(topo: &Topology, r: RouterId) -> f64 {
+    let neigh = topo.neighbors(r);
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, a) in neigh.iter().enumerate() {
+        for b in &neigh[i + 1..] {
+            if topo.has_link(a.to, b.to) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Mean local clustering over all routers with degree ≥ 2 (Watts–Strogatz
+/// definition); 0 if no router qualifies.
+pub fn global_clustering_coefficient(topo: &Topology) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for r in topo.routers() {
+        if topo.degree(r) >= 2 {
+            sum += local_clustering(topo, r);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let mut b = TopologyBuilder::with_routers(3);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(1), RouterId(2), 1).unwrap();
+        b.link(RouterId(0), RouterId(2), 1).unwrap();
+        let t = b.build();
+        for r in t.routers() {
+            assert_eq!(local_clustering(&t, r), 1.0);
+        }
+        assert_eq!(global_clustering_coefficient(&t), 1.0);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let mut b = TopologyBuilder::with_routers(3);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(1), RouterId(2), 1).unwrap();
+        let t = b.build();
+        assert_eq!(local_clustering(&t, RouterId(1)), 0.0);
+        assert_eq!(local_clustering(&t, RouterId(0)), 0.0);
+        assert_eq!(global_clustering_coefficient(&t), 0.0);
+    }
+
+    #[test]
+    fn half_open_square_with_diagonal() {
+        // Square 0-1-2-3 plus diagonal 0-2: nodes 0 and 2 have degree 3 with
+        // 2 of 3 neighbor pairs closed? Node 0 neighbors {1,2,3}: links 1-2
+        // and 2-3 exist, 1-3 doesn't → 2/3. Nodes 1 and 3 have neighbors
+        // {0,2} which are linked → 1.
+        let mut b = TopologyBuilder::with_routers(4);
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            b.link(RouterId(x), RouterId(y), 1).unwrap();
+        }
+        let t = b.build();
+        assert!((local_clustering(&t, RouterId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&t, RouterId(1)), 1.0);
+        let expected = (2.0 / 3.0 + 1.0 + 2.0 / 3.0 + 1.0) / 4.0;
+        assert!((global_clustering_coefficient(&t) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Connected components.
+
+use crate::{RouterId, Topology};
+use std::collections::VecDeque;
+
+/// Labels every router with a component index (0-based, in order of first
+/// discovery) and returns `(labels, component_count)`.
+pub fn connected_components(topo: &Topology) -> (Vec<usize>, usize) {
+    let n = topo.n_routers();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for e in topo.neighbors(RouterId(v as u32)) {
+                let u = e.to.index();
+                if label[u] == usize::MAX {
+                    label[u] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Whether the topology is a single connected component (vacuously true for
+/// the empty graph).
+pub fn is_connected(topo: &Topology) -> bool {
+    connected_components(topo).1 <= 1
+}
+
+/// Router ids of the largest component (ties broken by lowest label).
+pub fn largest_component(topo: &Topology) -> Vec<RouterId> {
+    let (labels, count) = connected_components(topo);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .expect("count > 0");
+    labels
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, l)| l == best)
+        .map(|(i, _)| RouterId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn two_components() {
+        let mut b = TopologyBuilder::with_routers(5);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(1), RouterId(2), 1).unwrap();
+        b.link(RouterId(3), RouterId(4), 1).unwrap();
+        let t = b.build();
+        let (labels, count) = connected_components(&t);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!is_connected(&t));
+        let big = largest_component(&t);
+        assert_eq!(big, vec![RouterId(0), RouterId(1), RouterId(2)]);
+    }
+
+    #[test]
+    fn connected_path() {
+        let mut b = TopologyBuilder::with_routers(3);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(1), RouterId(2), 1).unwrap();
+        let t = b.build();
+        assert!(is_connected(&t));
+        assert_eq!(largest_component(&t).len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let t = TopologyBuilder::new().build();
+        assert!(is_connected(&t));
+        assert!(largest_component(&t).is_empty());
+    }
+
+    #[test]
+    fn ties_pick_first_component() {
+        let mut b = TopologyBuilder::with_routers(4);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(2), RouterId(3), 1).unwrap();
+        let t = b.build();
+        assert_eq!(largest_component(&t), vec![RouterId(0), RouterId(1)]);
+    }
+}

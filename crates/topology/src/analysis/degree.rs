@@ -1,0 +1,144 @@
+//! Degree distribution statistics and power-law fitting.
+
+use crate::Topology;
+
+/// Aggregate degree statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of routers.
+    pub n_routers: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// Count of degree-1 (access) routers.
+    pub n_access: usize,
+    /// Fitted power-law exponent (None if the fit is not applicable).
+    pub power_law_alpha: Option<f64>,
+}
+
+impl DegreeStats {
+    /// Computes the stats for a topology, fitting the exponent with
+    /// `d_min = 2` (access leaves excluded, as mapper studies do).
+    pub fn of(topo: &Topology) -> Self {
+        let degrees: Vec<usize> = topo.routers().map(|r| topo.degree(r)).collect();
+        Self {
+            n_routers: topo.n_routers(),
+            mean: topo.mean_degree(),
+            max: topo.max_degree(),
+            n_access: degrees.iter().filter(|&&d| d == 1).count(),
+            power_law_alpha: fit_power_law(&degrees, 2),
+        }
+    }
+}
+
+/// Histogram of degrees: `(degree, count)` sorted by degree, omitting zero
+/// counts.
+pub fn degree_histogram(topo: &Topology) -> Vec<(usize, usize)> {
+    let mut counts = vec![0usize; topo.max_degree() + 1];
+    for r in topo.routers() {
+        counts[topo.degree(r)] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect()
+}
+
+/// Maximum-likelihood estimate of a discrete power-law exponent
+/// (Clauset–Shalizi–Newman approximation):
+/// `alpha = 1 + n / Σ ln(d_i / (d_min - 0.5))` over samples `d_i >= d_min`.
+///
+/// Returns `None` when fewer than 10 samples qualify (too little signal for
+/// the estimate to mean anything).
+pub fn fit_power_law(degrees: &[usize], d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let tail: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= d_min)
+        .map(|&d| d as f64)
+        .collect();
+    if tail.len() < 10 {
+        return None;
+    }
+    let denom: f64 = tail.iter().map(|d| (d / (d_min as f64 - 0.5)).ln()).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1.0 + tail.len() as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RouterId, TopologyBuilder};
+
+    fn star(n_leaves: usize) -> Topology {
+        let mut b = TopologyBuilder::with_routers(n_leaves + 1);
+        for i in 1..=n_leaves {
+            b.link(RouterId(0), RouterId(i as u32), 1000).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let t = star(5);
+        assert_eq!(degree_histogram(&t), vec![(1, 5), (5, 1)]);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let t = star(5);
+        let s = DegreeStats::of(&t);
+        assert_eq!(s.n_routers, 6);
+        assert_eq!(s.n_access, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        // Sample from a Pareto with exponent 2.5 by inverse-CDF on a
+        // deterministic grid. A large x_min keeps the discreteness
+        // correction (the −0.5 shift) small relative to the tail, so the
+        // estimate should land near the true exponent.
+        let alpha_true = 2.5f64;
+        let x_min = 10.0f64;
+        let mut samples = Vec::new();
+        let n = 20_000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let d = x_min * (1.0 - u).powf(-1.0 / (alpha_true - 1.0));
+            samples.push(d.round() as usize);
+        }
+        let alpha = fit_power_law(&samples, x_min as usize).unwrap();
+        assert!(
+            (alpha - alpha_true).abs() < 0.2,
+            "fit {alpha} too far from {alpha_true}"
+        );
+    }
+
+    #[test]
+    fn fit_orders_steepness() {
+        // A steeper tail must yield a larger fitted exponent.
+        let gen = |alpha_true: f64| -> Vec<usize> {
+            (0..5_000)
+                .map(|i| {
+                    let u = (i as f64 + 0.5) / 5_000.0;
+                    (2.0 * (1.0 - u).powf(-1.0 / (alpha_true - 1.0))).round() as usize
+                })
+                .collect()
+        };
+        let shallow = fit_power_law(&gen(2.1), 2).unwrap();
+        let steep = fit_power_law(&gen(3.5), 2).unwrap();
+        assert!(steep > shallow, "steep {steep} <= shallow {shallow}");
+    }
+
+    #[test]
+    fn fit_needs_enough_samples() {
+        assert!(fit_power_law(&[3, 4, 5], 2).is_none());
+        assert!(fit_power_law(&[], 2).is_none());
+    }
+}

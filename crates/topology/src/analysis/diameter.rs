@@ -1,0 +1,113 @@
+//! Diameter and eccentricity estimation.
+
+use crate::{RouterId, Topology};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source`; unreachable routers get `u32::MAX`.
+fn bfs_dist(topo: &Topology, source: RouterId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; topo.n_routers()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source.index());
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for e in topo.neighbors(RouterId(v as u32)) {
+            let u = e.to.index();
+            if dist[u] == u32::MAX {
+                dist[u] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of a router: the largest hop distance to any *reachable*
+/// router (0 for an isolated router).
+pub fn eccentricity(topo: &Topology, r: RouterId) -> u32 {
+    bfs_dist(topo, r)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter via the classic double-sweep heuristic: BFS
+/// from `start`, then BFS again from the farthest router found. Exact on
+/// trees; a tight lower bound in practice on Internet-like graphs.
+pub fn double_sweep_diameter_lower_bound(topo: &Topology, start: RouterId) -> u32 {
+    if topo.n_routers() == 0 {
+        return 0;
+    }
+    let first = bfs_dist(topo, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| RouterId(i as u32))
+        .unwrap_or(start);
+    eccentricity(topo, far)
+}
+
+/// Exact diameter of the (component containing each router of the) graph:
+/// max eccentricity over all routers. O(n·m) — use only on small maps.
+pub fn exact_diameter(topo: &Topology) -> u32 {
+    topo.routers().map(|r| eccentricity(topo, r)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    fn path(n: usize) -> Topology {
+        let mut b = TopologyBuilder::with_routers(n);
+        for i in 0..n.saturating_sub(1) {
+            b.link(RouterId(i as u32), RouterId(i as u32 + 1), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_diameter() {
+        let t = path(6);
+        assert_eq!(exact_diameter(&t), 5);
+        assert_eq!(double_sweep_diameter_lower_bound(&t, RouterId(2)), 5);
+        assert_eq!(eccentricity(&t, RouterId(0)), 5);
+        assert_eq!(eccentricity(&t, RouterId(3)), 3);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        // Star with one long arm.
+        let mut b = TopologyBuilder::with_routers(7);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(0), RouterId(2), 1).unwrap();
+        b.link(RouterId(0), RouterId(3), 1).unwrap();
+        b.link(RouterId(3), RouterId(4), 1).unwrap();
+        b.link(RouterId(4), RouterId(5), 1).unwrap();
+        b.link(RouterId(5), RouterId(6), 1).unwrap();
+        let t = b.build();
+        assert_eq!(exact_diameter(&t), 5); // leaf 1/2 to leaf 6
+        assert_eq!(double_sweep_diameter_lower_bound(&t, RouterId(0)), 5);
+    }
+
+    #[test]
+    fn disconnected_ignores_unreachable() {
+        let mut b = TopologyBuilder::with_routers(4);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(2), RouterId(3), 1).unwrap();
+        let t = b.build();
+        assert_eq!(eccentricity(&t, RouterId(0)), 1);
+        assert_eq!(exact_diameter(&t), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(exact_diameter(&TopologyBuilder::new().build()), 0);
+        let t = TopologyBuilder::with_routers(1).build();
+        assert_eq!(exact_diameter(&t), 0);
+        assert_eq!(double_sweep_diameter_lower_bound(&t, RouterId(0)), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! k-core decomposition (Batagelj–Zaveršnik peeling).
+
+use crate::{RouterId, Topology};
+
+/// Core number of every router: the largest `k` such that the router belongs
+/// to a subgraph where every member has degree ≥ `k`.
+///
+/// Linear-time bucket peeling; the maximum core is the paper's "network
+/// core" of highly-connected routers.
+pub fn k_core_numbers(topo: &Topology) -> Vec<usize> {
+    let n = topo.n_routers();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|i| topo.degree(RouterId(i as u32))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort vertices by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for d in 0..=max_deg {
+        let count = bins[d];
+        bins[d] = start;
+        start += count;
+    }
+    let mut vert = vec![0usize; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut next = bins.clone();
+        for v in 0..n {
+            pos[v] = next[degree[v]];
+            vert[pos[v]] = v;
+            next[degree[v]] += 1;
+        }
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v];
+        for e in topo.neighbors(RouterId(v as u32)) {
+            let u = e.to.index();
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with first vertex of its bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The largest core number in the graph (0 for an edgeless graph).
+pub fn max_core_number(topo: &Topology) -> usize {
+    k_core_numbers(topo).into_iter().max().unwrap_or(0)
+}
+
+/// Routers whose core number is at least `k`.
+pub fn k_core_members(topo: &Topology, k: usize) -> Vec<RouterId> {
+    k_core_numbers(topo)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c >= k)
+        .map(|(i, _)| RouterId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    /// A 4-clique with a pendant path: clique nodes have core 3, the path
+    /// nodes core 1.
+    fn clique_with_tail() -> Topology {
+        let mut b = TopologyBuilder::with_routers(6);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.link(RouterId(i), RouterId(j), 1000).unwrap();
+            }
+        }
+        b.link(RouterId(0), RouterId(4), 1000).unwrap();
+        b.link(RouterId(4), RouterId(5), 1000).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let t = clique_with_tail();
+        let core = k_core_numbers(&t);
+        assert_eq!(core, vec![3, 3, 3, 3, 1, 1]);
+        assert_eq!(max_core_number(&t), 3);
+    }
+
+    #[test]
+    fn members_at_threshold() {
+        let t = clique_with_tail();
+        let members = k_core_members(&t, 3);
+        assert_eq!(members.len(), 4);
+        assert!(members.contains(&RouterId(0)));
+        assert!(!members.contains(&RouterId(4)));
+        assert_eq!(k_core_members(&t, 1).len(), 6);
+        assert!(k_core_members(&t, 4).is_empty());
+    }
+
+    #[test]
+    fn ring_is_its_own_2core() {
+        let mut b = TopologyBuilder::with_routers(5);
+        for i in 0..5u32 {
+            b.link(RouterId(i), RouterId((i + 1) % 5), 1000).unwrap();
+        }
+        let t = b.build();
+        assert_eq!(k_core_numbers(&t), vec![2; 5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = TopologyBuilder::new().build();
+        assert!(k_core_numbers(&t).is_empty());
+        assert_eq!(max_core_number(&t), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let t = TopologyBuilder::with_routers(3).build();
+        assert_eq!(k_core_numbers(&t), vec![0, 0, 0]);
+    }
+}

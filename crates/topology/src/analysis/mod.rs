@@ -1,0 +1,25 @@
+//! Structural analysis of router topologies.
+//!
+//! These routines serve two purposes in the reproduction:
+//!
+//! 1. **Map validation** — the paper's argument rests on statistical
+//!    regularities of the router-level Internet (heavy-tailed degrees, a
+//!    high-centrality core). The generators in [`crate::generators`] are
+//!    checked against these statistics in tests and in the
+//!    `internet_mapping` experiment.
+//! 2. **Landmark placement** — the W1 study places landmarks by degree,
+//!    betweenness or k-core membership.
+
+mod betweenness;
+mod clustering;
+mod components;
+mod degree;
+mod diameter;
+mod kcore;
+
+pub use betweenness::{betweenness_centrality, betweenness_centrality_sampled};
+pub use clustering::{global_clustering_coefficient, local_clustering};
+pub use components::{connected_components, is_connected, largest_component};
+pub use degree::{degree_histogram, fit_power_law, DegreeStats};
+pub use diameter::{double_sweep_diameter_lower_bound, eccentricity, exact_diameter};
+pub use kcore::{k_core_members, k_core_numbers, max_core_number};

@@ -1,0 +1,168 @@
+//! Mutable construction of [`Topology`] values.
+
+use crate::{Edge, RouterId, Topology, TopologyError};
+
+/// Incremental builder enforcing the [`Topology`] invariants.
+///
+/// ```
+/// use nearpeer_topology::TopologyBuilder;
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_router();
+/// let c = b.add_router();
+/// b.link(a, c, 1_000).unwrap();
+/// let topo = b.build();
+/// assert_eq!(topo.n_routers(), 2);
+/// assert!(topo.has_link(a, c));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TopologyBuilder {
+    adj: Vec<Vec<Edge>>,
+    labels: Vec<String>,
+    any_label: bool,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` unlabeled routers.
+    pub fn with_routers(n: usize) -> Self {
+        let mut b = Self::new();
+        for _ in 0..n {
+            b.add_router();
+        }
+        b
+    }
+
+    /// Adds an unlabeled router, returning its id.
+    pub fn add_router(&mut self) -> RouterId {
+        let id = RouterId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.labels.push(String::new());
+        id
+    }
+
+    /// Adds a labeled router (presets use this to mirror the paper's names).
+    pub fn add_labeled_router(&mut self, label: impl Into<String>) -> RouterId {
+        let id = self.add_router();
+        self.labels[id.index()] = label.into();
+        self.any_label = true;
+        id
+    }
+
+    /// Number of routers added so far.
+    pub fn n_routers(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Current degree of a router (counting links added so far).
+    pub fn degree(&self, r: RouterId) -> usize {
+        self.adj.get(r.index()).map_or(0, Vec::len)
+    }
+
+    /// Whether the undirected link `{a, b}` has already been added.
+    pub fn has_link(&self, a: RouterId, b: RouterId) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|edges| edges.iter().any(|e| e.to == b))
+    }
+
+    /// Adds the undirected link `{a, b}` with the given one-way latency.
+    ///
+    /// Adding an existing link again updates its latency instead of
+    /// duplicating it (generators rely on this being idempotent).
+    pub fn link(&mut self, a: RouterId, b: RouterId, latency_us: u32) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        let n = self.adj.len() as u32;
+        for r in [a, b] {
+            if r.0 >= n {
+                return Err(TopologyError::UnknownRouter(r));
+            }
+        }
+        Self::insert_half(&mut self.adj[a.index()], b, latency_us);
+        Self::insert_half(&mut self.adj[b.index()], a, latency_us);
+        Ok(())
+    }
+
+    fn insert_half(edges: &mut Vec<Edge>, to: RouterId, latency_us: u32) {
+        if let Some(e) = edges.iter_mut().find(|e| e.to == to) {
+            e.latency_us = latency_us;
+        } else {
+            edges.push(Edge { to, latency_us });
+        }
+    }
+
+    /// Finalises the topology: sorts adjacency lists and freezes the graph.
+    pub fn build(mut self) -> Topology {
+        for edges in &mut self.adj {
+            edges.sort_by_key(|e| e.to);
+        }
+        Topology {
+            adj: self.adj,
+            labels: if self.any_label { Some(self.labels) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop_and_unknown() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router();
+        assert_eq!(b.link(a, a, 1).unwrap_err(), TopologyError::SelfLoop(a));
+        assert_eq!(
+            b.link(a, RouterId(7), 1).unwrap_err(),
+            TopologyError::UnknownRouter(RouterId(7))
+        );
+    }
+
+    #[test]
+    fn duplicate_link_updates_latency() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router();
+        let c = b.add_router();
+        b.link(a, c, 100).unwrap();
+        b.link(c, a, 250).unwrap();
+        let t = b.build();
+        assert_eq!(t.n_links(), 1);
+        assert_eq!(t.link_latency_us(a, c), Some(250));
+        assert_eq!(t.link_latency_us(c, a), Some(250));
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        let mut b = TopologyBuilder::with_routers(4);
+        b.link(RouterId(0), RouterId(3), 1).unwrap();
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        b.link(RouterId(0), RouterId(2), 1).unwrap();
+        let t = b.build();
+        let ids: Vec<u32> = t.neighbors(RouterId(0)).iter().map(|e| e.to.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_survive_build() {
+        let mut b = TopologyBuilder::new();
+        let lmk = b.add_labeled_router("lmk");
+        let _ = b.add_router();
+        let t = b.build();
+        assert_eq!(t.label(lmk), Some("lmk"));
+        assert_eq!(t.router_by_label("lmk"), Some(lmk));
+        assert_eq!(t.router_by_label("nope"), None);
+    }
+
+    #[test]
+    fn unlabeled_topology_has_no_label_table() {
+        let mut b = TopologyBuilder::with_routers(2);
+        b.link(RouterId(0), RouterId(1), 1).unwrap();
+        let t = b.build();
+        assert_eq!(t.label(RouterId(0)), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::{RouterId, Topology, TopologyBuilder, TopologyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Barabási–Albert model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaConfig {
+    /// Total number of routers (`n > m`).
+    pub n: usize,
+    /// Links added by each arriving router (`m >= 1`).
+    pub m: usize,
+}
+
+/// Generates a connected BA graph: a clique of `m + 1` seed routers, then
+/// each arriving router attaches to `m` distinct existing routers sampled
+/// proportionally to degree (via the repeated-endpoints trick).
+pub fn barabasi_albert(config: &BaConfig, seed: u64) -> Result<Topology, TopologyError> {
+    if config.m == 0 {
+        return Err(TopologyError::InvalidConfig("BA requires m >= 1".into()));
+    }
+    if config.n <= config.m {
+        return Err(TopologyError::InvalidConfig(format!(
+            "BA requires n > m (got n={}, m={})",
+            config.n, config.m
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TopologyBuilder::with_routers(config.n);
+
+    // Each endpoint of each link appears once in `targets`, so sampling a
+    // uniform element of `targets` is degree-proportional sampling.
+    let mut targets: Vec<RouterId> = Vec::with_capacity(2 * config.m * config.n);
+    let seed_count = config.m + 1;
+    for i in 0..seed_count as u32 {
+        for j in (i + 1)..seed_count as u32 {
+            builder
+                .link(RouterId(i), RouterId(j), 1000)
+                .expect("seed ids in range");
+            targets.push(RouterId(i));
+            targets.push(RouterId(j));
+        }
+    }
+
+    for v in seed_count..config.n {
+        let v = RouterId(v as u32);
+        let mut chosen: Vec<RouterId> = Vec::with_capacity(config.m);
+        while chosen.len() < config.m {
+            let pick = targets[rng.gen_range(0..targets.len())];
+            if pick != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for u in chosen {
+            builder.link(v, u, 1000).expect("ids in range");
+            targets.push(v);
+            targets.push(u);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{fit_power_law, is_connected};
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(barabasi_albert(&BaConfig { n: 10, m: 0 }, 1).is_err());
+        assert!(barabasi_albert(&BaConfig { n: 3, m: 3 }, 1).is_err());
+    }
+
+    #[test]
+    fn size_and_connectivity() {
+        let t = barabasi_albert(&BaConfig { n: 200, m: 2 }, 42).unwrap();
+        assert_eq!(t.n_routers(), 200);
+        assert!(is_connected(&t));
+        // Seed clique has 3 links; each of the 197 arrivals adds 2.
+        assert_eq!(t.n_links(), 3 + 197 * 2);
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let t = barabasi_albert(&BaConfig { n: 150, m: 3 }, 7).unwrap();
+        for r in t.routers() {
+            assert!(t.degree(r) >= 3, "router {r} has degree {}", t.degree(r));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_exponent_near_three() {
+        let t = barabasi_albert(&BaConfig { n: 3000, m: 2 }, 99).unwrap();
+        let degrees: Vec<usize> = t.routers().map(|r| t.degree(r)).collect();
+        let alpha = fit_power_law(&degrees, 3).expect("enough samples");
+        assert!(
+            (2.2..4.2).contains(&alpha),
+            "BA exponent {alpha} implausible"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(&BaConfig { n: 100, m: 2 }, 5).unwrap();
+        let b = barabasi_albert(&BaConfig { n: 100, m: 2 }, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

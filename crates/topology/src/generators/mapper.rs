@@ -1,0 +1,192 @@
+//! The "nem-like" mapper profile — the default substrate for the paper's
+//! experiments.
+//!
+//! The *nem* mapper (Magoni & Hoerdt 2005) produces router-level maps whose
+//! salient statistics are: a power-law degree distribution with exponent
+//! around 2.2, a small dense core carrying most shortest paths, and a large
+//! fringe of degree-1 access routers. This generator reproduces that shape
+//! directly:
+//!
+//! 1. a GLP core of `core_size` routers (exponent ≈ 2.2);
+//! 2. `access_count` degree-1 access routers, each connected to the core via
+//!    a chain of 0–`max_chain` fresh aggregation routers (last-mile +
+//!    regional aggregation), attached to a core router picked uniformly —
+//!    matching how mapper traces hang singleton interfaces off the measured
+//!    mesh.
+//!
+//! Peers attach to the degree-1 routers (paper §3), landmarks to
+//! medium-degree routers.
+
+use super::glp::{glp, GlpConfig};
+use crate::{RouterId, Topology, TopologyBuilder, TopologyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Literature GLP mixing probability for Internet-like cores.
+pub const DEFAULT_GLP_P: f64 = 0.4695;
+/// Literature GLP preference shift for Internet-like cores.
+pub const DEFAULT_GLP_BETA: f64 = 0.6447;
+
+/// Parameters of the mapper profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapperConfig {
+    /// Routers in the GLP core mesh.
+    pub core_size: usize,
+    /// Degree-1 access routers to attach.
+    pub access_count: usize,
+    /// Maximum length of the aggregation chain between an access router and
+    /// its core attachment (chain length is sampled uniformly in
+    /// `0..=max_chain`).
+    pub max_chain: usize,
+    /// GLP mixing probability for the core.
+    pub glp_p: f64,
+    /// GLP preference shift for the core.
+    pub glp_beta: f64,
+}
+
+impl MapperConfig {
+    /// Default profile used by the paper-scale experiments (≈ 4.5k routers
+    /// once aggregation chains are counted).
+    pub fn paper_scale() -> Self {
+        Self::with_access(1_500, 2_500)
+    }
+
+    /// A miniature profile for unit tests (≈ 200 routers).
+    pub fn tiny() -> Self {
+        Self::with_access(60, 80)
+    }
+
+    /// Profile with a custom core size and access-router budget (the F2
+    /// sweep needs at least `n` degree-1 routers for `n` peers).
+    pub fn with_access(core_size: usize, access_count: usize) -> Self {
+        Self {
+            core_size,
+            access_count,
+            max_chain: 2,
+            glp_p: DEFAULT_GLP_P,
+            glp_beta: DEFAULT_GLP_BETA,
+        }
+    }
+}
+
+/// Generates a mapper-profile topology.
+///
+/// Latencies: core links 1–10 ms, aggregation links 0.5–4 ms, access links
+/// 0.2–2 ms (one-way, microsecond units).
+pub fn mapper(config: &MapperConfig, seed: u64) -> Result<Topology, TopologyError> {
+    if config.core_size < 3 {
+        return Err(TopologyError::InvalidConfig(
+            "mapper profile requires core_size >= 3".into(),
+        ));
+    }
+    let core = glp(
+        &GlpConfig {
+            n: config.core_size,
+            m: 1,
+            p: config.glp_p,
+            beta: config.glp_beta,
+        },
+        seed,
+    )?;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d61_7070_6572); // "mapper"
+    let mut b = TopologyBuilder::with_routers(config.core_size);
+    // Copy the core with fresh core-class latencies.
+    for (a, c, _) in core.links() {
+        let lat = rng.gen_range(1_000..=10_000);
+        b.link(a, c, lat).expect("core ids in range");
+    }
+
+    for _ in 0..config.access_count {
+        let chain_len = if config.max_chain == 0 {
+            0
+        } else {
+            rng.gen_range(0..=config.max_chain)
+        };
+        let mut attach = RouterId(rng.gen_range(0..config.core_size as u32));
+        for _ in 0..chain_len {
+            let agg = b.add_router();
+            let lat = rng.gen_range(500..=4_000);
+            b.link(agg, attach, lat).expect("ids in range");
+            attach = agg;
+        }
+        let leaf = b.add_router();
+        let lat = rng.gen_range(200..=2_000);
+        b.link(leaf, attach, lat).expect("ids in range");
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{fit_power_law, is_connected, max_core_number};
+
+    #[test]
+    fn rejects_tiny_core() {
+        let mut cfg = MapperConfig::tiny();
+        cfg.core_size = 2;
+        assert!(mapper(&cfg, 1).is_err());
+    }
+
+    #[test]
+    fn connected_with_enough_access_routers() {
+        let cfg = MapperConfig::tiny();
+        let t = mapper(&cfg, 42).unwrap();
+        assert!(is_connected(&t));
+        assert!(t.access_routers().len() >= cfg.access_count);
+    }
+
+    #[test]
+    fn chain_routers_have_degree_one_or_two() {
+        let cfg = MapperConfig {
+            core_size: 50,
+            access_count: 40,
+            max_chain: 3,
+            glp_p: DEFAULT_GLP_P,
+            glp_beta: DEFAULT_GLP_BETA,
+        };
+        let t = mapper(&cfg, 3).unwrap();
+        // All non-core routers are aggregation-chain routers (degree 2) or
+        // access leaves (degree 1).
+        for r in t.routers().skip(cfg.core_size) {
+            let d = t.degree(r);
+            assert!(d == 1 || d == 2, "router {r} degree {d}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_statistics() {
+        let t = mapper(&MapperConfig::with_access(800, 1_600), 7).unwrap();
+        assert!(is_connected(&t));
+        assert!(t.access_routers().len() >= 1_600);
+        let degrees: Vec<usize> = t.routers().map(|r| t.degree(r)).collect();
+        let alpha = fit_power_law(&degrees, 2).expect("enough routers");
+        assert!(
+            (1.7..3.2).contains(&alpha),
+            "mapper exponent {alpha} not Internet-like"
+        );
+        assert!(max_core_number(&t) >= 2, "mapper profile must have a core");
+    }
+
+    #[test]
+    fn zero_chain_allowed() {
+        let cfg = MapperConfig {
+            core_size: 30,
+            access_count: 20,
+            max_chain: 0,
+            glp_p: DEFAULT_GLP_P,
+            glp_beta: DEFAULT_GLP_BETA,
+        };
+        let t = mapper(&cfg, 5).unwrap();
+        assert_eq!(t.n_routers(), 50);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = MapperConfig::tiny();
+        assert_eq!(mapper(&cfg, 9).unwrap(), mapper(&cfg, 9).unwrap());
+    }
+}

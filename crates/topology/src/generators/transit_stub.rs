@@ -1,0 +1,211 @@
+//! GT-ITM-style transit-stub hierarchy.
+
+use crate::{RouterId, Topology, TopologyBuilder, TopologyError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the transit-stub hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) domains.
+    pub transit_domains: usize,
+    /// Routers per transit domain.
+    pub transit_size: usize,
+    /// Stub domains hanging off each transit router.
+    pub stubs_per_transit_router: usize,
+    /// Routers per stub domain.
+    pub stub_size: usize,
+    /// Probability of each extra intra-domain edge beyond the spanning tree.
+    pub extra_edge_prob: f64,
+    /// Degree-1 access routers attached to each stub domain.
+    pub access_per_stub: usize,
+}
+
+impl TransitStubConfig {
+    /// A small hierarchy for tests (≈ 100 routers).
+    pub fn small() -> Self {
+        Self {
+            transit_domains: 2,
+            transit_size: 4,
+            stubs_per_transit_router: 2,
+            stub_size: 3,
+            extra_edge_prob: 0.3,
+            access_per_stub: 2,
+        }
+    }
+}
+
+/// Generates a connected transit-stub topology.
+///
+/// Latencies follow the hierarchy: transit-transit links 5–20 ms,
+/// transit-stub 2–8 ms, intra-stub 0.5–3 ms, access 0.2–1 ms.
+pub fn transit_stub(config: &TransitStubConfig, seed: u64) -> Result<Topology, TopologyError> {
+    if config.transit_domains == 0 || config.transit_size == 0 {
+        return Err(TopologyError::InvalidConfig(
+            "transit-stub requires at least one transit domain and router".into(),
+        ));
+    }
+    if config.stub_size == 0 && config.access_per_stub > 0 {
+        return Err(TopologyError::InvalidConfig(
+            "access routers need a stub domain to attach to".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TopologyBuilder::new();
+
+    let lat_tt = |rng: &mut StdRng| rng.gen_range(5_000..=20_000);
+    let lat_ts = |rng: &mut StdRng| rng.gen_range(2_000..=8_000);
+    let lat_ss = |rng: &mut StdRng| rng.gen_range(500..=3_000);
+    let lat_ax = |rng: &mut StdRng| rng.gen_range(200..=1_000);
+
+    // Builds one connected random domain: random spanning tree + extras.
+    fn domain(
+        b: &mut TopologyBuilder,
+        rng: &mut StdRng,
+        size: usize,
+        extra_prob: f64,
+        mut lat: impl FnMut(&mut StdRng) -> u32,
+    ) -> Vec<RouterId> {
+        let ids: Vec<RouterId> = (0..size).map(|_| b.add_router()).collect();
+        if size <= 1 {
+            return ids;
+        }
+        let mut order = ids.clone();
+        order.shuffle(rng);
+        for i in 1..order.len() {
+            let parent = order[rng.gen_range(0..i)];
+            let l = lat(rng);
+            b.link(order[i], parent, l).expect("fresh ids");
+        }
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                if rng.gen::<f64>() < extra_prob && !b.has_link(ids[i], ids[j]) {
+                    let l = lat(rng);
+                    b.link(ids[i], ids[j], l).expect("fresh ids");
+                }
+            }
+        }
+        ids
+    }
+
+    // Transit domains.
+    let mut transit: Vec<Vec<RouterId>> = Vec::with_capacity(config.transit_domains);
+    for _ in 0..config.transit_domains {
+        let ids = domain(&mut b, &mut rng, config.transit_size, config.extra_edge_prob, lat_tt);
+        transit.push(ids);
+    }
+    // Inter-domain ring (plus one random chord per domain when > 2 domains).
+    for d in 0..config.transit_domains {
+        let next = (d + 1) % config.transit_domains;
+        if next == d {
+            break;
+        }
+        let a = transit[d][rng.gen_range(0..transit[d].len())];
+        let c = transit[next][rng.gen_range(0..transit[next].len())];
+        if a != c {
+            let l = lat_tt(&mut rng);
+            b.link(a, c, l).expect("ids in range");
+        }
+        if config.transit_domains > 2 {
+            let other = rng.gen_range(0..config.transit_domains);
+            if other != d {
+                let x = transit[d][rng.gen_range(0..transit[d].len())];
+                let y = transit[other][rng.gen_range(0..transit[other].len())];
+                if x != y && !b.has_link(x, y) {
+                    let l = lat_tt(&mut rng);
+                    b.link(x, y, l).expect("ids in range");
+                }
+            }
+        }
+    }
+
+    // Stub domains and access leaves.
+    for dom in &transit {
+        for &tr in dom {
+            for _ in 0..config.stubs_per_transit_router {
+                let stub =
+                    domain(&mut b, &mut rng, config.stub_size, config.extra_edge_prob, lat_ss);
+                if let Some(&gateway) = stub.first() {
+                    let l = lat_ts(&mut rng);
+                    b.link(gateway, tr, l).expect("ids in range");
+                    for _ in 0..config.access_per_stub {
+                        let leaf = b.add_router();
+                        let attach = stub[rng.gen_range(0..stub.len())];
+                        let l = lat_ax(&mut rng);
+                        b.link(leaf, attach, l).expect("ids in range");
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_connected;
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut cfg = TransitStubConfig::small();
+        cfg.transit_domains = 0;
+        assert!(transit_stub(&cfg, 1).is_err());
+        let mut cfg = TransitStubConfig::small();
+        cfg.stub_size = 0;
+        assert!(transit_stub(&cfg, 1).is_err());
+    }
+
+    #[test]
+    fn connected_with_expected_counts() {
+        let cfg = TransitStubConfig::small();
+        let t = transit_stub(&cfg, 42).unwrap();
+        assert!(is_connected(&t));
+        let expected = cfg.transit_domains * cfg.transit_size // transit
+            + cfg.transit_domains
+                * cfg.transit_size
+                * cfg.stubs_per_transit_router
+                * (cfg.stub_size + cfg.access_per_stub);
+        assert_eq!(t.n_routers(), expected);
+    }
+
+    #[test]
+    fn access_leaves_have_degree_one() {
+        let cfg = TransitStubConfig::small();
+        let t = transit_stub(&cfg, 7).unwrap();
+        let n_access_expected =
+            cfg.transit_domains * cfg.transit_size * cfg.stubs_per_transit_router
+                * cfg.access_per_stub;
+        assert!(t.access_routers().len() >= n_access_expected);
+    }
+
+    #[test]
+    fn latencies_respect_tiers() {
+        let t = transit_stub(&TransitStubConfig::small(), 11).unwrap();
+        for (_, _, lat) in t.links() {
+            assert!((200..=20_000).contains(&lat), "latency {lat} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TransitStubConfig::small();
+        assert_eq!(transit_stub(&cfg, 5).unwrap(), transit_stub(&cfg, 5).unwrap());
+    }
+
+    #[test]
+    fn single_domain_is_fine() {
+        let cfg = TransitStubConfig {
+            transit_domains: 1,
+            transit_size: 5,
+            stubs_per_transit_router: 1,
+            stub_size: 2,
+            extra_edge_prob: 0.2,
+            access_per_stub: 1,
+        };
+        let t = transit_stub(&cfg, 3).unwrap();
+        assert!(is_connected(&t));
+    }
+}

@@ -1,0 +1,149 @@
+//! Waxman random geometric graphs.
+//!
+//! Waxman graphs have *no* heavy tail — degree is roughly Poisson — which
+//! makes them the control case in the dtree-accuracy ablation (A1): the
+//! paper's core-routing assumption should visibly degrade here.
+
+use crate::{RouterId, Topology, TopologyBuilder, TopologyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Waxman model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaxmanConfig {
+    /// Number of routers placed uniformly in the unit square.
+    pub n: usize,
+    /// Link probability scale (`0 < alpha <= 1`).
+    pub alpha: f64,
+    /// Decay scale relative to the maximum distance (`beta > 0`); larger
+    /// beta means longer links are more likely.
+    pub beta: f64,
+}
+
+/// Generates a Waxman graph, then stitches components together with their
+/// closest cross-pairs so the result is always connected.
+///
+/// Link latency encodes geometric distance: `latency_us = 100 + 20_000·d`
+/// where `d` is the Euclidean distance in the unit square (so ~0.1–20 ms,
+/// a plausible intra-continental range).
+pub fn waxman(config: &WaxmanConfig, seed: u64) -> Result<Topology, TopologyError> {
+    if config.n < 2 {
+        return Err(TopologyError::InvalidConfig("Waxman requires n >= 2".into()));
+    }
+    if !(0.0..=1.0).contains(&config.alpha) || config.alpha == 0.0 {
+        return Err(TopologyError::InvalidConfig(format!(
+            "Waxman requires 0 < alpha <= 1 (got {})",
+            config.alpha
+        )));
+    }
+    if config.beta <= 0.0 {
+        return Err(TopologyError::InvalidConfig(format!(
+            "Waxman requires beta > 0 (got {})",
+            config.beta
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> =
+        (0..config.n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let max_dist = 2f64.sqrt();
+    let latency = |d: f64| (100.0 + 20_000.0 * d) as u32;
+
+    let mut builder = TopologyBuilder::with_routers(config.n);
+    for i in 0..config.n {
+        for j in (i + 1)..config.n {
+            let d = dist(pos[i], pos[j]);
+            let p = config.alpha * (-d / (config.beta * max_dist)).exp();
+            if rng.gen::<f64>() < p {
+                builder
+                    .link(RouterId(i as u32), RouterId(j as u32), latency(d))
+                    .expect("ids in range");
+            }
+        }
+    }
+
+    // Connect remaining components via their geometrically closest pairs.
+    loop {
+        let snapshot = builder.clone().build();
+        let (labels, count) = crate::analysis::connected_components(&snapshot);
+        if count <= 1 {
+            break;
+        }
+        // Join component 1..count-1 into component of router with label 0.
+        let target = labels.iter().position(|&l| l == 1).expect("count > 1");
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, &li) in labels.iter().enumerate() {
+            if li != 1 {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj == 1 {
+                    continue;
+                }
+                let d = dist(pos[i], pos[j]);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = best.unwrap_or((target, 0, dist(pos[target], pos[0])));
+        builder
+            .link(RouterId(i as u32), RouterId(j as u32), latency(d))
+            .expect("ids in range");
+    }
+    Ok(builder.build())
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_connected;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(waxman(&WaxmanConfig { n: 1, alpha: 0.4, beta: 0.3 }, 1).is_err());
+        assert!(waxman(&WaxmanConfig { n: 10, alpha: 0.0, beta: 0.3 }, 1).is_err());
+        assert!(waxman(&WaxmanConfig { n: 10, alpha: 0.4, beta: 0.0 }, 1).is_err());
+    }
+
+    #[test]
+    fn always_connected() {
+        // Sparse parameters on purpose: stitching must kick in.
+        let t = waxman(&WaxmanConfig { n: 120, alpha: 0.05, beta: 0.05 }, 3).unwrap();
+        assert!(is_connected(&t));
+        assert_eq!(t.n_routers(), 120);
+    }
+
+    #[test]
+    fn latency_reflects_distance_range() {
+        let t = waxman(&WaxmanConfig { n: 80, alpha: 0.5, beta: 0.4 }, 9).unwrap();
+        for (_, _, lat) in t.links() {
+            assert!(lat >= 100);
+            assert!(lat <= 100 + 20_000 * 2); // <= 100 + 20000*sqrt(2) rounded up
+        }
+    }
+
+    #[test]
+    fn no_heavy_tail() {
+        let t = waxman(&WaxmanConfig { n: 1500, alpha: 0.3, beta: 0.15 }, 5).unwrap();
+        let degrees: Vec<usize> = t.routers().map(|r| t.degree(r)).collect();
+        // Poisson-like degrees: the maximum stays within a small factor of
+        // the mean, unlike the orders-of-magnitude hubs of BA/GLP maps.
+        let max_d = degrees.iter().copied().max().unwrap();
+        let mean_d = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            (max_d as f64) < mean_d * 6.0,
+            "max degree {max_d} too far above mean {mean_d} for a Poisson-like graph"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WaxmanConfig { n: 90, alpha: 0.3, beta: 0.2 };
+        assert_eq!(waxman(&cfg, 77).unwrap(), waxman(&cfg, 77).unwrap());
+    }
+}

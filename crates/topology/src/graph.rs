@@ -1,0 +1,256 @@
+//! The immutable router graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a router inside one [`Topology`].
+///
+/// Ids are assigned contiguously from 0 by [`crate::TopologyBuilder`], which
+/// lets every downstream crate index flat arrays by router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One directed half of an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The router at the other end.
+    pub to: RouterId,
+    /// One-way propagation latency of the link, in microseconds.
+    pub latency_us: u32,
+}
+
+/// Structural role of a router, derived from the graph
+/// (see [`Topology::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterClass {
+    /// Member of the densest k-core — the "network core" of the paper.
+    Core,
+    /// Degree-1 router; the paper attaches peers here.
+    Access,
+    /// Everything in between (regional/aggregation routers). The paper
+    /// attaches landmarks to these "medium-size degree" routers.
+    Aggregation,
+}
+
+/// An immutable, undirected router-level topology with per-edge latencies.
+///
+/// Invariants (enforced by [`crate::TopologyBuilder`]):
+/// * no self-loops, no parallel edges;
+/// * adjacency lists are sorted by neighbor id (binary-searchable);
+/// * both directions of an edge carry the same latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub(crate) adj: Vec<Vec<Edge>>,
+    pub(crate) labels: Option<Vec<String>>,
+}
+
+impl Topology {
+    /// Number of routers.
+    #[inline]
+    pub fn n_routers(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected links.
+    pub fn n_links(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Iterator over every router id.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.adj.len() as u32).map(RouterId)
+    }
+
+    /// Degree of a router.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range (ids come from this topology, so an
+    /// out-of-range id is a logic error).
+    #[inline]
+    pub fn degree(&self, r: RouterId) -> usize {
+        self.adj[r.index()].len()
+    }
+
+    /// Neighbors (with link latencies) of a router, sorted by id.
+    #[inline]
+    pub fn neighbors(&self, r: RouterId) -> &[Edge] {
+        &self.adj[r.index()]
+    }
+
+    /// Whether an undirected link `{a, b}` exists.
+    pub fn has_link(&self, a: RouterId, b: RouterId) -> bool {
+        self.adj[a.index()].binary_search_by_key(&b, |e| e.to).is_ok()
+    }
+
+    /// Latency of the link `{a, b}` in microseconds, if the link exists.
+    pub fn link_latency_us(&self, a: RouterId, b: RouterId) -> Option<u32> {
+        self.adj[a.index()]
+            .binary_search_by_key(&b, |e| e.to)
+            .ok()
+            .map(|i| self.adj[a.index()][i].latency_us)
+    }
+
+    /// Iterator over undirected links as `(a, b, latency_us)` with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = (RouterId, RouterId, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, edges)| {
+            let a = RouterId(i as u32);
+            edges
+                .iter()
+                .filter(move |e| a < e.to)
+                .map(move |e| (a, e.to, e.latency_us))
+        })
+    }
+
+    /// Optional human label of a router (presets name their routers).
+    pub fn label(&self, r: RouterId) -> Option<&str> {
+        self.labels.as_ref().and_then(|l| l.get(r.index())).map(String::as_str)
+    }
+
+    /// Looks a router up by label.
+    pub fn router_by_label(&self, label: &str) -> Option<RouterId> {
+        let labels = self.labels.as_ref()?;
+        labels.iter().position(|l| l == label).map(|i| RouterId(i as u32))
+    }
+
+    /// All routers with exactly the given degree (ascending id order).
+    pub fn routers_with_degree(&self, degree: usize) -> Vec<RouterId> {
+        self.routers().filter(|&r| self.degree(r) == degree).collect()
+    }
+
+    /// All degree-1 routers — the attachment points the paper uses for peers.
+    pub fn access_routers(&self) -> Vec<RouterId> {
+        self.routers_with_degree(1)
+    }
+
+    /// Routers whose degree lies in `[lo, hi]` (inclusive) — the paper's
+    /// "medium-size degree" routers where landmarks attach.
+    pub fn routers_with_degree_between(&self, lo: usize, hi: usize) -> Vec<RouterId> {
+        self.routers()
+            .filter(|&r| {
+                let d = self.degree(r);
+                d >= lo && d <= hi
+            })
+            .collect()
+    }
+
+    /// Classifies every router as core / aggregation / access.
+    ///
+    /// Core = membership in the maximum k-core (the paper's "network core",
+    /// justified by the betweenness-centrality argument it cites); access =
+    /// degree 1; everything else is aggregation. For degenerate graphs where
+    /// the maximum core is the whole graph (e.g. a ring), routers of degree 1
+    /// still classify as access.
+    pub fn classify(&self) -> Vec<RouterClass> {
+        let core_numbers = crate::analysis::k_core_numbers(self);
+        let max_core = core_numbers.iter().copied().max().unwrap_or(0);
+        self.routers()
+            .map(|r| {
+                if self.degree(r) <= 1 {
+                    RouterClass::Access
+                } else if core_numbers[r.index()] == max_core && max_core >= 2 {
+                    RouterClass::Core
+                } else {
+                    RouterClass::Aggregation
+                }
+            })
+            .collect()
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.n_links() as f64 / self.n_routers() as f64
+        }
+    }
+
+    /// Largest degree in the graph (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TopologyBuilder;
+
+    use super::*;
+
+    fn triangle_plus_leaf() -> Topology {
+        // 0-1-2 triangle, 3 hangs off 0.
+        let mut b = TopologyBuilder::new();
+        let n: Vec<RouterId> = (0..4).map(|_| b.add_router()).collect();
+        b.link(n[0], n[1], 1000).unwrap();
+        b.link(n[1], n[2], 1000).unwrap();
+        b.link(n[0], n[2], 1000).unwrap();
+        b.link(n[0], n[3], 2000).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let t = triangle_plus_leaf();
+        assert_eq!(t.n_routers(), 4);
+        assert_eq!(t.n_links(), 4);
+        assert_eq!(t.degree(RouterId(0)), 3);
+        assert_eq!(t.degree(RouterId(3)), 1);
+        assert_eq!(t.mean_degree(), 2.0);
+        assert_eq!(t.max_degree(), 3);
+    }
+
+    #[test]
+    fn link_queries() {
+        let t = triangle_plus_leaf();
+        assert!(t.has_link(RouterId(0), RouterId(1)));
+        assert!(t.has_link(RouterId(1), RouterId(0)));
+        assert!(!t.has_link(RouterId(1), RouterId(3)));
+        assert_eq!(t.link_latency_us(RouterId(0), RouterId(3)), Some(2000));
+        assert_eq!(t.link_latency_us(RouterId(1), RouterId(3)), None);
+    }
+
+    #[test]
+    fn links_iterator_is_undirected_once() {
+        let t = triangle_plus_leaf();
+        let links: Vec<_> = t.links().collect();
+        assert_eq!(links.len(), 4);
+        for (a, b, _) in links {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn degree_selectors() {
+        let t = triangle_plus_leaf();
+        assert_eq!(t.access_routers(), vec![RouterId(3)]);
+        assert_eq!(
+            t.routers_with_degree_between(2, 3),
+            vec![RouterId(0), RouterId(1), RouterId(2)]
+        );
+    }
+
+    #[test]
+    fn classification_of_triangle_leaf() {
+        let t = triangle_plus_leaf();
+        let classes = t.classify();
+        assert_eq!(classes[3], RouterClass::Access);
+        // Triangle nodes form the 2-core.
+        assert_eq!(classes[0], RouterClass::Core);
+        assert_eq!(classes[1], RouterClass::Core);
+        assert_eq!(classes[2], RouterClass::Core);
+    }
+}

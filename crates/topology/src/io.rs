@@ -1,0 +1,206 @@
+//! Topology (de)serialisation: JSON and a plain edge-list text format.
+//!
+//! The edge-list format is line-oriented and `#`-commented so that maps can
+//! be produced or consumed by external tools (and by hand in tests):
+//!
+//! ```text
+//! # nearpeer edge list
+//! routers 4
+//! 0 1 1000
+//! 1 2 1500
+//! 2 3 900
+//! ```
+
+use crate::{RouterId, Topology, TopologyBuilder, TopologyError};
+
+/// Serialises a topology to pretty JSON.
+pub fn to_json(topo: &Topology) -> String {
+    serde_json::to_string_pretty(topo).expect("Topology serialisation cannot fail")
+}
+
+/// Parses a topology from JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<Topology, TopologyError> {
+    serde_json::from_str(json).map_err(|e| TopologyError::Parse(e.to_string()))
+}
+
+/// Serialises a topology to the edge-list text format.
+pub fn to_edge_list(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("# nearpeer edge list\n");
+    out.push_str(&format!("routers {}\n", topo.n_routers()));
+    for (a, b, lat) in topo.links() {
+        out.push_str(&format!("{} {} {}\n", a.0, b.0, lat));
+    }
+    out
+}
+
+/// Parses the edge-list text format.
+pub fn from_edge_list(text: &str) -> Result<Topology, TopologyError> {
+    let mut n_routers: Option<usize> = None;
+    let mut builder = TopologyBuilder::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line has a token");
+        if first == "routers" {
+            let n: usize = parts
+                .next()
+                .ok_or_else(|| parse_err(lineno, "missing router count"))?
+                .parse()
+                .map_err(|_| parse_err(lineno, "bad router count"))?;
+            n_routers = Some(n);
+            builder = TopologyBuilder::with_routers(n);
+            continue;
+        }
+        if n_routers.is_none() {
+            return Err(parse_err(lineno, "edge before `routers N` header"));
+        }
+        let a: u32 = first.parse().map_err(|_| parse_err(lineno, "bad source id"))?;
+        let b: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target id"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad target id"))?;
+        let lat: u32 = match parts.next() {
+            Some(tok) => tok.parse().map_err(|_| parse_err(lineno, "bad latency"))?,
+            None => 1_000,
+        };
+        builder.link(RouterId(a), RouterId(b), lat).map_err(|e| {
+            TopologyError::Parse(format!("line {}: {e}", lineno + 1))
+        })?;
+    }
+    if n_routers.is_none() {
+        return Err(TopologyError::Empty);
+    }
+    Ok(builder.build())
+}
+
+fn parse_err(lineno: usize, msg: &str) -> TopologyError {
+    TopologyError::Parse(format!("line {}: {msg}", lineno + 1))
+}
+
+/// Renders the topology as Graphviz DOT (undirected). Labeled routers keep
+/// their names; core routers (by classification) are drawn as boxes so the
+/// paper's "network core" is visible at a glance.
+pub fn to_dot(topo: &Topology) -> String {
+    use crate::RouterClass;
+    let classes = topo.classify();
+    let mut out = String::from("graph nearpeer {\n  node [shape=ellipse];\n");
+    for r in topo.routers() {
+        let name = topo
+            .label(r)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .unwrap_or_else(|| r.to_string());
+        let shape = match classes[r.index()] {
+            RouterClass::Core => "box",
+            RouterClass::Access => "plaintext",
+            RouterClass::Aggregation => "ellipse",
+        };
+        out.push_str(&format!("  \"{name}\" [shape={shape}];\n"));
+    }
+    for (a, b, lat) in topo.links() {
+        let na = topo
+            .label(a)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .unwrap_or_else(|| a.to_string());
+        let nb = topo
+            .label(b)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .unwrap_or_else(|| b.to_string());
+        out.push_str(&format!(
+            "  \"{na}\" -- \"{nb}\" [label=\"{:.1}ms\"];\n",
+            lat as f64 / 1000.0
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular;
+
+    #[test]
+    fn json_round_trip() {
+        let t = regular::grid(3, 2);
+        let back = from_json(&to_json(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_labels() {
+        let t = crate::presets::figure1().topology;
+        let back = from_json(&to_json(&t)).unwrap();
+        assert_eq!(back.router_by_label("lmk"), t.router_by_label("lmk"));
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let t = regular::ring(5);
+        let back = from_edge_list(&to_edge_list(&t)).unwrap();
+        assert_eq!(t.n_routers(), back.n_routers());
+        assert_eq!(t.n_links(), back.n_links());
+        for (a, b, lat) in t.links() {
+            assert_eq!(back.link_latency_us(a, b), Some(lat));
+        }
+    }
+
+    #[test]
+    fn edge_list_default_latency_and_comments() {
+        let text = "# comment\nrouters 3\n\n0 1\n1 2 500\n";
+        let t = from_edge_list(text).unwrap();
+        assert_eq!(t.link_latency_us(RouterId(0), RouterId(1)), Some(1_000));
+        assert_eq!(t.link_latency_us(RouterId(1), RouterId(2)), Some(500));
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(matches!(from_edge_list(""), Err(TopologyError::Empty)));
+        assert!(matches!(
+            from_edge_list("0 1 2\n"),
+            Err(TopologyError::Parse(_))
+        ));
+        assert!(matches!(
+            from_edge_list("routers x\n"),
+            Err(TopologyError::Parse(_))
+        ));
+        assert!(matches!(
+            from_edge_list("routers 2\n0 5 100\n"),
+            Err(TopologyError::Parse(_))
+        ));
+        assert!(matches!(
+            from_edge_list("routers 2\n0 zzz 100\n"),
+            Err(TopologyError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn bad_json() {
+        assert!(matches!(from_json("{"), Err(TopologyError::Parse(_))));
+    }
+
+    #[test]
+    fn dot_renders_labels_and_links() {
+        let fig = crate::presets::figure1();
+        let dot = to_dot(&fig.topology);
+        assert!(dot.starts_with("graph nearpeer {"));
+        assert!(dot.contains("\"lmk\""));
+        assert!(dot.contains("\"rc\" [shape=box]"), "core routers are boxes:\n{dot}");
+        assert!(dot.contains("\"p1\" [shape=plaintext]"));
+        assert!(dot.contains(" -- "));
+        assert!(dot.trim_end().ends_with('}'));
+        // One edge line per link.
+        assert_eq!(
+            dot.matches(" -- ").count(),
+            fig.topology.n_links()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Re-assignment of link latencies on an existing topology.
+
+use crate::{RouterClass, RouterId, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How to draw per-link one-way latencies (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LatencyModel {
+    /// Every link gets the same latency.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: u32,
+        /// Upper bound (inclusive).
+        hi: u32,
+    },
+    /// Tiered by the classes of the link endpoints: a link takes the range
+    /// of the *most core-ward* endpoint (core ≻ aggregation ≻ access).
+    ByClass {
+        /// Range for links touching a core router.
+        core: (u32, u32),
+        /// Range for aggregation-to-aggregation/access links.
+        aggregation: (u32, u32),
+        /// Range for access-only links (rare; both endpoints degree ≤ 1).
+        access: (u32, u32),
+    },
+}
+
+impl LatencyModel {
+    /// A realistic default: core 1–10 ms, aggregation 0.5–4 ms, access
+    /// 0.2–2 ms.
+    pub fn internet_like() -> Self {
+        LatencyModel::ByClass {
+            core: (1_000, 10_000),
+            aggregation: (500, 4_000),
+            access: (200, 2_000),
+        }
+    }
+}
+
+/// Returns a copy of `topo` with latencies re-drawn from `model`
+/// (deterministic per seed). Labels and structure are preserved.
+pub fn assign_latencies(topo: &Topology, model: &LatencyModel, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = match model {
+        LatencyModel::ByClass { .. } => topo.classify(),
+        _ => Vec::new(),
+    };
+    let mut b = TopologyBuilder::new();
+    for r in topo.routers() {
+        match topo.label(r) {
+            Some(l) if !l.is_empty() => {
+                b.add_labeled_router(l);
+            }
+            _ => {
+                b.add_router();
+            }
+        }
+    }
+    for (a, c, _) in topo.links() {
+        let lat = draw(model, &classes, a, c, &mut rng);
+        b.link(a, c, lat).expect("copied ids in range");
+    }
+    b.build()
+}
+
+fn draw(
+    model: &LatencyModel,
+    classes: &[RouterClass],
+    a: RouterId,
+    b: RouterId,
+    rng: &mut StdRng,
+) -> u32 {
+    match model {
+        LatencyModel::Fixed(v) => *v,
+        LatencyModel::Uniform { lo, hi } => {
+            let (lo, hi) = (*lo.min(hi), *lo.max(hi));
+            rng.gen_range(lo..=hi)
+        }
+        LatencyModel::ByClass { core, aggregation, access } => {
+            let rank = |c: RouterClass| match c {
+                RouterClass::Core => 0,
+                RouterClass::Aggregation => 1,
+                RouterClass::Access => 2,
+            };
+            let best = rank(classes[a.index()]).min(rank(classes[b.index()]));
+            let (lo, hi) = match best {
+                0 => *core,
+                1 => *aggregation,
+                _ => *access,
+            };
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            rng.gen_range(lo..=hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular;
+
+    #[test]
+    fn fixed_sets_every_link() {
+        let t = regular::grid(3, 3);
+        let t2 = assign_latencies(&t, &LatencyModel::Fixed(777), 1);
+        assert_eq!(t2.n_links(), t.n_links());
+        for (_, _, lat) in t2.links() {
+            assert_eq!(lat, 777);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let t = regular::ring(10);
+        let m = LatencyModel::Uniform { lo: 100, hi: 200 };
+        let a = assign_latencies(&t, &m, 5);
+        let b = assign_latencies(&t, &m, 5);
+        let c = assign_latencies(&t, &m, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for (_, _, lat) in a.links() {
+            assert!((100..=200).contains(&lat));
+        }
+    }
+
+    #[test]
+    fn by_class_tiers() {
+        // Triangle core with a leaf: the leaf link must use the core range
+        // (one endpoint is core), so use distinguishable ranges.
+        let mut b = crate::TopologyBuilder::with_routers(5);
+        for (x, y) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            b.link(RouterId(x), RouterId(y), 1).unwrap();
+        }
+        b.link(RouterId(2), RouterId(3), 1).unwrap(); // agg chain
+        b.link(RouterId(3), RouterId(4), 1).unwrap(); // access leaf
+        let t = b.build();
+        let m = LatencyModel::ByClass {
+            core: (10_000, 10_000),
+            aggregation: (500, 500),
+            access: (1, 1),
+        };
+        let t2 = assign_latencies(&t, &m, 9);
+        // Core triangle links.
+        assert_eq!(t2.link_latency_us(RouterId(0), RouterId(1)), Some(10_000));
+        // Link 2-3 touches core router 2.
+        assert_eq!(t2.link_latency_us(RouterId(2), RouterId(3)), Some(10_000));
+        // Link 3-4: router 3 is aggregation (degree 2), router 4 access.
+        assert_eq!(t2.link_latency_us(RouterId(3), RouterId(4)), Some(500));
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let t = crate::presets::figure1().topology;
+        let t2 = assign_latencies(&t, &LatencyModel::Fixed(42), 0);
+        assert_eq!(t2.router_by_label("lmk"), t.router_by_label("lmk"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Router-level Internet topologies for the `nearpeer` reproduction.
+//!
+//! The paper evaluates on an Internet-Router (IR) level map obtained from the
+//! *nem* Internet mapper loaded into PeerSim. That map is not available, so
+//! this crate provides:
+//!
+//! * [`Topology`] — an immutable undirected router graph with per-edge
+//!   latencies, built through [`TopologyBuilder`];
+//! * [`generators`] — synthetic families reproducing the structural
+//!   statistics the paper relies on (heavy-tailed degrees, small diameter,
+//!   a dense core): Barabási–Albert, GLP, Waxman, hierarchical transit-stub
+//!   and the [`generators::MapperConfig`] "nem-like" profile with explicit
+//!   degree-1 access routers;
+//! * [`analysis`] — degree histograms and power-law fits, k-core
+//!   decomposition, connected components, clustering, betweenness centrality
+//!   and diameter estimation, used both to validate generated maps and to
+//!   drive landmark-placement policies;
+//! * [`presets`] — hand-built miniature topologies, including the exact
+//!   drawing of the paper's Figure 1;
+//! * [`io`] — JSON and edge-list (de)serialisation of maps.
+//!
+//! Routers are identified by dense [`RouterId`] indices so downstream crates
+//! can use flat `Vec` tables instead of hash maps on the hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+pub mod generators;
+mod graph;
+pub mod io;
+mod latency;
+pub mod presets;
+
+pub use builder::TopologyBuilder;
+pub use graph::{Edge, RouterClass, RouterId, Topology};
+pub use latency::{assign_latencies, LatencyModel};
+
+use std::fmt;
+
+/// Errors produced while constructing or loading topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// An edge from a router to itself was requested.
+    SelfLoop(RouterId),
+    /// A router id outside the graph was referenced.
+    UnknownRouter(RouterId),
+    /// The input described no routers at all.
+    Empty,
+    /// A serialised topology could not be parsed.
+    Parse(String),
+    /// A generator was given parameters it cannot satisfy
+    /// (e.g. more edges per node than nodes).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::SelfLoop(r) => write!(f, "self-loop on router {r}"),
+            TopologyError::UnknownRouter(r) => write!(f, "unknown router {r}"),
+            TopologyError::Empty => write!(f, "topology has no routers"),
+            TopologyError::Parse(msg) => write!(f, "parse error: {msg}"),
+            TopologyError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,148 @@
+//! Hand-built miniature topologies, including the paper's Figure 1.
+
+use crate::{RouterId, Topology, TopologyBuilder};
+
+/// The Figure 1 topology plus the ids of its named actors.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The router graph (peers are modeled as degree-1 access routers).
+    pub topology: Topology,
+    /// The landmark `lmk`.
+    pub landmark: RouterId,
+    /// Core routers `ra`, `rb`, `rc`.
+    pub core: [RouterId; 3],
+    /// Peer attachment routers `p1..p4`.
+    pub peers: [RouterId; 4],
+}
+
+/// Builds the example drawing from the paper (§2, Figure 1).
+///
+/// The figure shows a landmark `lmk` behind core router `ra`, core routers
+/// `ra`, `rb`, `rc` "within the network core" (connected through `ra`),
+/// small routers `r1..r8` of low degree, and peers `p1..p4`. The routes
+/// from `p1` and `p2` to `lmk` meet at `rc`, giving the inferred path
+/// `dtree(p1,p2)` of 6 hops, while a shortcut through `r8` makes the true
+/// shortest path `d(p1,p2)` only 4 hops — exactly the "inferred path is
+/// not the shortest path" situation the paper describes. Every *other*
+/// peer pair satisfies `d = dtree`, matching the paper's expectation that
+/// "most cases verify d(p1,p2) = dtree(p1,p2)".
+///
+/// ```
+/// let fig = nearpeer_topology::presets::figure1();
+/// assert_eq!(fig.topology.n_routers(), 16);
+/// assert_eq!(fig.topology.label(fig.landmark), Some("lmk"));
+/// ```
+pub fn figure1() -> Figure1 {
+    let mut b = TopologyBuilder::new();
+    let lmk = b.add_labeled_router("lmk");
+    let ra = b.add_labeled_router("ra");
+    let rb = b.add_labeled_router("rb");
+    let rc = b.add_labeled_router("rc");
+    let r: Vec<RouterId> =
+        (1..=8).map(|i| b.add_labeled_router(format!("r{i}"))).collect();
+    let p: Vec<RouterId> =
+        (1..=4).map(|i| b.add_labeled_router(format!("p{i}"))).collect();
+
+    let links = [
+        (lmk, ra),
+        (ra, rb),
+        (ra, rc),
+        // p1 branch: rc - r1 - r2 - p1
+        (rc, r[0]),
+        (r[0], r[1]),
+        (r[1], p[0]),
+        // p2 branch: rc - r3 - r4 - p2
+        (rc, r[2]),
+        (r[2], r[3]),
+        (r[3], p[1]),
+        // p3 branch: rb - r5 - p3
+        (rb, r[4]),
+        (r[4], p[2]),
+        // p4 branch: rb - r6 - r7 - p4
+        (rb, r[5]),
+        (r[5], r[6]),
+        (r[6], p[3]),
+        // The shortcut that makes d(p1,p2) < dtree(p1,p2): r2 - r8 - r4.
+        (r[1], r[7]),
+        (r[7], r[3]),
+    ];
+    for (a, c) in links {
+        b.link(a, c, 1_000).expect("fresh ids");
+    }
+    Figure1 {
+        topology: b.build(),
+        landmark: lmk,
+        core: [ra, rb, rc],
+        peers: [p[0], p[1], p[2], p[3]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{exact_diameter, is_connected};
+    use std::collections::VecDeque;
+
+    fn hops(t: &Topology, from: RouterId, to: RouterId) -> u32 {
+        let mut dist = vec![u32::MAX; t.n_routers()];
+        dist[from.index()] = 0;
+        let mut q = VecDeque::from([from]);
+        while let Some(v) = q.pop_front() {
+            for e in t.neighbors(v) {
+                if dist[e.to.index()] == u32::MAX {
+                    dist[e.to.index()] = dist[v.index()] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        dist[to.index()]
+    }
+
+    #[test]
+    fn figure_matches_paper_distances() {
+        let fig = figure1();
+        let t = &fig.topology;
+        assert!(is_connected(t));
+        let [p1, p2, p3, _p4] = fig.peers;
+        // True shortest path p1..p2 uses the r8 shortcut: 4 hops.
+        assert_eq!(hops(t, p1, p2), 4);
+        // Both peers are 5 hops from the landmark.
+        assert_eq!(hops(t, p1, fig.landmark), 5);
+        assert_eq!(hops(t, p2, fig.landmark), 5);
+        // p1/p3 have no shortcut: the true distance equals the tree path
+        // through ra (4 hops up from p1 + 3 down to p3).
+        assert_eq!(hops(t, p1, p3), 7);
+    }
+
+    #[test]
+    fn peers_are_access_routers() {
+        let fig = figure1();
+        for p in fig.peers {
+            assert_eq!(fig.topology.degree(p), 1, "peer {p} must be degree 1");
+        }
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let fig = figure1();
+        assert_eq!(fig.topology.router_by_label("rc"), Some(fig.core[2]));
+        assert_eq!(fig.topology.router_by_label("p4"), Some(fig.peers[3]));
+    }
+
+    #[test]
+    fn core_connects_through_ra() {
+        let fig = figure1();
+        let [ra, rb, rc] = fig.core;
+        assert!(fig.topology.has_link(ra, rb));
+        assert!(fig.topology.has_link(ra, rc));
+        // ra is the core hub: largest degree in the figure.
+        let max_deg = fig.topology.max_degree();
+        assert_eq!(fig.topology.degree(ra), max_deg);
+    }
+
+    #[test]
+    fn small_world() {
+        let fig = figure1();
+        assert!(exact_diameter(&fig.topology) <= 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests over the topology generators: every family must uphold
+//! the invariants downstream crates rely on, for arbitrary configs/seeds.
+
+use nearpeer_topology::analysis::{connected_components, is_connected, k_core_numbers};
+use nearpeer_topology::generators::{
+    barabasi_albert, glp, mapper, transit_stub, waxman, BaConfig, GlpConfig, MapperConfig,
+    TransitStubConfig, WaxmanConfig,
+};
+use nearpeer_topology::{RouterId, Topology};
+use proptest::prelude::*;
+
+fn check_basic_invariants(topo: &Topology) {
+    // Symmetric adjacency with consistent latencies, no self-loops.
+    for (a, b, lat) in topo.links() {
+        assert_ne!(a, b);
+        assert!(topo.has_link(b, a));
+        assert_eq!(topo.link_latency_us(b, a), Some(lat));
+        assert!(lat > 0, "zero-latency link {a}-{b}");
+    }
+    // Degree sum identity.
+    let degree_sum: usize = topo.routers().map(|r| topo.degree(r)).sum();
+    assert_eq!(degree_sum, 2 * topo.n_links());
+    // Core numbers never exceed degree.
+    let cores = k_core_numbers(topo);
+    for r in topo.routers() {
+        assert!(cores[r.index()] <= topo.degree(r));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ba_invariants(n in 10usize..200, m in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(n > m + 1);
+        let topo = barabasi_albert(&BaConfig { n, m }, seed).unwrap();
+        check_basic_invariants(&topo);
+        prop_assert!(is_connected(&topo));
+        prop_assert_eq!(topo.n_routers(), n);
+        for r in topo.routers() {
+            prop_assert!(topo.degree(r) >= m);
+        }
+    }
+
+    #[test]
+    fn glp_invariants(n in 10usize..200, p in 0.0f64..0.9, beta in -1.0f64..0.99, seed in 0u64..1000) {
+        let topo = glp(&GlpConfig { n, m: 1, p, beta }, seed).unwrap();
+        check_basic_invariants(&topo);
+        prop_assert!(is_connected(&topo));
+        prop_assert_eq!(topo.n_routers(), n);
+    }
+
+    #[test]
+    fn waxman_invariants(n in 5usize..120, alpha in 0.05f64..1.0, beta in 0.05f64..1.0, seed in 0u64..1000) {
+        let topo = waxman(&WaxmanConfig { n, alpha, beta }, seed).unwrap();
+        check_basic_invariants(&topo);
+        prop_assert!(is_connected(&topo), "stitching must always connect");
+        prop_assert_eq!(topo.n_routers(), n);
+    }
+
+    #[test]
+    fn mapper_invariants(core in 5usize..80, access in 0usize..120, chain in 0usize..4, seed in 0u64..1000) {
+        let cfg = MapperConfig {
+            core_size: core,
+            access_count: access,
+            max_chain: chain,
+            glp_p: 0.4695,
+            glp_beta: 0.6447,
+        };
+        let topo = mapper(&cfg, seed).unwrap();
+        check_basic_invariants(&topo);
+        prop_assert!(is_connected(&topo));
+        prop_assert!(topo.access_routers().len() >= access);
+        // The core ids come first and are untouched by leaf attachment.
+        prop_assert!(topo.n_routers() >= core + access);
+    }
+
+    #[test]
+    fn transit_stub_invariants(
+        domains in 1usize..4,
+        tsize in 1usize..5,
+        stubs in 1usize..3,
+        ssize in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TransitStubConfig {
+            transit_domains: domains,
+            transit_size: tsize,
+            stubs_per_transit_router: stubs,
+            stub_size: ssize,
+            extra_edge_prob: 0.3,
+            access_per_stub: 1,
+        };
+        let topo = transit_stub(&cfg, seed).unwrap();
+        check_basic_invariants(&topo);
+        let (_, components) = connected_components(&topo);
+        prop_assert_eq!(components, 1);
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(core in 5usize..50, access in 5usize..60, seed in 0u64..500) {
+        let topo = mapper(&MapperConfig::with_access(core, access), seed).unwrap();
+        let classes = topo.classify();
+        prop_assert_eq!(classes.len(), topo.n_routers());
+        for r in topo.routers() {
+            if topo.degree(r) <= 1 {
+                prop_assert_eq!(
+                    classes[r.index()],
+                    nearpeer_topology::RouterClass::Access
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn io_round_trip_any_mapper(core in 5usize..40, access in 0usize..50, seed in 0u64..200) {
+        let topo = mapper(&MapperConfig::with_access(core, access), seed).unwrap();
+        let json = nearpeer_topology::io::to_json(&topo);
+        let back = nearpeer_topology::io::from_json(&json).unwrap();
+        prop_assert_eq!(&topo, &back);
+        let edges = nearpeer_topology::io::to_edge_list(&topo);
+        let back2 = nearpeer_topology::io::from_edge_list(&edges).unwrap();
+        prop_assert_eq!(topo.n_links(), back2.n_links());
+        for (a, b, lat) in topo.links() {
+            prop_assert_eq!(back2.link_latency_us(a, b), Some(lat));
+        }
+    }
+}
+
+#[test]
+fn mapper_core_ids_precede_fringe() {
+    let cfg = MapperConfig::with_access(30, 40);
+    let topo = mapper(&cfg, 3).unwrap();
+    // Core routers are ids 0..core_size by construction; each must have at
+    // least one link (GLP is connected).
+    for i in 0..30u32 {
+        assert!(topo.degree(RouterId(i)) >= 1);
+    }
+}

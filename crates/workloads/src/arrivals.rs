@@ -1,0 +1,97 @@
+//! Peer arrival processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// When peers join the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ArrivalProcess {
+    /// Everyone joins at time 0 (the paper's static initialisation).
+    Batch,
+    /// One join every `interval_us` microseconds.
+    Uniform {
+        /// Spacing between consecutive joins.
+        interval_us: u64,
+    },
+    /// Poisson arrivals at `rate_per_sec` (exponential inter-arrivals) —
+    /// the standard model for flash-crowd-free live streaming joins.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The arrival times (microseconds, non-decreasing) of `n` peers.
+    pub fn times(&self, n: usize, seed: u64) -> Vec<u64> {
+        match *self {
+            ArrivalProcess::Batch => vec![0; n],
+            ArrivalProcess::Uniform { interval_us } => {
+                (0..n as u64).map(|i| i * interval_us).collect()
+            }
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                let rate = rate_per_sec.max(1e-9);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() / rate * 1_000_000.0;
+                        t as u64
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_all_zero() {
+        assert_eq!(ArrivalProcess::Batch.times(3, 1), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_spacing() {
+        let t = ArrivalProcess::Uniform { interval_us: 500 }.times(4, 1);
+        assert_eq!(t, vec![0, 500, 1000, 1500]);
+    }
+
+    #[test]
+    fn poisson_monotone_and_mean_rate() {
+        let rate = 50.0; // 50 joins/sec → mean gap 20ms
+        let t = ArrivalProcess::Poisson { rate_per_sec: rate }.times(2_000, 42);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        let total_secs = *t.last().unwrap() as f64 / 1e6;
+        let empirical_rate = t.len() as f64 / total_secs;
+        assert!(
+            (empirical_rate - rate).abs() / rate < 0.15,
+            "empirical rate {empirical_rate} too far from {rate}"
+        );
+    }
+
+    #[test]
+    fn poisson_deterministic_per_seed() {
+        let a = ArrivalProcess::Poisson { rate_per_sec: 10.0 }.times(50, 7);
+        let b = ArrivalProcess::Poisson { rate_per_sec: 10.0 }.times(50, 7);
+        let c = ArrivalProcess::Poisson { rate_per_sec: 10.0 }.times(50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_peers() {
+        for p in [
+            ArrivalProcess::Batch,
+            ArrivalProcess::Uniform { interval_us: 10 },
+            ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+        ] {
+            assert!(p.times(0, 1).is_empty());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Churn traces: joins and leaves over time (future-work W3).
+
+use crate::arrivals::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The peer joins.
+    Join,
+    /// The peer leaves gracefully (sends a Leave).
+    Leave,
+    /// The peer fails silently (a "faulty peer": no Leave message).
+    Fail,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulated time in microseconds.
+    pub time_us: u64,
+    /// Dense peer index (0-based; the experiment maps these to `PeerId`s).
+    pub peer: usize,
+    /// Join, leave, or silent failure.
+    pub kind: ChurnEventKind,
+}
+
+/// Churn generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of peers over the whole trace.
+    pub peers: usize,
+    /// Arrival process of the joins.
+    pub arrivals: ArrivalProcess,
+    /// Mean session length in seconds (exponentially distributed);
+    /// `None` = peers never leave (the paper's static setting).
+    pub mean_lifetime_secs: Option<f64>,
+    /// Fraction of departures that are silent failures instead of graceful
+    /// leaves.
+    pub failure_fraction: f64,
+}
+
+/// A generated, time-sorted churn schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Events sorted by time (joins before leaves at equal times).
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// Generates a trace (deterministic per seed).
+    pub fn generate(config: &ChurnConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let joins = config.arrivals.times(config.peers, seed ^ 0x6a6f696e);
+        let mut events: Vec<ChurnEvent> = Vec::with_capacity(config.peers * 2);
+        for (peer, &t) in joins.iter().enumerate() {
+            events.push(ChurnEvent { time_us: t, peer, kind: ChurnEventKind::Join });
+            if let Some(mean) = config.mean_lifetime_secs {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let life_us = (-u.ln() * mean * 1e6) as u64;
+                let kind = if rng.gen::<f64>() < config.failure_fraction {
+                    ChurnEventKind::Fail
+                } else {
+                    ChurnEventKind::Leave
+                };
+                events.push(ChurnEvent {
+                    time_us: t.saturating_add(life_us.max(1)),
+                    peer,
+                    kind,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.time_us, e.peer, e.kind != ChurnEventKind::Join));
+        Self { events }
+    }
+
+    /// Number of peers concurrently alive at `time_us`.
+    pub fn population_at(&self, time_us: u64) -> usize {
+        let mut alive = 0usize;
+        for e in &self.events {
+            if e.time_us > time_us {
+                break;
+            }
+            match e.kind {
+                ChurnEventKind::Join => alive += 1,
+                ChurnEventKind::Leave | ChurnEventKind::Fail => alive = alive.saturating_sub(1),
+            }
+        }
+        alive
+    }
+
+    /// The largest population reached over the trace.
+    pub fn peak_population(&self) -> usize {
+        let mut alive = 0usize;
+        let mut peak = 0usize;
+        for e in &self.events {
+            match e.kind {
+                ChurnEventKind::Join => alive += 1,
+                ChurnEventKind::Leave | ChurnEventKind::Fail => alive = alive.saturating_sub(1),
+            }
+            peak = peak.max(alive);
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> ChurnConfig {
+        ChurnConfig {
+            peers: 100,
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 20.0 },
+            mean_lifetime_secs: Some(10.0),
+            failure_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn every_peer_joins_once_and_departs_once() {
+        let trace = ChurnTrace::generate(&base_config(), 5);
+        let joins = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Join)
+            .count();
+        let departs = trace.events.len() - joins;
+        assert_eq!(joins, 100);
+        assert_eq!(departs, 100);
+        // Each peer departs after it joins.
+        for p in 0..100 {
+            let join = trace
+                .events
+                .iter()
+                .find(|e| e.peer == p && e.kind == ChurnEventKind::Join)
+                .unwrap();
+            let depart = trace
+                .events
+                .iter()
+                .find(|e| e.peer == p && e.kind != ChurnEventKind::Join)
+                .unwrap();
+            assert!(depart.time_us > join.time_us, "peer {p}");
+        }
+    }
+
+    #[test]
+    fn failure_fraction_roughly_respected() {
+        let trace = ChurnTrace::generate(&base_config(), 11);
+        let fails = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Fail)
+            .count();
+        assert!((15..=45).contains(&fails), "fails = {fails} of 100");
+    }
+
+    #[test]
+    fn static_setting_never_leaves() {
+        let cfg = ChurnConfig {
+            mean_lifetime_secs: None,
+            ..base_config()
+        };
+        let trace = ChurnTrace::generate(&cfg, 3);
+        assert_eq!(trace.events.len(), 100);
+        assert!(trace
+            .events
+            .iter()
+            .all(|e| e.kind == ChurnEventKind::Join));
+        assert_eq!(trace.population_at(u64::MAX), 100);
+        assert_eq!(trace.peak_population(), 100);
+    }
+
+    #[test]
+    fn events_sorted_and_population_consistent() {
+        let trace = ChurnTrace::generate(&base_config(), 9);
+        assert!(trace.events.windows(2).all(|w| w[0].time_us <= w[1].time_us));
+        assert!(trace.peak_population() <= 100);
+        assert!(trace.peak_population() >= 1);
+        // After the last event everyone is gone.
+        assert_eq!(trace.population_at(u64::MAX), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = base_config();
+        assert_eq!(ChurnTrace::generate(&cfg, 2), ChurnTrace::generate(&cfg, 2));
+        assert_ne!(ChurnTrace::generate(&cfg, 2), ChurnTrace::generate(&cfg, 3));
+    }
+}

@@ -1,0 +1,26 @@
+//! Workload generation for `nearpeer` experiments.
+//!
+//! The paper's evaluation (§3) initialises a static overlay of `n` peers;
+//! its future-work section adds churn ("faulty peers"), mobility
+//! ("handover") and landmark management studies. This crate generates the
+//! corresponding deterministic workload traces:
+//!
+//! * [`ArrivalProcess`] — when peers join (batch, uniform, Poisson);
+//! * [`ChurnTrace`] — join/leave schedules with exponential lifetimes (W3);
+//! * [`MobilityTrace`] — handover events for moving peers (W3);
+//! * [`Sweep`] — tiny cartesian-product helper for parameter sweeps.
+//!
+//! All generators take an explicit seed and are bit-reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod churn;
+mod mobility;
+mod sweep;
+
+pub use arrivals::ArrivalProcess;
+pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnTrace};
+pub use mobility::{MobilityConfig, MobilityTrace, MoveEvent};
+pub use sweep::Sweep;

@@ -1,0 +1,141 @@
+//! Mobility traces: peers re-attaching at new access routers (W3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mobility generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Number of peers in the population.
+    pub peers: usize,
+    /// Fraction of peers that are mobile.
+    pub mobile_fraction: f64,
+    /// Mean time between a mobile peer's moves, in seconds (exponential).
+    pub mean_dwell_secs: f64,
+    /// Trace horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+/// One handover: at `time_us`, `peer` re-attaches somewhere new (the
+/// experiment picks the new access router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveEvent {
+    /// Simulated time in microseconds.
+    pub time_us: u64,
+    /// Dense peer index.
+    pub peer: usize,
+}
+
+/// A generated, time-sorted mobility schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityTrace {
+    /// Handover events sorted by time.
+    pub events: Vec<MoveEvent>,
+}
+
+impl MobilityTrace {
+    /// Generates a trace (deterministic per seed). Which peers are mobile
+    /// is part of the draw.
+    pub fn generate(config: &MobilityConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_us = (config.horizon_secs * 1e6) as u64;
+        let mut events = Vec::new();
+        for peer in 0..config.peers {
+            if rng.gen::<f64>() >= config.mobile_fraction {
+                continue;
+            }
+            let mut t = 0u64;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let dwell = (-u.ln() * config.mean_dwell_secs * 1e6) as u64;
+                t = t.saturating_add(dwell.max(1));
+                if t > horizon_us {
+                    break;
+                }
+                events.push(MoveEvent { time_us: t, peer });
+            }
+        }
+        events.sort_by_key(|e| (e.time_us, e.peer));
+        Self { events }
+    }
+
+    /// Number of distinct peers that move at least once.
+    pub fn n_mobile_peers(&self) -> usize {
+        let mut peers: Vec<usize> = self.events.iter().map(|e| e.peer).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MobilityConfig {
+        MobilityConfig {
+            peers: 200,
+            mobile_fraction: 0.25,
+            mean_dwell_secs: 5.0,
+            horizon_secs: 60.0,
+        }
+    }
+
+    #[test]
+    fn respects_horizon_and_order() {
+        let trace = MobilityTrace::generate(&config(), 3);
+        assert!(!trace.events.is_empty());
+        assert!(trace.events.iter().all(|e| e.time_us <= 60_000_000));
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].time_us <= w[1].time_us));
+    }
+
+    #[test]
+    fn mobile_fraction_roughly_respected() {
+        let trace = MobilityTrace::generate(&config(), 7);
+        let mobile = trace.n_mobile_peers();
+        // 25% of 200 = 50 expected; allow generous slack (a mobile peer
+        // whose first dwell exceeds the horizon never shows up).
+        assert!((25..=75).contains(&mobile), "mobile peers = {mobile}");
+    }
+
+    #[test]
+    fn dwell_time_scales_event_count() {
+        let fast = MobilityTrace::generate(
+            &MobilityConfig { mean_dwell_secs: 2.0, ..config() },
+            5,
+        );
+        let slow = MobilityTrace::generate(
+            &MobilityConfig { mean_dwell_secs: 20.0, ..config() },
+            5,
+        );
+        assert!(
+            fast.events.len() > slow.events.len(),
+            "{} <= {}",
+            fast.events.len(),
+            slow.events.len()
+        );
+    }
+
+    #[test]
+    fn zero_mobility() {
+        let trace = MobilityTrace::generate(
+            &MobilityConfig { mobile_fraction: 0.0, ..config() },
+            1,
+        );
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.n_mobile_peers(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = config();
+        assert_eq!(
+            MobilityTrace::generate(&cfg, 2),
+            MobilityTrace::generate(&cfg, 2)
+        );
+    }
+}

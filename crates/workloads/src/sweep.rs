@@ -1,0 +1,68 @@
+//! Cartesian-product parameter sweeps.
+
+/// A tiny helper enumerating the cartesian product of two parameter axes
+/// crossed with a seed list — the shape of every experiment sweep in the
+/// bench harness.
+///
+/// ```
+/// use nearpeer_workloads::Sweep;
+/// let sweep = Sweep::new(vec![600usize, 800], vec!["a", "b"], 2);
+/// let points: Vec<_> = sweep.points().collect();
+/// assert_eq!(points.len(), 2 * 2 * 2);
+/// assert_eq!(points[0], (&600, &"a", 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep<A, B> {
+    xs: Vec<A>,
+    ys: Vec<B>,
+    seeds: u64,
+}
+
+impl<A, B> Sweep<A, B> {
+    /// Creates a sweep over `xs × ys × 0..seeds`.
+    pub fn new(xs: Vec<A>, ys: Vec<B>, seeds: u64) -> Self {
+        Self { xs, ys, seeds }
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len() * self.ys.len() * self.seeds as usize
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(x, y, seed)` in x-major, then y, then seed order.
+    pub fn points(&self) -> impl Iterator<Item = (&A, &B, u64)> + '_ {
+        self.xs.iter().flat_map(move |x| {
+            self.ys.iter().flat_map(move |y| {
+                (0..self.seeds).map(move |s| (x, y, s))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_product() {
+        let sweep = Sweep::new(vec![1, 2, 3], vec!['x'], 2);
+        let pts: Vec<_> = sweep.points().collect();
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], (&1, &'x', 0));
+        assert_eq!(pts[1], (&1, &'x', 1));
+        assert_eq!(pts[2], (&2, &'x', 0));
+    }
+
+    #[test]
+    fn empty_axes() {
+        let sweep: Sweep<i32, char> = Sweep::new(vec![], vec!['x'], 3);
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.points().count(), 0);
+    }
+}

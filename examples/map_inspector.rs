@@ -1,0 +1,146 @@
+//! Map inspector: generate (or load) a router-level topology, print the
+//! structural statistics the paper's argument rests on, and export it.
+//!
+//! Run with:
+//! `cargo run --example map_inspector -- [--family mapper|ba|glp|waxman|transit-stub]
+//!  [--size N] [--seed S] [--load FILE.json] [--export-dot FILE.dot] [--export-json FILE.json]`
+
+use nearpeer::topology::analysis::{
+    betweenness_centrality_sampled, double_sweep_diameter_lower_bound,
+    global_clustering_coefficient, is_connected, k_core_members, max_core_number, DegreeStats,
+};
+use nearpeer::topology::generators::{
+    BaConfig, GlpConfig, MapperConfig, TopologySpec, TransitStubConfig, WaxmanConfig,
+};
+use nearpeer::topology::{io, RouterId, Topology};
+
+struct Args {
+    family: String,
+    size: usize,
+    seed: u64,
+    load: Option<String>,
+    export_dot: Option<String>,
+    export_json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        family: "mapper".into(),
+        size: 1_000,
+        seed: 42,
+        load: None,
+        export_dot: None,
+        export_json: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut next = |what: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value ({what})");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--family" => args.family = next("family"),
+            "--size" => args.size = next("router count").parse().unwrap_or(1_000),
+            "--seed" => args.seed = next("seed").parse().unwrap_or(42),
+            "--load" => args.load = Some(next("path")),
+            "--export-dot" => args.export_dot = Some(next("path")),
+            "--export-json" => args.export_json = Some(next("path")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn build(args: &Args) -> Topology {
+    if let Some(path) = &args.load {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        return io::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let n = args.size;
+    let spec = match args.family.as_str() {
+        "mapper" => TopologySpec::Mapper(MapperConfig::with_access(n / 3, n / 2)),
+        "ba" => TopologySpec::Ba(BaConfig { n, m: 2 }),
+        "glp" => TopologySpec::Glp(GlpConfig::default_with_n(n)),
+        "waxman" => TopologySpec::Waxman(WaxmanConfig { n, alpha: 0.1, beta: 0.15 }),
+        "transit-stub" => TopologySpec::TransitStub(TransitStubConfig {
+            transit_domains: 4,
+            transit_size: 8,
+            stubs_per_transit_router: 2,
+            stub_size: (n / 150).max(2),
+            extra_edge_prob: 0.25,
+            access_per_stub: 2,
+        }),
+        other => {
+            eprintln!("unknown family {other}");
+            std::process::exit(2);
+        }
+    };
+    spec.generate(args.seed).unwrap_or_else(|e| {
+        eprintln!("generation failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let topo = build(&args);
+    let stats = DegreeStats::of(&topo);
+
+    println!("family: {} (seed {})", args.family, args.seed);
+    println!("routers:        {}", topo.n_routers());
+    println!("links:          {}", topo.n_links());
+    println!("connected:      {}", is_connected(&topo));
+    println!("access routers: {} (degree-1 peer attachment points)", stats.n_access);
+    println!("mean degree:    {:.2}", stats.mean);
+    println!("max degree:     {}", stats.max);
+    match stats.power_law_alpha {
+        Some(a) => println!("power-law fit:  alpha = {a:.2}"),
+        None => println!("power-law fit:  n/a (too few tail samples)"),
+    }
+    let kmax = max_core_number(&topo);
+    println!(
+        "network core:   {}-core with {} routers",
+        kmax,
+        k_core_members(&topo, kmax).len()
+    );
+    println!("clustering:     {:.3}", global_clustering_coefficient(&topo));
+    println!(
+        "diameter:       >= {} hops (double sweep)",
+        double_sweep_diameter_lower_bound(&topo, RouterId(0))
+    );
+
+    // The betweenness concentration the paper's §2 leans on: how much of
+    // the total centrality mass the top 1% of routers carries.
+    let scores = betweenness_centrality_sampled(&topo, 32);
+    let total: f64 = scores.iter().sum();
+    let mut sorted = scores.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let top1 = sorted.len().div_ceil(100);
+    let mass: f64 = sorted[..top1].iter().sum();
+    if total > 0.0 {
+        println!(
+            "centrality:     top 1% of routers carry {:.0}% of shortest-path mass",
+            mass / total * 100.0
+        );
+    }
+
+    if let Some(path) = &args.export_dot {
+        std::fs::write(path, io::to_dot(&topo)).expect("write dot");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.export_json {
+        std::fs::write(path, io::to_json(&topo)).expect("write json");
+        println!("wrote {path}");
+    }
+}

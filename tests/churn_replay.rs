@@ -1,0 +1,142 @@
+//! Integration test: a workload churn trace replayed through the
+//! simulator with the full wire protocol — peers join via traceroute +
+//! JoinRequest, leave gracefully via Leave, and the server's view tracks
+//! the trace's population.
+
+use nearpeer::core::actors::{JoinRecord, LandmarkActor, PeerActor, ServerActor};
+use nearpeer::core::landmarks::{place_landmarks, PlacementPolicy};
+use nearpeer::core::protocol::Message;
+use nearpeer::core::{ManagementServer, PeerId, PeerPath, ServerConfig};
+use nearpeer::probe::{TraceConfig, Tracer};
+use nearpeer::routing::RouteOracle;
+use nearpeer::sim::links::Fixed;
+use nearpeer::sim::{NodeId, SimTime, Simulator};
+use nearpeer::topology::generators::{mapper, MapperConfig};
+use nearpeer::workloads::{ArrivalProcess, ChurnConfig, ChurnEventKind, ChurnTrace};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn churn_trace_replay_through_the_wire() {
+    let seed = 99u64;
+    let topo = mapper(&MapperConfig::tiny(), seed).unwrap();
+    let landmarks = place_landmarks(&topo, 2, PlacementPolicy::DegreeMedium, seed);
+    let oracle = RouteOracle::new(&topo);
+    let tracer = Tracer::new(&oracle, TraceConfig::default());
+    let access = topo.access_routers();
+
+    let server = Rc::new(RefCell::new(ManagementServer::bootstrap(
+        &topo,
+        landmarks.clone(),
+        ServerConfig::default(),
+    )));
+
+    // A short churn trace: everyone joins, some leave gracefully, some
+    // fail silently.
+    let trace = ChurnTrace::generate(
+        &ChurnConfig {
+            peers: 25,
+            arrivals: ArrivalProcess::Uniform { interval_us: 50_000 },
+            mean_lifetime_secs: Some(2.0),
+            failure_fraction: 0.4,
+        },
+        seed,
+    );
+
+    let mut sim: Simulator<Message, Fixed> = Simulator::new(Fixed(2_000), seed);
+    let srv = sim.add_actor(Box::new(ServerActor::new(server.clone())));
+    let lm_nodes = vec![
+        sim.add_actor(Box::new(LandmarkActor)),
+        sim.add_actor(Box::new(LandmarkActor)),
+    ];
+
+    let mut records = Vec::new();
+    let mut peer_nodes = Vec::new();
+    let mut graceful_leaves = 0u64;
+    let mut silent_failures = 0u64;
+    for ev in &trace.events {
+        match ev.kind {
+            ChurnEventKind::Join => {
+                let attach = access[(ev.peer * 5) % access.len()];
+                let traces: Vec<Option<(PeerPath, u64)>> = landmarks
+                    .iter()
+                    .map(|&lm| {
+                        tracer.trace(attach, lm, ev.peer as u64).map(|t| {
+                            (PeerPath::new(t.router_path()).unwrap(), t.elapsed_us)
+                        })
+                    })
+                    .collect();
+                let record = Rc::new(RefCell::new(JoinRecord::default()));
+                let node = sim.spawn_at(
+                    SimTime(ev.time_us),
+                    Box::new(PeerActor::new(
+                        PeerId(ev.peer as u64),
+                        srv,
+                        lm_nodes.clone(),
+                        traces,
+                        100_000,
+                        record.clone(),
+                    )),
+                );
+                records.push((ev.peer, record));
+                peer_nodes.push((ev.peer, node));
+            }
+            ChurnEventKind::Leave => {
+                // Graceful: the peer tells the server, then dies.
+                graceful_leaves += 1;
+                sim.inject_at(
+                    SimTime(ev.time_us),
+                    srv,
+                    srv,
+                    Message::Leave { peer: PeerId(ev.peer as u64) },
+                );
+                if let Some(&(_, node)) =
+                    peer_nodes.iter().find(|&&(p, _)| p == ev.peer)
+                {
+                    sim.kill_at(SimTime(ev.time_us), node);
+                }
+            }
+            ChurnEventKind::Fail => {
+                // Silent: the node dies without telling anyone.
+                silent_failures += 1;
+                if let Some(&(_, node)) =
+                    peer_nodes.iter().find(|&&(p, _)| p == ev.peer)
+                {
+                    sim.kill_at(SimTime(ev.time_us), node);
+                }
+            }
+        }
+    }
+
+    sim.run_to_completion();
+
+    // Every peer joined before departing (uniform arrivals are spaced well
+    // beyond the join latency here).
+    let joined = records
+        .iter()
+        .filter(|(_, r)| r.borrow().joined_at.is_some())
+        .count();
+    assert_eq!(joined, 25, "all peers completed their join");
+
+    // The server's residual population is exactly the silent failures:
+    // graceful leavers deregistered, failed peers linger as stale records.
+    let report = server.borrow().report();
+    assert_eq!(graceful_leaves + silent_failures, 25);
+    assert_eq!(
+        report.peers as u64, silent_failures,
+        "server population must equal the silent failures: {report}"
+    );
+    assert_eq!(report.stats.joins, 25);
+    assert_eq!(report.stats.leaves, graceful_leaves);
+
+    // The soft-state lease cleans the stale records up.
+    {
+        let mut srv = server.borrow_mut();
+        for _ in 0..3 {
+            srv.advance_epoch();
+        }
+        let expired = srv.expire_stale(2);
+        assert_eq!(expired.len() as u64, silent_failures);
+        assert_eq!(srv.peer_count(), 0);
+    }
+}
