@@ -1,0 +1,83 @@
+//! Previews a churn workload before spending simulation time on it:
+//! prints the event schedule summary, an ASCII population-over-time
+//! curve and session-length statistics. The trace uses the suite's fixed
+//! seed (42, like the other binaries); `--quick` shrinks the population.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_metrics::Summary;
+use nearpeer_workloads::{ArrivalProcess, ChurnConfig, ChurnEventKind, ChurnTrace};
+use std::collections::HashMap;
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let peers = if args.quick { 50 } else { 500 };
+    let config = ChurnConfig {
+        peers,
+        arrivals: ArrivalProcess::Poisson { rate_per_sec: 20.0 },
+        mean_lifetime_secs: Some(10.0),
+        failure_fraction: 0.3,
+    };
+    let trace = ChurnTrace::generate(&config, SEED);
+
+    let (mut joins, mut leaves, mut fails) = (0usize, 0usize, 0usize);
+    let mut join_at: HashMap<usize, u64> = HashMap::new();
+    let mut sessions_secs: Vec<f64> = Vec::new();
+    for ev in &trace.events {
+        match ev.kind {
+            ChurnEventKind::Join => {
+                joins += 1;
+                join_at.insert(ev.peer, ev.time_us);
+            }
+            ChurnEventKind::Leave | ChurnEventKind::Fail => {
+                if ev.kind == ChurnEventKind::Leave {
+                    leaves += 1;
+                } else {
+                    fails += 1;
+                }
+                if let Some(&t0) = join_at.get(&ev.peer) {
+                    sessions_secs.push((ev.time_us - t0) as f64 / 1e6);
+                }
+            }
+        }
+    }
+    let horizon = trace.events.last().map_or(0, |e| e.time_us);
+    println!(
+        "churn preview: {joins} joins, {leaves} graceful leaves, {fails} silent \
+         failures over {:.1}s (seed {SEED})",
+        horizon as f64 / 1e6,
+    );
+    println!("peak population: {}", trace.peak_population());
+
+    if let Some(s) = Summary::new(&sessions_secs) {
+        println!(
+            "session length: mean {:.2}s, p50 {:.2}s, p95 {:.2}s (configured mean {}s)",
+            s.mean(),
+            s.percentile(50.0),
+            s.percentile(95.0),
+            config.mean_lifetime_secs.unwrap_or(f64::NAN),
+        );
+    }
+
+    // Population curve, 60 buckets wide.
+    println!("\npopulation over time:");
+    let peak = trace.peak_population().max(1);
+    const BUCKETS: usize = 60;
+    for row in (0..10).rev() {
+        let threshold = peak as f64 * (row as f64 + 0.5) / 10.0;
+        let line: String = (0..BUCKETS)
+            .map(|b| {
+                let t = horizon * b as u64 / BUCKETS as u64;
+                if trace.population_at(t) as f64 >= threshold {
+                    '#'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("{:>4} |{line}", ((row + 1) * peak).div_ceil(10));
+    }
+    println!("     +{}", "-".repeat(BUCKETS));
+    println!("      0s{:>55.1}s", horizon as f64 / 1e6);
+}

@@ -1,0 +1,78 @@
+//! Exports one generated topology per family as JSON, edge-list and DOT
+//! under the experiment output directory, so external tools (graph
+//! viewers, other simulators) can consume the exact maps the experiments
+//! run on. Generation uses the suite's fixed seed (42, like the other
+//! binaries); `--quick` shrinks the maps.
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::ExperimentWriter;
+use nearpeer_topology::generators::{
+    BaConfig, GlpConfig, MapperConfig, TopologySpec, TransitStubConfig, WaxmanConfig,
+};
+use nearpeer_topology::io;
+
+fn families(quick: bool) -> Vec<(&'static str, TopologySpec)> {
+    let n = if quick { 150 } else { 600 };
+    vec![
+        (
+            "mapper",
+            TopologySpec::Mapper(MapperConfig::with_access(n, n / 2)),
+        ),
+        ("ba", TopologySpec::Ba(BaConfig { n, m: 2 })),
+        ("glp", TopologySpec::Glp(GlpConfig::default_with_n(n))),
+        (
+            "waxman",
+            TopologySpec::Waxman(WaxmanConfig {
+                n,
+                alpha: 0.12,
+                beta: 0.12,
+            }),
+        ),
+        (
+            "transit-stub",
+            TopologySpec::TransitStub(TransitStubConfig {
+                transit_domains: 3,
+                transit_size: 6,
+                stubs_per_transit_router: 3,
+                stub_size: 4,
+                extra_edge_prob: 0.25,
+                access_per_stub: 2,
+            }),
+        ),
+    ]
+}
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let seed = SEED;
+    let writer = ExperimentWriter::new("map_export").expect("output directory");
+    println!("exporting one map per family (seed {seed})");
+
+    for (name, spec) in families(args.quick) {
+        let topo = match spec.generate(seed) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{name}: generation failed: {e}");
+                continue;
+            }
+        };
+        let json = writer
+            .write_text(&format!("{name}.json"), &io::to_json(&topo))
+            .expect("write json");
+        writer
+            .write_text(&format!("{name}.edges"), &io::to_edge_list(&topo))
+            .expect("write edge list");
+        writer
+            .write_text(&format!("{name}.dot"), &io::to_dot(&topo))
+            .expect("write dot");
+        println!(
+            "{name:>12}: {} routers, {} links -> {}",
+            topo.n_routers(),
+            topo.n_links(),
+            json.display()
+        );
+    }
+    println!("artifacts: {}", writer.dir().display());
+}

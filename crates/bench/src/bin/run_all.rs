@@ -1,0 +1,121 @@
+//! Runs every experiment in sequence and prints each paper-style table —
+//! the one-command regeneration of the whole evaluation. `--quick` uses
+//! each experiment's reduced configuration (the CI smoke setting).
+
+use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::experiments::{
+    churn, complexity, convergence, decreased, dtree, landmark_policies, mapping, quality,
+    setup_delay, superpeers,
+};
+use nearpeer_bench::ExperimentWriter;
+
+const SEED: u64 = 42;
+
+fn section(id: &str, title: &str) {
+    println!("\n=== {id} — {title} ===");
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let q = args.quick;
+    println!(
+        "nearpeer experiment suite ({} configs, seed {SEED})",
+        if q { "quick" } else { "standard" }
+    );
+
+    section("F2", "neighbor quality vs population");
+    let quality_cfg = if q {
+        quality::QualityConfig::quick()
+    } else {
+        quality::QualityConfig::paper(args.seeds)
+    };
+    print!("{}", quality::run(&quality_cfg, args.threads).table());
+
+    section("C1/C2", "insertion/query complexity scaling");
+    let complexity_cfg = if q {
+        complexity::ComplexityConfig::quick()
+    } else {
+        complexity::ComplexityConfig::standard()
+    };
+    print!("{}", complexity::run(&complexity_cfg).table());
+
+    section("C3", "probes-to-accuracy convergence race");
+    let convergence_cfg = if q {
+        convergence::ConvergenceConfig::quick()
+    } else {
+        convergence::ConvergenceConfig::standard()
+    };
+    print!("{}", convergence::run(&convergence_cfg, SEED).table());
+
+    section("W1", "landmark count x placement policy");
+    let landmark_cfg = if q {
+        landmark_policies::LandmarkStudyConfig::quick()
+    } else {
+        landmark_policies::LandmarkStudyConfig::standard(args.seeds)
+    };
+    print!(
+        "{}",
+        landmark_policies::run(&landmark_cfg, args.threads).table()
+    );
+
+    section("W2", "super-peer delegation coverage");
+    let superpeer_cfg = if q {
+        superpeers::SuperPeerStudyConfig::quick()
+    } else {
+        superpeers::SuperPeerStudyConfig::standard()
+    };
+    print!("{}", superpeers::run(&superpeer_cfg, SEED).table());
+
+    section("W3", "staleness and quality under churn");
+    let churn_cfg = if q {
+        churn::ChurnStudyConfig::quick()
+    } else {
+        churn::ChurnStudyConfig::standard()
+    };
+    print!("{}", churn::run(&churn_cfg, SEED).table());
+
+    section("W4", "probe budget vs neighbor quality");
+    let decreased_cfg = if q {
+        decreased::DecreasedConfig::quick()
+    } else {
+        decreased::DecreasedConfig::standard(args.seeds)
+    };
+    print!("{}", decreased::run(&decreased_cfg, args.threads).table());
+
+    section("A1", "P[dtree = d] per topology family");
+    let dtree_cfg = if q {
+        dtree::DtreeConfig::quick()
+    } else {
+        dtree::DtreeConfig::standard(args.seeds)
+    };
+    print!("{}", dtree::run(&dtree_cfg, args.threads).table());
+
+    section("A2", "streaming setup delay per policy");
+    let setup_cfg = if q {
+        setup_delay::SetupDelayConfig::quick()
+    } else {
+        setup_delay::SetupDelayConfig::standard()
+    };
+    print!("{}", setup_delay::run(&setup_cfg, SEED).table());
+
+    section("MAP", "map-statistics validation");
+    let mapping_cfg = if q {
+        mapping::MappingConfig::quick()
+    } else {
+        mapping::MappingConfig::standard()
+    };
+    print!("{}", mapping::run(&mapping_cfg, SEED, args.threads).table());
+
+    if let Ok(writer) = ExperimentWriter::new("run_all") {
+        let _ = writer.write_text(
+            "manifest.txt",
+            &format!(
+                "suite={} seed={SEED} seeds_per_point={} threads={}\n",
+                if q { "quick" } else { "standard" },
+                args.seeds,
+                args.threads
+            ),
+        );
+        println!("\nartifacts: {}", writer.dir().display());
+    }
+}

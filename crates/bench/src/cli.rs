@@ -41,17 +41,12 @@ impl CommonArgs {
                 }
                 "--threads" => {
                     let v = iter.next().ok_or("--threads needs a value")?;
-                    out.threads =
-                        v.parse().map_err(|_| format!("bad --threads value {v}"))?;
+                    out.threads = v.parse().map_err(|_| format!("bad --threads value {v}"))?;
                     if out.threads == 0 {
                         return Err("--threads must be >= 1".into());
                     }
                 }
-                "--help" | "-h" => {
-                    return Err(
-                        "usage: [--quick] [--seeds N] [--threads N]".into()
-                    )
-                }
+                "--help" | "-h" => return Err("usage: [--quick] [--seeds N] [--threads N]".into()),
                 other => return Err(format!("unknown argument {other}")),
             }
         }

@@ -10,8 +10,8 @@
 //! * **handover quality** — after a mobility re-attach + handover, whether
 //!   the fresh neighbor list is as good as a brand-new join's.
 
-use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
+use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
 use nearpeer_metrics::Table;
 use nearpeer_probe::{TraceConfig, Tracer};
 use nearpeer_routing::{bfs_distances, RouteOracle};
@@ -128,12 +128,23 @@ struct TestBed {
 
 fn build_bed(config: &ChurnStudyConfig, seed: u64) -> TestBed {
     let access_count = (config.n_peers as f64 * 1.5) as usize + 32;
-    let topo = mapper(&MapperConfig::with_access(config.core_size, access_count), seed)
-        .expect("valid mapper config");
-    let landmarks =
-        place_landmarks(&topo, config.n_landmarks, PlacementPolicy::DegreeMedium, seed);
+    let topo = mapper(
+        &MapperConfig::with_access(config.core_size, access_count),
+        seed,
+    )
+    .expect("valid mapper config");
+    let landmarks = place_landmarks(
+        &topo,
+        config.n_landmarks,
+        PlacementPolicy::DegreeMedium,
+        seed,
+    );
     let access = topo.access_routers();
-    TestBed { topo, landmarks, access }
+    TestBed {
+        topo,
+        landmarks,
+        access,
+    }
 }
 
 fn trace_path(
@@ -167,7 +178,9 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
         let trace = ChurnTrace::generate(
             &ChurnConfig {
                 peers: config.n_peers,
-                arrivals: ArrivalProcess::Poisson { rate_per_sec: config.arrival_rate },
+                arrivals: ArrivalProcess::Poisson {
+                    rate_per_sec: config.arrival_rate,
+                },
                 mean_lifetime_secs: Some(config.mean_lifetime_secs),
                 failure_fraction: frac,
             },
@@ -190,9 +203,9 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
             let peer = PeerId(event.peer as u64);
             match event.kind {
                 ChurnEventKind::Join => {
-                    let attach = *attach_of.entry(event.peer).or_insert_with(|| {
-                        bed.access[rng.gen_range(0..bed.access.len())]
-                    });
+                    let attach = *attach_of
+                        .entry(event.peer)
+                        .or_insert_with(|| bed.access[rng.gen_range(0..bed.access.len())]);
                     let path = trace_path(&bed, &oracle, &tracer, attach, seed ^ event.peer as u64);
                     let out = server.register(peer, path).expect("ids unique per trace");
                     if !out.neighbors.is_empty() {
@@ -216,7 +229,11 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
         }
         churn_points.push(ChurnPoint {
             failure_fraction: frac,
-            staleness: if joins == 0 { 0.0 } else { stale_sum / joins as f64 },
+            staleness: if joins == 0 {
+                0.0
+            } else {
+                stale_sum / joins as f64
+            },
             joins,
         });
     }
@@ -235,11 +252,11 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
     pool.shuffle(&mut rng);
     let population = config.n_peers.min(pool.len().saturating_sub(1));
     let mut attach: HashMap<PeerId, RouterId> = HashMap::new();
-    for i in 0..population {
+    for (i, &router) in pool.iter().take(population).enumerate() {
         let peer = PeerId(i as u64);
-        let path = trace_path(&bed, &oracle, &tracer, pool[i], seed ^ i as u64);
+        let path = trace_path(&bed, &oracle, &tracer, router, seed ^ i as u64);
         server.register(peer, path).expect("unique ids");
-        attach.insert(peer, pool[i]);
+        attach.insert(peer, router);
     }
     let set_cost = |neighbors: &[nearpeer_core::Neighbor],
                     from: RouterId,

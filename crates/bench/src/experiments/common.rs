@@ -92,7 +92,13 @@ pub fn measure_quality(swarm: &mut Swarm<'_>, seed: u64, sample: Option<usize>) 
         ranked.sort_unstable();
         sum_closest += ranked.iter().take(k).sum::<u64>();
     }
-    QualityMeasure { sum_d, sum_random, sum_closest, peers: measured.len(), k }
+    QualityMeasure {
+        sum_d,
+        sum_random,
+        sum_closest,
+        peers: measured.len(),
+        k,
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +110,10 @@ mod tests {
     #[test]
     fn ratios_are_sane_on_a_tiny_swarm() {
         let topo = mapper(&MapperConfig::tiny(), 9).unwrap();
-        let cfg = SwarmConfig { n_peers: 50, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 50,
+            ..Default::default()
+        };
         let mut swarm = Swarm::build(&topo, &cfg, 2).unwrap();
         let q = measure_quality(&mut swarm, 0, None);
         assert_eq!(q.peers, 50);
@@ -124,7 +133,10 @@ mod tests {
     #[test]
     fn sampling_limits_work() {
         let topo = mapper(&MapperConfig::tiny(), 9).unwrap();
-        let cfg = SwarmConfig { n_peers: 40, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 40,
+            ..Default::default()
+        };
         let mut swarm = Swarm::build(&topo, &cfg, 3).unwrap();
         let q = measure_quality(&mut swarm, 1, Some(10));
         assert_eq!(q.peers, 10);

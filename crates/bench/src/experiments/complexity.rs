@@ -164,9 +164,16 @@ pub fn run(config: &ComplexityConfig) -> ComplexityResult {
         let query_ns = start.elapsed().as_nanos() as f64 / config.queries.max(1) as f64;
         assert!(sink > 0, "queries must return results");
 
-        points.push(ComplexityPoint { n, insert_ns, query_ns });
+        points.push(ComplexityPoint {
+            n,
+            insert_ns,
+            query_ns,
+        });
     }
-    ComplexityResult { config: config.clone(), points }
+    ComplexityResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -188,8 +195,7 @@ mod tests {
 
     #[test]
     fn deep_trees_unique_leaf_routers() {
-        let paths: Vec<PeerPath> =
-            (0..100).map(|i| synthetic_path(i, 4, 8)).collect();
+        let paths: Vec<PeerPath> = (0..100).map(|i| synthetic_path(i, 4, 8)).collect();
         let mut attach: Vec<RouterId> = paths.iter().map(|p| p.attach()).collect();
         attach.sort();
         attach.dedup();

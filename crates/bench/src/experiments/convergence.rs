@@ -172,11 +172,7 @@ where
     sum_d as f64 / sum_closest.max(1) as f64
 }
 
-fn nearest_by_coord(
-    coords: &HashMap<PeerId, Coord>,
-    peer: PeerId,
-    k: usize,
-) -> Vec<PeerId> {
+fn nearest_by_coord(coords: &HashMap<PeerId, Coord>, peer: PeerId, k: usize) -> Vec<PeerId> {
     let Some(me) = coords.get(&peer) else {
         return Vec::new();
     };
@@ -307,7 +303,10 @@ pub fn run(config: &ConvergenceConfig, seed: u64) -> ConvergenceResult {
         }
     }
 
-    ConvergenceResult { config: config.clone(), points }
+    ConvergenceResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

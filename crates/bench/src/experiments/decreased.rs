@@ -127,7 +127,10 @@ pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
             n_peers: cfg.n_peers,
             n_landmarks: cfg.n_landmarks,
             neighbor_count: cfg.k,
-            trace: TraceConfig { plan, ..TraceConfig::default() },
+            trace: TraceConfig {
+                plan,
+                ..TraceConfig::default()
+            },
             ..Default::default()
         };
         let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
@@ -144,8 +147,7 @@ pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
         .iter()
         .enumerate()
         .map(|(idx, (name, _))| {
-            let mine: Vec<&(usize, f64, f64, f64)> =
-                raw.iter().filter(|r| r.0 == idx).collect();
+            let mine: Vec<&(usize, f64, f64, f64)> = raw.iter().filter(|r| r.0 == idx).collect();
             let n = mine.len().max(1) as f64;
             DecreasedPoint {
                 plan: name.clone(),
@@ -155,7 +157,10 @@ pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
             }
         })
         .collect();
-    DecreasedResult { config: config.clone(), points }
+    DecreasedResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

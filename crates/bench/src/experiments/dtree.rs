@@ -34,12 +34,22 @@ pub struct DtreeConfig {
 impl DtreeConfig {
     /// Standard configuration.
     pub fn standard(seeds: u64) -> Self {
-        Self { n_peers: 300, n_landmarks: 4, pairs: 2_000, seeds }
+        Self {
+            n_peers: 300,
+            n_landmarks: 4,
+            pairs: 2_000,
+            seeds,
+        }
     }
 
     /// Reduced configuration for `--quick` and tests.
     pub fn quick() -> Self {
-        Self { n_peers: 60, n_landmarks: 3, pairs: 200, seeds: 1 }
+        Self {
+            n_peers: 60,
+            n_landmarks: 3,
+            pairs: 200,
+            seeds: 1,
+        }
     }
 
     /// The topology families swept (sized to the peer count).
@@ -53,7 +63,10 @@ impl DtreeConfig {
             ),
             (
                 "ba".into(),
-                TopologySpec::Ba(BaConfig { n: core + access, m: 2 }),
+                TopologySpec::Ba(BaConfig {
+                    n: core + access,
+                    m: 2,
+                }),
             ),
             (
                 "glp".into(),
@@ -202,7 +215,10 @@ pub fn run(config: &DtreeConfig, threads: usize) -> DtreeResult {
             }
         })
         .collect();
-    DtreeResult { config: config.clone(), points }
+    DtreeResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +227,14 @@ mod tests {
 
     #[test]
     fn mapper_assumption_holds_better_than_waxman() {
-        let result = run(&DtreeConfig::quick(), 4);
+        // Averaged over a few seeds: the mapper-vs-waxman ordering is the
+        // paper's claim in expectation, and a single quick-sized seed is
+        // noisy enough to occasionally invert it.
+        let config = DtreeConfig {
+            seeds: 3,
+            ..DtreeConfig::quick()
+        };
+        let result = run(&config, 4);
         assert_eq!(result.points.len(), 5);
         let mapper = result.family("mapper").unwrap();
         let waxman = result.family("waxman").unwrap();

@@ -163,7 +163,10 @@ pub fn run(config: &LandmarkStudyConfig, threads: usize) -> LandmarkStudyResult 
             });
         }
     }
-    LandmarkStudyResult { config: config.clone(), points }
+    LandmarkStudyResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -45,10 +45,17 @@ impl MappingConfig {
                 TopologySpec::Mapper(MapperConfig::with_access(n / 3, n / 2)),
             ),
             ("ba".into(), TopologySpec::Ba(BaConfig { n, m: 2 })),
-            ("glp".into(), TopologySpec::Glp(GlpConfig::default_with_n(n))),
+            (
+                "glp".into(),
+                TopologySpec::Glp(GlpConfig::default_with_n(n)),
+            ),
             (
                 "waxman".into(),
-                TopologySpec::Waxman(WaxmanConfig { n, alpha: 0.1, beta: 0.15 }),
+                TopologySpec::Waxman(WaxmanConfig {
+                    n,
+                    alpha: 0.1,
+                    beta: 0.15,
+                }),
             ),
             (
                 "transit-stub".into(),
@@ -159,7 +166,10 @@ pub fn run(config: &MappingConfig, seed: u64, threads: usize) -> MappingResult {
             connected: is_connected(&topo),
         }
     });
-    MappingResult { config: config.clone(), points }
+    MappingResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! Experiment implementations (one module per DESIGN.md §6 entry).
 
+pub mod churn;
 pub mod common;
 pub mod complexity;
 pub mod convergence;
-pub mod churn;
 pub mod decreased;
 pub mod dtree;
 pub mod landmark_policies;

@@ -166,7 +166,10 @@ pub fn run(config: &QualityConfig, threads: usize) -> QualityResult {
             }
         })
         .collect();
-    QualityResult { config: config.clone(), points }
+    QualityResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -198,7 +198,10 @@ pub fn run(config: &SetupDelayConfig, seed: u64) -> SetupDelayResult {
     let mut pathtree_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
     for i in 0..n {
         let peer = swarm.peers[i];
-        let neighbors = swarm.server.neighbors_of(peer, config.k).expect("registered");
+        let neighbors = swarm
+            .server
+            .neighbors_of(peer, config.k)
+            .expect("registered");
         for nb in neighbors {
             let j = nb.peer.0 as usize;
             if !pathtree_lists[i].contains(&j) {
@@ -264,7 +267,10 @@ pub fn run(config: &SetupDelayConfig, seed: u64) -> SetupDelayResult {
             peers: n,
         });
     }
-    SetupDelayResult { config: config.clone(), points }
+    SetupDelayResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

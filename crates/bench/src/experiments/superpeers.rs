@@ -5,12 +5,12 @@
 //! sweeps the promotion threshold, reporting how much of the join load a
 //! super-peer tier could absorb.
 
+use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig, SuperPeerConfig};
 use nearpeer_metrics::Table;
 use nearpeer_probe::{TraceConfig, Tracer};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::generators::{mapper, MapperConfig};
-use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -108,8 +108,12 @@ pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
     let access = (config.n_peers as f64 * 1.3) as usize + 16;
     let topo = mapper(&MapperConfig::with_access(config.core_size, access), seed)
         .expect("valid mapper config");
-    let landmarks =
-        place_landmarks(&topo, config.n_landmarks, PlacementPolicy::DegreeMedium, seed);
+    let landmarks = place_landmarks(
+        &topo,
+        config.n_landmarks,
+        PlacementPolicy::DegreeMedium,
+        seed,
+    );
     let oracle = RouteOracle::new(&topo);
     let tracer = Tracer::new(&oracle, TraceConfig::default());
     let mut routers = topo.access_routers();
@@ -170,7 +174,10 @@ pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
             }
         })
         .collect();
-    SuperPeerStudyResult { config: config.clone(), points }
+    SuperPeerStudyResult {
+        config: config.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]

@@ -50,16 +50,15 @@ mod tests {
 
     #[test]
     fn writes_into_env_dir() {
-        let tmp = std::env::temp_dir().join(format!(
-            "nearpeer-writer-test-{}",
-            std::process::id()
-        ));
+        let tmp = std::env::temp_dir().join(format!("nearpeer-writer-test-{}", std::process::id()));
         std::env::set_var("NEARPEER_OUT", &tmp);
         let w = ExperimentWriter::new("unit").unwrap();
         let p = w.write_text("hello.csv", "a,b\n1,2\n").unwrap();
         assert!(p.exists());
         assert_eq!(fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
-        let j = w.write_json("m.json", &serde_json::json!({"k": 1})).unwrap();
+        let j = w
+            .write_json("m.json", &serde_json::json!({"k": 1}))
+            .unwrap();
         assert!(fs::read_to_string(&j).unwrap().contains("\"k\": 1"));
         std::env::remove_var("NEARPEER_OUT");
         let _ = fs::remove_dir_all(tmp);

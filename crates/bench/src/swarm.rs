@@ -86,12 +86,13 @@ impl<'t> Swarm<'t> {
             // Families without degree-1 routers (e.g. BA with m >= 2):
             // fall back to the lowest-degree non-landmark routers, which is
             // the closest analogue of "the network edge" those maps offer.
-            let taken: std::collections::HashSet<RouterId> =
-                access.iter().copied().chain(landmarks.iter().copied()).collect();
-            let mut fallback: Vec<RouterId> = topo
-                .routers()
-                .filter(|r| !taken.contains(r))
+            let taken: std::collections::HashSet<RouterId> = access
+                .iter()
+                .copied()
+                .chain(landmarks.iter().copied())
                 .collect();
+            let mut fallback: Vec<RouterId> =
+                topo.routers().filter(|r| !taken.contains(r)).collect();
             fallback.sort_by_key(|&r| (topo.degree(r), r));
             access.extend(fallback.into_iter().take(config.n_peers - access.len()));
         }
@@ -131,8 +132,8 @@ impl<'t> Swarm<'t> {
             let trace = tracer
                 .trace(attach, closest, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
                 .ok_or_else(|| format!("trace from {attach} to {closest} failed"))?;
-            let path = PeerPath::new(trace.router_path())
-                .map_err(|e| format!("bad traced path: {e}"))?;
+            let path =
+                PeerPath::new(trace.router_path()).map_err(|e| format!("bad traced path: {e}"))?;
             server
                 .register(peer, path)
                 .map_err(|e| format!("register {peer}: {e}"))?;
@@ -140,10 +141,20 @@ impl<'t> Swarm<'t> {
             attachment.insert(peer, attach);
             join_cost.insert(
                 peer,
-                JoinCost { probes: trace.probes_sent, trace_elapsed_us: trace.elapsed_us },
+                JoinCost {
+                    probes: trace.probes_sent,
+                    trace_elapsed_us: trace.elapsed_us,
+                },
             );
         }
-        Ok(Self { topo, landmarks, server, peers, attachment, join_cost })
+        Ok(Self {
+            topo,
+            landmarks,
+            server,
+            peers,
+            attachment,
+            join_cost,
+        })
     }
 
     /// Mean traceroute probes per join.
@@ -151,7 +162,10 @@ impl<'t> Swarm<'t> {
         if self.join_cost.is_empty() {
             return 0.0;
         }
-        self.join_cost.values().map(|c| c.probes as f64).sum::<f64>()
+        self.join_cost
+            .values()
+            .map(|c| c.probes as f64)
+            .sum::<f64>()
             / self.join_cost.len() as f64
     }
 
@@ -180,7 +194,11 @@ mod tests {
     #[test]
     fn builds_and_registers_everyone() {
         let topo = tiny_topo();
-        let cfg = SwarmConfig { n_peers: 40, n_landmarks: 3, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 40,
+            n_landmarks: 3,
+            ..Default::default()
+        };
         let swarm = Swarm::build(&topo, &cfg, 1).unwrap();
         assert_eq!(swarm.peers.len(), 40);
         assert_eq!(swarm.server.peer_count(), 40);
@@ -200,7 +218,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let topo = tiny_topo();
-        let cfg = SwarmConfig { n_peers: 20, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 20,
+            ..Default::default()
+        };
         let a = Swarm::build(&topo, &cfg, 3).unwrap();
         let b = Swarm::build(&topo, &cfg, 3).unwrap();
         assert_eq!(a.landmarks, b.landmarks);
@@ -212,7 +233,10 @@ mod tests {
     #[test]
     fn too_many_peers_fails_cleanly() {
         let topo = tiny_topo();
-        let cfg = SwarmConfig { n_peers: 100_000, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 100_000,
+            ..Default::default()
+        };
         match Swarm::build(&topo, &cfg, 1) {
             Err(err) => assert!(err.contains("access routers"), "{err}"),
             Ok(_) => panic!("oversized swarm must fail"),
@@ -222,7 +246,10 @@ mod tests {
     #[test]
     fn every_peer_gets_neighbors_once_populated() {
         let topo = tiny_topo();
-        let cfg = SwarmConfig { n_peers: 30, ..Default::default() };
+        let cfg = SwarmConfig {
+            n_peers: 30,
+            ..Default::default()
+        };
         let mut swarm = Swarm::build(&topo, &cfg, 2).unwrap();
         for &peer in &swarm.peers.clone() {
             let neigh = swarm.server.neighbors_of(peer, 5).unwrap();

@@ -18,7 +18,10 @@ pub struct Coord {
 impl Coord {
     /// The origin of a `dim`-dimensional space with zero height.
     pub fn origin(dim: usize) -> Self {
-        Self { v: vec![0.0; dim], height: 0.0 }
+        Self {
+            v: vec![0.0; dim],
+            height: 0.0,
+        }
     }
 
     /// A random point in `[-scale, scale]^dim` (used to break symmetry at
@@ -56,8 +59,7 @@ impl Coord {
     /// positions coincide, a random unit direction (so coincident Vivaldi
     /// nodes can still repel).
     pub fn direction_from(&self, other: &Coord, rng: &mut impl Rng) -> Vec<f64> {
-        let mut diff: Vec<f64> =
-            self.v.iter().zip(&other.v).map(|(a, b)| a - b).collect();
+        let mut diff: Vec<f64> = self.v.iter().zip(&other.v).map(|(a, b)| a - b).collect();
         let mag = diff.iter().map(|x| x * x).sum::<f64>().sqrt();
         if mag > 1e-9 {
             for x in &mut diff {
@@ -67,7 +69,9 @@ impl Coord {
         }
         // Coincident: random direction.
         loop {
-            let cand: Vec<f64> = (0..self.v.len()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            let cand: Vec<f64> = (0..self.v.len())
+                .map(|_| rng.gen_range(-1.0..=1.0))
+                .collect();
             let m = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
             if m > 1e-6 {
                 return cand.into_iter().map(|x| x / m).collect();
@@ -94,8 +98,14 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric_and_triangle_free_heights() {
-        let a = Coord { v: vec![0.0, 0.0], height: 1.0 };
-        let b = Coord { v: vec![3.0, 4.0], height: 2.0 };
+        let a = Coord {
+            v: vec![0.0, 0.0],
+            height: 1.0,
+        };
+        let b = Coord {
+            v: vec![3.0, 4.0],
+            height: 2.0,
+        };
         assert_eq!(a.distance(&b), 5.0 + 3.0);
         assert_eq!(a.distance(&b), b.distance(&a));
     }
@@ -105,15 +115,24 @@ mod tests {
         let o = Coord::origin(3);
         assert_eq!(o.dim(), 3);
         assert_eq!(o.magnitude(), 0.0);
-        let c = Coord { v: vec![3.0, 4.0], height: 0.0 };
+        let c = Coord {
+            v: vec![3.0, 4.0],
+            height: 0.0,
+        };
         assert_eq!(c.magnitude(), 5.0);
     }
 
     #[test]
     fn direction_unit_length() {
         let mut rng = StdRng::seed_from_u64(1);
-        let a = Coord { v: vec![1.0, 1.0], height: 0.0 };
-        let b = Coord { v: vec![4.0, 5.0], height: 0.0 };
+        let a = Coord {
+            v: vec![1.0, 1.0],
+            height: 0.0,
+        };
+        let b = Coord {
+            v: vec![4.0, 5.0],
+            height: 0.0,
+        };
         let d = b.direction_from(&a, &mut rng);
         let mag: f64 = d.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((mag - 1.0).abs() < 1e-9);

@@ -17,7 +17,11 @@ impl Default for GnpConfig {
     fn default() -> Self {
         Self {
             dimensions: 3,
-            solver: NelderMeadConfig { max_evals: 5_000, tolerance: 1e-6, initial_step: 1_000.0 },
+            solver: NelderMeadConfig {
+                max_evals: 5_000,
+                tolerance: 1e-6,
+                initial_step: 1_000.0,
+            },
         }
     }
 }
@@ -42,6 +46,9 @@ impl GnpLandmarkSystem {
     /// `dimensions + 1` landmarks for a meaningful embedding.
     ///
     /// Returns `None` if the matrix is not square or too small.
+    // Triangular `rtt[i][j]` indexing below reads better than nested
+    // iterator adapters over the matrix halves.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit(rtt: &[Vec<f64>], cfg: &GnpConfig) -> Option<Self> {
         let n = rtt.len();
         if n < cfg.dimensions + 1 || rtt.iter().any(|row| row.len() != n) {
@@ -83,14 +90,21 @@ impl GnpLandmarkSystem {
         }
         let (x, fit_error) = nelder_mead(objective, &x0, &cfg.solver);
         let mut landmarks = Vec::with_capacity(n);
-        landmarks.push(Coord { v: vec![0.0; dim], height: 0.0 });
+        landmarks.push(Coord {
+            v: vec![0.0; dim],
+            height: 0.0,
+        });
         for i in 1..n {
             landmarks.push(Coord {
                 v: x[(i - 1) * dim..i * dim].to_vec(),
                 height: 0.0,
             });
         }
-        Some(Self { landmarks, cfg: *cfg, fit_error })
+        Some(Self {
+            landmarks,
+            cfg: *cfg,
+            fit_error,
+        })
     }
 
     /// Number of landmarks.
@@ -170,17 +184,25 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn landmark_fit_recovers_pairwise_distances() {
         let pts = truth_points();
         let rtt = rtt_matrix(&pts);
-        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let cfg = GnpConfig {
+            dimensions: 2,
+            ..Default::default()
+        };
         let sys = GnpLandmarkSystem::fit(&rtt, &cfg).unwrap();
         assert_eq!(sys.n_landmarks(), 5);
         for i in 0..5 {
             for j in (i + 1)..5 {
                 let d = sys.landmarks()[i].distance(&sys.landmarks()[j]);
                 let rel = (d - rtt[i][j]).abs() / rtt[i][j].max(1.0);
-                assert!(rel < 0.15, "landmarks {i},{j}: {d} vs {} (rel {rel})", rtt[i][j]);
+                assert!(
+                    rel < 0.15,
+                    "landmarks {i},{j}: {d} vs {} (rel {rel})",
+                    rtt[i][j]
+                );
             }
         }
     }
@@ -189,7 +211,10 @@ mod tests {
     fn host_embedding_predicts_rtts() {
         let pts = truth_points();
         let rtt = rtt_matrix(&pts);
-        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let cfg = GnpConfig {
+            dimensions: 2,
+            ..Default::default()
+        };
         let sys = GnpLandmarkSystem::fit(&rtt, &cfg).unwrap();
         // A host at (40k, 30k).
         let host = (40_000.0f64, 30_000.0f64);
@@ -211,7 +236,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes() {
-        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let cfg = GnpConfig {
+            dimensions: 2,
+            ..Default::default()
+        };
         // Too few landmarks for the dimension.
         assert!(GnpLandmarkSystem::fit(&[vec![0.0, 1.0], vec![1.0, 0.0]], &cfg).is_none());
         // Ragged matrix.
@@ -229,7 +257,10 @@ mod tests {
     #[test]
     fn fit_error_zero_for_perfectly_embeddable() {
         let pts = truth_points();
-        let cfg = GnpConfig { dimensions: 2, ..Default::default() };
+        let cfg = GnpConfig {
+            dimensions: 2,
+            ..Default::default()
+        };
         let sys = GnpLandmarkSystem::fit(&rtt_matrix(&pts), &cfg).unwrap();
         assert!(sys.fit_error() < 0.05, "fit error {}", sys.fit_error());
     }

@@ -19,7 +19,11 @@ pub struct NelderMeadConfig {
 
 impl Default for NelderMeadConfig {
     fn default() -> Self {
-        Self { max_evals: 2_000, tolerance: 1e-9, initial_step: 1.0 }
+        Self {
+            max_evals: 2_000,
+            tolerance: 1e-9,
+            initial_step: 1.0,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ pub fn nelder_mead(
             // Expansion.
             let expanded = blend(&centroid, &worst_point, -GAMMA);
             let f_exp = eval(&expanded, &mut evals);
-            simplex[n] = if f_exp < f_ref { (expanded, f_exp) } else { (reflected, f_ref) };
+            simplex[n] = if f_exp < f_ref {
+                (expanded, f_exp)
+            } else {
+                (reflected, f_ref)
+            };
             continue;
         }
         if f_ref < second_worst {
@@ -124,10 +132,11 @@ mod tests {
 
     #[test]
     fn minimises_rosenbrock_reasonably() {
-        let f = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let cfg = NelderMeadConfig {
+            max_evals: 10_000,
+            ..Default::default()
         };
-        let cfg = NelderMeadConfig { max_evals: 10_000, ..Default::default() };
         let (x, fx) = nelder_mead(f, &[-1.2, 1.0], &cfg);
         assert!(fx < 1e-4, "fx = {fx}, x = {x:?}");
     }
@@ -140,7 +149,10 @@ mod tests {
             count.set(count.get() + 1);
             x[0] * x[0]
         };
-        let cfg = NelderMeadConfig { max_evals: 50, ..Default::default() };
+        let cfg = NelderMeadConfig {
+            max_evals: 50,
+            ..Default::default()
+        };
         let _ = nelder_mead(f, &[100.0], &cfg);
         // Budget may be exceeded by at most one in-flight iteration's evals.
         assert!(count.get() <= 55, "evals = {}", count.get());

@@ -18,7 +18,12 @@ pub struct VivaldiConfig {
 
 impl Default for VivaldiConfig {
     fn default() -> Self {
-        Self { dimensions: 2, cc: 0.25, ce: 0.25, use_height: false }
+        Self {
+            dimensions: 2,
+            cc: 0.25,
+            ce: 0.25,
+            use_height: false,
+        }
     }
 }
 
@@ -79,13 +84,7 @@ impl VivaldiNode {
 
     /// Consumes one measurement: the remote node's coordinate and error, and
     /// the measured RTT (microseconds; any consistent unit works).
-    pub fn observe(
-        &mut self,
-        remote: &Coord,
-        remote_error: f64,
-        rtt: f64,
-        rng: &mut impl Rng,
-    ) {
+    pub fn observe(&mut self, remote: &Coord, remote_error: f64, rtt: f64, rng: &mut impl Rng) {
         if !(rtt.is_finite()) || rtt <= 0.0 {
             return; // ignore nonsense samples rather than corrupting state
         }
@@ -173,7 +172,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = VivaldiConfig::default();
         let mut node = VivaldiNode::new(&cfg, &mut rng);
-        let anchor = Coord { v: vec![30_000.0, 0.0], height: 0.0 };
+        let anchor = Coord {
+            v: vec![30_000.0, 0.0],
+            height: 0.0,
+        };
         let initial_error = node.error();
         for _ in 0..50 {
             let rtt = node.coord().distance(&anchor).max(1.0);
@@ -199,9 +201,15 @@ mod tests {
     #[test]
     fn height_model_keeps_height_nonnegative() {
         let mut rng = StdRng::seed_from_u64(9);
-        let cfg = VivaldiConfig { use_height: true, ..Default::default() };
+        let cfg = VivaldiConfig {
+            use_height: true,
+            ..Default::default()
+        };
         let mut node = VivaldiNode::new(&cfg, &mut rng);
-        let anchor = Coord { v: vec![1_000.0, 1_000.0], height: 500.0 };
+        let anchor = Coord {
+            v: vec![1_000.0, 1_000.0],
+            height: 500.0,
+        };
         for i in 0..200 {
             let rtt = 1_000.0 + (i % 7) as f64 * 300.0;
             node.observe(&anchor, 0.3, rtt, &mut rng);

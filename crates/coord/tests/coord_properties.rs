@@ -1,8 +1,7 @@
 //! Property tests for the coordinate baselines.
 
 use nearpeer_coord::{
-    nelder_mead, Coord, GnpConfig, GnpLandmarkSystem, NelderMeadConfig, VivaldiConfig,
-    VivaldiNode,
+    nelder_mead, Coord, GnpConfig, GnpLandmarkSystem, NelderMeadConfig, VivaldiConfig, VivaldiNode,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -21,7 +20,7 @@ proptest! {
             x.iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum()
         };
         let start = f(&x0);
-        let (_, best) = nelder_mead(&f, &x0, &NelderMeadConfig::default());
+        let (_, best) = nelder_mead(f, &x0, &NelderMeadConfig::default());
         prop_assert!(best <= start + 1e-12, "worsened: {} > {}", best, start);
     }
 

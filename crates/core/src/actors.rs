@@ -44,14 +44,20 @@ impl Actor<Message> for ServerActor {
                             neighbors: out
                                 .neighbors
                                 .iter()
-                                .map(|n| WireNeighbor { peer: n.peer, dtree: n.dtree })
+                                .map(|n| WireNeighbor {
+                                    peer: n.peer,
+                                    dtree: n.dtree,
+                                })
                                 .collect(),
                             delegate: out.delegate,
                         },
                     ),
                     Err(e) => ctx.send(
                         from,
-                        Message::JoinError { peer, reason: e.to_string() },
+                        Message::JoinError {
+                            peer,
+                            reason: e.to_string(),
+                        },
                     ),
                 }
             }
@@ -65,14 +71,20 @@ impl Actor<Message> for ServerActor {
                             neighbors: out
                                 .neighbors
                                 .iter()
-                                .map(|n| WireNeighbor { peer: n.peer, dtree: n.dtree })
+                                .map(|n| WireNeighbor {
+                                    peer: n.peer,
+                                    dtree: n.dtree,
+                                })
                                 .collect(),
                             delegate: out.delegate,
                         },
                     ),
                     Err(e) => ctx.send(
                         from,
-                        Message::JoinError { peer, reason: e.to_string() },
+                        Message::JoinError {
+                            peer,
+                            reason: e.to_string(),
+                        },
                     ),
                 }
             }
@@ -224,7 +236,11 @@ impl Actor<Message> for PeerActor {
                     }
                 }
             }
-            Message::JoinReply { peer, neighbors, delegate } if peer == self.id => {
+            Message::JoinReply {
+                peer,
+                neighbors,
+                delegate,
+            } if peer == self.id => {
                 let mut rec = self.record.borrow_mut();
                 rec.joined_at = Some(ctx.now());
                 rec.neighbors = neighbors;
@@ -239,19 +255,24 @@ impl Actor<Message> for PeerActor {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Message>, id: TimerId) {
         match id {
-            TIMER_PROBES_DONE => {
+            TIMER_PROBES_DONE
                 // Proceed with whatever pongs arrived, unless the trace
                 // already started (all pongs in).
-                if self.record.borrow().chosen_landmark.is_none() {
+                if self.record.borrow().chosen_landmark.is_none() => {
                     self.start_trace(ctx);
                 }
-            }
             TIMER_TRACE_DONE => {
                 let Some(idx) = self.record.borrow().chosen_landmark else {
                     return;
                 };
                 if let Some((path, _)) = self.traces[idx].clone() {
-                    ctx.send(self.server, Message::JoinRequest { peer: self.id, path });
+                    ctx.send(
+                        self.server,
+                        Message::JoinRequest {
+                            peer: self.id,
+                            path,
+                        },
+                    );
                 }
             }
             _ => {}
@@ -412,7 +433,12 @@ mod tests {
             .borrow_mut()
             .register(PeerId(5), path(&[9, 4, 0]))
             .unwrap();
-        sim.inject_at(nearpeer_sim::SimTime(10), srv, srv, Message::Leave { peer: PeerId(5) });
+        sim.inject_at(
+            nearpeer_sim::SimTime(10),
+            srv,
+            srv,
+            Message::Leave { peer: PeerId(5) },
+        );
         sim.run_to_completion();
         assert_eq!(server.borrow().peer_count(), 0);
     }

@@ -67,7 +67,11 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
             payload.put_u64(peer.0);
             put_path(&mut payload, path);
         }
-        Message::JoinReply { peer, neighbors, delegate } => {
+        Message::JoinReply {
+            peer,
+            neighbors,
+            delegate,
+        } => {
             payload.put_u64(peer.0);
             payload.put_u16(neighbors.len() as u16);
             for n in neighbors {
@@ -196,7 +200,10 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
             let n = frame.get_u16() as usize;
             need(frame, n * 12 + 1, "neighbors")?;
             let neighbors = (0..n)
-                .map(|_| WireNeighbor { peer: PeerId(frame.get_u64()), dtree: frame.get_u32() })
+                .map(|_| WireNeighbor {
+                    peer: PeerId(frame.get_u64()),
+                    dtree: frame.get_u32(),
+                })
                 .collect();
             let delegate = match frame.get_u8() {
                 0 => None,
@@ -204,13 +211,13 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
                     need(frame, 8, "delegate")?;
                     Some(PeerId(frame.get_u64()))
                 }
-                other => {
-                    return Err(CodecError::BadPayload(format!(
-                        "bad delegate flag {other}"
-                    )))
-                }
+                other => return Err(CodecError::BadPayload(format!("bad delegate flag {other}"))),
             };
-            Ok(Message::JoinReply { peer, neighbors, delegate })
+            Ok(Message::JoinReply {
+                peer,
+                neighbors,
+                delegate,
+            })
         }
         5 => {
             need(frame, 8 + 2, "join error header")?;
@@ -223,11 +230,15 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
         }
         6 => {
             need(frame, 8, "peer id")?;
-            Ok(Message::Leave { peer: PeerId(frame.get_u64()) })
+            Ok(Message::Leave {
+                peer: PeerId(frame.get_u64()),
+            })
         }
         8 => {
             need(frame, 8, "peer id")?;
-            Ok(Message::Heartbeat { peer: PeerId(frame.get_u64()) })
+            Ok(Message::Heartbeat {
+                peer: PeerId(frame.get_u64()),
+            })
         }
         other => Err(CodecError::UnknownKind(other)),
     }
@@ -245,19 +256,38 @@ mod tests {
         vec![
             Message::ProbePing { nonce: 0xDEAD_BEEF },
             Message::ProbePong { nonce: 42 },
-            Message::JoinRequest { peer: PeerId(7), path: sample_path() },
+            Message::JoinRequest {
+                peer: PeerId(7),
+                path: sample_path(),
+            },
             Message::JoinReply {
                 peer: PeerId(7),
                 neighbors: vec![
-                    WireNeighbor { peer: PeerId(1), dtree: 2 },
-                    WireNeighbor { peer: PeerId(2), dtree: 5 },
+                    WireNeighbor {
+                        peer: PeerId(1),
+                        dtree: 2,
+                    },
+                    WireNeighbor {
+                        peer: PeerId(2),
+                        dtree: 5,
+                    },
                 ],
                 delegate: Some(PeerId(1)),
             },
-            Message::JoinReply { peer: PeerId(8), neighbors: vec![], delegate: None },
-            Message::JoinError { peer: PeerId(9), reason: "unknown landmark".into() },
+            Message::JoinReply {
+                peer: PeerId(8),
+                neighbors: vec![],
+                delegate: None,
+            },
+            Message::JoinError {
+                peer: PeerId(9),
+                reason: "unknown landmark".into(),
+            },
             Message::Leave { peer: PeerId(3) },
-            Message::HandoverRequest { peer: PeerId(4), path: sample_path() },
+            Message::HandoverRequest {
+                peer: PeerId(4),
+                path: sample_path(),
+            },
             Message::Heartbeat { peer: PeerId(5) },
         ]
     }
@@ -307,13 +337,19 @@ mod tests {
         buf.put_u32(2);
         buf.put_u8(99); // version
         buf.put_u8(1); // kind
-        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownVersion(99))));
+        assert!(matches!(
+            decode(&mut buf),
+            Err(CodecError::UnknownVersion(99))
+        ));
 
         let mut buf = BytesMut::new();
         buf.put_u32(2);
         buf.put_u8(WIRE_VERSION);
         buf.put_u8(200); // kind
-        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownKind(200))));
+        assert!(matches!(
+            decode(&mut buf),
+            Err(CodecError::UnknownKind(200))
+        ));
     }
 
     #[test]
@@ -321,7 +357,10 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32(MAX_FRAME_LEN + 1);
         buf.put_slice(&[0u8; 16]);
-        assert!(matches!(decode(&mut buf), Err(CodecError::FrameTooLarge(_))));
+        assert!(matches!(
+            decode(&mut buf),
+            Err(CodecError::FrameTooLarge(_))
+        ));
     }
 
     #[test]
@@ -375,7 +414,13 @@ mod tests {
         buf.put_u8(WIRE_VERSION);
         buf.put_u8(250);
         encode(&Message::Leave { peer: PeerId(5) }, &mut buf);
-        assert!(matches!(decode(&mut buf), Err(CodecError::UnknownKind(250))));
-        assert_eq!(decode(&mut buf).unwrap(), Message::Leave { peer: PeerId(5) });
+        assert!(matches!(
+            decode(&mut buf),
+            Err(CodecError::UnknownKind(250))
+        ));
+        assert_eq!(
+            decode(&mut buf).unwrap(),
+            Message::Leave { peer: PeerId(5) }
+        );
     }
 }

@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a participating peer (assigned by the application).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PeerId(pub u64);
 
 impl fmt::Display for PeerId {
@@ -16,9 +14,7 @@ impl fmt::Display for PeerId {
 }
 
 /// Identifier of a landmark (dense index into the server's landmark table).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LandmarkId(pub u32);
 
 impl LandmarkId {

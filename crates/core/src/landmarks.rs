@@ -68,8 +68,7 @@ pub fn place_landmarks(
     }
     // Landmarks are infrastructure nodes: never degree-1 access routers
     // (those are where peers live).
-    let eligible: Vec<RouterId> =
-        topo.routers().filter(|&r| topo.degree(r) >= 2).collect();
+    let eligible: Vec<RouterId> = topo.routers().filter(|&r| topo.degree(r) >= 2).collect();
     let eligible = if eligible.is_empty() {
         topo.routers().collect::<Vec<_>>()
     } else {
@@ -90,7 +89,9 @@ pub fn place_landmarks(
             let mut by_degree = eligible;
             by_degree.sort_by_key(|&r| (topo.degree(r), r));
             let lo = by_degree.len() * 40 / 100;
-            let hi = (by_degree.len() * 80 / 100).max(lo + 1).min(by_degree.len());
+            let hi = (by_degree.len() * 80 / 100)
+                .max(lo + 1)
+                .min(by_degree.len());
             let mut band: Vec<RouterId> = by_degree[lo..hi].to_vec();
             band.shuffle(&mut rng);
             band.truncate(n);

@@ -61,19 +61,19 @@ impl PeerPath {
 
     /// Hops from the peer to `router`, if the router is on the path.
     pub fn depth_of(&self, router: RouterId) -> Option<u32> {
-        self.routers.iter().position(|&r| r == router).map(|i| i as u32)
+        self.routers
+            .iter()
+            .position(|&r| r == router)
+            .map(|i| i as u32)
     }
 
     /// The deepest (closest-to-both-peers) router shared with `other`, and
     /// the resulting `dtree` hop estimate — the paper's inferred distance
     /// through the first common router.
     pub fn dtree(&self, other: &PeerPath) -> Option<(RouterId, u32)> {
-        let other_depths: std::collections::HashMap<RouterId, u32> =
-            other.with_depths().map(|(r, d)| (r, d)).collect();
+        let other_depths: std::collections::HashMap<RouterId, u32> = other.with_depths().collect();
         self.with_depths()
-            .filter_map(|(r, d_self)| {
-                other_depths.get(&r).map(|&d_other| (r, d_self + d_other))
-            })
+            .filter_map(|(r, d_self)| other_depths.get(&r).map(|&d_other| (r, d_self + d_other)))
             .min_by_key(|&(_, d)| d)
     }
 }

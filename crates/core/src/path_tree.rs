@@ -153,8 +153,7 @@ impl PathTree {
     pub fn branch_point(&self, a: PeerId, b: PeerId) -> Option<(RouterId, u32)> {
         let mut ia = *self.peer_node.get(&a)?;
         let mut ib = *self.peer_node.get(&b)?;
-        let (mut da, mut db) =
-            (self.nodes[ia as usize].depth, self.nodes[ib as usize].depth);
+        let (mut da, mut db) = (self.nodes[ia as usize].depth, self.nodes[ib as usize].depth);
         let mut hops = 0u32;
         while da > db {
             ia = self.nodes[ia as usize].parent;
@@ -184,7 +183,9 @@ impl PathTree {
 
     /// Depth (hops from the landmark) at which `router` sits in the tree.
     pub fn depth_of(&self, router: RouterId) -> Option<u32> {
-        self.by_router.get(&router).map(|&i| self.nodes[i as usize].depth)
+        self.by_router
+            .get(&router)
+            .map(|&i| self.nodes[i as usize].depth)
     }
 
     /// The routers at exactly `depth` hops from the landmark, with their
@@ -289,7 +290,10 @@ mod tests {
             t.branch_point(PeerId(0xA), PeerId(0xD)),
             Some((RouterId(2), 1))
         );
-        assert_eq!(t.branch_point(PeerId(0xA), PeerId(0xA)), Some((RouterId(4), 0)));
+        assert_eq!(
+            t.branch_point(PeerId(0xA), PeerId(0xA)),
+            Some((RouterId(4), 0))
+        );
         assert_eq!(t.branch_point(PeerId(0xA), PeerId(0xF)), None);
     }
 

@@ -62,7 +62,10 @@ pub struct RandomSelector {
 impl RandomSelector {
     /// Creates the selector over the current population.
     pub fn new(population: Vec<PeerId>, seed: u64) -> Self {
-        Self { population, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            population,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -150,7 +153,11 @@ impl Selector for VivaldiSelector {
             .filter(|&(&p, _)| p != newcomer)
             .map(|(&p, c)| (me.distance(c), p))
             .collect();
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then(a.1.cmp(&b.1))
+        });
         ranked.truncate(k);
         ranked.into_iter().map(|(_, p)| p).collect()
     }
@@ -184,10 +191,7 @@ impl BinningSelector {
     }
 
     fn vector_gap(a: &[u64], b: &[u64]) -> u64 {
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| x.abs_diff(y))
-            .sum()
+        a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).sum()
     }
 }
 
@@ -197,8 +201,7 @@ impl Selector for BinningSelector {
     }
 
     fn select(&mut self, newcomer: PeerId, k: usize) -> Vec<PeerId> {
-        let (Some(my_bin), Some(my_rtts)) =
-            (self.bins.get(&newcomer), self.rtts.get(&newcomer))
+        let (Some(my_bin), Some(my_rtts)) = (self.bins.get(&newcomer), self.rtts.get(&newcomer))
         else {
             return Vec::new();
         };
@@ -249,7 +252,10 @@ mod tests {
     use nearpeer_topology::generators::regular;
 
     fn attachments(pairs: &[(u64, u32)]) -> HashMap<PeerId, RouterId> {
-        pairs.iter().map(|&(p, r)| (PeerId(p), RouterId(r))).collect()
+        pairs
+            .iter()
+            .map(|&(p, r)| (PeerId(p), RouterId(r)))
+            .collect()
     }
 
     #[test]
@@ -280,15 +286,36 @@ mod tests {
     #[test]
     fn vivaldi_ranks_by_coordinate_distance() {
         let mut coords = HashMap::new();
-        coords.insert(PeerId(1), Coord { v: vec![0.0, 0.0], height: 0.0 });
-        coords.insert(PeerId(2), Coord { v: vec![1.0, 0.0], height: 0.0 });
-        coords.insert(PeerId(3), Coord { v: vec![5.0, 0.0], height: 0.0 });
-        coords.insert(PeerId(4), Coord { v: vec![2.0, 0.0], height: 0.0 });
-        let mut sel = VivaldiSelector::new(coords);
-        assert_eq!(
-            sel.select(PeerId(1), 2),
-            vec![PeerId(2), PeerId(4)]
+        coords.insert(
+            PeerId(1),
+            Coord {
+                v: vec![0.0, 0.0],
+                height: 0.0,
+            },
         );
+        coords.insert(
+            PeerId(2),
+            Coord {
+                v: vec![1.0, 0.0],
+                height: 0.0,
+            },
+        );
+        coords.insert(
+            PeerId(3),
+            Coord {
+                v: vec![5.0, 0.0],
+                height: 0.0,
+            },
+        );
+        coords.insert(
+            PeerId(4),
+            Coord {
+                v: vec![2.0, 0.0],
+                height: 0.0,
+            },
+        );
+        let mut sel = VivaldiSelector::new(coords);
+        assert_eq!(sel.select(PeerId(1), 2), vec![PeerId(2), PeerId(4)]);
         assert!(sel.select(PeerId(9), 1).is_empty());
     }
 
@@ -306,14 +333,9 @@ mod tests {
 
     #[test]
     fn path_tree_selector_round_trips_server() {
-        let mut srv = ManagementServer::new(
-            vec![RouterId(0)],
-            vec![vec![0]],
-            ServerConfig::default(),
-        );
-        let mk = |ids: &[u32]| {
-            PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
-        };
+        let mut srv =
+            ManagementServer::new(vec![RouterId(0)], vec![vec![0]], ServerConfig::default());
+        let mk = |ids: &[u32]| PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap();
         srv.register(PeerId(1), mk(&[4, 2, 1, 0])).unwrap();
         srv.register(PeerId(2), mk(&[5, 2, 1, 0])).unwrap();
         srv.register(PeerId(3), mk(&[6, 3, 1, 0])).unwrap();
@@ -340,16 +362,15 @@ mod tests {
         // On a ring with scattered peers, the oracle's neighbor cost must
         // lower-bound the random policy's.
         let topo = regular::ring(24);
-        let att: HashMap<PeerId, RouterId> =
-            (0..12).map(|i| (PeerId(i), RouterId((i * 2) as u32))).collect();
+        let att: HashMap<PeerId, RouterId> = (0..12)
+            .map(|i| (PeerId(i), RouterId((i * 2) as u32)))
+            .collect();
         let mut oracle = OracleSelector::new(&topo, att.clone());
         let mut random = RandomSelector::new(att.keys().copied().collect(), 3);
         for p in 0..12 {
             let p = PeerId(p);
-            let d_oracle =
-                neighbor_set_cost(&topo, &att, p, &oracle.select(p, 3)).unwrap();
-            let d_random =
-                neighbor_set_cost(&topo, &att, p, &random.select(p, 3)).unwrap();
+            let d_oracle = neighbor_set_cost(&topo, &att, p, &oracle.select(p, 3)).unwrap();
+            let d_random = neighbor_set_cost(&topo, &att, p, &random.select(p, 3)).unwrap();
             assert!(d_oracle <= d_random, "{p}: {d_oracle} > {d_random}");
         }
     }

@@ -123,11 +123,24 @@ mod tests {
         let msgs = vec![
             Message::ProbePing { nonce: 1 },
             Message::ProbePong { nonce: 1 },
-            Message::JoinRequest { peer: PeerId(1), path: path.clone() },
-            Message::JoinReply { peer: PeerId(1), neighbors: vec![], delegate: None },
-            Message::JoinError { peer: PeerId(1), reason: "r".into() },
+            Message::JoinRequest {
+                peer: PeerId(1),
+                path: path.clone(),
+            },
+            Message::JoinReply {
+                peer: PeerId(1),
+                neighbors: vec![],
+                delegate: None,
+            },
+            Message::JoinError {
+                peer: PeerId(1),
+                reason: "r".into(),
+            },
             Message::Leave { peer: PeerId(1) },
-            Message::HandoverRequest { peer: PeerId(1), path },
+            Message::HandoverRequest {
+                peer: PeerId(1),
+                path,
+            },
             Message::Heartbeat { peer: PeerId(1) },
         ];
         let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();

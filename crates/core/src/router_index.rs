@@ -90,7 +90,10 @@ impl RouterIndex {
             return Err(CoreError::DuplicatePeer(peer));
         }
         for (router, depth) in path.with_depths() {
-            self.entries.entry(router).or_default().insert((depth, peer));
+            self.entries
+                .entry(router)
+                .or_default()
+                .insert((depth, peer));
         }
         self.paths.insert(peer, path);
         Ok(())
@@ -280,7 +283,9 @@ mod tests {
         let mut brute: Vec<(u32, PeerId)> = idx
             .peers()
             .filter_map(|p| {
-                idx.path_of(p).and_then(|pp| q.dtree(pp)).map(|(_, d)| (d, p))
+                idx.path_of(p)
+                    .and_then(|pp| q.dtree(pp))
+                    .map(|(_, d)| (d, p))
             })
             .collect();
         brute.sort();

@@ -25,7 +25,11 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { neighbor_count: 5, cross_landmark_fallback: true, super_peers: None }
+        Self {
+            neighbor_count: 5,
+            cross_landmark_fallback: true,
+            super_peers: None,
+        }
     }
 }
 
@@ -174,7 +178,11 @@ impl ManagementServer {
     /// Convenience constructor measuring landmark-to-landmark hop distances
     /// over the topology (the real system would traceroute between
     /// landmarks once at startup).
-    pub fn bootstrap(topo: &Topology, landmark_routers: Vec<RouterId>, config: ServerConfig) -> Self {
+    pub fn bootstrap(
+        topo: &Topology,
+        landmark_routers: Vec<RouterId>,
+        config: ServerConfig,
+    ) -> Self {
         let oracle = RouteOracle::new(topo);
         let n = landmark_routers.len();
         let mut dist = vec![vec![u32::MAX; n]; n];
@@ -264,7 +272,11 @@ impl ManagementServer {
         self.stats.joins += 1;
         self.last_seen.insert(peer, self.epoch);
         let neighbors = self.closest_to_path(&path, self.config.neighbor_count, Some(peer));
-        Ok(JoinOutcome { landmark, neighbors, delegate })
+        Ok(JoinOutcome {
+            landmark,
+            neighbors,
+            delegate,
+        })
     }
 
     /// Removes a departed (or failed) peer — churn, W3.
@@ -546,7 +558,8 @@ mod tests {
         // One local peer, two foreign peers at different depths.
         srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
         srv.register(PeerId(2), path(&[110, 105, 100])).unwrap(); // depth 2
-        srv.register(PeerId(3), path(&[120, 121, 105, 100])).unwrap(); // depth 3
+        srv.register(PeerId(3), path(&[120, 121, 105, 100]))
+            .unwrap(); // depth 3
         let fills_before = srv.stats().cross_landmark_fills;
         let out = srv.register(PeerId(4), path(&[5, 2, 1, 0])).unwrap();
         let peers: Vec<PeerId> = out.neighbors.iter().map(|n| n.peer).collect();
@@ -577,7 +590,10 @@ mod tests {
     fn super_peer_delegation_reported() {
         let cfg = ServerConfig {
             neighbor_count: 2,
-            super_peers: Some(SuperPeerConfig { region_depth: 2, promote_threshold: 2 }),
+            super_peers: Some(SuperPeerConfig {
+                region_depth: 2,
+                promote_threshold: 2,
+            }),
             ..ServerConfig::default()
         };
         let mut srv = two_landmark_server(cfg);
@@ -586,11 +602,13 @@ mod tests {
             .unwrap()
             .delegate
             .is_none());
-        assert!(srv
-            .register(PeerId(2), path(&[5, 2, 1, 0]))
-            .unwrap()
-            .delegate
-            .is_none(), "promotion happens after the second join");
+        assert!(
+            srv.register(PeerId(2), path(&[5, 2, 1, 0]))
+                .unwrap()
+                .delegate
+                .is_none(),
+            "promotion happens after the second join"
+        );
         // Third join in the same region can delegate to the elected peer 1.
         let out = srv.register(PeerId(3), path(&[6, 2, 1, 0])).unwrap();
         assert_eq!(out.delegate, Some(PeerId(1)));

@@ -24,7 +24,10 @@ pub struct SuperPeerConfig {
 
 impl Default for SuperPeerConfig {
     fn default() -> Self {
-        Self { region_depth: 2, promote_threshold: 4 }
+        Self {
+            region_depth: 2,
+            promote_threshold: 4,
+        }
     }
 }
 
@@ -45,7 +48,11 @@ pub struct SuperPeerDirectory {
 impl SuperPeerDirectory {
     /// Creates an empty directory.
     pub fn new(config: SuperPeerConfig) -> Self {
-        Self { config, regions: HashMap::new(), peer_region: HashMap::new() }
+        Self {
+            config,
+            regions: HashMap::new(),
+            peer_region: HashMap::new(),
+        }
     }
 
     /// The region router of a path under this config.
@@ -62,8 +69,7 @@ impl SuperPeerDirectory {
         let region = self.regions.entry(region_router).or_default();
         region.members.push(peer);
         self.peer_region.insert(peer, region_router);
-        if region.super_peer.is_none() && region.members.len() >= self.config.promote_threshold
-        {
+        if region.super_peer.is_none() && region.members.len() >= self.config.promote_threshold {
             region.super_peer = Some(region.members[0]);
         }
     }
@@ -114,7 +120,10 @@ impl SuperPeerDirectory {
 
     /// Number of regions with an elected super-peer.
     pub fn n_super_peers(&self) -> usize {
-        self.regions.values().filter(|r| r.super_peer.is_some()).count()
+        self.regions
+            .values()
+            .filter(|r| r.super_peer.is_some())
+            .count()
     }
 
     /// Fraction of members whose region has a super-peer — the share of
@@ -143,7 +152,10 @@ mod tests {
     }
 
     fn dir() -> SuperPeerDirectory {
-        SuperPeerDirectory::new(SuperPeerConfig { region_depth: 1, promote_threshold: 2 })
+        SuperPeerDirectory::new(SuperPeerConfig {
+            region_depth: 1,
+            promote_threshold: 2,
+        })
     }
 
     #[test]

@@ -10,19 +10,26 @@ use nearpeer_topology::RouterId;
 use proptest::prelude::*;
 
 fn sample_messages() -> Vec<Message> {
-    let path = |ids: &[u32]| {
-        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
-    };
+    let path = |ids: &[u32]| PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap();
     vec![
         Message::ProbePing { nonce: 1 },
-        Message::JoinRequest { peer: PeerId(1), path: path(&[9, 4, 0]) },
+        Message::JoinRequest {
+            peer: PeerId(1),
+            path: path(&[9, 4, 0]),
+        },
         Message::JoinReply {
             peer: PeerId(1),
-            neighbors: vec![WireNeighbor { peer: PeerId(2), dtree: 3 }],
+            neighbors: vec![WireNeighbor {
+                peer: PeerId(2),
+                dtree: 3,
+            }],
             delegate: None,
         },
         Message::Heartbeat { peer: PeerId(1) },
-        Message::HandoverRequest { peer: PeerId(1), path: path(&[7, 5, 0]) },
+        Message::HandoverRequest {
+            peer: PeerId(1),
+            path: path(&[7, 5, 0]),
+        },
         Message::Leave { peer: PeerId(1) },
     ]
 }

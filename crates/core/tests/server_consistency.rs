@@ -28,7 +28,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (any::<u8>(), any::<u64>()).prop_map(|(peer, leaf)| Op::Handover { peer, leaf }),
         any::<u8>().prop_map(|peer| Op::Heartbeat { peer }),
         Just(Op::AdvanceEpoch),
-        any::<u8>().prop_map(|max_age| Op::ExpireStale { max_age: max_age % 8 }),
+        any::<u8>().prop_map(|max_age| Op::ExpireStale {
+            max_age: max_age % 8
+        }),
         (any::<u8>(), 1u8..8).prop_map(|(peer, k)| Op::Query { peer, k }),
     ]
 }

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends one point.
@@ -30,16 +33,18 @@ impl Series {
 
     /// Largest y value, if any.
     pub fn y_max(&self) -> Option<f64> {
-        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
     }
 
     /// Smallest y value, if any.
     pub fn y_min(&self) -> Option<f64> {
-        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.min(y)))
-        })
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.min(y))))
     }
 }
 
@@ -57,7 +62,11 @@ pub struct SeriesSet {
 impl SeriesSet {
     /// Creates an empty figure with axis labels.
     pub fn new(x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
-        Self { x_label: x_label.into(), y_label: y_label.into(), series: Vec::new() }
+        Self {
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series and returns a mutable handle to it.
@@ -107,13 +116,15 @@ impl SeriesSet {
     pub fn to_ascii_plot(&self, width: usize, height: usize) -> String {
         let width = width.max(8);
         let height = height.max(4);
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         if all.is_empty() {
             return String::from("(empty plot)\n");
         }
-        let (mut x_min, mut x_max, mut y_min, mut y_max) =
-            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        let (mut x_min, mut x_max, mut y_min, mut y_max) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
         for (x, y) in &all {
             x_min = x_min.min(*x);
             x_max = x_max.max(*x);
@@ -178,7 +189,10 @@ mod tests {
         set.add("sparse").push(700.0, 9.9);
         let csv = set.to_csv();
         // 700 row exists with empty cells for the other two series.
-        assert!(csv.lines().any(|l| l.starts_with("700,,,9.9")), "csv:\n{csv}");
+        assert!(
+            csv.lines().any(|l| l.starts_with("700,,,9.9")),
+            "csv:\n{csv}"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl Summary {
         } else {
             sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
         };
-        Some(Self { sorted, mean, variance })
+        Some(Self {
+            sorted,
+            mean,
+            variance,
+        })
     }
 
     /// Number of samples.

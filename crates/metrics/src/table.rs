@@ -36,7 +36,11 @@ impl Table {
     /// Creates a table with the given header cells.
     pub fn new(header: Vec<String>) -> Self {
         let n = header.len();
-        Self { header, align: vec![Align::Left; n], rows: Vec::new() }
+        Self {
+            header,
+            align: vec![Align::Left; n],
+            rows: Vec::new(),
+        }
     }
 
     /// Sets per-column alignment; extra entries are ignored, missing ones

@@ -45,7 +45,12 @@ pub struct SourceActor {
 impl SourceActor {
     /// Creates a source streaming `total_chunks` chunks to `neighbors`.
     pub fn new(neighbors: Vec<NodeId>, chunk_interval_us: u64, total_chunks: u64) -> Self {
-        Self { neighbors, chunk_interval_us, total_chunks, produced: 0 }
+        Self {
+            neighbors,
+            chunk_interval_us,
+            total_chunks,
+            produced: 0,
+        }
     }
 }
 
@@ -76,7 +81,10 @@ impl Actor<OverlayMsg> for SourceActor {
         for &n in &self.neighbors {
             ctx.send(
                 n,
-                OverlayMsg::Announce { base, have: vec![chunk] },
+                OverlayMsg::Announce {
+                    base,
+                    have: vec![chunk],
+                },
             );
         }
         if self.produced < self.total_chunks {
@@ -187,7 +195,10 @@ impl StreamPeer {
     }
 
     fn announce_to_neighbors(&self, ctx: &mut Context<'_, OverlayMsg>) {
-        let msg = OverlayMsg::Announce { base: self.buffer.base(), have: self.buffer.held() };
+        let msg = OverlayMsg::Announce {
+            base: self.buffer.base(),
+            have: self.buffer.held(),
+        };
         for &n in &self.neighbors {
             ctx.send(n, msg.clone());
         }
@@ -393,8 +404,7 @@ mod tests {
     fn farther_peer_has_larger_setup_delay() {
         // Two independent meshes with different link latencies.
         let run = |latency_us: u64| -> u64 {
-            let mut sim: Simulator<OverlayMsg, Fixed> =
-                Simulator::new(Fixed(latency_us), 3);
+            let mut sim: Simulator<OverlayMsg, Fixed> = Simulator::new(Fixed(latency_us), 3);
             let stats = Rc::new(RefCell::new(StreamStats::default()));
             let source = NodeId(0);
             sim.add_actor(Box::new(SourceActor::new(vec![NodeId(1)], INTERVAL, 30)));
@@ -455,8 +465,18 @@ mod tests {
             stats.clone(),
         )));
         // Chunks 0 and 2 arrive; chunk 1 never does.
-        sim.inject_at(SimTime(500), NodeId(0), NodeId(0), OverlayMsg::Chunk { chunk: 0 });
-        sim.inject_at(SimTime(600), NodeId(0), NodeId(0), OverlayMsg::Chunk { chunk: 2 });
+        sim.inject_at(
+            SimTime(500),
+            NodeId(0),
+            NodeId(0),
+            OverlayMsg::Chunk { chunk: 0 },
+        );
+        sim.inject_at(
+            SimTime(600),
+            NodeId(0),
+            NodeId(0),
+            OverlayMsg::Chunk { chunk: 2 },
+        );
         sim.run_until(SimTime::from_secs(2));
         let s = stats.borrow();
         assert_eq!(s.chunks_played, 2, "chunks 0 and 2 play");
@@ -478,7 +498,12 @@ mod tests {
             10,
             stats.clone(),
         )));
-        sim.inject_at(SimTime(50), NodeId(0), NodeId(0), OverlayMsg::Request { chunk: 3 });
+        sim.inject_at(
+            SimTime(50),
+            NodeId(0),
+            NodeId(0),
+            OverlayMsg::Request { chunk: 3 },
+        );
         sim.run_until(SimTime::from_millis(100));
         // No chunk was sent anywhere (messages_sent counts only the
         // initial announces, which go nowhere with no neighbors).

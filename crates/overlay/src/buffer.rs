@@ -14,7 +14,10 @@ pub struct BufferMap {
 impl BufferMap {
     /// An empty window of `len` chunks starting at chunk 0.
     pub fn new(len: usize) -> Self {
-        Self { base: 0, have: vec![false; len.max(1)] }
+        Self {
+            base: 0,
+            have: vec![false; len.max(1)],
+        }
     }
 
     /// First chunk of the window.

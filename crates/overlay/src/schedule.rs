@@ -29,7 +29,11 @@ pub fn pick_request(
     if wanted.is_empty() {
         return None;
     }
-    let provider_of = |chunk: u64| neighbors.iter().position(|n| n.has(chunk) && n.base() <= chunk);
+    let provider_of = |chunk: u64| {
+        neighbors
+            .iter()
+            .position(|n| n.has(chunk) && n.base() <= chunk)
+    };
 
     // Deadline pass: earliest missing chunk in the urgent horizon.
     for &chunk in &wanted {

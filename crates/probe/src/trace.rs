@@ -157,12 +157,20 @@ impl<'o, 't> Tracer<'o, 't> {
                 break;
             }
             if answered {
-                hops.push(Hop { ttl, router: Some(router), rtt_us: hop_rtt });
+                hops.push(Hop {
+                    ttl,
+                    router: Some(router),
+                    rtt_us: hop_rtt,
+                });
                 if is_dst {
                     destination_reached = true;
                 }
             } else {
-                hops.push(Hop { ttl, router: None, rtt_us: 0 });
+                hops.push(Hop {
+                    ttl,
+                    router: None,
+                    rtt_us: 0,
+                });
             }
         }
 
@@ -196,7 +204,13 @@ mod tests {
         assert_eq!(res.completeness(), 1.0);
         assert_eq!(
             res.router_path(),
-            vec![RouterId(0), RouterId(1), RouterId(2), RouterId(3), RouterId(4)]
+            vec![
+                RouterId(0),
+                RouterId(1),
+                RouterId(2),
+                RouterId(3),
+                RouterId(4)
+            ]
         );
         // One probe per hop when nothing is lost.
         assert_eq!(res.probes_sent, 4);
@@ -238,7 +252,10 @@ mod tests {
         let clean = Tracer::new(&oracle, TraceConfig::default())
             .trace(RouterId(0), RouterId(3), 7)
             .unwrap();
-        let lossy_cfg = TraceConfig { loss_probability: 0.5, ..TraceConfig::default() };
+        let lossy_cfg = TraceConfig {
+            loss_probability: 0.5,
+            ..TraceConfig::default()
+        };
         let lossy = Tracer::new(&oracle, lossy_cfg)
             .trace(RouterId(0), RouterId(3), 7)
             .unwrap();
@@ -253,7 +270,10 @@ mod tests {
         let full = Tracer::new(&oracle, TraceConfig::default())
             .trace(RouterId(0), RouterId(11), 3)
             .unwrap();
-        let dec_cfg = TraceConfig { plan: ProbePlan::Stride(3), ..TraceConfig::default() };
+        let dec_cfg = TraceConfig {
+            plan: ProbePlan::Stride(3),
+            ..TraceConfig::default()
+        };
         let dec = Tracer::new(&oracle, dec_cfg)
             .trace(RouterId(0), RouterId(11), 3)
             .unwrap();

@@ -30,7 +30,10 @@ pub struct RouteOracle<'t> {
 impl<'t> RouteOracle<'t> {
     /// Creates an oracle over a topology.
     pub fn new(topo: &'t Topology) -> Self {
-        Self { topo, trees: RefCell::new(HashMap::new()) }
+        Self {
+            topo,
+            trees: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The topology this oracle answers for.
@@ -149,7 +152,10 @@ mod tests {
         assert_eq!(oracle.route(RouterId(0), RouterId(1)), None);
         assert_eq!(oracle.hops(RouterId(0), RouterId(1)), None);
         assert_eq!(oracle.rtt_us(RouterId(0), RouterId(1)), None);
-        assert_eq!(oracle.branch_point(RouterId(0), RouterId(1), RouterId(1)), None);
+        assert_eq!(
+            oracle.branch_point(RouterId(0), RouterId(1), RouterId(1)),
+            None
+        );
     }
 
     #[test]

@@ -111,7 +111,13 @@ fn bfs_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
             }
         }
     }
-    ShortestPathTree { root, metric: SptMetric::Hops, parent, hops, latency_us: latency }
+    ShortestPathTree {
+        root,
+        metric: SptMetric::Hops,
+        parent,
+        hops,
+        latency_us: latency,
+    }
 }
 
 fn dijkstra_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
@@ -138,7 +144,13 @@ fn dijkstra_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
             }
         }
     }
-    ShortestPathTree { root, metric: SptMetric::Latency, parent, hops, latency_us: latency }
+    ShortestPathTree {
+        root,
+        metric: SptMetric::Latency,
+        parent,
+        hops,
+        latency_us: latency,
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,15 @@ use proptest::prelude::*;
 fn arb_topology() -> impl Strategy<Value = Topology> {
     (5usize..60, 0u64..500, prop::bool::ANY).prop_map(|(n, seed, geometric)| {
         if geometric {
-            waxman(&WaxmanConfig { n, alpha: 0.3, beta: 0.3 }, seed).unwrap()
+            waxman(
+                &WaxmanConfig {
+                    n,
+                    alpha: 0.3,
+                    beta: 0.3,
+                },
+                seed,
+            )
+            .unwrap()
         } else {
             mapper(&MapperConfig::with_access(n.max(5), n), seed).unwrap()
         }

@@ -24,10 +24,22 @@ pub struct SimStats {
 }
 
 enum Pending<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId },
-    Spawn { node: NodeId, actor: Box<dyn Actor<M>> },
-    Kill { node: NodeId },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+    },
+    Spawn {
+        node: NodeId,
+        actor: Box<dyn Actor<M>>,
+    },
+    Kill {
+        node: NodeId,
+    },
 }
 
 /// The deterministic discrete-event simulator.
@@ -297,7 +309,7 @@ mod tests {
     fn ping_pong_round_trip() {
         let mut sim: Simulator<Msg, Fixed> = Simulator::new(Fixed(1_000), 1);
         let b = sim.add_actor(Box::new(Ping::default()));
-        let a = sim.add_actor(Box::new(Ping { peer: Some(b), ..Ping::default() }));
+        let a = sim.add_actor(Box::new(Ping { peer: Some(b) }));
         let _ = a;
         let processed = sim.run_to_completion();
         assert_eq!(processed, 2); // ping delivery + pong delivery
@@ -312,7 +324,7 @@ mod tests {
     fn run_until_respects_deadline() {
         let mut sim: Simulator<Msg, Fixed> = Simulator::new(Fixed(10_000), 1);
         let b = sim.add_actor(Box::new(Ping::default()));
-        let _a = sim.add_actor(Box::new(Ping { peer: Some(b), ..Ping::default() }));
+        let _a = sim.add_actor(Box::new(Ping { peer: Some(b) }));
         // Ping lands at t=10ms, pong at t=20ms; deadline at 15ms sees one.
         let n = sim.run_until(SimTime::from_millis(15));
         assert_eq!(n, 1);
@@ -325,7 +337,7 @@ mod tests {
     fn messages_to_dead_nodes_drop() {
         let mut sim: Simulator<Msg, Fixed> = Simulator::new(Fixed(5_000), 1);
         let b = sim.add_actor(Box::new(Ping::default()));
-        let _a = sim.add_actor(Box::new(Ping { peer: Some(b), ..Ping::default() }));
+        let _a = sim.add_actor(Box::new(Ping { peer: Some(b) }));
         sim.kill_at(SimTime(1_000), b); // dies before the ping lands
         sim.run_to_completion();
         let stats = sim.stats();

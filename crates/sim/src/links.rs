@@ -51,7 +51,10 @@ pub struct TopologyLinks<'t> {
 impl<'t> TopologyLinks<'t> {
     /// Creates the model over a topology; attach nodes before running.
     pub fn new(topo: &'t Topology) -> Self {
-        Self { oracle: RouteOracle::new(topo), attachment: Vec::new() }
+        Self {
+            oracle: RouteOracle::new(topo),
+            attachment: Vec::new(),
+        }
     }
 
     /// Declares that simulator node `node` sits behind access router
@@ -96,7 +99,11 @@ pub struct Faulty<L> {
 impl<L> Faulty<L> {
     /// Wraps an inner model with loss and jitter.
     pub fn new(inner: L, drop_probability: f64, max_jitter_us: u64) -> Self {
-        Self { inner, drop_probability, max_jitter_us }
+        Self {
+            inner,
+            drop_probability,
+            max_jitter_us,
+        }
     }
 
     /// The wrapped model.
@@ -179,6 +186,9 @@ mod tests {
         let delivered = (0..1000)
             .filter(|_| half.transit_us(NodeId(0), NodeId(1), &mut r).is_some())
             .count();
-        assert!((300..700).contains(&delivered), "delivered {delivered}/1000");
+        assert!(
+            (300..700).contains(&delivered),
+            "delivered {delivered}/1000"
+        );
     }
 }

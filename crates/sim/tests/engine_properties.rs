@@ -26,10 +26,15 @@ impl Actor<Token> for Gossip {
             .borrow_mut()
             .push((ctx.me().0, ctx.now().as_micros(), msg.ttl));
         if msg.ttl > 0 {
-            let next = NodeId(((msg.salt.wrapping_mul(31) ^ ctx.me().0 as u64) % self.nodes as u64) as u32);
+            let next = NodeId(
+                ((msg.salt.wrapping_mul(31) ^ ctx.me().0 as u64) % self.nodes as u64) as u32,
+            );
             ctx.send(
                 next,
-                Token { ttl: msg.ttl - 1, salt: msg.salt.wrapping_add(1) },
+                Token {
+                    ttl: msg.ttl - 1,
+                    salt: msg.salt.wrapping_add(1),
+                },
             );
         }
     }
@@ -46,7 +51,10 @@ fn run_gossip(
     let links = Faulty::new(UniformDelay { lo: 10, hi: 5_000 }, drop_prob, 100);
     let mut sim: Simulator<Token, _> = Simulator::new(links, seed);
     for _ in 0..nodes {
-        sim.add_actor(Box::new(Gossip { nodes, log: log.clone() }));
+        sim.add_actor(Box::new(Gossip {
+            nodes,
+            log: log.clone(),
+        }));
     }
     for &(to, ttl, salt) in tokens {
         sim.inject_at(

@@ -127,8 +127,8 @@ mod tests {
         let c = betweenness_centrality(&t);
         // Center lies on all 5*4 = 20 ordered leaf pairs.
         assert!((c[0] - 20.0).abs() < 1e-9);
-        for leaf in 1..6 {
-            assert_eq!(c[leaf], 0.0);
+        for leaf_centrality in &c[1..6] {
+            assert_eq!(*leaf_centrality, 0.0);
         }
     }
 

@@ -53,7 +53,10 @@ pub fn double_sweep_diameter_lower_bound(topo: &Topology, start: RouterId) -> u3
 /// Exact diameter of the (component containing each router of the) graph:
 /// max eccentricity over all routers. O(n·m) — use only on small maps.
 pub fn exact_diameter(topo: &Topology) -> u32 {
-    topo.routers().map(|r| eccentricity(topo, r)).max().unwrap_or(0)
+    topo.routers()
+        .map(|r| eccentricity(topo, r))
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -64,7 +67,8 @@ mod tests {
     fn path(n: usize) -> Topology {
         let mut b = TopologyBuilder::with_routers(n);
         for i in 0..n.saturating_sub(1) {
-            b.link(RouterId(i as u32), RouterId(i as u32 + 1), 1).unwrap();
+            b.link(RouterId(i as u32), RouterId(i as u32 + 1), 1)
+                .unwrap();
         }
         b.build()
     }

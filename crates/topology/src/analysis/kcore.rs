@@ -21,9 +21,9 @@ pub fn k_core_numbers(topo: &Topology) -> Vec<usize> {
         bins[d] += 1;
     }
     let mut start = 0;
-    for d in 0..=max_deg {
-        let count = bins[d];
-        bins[d] = start;
+    for bin in bins.iter_mut().take(max_deg + 1) {
+        let count = *bin;
+        *bin = start;
         start += count;
     }
     let mut vert = vec![0usize; n];

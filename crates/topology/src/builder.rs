@@ -103,7 +103,11 @@ impl TopologyBuilder {
         }
         Topology {
             adj: self.adj,
-            labels: if self.any_label { Some(self.labels) } else { None },
+            labels: if self.any_label {
+                Some(self.labels)
+            } else {
+                None
+            },
         }
     }
 }

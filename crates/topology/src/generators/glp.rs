@@ -29,7 +29,12 @@ pub struct GlpConfig {
 impl GlpConfig {
     /// Literature parameters for Internet-like graphs, at the given size.
     pub fn default_with_n(n: usize) -> Self {
-        Self { n, m: 1, p: 0.4695, beta: 0.6447 }
+        Self {
+            n,
+            m: 1,
+            p: 0.4695,
+            beta: 0.6447,
+        }
     }
 }
 
@@ -151,10 +156,46 @@ mod tests {
 
     #[test]
     fn rejects_bad_params() {
-        assert!(glp(&GlpConfig { n: 10, m: 0, p: 0.4, beta: 0.5 }, 1).is_err());
-        assert!(glp(&GlpConfig { n: 10, m: 1, p: 1.0, beta: 0.5 }, 1).is_err());
-        assert!(glp(&GlpConfig { n: 10, m: 1, p: 0.4, beta: 1.5 }, 1).is_err());
-        assert!(glp(&GlpConfig { n: 1, m: 1, p: 0.4, beta: 0.5 }, 1).is_err());
+        assert!(glp(
+            &GlpConfig {
+                n: 10,
+                m: 0,
+                p: 0.4,
+                beta: 0.5
+            },
+            1
+        )
+        .is_err());
+        assert!(glp(
+            &GlpConfig {
+                n: 10,
+                m: 1,
+                p: 1.0,
+                beta: 0.5
+            },
+            1
+        )
+        .is_err());
+        assert!(glp(
+            &GlpConfig {
+                n: 10,
+                m: 1,
+                p: 0.4,
+                beta: 1.5
+            },
+            1
+        )
+        .is_err());
+        assert!(glp(
+            &GlpConfig {
+                n: 1,
+                m: 1,
+                p: 0.4,
+                beta: 0.5
+            },
+            1
+        )
+        .is_err());
     }
 
     #[test]

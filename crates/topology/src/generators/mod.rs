@@ -86,7 +86,11 @@ mod tests {
         let specs = vec![
             TopologySpec::Ba(BaConfig { n: 60, m: 2 }),
             TopologySpec::Glp(GlpConfig::default_with_n(60)),
-            TopologySpec::Waxman(WaxmanConfig { n: 60, alpha: 0.4, beta: 0.3 }),
+            TopologySpec::Waxman(WaxmanConfig {
+                n: 60,
+                alpha: 0.4,
+                beta: 0.3,
+            }),
             TopologySpec::TransitStub(TransitStubConfig::small()),
             TopologySpec::Mapper(MapperConfig::tiny()),
         ];

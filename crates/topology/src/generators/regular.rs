@@ -29,7 +29,8 @@ pub fn ring(n: usize) -> Topology {
 pub fn star(n_leaves: usize) -> Topology {
     let mut b = TopologyBuilder::with_routers(n_leaves + 1);
     for i in 1..=n_leaves {
-        b.link(RouterId(0), RouterId(i as u32), 1_000).expect("ids in range");
+        b.link(RouterId(0), RouterId(i as u32), 1_000)
+            .expect("ids in range");
     }
     b.build()
 }

@@ -93,7 +93,13 @@ pub fn transit_stub(config: &TransitStubConfig, seed: u64) -> Result<Topology, T
     // Transit domains.
     let mut transit: Vec<Vec<RouterId>> = Vec::with_capacity(config.transit_domains);
     for _ in 0..config.transit_domains {
-        let ids = domain(&mut b, &mut rng, config.transit_size, config.extra_edge_prob, lat_tt);
+        let ids = domain(
+            &mut b,
+            &mut rng,
+            config.transit_size,
+            config.extra_edge_prob,
+            lat_tt,
+        );
         transit.push(ids);
     }
     // Inter-domain ring (plus one random chord per domain when > 2 domains).
@@ -125,8 +131,13 @@ pub fn transit_stub(config: &TransitStubConfig, seed: u64) -> Result<Topology, T
     for dom in &transit {
         for &tr in dom {
             for _ in 0..config.stubs_per_transit_router {
-                let stub =
-                    domain(&mut b, &mut rng, config.stub_size, config.extra_edge_prob, lat_ss);
+                let stub = domain(
+                    &mut b,
+                    &mut rng,
+                    config.stub_size,
+                    config.extra_edge_prob,
+                    lat_ss,
+                );
                 if let Some(&gateway) = stub.first() {
                     let l = lat_ts(&mut rng);
                     b.link(gateway, tr, l).expect("ids in range");
@@ -175,9 +186,10 @@ mod tests {
     fn access_leaves_have_degree_one() {
         let cfg = TransitStubConfig::small();
         let t = transit_stub(&cfg, 7).unwrap();
-        let n_access_expected =
-            cfg.transit_domains * cfg.transit_size * cfg.stubs_per_transit_router
-                * cfg.access_per_stub;
+        let n_access_expected = cfg.transit_domains
+            * cfg.transit_size
+            * cfg.stubs_per_transit_router
+            * cfg.access_per_stub;
         assert!(t.access_routers().len() >= n_access_expected);
     }
 
@@ -192,7 +204,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = TransitStubConfig::small();
-        assert_eq!(transit_stub(&cfg, 5).unwrap(), transit_stub(&cfg, 5).unwrap());
+        assert_eq!(
+            transit_stub(&cfg, 5).unwrap(),
+            transit_stub(&cfg, 5).unwrap()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub struct WaxmanConfig {
 /// a plausible intra-continental range).
 pub fn waxman(config: &WaxmanConfig, seed: u64) -> Result<Topology, TopologyError> {
     if config.n < 2 {
-        return Err(TopologyError::InvalidConfig("Waxman requires n >= 2".into()));
+        return Err(TopologyError::InvalidConfig(
+            "Waxman requires n >= 2".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&config.alpha) || config.alpha == 0.0 {
         return Err(TopologyError::InvalidConfig(format!(
@@ -44,8 +46,9 @@ pub fn waxman(config: &WaxmanConfig, seed: u64) -> Result<Topology, TopologyErro
         )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let pos: Vec<(f64, f64)> =
-        (0..config.n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pos: Vec<(f64, f64)> = (0..config.n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let max_dist = 2f64.sqrt();
     let latency = |d: f64| (100.0 + 20_000.0 * d) as u32;
 
@@ -105,22 +108,62 @@ mod tests {
 
     #[test]
     fn rejects_bad_params() {
-        assert!(waxman(&WaxmanConfig { n: 1, alpha: 0.4, beta: 0.3 }, 1).is_err());
-        assert!(waxman(&WaxmanConfig { n: 10, alpha: 0.0, beta: 0.3 }, 1).is_err());
-        assert!(waxman(&WaxmanConfig { n: 10, alpha: 0.4, beta: 0.0 }, 1).is_err());
+        assert!(waxman(
+            &WaxmanConfig {
+                n: 1,
+                alpha: 0.4,
+                beta: 0.3
+            },
+            1
+        )
+        .is_err());
+        assert!(waxman(
+            &WaxmanConfig {
+                n: 10,
+                alpha: 0.0,
+                beta: 0.3
+            },
+            1
+        )
+        .is_err());
+        assert!(waxman(
+            &WaxmanConfig {
+                n: 10,
+                alpha: 0.4,
+                beta: 0.0
+            },
+            1
+        )
+        .is_err());
     }
 
     #[test]
     fn always_connected() {
         // Sparse parameters on purpose: stitching must kick in.
-        let t = waxman(&WaxmanConfig { n: 120, alpha: 0.05, beta: 0.05 }, 3).unwrap();
+        let t = waxman(
+            &WaxmanConfig {
+                n: 120,
+                alpha: 0.05,
+                beta: 0.05,
+            },
+            3,
+        )
+        .unwrap();
         assert!(is_connected(&t));
         assert_eq!(t.n_routers(), 120);
     }
 
     #[test]
     fn latency_reflects_distance_range() {
-        let t = waxman(&WaxmanConfig { n: 80, alpha: 0.5, beta: 0.4 }, 9).unwrap();
+        let t = waxman(
+            &WaxmanConfig {
+                n: 80,
+                alpha: 0.5,
+                beta: 0.4,
+            },
+            9,
+        )
+        .unwrap();
         for (_, _, lat) in t.links() {
             assert!(lat >= 100);
             assert!(lat <= 100 + 20_000 * 2); // <= 100 + 20000*sqrt(2) rounded up
@@ -129,7 +172,15 @@ mod tests {
 
     #[test]
     fn no_heavy_tail() {
-        let t = waxman(&WaxmanConfig { n: 1500, alpha: 0.3, beta: 0.15 }, 5).unwrap();
+        let t = waxman(
+            &WaxmanConfig {
+                n: 1500,
+                alpha: 0.3,
+                beta: 0.15,
+            },
+            5,
+        )
+        .unwrap();
         let degrees: Vec<usize> = t.routers().map(|r| t.degree(r)).collect();
         // Poisson-like degrees: the maximum stays within a small factor of
         // the mean, unlike the orders-of-magnitude hubs of BA/GLP maps.
@@ -143,7 +194,11 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = WaxmanConfig { n: 90, alpha: 0.3, beta: 0.2 };
+        let cfg = WaxmanConfig {
+            n: 90,
+            alpha: 0.3,
+            beta: 0.2,
+        };
         assert_eq!(waxman(&cfg, 77).unwrap(), waxman(&cfg, 77).unwrap());
     }
 }

@@ -93,7 +93,9 @@ impl Topology {
 
     /// Whether an undirected link `{a, b}` exists.
     pub fn has_link(&self, a: RouterId, b: RouterId) -> bool {
-        self.adj[a.index()].binary_search_by_key(&b, |e| e.to).is_ok()
+        self.adj[a.index()]
+            .binary_search_by_key(&b, |e| e.to)
+            .is_ok()
     }
 
     /// Latency of the link `{a, b}` in microseconds, if the link exists.
@@ -117,18 +119,26 @@ impl Topology {
 
     /// Optional human label of a router (presets name their routers).
     pub fn label(&self, r: RouterId) -> Option<&str> {
-        self.labels.as_ref().and_then(|l| l.get(r.index())).map(String::as_str)
+        self.labels
+            .as_ref()
+            .and_then(|l| l.get(r.index()))
+            .map(String::as_str)
     }
 
     /// Looks a router up by label.
     pub fn router_by_label(&self, label: &str) -> Option<RouterId> {
         let labels = self.labels.as_ref()?;
-        labels.iter().position(|l| l == label).map(|i| RouterId(i as u32))
+        labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| RouterId(i as u32))
     }
 
     /// All routers with exactly the given degree (ascending id order).
     pub fn routers_with_degree(&self, degree: usize) -> Vec<RouterId> {
-        self.routers().filter(|&r| self.degree(r) == degree).collect()
+        self.routers()
+            .filter(|&r| self.degree(r) == degree)
+            .collect()
     }
 
     /// All degree-1 routers — the attachment points the paper uses for peers.

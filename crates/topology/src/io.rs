@@ -58,7 +58,9 @@ pub fn from_edge_list(text: &str) -> Result<Topology, TopologyError> {
         if n_routers.is_none() {
             return Err(parse_err(lineno, "edge before `routers N` header"));
         }
-        let a: u32 = first.parse().map_err(|_| parse_err(lineno, "bad source id"))?;
+        let a: u32 = first
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad source id"))?;
         let b: u32 = parts
             .next()
             .ok_or_else(|| parse_err(lineno, "missing target id"))?
@@ -68,9 +70,9 @@ pub fn from_edge_list(text: &str) -> Result<Topology, TopologyError> {
             Some(tok) => tok.parse().map_err(|_| parse_err(lineno, "bad latency"))?,
             None => 1_000,
         };
-        builder.link(RouterId(a), RouterId(b), lat).map_err(|e| {
-            TopologyError::Parse(format!("line {}: {e}", lineno + 1))
-        })?;
+        builder
+            .link(RouterId(a), RouterId(b), lat)
+            .map_err(|e| TopologyError::Parse(format!("line {}: {e}", lineno + 1)))?;
     }
     if n_routers.is_none() {
         return Err(TopologyError::Empty);
@@ -193,14 +195,14 @@ mod tests {
         let dot = to_dot(&fig.topology);
         assert!(dot.starts_with("graph nearpeer {"));
         assert!(dot.contains("\"lmk\""));
-        assert!(dot.contains("\"rc\" [shape=box]"), "core routers are boxes:\n{dot}");
+        assert!(
+            dot.contains("\"rc\" [shape=box]"),
+            "core routers are boxes:\n{dot}"
+        );
         assert!(dot.contains("\"p1\" [shape=plaintext]"));
         assert!(dot.contains(" -- "));
         assert!(dot.trim_end().ends_with('}'));
         // One edge line per link.
-        assert_eq!(
-            dot.matches(" -- ").count(),
-            fig.topology.n_links()
-        );
+        assert_eq!(dot.matches(" -- ").count(), fig.topology.n_links());
     }
 }

@@ -81,7 +81,11 @@ fn draw(
             let (lo, hi) = (*lo.min(hi), *lo.max(hi));
             rng.gen_range(lo..=hi)
         }
-        LatencyModel::ByClass { core, aggregation, access } => {
+        LatencyModel::ByClass {
+            core,
+            aggregation,
+            access,
+        } => {
             let rank = |c: RouterClass| match c {
                 RouterClass::Core => 0,
                 RouterClass::Aggregation => 1,

@@ -38,10 +38,12 @@ pub fn figure1() -> Figure1 {
     let ra = b.add_labeled_router("ra");
     let rb = b.add_labeled_router("rb");
     let rc = b.add_labeled_router("rc");
-    let r: Vec<RouterId> =
-        (1..=8).map(|i| b.add_labeled_router(format!("r{i}"))).collect();
-    let p: Vec<RouterId> =
-        (1..=4).map(|i| b.add_labeled_router(format!("p{i}"))).collect();
+    let r: Vec<RouterId> = (1..=8)
+        .map(|i| b.add_labeled_router(format!("r{i}")))
+        .collect();
+    let p: Vec<RouterId> = (1..=4)
+        .map(|i| b.add_labeled_router(format!("p{i}")))
+        .collect();
 
     let links = [
         (lmk, ra),

@@ -56,7 +56,11 @@ impl ChurnTrace {
         let joins = config.arrivals.times(config.peers, seed ^ 0x6a6f696e);
         let mut events: Vec<ChurnEvent> = Vec::with_capacity(config.peers * 2);
         for (peer, &t) in joins.iter().enumerate() {
-            events.push(ChurnEvent { time_us: t, peer, kind: ChurnEventKind::Join });
+            events.push(ChurnEvent {
+                time_us: t,
+                peer,
+                kind: ChurnEventKind::Join,
+            });
             if let Some(mean) = config.mean_lifetime_secs {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let life_us = (-u.ln() * mean * 1e6) as u64;
@@ -165,10 +169,7 @@ mod tests {
         };
         let trace = ChurnTrace::generate(&cfg, 3);
         assert_eq!(trace.events.len(), 100);
-        assert!(trace
-            .events
-            .iter()
-            .all(|e| e.kind == ChurnEventKind::Join));
+        assert!(trace.events.iter().all(|e| e.kind == ChurnEventKind::Join));
         assert_eq!(trace.population_at(u64::MAX), 100);
         assert_eq!(trace.peak_population(), 100);
     }
@@ -176,7 +177,10 @@ mod tests {
     #[test]
     fn events_sorted_and_population_consistent() {
         let trace = ChurnTrace::generate(&base_config(), 9);
-        assert!(trace.events.windows(2).all(|w| w[0].time_us <= w[1].time_us));
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].time_us <= w[1].time_us));
         assert!(trace.peak_population() <= 100);
         assert!(trace.peak_population() >= 1);
         // After the last event everyone is gone.

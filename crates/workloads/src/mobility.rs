@@ -105,11 +105,17 @@ mod tests {
     #[test]
     fn dwell_time_scales_event_count() {
         let fast = MobilityTrace::generate(
-            &MobilityConfig { mean_dwell_secs: 2.0, ..config() },
+            &MobilityConfig {
+                mean_dwell_secs: 2.0,
+                ..config()
+            },
             5,
         );
         let slow = MobilityTrace::generate(
-            &MobilityConfig { mean_dwell_secs: 20.0, ..config() },
+            &MobilityConfig {
+                mean_dwell_secs: 20.0,
+                ..config()
+            },
             5,
         );
         assert!(
@@ -123,7 +129,10 @@ mod tests {
     #[test]
     fn zero_mobility() {
         let trace = MobilityTrace::generate(
-            &MobilityConfig { mobile_fraction: 0.0, ..config() },
+            &MobilityConfig {
+                mobile_fraction: 0.0,
+                ..config()
+            },
             1,
         );
         assert!(trace.events.is_empty());

@@ -37,9 +37,9 @@ impl<A, B> Sweep<A, B> {
     /// Iterates `(x, y, seed)` in x-major, then y, then seed order.
     pub fn points(&self) -> impl Iterator<Item = (&A, &B, u64)> + '_ {
         self.xs.iter().flat_map(move |x| {
-            self.ys.iter().flat_map(move |y| {
-                (0..self.seeds).map(move |s| (x, y, s))
-            })
+            self.ys
+                .iter()
+                .flat_map(move |y| (0..self.seeds).map(move |s| (x, y, s)))
         })
     }
 }

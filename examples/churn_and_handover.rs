@@ -41,11 +41,7 @@ fn main() {
         },
         seed,
     );
-    let mut server = ManagementServer::bootstrap(
-        &topo,
-        landmarks.clone(),
-        ServerConfig::default(),
-    );
+    let mut server = ManagementServer::bootstrap(&topo, landmarks.clone(), ServerConfig::default());
     let mut dead: HashSet<PeerId> = HashSet::new();
     let mut stale_answers = 0usize;
     let mut joins_with_neighbors = 0usize;
@@ -93,7 +89,9 @@ fn main() {
     let mut attach: HashMap<PeerId, _> = HashMap::new();
     for i in 0..100u64 {
         let router = access[(i as usize * 3) % access.len()];
-        server.register(PeerId(i), trace_path(router, i)).expect("fresh");
+        server
+            .register(PeerId(i), trace_path(router, i))
+            .expect("fresh");
         attach.insert(PeerId(i), router);
     }
     // Peer 0 moves across the network.

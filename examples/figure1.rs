@@ -17,13 +17,16 @@ use nearpeer::topology::presets::figure1;
 fn main() {
     let fig = figure1();
     let topo = &fig.topology;
-    println!("Figure 1 topology: {} routers, {} links", topo.n_routers(), topo.n_links());
+    println!(
+        "Figure 1 topology: {} routers, {} links",
+        topo.n_routers(),
+        topo.n_links()
+    );
     println!("landmark: {}", topo.label(fig.landmark).unwrap());
 
     let oracle = RouteOracle::new(topo);
     let tracer = Tracer::new(&oracle, TraceConfig::default());
-    let mut server =
-        ManagementServer::bootstrap(topo, vec![fig.landmark], ServerConfig::default());
+    let mut server = ManagementServer::bootstrap(topo, vec![fig.landmark], ServerConfig::default());
 
     // Round 1 + 2 for each peer of the drawing.
     for (i, &peer_router) in fig.peers.iter().enumerate() {

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example landmark_planning -- [--peers N] [--seed S]`
 
-use nearpeer::core::landmarks::PlacementPolicy;
 use nearpeer::core::landmarks::place_landmarks;
+use nearpeer::core::landmarks::PlacementPolicy;
 use nearpeer::core::{ManagementServer, PeerId, PeerPath, ServerConfig};
 use nearpeer::probe::{TraceConfig, Tracer};
 use nearpeer::routing::{bfs_distances, RouteOracle};
@@ -50,7 +50,10 @@ fn main() {
             let mut server = ManagementServer::bootstrap(
                 &topo,
                 landmarks.clone(),
-                ServerConfig { neighbor_count: k, ..ServerConfig::default() },
+                ServerConfig {
+                    neighbor_count: k,
+                    ..ServerConfig::default()
+                },
             );
             let mut attach: HashMap<PeerId, _> = HashMap::new();
             let mut probe_total = 0u64;
@@ -62,7 +65,9 @@ fn main() {
                     .min()
                     .map(|(_, lm)| lm)
                     .expect("connected");
-                let trace = tracer.trace(router, lm, seed ^ i as u64).expect("connected");
+                let trace = tracer
+                    .trace(router, lm, seed ^ i as u64)
+                    .expect("connected");
                 probe_total += trace.probes_sent as u64;
                 let path = PeerPath::new(trace.router_path()).expect("clean");
                 server.register(PeerId(i as u64), path).expect("fresh");

@@ -26,7 +26,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { drop_chance: 0.0, jitter_us: 0, peers: 30 };
+    let mut args = Args {
+        drop_chance: 0.0,
+        jitter_us: 0,
+        peers: 30,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut next = |what: &str| {
@@ -39,9 +43,7 @@ fn parse_args() -> Args {
             "--drop-chance" => {
                 args.drop_chance = next("percent").parse::<f64>().unwrap_or(0.0) / 100.0
             }
-            "--jitter-ms" => {
-                args.jitter_us = next("ms").parse::<u64>().unwrap_or(0) * 1_000
-            }
+            "--jitter-ms" => args.jitter_us = next("ms").parse::<u64>().unwrap_or(0) * 1_000,
             "--peers" => args.peers = next("count").parse().unwrap_or(30),
             other => {
                 eprintln!("unknown flag {other}");
@@ -67,7 +69,10 @@ fn main() {
     let mut server = ManagementServer::bootstrap(
         &topo,
         landmarks.clone(),
-        ServerConfig { neighbor_count: K, ..ServerConfig::default() },
+        ServerConfig {
+            neighbor_count: K,
+            ..ServerConfig::default()
+        },
     );
     let access = topo.access_routers();
     let mut attach = Vec::new();
@@ -89,7 +94,10 @@ fn main() {
     // long link per peer for connectivity.
     let mut mesh: Vec<Vec<usize>> = vec![Vec::new(); args.peers];
     for i in 0..args.peers {
-        for n in server.neighbors_of(PeerId(i as u64), K).expect("registered") {
+        for n in server
+            .neighbors_of(PeerId(i as u64), K)
+            .expect("registered")
+        {
             let j = n.peer.0 as usize;
             if !mesh[i].contains(&j) {
                 mesh[i].push(j);
@@ -119,8 +127,7 @@ fn main() {
     let mut handles: Vec<Rc<RefCell<StreamStats>>> = Vec::new();
     for list in mesh.iter() {
         let stats = Rc::new(RefCell::new(StreamStats::default()));
-        let mut neighbors: Vec<NodeId> =
-            list.iter().map(|&j| NodeId(j as u32 + 1)).collect();
+        let mut neighbors: Vec<NodeId> = list.iter().map(|&j| NodeId(j as u32 + 1)).collect();
         if handles.len() < K {
             neighbors.push(NodeId(0));
         }

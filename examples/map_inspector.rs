@@ -72,7 +72,11 @@ fn build(args: &Args) -> Topology {
         "mapper" => TopologySpec::Mapper(MapperConfig::with_access(n / 3, n / 2)),
         "ba" => TopologySpec::Ba(BaConfig { n, m: 2 }),
         "glp" => TopologySpec::Glp(GlpConfig::default_with_n(n)),
-        "waxman" => TopologySpec::Waxman(WaxmanConfig { n, alpha: 0.1, beta: 0.15 }),
+        "waxman" => TopologySpec::Waxman(WaxmanConfig {
+            n,
+            alpha: 0.1,
+            beta: 0.15,
+        }),
         "transit-stub" => TopologySpec::TransitStub(TransitStubConfig {
             transit_domains: 4,
             transit_size: 8,
@@ -101,7 +105,10 @@ fn main() {
     println!("routers:        {}", topo.n_routers());
     println!("links:          {}", topo.n_links());
     println!("connected:      {}", is_connected(&topo));
-    println!("access routers: {} (degree-1 peer attachment points)", stats.n_access);
+    println!(
+        "access routers: {} (degree-1 peer attachment points)",
+        stats.n_access
+    );
     println!("mean degree:    {:.2}", stats.mean);
     println!("max degree:     {}", stats.max);
     match stats.power_law_alpha {
@@ -114,7 +121,10 @@ fn main() {
         kmax,
         k_core_members(&topo, kmax).len()
     );
-    println!("clustering:     {:.3}", global_clustering_coefficient(&topo));
+    println!(
+        "clustering:     {:.3}",
+        global_clustering_coefficient(&topo)
+    );
     println!(
         "diameter:       >= {} hops (double sweep)",
         double_sweep_diameter_lower_bound(&topo, RouterId(0))

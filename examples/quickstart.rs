@@ -52,8 +52,7 @@ fn main() {
                 trace.elapsed_us as f64 / 1000.0
             );
             for n in &outcome.neighbors {
-                let d_true =
-                    hop_distance(&topo, attach, attachments[n.peer.0 as usize]).unwrap();
+                let d_true = hop_distance(&topo, attach, attachments[n.peer.0 as usize]).unwrap();
                 println!(
                     "  neighbor {}: inferred dtree = {} hops, true distance = {d_true} hops",
                     n.peer, n.dtree

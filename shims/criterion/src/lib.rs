@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Real criterion does warmup, outlier rejection and statistics; this shim
+//! just times a few batches with `std::time::Instant` and prints a
+//! `name/param  time: [median]` line per benchmark. It exists so the
+//! `[[bench]]` targets compile and produce *indicative* numbers offline;
+//! do not read its output as rigorous measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; the shim only uses it to pick
+/// the batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: larger batches.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. a cloned trie): batch of one.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark's display identity.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group provides the function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured samples, one per timed batch.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: aim for ~1ms per sample, capped for slow routines.
+        let probe = Instant::now();
+        std_black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        let mut ns: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / self.iters_per_sample as u128)
+            .collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            0
+        } else {
+            ns[ns.len() / 2]
+        }
+    }
+}
+
+fn human_ns(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.effective_samples());
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.effective_samples());
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.quick {
+            2
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        println!(
+            "{:<50} time: [{}]",
+            format!("{}/{}", self.name, id),
+            human_ns(bencher.median_ns())
+        );
+    }
+
+    /// Ends the group (upstream parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --quick` (or --test) keeps CI runs cheap.
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.quick { 2 } else { 10 };
+        let mut bencher = Bencher::new(samples);
+        routine(&mut bencher);
+        println!("{:<50} time: [{}]", name, human_ns(bencher.median_ns()));
+        self
+    }
+}
+
+/// Declares the benchmark functions a target runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench target's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).product()
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        for &n in &[5u64, 10] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| fib(black_box(n)));
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("named", 1), &1u64, |b, &n| {
+            b.iter_batched(|| n, fib, BatchSize::SmallInput);
+        });
+        g.finish();
+        c.bench_function("solo", |b| b.iter(|| fib(3)));
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_ns(12), "12 ns");
+        assert_eq!(human_ns(1_500), "1.50 µs");
+        assert_eq!(human_ns(2_000_000), "2.00 ms");
+        assert_eq!(human_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The registry (and therefore `syn`/`quote`) is unavailable, so this
+//! crate parses the derive input token stream by hand and emits impls as
+//! parsed source strings. It supports exactly the shapes this workspace
+//! derives on: non-generic structs (named, tuple, unit) and non-generic
+//! enums whose variants are unit, named or tuple. Serde attributes are
+//! not supported and fields must not rely on them (none in-tree do).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one struct or enum looks like after parsing.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — a single field is serde's "newtype" form.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (k, other) => panic!("serde shim derive: unsupported {k} body {other:?}"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group (or ! then group for inner attrs)
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next(); // (crate) / (super) / (in ...)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: A, b: B, ...`, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// tracking `<...>` nesting so `HashMap<K, V>` stays one type.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the types in `A, B, ...` (a tuple struct / variant body).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("serde shim derive: expected `,` after variant, got {other:?}"),
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b =
+                String::from("let mut __fields: ::serde::Object = ::std::vec::Vec::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(__fields)");
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: ::serde::Object = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), \
+                                 ::serde::Serialize::serialize_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), {{ {inner} ::serde::Value::Object(__fields) }}\
+                             )]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(\
+                         \"{vn}\".to_string(), ::serde::Serialize::serialize_value(__x0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{__v:?}}\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize_value(\
+                     ::serde::obj_get(__obj, \"{f}\")).map_err(|e| \
+                     ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            b.push_str("})");
+            (name, b)
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut b = format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, got {{__v:?}}\")))?;\n\
+                 if __items.len() != {arity} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(format!(\"expected {arity} elements for {name}, \
+                 got {{}}\", __items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*arity {
+                b.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(&__items[{i}])?,\n"
+                ));
+            }
+            b.push_str("))");
+            (name, b)
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!("let _ = __v;\n::std::result::Result::Ok({name})"),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = _inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected object for \
+                             {name}::{vn}, got {{_inner:?}}\")))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 ::serde::obj_get(__obj, \"{f}\")).map_err(|e| \
+                                 ::serde::Error::custom(format!(\
+                                 \"{name}::{vn}.{f}: {{e}}\")))?,\n"
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_value(_inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut inner = format!(
+                            "let __items = _inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected array for \
+                             {name}::{vn}, got {{_inner:?}}\")))?;\n\
+                             if __items.len() != {arity} {{ return \
+                             ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {arity} elements for {name}::{vn}, \
+                             got {{}}\", __items.len()))); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*arity {
+                            inner.push_str(&format!(
+                                "::serde::Deserialize::deserialize_value(&__items[{i}])?,\n"
+                            ));
+                        }
+                        inner.push_str("))");
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {inner} }}\n"));
+                    }
+                }
+            }
+            let b = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, _inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{__other:?}}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name}, got {{__other:?}}\"))),\n}}"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

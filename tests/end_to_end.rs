@@ -113,12 +113,9 @@ fn wire_protocol_joins_through_the_simulator() {
         let traces: Vec<Option<(PeerPath, u64)>> = landmarks
             .iter()
             .map(|&lm| {
-                tracer.trace(router, lm, i as u64).map(|t| {
-                    (
-                        PeerPath::new(t.router_path()).unwrap(),
-                        t.elapsed_us,
-                    )
-                })
+                tracer
+                    .trace(router, lm, i as u64)
+                    .map(|t| (PeerPath::new(t.router_path()).unwrap(), t.elapsed_us))
             })
             .collect();
         let record = Rc::new(RefCell::new(JoinRecord::default()));
@@ -158,7 +155,10 @@ fn wire_protocol_joins_through_the_simulator() {
         .iter()
         .filter(|r| !r.borrow().neighbors.is_empty())
         .count();
-    assert!(with_neighbors >= 7, "only {with_neighbors}/10 got neighbors");
+    assert!(
+        with_neighbors >= 7,
+        "only {with_neighbors}/10 got neighbors"
+    );
 }
 
 #[test]

@@ -45,9 +45,18 @@ fn dtree_discrepancy_matches_the_paper() {
     // dtree(p1,p2) = 6 through the branch point rc...
     assert_eq!(server.index().dtree(PeerId(1), PeerId(2)), Some(6));
     // ...but the true shortest path uses the r8 shortcut: 4 hops.
-    assert_eq!(hop_distance(&fig.topology, fig.peers[0], fig.peers[1]), Some(4));
+    assert_eq!(
+        hop_distance(&fig.topology, fig.peers[0], fig.peers[1]),
+        Some(4)
+    );
     // Most other pairs verify d = dtree (the paper's expectation).
-    let pairs = [(1u64, 3u64, 2usize), (1, 4, 3), (2, 3, 2), (2, 4, 3), (3, 4, 2)];
+    let pairs = [
+        (1u64, 3u64, 2usize),
+        (1, 4, 3),
+        (2, 3, 2),
+        (2, 4, 3),
+        (3, 4, 2),
+    ];
     let mut exact = 0;
     for &(a, b, _) in &pairs {
         let dtree = server.index().dtree(PeerId(a), PeerId(b)).unwrap();
@@ -61,7 +70,10 @@ fn dtree_discrepancy_matches_the_paper() {
             exact += 1;
         }
     }
-    assert!(exact >= 4, "only {exact}/5 remaining pairs verify d = dtree");
+    assert!(
+        exact >= 4,
+        "only {exact}/5 remaining pairs verify d = dtree"
+    );
 }
 
 #[test]

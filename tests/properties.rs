@@ -40,13 +40,17 @@ fn arb_path() -> impl Strategy<Value = PeerPath> {
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
-    let neighbor = (any::<u64>(), any::<u32>())
-        .prop_map(|(p, d)| WireNeighbor { peer: PeerId(p), dtree: d });
+    let neighbor = (any::<u64>(), any::<u32>()).prop_map(|(p, d)| WireNeighbor {
+        peer: PeerId(p),
+        dtree: d,
+    });
     prop_oneof![
         any::<u64>().prop_map(|nonce| Message::ProbePing { nonce }),
         any::<u64>().prop_map(|nonce| Message::ProbePong { nonce }),
-        (any::<u64>(), arb_path())
-            .prop_map(|(p, path)| Message::JoinRequest { peer: PeerId(p), path }),
+        (any::<u64>(), arb_path()).prop_map(|(p, path)| Message::JoinRequest {
+            peer: PeerId(p),
+            path
+        }),
         (
             any::<u64>(),
             prop::collection::vec(neighbor, 0..16),
@@ -62,8 +66,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
             reason,
         }),
         any::<u64>().prop_map(|p| Message::Leave { peer: PeerId(p) }),
-        (any::<u64>(), arb_path())
-            .prop_map(|(p, path)| Message::HandoverRequest { peer: PeerId(p), path }),
+        (any::<u64>(), arb_path()).prop_map(|(p, path)| Message::HandoverRequest {
+            peer: PeerId(p),
+            path
+        }),
     ]
 }
 
@@ -156,10 +162,7 @@ proptest! {
         // Decoding may error or succeed, but must never panic, and must not
         // consume anything on Incomplete.
         let before = buf.len();
-        match decode(&mut buf) {
-            Err(CodecError::Incomplete) => prop_assert_eq!(buf.len(), before),
-            _ => {}
-        }
+        if let Err(CodecError::Incomplete) = decode(&mut buf) { prop_assert_eq!(buf.len(), before) }
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Workspace smoke test: every facade module's re-exports resolve and a
+//! minimal value from each crate behaves. This is the cheap early-warning
+//! for broken `pub use` wiring between the `nearpeer` facade and the
+//! member crates — if a re-export goes missing, this file stops compiling
+//! before any deeper test gets a chance to.
+
+use nearpeer::coord::Coord;
+use nearpeer::core::{PeerId, PeerPath};
+use nearpeer::metrics::OnlineStats;
+use nearpeer::overlay::BufferMap;
+use nearpeer::probe::ProbePlan;
+use nearpeer::routing::bfs_distances;
+use nearpeer::sim::SimTime;
+use nearpeer::topology::{RouterId, TopologyBuilder};
+use nearpeer::workloads::{ArrivalProcess, Sweep};
+
+#[test]
+fn every_facade_module_resolves() {
+    // topology: a two-router link.
+    let mut builder = TopologyBuilder::with_routers(2);
+    builder.link(RouterId(0), RouterId(1), 1_000).unwrap();
+    let topo = builder.build();
+    assert_eq!(topo.n_routers(), 2);
+    assert_eq!(topo.n_links(), 1);
+
+    // routing: BFS over it.
+    let dist = bfs_distances(&topo, RouterId(0));
+    assert_eq!(dist[1], 1);
+
+    // core: a peer path and its identity dtree.
+    let path = PeerPath::new(vec![RouterId(0), RouterId(1)]).unwrap();
+    assert_eq!(path.routers().len(), 2);
+    let _peer = PeerId(7);
+
+    // probe: the full-traceroute plan probes every TTL.
+    assert_eq!(ProbePlan::Full.ttls(5), vec![1, 2, 3, 4, 5]);
+
+    // coord: the origin is distance zero from itself.
+    let origin = Coord::origin(2);
+    assert_eq!(origin.dim(), 2);
+    assert!(origin.distance(&Coord::origin(2)).abs() < 1e-12);
+
+    // sim: virtual time arithmetic.
+    assert_eq!(SimTime::from_millis(2), SimTime(2_000));
+
+    // overlay: an empty buffer map misses every chunk.
+    let buffer = BufferMap::new(8);
+    assert_eq!(buffer.missing_in(0, 8).len(), 8);
+
+    // metrics: online stats over three samples.
+    let mut stats = OnlineStats::new();
+    for x in [1.0, 2.0, 3.0] {
+        stats.push(x);
+    }
+    assert_eq!(stats.count(), 3);
+    assert!((stats.mean() - 2.0).abs() < 1e-12);
+
+    // workloads: a batch arrival process and a parameter sweep.
+    let times = ArrivalProcess::Batch.times(3, 1);
+    assert_eq!(times, vec![0, 0, 0]);
+    let sweep = Sweep::new(vec![1usize, 2], vec!["a", "b"], 2);
+    assert_eq!(sweep.points().count(), 8);
+}
