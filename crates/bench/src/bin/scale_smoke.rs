@@ -1,0 +1,129 @@
+//! Scale smoke test: build a 10k-peer swarm through the batched,
+//! shard-parallel directory path inside a wall-clock budget.
+//!
+//! This is the CI guard for the sharded-server refactor: if shard-parallel
+//! construction regresses (accidental serialisation, quadratic descent,
+//! lost batching), the budget blows and CI goes red. Run it in release
+//! mode; the budget is generous on purpose — it catches order-of-magnitude
+//! regressions, not noise.
+//!
+//! ```sh
+//! cargo run --release -p nearpeer-bench --bin scale_smoke -- [--peers N] [--budget-secs S]
+//! ```
+
+use nearpeer_bench::{BuildStrategy, Swarm, SwarmConfig};
+use nearpeer_topology::generators::{mapper, MapperConfig};
+use std::time::Instant;
+
+struct Args {
+    peers: usize,
+    budget_secs: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        peers: 10_000,
+        budget_secs: 120,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--peers" => {
+                let v = iter.next().ok_or("--peers needs a value")?;
+                out.peers = v.parse().map_err(|_| format!("bad --peers value {v}"))?;
+            }
+            "--budget-secs" => {
+                let v = iter.next().ok_or("--budget-secs needs a value")?;
+                out.budget_secs = v
+                    .parse()
+                    .map_err(|_| format!("bad --budget-secs value {v}"))?;
+            }
+            "--help" | "-h" => return Err("usage: [--peers N] [--budget-secs S]".into()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let t0 = Instant::now();
+    // Enough degree-1 access routers for every peer, plus headroom for the
+    // RNG to shuffle over.
+    let topo = mapper(
+        &MapperConfig::with_access(2_000, args.peers + args.peers / 10),
+        42,
+    )
+    .expect("mapper topology");
+    let topo_elapsed = t0.elapsed();
+
+    let config = SwarmConfig {
+        n_peers: args.peers,
+        n_landmarks: 8,
+        build: BuildStrategy::ShardParallel,
+        ..SwarmConfig::default()
+    };
+    let t1 = Instant::now();
+    let swarm = match Swarm::build(&topo, &config, 1) {
+        Ok(swarm) => swarm,
+        Err(e) => {
+            eprintln!("scale_smoke: swarm build failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let build_elapsed = t1.elapsed();
+
+    let report = swarm.server.report();
+    println!(
+        "scale_smoke: topology {} routers in {:.2?}, {}-peer swarm built shard-parallel in {:.2?}",
+        topo.n_routers(),
+        topo_elapsed,
+        swarm.peers.len(),
+        build_elapsed,
+    );
+    println!("{report}");
+    let interned: usize = swarm
+        .server
+        .shards()
+        .iter()
+        .map(|s| s.path_store().distinct())
+        .sum();
+    println!(
+        "interned paths: {interned} distinct across {} shards",
+        swarm.server.shards().len()
+    );
+
+    if report.peers != args.peers {
+        eprintln!(
+            "scale_smoke: expected {} registered peers, server holds {}",
+            args.peers, report.peers
+        );
+        std::process::exit(1);
+    }
+    if report.stats.queries != args.peers as u64 {
+        eprintln!(
+            "scale_smoke: expected one join answer per peer, counted {}",
+            report.stats.queries
+        );
+        std::process::exit(1);
+    }
+    let total = t0.elapsed();
+    if total.as_secs() > args.budget_secs {
+        eprintln!(
+            "scale_smoke: took {:.2?}, budget {}s — shard-parallel construction regressed",
+            total, args.budget_secs
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "scale_smoke: OK ({:.2?} total, budget {}s)",
+        total, args.budget_secs
+    );
+}

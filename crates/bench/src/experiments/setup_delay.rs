@@ -191,7 +191,7 @@ pub fn run(config: &SetupDelayConfig, seed: u64) -> SetupDelayResult {
         neighbor_count: config.k,
         ..Default::default()
     };
-    let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
+    let swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");
 
     // Path-tree neighbor lists (symmetrised: mesh links are bidirectional).
     let n = swarm.peers.len();

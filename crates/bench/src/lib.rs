@@ -32,4 +32,4 @@ mod swarm;
 
 pub use output::ExperimentWriter;
 pub use runner::run_parallel;
-pub use swarm::{Swarm, SwarmConfig};
+pub use swarm::{register_shard_parallel, BuildStrategy, Swarm, SwarmConfig};

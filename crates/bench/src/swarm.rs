@@ -3,6 +3,11 @@
 //! Mirrors the paper's §3 initialisation: peers attach to degree-1 routers,
 //! landmarks to medium-degree routers, every peer traceroutes to its
 //! closest landmark (by RTT) and registers with the management server.
+//!
+//! Registration supports three [`BuildStrategy`]s over the same traced
+//! paths — one join at a time (the paper's protocol), one batched call, or
+//! shard-parallel (crossbeam scoped threads, one per landmark shard) — all
+//! producing identical directory state.
 
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
@@ -13,6 +18,24 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// How the traced paths are fed into the management server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildStrategy {
+    /// One `register` call per peer, as the deployed protocol would: each
+    /// join is answered against the population registered so far.
+    Sequential,
+    /// One `register_batch` call: inserts grouped by landmark (amortised
+    /// tree descent), answers computed against the full swarm.
+    Batched,
+    /// Shard-parallel: every landmark's shard inserts its own batch on a
+    /// crossbeam scoped thread, then join answers are computed by
+    /// concurrent `&self` queries. The default — it is the layering this
+    /// refactor exists for, and produces the same directory state as the
+    /// other two.
+    #[default]
+    ShardParallel,
+}
 
 /// Swarm-building parameters.
 #[derive(Debug, Clone)]
@@ -29,6 +52,9 @@ pub struct SwarmConfig {
     pub trace: TraceConfig,
     /// Enables the server's cross-landmark fallback.
     pub cross_landmark_fallback: bool,
+    /// Registration strategy (tracing is always sequential — the route
+    /// oracle is deliberately single-threaded ground truth).
+    pub build: BuildStrategy,
 }
 
 impl Default for SwarmConfig {
@@ -40,6 +66,7 @@ impl Default for SwarmConfig {
             neighbor_count: 5,
             trace: TraceConfig::default(),
             cross_landmark_fallback: true,
+            build: BuildStrategy::default(),
         }
     }
 }
@@ -117,12 +144,16 @@ impl<'t> Swarm<'t> {
             },
         );
 
+        // Round 1 for everyone: pick the closest landmark by RTT, then
+        // traceroute. Tracing stays sequential — the oracle is
+        // single-threaded ground truth — and is deterministic per seed
+        // regardless of the registration strategy below.
         let mut peers = Vec::with_capacity(config.n_peers);
         let mut attachment = HashMap::with_capacity(config.n_peers);
         let mut join_cost = HashMap::with_capacity(config.n_peers);
+        let mut joins: Vec<(PeerId, PeerPath)> = Vec::with_capacity(config.n_peers);
         for (i, &attach) in access.iter().enumerate() {
             let peer = PeerId(i as u64);
-            // Round 1: pick the closest landmark by RTT, then traceroute.
             let closest = landmarks
                 .iter()
                 .filter_map(|&lm| oracle.rtt_us(attach, lm).map(|rtt| (rtt, lm)))
@@ -134,9 +165,7 @@ impl<'t> Swarm<'t> {
                 .ok_or_else(|| format!("trace from {attach} to {closest} failed"))?;
             let path =
                 PeerPath::new(trace.router_path()).map_err(|e| format!("bad traced path: {e}"))?;
-            server
-                .register(peer, path)
-                .map_err(|e| format!("register {peer}: {e}"))?;
+            joins.push((peer, path));
             peers.push(peer);
             attachment.insert(peer, attach);
             join_cost.insert(
@@ -146,6 +175,27 @@ impl<'t> Swarm<'t> {
                     trace_elapsed_us: trace.elapsed_us,
                 },
             );
+        }
+
+        // Round 2: feed the paths to the server.
+        match config.build {
+            BuildStrategy::Sequential => {
+                for (peer, path) in joins {
+                    server
+                        .register(peer, path)
+                        .map_err(|e| format!("register {peer}: {e}"))?;
+                }
+            }
+            BuildStrategy::Batched => {
+                for (result, &peer) in server.register_batch(joins).iter().zip(&peers) {
+                    result
+                        .as_ref()
+                        .map_err(|e| format!("register {peer}: {e}"))?;
+                }
+            }
+            BuildStrategy::ShardParallel => {
+                register_shard_parallel(&mut server, joins)?;
+            }
         }
         Ok(Self {
             topo,
@@ -180,6 +230,75 @@ impl<'t> Swarm<'t> {
             .sum::<f64>()
             / self.join_cost.len() as f64
     }
+}
+
+/// Registers a batch of joins shard-parallel: group by landmark, insert
+/// each group on its own crossbeam scoped thread (disjoint
+/// [`nearpeer_core::DirectoryShard`]s share nothing), then compute one join
+/// answer per peer through the server's concurrent `&self` query path — so
+/// stats and answers match what the sequential protocol would have produced
+/// against the full swarm. Used by [`BuildStrategy::ShardParallel`] and the
+/// `join_throughput` bench.
+pub fn register_shard_parallel(
+    server: &mut ManagementServer,
+    joins: Vec<(PeerId, PeerPath)>,
+) -> Result<(), String> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    if threads <= 1 {
+        // Single-core host: scoped threads would only add spawn overhead.
+        // The batched path produces identical directory state and stats
+        // (one insert and one answered query per peer).
+        for result in server.register_batch(joins) {
+            result.map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+    let epoch = server.epoch();
+    let n = joins.len();
+    let mut groups: Vec<Vec<(PeerId, PeerPath)>> =
+        (0..server.landmarks().len()).map(|_| Vec::new()).collect();
+    let mut query_order: Vec<PeerId> = Vec::with_capacity(n);
+    for (peer, path) in joins {
+        let lm = server
+            .landmark_at_router(path.landmark_router())
+            .ok_or_else(|| format!("{peer} traced to a non-landmark router"))?;
+        query_order.push(peer);
+        groups[lm.index()].push((peer, path));
+    }
+    let inserted: usize = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = server
+            .shards_mut()
+            .iter_mut()
+            .zip(groups)
+            .map(|(shard, items)| scope.spawn(move |_| shard.insert_batch(items, epoch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+    .expect("scoped shard builders never panic");
+    if inserted != n {
+        return Err(format!(
+            "shard-parallel build inserted {inserted} of {n} peers (duplicate ids?)"
+        ));
+    }
+    let k = server.config().neighbor_count;
+    let server = &*server;
+    // Contiguous chunks instead of a work queue: each answer is
+    // microseconds, so per-item dispatch would dominate the queries.
+    let chunk = query_order.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for slice in query_order.chunks(chunk) {
+            scope.spawn(move |_| {
+                for &peer in slice {
+                    let _answered = server.neighbors_of(peer, k).is_ok();
+                    debug_assert!(_answered, "{peer} was inserted above");
+                }
+            });
+        }
+    })
+    .expect("query workers never panic");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -250,14 +369,50 @@ mod tests {
             n_peers: 30,
             ..Default::default()
         };
-        let mut swarm = Swarm::build(&topo, &cfg, 2).unwrap();
-        for &peer in &swarm.peers.clone() {
+        let swarm = Swarm::build(&topo, &cfg, 2).unwrap();
+        for &peer in &swarm.peers {
             let neigh = swarm.server.neighbors_of(peer, 5).unwrap();
             assert!(
                 !neigh.is_empty(),
                 "{peer} got no neighbors in a 30-peer swarm"
             );
             assert!(neigh.iter().all(|n| n.peer != peer));
+        }
+    }
+
+    #[test]
+    fn build_strategies_produce_identical_directories() {
+        let topo = tiny_topo();
+        let build = |strategy: BuildStrategy| {
+            let cfg = SwarmConfig {
+                n_peers: 50,
+                n_landmarks: 3,
+                build: strategy,
+                ..Default::default()
+            };
+            Swarm::build(&topo, &cfg, 7).unwrap()
+        };
+        let seq = build(BuildStrategy::Sequential);
+        let bat = build(BuildStrategy::Batched);
+        let par = build(BuildStrategy::ShardParallel);
+        // Snapshot before the comparison queries below bump the counters.
+        let s = seq.server.report();
+        for other in [&bat, &par] {
+            assert_eq!(other.landmarks, seq.landmarks);
+            assert_eq!(other.attachment, seq.attachment);
+            let o = other.server.report();
+            assert_eq!(o.peers, s.peers);
+            assert_eq!(o.indexed_routers, s.indexed_routers);
+            assert_eq!(o.per_landmark, s.per_landmark, "same trees per shard");
+            assert_eq!(o.stats.joins, s.stats.joins);
+            assert_eq!(o.stats.queries, s.stats.queries, "one answer per join");
+            for &peer in &seq.peers {
+                assert_eq!(
+                    other.server.neighbors_of(peer, 5).unwrap(),
+                    seq.server.neighbors_of(peer, 5).unwrap(),
+                    "{peer}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,26 @@
+//! The sharded directory behind the management server.
+//!
+//! The paper's round-2 server is logically one big table; serving heavy
+//! traffic means splitting it along the axis the data already has:
+//! **the landmark**. Every stored path terminates at exactly one landmark
+//! router, so peers partition cleanly into per-landmark
+//! [`DirectoryShard`]s — each owning its landmark's
+//! [`crate::PathTree`], its slice of the router index and its peers'
+//! soft-state leases, with paths interned once in an arena-backed
+//! [`PathStore`] instead of cloned into every structure.
+//!
+//! The [`crate::ManagementServer`] facade keeps the original single-server
+//! API on top: it routes writes to the owning shard, merges `&self` reads
+//! across shards (per-shard answers recombine losslessly because every
+//! peer's index entries live in exactly one shard), and keeps the only
+//! genuinely cross-landmark state (bridge distances, super-peer regions,
+//! aggregate counters) to itself. Batched joins
+//! ([`crate::ManagementServer::register_batch`]) group newcomers by
+//! landmark and amortise the tree descent; disjoint shards can be built
+//! from different threads via [`crate::ManagementServer::shards_mut`].
+
+mod path_store;
+mod shard;
+
+pub use path_store::{PathRef, PathStore};
+pub use shard::DirectoryShard;

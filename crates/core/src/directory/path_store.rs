@@ -1,0 +1,206 @@
+//! Arena-backed interning of peer paths.
+//!
+//! Before the directory refactor the same [`PeerPath`] was cloned into
+//! every structure that mentioned the peer (registry, router index, query
+//! answers). The store keeps exactly one copy per *distinct* path and hands
+//! out copyable [`PathRef`] handles; structures store the 4-byte handle and
+//! resolve it on demand. Distinct peers tracing from the same access chain
+//! (mobile peers re-joining, synthetic workloads, NAT'd households) share
+//! one arena slot via reference counting.
+
+use crate::path::PeerPath;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A handle into a [`PathStore`] arena. Only meaningful for the store that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathRef(u32);
+
+impl PathRef {
+    /// The raw arena slot (diagnostics only).
+    pub fn slot(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Vacant,
+    Occupied { path: PeerPath, refs: u32 },
+}
+
+/// An arena of interned [`PeerPath`]s with per-entry reference counts and a
+/// free list, so churn (register/deregister cycles) does not grow the
+/// arena without bound.
+#[derive(Debug, Default)]
+pub struct PathStore {
+    slots: Vec<Slot>,
+    /// Content hash → candidate slots (collisions resolved by comparison).
+    by_hash: HashMap<u64, Vec<u32>>,
+    free: Vec<u32>,
+    live: usize,
+    hits: u64,
+}
+
+fn content_hash(path: &PeerPath) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    path.routers().hash(&mut hasher);
+    hasher.finish()
+}
+
+impl PathStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct live paths in the arena.
+    pub fn distinct(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the arena holds no live path.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// How many [`Self::intern`] calls were answered by an existing entry
+    /// instead of a fresh allocation.
+    pub fn dedup_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Interns a path, returning a handle. Identical paths (same router
+    /// sequence) share a slot; the slot's reference count is bumped.
+    pub fn intern(&mut self, path: PeerPath) -> PathRef {
+        let h = content_hash(&path);
+        if let Some(candidates) = self.by_hash.get(&h) {
+            for &slot in candidates {
+                if let Slot::Occupied {
+                    path: stored,
+                    refs: _,
+                } = &self.slots[slot as usize]
+                {
+                    if stored == &path {
+                        if let Slot::Occupied { refs, .. } = &mut self.slots[slot as usize] {
+                            *refs += 1;
+                        }
+                        self.hits += 1;
+                        return PathRef(slot);
+                    }
+                }
+            }
+        }
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Slot::Occupied { path, refs: 1 };
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot::Occupied { path, refs: 1 });
+                idx
+            }
+        };
+        self.by_hash.entry(h).or_default().push(slot);
+        self.live += 1;
+        PathRef(slot)
+    }
+
+    /// Resolves a handle.
+    ///
+    /// # Panics
+    /// On a handle whose entry was fully released (a dangling `PathRef`) —
+    /// that is a directory bookkeeping bug, not a user error.
+    pub fn get(&self, r: PathRef) -> &PeerPath {
+        match &self.slots[r.0 as usize] {
+            Slot::Occupied { path, .. } => path,
+            Slot::Vacant => panic!("dangling PathRef({})", r.0),
+        }
+    }
+
+    /// Drops one reference to the entry; frees the slot when the last
+    /// reference goes.
+    pub fn release(&mut self, r: PathRef) {
+        let free_now = match &mut self.slots[r.0 as usize] {
+            Slot::Occupied { refs, .. } => {
+                *refs -= 1;
+                *refs == 0
+            }
+            Slot::Vacant => panic!("releasing dangling PathRef({})", r.0),
+        };
+        if free_now {
+            let old = std::mem::replace(&mut self.slots[r.0 as usize], Slot::Vacant);
+            let Slot::Occupied { path, .. } = old else {
+                unreachable!("checked occupied above");
+            };
+            let h = content_hash(&path);
+            if let Some(candidates) = self.by_hash.get_mut(&h) {
+                candidates.retain(|&s| s != r.0);
+                if candidates.is_empty() {
+                    self.by_hash.remove(&h);
+                }
+            }
+            self.free.push(r.0);
+            self.live -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_topology::RouterId;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn interns_and_resolves() {
+        let mut store = PathStore::new();
+        let a = store.intern(path(&[1, 2, 3]));
+        assert_eq!(store.get(a).routers().len(), 3);
+        assert_eq!(store.distinct(), 1);
+        assert_eq!(store.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn identical_paths_share_a_slot() {
+        let mut store = PathStore::new();
+        let a = store.intern(path(&[1, 2, 3]));
+        let b = store.intern(path(&[1, 2, 3]));
+        let c = store.intern(path(&[4, 2, 3]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.distinct(), 2);
+        assert_eq!(store.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn release_refcounts_and_reuses_slots() {
+        let mut store = PathStore::new();
+        let a = store.intern(path(&[1, 2, 3]));
+        let b = store.intern(path(&[1, 2, 3]));
+        store.release(a);
+        // One reference remains: still resolvable.
+        assert_eq!(store.get(b).attach(), RouterId(1));
+        store.release(b);
+        assert!(store.is_empty());
+        // The freed slot is recycled for the next intern.
+        let c = store.intern(path(&[9, 8]));
+        assert_eq!(c.slot(), a.slot());
+        assert_eq!(store.distinct(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling PathRef")]
+    fn dangling_ref_panics() {
+        let mut store = PathStore::new();
+        let a = store.intern(path(&[1, 2]));
+        store.release(a);
+        let _ = store.get(a);
+    }
+}

@@ -1,0 +1,358 @@
+//! One landmark's slice of the management directory.
+
+use super::path_store::{PathRef, PathStore};
+use crate::error::CoreError;
+use crate::ids::{LandmarkId, PeerId};
+use crate::path::PeerPath;
+use crate::path_tree::PathTree;
+use crate::router_index::{query_nearest_entries, EntryMap, Neighbor};
+use nearpeer_topology::RouterId;
+use std::collections::{HashMap, HashSet};
+
+/// The per-landmark directory shard: everything the server knows about the
+/// peers registered under one landmark.
+///
+/// A shard owns the landmark's [`PathTree`], its slice of the router index
+/// (entries for every router on its peers' paths), the interned path arena
+/// ([`PathStore`] — one copy per distinct path instead of one clone per
+/// structure), and the soft-state lease table. Shards never reference each
+/// other, so distinct shards can be **mutated from different threads**
+/// (`&mut` access via [`crate::ManagementServer::shards_mut`]) and
+/// **queried concurrently** (every read takes `&self`). Cross-landmark
+/// concerns — neighbor-list merging, bridge-estimate fills, super-peer
+/// regions — live in the [`crate::ManagementServer`] facade.
+#[derive(Debug)]
+pub struct DirectoryShard {
+    landmark: LandmarkId,
+    root: RouterId,
+    store: PathStore,
+    entries: EntryMap,
+    peer_paths: HashMap<PeerId, PathRef>,
+    tree: PathTree,
+    last_seen: HashMap<PeerId, u64>,
+    inserts: u64,
+    removals: u64,
+}
+
+impl DirectoryShard {
+    /// Creates the empty shard for `landmark` whose router is `root`.
+    pub fn new(landmark: LandmarkId, root: RouterId) -> Self {
+        Self {
+            landmark,
+            root,
+            store: PathStore::new(),
+            entries: EntryMap::new(),
+            peer_paths: HashMap::new(),
+            tree: PathTree::new(root),
+            last_seen: HashMap::new(),
+            inserts: 0,
+            removals: 0,
+        }
+    }
+
+    /// The landmark this shard serves.
+    pub fn landmark(&self) -> LandmarkId {
+        self.landmark
+    }
+
+    /// The landmark's router (every stored path terminates here).
+    pub fn root(&self) -> RouterId {
+        self.root
+    }
+
+    /// Peers registered in this shard.
+    pub fn len(&self) -> usize {
+        self.peer_paths.len()
+    }
+
+    /// Whether the shard holds no peer.
+    pub fn is_empty(&self) -> bool {
+        self.peer_paths.is_empty()
+    }
+
+    /// Whether `peer` is registered here.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.peer_paths.contains_key(&peer)
+    }
+
+    /// The stored (interned) path of a peer.
+    pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
+        self.peer_paths.get(&peer).map(|&r| self.store.get(r))
+    }
+
+    /// Iterator over the shard's peers (arbitrary order).
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.peer_paths.keys().copied()
+    }
+
+    /// The landmark's path tree (analytics view).
+    pub fn tree(&self) -> &PathTree {
+        &self.tree
+    }
+
+    /// The interned path arena (diagnostics: dedup hits, distinct paths).
+    pub fn path_store(&self) -> &PathStore {
+        &self.store
+    }
+
+    /// Distinct routers referenced by this shard's paths.
+    pub fn n_routers(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterator over the distinct routers referenced by this shard.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Lifetime insertions (used by the facade to derive join stats; a
+    /// handover re-inserts, the facade compensates).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Lifetime removals (leave-stat source, see [`Self::inserts`]).
+    pub fn removals(&self) -> u64 {
+        self.removals
+    }
+
+    /// Peers of this shard whose path traverses `router`, nearest-first
+    /// (by hops below the router, ties by peer id).
+    pub fn peers_through(&self, router: RouterId) -> impl Iterator<Item = (PeerId, u32)> + '_ {
+        self.entries
+            .get(&router)
+            .into_iter()
+            .flat_map(|set| set.iter().map(|&(d, p)| (p, d)))
+    }
+
+    /// The `k` shard peers with smallest `dtree` to the query path,
+    /// ascending, ties by peer id — `&self`, so shards answer concurrently.
+    pub fn query_nearest(
+        &self,
+        query: &PeerPath,
+        k: usize,
+        exclude: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        query_nearest_entries(&self.entries, query, k, exclude)
+    }
+
+    /// The epoch `peer` last checked in, if registered.
+    pub fn last_seen(&self, peer: PeerId) -> Option<u64> {
+        self.last_seen.get(&peer).copied()
+    }
+
+    /// Records a heartbeat; `false` if the peer is not in this shard.
+    pub fn heartbeat(&mut self, peer: PeerId, epoch: u64) -> bool {
+        if !self.peer_paths.contains_key(&peer) {
+            return false;
+        }
+        self.last_seen.insert(peer, epoch);
+        true
+    }
+
+    /// Shard peers last seen strictly before `cutoff`.
+    pub fn stale_peers(&self, cutoff: u64) -> Vec<PeerId> {
+        self.last_seen
+            .iter()
+            .filter(|&(_, &seen)| seen < cutoff)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Registers one peer: interns the path, indexes every router on it,
+    /// attaches the peer to the path tree and opens its lease at `epoch`.
+    pub fn insert(&mut self, peer: PeerId, path: PeerPath, epoch: u64) -> Result<(), CoreError> {
+        if path.landmark_router() != self.root {
+            return Err(CoreError::UnknownLandmark(format!(
+                "path terminates at {} but this shard serves {} at {}",
+                path.landmark_router(),
+                self.landmark,
+                self.root
+            )));
+        }
+        if self.peer_paths.contains_key(&peer) {
+            return Err(CoreError::DuplicatePeer(peer));
+        }
+        let r = self.store.intern(path);
+        let path = self.store.get(r);
+        for (router, depth) in path.with_depths() {
+            self.entries
+                .entry(router)
+                .or_default()
+                .insert((depth, peer));
+        }
+        self.tree.insert(peer, path);
+        self.peer_paths.insert(peer, r);
+        self.last_seen.insert(peer, epoch);
+        self.inserts += 1;
+        Ok(())
+    }
+
+    /// Registers a pre-validated batch, amortising the tree descent (one
+    /// [`PathTree::insert_batch`] walk) on top of per-item indexing. Items
+    /// a sequential [`Self::insert`] would reject (wrong root, duplicate —
+    /// also duplicates *within* the batch) are skipped. Returns the number
+    /// of peers inserted.
+    pub fn insert_batch(&mut self, items: Vec<(PeerId, PeerPath)>, epoch: u64) -> usize {
+        let mut accepted: Vec<(PeerId, PathRef)> = Vec::with_capacity(items.len());
+        for (peer, path) in items {
+            if path.landmark_router() != self.root || self.peer_paths.contains_key(&peer) {
+                continue;
+            }
+            let r = self.store.intern(path);
+            let path = self.store.get(r);
+            for (router, depth) in path.with_depths() {
+                self.entries
+                    .entry(router)
+                    .or_default()
+                    .insert((depth, peer));
+            }
+            self.peer_paths.insert(peer, r);
+            self.last_seen.insert(peer, epoch);
+            accepted.push((peer, r));
+        }
+        let store = &self.store;
+        let inserted = self
+            .tree
+            .insert_batch(accepted.iter().map(|&(p, r)| (p, store.get(r))));
+        debug_assert_eq!(inserted, accepted.len());
+        self.inserts += accepted.len() as u64;
+        accepted.len()
+    }
+
+    /// Removes a peer, releasing its arena slot; `false` if unknown.
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        let Some(r) = self.peer_paths.remove(&peer) else {
+            return false;
+        };
+        {
+            let path = self.store.get(r);
+            for (router, depth) in path.with_depths() {
+                if let Some(set) = self.entries.get_mut(&router) {
+                    set.remove(&(depth, peer));
+                    if set.is_empty() {
+                        self.entries.remove(&router);
+                    }
+                }
+            }
+        }
+        self.tree.remove(peer);
+        self.store.release(r);
+        self.last_seen.remove(&peer);
+        self.removals += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    fn shard() -> DirectoryShard {
+        DirectoryShard::new(LandmarkId(0), RouterId(0))
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut s = shard();
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.insert(PeerId(2), path(&[5, 2, 1, 0]), 0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.tree().n_peers(), 2);
+        assert_eq!(s.path_of(PeerId(1)).unwrap().attach(), RouterId(4));
+        let q = path(&[4, 2, 1, 0]);
+        let res = s.query_nearest(&q, 5, &HashSet::new());
+        assert_eq!(res[0].peer, PeerId(1));
+        assert_eq!(res[0].dtree, 0);
+        assert_eq!(res[1].peer, PeerId(2));
+        assert_eq!(res[1].dtree, 2);
+        assert!(s.remove(PeerId(1)));
+        assert!(!s.remove(PeerId(1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.path_of(PeerId(1)).is_none());
+        assert_eq!(s.inserts(), 2);
+        assert_eq!(s.removals(), 1);
+    }
+
+    #[test]
+    fn rejects_foreign_and_duplicate() {
+        let mut s = shard();
+        assert!(matches!(
+            s.insert(PeerId(1), path(&[4, 2, 99]), 0),
+            Err(CoreError::UnknownLandmark(_))
+        ));
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        assert!(matches!(
+            s.insert(PeerId(1), path(&[5, 2, 1, 0]), 0),
+            Err(CoreError::DuplicatePeer(_))
+        ));
+    }
+
+    #[test]
+    fn batch_matches_sequential_inserts() {
+        let mut seq = shard();
+        let mut bat = shard();
+        let paths = [
+            path(&[4, 2, 1, 0]),
+            path(&[5, 2, 1, 0]),
+            path(&[6, 3, 1, 0]),
+            path(&[7, 42]), // wrong root, skipped both ways
+            path(&[2, 1, 0]),
+        ];
+        let mut ok = 0;
+        for (i, p) in paths.iter().enumerate() {
+            if seq.insert(PeerId(i as u64), p.clone(), 3).is_ok() {
+                ok += 1;
+            }
+        }
+        let items: Vec<(PeerId, PeerPath)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PeerId(i as u64), p.clone()))
+            .collect();
+        assert_eq!(bat.insert_batch(items, 3), ok);
+        assert_eq!(bat.len(), seq.len());
+        assert_eq!(bat.n_routers(), seq.n_routers());
+        assert_eq!(bat.tree().n_peers(), seq.tree().n_peers());
+        assert_eq!(bat.tree().n_nodes(), seq.tree().n_nodes());
+        assert_eq!(bat.last_seen(PeerId(0)), Some(3));
+        let q = path(&[4, 2, 1, 0]);
+        assert_eq!(
+            bat.query_nearest(&q, 5, &HashSet::new()),
+            seq.query_nearest(&q, 5, &HashSet::new())
+        );
+        assert_eq!(bat.inserts(), seq.inserts());
+    }
+
+    #[test]
+    fn batch_skips_duplicates_within_batch() {
+        let mut s = shard();
+        let items = vec![
+            (PeerId(1), path(&[4, 2, 1, 0])),
+            (PeerId(1), path(&[5, 2, 1, 0])),
+        ];
+        assert_eq!(s.insert_batch(items, 0), 1);
+        assert_eq!(s.path_of(PeerId(1)).unwrap().attach(), RouterId(4));
+    }
+
+    #[test]
+    fn interning_shares_identical_paths() {
+        let mut s = shard();
+        // Two peers behind the same NAT report the same router path.
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.insert(PeerId(2), path(&[4, 2, 1, 0]), 0).unwrap();
+        assert_eq!(s.path_store().distinct(), 1);
+        assert_eq!(s.path_store().dedup_hits(), 1);
+        // Both peers are individually indexed and removable.
+        assert_eq!(s.peers_through(RouterId(4)).count(), 2);
+        s.remove(PeerId(1));
+        assert_eq!(s.path_store().distinct(), 1);
+        assert_eq!(s.path_of(PeerId(2)).unwrap().attach(), RouterId(4));
+        s.remove(PeerId(2));
+        assert!(s.path_store().is_empty());
+    }
+}

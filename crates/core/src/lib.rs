@@ -14,7 +14,12 @@
 //! * [`PathTree`] — the per-landmark trie view used for analytics, branch
 //!   points (`dtree`) and super-peer regions;
 //! * [`ManagementServer`] — round 2: registry, neighbor selection, churn
-//!   removal, mobility handover and super-peer promotion;
+//!   removal, mobility handover and super-peer promotion — a facade over
+//!   the sharded [`directory`];
+//! * [`directory`] — the scalability layer: one [`DirectoryShard`] per
+//!   landmark (path tree + index slice + leases) with arena-interned
+//!   paths ([`PathStore`]), batched joins and a concurrent `&self` read
+//!   path;
 //! * [`policy`] — the selection baselines the evaluation compares against:
 //!   random (the paper's baseline), brute-force closest (`Dclosest`),
 //!   Vivaldi-distance and landmark-binning;
@@ -30,6 +35,7 @@
 
 pub mod actors;
 pub mod codec;
+pub mod directory;
 mod error;
 mod ids;
 pub mod landmarks;
@@ -41,10 +47,11 @@ mod router_index;
 mod server;
 mod superpeer;
 
+pub use directory::{DirectoryShard, PathRef, PathStore};
 pub use error::CoreError;
 pub use ids::{LandmarkId, PeerId};
 pub use path::PeerPath;
 pub use path_tree::PathTree;
 pub use router_index::{Neighbor, RouterIndex};
-pub use server::{JoinOutcome, ManagementServer, ServerConfig};
+pub use server::{DirectoryView, JoinOutcome, ManagementServer, ServerConfig};
 pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};

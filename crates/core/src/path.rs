@@ -70,10 +70,14 @@ impl PeerPath {
     /// The deepest (closest-to-both-peers) router shared with `other`, and
     /// the resulting `dtree` hop estimate — the paper's inferred distance
     /// through the first common router.
+    ///
+    /// Paths are bounded by the topology diameter (a dozen-odd routers),
+    /// so the quadratic scan beats building a hash map per comparison —
+    /// this is the inner loop of every brute-force baseline and accuracy
+    /// study, called `O(n²)` times per experiment.
     pub fn dtree(&self, other: &PeerPath) -> Option<(RouterId, u32)> {
-        let other_depths: std::collections::HashMap<RouterId, u32> = other.with_depths().collect();
         self.with_depths()
-            .filter_map(|(r, d_self)| other_depths.get(&r).map(|&d_other| (r, d_self + d_other)))
+            .filter_map(|(r, d_self)| other.depth_of(r).map(|d_other| (r, d_self + d_other)))
             .min_by_key(|&(_, d)| d)
     }
 }

@@ -86,7 +86,11 @@ impl PathTree {
         // Walk from the landmark outward (reverse of the stored order).
         let mut current = 0u32; // root index
         for &router in path.routers().iter().rev().skip(1) {
-            current = self.child(current, router);
+            let (idx, conflicted) = self.child(current, router);
+            if conflicted {
+                self.inconsistencies += 1;
+            }
+            current = idx;
         }
         self.nodes[current as usize].peers_here.push(peer);
         self.peer_node.insert(peer, current);
@@ -102,15 +106,82 @@ impl PathTree {
         true
     }
 
-    /// Finds or creates the child of `parent_idx` for `router`.
-    fn child(&mut self, parent_idx: u32, router: RouterId) -> u32 {
-        if let Some(&existing) = self.by_router.get(&router) {
-            if self.nodes[existing as usize].parent != parent_idx && existing != 0 {
-                // Same router reported under a different parent: keep the
-                // first-seen attachment, count the conflict.
-                self.inconsistencies += 1;
+    /// Inserts a whole batch of peers, amortising the descent: consecutive
+    /// paths sharing a landmark-side prefix reuse the previous walk instead
+    /// of re-resolving every router, and subtree populations are propagated
+    /// once at the end (`O(nodes + batch)`) instead of once per peer
+    /// (`O(depth · batch)`).
+    ///
+    /// State-equivalent to calling [`Self::insert`] per item in order —
+    /// including the per-walk [`Self::inconsistencies`] accounting — and
+    /// skips items the sequential calls would reject (wrong root,
+    /// duplicate peer). Returns the number of peers inserted.
+    pub fn insert_batch<'a, I>(&mut self, items: I) -> usize
+    where
+        I: IntoIterator<Item = (PeerId, &'a PeerPath)>,
+    {
+        // The previous item's descent, root-outward: (router, node index,
+        // whether that step counted an inconsistency). A new path reuses
+        // the longest common prefix; the recorded flag replays the
+        // per-walk conflict count the skipped lookups would have added.
+        let mut walk: Vec<(RouterId, u32, bool)> = Vec::new();
+        // Pending subtree-population additions, indexed by node.
+        let mut delta: Vec<u32> = Vec::new();
+        let mut inserted = 0usize;
+        for (peer, path) in items {
+            if path.landmark_router() != self.root() || self.peer_node.contains_key(&peer) {
+                continue;
             }
-            return existing;
+            let outward = || path.routers().iter().rev().skip(1).copied();
+            let lcp = outward()
+                .zip(walk.iter())
+                .take_while(|&(router, step)| router == step.0)
+                .count();
+            walk.truncate(lcp);
+            self.inconsistencies += walk.iter().filter(|step| step.2).count();
+            let mut current = walk.last().map_or(0, |step| step.1);
+            for router in outward().skip(lcp) {
+                let (idx, conflicted) = self.child(current, router);
+                if conflicted {
+                    self.inconsistencies += 1;
+                }
+                walk.push((router, idx, conflicted));
+                current = idx;
+            }
+            self.nodes[current as usize].peers_here.push(peer);
+            self.peer_node.insert(peer, current);
+            if delta.len() < self.nodes.len() {
+                delta.resize(self.nodes.len(), 0);
+            }
+            delta[current as usize] += 1;
+            inserted += 1;
+        }
+        // Children always have larger indices than their parents (nodes are
+        // appended during descent), so one high-to-low sweep pushes every
+        // pending count up to the root.
+        for idx in (0..delta.len()).rev() {
+            let d = delta[idx];
+            if d == 0 {
+                continue;
+            }
+            self.nodes[idx].subtree_peers += d as usize;
+            let parent = self.nodes[idx].parent;
+            if parent != NO_NODE {
+                delta[parent as usize] += d;
+            }
+        }
+        inserted
+    }
+
+    /// Finds or creates the child of `parent_idx` for `router`; the flag
+    /// reports a parent conflict (same router already attached elsewhere —
+    /// the caller decides how to count it).
+    fn child(&mut self, parent_idx: u32, router: RouterId) -> (u32, bool) {
+        if let Some(&existing) = self.by_router.get(&router) {
+            // Same router reported under a different parent: keep the
+            // first-seen attachment, report the conflict.
+            let conflicted = self.nodes[existing as usize].parent != parent_idx && existing != 0;
+            return (existing, conflicted);
         }
         let idx = self.nodes.len() as u32;
         let depth = self.nodes[parent_idx as usize].depth + 1;
@@ -124,7 +195,7 @@ impl PathTree {
         });
         self.nodes[parent_idx as usize].children.push(idx);
         self.by_router.insert(router, idx);
-        idx
+        (idx, false)
     }
 
     /// Removes a peer (its routers stay in the tree; only population counts
@@ -349,6 +420,79 @@ mod tests {
         assert!(dot.contains("(1 peers)"), "peer counts annotated:\n{dot}");
         // Every non-root node has exactly one parent edge.
         assert_eq!(dot.matches(" -> ").count(), t.n_nodes() - 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential() {
+        // Shared prefixes, an inconsistent parent, a duplicate and a
+        // wrong-root path — the batch must reproduce sequential state
+        // exactly, counters included.
+        let paths = [
+            path(&[4, 2, 1, 0]),
+            path(&[5, 2, 1, 0]),    // shares [2,1] with the previous walk
+            path(&[6, 5, 3, 1, 0]), // router 5 re-parented: inconsistency
+            path(&[7, 5, 3, 1, 0]), // same conflicting walk again
+            path(&[2, 1, 0]),
+            path(&[9, 8, 42]), // wrong root (never inserted)
+        ];
+        let mut seq = PathTree::new(RouterId(0));
+        let mut inserted_seq = 0;
+        for (i, p) in paths.iter().enumerate() {
+            if seq.insert(PeerId(i as u64), p) {
+                inserted_seq += 1;
+            }
+            // A duplicate of peer 0 is a sequential no-op.
+            assert!(!seq.insert(PeerId(0), p));
+        }
+        let mut batched = PathTree::new(RouterId(0));
+        let mut items: Vec<(PeerId, &PeerPath)> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PeerId(i as u64), p))
+            .collect();
+        // Interleave the duplicates exactly like the sequential loop did.
+        let dups: Vec<(PeerId, &PeerPath)> = paths.iter().map(|p| (PeerId(0), p)).collect();
+        let mut interleaved = Vec::new();
+        for (item, dup) in items.drain(..).zip(dups) {
+            interleaved.push(item);
+            interleaved.push(dup);
+        }
+        let inserted = batched.insert_batch(interleaved);
+        assert_eq!(inserted, inserted_seq);
+        assert_eq!(batched.n_nodes(), seq.n_nodes());
+        assert_eq!(batched.n_peers(), seq.n_peers());
+        assert_eq!(batched.inconsistencies(), seq.inconsistencies());
+        assert_eq!(seq.inconsistencies(), 2, "one per conflicting walk");
+        for p in &paths {
+            for &r in p.routers() {
+                assert_eq!(batched.depth_of(r), seq.depth_of(r), "{r}");
+                assert_eq!(
+                    batched.subtree_population(r),
+                    seq.subtree_population(r),
+                    "{r}"
+                );
+            }
+        }
+        assert_eq!(batched.to_dot(), seq.to_dot());
+    }
+
+    #[test]
+    fn insert_batch_on_populated_tree() {
+        let mut t = sample_tree();
+        let extra = [path(&[7, 2, 1, 0]), path(&[8, 3, 1, 0])];
+        let items: Vec<(PeerId, &PeerPath)> = extra
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PeerId(100 + i as u64), p))
+            .collect();
+        assert_eq!(t.insert_batch(items), 2);
+        assert_eq!(t.n_peers(), 6);
+        assert_eq!(t.subtree_population(RouterId(2)), Some(4));
+        assert_eq!(t.subtree_population(RouterId(0)), Some(6));
+        assert_eq!(
+            t.branch_point(PeerId(100), PeerId(0xA)),
+            Some((RouterId(2), 2))
+        );
     }
 
     #[test]

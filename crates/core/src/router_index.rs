@@ -16,6 +16,71 @@ pub struct Neighbor {
     pub dtree: u32,
 }
 
+/// The entry table shared between the global [`RouterIndex`] and the
+/// per-landmark shard indexes of [`crate::directory`]: router → peers
+/// traversing it, ordered by hop count below the router.
+pub(crate) type EntryMap = HashMap<RouterId, BTreeSet<(u32, PeerId)>>;
+
+/// The `k` peers with smallest combined depth (`dtree`) to the query path
+/// over an [`EntryMap`], ascending, ties broken by peer id. This is the
+/// paper's query: one lazy cursor per query-path router, k-way merged by a
+/// min-heap, touching only `O(k + path length)` entries regardless of the
+/// population. Shared by [`RouterIndex::query_nearest`] and the directory
+/// shards (whose per-shard answers merge back losslessly, because every
+/// peer's entries live in exactly one shard).
+pub(crate) fn query_nearest_entries(
+    entries: &EntryMap,
+    query: &PeerPath,
+    k: usize,
+    exclude: &HashSet<PeerId>,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // One lazy cursor per query-path router; heap orders by combined
+    // depth (query depth + candidate depth below the shared router).
+    struct Cursor<'a> {
+        query_depth: u32,
+        iter: std::collections::btree_set::Iter<'a, (u32, PeerId)>,
+    }
+    // Max-heap → wrap in Reverse for a min-heap keyed by
+    // (dtree, peer, router position) for total determinism.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+    let mut cursors: Vec<Cursor<'_>> = Vec::new();
+    for (router, query_depth) in query.with_depths() {
+        if let Some(set) = entries.get(&router) {
+            let mut iter = set.iter();
+            if let Some(&(cand_depth, peer)) = iter.next() {
+                let idx = cursors.len();
+                heap.push(std::cmp::Reverse((query_depth + cand_depth, peer, idx)));
+                cursors.push(Cursor { query_depth, iter });
+            }
+        }
+    }
+
+    let mut seen: HashSet<PeerId> = HashSet::new();
+    let mut out = Vec::with_capacity(k);
+    while let Some(std::cmp::Reverse((dtree, peer, idx))) = heap.pop() {
+        // Advance the cursor this candidate came from.
+        let cursor = &mut cursors[idx];
+        if let Some(&(cand_depth, next_peer)) = cursor.iter.next() {
+            heap.push(std::cmp::Reverse((
+                cursor.query_depth + cand_depth,
+                next_peer,
+                idx,
+            )));
+        }
+        if exclude.contains(&peer) || !seen.insert(peer) {
+            continue;
+        }
+        out.push(Neighbor { peer, dtree });
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
 /// The core data structure of §2: `HashMap<RouterId, ordered set>` where
 /// each router's entry keeps the peers whose stored path traverses it,
 /// ordered by their hop count below the router.
@@ -35,7 +100,7 @@ pub struct Neighbor {
 /// the cross-landmark fallback DESIGN.md §5 documents.
 #[derive(Debug, Default, Clone)]
 pub struct RouterIndex {
-    entries: HashMap<RouterId, BTreeSet<(u32, PeerId)>>,
+    entries: EntryMap,
     paths: HashMap<PeerId, PeerPath>,
 }
 
@@ -130,51 +195,7 @@ impl RouterIndex {
         k: usize,
         exclude: &HashSet<PeerId>,
     ) -> Vec<Neighbor> {
-        if k == 0 {
-            return Vec::new();
-        }
-        // One lazy cursor per query-path router; heap orders by combined
-        // depth (query depth + candidate depth below the shared router).
-        struct Cursor<'a> {
-            query_depth: u32,
-            iter: std::collections::btree_set::Iter<'a, (u32, PeerId)>,
-        }
-        // Max-heap → wrap in Reverse for a min-heap keyed by
-        // (dtree, peer, router position) for total determinism.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
-        let mut cursors: Vec<Cursor<'_>> = Vec::new();
-        for (router, query_depth) in query.with_depths() {
-            if let Some(set) = self.entries.get(&router) {
-                let mut iter = set.iter();
-                if let Some(&(cand_depth, peer)) = iter.next() {
-                    let idx = cursors.len();
-                    heap.push(std::cmp::Reverse((query_depth + cand_depth, peer, idx)));
-                    cursors.push(Cursor { query_depth, iter });
-                }
-            }
-        }
-
-        let mut seen: HashSet<PeerId> = HashSet::new();
-        let mut out = Vec::with_capacity(k);
-        while let Some(std::cmp::Reverse((dtree, peer, idx))) = heap.pop() {
-            // Advance the cursor this candidate came from.
-            let cursor = &mut cursors[idx];
-            if let Some(&(cand_depth, next_peer)) = cursor.iter.next() {
-                heap.push(std::cmp::Reverse((
-                    cursor.query_depth + cand_depth,
-                    next_peer,
-                    idx,
-                )));
-            }
-            if exclude.contains(&peer) || !seen.insert(peer) {
-                continue;
-            }
-            out.push(Neighbor { peer, dtree });
-            if out.len() == k {
-                break;
-            }
-        }
-        out
+        query_nearest_entries(&self.entries, query, k, exclude)
     }
 }
 

@@ -1,14 +1,22 @@
 //! The management server — round 2 of the paper's protocol.
+//!
+//! Since the directory refactor the server is a thin **facade** over
+//! per-landmark [`DirectoryShard`]s (see [`crate::directory`]): writes are
+//! routed to the shard owning the peer's landmark, reads take `&self` and
+//! merge per-shard answers, and only genuinely cross-landmark state —
+//! bridge distances, super-peer regions, aggregate counters — lives here.
 
+use crate::directory::DirectoryShard;
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
 use crate::path_tree::PathTree;
-use crate::router_index::{Neighbor, RouterIndex};
+use crate::router_index::Neighbor;
 use crate::superpeer::{SuperPeerConfig, SuperPeerDirectory};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,29 +127,38 @@ pub struct ServerStats {
     pub handovers: u64,
 }
 
+/// Read-path counters, interior-mutable so pure queries stay `&self` (and
+/// can be issued from many threads at once).
+#[derive(Debug, Default)]
+struct QueryCounters {
+    queries: AtomicU64,
+    cross_landmark_fills: AtomicU64,
+}
+
 /// The management server of §2: knows every peer's path to its landmark and
-/// answers "who is closest to this newcomer" from the [`RouterIndex`].
+/// answers "who is closest to this newcomer" — now as a facade over one
+/// [`DirectoryShard`] per landmark.
 ///
 /// The server never sees the topology at runtime — it only consumes router
 /// paths, exactly like the deployed system would. (The [`Self::bootstrap`]
 /// constructor uses the topology once, standing in for the real system's
 /// landmark-to-landmark traceroutes at startup.)
+///
+/// Concurrency contract: every read (`neighbors_of`, `closest_to_path`,
+/// `report`, the [`Self::index`] view) takes `&self`, so a populated server
+/// can be queried from any number of threads. Writes take `&mut self` and
+/// route to the owning shard; [`Self::shards_mut`] additionally exposes the
+/// shards themselves so disjoint shards can be *built* in parallel.
 pub struct ManagementServer {
     config: ServerConfig,
     landmark_routers: Vec<RouterId>,
     landmark_by_router: HashMap<RouterId, LandmarkId>,
     /// Hop distance between landmark routers (bootstrap measurements).
     landmark_dist: Vec<Vec<u32>>,
-    index: RouterIndex,
-    trees: Vec<PathTree>,
-    peer_landmark: HashMap<PeerId, LandmarkId>,
+    shards: Vec<DirectoryShard>,
     super_peers: Option<SuperPeerDirectory>,
-    stats: ServerStats,
-    /// Soft-state lease bookkeeping for faulty-peer expiry (W3): the epoch
-    /// at which each peer last checked in. Epochs are application-driven
-    /// ticks (e.g. heartbeat rounds), not wall clock — the server stays
-    /// deterministic.
-    last_seen: HashMap<PeerId, u64>,
+    counters: QueryCounters,
+    handovers: u64,
     epoch: u64,
 }
 
@@ -159,18 +176,20 @@ impl ManagementServer {
             .enumerate()
             .map(|(i, &r)| (r, LandmarkId(i as u32)))
             .collect();
-        let trees = landmark_routers.iter().map(|&r| PathTree::new(r)).collect();
+        let shards = landmark_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| DirectoryShard::new(LandmarkId(i as u32), r))
+            .collect();
         Self {
             super_peers: config.super_peers.map(SuperPeerDirectory::new),
             config,
             landmark_by_router,
             landmark_dist,
-            index: RouterIndex::new(),
-            trees,
-            peer_landmark: HashMap::new(),
-            stats: ServerStats::default(),
+            shards,
+            counters: QueryCounters::default(),
+            handovers: 0,
             landmark_routers,
-            last_seen: HashMap::new(),
             epoch: 0,
         }
     }
@@ -203,34 +222,67 @@ impl ManagementServer {
         &self.landmark_routers
     }
 
+    /// The landmark whose router is `router`, if any.
+    pub fn landmark_at_router(&self, router: RouterId) -> Option<LandmarkId> {
+        self.landmark_by_router.get(&router).copied()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
     }
 
-    /// Counters.
+    /// Counters. Join/leave counts are derived from the shards' lifetime
+    /// insert/remove counters (a handover re-inserts, which is compensated
+    /// here); query counts come from the atomic read-path counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        let inserts: u64 = self.shards.iter().map(|s| s.inserts()).sum();
+        let removals: u64 = self.shards.iter().map(|s| s.removals()).sum();
+        ServerStats {
+            joins: inserts - self.handovers,
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            cross_landmark_fills: self.counters.cross_landmark_fills.load(Ordering::Relaxed),
+            leaves: removals - self.handovers,
+            handovers: self.handovers,
+        }
     }
 
-    /// Registered peer count.
+    /// Registered peer count (all shards).
     pub fn peer_count(&self) -> usize {
-        self.index.len()
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// The per-landmark shards (read-only).
+    pub fn shards(&self) -> &[DirectoryShard] {
+        &self.shards
+    }
+
+    /// Mutable access to the per-landmark shards, for **shard-parallel
+    /// construction**: distinct shards share nothing, so disjoint `&mut`
+    /// slices of this can be handed to scoped threads, each inserting its
+    /// own landmark's batch (see `nearpeer-bench`'s swarm builder).
+    ///
+    /// The facade's own write methods keep cross-shard invariants (a peer
+    /// id registered in at most one shard); callers of this API take over
+    /// that responsibility for the peers they insert. Join/leave stats stay
+    /// correct automatically (they are derived from shard counters).
+    pub fn shards_mut(&mut self) -> &mut [DirectoryShard] {
+        &mut self.shards
     }
 
     /// The landmark a peer registered under.
     pub fn landmark_of(&self, peer: PeerId) -> Option<LandmarkId> {
-        self.peer_landmark.get(&peer).copied()
+        self.shard_idx_of(peer).map(|i| LandmarkId(i as u32))
     }
 
     /// The stored path of a peer.
     pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
-        self.index.path_of(peer)
+        self.shards.iter().find_map(|s| s.path_of(peer))
     }
 
     /// The landmark tree (analytics view).
     pub fn tree(&self, landmark: LandmarkId) -> Option<&PathTree> {
-        self.trees.get(landmark.index())
+        self.shards.get(landmark.index()).map(|s| s.tree())
     }
 
     /// The super-peer directory, when enabled.
@@ -238,9 +290,18 @@ impl ManagementServer {
         self.super_peers.as_ref()
     }
 
-    /// Direct access to the underlying index (read-only).
-    pub fn index(&self) -> &RouterIndex {
-        &self.index
+    /// Read-only merged view over all shards, kept source-compatible with
+    /// the pre-shard API that exposed the single global `RouterIndex`.
+    pub fn index(&self) -> DirectoryView<'_> {
+        DirectoryView { server: self }
+    }
+
+    /// O(#shards) hash probes per lookup — deliberate: a facade-level
+    /// peer→shard map would desynchronise under [`Self::shards_mut`]
+    /// parallel construction, and landmark counts are small (the paper
+    /// uses single digits). Revisit alongside the async-shard follow-on.
+    fn shard_idx_of(&self, peer: PeerId) -> Option<usize> {
+        self.shards.iter().position(|s| s.contains(peer))
     }
 
     fn landmark_for_path(&self, path: &PeerPath) -> Result<LandmarkId, CoreError> {
@@ -256,22 +317,28 @@ impl ManagementServer {
     }
 
     /// Round 2, newcomer insertion: stores the peer's path (`O(d·log n)`)
-    /// and answers its closest peers.
+    /// in its landmark's shard and answers its closest peers.
     pub fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
         let landmark = self.landmark_for_path(&path)?;
-        self.index.insert(peer, path.clone())?;
-        self.trees[landmark.index()].insert(peer, &path);
-        self.peer_landmark.insert(peer, landmark);
-        let delegate = if let Some(dir) = self.super_peers.as_mut() {
-            let delegate = dir.super_peer_for(&path);
-            dir.on_register(peer, &path);
-            delegate
-        } else {
-            None
+        if self.shard_idx_of(peer).is_some() {
+            // The owning shard would only catch a duplicate under the *same*
+            // landmark; the facade guards the cross-shard invariant.
+            return Err(CoreError::DuplicatePeer(peer));
+        }
+        let epoch = self.epoch;
+        self.shards[landmark.index()].insert(peer, path, epoch)?;
+        let path = self.shards[landmark.index()]
+            .path_of(peer)
+            .expect("just inserted");
+        let delegate = match self.super_peers.as_mut() {
+            Some(dir) => {
+                let delegate = dir.super_peer_for(path);
+                dir.on_register(peer, path);
+                delegate
+            }
+            None => None,
         };
-        self.stats.joins += 1;
-        self.last_seen.insert(peer, self.epoch);
-        let neighbors = self.closest_to_path(&path, self.config.neighbor_count, Some(peer));
+        let neighbors = self.closest_to_path(path, self.config.neighbor_count, Some(peer));
         Ok(JoinOutcome {
             landmark,
             neighbors,
@@ -279,28 +346,97 @@ impl ManagementServer {
         })
     }
 
+    /// Batched joins: validates and inserts the whole batch first (grouped
+    /// by landmark, amortising each shard's tree descent), then computes
+    /// every accepted newcomer's answer. Returns one result per input, in
+    /// input order.
+    ///
+    /// Batch semantics differ from a sequential register loop in one
+    /// documented way: answers reflect the **complete** batch, so a
+    /// newcomer's neighbor list may include peers that arrived later in the
+    /// same batch (a strictly better answer), and its delegate is the
+    /// super-peer elected after the whole batch (never the newcomer
+    /// itself). Rejected items (unknown landmark, duplicate id — including
+    /// duplicates within the batch, first occurrence wins) leave no trace.
+    pub fn register_batch(
+        &mut self,
+        batch: Vec<(PeerId, PeerPath)>,
+    ) -> Vec<Result<JoinOutcome, CoreError>> {
+        let epoch = self.epoch;
+        let mut results: Vec<Option<Result<JoinOutcome, CoreError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        let mut per_shard: Vec<Vec<(PeerId, PeerPath)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut accepted: Vec<(usize, PeerId, LandmarkId)> = Vec::with_capacity(batch.len());
+        let mut in_batch: HashSet<PeerId> = HashSet::with_capacity(batch.len());
+        for (i, (peer, path)) in batch.into_iter().enumerate() {
+            match self.landmark_for_path(&path) {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(landmark) => {
+                    if self.shard_idx_of(peer).is_some() || !in_batch.insert(peer) {
+                        results[i] = Some(Err(CoreError::DuplicatePeer(peer)));
+                    } else {
+                        per_shard[landmark.index()].push((peer, path));
+                        accepted.push((i, peer, landmark));
+                    }
+                }
+            }
+        }
+        for (shard, items) in self.shards.iter_mut().zip(per_shard) {
+            if !items.is_empty() {
+                shard.insert_batch(items, epoch);
+            }
+        }
+        if let Some(dir) = self.super_peers.as_mut() {
+            let shards = &self.shards;
+            dir.on_register_batch(accepted.iter().map(|&(_, peer, landmark)| {
+                let path = shards[landmark.index()]
+                    .path_of(peer)
+                    .expect("accepted items were inserted");
+                (peer, path)
+            }));
+        }
+        for (i, peer, landmark) in accepted {
+            let path = self.shards[landmark.index()]
+                .path_of(peer)
+                .expect("accepted items were inserted");
+            let delegate = self
+                .super_peers
+                .as_ref()
+                .and_then(|dir| dir.super_peer_for(path))
+                .filter(|&d| d != peer);
+            let neighbors = self.closest_to_path(path, self.config.neighbor_count, Some(peer));
+            results[i] = Some(Ok(JoinOutcome {
+                landmark,
+                neighbors,
+                delegate,
+            }));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot decided"))
+            .collect()
+    }
+
     /// Removes a departed (or failed) peer — churn, W3.
     pub fn deregister(&mut self, peer: PeerId) -> Result<(), CoreError> {
-        if self.index.remove(peer).is_none() {
+        let Some(idx) = self.shard_idx_of(peer) else {
             return Err(CoreError::UnknownPeer(peer));
-        }
-        if let Some(landmark) = self.peer_landmark.remove(&peer) {
-            self.trees[landmark.index()].remove(peer);
-        }
+        };
+        self.shards[idx].remove(peer);
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
-        self.last_seen.remove(&peer);
-        self.stats.leaves += 1;
         Ok(())
     }
 
     /// Records a heartbeat from a live peer (faulty-peer management, W3).
     pub fn heartbeat(&mut self, peer: PeerId) -> Result<(), CoreError> {
-        if !self.index.contains(peer) {
+        let Some(idx) = self.shard_idx_of(peer) else {
             return Err(CoreError::UnknownPeer(peer));
-        }
-        self.last_seen.insert(peer, self.epoch);
+        };
+        let epoch = self.epoch;
+        self.shards[idx].heartbeat(peer, epoch);
         Ok(())
     }
 
@@ -317,18 +453,18 @@ impl ManagementServer {
     }
 
     /// Expires every peer not seen for more than `max_age` epochs,
-    /// returning the expired ids — this is how silently failed peers leave
-    /// the index (the staleness W3 measures without it).
+    /// returning the expired ids in ascending order — this is how silently
+    /// failed peers leave the directory (the staleness W3 measures without
+    /// it). Expiries count as leaves.
     pub fn expire_stale(&mut self, max_age: u64) -> Vec<PeerId> {
         let cutoff = self.epoch.saturating_sub(max_age);
-        let stale: Vec<PeerId> = self
-            .last_seen
+        let mut stale: Vec<PeerId> = self
+            .shards
             .iter()
-            .filter(|&(_, &seen)| seen < cutoff)
-            .map(|(&p, _)| p)
+            .flat_map(|s| s.stale_peers(cutoff))
             .collect();
+        stale.sort_unstable();
         for &peer in &stale {
-            // deregister also removes last_seen; counted as a leave.
             let _ = self.deregister(peer);
         }
         stale
@@ -336,78 +472,116 @@ impl ManagementServer {
 
     /// Mobility handover (W3): the peer re-traceroutes from its new
     /// attachment and atomically replaces its record, receiving a fresh
-    /// neighbor list.
+    /// neighbor list. The new path is validated *before* the old record is
+    /// torn down, so a handover to an unknown landmark leaves the peer
+    /// registered where it was.
     pub fn handover(&mut self, peer: PeerId, new_path: PeerPath) -> Result<JoinOutcome, CoreError> {
-        if !self.index.contains(peer) {
+        if self.shard_idx_of(peer).is_none() {
             return Err(CoreError::UnknownPeer(peer));
         }
+        self.landmark_for_path(&new_path)?;
         self.deregister(peer)?;
-        // deregister/register both count; fix up the stats to count one
-        // handover instead of a leave+join.
-        self.stats.leaves -= 1;
         let outcome = self.register(peer, new_path)?;
-        self.stats.joins -= 1;
-        self.stats.handovers += 1;
+        // The shard counters saw one remove + one insert; `stats()` folds
+        // the pair into one handover.
+        self.handovers += 1;
         Ok(outcome)
     }
 
     /// The closest registered peers to an arbitrary query path (`O(1)` in
-    /// the population, per §2).
+    /// the population, per §2). Takes `&self`: per-shard answers (each the
+    /// shard's `k` best) merge losslessly because every peer's index
+    /// entries live in exactly one shard, and the query counters are
+    /// atomic — so this can run concurrently from many threads.
     pub fn closest_to_path(
-        &mut self,
+        &self,
         path: &PeerPath,
         k: usize,
         exclude: Option<PeerId>,
     ) -> Vec<Neighbor> {
-        self.stats.queries += 1;
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let excl: HashSet<PeerId> = exclude.into_iter().collect();
-        let mut result = self.index.query_nearest(path, k, &excl);
+        let mut result = self.query_nearest_merged(path, k, &excl);
         if result.len() < k && self.config.cross_landmark_fallback {
             let missing = k - result.len();
             let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
             let fill = self.cross_landmark_candidates(path, missing, &excl, &have);
-            self.stats.cross_landmark_fills += fill.len() as u64;
+            self.counters
+                .cross_landmark_fills
+                .fetch_add(fill.len() as u64, Ordering::Relaxed);
             result.extend(fill);
         }
         result
     }
 
-    /// Neighbors of an already-registered peer (fresh query).
-    pub fn neighbors_of(&mut self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
-        let path = self
-            .index
-            .path_of(peer)
-            .cloned()
-            .ok_or(CoreError::UnknownPeer(peer))?;
-        Ok(self.closest_to_path(&path, k, Some(peer)))
+    /// Neighbors of an already-registered peer (fresh query, `&self`).
+    pub fn neighbors_of(&self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
+        let path = self.path_of(peer).ok_or(CoreError::UnknownPeer(peer))?;
+        Ok(self.closest_to_path(path, k, Some(peer)))
     }
 
     /// Builds an operator-facing snapshot of the server's state.
     pub fn report(&self) -> ServerReport {
         let per_landmark = self
-            .trees
+            .shards
             .iter()
-            .enumerate()
-            .map(|(i, tree)| LandmarkReport {
-                landmark: LandmarkId(i as u32),
-                router: tree.root(),
-                peers: tree.n_peers(),
-                tree_routers: tree.n_nodes(),
-                route_inconsistencies: tree.inconsistencies(),
+            .map(|shard| {
+                let tree = shard.tree();
+                LandmarkReport {
+                    landmark: shard.landmark(),
+                    router: tree.root(),
+                    peers: tree.n_peers(),
+                    tree_routers: tree.n_nodes(),
+                    route_inconsistencies: tree.inconsistencies(),
+                }
             })
             .collect();
         ServerReport {
-            peers: self.index.len(),
-            indexed_routers: self.index.n_routers(),
+            peers: self.peer_count(),
+            indexed_routers: self.index().n_routers(),
             epoch: self.epoch,
             super_peers: self
                 .super_peers
                 .as_ref()
                 .map(|d| d.n_super_peers())
                 .unwrap_or(0),
-            stats: self.stats,
+            stats: self.stats(),
             per_landmark,
         }
+    }
+
+    /// The `k` best peers across all shards for a query path, ascending
+    /// `(dtree, peer)` — identical to what a single global index returns,
+    /// because the shards partition the peer set.
+    fn query_nearest_merged(
+        &self,
+        query: &PeerPath,
+        k: usize,
+        exclude: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        let mut merged: Vec<Neighbor> = Vec::with_capacity(k.saturating_mul(2));
+        for shard in &self.shards {
+            merged.extend(shard.query_nearest(query, k, exclude));
+        }
+        merged.sort_unstable_by_key(|n| (n.dtree, n.peer));
+        merged.truncate(k);
+        merged
+    }
+
+    /// All registered peers whose path traverses `router`, nearest-first —
+    /// a lazy k-way merge of the shards' ordered per-router lists.
+    fn peers_through_merged(&self, router: RouterId) -> MergedPeersThrough<'_> {
+        let mut heap = BinaryHeap::new();
+        let mut iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + '_>> = Vec::new();
+        for shard in &self.shards {
+            let mut iter = shard.peers_through(router);
+            if let Some((peer, depth)) = iter.next() {
+                let idx = iters.len();
+                heap.push(std::cmp::Reverse((depth, peer, idx)));
+                iters.push(Box::new(iter));
+            }
+        }
+        MergedPeersThrough { heap, iters }
     }
 
     /// Cross-landmark fill: rank foreign peers by
@@ -425,9 +599,14 @@ impl ManagementServer {
         };
         let query_depth = path.depth();
         // K-way merge over the other landmarks' peer lists (each ordered by
-        // depth below its landmark router).
+        // depth below its landmark router). Every cursor keeps its own
+        // `base` (= query depth + bridge): all its entries share it, and
+        // deriving it from a popped estimate instead (as this code once
+        // did, by subtracting the peer's *full* path depth) breaks — and
+        // underflows — for peers whose path merely traverses another
+        // landmark's router mid-path.
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
-        let mut iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + '_>> = Vec::new();
+        let mut iters: Vec<(u32, MergedPeersThrough<'_>)> = Vec::new();
         for (li, &lrouter) in self.landmark_routers.iter().enumerate() {
             if LandmarkId(li as u32) == own {
                 continue;
@@ -436,21 +615,20 @@ impl ManagementServer {
             if bridge == u32::MAX {
                 continue;
             }
-            let mut iter = self.index.peers_through(lrouter);
+            let base = query_depth + bridge;
+            let mut iter = self.peers_through_merged(lrouter);
             if let Some((peer, depth)) = iter.next() {
                 let idx = iters.len();
-                heap.push(std::cmp::Reverse((query_depth + bridge + depth, peer, idx)));
-                iters.push(Box::new(iter));
+                heap.push(std::cmp::Reverse((base + depth, peer, idx)));
+                iters.push((base, iter));
             }
         }
         let mut out = Vec::with_capacity(k);
         let mut emitted: HashSet<PeerId> = HashSet::new();
         while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
-            if let Some((next_peer, depth)) = iters[idx].next() {
-                // All entries of one iterator share the same bridge+query
-                // part; recover it from the popped estimate.
-                let base = est - self.index.path_of(peer).map_or(0, |p| p.depth());
-                heap.push(std::cmp::Reverse((base + depth, next_peer, idx)));
+            let (base, iter) = &mut iters[idx];
+            if let Some((next_peer, depth)) = iter.next() {
+                heap.push(std::cmp::Reverse((*base + depth, next_peer, idx)));
             }
             if exclude.contains(&peer) || already.contains(&peer) || !emitted.insert(peer) {
                 continue;
@@ -461,6 +639,97 @@ impl ManagementServer {
             }
         }
         out
+    }
+}
+
+/// Lazy ascending `(depth, peer)` merge of the shards' per-router lists.
+struct MergedPeersThrough<'a> {
+    heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>>,
+    iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + 'a>>,
+}
+
+impl Iterator for MergedPeersThrough<'_> {
+    type Item = (PeerId, u32);
+
+    fn next(&mut self) -> Option<(PeerId, u32)> {
+        let std::cmp::Reverse((depth, peer, idx)) = self.heap.pop()?;
+        if let Some((next_peer, next_depth)) = self.iters[idx].next() {
+            self.heap
+                .push(std::cmp::Reverse((next_depth, next_peer, idx)));
+        }
+        Some((peer, depth))
+    }
+}
+
+/// Read-only merged view over a [`ManagementServer`]'s shards, with the
+/// lookup surface the pre-shard global `RouterIndex` offered. Obtained from
+/// [`ManagementServer::index`]; all methods take `&self`.
+#[derive(Clone, Copy)]
+pub struct DirectoryView<'a> {
+    server: &'a ManagementServer,
+}
+
+impl DirectoryView<'_> {
+    /// Number of registered peers.
+    pub fn len(&self) -> usize {
+        self.server.peer_count()
+    }
+
+    /// Whether no peer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the peer is registered.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.server.shard_idx_of(peer).is_some()
+    }
+
+    /// The stored path of a peer.
+    pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
+        self.server.path_of(peer)
+    }
+
+    /// Iterator over all registered peers (shard by shard).
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.server.shards.iter().flat_map(|s| s.peers())
+    }
+
+    /// Number of distinct routers referenced by stored paths.
+    pub fn n_routers(&self) -> usize {
+        let distinct: HashSet<RouterId> = self
+            .server
+            .shards
+            .iter()
+            .flat_map(|s| s.routers())
+            .collect();
+        distinct.len()
+    }
+
+    /// Peers whose path traverses `router`, nearest-first (by hops below
+    /// the router).
+    pub fn peers_through(&self, router: RouterId) -> impl Iterator<Item = (PeerId, u32)> + '_ {
+        self.server.peers_through_merged(router)
+    }
+
+    /// Inferred tree distance between two *registered* peers.
+    pub fn dtree(&self, a: PeerId, b: PeerId) -> Option<u32> {
+        let pa = self.server.path_of(a)?;
+        let pb = self.server.path_of(b)?;
+        pa.dtree(pb).map(|(_, d)| d)
+    }
+
+    /// The `k` registered peers with smallest `dtree` to the query path,
+    /// ascending (ties by peer id). Unlike
+    /// [`ManagementServer::closest_to_path`] this raw view does not count
+    /// stats and never fills cross-landmark.
+    pub fn query_nearest(
+        &self,
+        query: &PeerPath,
+        k: usize,
+        exclude: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        self.server.query_nearest_merged(query, k, exclude)
     }
 }
 
@@ -513,6 +782,10 @@ mod tests {
         srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
         let err = srv.register(PeerId(1), path(&[5, 2, 1, 0])).unwrap_err();
         assert!(matches!(err, CoreError::DuplicatePeer(_)));
+        // Also across shards: the same peer under the *other* landmark.
+        let err = srv.register(PeerId(1), path(&[110, 105, 100])).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicatePeer(_)));
+        assert_eq!(srv.peer_count(), 1);
     }
 
     #[test]
@@ -550,6 +823,19 @@ mod tests {
     }
 
     #[test]
+    fn handover_to_unknown_landmark_is_atomic() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        let err = srv.handover(PeerId(1), path(&[7, 8, 99])).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownLandmark(_)));
+        // The peer keeps its old record; nothing was torn down.
+        assert_eq!(srv.landmark_of(PeerId(1)), Some(LandmarkId(0)));
+        assert_eq!(srv.peer_count(), 1);
+        let stats = srv.stats();
+        assert_eq!((stats.joins, stats.leaves, stats.handovers), (1, 0, 0));
+    }
+
+    #[test]
     fn cross_landmark_fallback_fills() {
         let mut srv = two_landmark_server(ServerConfig {
             neighbor_count: 3,
@@ -570,6 +856,31 @@ mod tests {
         assert_eq!(out.neighbors[1].dtree, 3 + 5 + 2);
         assert_eq!(out.neighbors[2].dtree, 3 + 5 + 3);
         assert_eq!(srv.stats().cross_landmark_fills - fills_before, 2);
+    }
+
+    #[test]
+    fn fallback_handles_paths_traversing_foreign_landmark_routers() {
+        // Landmarks 0 and 100, one hop apart. px's path *traverses* router
+        // 0 (landmark A's router) mid-way while terminating at landmark B —
+        // so the fill cursor over router 0 yields px at a depth smaller
+        // than its full path depth. The old base recovery (est minus full
+        // depth) underflowed exactly here.
+        let mut srv = ManagementServer::new(
+            vec![RouterId(0), RouterId(100)],
+            vec![vec![0, 1], vec![1, 0]],
+            ServerConfig {
+                neighbor_count: 3,
+                ..ServerConfig::default()
+            },
+        );
+        srv.register(PeerId(1), path(&[60, 0, 105, 100])).unwrap(); // px
+        srv.register(PeerId(2), path(&[70, 1, 0])).unwrap(); // py
+                                                             // Newcomer sits on landmark B's own router (query depth 0).
+        let out = srv.register(PeerId(3), path(&[100])).unwrap();
+        let got: Vec<(PeerId, u32)> = out.neighbors.iter().map(|n| (n.peer, n.dtree)).collect();
+        // px via the shared router 100 (dtree 0+3), then py as a bridge
+        // fill: query depth 0 + bridge 1 + py's depth 2 below router 0.
+        assert_eq!(got, vec![(PeerId(1), 3), (PeerId(2), 3)]);
     }
 
     #[test]
@@ -683,5 +994,185 @@ mod tests {
             srv.neighbors_of(PeerId(9), 3),
             Err(CoreError::UnknownPeer(_))
         ));
+    }
+
+    #[test]
+    fn register_batch_matches_input_order_and_counts() {
+        let mut srv = two_landmark_server(ServerConfig {
+            neighbor_count: 3,
+            ..ServerConfig::default()
+        });
+        srv.register(PeerId(7), path(&[9, 2, 1, 0])).unwrap();
+        let results = srv.register_batch(vec![
+            (PeerId(1), path(&[4, 2, 1, 0])),
+            (PeerId(2), path(&[6, 7, 42])),      // unknown landmark
+            (PeerId(7), path(&[5, 2, 1, 0])),    // duplicate of pre-registered
+            (PeerId(3), path(&[110, 105, 100])), // other shard
+            (PeerId(1), path(&[8, 2, 1, 0])),    // duplicate within batch
+        ]);
+        assert_eq!(results.len(), 5);
+        let ok = results[0].as_ref().unwrap();
+        assert_eq!(ok.landmark, LandmarkId(0));
+        // Batch answers see the whole batch: peer 3 (other landmark) is a
+        // cross-landmark fill for peer 1 even though it "arrived later".
+        let peers: Vec<PeerId> = ok.neighbors.iter().map(|n| n.peer).collect();
+        assert_eq!(peers, vec![PeerId(7), PeerId(3)]);
+        assert!(matches!(results[1], Err(CoreError::UnknownLandmark(_))));
+        assert!(matches!(results[2], Err(CoreError::DuplicatePeer(_))));
+        assert_eq!(results[3].as_ref().unwrap().landmark, LandmarkId(1));
+        assert!(matches!(results[4], Err(CoreError::DuplicatePeer(_))));
+        assert_eq!(srv.peer_count(), 3);
+        let stats = srv.stats();
+        assert_eq!(stats.joins, 3);
+        // One query per successful join (1 sequential + 2 batch).
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn register_batch_equals_sequential_final_state() {
+        let joins: Vec<(PeerId, PeerPath)> = vec![
+            (PeerId(1), path(&[4, 2, 1, 0])),
+            (PeerId(2), path(&[5, 2, 1, 0])),
+            (PeerId(3), path(&[110, 105, 100])),
+            (PeerId(4), path(&[6, 3, 1, 0])),
+        ];
+        let mut seq = two_landmark_server(ServerConfig::default());
+        for (p, path) in joins.clone() {
+            seq.register(p, path).unwrap();
+        }
+        let mut bat = two_landmark_server(ServerConfig::default());
+        for r in bat.register_batch(joins) {
+            r.unwrap();
+        }
+        // Identical directory state. (Query-path counters legitimately
+        // differ: batch answers are computed against the full batch, so
+        // they can include cross-landmark fills a growing sequential
+        // population did not need yet.)
+        let (br, sr) = (bat.report(), seq.report());
+        assert_eq!(br.peers, sr.peers);
+        assert_eq!(br.indexed_routers, sr.indexed_routers);
+        assert_eq!(br.per_landmark, sr.per_landmark);
+        assert_eq!(br.stats.joins, sr.stats.joins);
+        assert_eq!(br.stats.queries, sr.stats.queries);
+        for p in [1u64, 2, 3, 4] {
+            assert_eq!(
+                bat.neighbors_of(PeerId(p), 3).unwrap(),
+                seq.neighbors_of(PeerId(p), 3).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_parallel_build_equals_sequential() {
+        let joins: Vec<(PeerId, PeerPath)> = (0..40u64)
+            .map(|i| {
+                let lm = i % 2;
+                let p = if lm == 0 {
+                    path(&[1000 + i as u32, 2 + (i % 3) as u32, 1, 0])
+                } else {
+                    path(&[1000 + i as u32, 105 + (i % 3) as u32, 101, 100])
+                };
+                (PeerId(i), p)
+            })
+            .collect();
+        let mut seq = two_landmark_server(ServerConfig::default());
+        for (p, path) in joins.clone() {
+            seq.register(p, path).unwrap();
+        }
+
+        let mut par = two_landmark_server(ServerConfig::default());
+        let epoch = par.epoch();
+        let mut groups: Vec<Vec<(PeerId, PeerPath)>> = vec![Vec::new(), Vec::new()];
+        for (p, path) in joins {
+            let lm = par.landmark_at_router(path.landmark_router()).unwrap();
+            groups[lm.index()].push((p, path));
+        }
+        std::thread::scope(|scope| {
+            for (shard, items) in par.shards_mut().iter_mut().zip(groups) {
+                scope.spawn(move || shard.insert_batch(items, epoch));
+            }
+        });
+        assert_eq!(par.peer_count(), seq.peer_count());
+        assert_eq!(par.stats().joins, seq.stats().joins);
+        for p in 0..40u64 {
+            assert_eq!(
+                par.neighbors_of(PeerId(p), 4).unwrap(),
+                seq.neighbors_of(PeerId(p), 4).unwrap(),
+                "peer {p}"
+            );
+        }
+        assert_eq!(
+            par.report().per_landmark,
+            seq.report().per_landmark,
+            "tree shapes must match"
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_on_shared_server() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        for i in 0..20u64 {
+            srv.register(PeerId(i), path(&[50 + i as u32, 2, 1, 0]))
+                .unwrap();
+        }
+        let srv = &srv;
+        let answers = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (0..20u64)
+                            .map(|i| srv.neighbors_of(PeerId((i + t) % 20), 5).unwrap().len())
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert!(answers.iter().all(|&a| a == answers[0]));
+        // 80 concurrent queries were all counted.
+        assert_eq!(srv.stats().queries, 20 + 80);
+    }
+
+    #[test]
+    fn index_view_matches_server_state() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        srv.register(PeerId(3), path(&[110, 105, 100])).unwrap();
+        let view = srv.index();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert!(view.contains(PeerId(3)));
+        assert_eq!(view.dtree(PeerId(1), PeerId(2)), Some(2));
+        assert_eq!(view.dtree(PeerId(1), PeerId(3)), None);
+        assert_eq!(view.path_of(PeerId(3)).unwrap().attach(), RouterId(110));
+        let through2: Vec<_> = view.peers_through(RouterId(2)).collect();
+        assert_eq!(through2, vec![(PeerId(1), 1), (PeerId(2), 1)]);
+        let mut peers: Vec<PeerId> = view.peers().collect();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![PeerId(1), PeerId(2), PeerId(3)]);
+        // 8 routers total: {4,2,1,0} ∪ {5} ∪ {110,105,100}.
+        assert_eq!(view.n_routers(), 8);
+        let q = path(&[4, 2, 1, 0]);
+        let res = view.query_nearest(&q, 2, &HashSet::new());
+        assert_eq!(res[0].peer, PeerId(1));
+        assert_eq!(res[0].dtree, 0);
+    }
+
+    #[test]
+    fn paths_are_interned_per_shard() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(3), path(&[5, 2, 1, 0])).unwrap();
+        let store = srv.shards()[0].path_store();
+        assert_eq!(store.distinct(), 2);
+        assert_eq!(store.dedup_hits(), 1);
+        srv.deregister(PeerId(1)).unwrap();
+        srv.deregister(PeerId(2)).unwrap();
+        assert_eq!(srv.shards()[0].path_store().distinct(), 1);
     }
 }

@@ -1,0 +1,458 @@
+//! Property test: the sharded directory behind [`ManagementServer`] is
+//! observationally identical to a reference **single-shard** build — one
+//! global [`RouterIndex`] plus per-landmark [`PathTree`]s, the pre-refactor
+//! layout — for random topologies, arrival orders and operation
+//! interleavings: `register`, `register_batch`, `deregister`, `handover`,
+//! heartbeats and lease expiry all produce the same [`JoinOutcome`]s,
+//! errors, neighbor answers and counters.
+
+use nearpeer_core::{
+    CoreError, JoinOutcome, LandmarkId, ManagementServer, Neighbor, PathTree, PeerId, PeerPath,
+    RouterIndex, ServerConfig, SuperPeerConfig, SuperPeerDirectory,
+};
+use nearpeer_topology::RouterId;
+use proptest::prelude::*;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+const K: usize = 4;
+const LM_ROUTERS: [u32; 3] = [0, 1_000, 2_000];
+const LM_DIST: [[u32; 3]; 3] = [[0, 3, 7], [3, 0, 4], [7, 4, 0]];
+
+/// The reference: the pre-refactor server layout — one global index over
+/// every landmark's peers — re-implemented on the public data structures.
+struct ReferenceServer {
+    index: RouterIndex,
+    trees: Vec<PathTree>,
+    peer_landmark: HashMap<PeerId, LandmarkId>,
+    super_peers: SuperPeerDirectory,
+    last_seen: HashMap<PeerId, u64>,
+    epoch: u64,
+    joins: u64,
+    leaves: u64,
+    handovers: u64,
+}
+
+impl ReferenceServer {
+    fn new(sp: SuperPeerConfig) -> Self {
+        Self {
+            index: RouterIndex::new(),
+            trees: LM_ROUTERS
+                .iter()
+                .map(|&r| PathTree::new(RouterId(r)))
+                .collect(),
+            peer_landmark: HashMap::new(),
+            super_peers: SuperPeerDirectory::new(sp),
+            last_seen: HashMap::new(),
+            epoch: 0,
+            joins: 0,
+            leaves: 0,
+            handovers: 0,
+        }
+    }
+
+    fn landmark_for(&self, path: &PeerPath) -> Result<LandmarkId, CoreError> {
+        LM_ROUTERS
+            .iter()
+            .position(|&r| RouterId(r) == path.landmark_router())
+            .map(|i| LandmarkId(i as u32))
+            .ok_or_else(|| CoreError::UnknownLandmark(String::new()))
+    }
+
+    /// Seed-style query over the single global index, including the
+    /// cross-landmark bridge fill.
+    fn closest(&self, path: &PeerPath, k: usize, exclude: Option<PeerId>) -> Vec<Neighbor> {
+        let excl: HashSet<PeerId> = exclude.into_iter().collect();
+        let mut result = self.index.query_nearest(path, k, &excl);
+        if result.len() < k {
+            let Ok(own) = self.landmark_for(path) else {
+                return result;
+            };
+            let missing = k - result.len();
+            let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
+            let query_depth = path.depth();
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+            // (base, cursor) per foreign landmark, like the facade: every
+            // cursor entry shares base = query depth + bridge.
+            type Cursor<'a> = (u32, Box<dyn Iterator<Item = (PeerId, u32)> + 'a>);
+            let mut iters: Vec<Cursor<'_>> = Vec::new();
+            for (li, &lrouter) in LM_ROUTERS.iter().enumerate() {
+                if LandmarkId(li as u32) == own {
+                    continue;
+                }
+                let base = query_depth + LM_DIST[own.index()][li];
+                let mut iter = self.index.peers_through(RouterId(lrouter));
+                if let Some((peer, depth)) = iter.next() {
+                    let idx = iters.len();
+                    heap.push(std::cmp::Reverse((base + depth, peer, idx)));
+                    iters.push((base, Box::new(iter)));
+                }
+            }
+            let mut emitted: HashSet<PeerId> = HashSet::new();
+            let mut fill = Vec::with_capacity(missing);
+            while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
+                let (base, iter) = &mut iters[idx];
+                if let Some((next_peer, depth)) = iter.next() {
+                    heap.push(std::cmp::Reverse((*base + depth, next_peer, idx)));
+                }
+                if excl.contains(&peer) || have.contains(&peer) || !emitted.insert(peer) {
+                    continue;
+                }
+                fill.push(Neighbor { peer, dtree: est });
+                if fill.len() == missing {
+                    break;
+                }
+            }
+            result.extend(fill);
+        }
+        result
+    }
+
+    fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        let landmark = self.landmark_for(&path)?;
+        self.index.insert(peer, path.clone())?;
+        self.trees[landmark.index()].insert(peer, &path);
+        self.peer_landmark.insert(peer, landmark);
+        let delegate = self.super_peers.super_peer_for(&path);
+        self.super_peers.on_register(peer, &path);
+        self.last_seen.insert(peer, self.epoch);
+        self.joins += 1;
+        let neighbors = self.closest(&path, K, Some(peer));
+        Ok(JoinOutcome {
+            landmark,
+            neighbors,
+            delegate,
+        })
+    }
+
+    /// Mirrors the documented two-phase batch semantics: validate and
+    /// insert everything, then answer against the complete batch.
+    fn register_batch(
+        &mut self,
+        batch: Vec<(PeerId, PeerPath)>,
+    ) -> Vec<Result<JoinOutcome, CoreError>> {
+        let mut results: Vec<Option<Result<JoinOutcome, CoreError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        let mut accepted: Vec<(usize, PeerId, PeerPath, LandmarkId)> = Vec::new();
+        let mut in_batch: HashSet<PeerId> = HashSet::new();
+        for (i, (peer, path)) in batch.into_iter().enumerate() {
+            match self.landmark_for(&path) {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(lm) => {
+                    if self.index.contains(peer) || !in_batch.insert(peer) {
+                        results[i] = Some(Err(CoreError::DuplicatePeer(peer)));
+                    } else {
+                        accepted.push((i, peer, path, lm));
+                    }
+                }
+            }
+        }
+        for (_, peer, path, lm) in &accepted {
+            self.index.insert(*peer, path.clone()).expect("validated");
+            self.trees[lm.index()].insert(*peer, path);
+            self.peer_landmark.insert(*peer, *lm);
+            self.last_seen.insert(*peer, self.epoch);
+            self.joins += 1;
+        }
+        for (_, peer, path, _) in &accepted {
+            self.super_peers.on_register(*peer, path);
+        }
+        for (i, peer, path, landmark) in accepted {
+            let delegate = self
+                .super_peers
+                .super_peer_for(&path)
+                .filter(|&d| d != peer);
+            let neighbors = self.closest(&path, K, Some(peer));
+            results[i] = Some(Ok(JoinOutcome {
+                landmark,
+                neighbors,
+                delegate,
+            }));
+        }
+        results.into_iter().map(|r| r.expect("decided")).collect()
+    }
+
+    fn deregister(&mut self, peer: PeerId) -> Result<(), CoreError> {
+        if self.index.remove(peer).is_none() {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        if let Some(lm) = self.peer_landmark.remove(&peer) {
+            self.trees[lm.index()].remove(peer);
+        }
+        self.super_peers.on_deregister(peer);
+        self.last_seen.remove(&peer);
+        self.leaves += 1;
+        Ok(())
+    }
+
+    fn handover(&mut self, peer: PeerId, new_path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        if !self.index.contains(peer) {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        self.landmark_for(&new_path)?;
+        self.deregister(peer)?;
+        let out = self.register(peer, new_path)?;
+        self.joins -= 1;
+        self.leaves -= 1;
+        self.handovers += 1;
+        Ok(out)
+    }
+
+    fn heartbeat(&mut self, peer: PeerId) -> Result<(), CoreError> {
+        if !self.index.contains(peer) {
+            return Err(CoreError::UnknownPeer(peer));
+        }
+        self.last_seen.insert(peer, self.epoch);
+        Ok(())
+    }
+
+    fn expire_stale(&mut self, max_age: u64) -> Vec<PeerId> {
+        let cutoff = self.epoch.saturating_sub(max_age);
+        let mut stale: Vec<PeerId> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &seen)| seen < cutoff)
+            .map(|(&p, _)| p)
+            .collect();
+        stale.sort_unstable();
+        for &p in &stale {
+            let _ = self.deregister(p);
+        }
+        stale
+    }
+}
+
+/// A join payload drawn by the fuzzer. Paths are built from three disjoint
+/// id ranges (access 50k+, mids 100..140, landmarks) so they are loop-free
+/// by construction; the shared mid pool makes paths from *different*
+/// landmarks cross at common routers, exercising cross-shard meetings and
+/// bridge fills hard.
+#[derive(Debug, Clone, Copy)]
+struct JoinSpec {
+    peer: u8,
+    landmark: u8,
+    access: u16,
+    mids: u64,
+    depth: u8,
+}
+
+fn spec_path(s: JoinSpec) -> PeerPath {
+    // landmark % 4 == 3 → unknown landmark router (error-path parity).
+    let lm_router = match s.landmark % 4 {
+        0 => LM_ROUTERS[0],
+        1 => LM_ROUTERS[1],
+        2 => LM_ROUTERS[2],
+        _ => 9_999,
+    };
+    let mut routers = vec![RouterId(50_000 + (s.access % 64) as u32)];
+    let depth = (s.depth % 5) as usize;
+    // Sample `depth` distinct mids from the shared pool, seeded by `mids`.
+    // Some of the time the pool also offers *foreign landmark routers*, so
+    // paths legally traverse another landmark mid-way — the case the
+    // bridge-fill cursors must estimate with the depth below that router,
+    // not the peer's full path depth.
+    let mut pool: Vec<u32> = (100..140).collect();
+    if s.mids % 3 == 0 {
+        pool.extend(LM_ROUTERS.iter().copied().filter(|&r| r != lm_router));
+    }
+    let mut state = s.mids | 1;
+    for _ in 0..depth {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = (state >> 33) as usize % pool.len();
+        routers.push(RouterId(pool.swap_remove(pick)));
+    }
+    routers.push(RouterId(lm_router));
+    PeerPath::new(routers).expect("disjoint id ranges are loop-free")
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(JoinSpec),
+    RegisterBatch(Vec<JoinSpec>),
+    Deregister { peer: u8 },
+    Handover(JoinSpec),
+    Heartbeat { peer: u8 },
+    AdvanceEpoch,
+    ExpireStale { max_age: u8 },
+    Query { peer: u8, k: u8 },
+}
+
+fn arb_spec() -> impl Strategy<Value = JoinSpec> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u8>(),
+    )
+        .prop_map(|(peer, landmark, access, mids, depth)| JoinSpec {
+            peer: peer % 24,
+            landmark,
+            access,
+            mids,
+            depth,
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_spec().prop_map(Op::Register),
+        prop::collection::vec(arb_spec(), 1..7).prop_map(Op::RegisterBatch),
+        any::<u8>().prop_map(|peer| Op::Deregister { peer: peer % 24 }),
+        arb_spec().prop_map(Op::Handover),
+        any::<u8>().prop_map(|peer| Op::Heartbeat { peer: peer % 24 }),
+        Just(Op::AdvanceEpoch),
+        any::<u8>().prop_map(|max_age| Op::ExpireStale {
+            max_age: max_age % 6
+        }),
+        (any::<u8>(), 1u8..8).prop_map(|(peer, k)| Op::Query { peer: peer % 24, k }),
+    ]
+}
+
+fn same_error(a: &CoreError, b: &CoreError) -> bool {
+    matches!(
+        (a, b),
+        (CoreError::DuplicatePeer(x), CoreError::DuplicatePeer(y)) if x == y
+    ) || matches!(
+        (a, b),
+        (CoreError::UnknownPeer(x), CoreError::UnknownPeer(y)) if x == y
+    ) || matches!(
+        (a, b),
+        (CoreError::UnknownLandmark(_), CoreError::UnknownLandmark(_))
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sharded_server_equals_single_shard_reference(
+        ops in prop::collection::vec(arb_op(), 1..80)
+    ) {
+        let sp = SuperPeerConfig { region_depth: 2, promote_threshold: 3 };
+        let mut server = ManagementServer::new(
+            LM_ROUTERS.iter().map(|&r| RouterId(r)).collect(),
+            LM_DIST.iter().map(|row| row.to_vec()).collect(),
+            ServerConfig {
+                neighbor_count: K,
+                cross_landmark_fallback: true,
+                super_peers: Some(sp),
+            },
+        );
+        let mut reference = ReferenceServer::new(sp);
+
+        for op in ops {
+            match op {
+                Op::Register(spec) => {
+                    let peer = PeerId(spec.peer as u64);
+                    let path = spec_path(spec);
+                    let got = server.register(peer, path.clone());
+                    let want = reference.register(peer, path);
+                    match (&got, &want) {
+                        (Ok(g), Ok(w)) => prop_assert_eq!(g, w),
+                        (Err(g), Err(w)) => prop_assert!(same_error(g, w), "{} vs {}", g, w),
+                        _ => prop_assert!(false, "diverged: {:?} vs {:?}", got, want),
+                    }
+                }
+                Op::RegisterBatch(specs) => {
+                    let batch: Vec<(PeerId, PeerPath)> = specs
+                        .iter()
+                        .map(|&s| (PeerId(s.peer as u64), spec_path(s)))
+                        .collect();
+                    let got = server.register_batch(batch.clone());
+                    let want = reference.register_batch(batch);
+                    prop_assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(&want) {
+                        match (g, w) {
+                            (Ok(g), Ok(w)) => prop_assert_eq!(g, w),
+                            (Err(g), Err(w)) => prop_assert!(same_error(g, w), "{} vs {}", g, w),
+                            _ => prop_assert!(false, "diverged: {:?} vs {:?}", g, w),
+                        }
+                    }
+                }
+                Op::Deregister { peer } => {
+                    let peer = PeerId(peer as u64);
+                    let got = server.deregister(peer);
+                    let want = reference.deregister(peer);
+                    prop_assert_eq!(got.is_ok(), want.is_ok());
+                }
+                Op::Handover(spec) => {
+                    let peer = PeerId(spec.peer as u64);
+                    let path = spec_path(spec);
+                    let got = server.handover(peer, path.clone());
+                    let want = reference.handover(peer, path);
+                    match (&got, &want) {
+                        (Ok(g), Ok(w)) => prop_assert_eq!(g, w),
+                        (Err(g), Err(w)) => prop_assert!(same_error(g, w), "{} vs {}", g, w),
+                        _ => prop_assert!(false, "diverged: {:?} vs {:?}", got, want),
+                    }
+                }
+                Op::Heartbeat { peer } => {
+                    let peer = PeerId(peer as u64);
+                    prop_assert_eq!(
+                        server.heartbeat(peer).is_ok(),
+                        reference.heartbeat(peer).is_ok()
+                    );
+                }
+                Op::AdvanceEpoch => {
+                    server.advance_epoch();
+                    reference.epoch += 1;
+                }
+                Op::ExpireStale { max_age } => {
+                    prop_assert_eq!(
+                        server.expire_stale(max_age as u64),
+                        reference.expire_stale(max_age as u64)
+                    );
+                }
+                Op::Query { peer, k } => {
+                    let peer = PeerId(peer as u64);
+                    let got = server.neighbors_of(peer, k as usize);
+                    match (got, reference.index.path_of(peer).cloned()) {
+                        (Ok(neigh), Some(path)) => {
+                            prop_assert_eq!(
+                                neigh,
+                                reference.closest(&path, k as usize, Some(peer))
+                            );
+                        }
+                        (Err(CoreError::UnknownPeer(_)), None) => {}
+                        (got, path) => prop_assert!(
+                            false,
+                            "diverged: {:?} vs reference path {:?}",
+                            got,
+                            path
+                        ),
+                    }
+                }
+            }
+
+            // Cross-cutting invariants after every operation.
+            prop_assert_eq!(server.peer_count(), reference.index.len());
+            prop_assert_eq!(server.index().n_routers(), reference.index.n_routers());
+            for p in 0..24u64 {
+                let peer = PeerId(p);
+                prop_assert_eq!(
+                    server.landmark_of(peer),
+                    reference.peer_landmark.get(&peer).copied()
+                );
+                prop_assert_eq!(server.path_of(peer), reference.index.path_of(peer));
+            }
+            for (li, tree) in reference.trees.iter().enumerate() {
+                let shard_tree = server.tree(LandmarkId(li as u32)).expect("landmark exists");
+                prop_assert_eq!(shard_tree.n_peers(), tree.n_peers());
+                prop_assert_eq!(shard_tree.n_nodes(), tree.n_nodes());
+                prop_assert_eq!(shard_tree.inconsistencies(), tree.inconsistencies());
+            }
+        }
+
+        // Counter parity at the end of the run.
+        let stats = server.stats();
+        prop_assert_eq!(stats.joins, reference.joins);
+        prop_assert_eq!(stats.leaves, reference.leaves);
+        prop_assert_eq!(stats.handovers, reference.handovers);
+        prop_assert_eq!(
+            server.super_peer_directory().unwrap().n_super_peers(),
+            reference.super_peers.n_super_peers()
+        );
+    }
+}

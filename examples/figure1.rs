@@ -63,7 +63,7 @@ fn main() {
 
     // Despite the stretch on (p1, p2), ranking survives: p2 is still p1's
     // closest peer.
-    let mut srv = server;
+    let srv = server;
     let best = srv.neighbors_of(PeerId(1), 1).unwrap();
     println!(
         "\nserver's closest peer for p1: p{} (expected p2)",

@@ -1,10 +1,17 @@
 //! Offline stand-in for `crossbeam` (0.8 API subset).
 //!
-//! Provides only [`channel::unbounded`]: a multi-producer multi-consumer
+//! Provides [`channel::unbounded`]: a multi-producer multi-consumer
 //! FIFO built on `Mutex<VecDeque>` + `Condvar`. Slower than crossbeam's
 //! lock-free queue but semantically identical for the sweep runner's
 //! work-distribution pattern (clonable receivers, disconnect on last
 //! sender drop, blocking `recv`, iteration until disconnect).
+//!
+//! Also provides [`thread::scope`] (re-exported as [`scope`]): crossbeam's
+//! scoped-thread API implemented on `std::thread::scope`. The closure
+//! passed to `Scope::spawn` receives `&Scope` exactly like upstream, so
+//! nested spawns work; the outer call returns `thread::Result` (always
+//! `Ok` here — std scoped threads propagate panics directly instead of
+//! collecting them).
 
 #![forbid(unsafe_code)]
 
@@ -198,6 +205,47 @@ pub mod channel {
     }
 }
 
+/// Scoped threads (crossbeam 0.8 `thread` module subset).
+pub mod thread {
+    use std::thread as sthread;
+
+    /// A join handle for a scoped thread (std's, re-exported under the
+    /// crossbeam name).
+    pub type ScopedJoinHandle<'scope, T> = sthread::ScopedJoinHandle<'scope, T>;
+
+    /// The scope handle passed to [`scope`]'s closure; threads spawned
+    /// through it may borrow from the enclosing environment and are joined
+    /// before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope sthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Like upstream crossbeam, the closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; every spawned thread
+    /// is joined before this returns. Always `Ok` in this shim (a panicking
+    /// scoped thread propagates its panic at join, std semantics).
+    pub fn scope<'env, F, R>(f: F) -> sthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(sthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
 #[cfg(test)]
 mod tests {
     use super::channel;
@@ -255,5 +303,23 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(channel::SendError(5)));
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        super::scope(|s| {
+            let (lo, hi) = partial.split_at_mut(1);
+            let handle = s.spawn(|_| data[..2].iter().sum::<u64>());
+            // Nested spawn through the scope handle, like upstream.
+            s.spawn(|s2| {
+                let inner = s2.spawn(|_| data[2..].iter().sum::<u64>());
+                hi[0] = inner.join().unwrap();
+            });
+            lo[0] = handle.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(partial, vec![3, 7]);
     }
 }

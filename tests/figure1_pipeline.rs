@@ -78,7 +78,7 @@ fn dtree_discrepancy_matches_the_paper() {
 
 #[test]
 fn server_ranks_p2_closest_to_p1_despite_the_stretch() {
-    let (_fig, mut server) = joined_server();
+    let (_fig, server) = joined_server();
     let best = server.neighbors_of(PeerId(1), 3).unwrap();
     assert_eq!(best[0].peer, PeerId(2), "p2 must rank first for p1");
     // And p1 first for p2, symmetrically.
