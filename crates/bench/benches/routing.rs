@@ -36,11 +36,24 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| oracle.rtt_us(src, dst));
     });
 
+    // Zero-allocation lockstep walk up the destination tree (used to build
+    // a HashSet + two Vec paths per query).
     c.bench_function("routing/branch_point", |b| {
         let oracle = RouteOracle::new(&topo);
         let mid = RouterId(0);
         let _ = oracle.route(access[1], mid);
         b.iter(|| oracle.branch_point(src, access[1], mid));
+    });
+
+    // Eager landmark-tree arena (parallel on multi-core hosts), the fixed
+    // cost every swarm build pays before round 1 can fan out.
+    c.bench_function("routing/oracle_arena_8_landmarks", |b| {
+        let dsts: Vec<RouterId> = topo
+            .routers()
+            .step_by(topo.n_routers() / 8)
+            .take(8)
+            .collect();
+        b.iter(|| RouteOracle::with_destinations(&topo, &dsts).precomputed_trees());
     });
 }
 

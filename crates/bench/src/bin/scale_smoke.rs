@@ -1,14 +1,19 @@
-//! Scale smoke test: build a 10k-peer swarm through the batched,
-//! shard-parallel directory path inside a wall-clock budget.
+//! Scale smoke test: build a 10k-peer swarm — parallel round-1 tracing
+//! through the shared route oracle, then the batched, shard-parallel
+//! directory path — inside a wall-clock budget.
 //!
-//! This is the CI guard for the sharded-server refactor: if shard-parallel
-//! construction regresses (accidental serialisation, quadratic descent,
-//! lost batching), the budget blows and CI goes red. Run it in release
-//! mode; the budget is generous on purpose — it catches order-of-magnitude
-//! regressions, not noise.
+//! This is the CI guard for both scaling refactors: if shard-parallel
+//! construction or parallel tracing regresses (accidental serialisation,
+//! quadratic descent, lost batching), the budget blows and CI goes red. The
+//! trace-phase vs register-phase wall-clock split is printed so a regression
+//! report says *which* round slowed down. Run it in release mode; the budget
+//! is generous on purpose — it catches order-of-magnitude regressions, not
+//! noise. Both parallel paths degrade gracefully to their sequential
+//! equivalents on a single-core runner.
 //!
 //! ```sh
-//! cargo run --release -p nearpeer-bench --bin scale_smoke -- [--peers N] [--budget-secs S]
+//! cargo run --release -p nearpeer-bench --bin scale_smoke -- \
+//!     [--peers N] [--budget-secs S] [--trace-threads T]
 //! ```
 
 use nearpeer_bench::{BuildStrategy, Swarm, SwarmConfig};
@@ -18,12 +23,14 @@ use std::time::Instant;
 struct Args {
     peers: usize,
     budget_secs: u64,
+    trace_threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         peers: 10_000,
         budget_secs: 120,
+        trace_threads: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -38,7 +45,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --budget-secs value {v}"))?;
             }
-            "--help" | "-h" => return Err("usage: [--peers N] [--budget-secs S]".into()),
+            "--trace-threads" => {
+                let v = iter.next().ok_or("--trace-threads needs a value")?;
+                let t: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --trace-threads value {v}"))?;
+                if t == 0 {
+                    return Err("--trace-threads must be >= 1".into());
+                }
+                out.trace_threads = Some(t);
+            }
+            "--help" | "-h" => {
+                return Err("usage: [--peers N] [--budget-secs S] [--trace-threads T]".into())
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -68,6 +87,7 @@ fn main() {
         n_peers: args.peers,
         n_landmarks: 8,
         build: BuildStrategy::ShardParallel,
+        trace_threads: args.trace_threads,
         ..SwarmConfig::default()
     };
     let t1 = Instant::now();
@@ -87,6 +107,13 @@ fn main() {
         topo_elapsed,
         swarm.peers.len(),
         build_elapsed,
+    );
+    println!(
+        "phase split: trace {:.2?} ({} threads) / register {:.2?} — trace share {:.0}%",
+        swarm.phases.trace,
+        swarm.phases.trace_threads,
+        swarm.phases.register,
+        100.0 * swarm.phases.trace.as_secs_f64() / build_elapsed.as_secs_f64().max(1e-9),
     );
     println!("{report}");
     let interned: usize = swarm

@@ -147,17 +147,11 @@ fn build_bed(config: &ChurnStudyConfig, seed: u64) -> TestBed {
     }
 }
 
-fn trace_path(
-    bed: &TestBed,
-    oracle: &RouteOracle<'_>,
-    tracer: &Tracer<'_, '_>,
-    attach: RouterId,
-    seed: u64,
-) -> PeerPath {
+fn trace_path(bed: &TestBed, tracer: &Tracer<'_, '_>, attach: RouterId, seed: u64) -> PeerPath {
     let closest = bed
         .landmarks
         .iter()
-        .filter_map(|&lm| oracle.rtt_us(attach, lm).map(|rtt| (rtt, lm)))
+        .filter_map(|&lm| tracer.oracle().rtt_us(attach, lm).map(|rtt| (rtt, lm)))
         .min()
         .map(|(_, lm)| lm)
         .expect("connected map");
@@ -168,7 +162,8 @@ fn trace_path(
 /// Runs the churn + handover study.
 pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
     let bed = build_bed(config, seed);
-    let oracle = RouteOracle::new(&bed.topo);
+    // Every (re-)trace targets a landmark: precompute those trees.
+    let oracle = RouteOracle::with_destinations(&bed.topo, &bed.landmarks);
     let tracer = Tracer::new(&oracle, TraceConfig::default());
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC4423);
 
@@ -186,8 +181,8 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
             },
             seed,
         );
-        let mut server = ManagementServer::bootstrap(
-            &bed.topo,
+        let mut server = ManagementServer::bootstrap_with_oracle(
+            &oracle,
             bed.landmarks.clone(),
             ServerConfig {
                 neighbor_count: config.k,
@@ -206,7 +201,7 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
                     let attach = *attach_of
                         .entry(event.peer)
                         .or_insert_with(|| bed.access[rng.gen_range(0..bed.access.len())]);
-                    let path = trace_path(&bed, &oracle, &tracer, attach, seed ^ event.peer as u64);
+                    let path = trace_path(&bed, &tracer, attach, seed ^ event.peer as u64);
                     let out = server.register(peer, path).expect("ids unique per trace");
                     if !out.neighbors.is_empty() {
                         let stale = out
@@ -239,8 +234,8 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
     }
 
     // --- Handover quality. ---
-    let mut server = ManagementServer::bootstrap(
-        &bed.topo,
+    let mut server = ManagementServer::bootstrap_with_oracle(
+        &oracle,
         bed.landmarks.clone(),
         ServerConfig {
             neighbor_count: config.k,
@@ -254,7 +249,7 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
     let mut attach: HashMap<PeerId, RouterId> = HashMap::new();
     for (i, &router) in pool.iter().take(population).enumerate() {
         let peer = PeerId(i as u64);
-        let path = trace_path(&bed, &oracle, &tracer, router, seed ^ i as u64);
+        let path = trace_path(&bed, &tracer, router, seed ^ i as u64);
         server.register(peer, path).expect("unique ids");
         attach.insert(peer, router);
     }
@@ -283,7 +278,7 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
         let old_neighbors = server.neighbors_of(peer, config.k).expect("registered");
         before_sum += set_cost(&old_neighbors, new_attach, &attach);
         // Handover: re-trace from the new attachment.
-        let path = trace_path(&bed, &oracle, &tracer, new_attach, seed ^ (h as u64) << 32);
+        let path = trace_path(&bed, &tracer, new_attach, seed ^ (h as u64) << 32);
         let out = server.handover(peer, path).expect("registered");
         attach.insert(peer, new_attach);
         after_sum += set_cost(&out.neighbors, new_attach, &attach);

@@ -15,7 +15,7 @@ use crate::swarm::{Swarm, SwarmConfig};
 use nearpeer_coord::{Coord, GnpConfig, GnpLandmarkSystem, VivaldiConfig, VivaldiNode};
 use nearpeer_core::PeerId;
 use nearpeer_metrics::{Series, SeriesSet, Table};
-use nearpeer_routing::{bfs_distances, RouteOracle};
+use nearpeer_routing::bfs_distances;
 use nearpeer_topology::generators::{mapper, MapperConfig};
 use nearpeer_topology::{RouterId, Topology};
 use rand::rngs::StdRng;
@@ -199,7 +199,9 @@ pub fn run(config: &ConvergenceConfig, seed: u64) -> ConvergenceResult {
     };
     let mut swarm = Swarm::build(&topology, &swarm_cfg, seed).expect("swarm builds");
     let topo = swarm.topo;
-    let oracle = RouteOracle::new(topo);
+    // The coordinate baselines ping the landmarks from everywhere: the
+    // swarm's oracle already has those trees in its arena.
+    let oracle = &swarm.oracle;
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0117);
     let mut sample = swarm.peers.clone();

@@ -114,7 +114,8 @@ pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
         PlacementPolicy::DegreeMedium,
         seed,
     );
-    let oracle = RouteOracle::new(&topo);
+    // Every trace targets a landmark: precompute those trees.
+    let oracle = RouteOracle::with_destinations(&topo, &landmarks);
     let tracer = Tracer::new(&oracle, TraceConfig::default());
     let mut routers = topo.access_routers();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -143,8 +144,8 @@ pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
         .thresholds
         .iter()
         .map(|&threshold| {
-            let mut server = ManagementServer::bootstrap(
-                &topo,
+            let mut server = ManagementServer::bootstrap_with_oracle(
+                &oracle,
                 landmarks.clone(),
                 ServerConfig {
                     neighbor_count: 5,

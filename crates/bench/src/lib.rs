@@ -32,4 +32,6 @@ mod swarm;
 
 pub use output::ExperimentWriter;
 pub use runner::run_parallel;
-pub use swarm::{register_shard_parallel, BuildStrategy, Swarm, SwarmConfig};
+pub use swarm::{
+    register_shard_parallel, trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig,
+};

@@ -4,20 +4,29 @@
 //! landmarks to medium-degree routers, every peer traceroutes to its
 //! closest landmark (by RTT) and registers with the management server.
 //!
-//! Registration supports three [`BuildStrategy`]s over the same traced
-//! paths — one join at a time (the paper's protocol), one batched call, or
-//! shard-parallel (crossbeam scoped threads, one per landmark shard) — all
-//! producing identical directory state.
+//! Both rounds are parallel:
+//!
+//! * **Round 1 (tracing)** fans the simulated traceroutes out over peer
+//!   chunks on crossbeam scoped threads, all probing one shared
+//!   [`RouteOracle`] whose landmark trees are precomputed into an arena
+//!   ([`RouteOracle::with_destinations`]). Every peer's trace seeds its own
+//!   RNG (`seed ^ i·0x9E37_79B9`), so the traced paths and probe costs are
+//!   bit-identical to a sequential run — `tests/determinism.rs` pins this.
+//! * **Round 2 (registration)** supports three [`BuildStrategy`]s over the
+//!   same traced paths — one join at a time (the paper's protocol), one
+//!   batched call, or shard-parallel (crossbeam scoped threads, one per
+//!   landmark shard) — all producing identical directory state.
 
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
-use nearpeer_probe::{TraceConfig, Tracer};
+use nearpeer_probe::{TraceConfig, TraceResult, Tracer};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// How the traced paths are fed into the management server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,9 +61,16 @@ pub struct SwarmConfig {
     pub trace: TraceConfig,
     /// Enables the server's cross-landmark fallback.
     pub cross_landmark_fallback: bool,
-    /// Registration strategy (tracing is always sequential — the route
-    /// oracle is deliberately single-threaded ground truth).
+    /// Registration strategy. Round-1 tracing is parallel either way (the
+    /// shared route oracle is the ground truth, and per-peer trace seeds
+    /// make the results independent of thread count); this only picks how
+    /// the traced paths are fed to the server.
     pub build: BuildStrategy,
+    /// Worker threads for round-1 tracing; `None` picks
+    /// `available_parallelism` (falling back to sequential tracing on
+    /// single-core hosts). `Some(1)` forces the sequential path — the
+    /// results are bit-identical either way.
+    pub trace_threads: Option<usize>,
 }
 
 impl Default for SwarmConfig {
@@ -67,6 +83,7 @@ impl Default for SwarmConfig {
             trace: TraceConfig::default(),
             cross_landmark_fallback: true,
             build: BuildStrategy::default(),
+            trace_threads: None,
         }
     }
 }
@@ -80,10 +97,32 @@ pub struct JoinCost {
     pub trace_elapsed_us: u64,
 }
 
+/// Wall-clock split of one [`Swarm::build`] call, phase by phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildPhases {
+    /// Round 1: oracle arena precompute + closest-landmark selection +
+    /// the (parallel) simulated traceroutes + per-peer path/cost
+    /// bookkeeping.
+    pub trace: Duration,
+    /// Round 2: server bootstrap (landmark distance matrix, reusing the
+    /// round-1 arena) + feeding the traced paths to the server.
+    pub register: Duration,
+    /// Trace workers actually used for round 1 (the resolved value of
+    /// [`SwarmConfig::trace_threads`]).
+    pub trace_threads: usize,
+}
+
 /// A fully initialised swarm: topology + landmarks + populated server.
 pub struct Swarm<'t> {
     /// The substrate.
     pub topo: &'t Topology,
+    /// The route oracle the swarm was traced through, slimmed back down to
+    /// its landmark-tree arena (the per-intermediate-router trees built
+    /// during tracing are discarded — they would pin far too much memory
+    /// for the swarm's lifetime). Experiments that need ground-truth RTTs
+    /// (the coordinate baselines) should reuse it rather than re-running
+    /// the landmark BFS set.
+    pub oracle: RouteOracle<'t>,
     /// Landmark routers (index = `LandmarkId`).
     pub landmarks: Vec<RouterId>,
     /// The populated management server.
@@ -94,6 +133,8 @@ pub struct Swarm<'t> {
     pub attachment: HashMap<PeerId, RouterId>,
     /// Peer → traceroute cost.
     pub join_cost: HashMap<PeerId, JoinCost>,
+    /// Wall-clock spent in each build phase (trace vs register).
+    pub phases: BuildPhases,
 }
 
 impl<'t> Swarm<'t> {
@@ -132,37 +173,37 @@ impl<'t> Swarm<'t> {
         }
         access.truncate(config.n_peers);
 
-        let oracle = RouteOracle::new(topo);
-        let tracer = Tracer::new(&oracle, config.trace);
-        let mut server = ManagementServer::bootstrap(
-            topo,
-            landmarks.clone(),
-            ServerConfig {
-                neighbor_count: config.neighbor_count,
-                cross_landmark_fallback: config.cross_landmark_fallback,
-                super_peers: None,
-            },
-        );
-
+        let t_trace = Instant::now();
         // Round 1 for everyone: pick the closest landmark by RTT, then
-        // traceroute. Tracing stays sequential — the oracle is
-        // single-threaded ground truth — and is deterministic per seed
-        // regardless of the registration strategy below.
-        let mut peers = Vec::with_capacity(config.n_peers);
-        let mut attachment = HashMap::with_capacity(config.n_peers);
-        let mut join_cost = HashMap::with_capacity(config.n_peers);
-        let mut joins: Vec<(PeerId, PeerPath)> = Vec::with_capacity(config.n_peers);
-        for (i, &attach) in access.iter().enumerate() {
-            let peer = PeerId(i as u64);
+        // traceroute. The landmark trees are precomputed into the oracle's
+        // arena on the same worker count as the traces (so a forced
+        // `Some(1)` is genuinely sequential end to end), making the
+        // closest-landmark RTT scan and every trace's route extraction
+        // lock-free reads; the traces themselves fan out over peer chunks
+        // in [`trace_round1`].
+        let threads = config.trace_threads.unwrap_or_else(auto_build_threads);
+        let mut oracle = RouteOracle::with_destinations_threads(topo, &landmarks, threads);
+        let tracer = Tracer::new(&oracle, config.trace);
+        let mut jobs: Vec<(RouterId, RouterId)> = Vec::with_capacity(config.n_peers);
+        for &attach in &access {
             let closest = landmarks
                 .iter()
                 .filter_map(|&lm| oracle.rtt_us(attach, lm).map(|rtt| (rtt, lm)))
                 .min()
                 .map(|(_, lm)| lm)
                 .ok_or_else(|| format!("peer at {attach} reaches no landmark"))?;
-            let trace = tracer
-                .trace(attach, closest, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
-                .ok_or_else(|| format!("trace from {attach} to {closest} failed"))?;
+            jobs.push((attach, closest));
+        }
+        let traces = trace_round1(&tracer, &jobs, seed, threads);
+
+        let mut peers = Vec::with_capacity(config.n_peers);
+        let mut attachment = HashMap::with_capacity(config.n_peers);
+        let mut join_cost = HashMap::with_capacity(config.n_peers);
+        let mut joins: Vec<(PeerId, PeerPath)> = Vec::with_capacity(config.n_peers);
+        for (i, trace) in traces.into_iter().enumerate() {
+            let peer = PeerId(i as u64);
+            let (attach, closest) = jobs[i];
+            let trace = trace.ok_or_else(|| format!("trace from {attach} to {closest} failed"))?;
             let path =
                 PeerPath::new(trace.router_path()).map_err(|e| format!("bad traced path: {e}"))?;
             joins.push((peer, path));
@@ -176,6 +217,20 @@ impl<'t> Swarm<'t> {
                 },
             );
         }
+        let trace_elapsed = t_trace.elapsed();
+
+        let t_register = Instant::now();
+        // Reuse the trace oracle: its arena already holds every landmark
+        // tree the bootstrap distance matrix needs.
+        let mut server = ManagementServer::bootstrap_with_oracle(
+            &oracle,
+            landmarks.clone(),
+            ServerConfig {
+                neighbor_count: config.neighbor_count,
+                cross_landmark_fallback: config.cross_landmark_fallback,
+                super_peers: None,
+            },
+        );
 
         // Round 2: feed the paths to the server.
         match config.build {
@@ -197,13 +252,23 @@ impl<'t> Swarm<'t> {
                 register_shard_parallel(&mut server, joins)?;
             }
         }
+        // Tracing memoised one tree per distinct intermediate router —
+        // far too much to keep alive for the swarm's lifetime. Keep only
+        // the landmark arena on the stored oracle.
+        oracle.discard_lazy_trees();
         Ok(Self {
             topo,
+            oracle,
             landmarks,
             server,
             peers,
             attachment,
             join_cost,
+            phases: BuildPhases {
+                trace: trace_elapsed,
+                register: t_register.elapsed(),
+                trace_threads: threads,
+            },
         })
     }
 
@@ -232,6 +297,73 @@ impl<'t> Swarm<'t> {
     }
 }
 
+/// Worker count for the adaptive build paths (round-1 tracing when
+/// [`SwarmConfig::trace_threads`] is unset, and shard-parallel
+/// registration): one per core, degenerating to the sequential/batched
+/// path on single-core hosts — where scoped threads would only add spawn
+/// overhead — and, conservatively, when `available_parallelism` errors.
+fn auto_build_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Per-peer trace seed: each newcomer `i` derives its own RNG stream from
+/// the swarm seed, so a trace's outcome depends only on `(topology, config,
+/// seed, i)` — never on which thread ran it or in what order.
+fn trace_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// Runs round 1 — one simulated traceroute per `(source, landmark)` job —
+/// on `threads` crossbeam scoped threads over contiguous peer chunks, all
+/// sharing one [`Tracer`] (and through it one `Sync` [`RouteOracle`]).
+///
+/// `results[i]` is job `i`'s trace (`None` if source and landmark are
+/// disconnected), **bit-identical** to calling
+/// `tracer.trace(jobs[i].0, jobs[i].1, seed ^ i·0x9E37_79B9)` in a plain
+/// sequential loop: every peer seeds its own RNG, and the shared oracle's
+/// tree cache is write-once per destination. `threads <= 1` runs exactly
+/// that sequential loop. Used by [`Swarm::build`] and the
+/// `trace_throughput` bench.
+pub fn trace_round1(
+    tracer: &Tracer<'_, '_>,
+    jobs: &[(RouterId, RouterId)],
+    seed: u64,
+    threads: usize,
+) -> Vec<Option<TraceResult>> {
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst))| tracer.trace(src, dst, trace_seed(seed, i)))
+            .collect();
+    }
+    // Contiguous chunks, like the register-phase query workers: a trace is
+    // tens of microseconds, so per-item dispatch through a channel would
+    // dominate the traces themselves.
+    let chunk = jobs.len().div_ceil(threads.min(jobs.len()));
+    let mut results: Vec<Option<TraceResult>> = vec![None; jobs.len()];
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, (jobs_chunk, out_chunk)) in jobs
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let base = chunk_idx * chunk;
+            scope.spawn(move |_| {
+                for (k, (&(src, dst), slot)) in
+                    jobs_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
+                {
+                    *slot = tracer.trace(src, dst, trace_seed(seed, base + k));
+                }
+            });
+        }
+    })
+    .expect("trace workers never panic");
+    results
+}
+
 /// Registers a batch of joins shard-parallel: group by landmark, insert
 /// each group on its own crossbeam scoped thread (disjoint
 /// [`nearpeer_core::DirectoryShard`]s share nothing), then compute one join
@@ -243,9 +375,7 @@ pub fn register_shard_parallel(
     server: &mut ManagementServer,
     joins: Vec<(PeerId, PeerPath)>,
 ) -> Result<(), String> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let threads = auto_build_threads();
     if threads <= 1 {
         // Single-core host: scoped threads would only add spawn overhead.
         // The batched path produces identical directory state and stats
@@ -378,6 +508,50 @@ mod tests {
             );
             assert!(neigh.iter().all(|n| n.peer != peer));
         }
+    }
+
+    #[test]
+    fn parallel_tracing_is_bit_identical_to_sequential() {
+        let topo = tiny_topo();
+        let oracle = RouteOracle::new(&topo);
+        // Loss + anonymous hops exercise every RNG draw in the tracer.
+        let cfg = TraceConfig {
+            loss_probability: 0.25,
+            anonymous_probability: 0.15,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(&oracle, cfg);
+        let access = topo.access_routers();
+        let target = topo
+            .routers()
+            .max_by_key(|&r| topo.degree(r))
+            .expect("non-empty");
+        let jobs: Vec<(RouterId, RouterId)> = access.iter().map(|&src| (src, target)).collect();
+        let sequential = trace_round1(&tracer, &jobs, 11, 1);
+        // Forced thread counts, including ones that don't divide the job
+        // list evenly and more workers than this host has cores.
+        for threads in [2, 3, 8] {
+            let parallel = trace_round1(&tracer, &jobs, 11, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        assert!(sequential.iter().all(|t| t.is_some()));
+    }
+
+    // Full-swarm parallel == sequential equivalence (directory state, join
+    // costs, attachments across seeds/topologies) is pinned by
+    // tests/determinism.rs; here we only cover the builder's bookkeeping.
+    #[test]
+    fn build_reports_phase_split() {
+        let topo = tiny_topo();
+        let cfg = SwarmConfig {
+            n_peers: 30,
+            trace_threads: Some(3),
+            ..Default::default()
+        };
+        let swarm = Swarm::build(&topo, &cfg, 1).unwrap();
+        assert!(swarm.phases.trace > Duration::ZERO);
+        assert!(swarm.phases.register > Duration::ZERO);
+        assert_eq!(swarm.phases.trace_threads, 3);
     }
 
     #[test]

@@ -202,7 +202,21 @@ impl ManagementServer {
         landmark_routers: Vec<RouterId>,
         config: ServerConfig,
     ) -> Self {
-        let oracle = RouteOracle::new(topo);
+        // All measured destinations are landmarks, so precompute their
+        // trees into the oracle's arena (parallel on multi-core hosts).
+        let oracle = RouteOracle::with_destinations(topo, &landmark_routers);
+        Self::bootstrap_with_oracle(&oracle, landmark_routers, config)
+    }
+
+    /// Like [`ManagementServer::bootstrap`], but measures the landmark
+    /// distances through a caller-owned oracle — so a swarm builder that
+    /// already precomputed the landmark trees into its oracle's arena does
+    /// not pay for a second set of identical BFS runs.
+    pub fn bootstrap_with_oracle(
+        oracle: &RouteOracle<'_>,
+        landmark_routers: Vec<RouterId>,
+        config: ServerConfig,
+    ) -> Self {
         let n = landmark_routers.len();
         let mut dist = vec![vec![u32::MAX; n]; n];
         for (i, &a) in landmark_routers.iter().enumerate() {

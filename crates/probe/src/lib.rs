@@ -9,7 +9,10 @@
 //! This crate models exactly the observable behaviour of that tool over the
 //! simulated topology:
 //!
-//! * TTL-by-TTL probing along the oracle route ([`Tracer::trace`]);
+//! * TTL-by-TTL probing along the oracle route ([`Tracer::trace`]) — the
+//!   tracer is `Send + Sync` and every trace is seed-deterministic, so many
+//!   newcomers trace concurrently through one shared tracer with results
+//!   bit-identical to a sequential run;
 //! * per-probe cost accounting (probes sent, elapsed time) so the
 //!   setup-delay experiments can compare against coordinate systems;
 //! * fault injection: anonymous routers (no ICMP reply) and probe loss with

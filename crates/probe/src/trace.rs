@@ -93,6 +93,12 @@ impl TraceResult {
 }
 
 /// Runs traces over a route oracle.
+///
+/// The tracer is `Send + Sync` (the oracle it borrows is shareable), so one
+/// tracer serves any number of threads: the swarm builder fans round 1 out
+/// over peer chunks with plain `&Tracer` references. Each trace derives all
+/// of its randomness from the `seed` argument, never from shared state, so
+/// concurrent traces are bit-identical to the same traces run sequentially.
 pub struct Tracer<'o, 't> {
     oracle: &'o RouteOracle<'t>,
     config: TraceConfig,
@@ -107,6 +113,11 @@ impl<'o, 't> Tracer<'o, 't> {
     /// The active configuration.
     pub fn config(&self) -> &TraceConfig {
         &self.config
+    }
+
+    /// The route oracle this tracer probes against.
+    pub fn oracle(&self) -> &'o RouteOracle<'t> {
+        self.oracle
     }
 
     /// Traces from `source` towards `destination`; `None` when the two are
@@ -318,5 +329,43 @@ mod tests {
         let a = tracer.trace(RouterId(0), RouterId(9), 5).unwrap();
         let b = tracer.trace(RouterId(0), RouterId(9), 5).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tracer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer<'static, 'static>>();
+    }
+
+    #[test]
+    fn concurrent_traces_match_sequential_traces() {
+        let t = line_oracle(12);
+        let oracle = RouteOracle::new(&t);
+        let cfg = TraceConfig {
+            loss_probability: 0.2,
+            anonymous_probability: 0.1,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(&oracle, cfg);
+        let sources: Vec<RouterId> = (0..11).map(RouterId).collect();
+        let sequential: Vec<_> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &src)| tracer.trace(src, RouterId(11), i as u64))
+            .collect();
+        let mut concurrent: Vec<Option<TraceResult>> = vec![None; sources.len()];
+        std::thread::scope(|s| {
+            for (chunk_idx, (srcs, out)) in
+                sources.chunks(3).zip(concurrent.chunks_mut(3)).enumerate()
+            {
+                let tracer = &tracer;
+                s.spawn(move || {
+                    for (k, (&src, slot)) in srcs.iter().zip(out.iter_mut()).enumerate() {
+                        *slot = tracer.trace(src, RouterId(11), (chunk_idx * 3 + k) as u64);
+                    }
+                });
+            }
+        });
+        assert_eq!(concurrent, sequential);
     }
 }

@@ -14,7 +14,10 @@
 //!   extraction;
 //! * [`RouteOracle`] — cached per-destination trees, full router paths and
 //!   RTT estimates (used by the traceroute simulation and the coordinate
-//!   baselines).
+//!   baselines). The oracle is `Send + Sync`: an eager arena of trees for
+//!   the destinations known up front (landmarks) plus a lock-striped lazy
+//!   cache, so a whole swarm's round-1 traceroutes run concurrently against
+//!   one shared oracle with bit-identical results to a sequential run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,9 +2,13 @@
 
 use crate::spt::{shortest_path_tree, ShortestPathTree, SptMetric};
 use nearpeer_topology::{RouterId, Topology};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
+
+/// Number of stripes in the lazy tree cache. Concurrent tracers mostly miss
+/// on *different* intermediate routers, so a handful of stripes is enough to
+/// keep them off each other's write locks.
+const LAZY_STRIPES: usize = 16;
 
 /// Provides the route and RTT between any two routers of a topology,
 /// memoising one shortest-path tree per *destination* (destination-based
@@ -12,7 +16,25 @@ use std::rc::Rc;
 ///
 /// The oracle is the ground truth that the simulated traceroute walks hop by
 /// hop, and the RTT source for the coordinate baselines. Routes are
-/// deterministic: same topology, same routes, every run.
+/// deterministic: same topology, same routes, every run — regardless of how
+/// many threads query it.
+///
+/// # Sharing
+///
+/// The oracle is `Send + Sync` and designed to be queried from many threads
+/// at once (the swarm builder traces all of round 1 concurrently through
+/// one oracle):
+///
+/// * an eager **arena** of trees for the destinations known up front — the
+///   landmarks, of which there are only a few per swarm — built in parallel
+///   by [`RouteOracle::with_destinations`] and read lock-free afterwards;
+/// * a lock-striped lazy cache for every other destination (the
+///   intermediate routers whose RTTs the traceroute simulation asks for),
+///   where trees are computed outside the stripe lock and the first insert
+///   wins. Trees are deterministic, so a lost race wastes a little work but
+///   can never change an answer.
+///
+/// All trees are shared as `Arc<ShortestPathTree>`.
 ///
 /// ```
 /// use nearpeer_routing::RouteOracle;
@@ -24,15 +46,89 @@ use std::rc::Rc;
 /// ```
 pub struct RouteOracle<'t> {
     topo: &'t Topology,
-    trees: RefCell<HashMap<RouterId, Rc<ShortestPathTree>>>,
+    /// Immutable after construction; read without locking.
+    arena: HashMap<RouterId, Arc<ShortestPathTree>>,
+    /// Stripe `dst.0 % LAZY_STRIPES` owns destination `dst`.
+    lazy: Vec<RwLock<HashMap<RouterId, Arc<ShortestPathTree>>>>,
 }
 
 impl<'t> RouteOracle<'t> {
-    /// Creates an oracle over a topology.
+    /// Creates an oracle over a topology with an empty arena; every tree is
+    /// built lazily on first use.
     pub fn new(topo: &'t Topology) -> Self {
+        Self::with_destinations(topo, &[])
+    }
+
+    /// Creates an oracle and eagerly builds the trees for the given
+    /// destinations — the swarm builders pass the landmark routers, so every
+    /// route/RTT query towards a landmark is a lock-free arena read.
+    ///
+    /// The trees are independent of each other, so they are built on
+    /// `available_parallelism` scoped threads when there is more than one
+    /// core (and more than one destination); the arena itself is assembled
+    /// deterministically afterwards. Use
+    /// [`RouteOracle::with_destinations_threads`] to force a worker count.
+    pub fn with_destinations(topo: &'t Topology, destinations: &[RouterId]) -> Self {
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::with_destinations_threads(topo, destinations, auto)
+    }
+
+    /// [`RouteOracle::with_destinations`] with an explicit worker count for
+    /// the arena precompute — so a caller that forces sequential tracing
+    /// (e.g. a benchmark baseline) gets a genuinely sequential build too.
+    pub fn with_destinations_threads(
+        topo: &'t Topology,
+        destinations: &[RouterId],
+        threads: usize,
+    ) -> Self {
+        let mut dsts = destinations.to_vec();
+        dsts.sort_unstable();
+        dsts.dedup();
+        let threads = threads.clamp(1, dsts.len().max(1));
+        let mut arena = HashMap::with_capacity(dsts.len());
+        if threads <= 1 {
+            for &dst in &dsts {
+                arena.insert(
+                    dst,
+                    Arc::new(shortest_path_tree(topo, dst, SptMetric::Hops)),
+                );
+            }
+        } else {
+            let chunk = dsts.len().div_ceil(threads);
+            let built: Vec<Vec<(RouterId, Arc<ShortestPathTree>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = dsts
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&dst| {
+                                    (
+                                        dst,
+                                        Arc::new(shortest_path_tree(topo, dst, SptMetric::Hops)),
+                                    )
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("SPT builders never panic"))
+                    .collect()
+            });
+            for pairs in built {
+                arena.extend(pairs);
+            }
+        }
         Self {
             topo,
-            trees: RefCell::new(HashMap::new()),
+            arena,
+            lazy: (0..LAZY_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -42,17 +138,53 @@ impl<'t> RouteOracle<'t> {
     }
 
     /// The (cached) hop-metric tree rooted at `dst`.
-    pub fn tree_to(&self, dst: RouterId) -> Rc<ShortestPathTree> {
-        let mut trees = self.trees.borrow_mut();
-        trees
-            .entry(dst)
-            .or_insert_with(|| Rc::new(shortest_path_tree(self.topo, dst, SptMetric::Hops)))
-            .clone()
+    pub fn tree_to(&self, dst: RouterId) -> Arc<ShortestPathTree> {
+        if let Some(tree) = self.arena.get(&dst) {
+            return Arc::clone(tree);
+        }
+        let stripe = &self.lazy[dst.0 as usize % LAZY_STRIPES];
+        if let Some(tree) = stripe.read().expect("oracle stripe poisoned").get(&dst) {
+            return Arc::clone(tree);
+        }
+        // Build outside the lock: trees are deterministic, so if another
+        // thread races us here the first insert wins and both threads hand
+        // out identical trees.
+        let tree = Arc::new(shortest_path_tree(self.topo, dst, SptMetric::Hops));
+        Arc::clone(
+            stripe
+                .write()
+                .expect("oracle stripe poisoned")
+                .entry(dst)
+                .or_insert(tree),
+        )
     }
 
-    /// Number of destination trees currently memoised.
+    /// Number of destination trees currently memoised (eager + lazy).
     pub fn cached_trees(&self) -> usize {
-        self.trees.borrow().len()
+        self.arena.len()
+            + self
+                .lazy
+                .iter()
+                .map(|s| s.read().expect("oracle stripe poisoned").len())
+                .sum::<usize>()
+    }
+
+    /// Number of trees precomputed into the arena at construction.
+    pub fn precomputed_trees(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Drops every lazily memoised tree, keeping only the eager arena.
+    ///
+    /// A 10k-peer trace run memoises one tree per distinct intermediate
+    /// router — far more memory than the handful of landmark trees a
+    /// long-lived oracle is usually kept around for. Callers that retain
+    /// the oracle after a bulk workload (the swarm builder does) call this
+    /// to shed that cache; the trees are rebuilt on demand if asked again.
+    pub fn discard_lazy_trees(&mut self) {
+        for stripe in &self.lazy {
+            stripe.write().expect("oracle stripe poisoned").clear();
+        }
     }
 
     /// The full router route `src, ..., dst`; `None` if disconnected.
@@ -79,24 +211,43 @@ impl<'t> RouteOracle<'t> {
     /// branch point that the management server uses as the inferred
     /// rendezvous (`rc` in the paper's Figure 1). `None` if either route is
     /// missing.
+    ///
+    /// This is the lowest common ancestor of `a` and `b` in the destination
+    /// tree, found by walking the two parent chains without allocating:
+    /// step the deeper endpoint up until both sit at the same hop depth,
+    /// then advance both in lockstep until they coincide.
     pub fn branch_point(&self, a: RouterId, b: RouterId, dst: RouterId) -> Option<RouterId> {
         let tree = self.tree_to(dst);
-        if !tree.reaches(a) || !tree.reaches(b) {
-            return None;
+        let mut depth_a = tree.hops_to_root(a)?;
+        let mut depth_b = tree.hops_to_root(b)?;
+        let (mut a, mut b) = (a, b);
+        while depth_a > depth_b {
+            a = tree.parent(a)?;
+            depth_a -= 1;
         }
-        // Walk both paths from the leaves; mark a's path then walk b's.
-        let path_a = tree.path_to_root(a)?;
-        let on_a: std::collections::HashSet<RouterId> = path_a.into_iter().collect();
-        let path_b = tree.path_to_root(b)?;
-        path_b.into_iter().find(|r| on_a.contains(r))
+        while depth_b > depth_a {
+            b = tree.parent(b)?;
+            depth_b -= 1;
+        }
+        while a != b {
+            a = tree.parent(a)?;
+            b = tree.parent(b)?;
+        }
+        Some(a)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nearpeer_topology::generators::regular;
+    use nearpeer_topology::generators::{mapper, regular, MapperConfig};
     use nearpeer_topology::presets::figure1;
+
+    #[test]
+    fn oracle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RouteOracle<'static>>();
+    }
 
     #[test]
     fn route_endpoints_and_caching() {
@@ -110,6 +261,87 @@ mod tests {
         assert_eq!(oracle.cached_trees(), 1, "same destination reuses the tree");
         let _ = oracle.route(RouterId(7), RouterId(1));
         assert_eq!(oracle.cached_trees(), 2);
+    }
+
+    #[test]
+    fn arena_answers_match_lazy_answers() {
+        let t = mapper(&MapperConfig::tiny(), 9).unwrap();
+        let dsts: Vec<RouterId> = t.routers().take(5).collect();
+        let eager = RouteOracle::with_destinations(&t, &dsts);
+        assert_eq!(eager.precomputed_trees(), 5);
+        assert_eq!(eager.cached_trees(), 5);
+        let lazy = RouteOracle::new(&t);
+        assert_eq!(lazy.precomputed_trees(), 0);
+        for &dst in &dsts {
+            for src in t.routers() {
+                assert_eq!(eager.route(src, dst), lazy.route(src, dst));
+                assert_eq!(eager.rtt_us(src, dst), lazy.rtt_us(src, dst));
+            }
+        }
+        // The arena absorbed every query; nothing leaked into the stripes.
+        assert_eq!(eager.cached_trees(), 5);
+    }
+
+    #[test]
+    fn with_destinations_dedups() {
+        let t = regular::line(4);
+        let oracle = RouteOracle::with_destinations(&t, &[RouterId(1), RouterId(1), RouterId(3)]);
+        assert_eq!(oracle.precomputed_trees(), 2);
+    }
+
+    #[test]
+    fn forced_thread_counts_build_identical_arenas() {
+        let t = mapper(&MapperConfig::tiny(), 7).unwrap();
+        let dsts: Vec<RouterId> = t.routers().take(6).collect();
+        let one = RouteOracle::with_destinations_threads(&t, &dsts, 1);
+        for threads in [2, 4, 100] {
+            let many = RouteOracle::with_destinations_threads(&t, &dsts, threads);
+            assert_eq!(many.precomputed_trees(), one.precomputed_trees());
+            for &dst in &dsts {
+                assert_eq!(*many.tree_to(dst), *one.tree_to(dst), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn discard_lazy_trees_keeps_arena_and_answers() {
+        let t = regular::grid(3, 3);
+        let mut oracle = RouteOracle::with_destinations(&t, &[RouterId(0)]);
+        let lazy_route = oracle.route(RouterId(0), RouterId(8)).unwrap();
+        assert_eq!(oracle.cached_trees(), 2);
+        oracle.discard_lazy_trees();
+        assert_eq!(oracle.cached_trees(), 1, "arena survives");
+        assert_eq!(oracle.precomputed_trees(), 1);
+        // Discarded trees rebuild on demand with identical answers.
+        assert_eq!(oracle.route(RouterId(0), RouterId(8)).unwrap(), lazy_route);
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_sequential() {
+        let t = mapper(&MapperConfig::tiny(), 3).unwrap();
+        let reference = RouteOracle::new(&t);
+        let shared = RouteOracle::new(&t);
+        let routers: Vec<RouterId> = t.routers().collect();
+        std::thread::scope(|s| {
+            for worker in 0..4usize {
+                let shared = &shared;
+                let routers = &routers;
+                s.spawn(move || {
+                    for (i, &dst) in routers.iter().enumerate() {
+                        // Workers collide on every destination on purpose.
+                        let src = routers[(i + worker) % routers.len()];
+                        let _ = shared.route(src, dst);
+                        let _ = shared.rtt_us(src, dst);
+                    }
+                });
+            }
+        });
+        for &dst in routers.iter() {
+            for &src in routers.iter() {
+                assert_eq!(shared.route(src, dst), reference.route(src, dst));
+            }
+        }
+        assert_eq!(shared.cached_trees(), reference.cached_trees());
     }
 
     #[test]
@@ -143,6 +375,43 @@ mod tests {
             oracle.branch_point(RouterId(0), RouterId(0), RouterId(3)),
             Some(RouterId(0))
         );
+    }
+
+    /// Reference implementation of the branch point: materialise both
+    /// paths, mark one, scan the other (what `branch_point` did before the
+    /// allocation-free lockstep walk).
+    fn branch_point_reference(
+        oracle: &RouteOracle<'_>,
+        a: RouterId,
+        b: RouterId,
+        dst: RouterId,
+    ) -> Option<RouterId> {
+        let tree = oracle.tree_to(dst);
+        let on_a: std::collections::HashSet<RouterId> = tree.path_to_root(a)?.into_iter().collect();
+        tree.path_to_root(b)?.into_iter().find(|r| on_a.contains(r))
+    }
+
+    #[test]
+    fn branch_point_matches_reference_everywhere() {
+        for (name, t, stride) in [
+            ("grid", regular::grid(4, 4), 1),
+            ("mapper", mapper(&MapperConfig::tiny(), 11).unwrap(), 7),
+        ] {
+            let oracle = RouteOracle::new(&t);
+            let routers: Vec<RouterId> = t.routers().step_by(stride).collect();
+            let dsts: Vec<RouterId> = routers.iter().copied().step_by(3).collect();
+            for &dst in &dsts {
+                for &a in &routers {
+                    for &b in &routers {
+                        assert_eq!(
+                            oracle.branch_point(a, b, dst),
+                            branch_point_reference(&oracle, a, b, dst),
+                            "{name}: branch_point({a}, {b}, {dst})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Seed determinism: the experiment pipeline's randomness must be a pure
 //! function of the seed, or no figure in the evaluation is reproducible.
 //! Two independent runs with the same seed must produce bit-identical
-//! topologies and traceroutes; a different seed must diverge.
+//! topologies and traceroutes; a different seed must diverge. Thread count
+//! must never matter: parallel round-1 tracing has to reproduce the
+//! sequential build bit for bit.
 
 use nearpeer::probe::{TraceConfig, Tracer};
 use nearpeer::routing::RouteOracle;
 use nearpeer::topology::generators::{mapper, MapperConfig};
-use nearpeer::topology::{io, Topology};
+use nearpeer::topology::{io, RouterId, Topology};
+use nearpeer_bench::{trace_round1, Swarm, SwarmConfig};
 
 fn generate(seed: u64) -> Topology {
     mapper(&MapperConfig::tiny(), seed).expect("tiny mapper config is valid")
@@ -59,4 +62,84 @@ fn same_seed_same_traceroute() {
         first.iter().any(|t| t.is_some()),
         "at least one trace must succeed for the comparison to mean anything"
     );
+}
+
+/// Round 1 may run on any number of threads, including more workers than
+/// this host has cores: the traced hop records, probe counts and elapsed
+/// costs must be bit-identical to the sequential order, because every peer
+/// derives its own RNG stream from `seed ^ i·0x9E37_79B9` and the shared
+/// oracle's trees are a pure function of the topology.
+#[test]
+fn parallel_round1_is_bit_identical_to_sequential() {
+    let topologies = [
+        mapper(&MapperConfig::tiny(), 3).expect("tiny map"),
+        mapper(&MapperConfig::with_access(40, 120), 8).expect("wide map"),
+    ];
+    // Loss and anonymous hops exercise every RNG draw in the tracer.
+    let faulty = TraceConfig {
+        loss_probability: 0.2,
+        anonymous_probability: 0.1,
+        ..TraceConfig::default()
+    };
+    for (t_idx, topo) in topologies.iter().enumerate() {
+        for seed in [5u64, 99] {
+            for cfg in [TraceConfig::default(), faulty] {
+                let oracle = RouteOracle::new(topo);
+                let tracer = Tracer::new(&oracle, cfg);
+                let target = topo
+                    .routers()
+                    .max_by_key(|&r| topo.degree(r))
+                    .expect("non-empty topology");
+                let jobs: Vec<(RouterId, RouterId)> = topo
+                    .access_routers()
+                    .into_iter()
+                    .map(|src| (src, target))
+                    .collect();
+                let sequential = trace_round1(&tracer, &jobs, seed, 1);
+                for threads in [2, 5] {
+                    let parallel = trace_round1(&tracer, &jobs, seed, threads);
+                    assert_eq!(
+                        parallel, sequential,
+                        "topology {t_idx}, seed {seed}, threads {threads}"
+                    );
+                }
+                assert!(sequential.iter().all(|t| t.is_some()));
+            }
+        }
+    }
+}
+
+/// End to end: a swarm built with forced-parallel tracing matches a swarm
+/// built with forced-sequential tracing in every observable — join costs,
+/// attachments, and the populated directory's answers.
+#[test]
+fn parallel_swarm_build_matches_sequential_directory_state() {
+    for (topo_seed, swarm_seed) in [(3u64, 5u64), (8, 21)] {
+        let topo = mapper(&MapperConfig::tiny(), topo_seed).expect("tiny map");
+        let build = |threads: usize| {
+            let cfg = SwarmConfig {
+                n_peers: 50,
+                n_landmarks: 3,
+                trace_threads: Some(threads),
+                ..Default::default()
+            };
+            Swarm::build(&topo, &cfg, swarm_seed).expect("swarm builds")
+        };
+        let seq = build(1);
+        let par = build(4);
+        assert_eq!(par.landmarks, seq.landmarks);
+        assert_eq!(par.attachment, seq.attachment);
+        assert_eq!(par.join_cost, seq.join_cost, "probe costs must not drift");
+        let (s, p) = (seq.server.report(), par.server.report());
+        assert_eq!(p.peers, s.peers);
+        assert_eq!(p.indexed_routers, s.indexed_routers);
+        assert_eq!(p.per_landmark, s.per_landmark);
+        for &peer in &seq.peers {
+            assert_eq!(
+                par.server.neighbors_of(peer, 5).expect("registered"),
+                seq.server.neighbors_of(peer, 5).expect("registered"),
+                "{peer} (topo seed {topo_seed}, swarm seed {swarm_seed})"
+            );
+        }
+    }
 }
