@@ -298,6 +298,319 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
     }
 }
 
+// --- Million-peer churn soak (the batched/shard-parallel lease path). ---
+
+use crate::swarm::{
+    auto_build_threads, churn_epoch_shard_parallel, expire_stale_shard_parallel,
+    renew_shard_parallel, SyntheticJoins,
+};
+use nearpeer_core::SweepStats;
+use std::time::Instant;
+
+/// How churn events are fed to the directory during a soak replay. All
+/// three paths produce **identical directory state and counters** for the
+/// same trace seed (`tests/determinism.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnReplayMode {
+    /// One facade call per event — the deployed protocol's shape.
+    Sequential,
+    /// One `register_batch_renewing` + one `leave_batch` call per epoch
+    /// window; expiry via `expire_stale_batch`.
+    Batched,
+    /// Per-epoch batches absorbed by each landmark shard on its own
+    /// crossbeam scoped thread (adaptive: degenerates to `Batched` on
+    /// single-core hosts).
+    ShardParallel,
+}
+
+/// Soak parameters: a W3 churn trace replayed onto a synthetic swarm at
+/// populations where simulated tracing is prohibitive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnSoakConfig {
+    /// Peers per trace cycle.
+    pub peers: usize,
+    /// Full trace replays; cycles ≥ 2 make departed peers rejoin, driving
+    /// the renewal-piggyback path (a silently failed peer coming back
+    /// before its lease lapsed).
+    pub cycles: usize,
+    /// Mean session length, seconds (exponential).
+    pub mean_lifetime_secs: f64,
+    /// Join rate, per second (Poisson).
+    pub arrival_rate: f64,
+    /// Fraction of departures that fail silently instead of leaving.
+    pub failure_fraction: f64,
+    /// Landmarks (= directory shards).
+    pub n_landmarks: usize,
+    /// Epoch windows the trace is sliced into per cycle (the heartbeat
+    /// grid; window width = trace span / this).
+    pub epochs_per_cycle: usize,
+    /// Lease expiry sweep cadence, in epochs.
+    pub expire_every: u64,
+    /// Lease length: a peer not seen for more than this many epochs is
+    /// expired at the next sweep.
+    pub max_age: u64,
+    /// Heartbeat cadence: every epoch, the live peers whose id falls in
+    /// the epoch's stride group renew their lease (batched through
+    /// `renew_batch`). Must be < `max_age`, or live peers' leases lapse
+    /// between heartbeats.
+    pub heartbeat_every: u64,
+    /// Replay mode.
+    pub mode: ChurnReplayMode,
+    /// Worker threads for [`ChurnReplayMode::ShardParallel`]; `None` picks
+    /// `available_parallelism`.
+    pub threads: Option<usize>,
+}
+
+impl ChurnSoakConfig {
+    /// The CI smoke shape: 10⁵ peers, one cycle, batched.
+    pub fn smoke() -> Self {
+        Self {
+            peers: 100_000,
+            cycles: 1,
+            mean_lifetime_secs: 60.0,
+            arrival_rate: 1_000.0,
+            failure_fraction: 0.3,
+            n_landmarks: 8,
+            epochs_per_cycle: 128,
+            expire_every: 4,
+            max_age: 8,
+            heartbeat_every: 4,
+            mode: ChurnReplayMode::Batched,
+            threads: None,
+        }
+    }
+
+    /// A reduced shape for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            peers: 400,
+            cycles: 2,
+            mean_lifetime_secs: 30.0,
+            arrival_rate: 50.0,
+            failure_fraction: 0.4,
+            n_landmarks: 3,
+            epochs_per_cycle: 24,
+            expire_every: 3,
+            max_age: 5,
+            heartbeat_every: 2,
+            mode: ChurnReplayMode::Batched,
+            threads: None,
+        }
+    }
+}
+
+/// Event dispositions accumulated over a soak replay. Deterministic per
+/// `(config-minus-mode, seed)`: all three replay modes produce the same
+/// numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSoakCounters {
+    /// Fresh registrations (lease opened).
+    pub joins: u64,
+    /// Rejoins renewed through the register path (lease refreshed, path
+    /// kept).
+    pub renewals: u64,
+    /// Heartbeat renewals (batched `renew_batch` rounds).
+    pub heartbeats: u64,
+    /// Join items rejected (should be 0 for synthetic traces).
+    pub rejected: u64,
+    /// Graceful departures that found a registration to remove.
+    pub leaves: u64,
+    /// Silent failures (no server interaction — the lease must catch
+    /// them).
+    pub fails: u64,
+    /// Leases expired by the sweeps.
+    pub expired: u64,
+    /// Heartbeat epochs driven (non-empty trace windows).
+    pub epochs: u64,
+    /// Trace events applied.
+    pub events: u64,
+}
+
+/// Soak output: counters, population extremes, throughput and the lease
+/// arena's cumulative sweep cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnSoakResult {
+    /// Configuration used.
+    pub config: ChurnSoakConfig,
+    /// Event dispositions.
+    pub counters: ChurnSoakCounters,
+    /// Largest registered population observed at an epoch boundary.
+    pub peak_population: usize,
+    /// Registered peers left after the replay (silent failures whose
+    /// lease had not yet lapsed).
+    pub final_population: usize,
+    /// Wall-clock seconds for the replay (excluding trace generation).
+    pub elapsed_secs: f64,
+    /// Trace events applied per second of replay.
+    pub events_per_sec: f64,
+    /// Summed per-shard expiry sweep cost — evidence the sweeps stay
+    /// linear in lease activity (compare `entries_swept` against
+    /// `counters.events`, not against population × epochs).
+    pub sweep_entries: u64,
+    /// Epoch buckets retired across all shards.
+    pub sweep_buckets: u64,
+}
+
+/// Runs a churn soak and also hands back the populated server, so callers
+/// (the determinism suite) can compare directory state across modes.
+pub fn run_soak_with_server(
+    cfg: &ChurnSoakConfig,
+    seed: u64,
+) -> (ChurnSoakResult, ManagementServer) {
+    let gen = SyntheticJoins::new(cfg.n_landmarks);
+    let mut server = gen.server(ServerConfig {
+        neighbor_count: 5,
+        cross_landmark_fallback: false,
+        super_peers: None,
+    });
+    let trace = ChurnTrace::generate(
+        &ChurnConfig {
+            peers: cfg.peers,
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: cfg.arrival_rate,
+            },
+            mean_lifetime_secs: Some(cfg.mean_lifetime_secs),
+            failure_fraction: cfg.failure_fraction,
+        },
+        seed,
+    );
+    let width = (trace.span_us() / cfg.epochs_per_cycle.max(1) as u64).max(1);
+    let threads = cfg.threads.unwrap_or_else(auto_build_threads);
+    assert!(cfg.expire_every >= 1, "expiry cadence must be >= 1 epoch");
+    assert!(
+        cfg.heartbeat_every >= 1 && cfg.heartbeat_every < cfg.max_age,
+        "live peers must heartbeat within their lease"
+    );
+    let mut counters = ChurnSoakCounters::default();
+    let mut peak = 0usize;
+    // Heartbeat bookkeeping, driven by the trace alone (identical across
+    // replay modes): which peers are nominally alive, and one stride
+    // group per heartbeat phase so each epoch renews ~1/stride of the
+    // population.
+    let mut alive = vec![false; cfg.peers];
+    let mut grouped = vec![false; cfg.peers];
+    let mut groups: Vec<Vec<usize>> = (0..cfg.heartbeat_every).map(|_| Vec::new()).collect();
+    let t0 = Instant::now();
+    for _cycle in 0..cfg.cycles {
+        for (_idx, events) in trace.windows(width) {
+            server.advance_epoch();
+            counters.epochs += 1;
+            counters.events += events.len() as u64;
+            for ev in events {
+                match ev.kind {
+                    ChurnEventKind::Join => {
+                        alive[ev.peer] = true;
+                        if !grouped[ev.peer] {
+                            grouped[ev.peer] = true;
+                            groups[ev.peer % cfg.heartbeat_every as usize].push(ev.peer);
+                        }
+                    }
+                    ChurnEventKind::Leave | ChurnEventKind::Fail => alive[ev.peer] = false,
+                }
+            }
+            match cfg.mode {
+                ChurnReplayMode::Sequential => {
+                    for ev in events {
+                        let peer = PeerId(ev.peer as u64);
+                        match ev.kind {
+                            ChurnEventKind::Join => {
+                                let out =
+                                    server.register_batch_renewing(vec![gen.join(ev.peer as u64)]);
+                                counters.joins += out.joined as u64;
+                                counters.renewals += out.renewed as u64;
+                                counters.rejected += out.rejected as u64;
+                            }
+                            ChurnEventKind::Leave => {
+                                counters.leaves += server.leave_batch(&[peer]) as u64;
+                            }
+                            ChurnEventKind::Fail => counters.fails += 1,
+                        }
+                    }
+                }
+                ChurnReplayMode::Batched | ChurnReplayMode::ShardParallel => {
+                    let mut joins: Vec<(PeerId, PeerPath)> = Vec::new();
+                    let mut leave_ids: Vec<PeerId> = Vec::new();
+                    for ev in events {
+                        match ev.kind {
+                            ChurnEventKind::Join => joins.push(gen.join(ev.peer as u64)),
+                            ChurnEventKind::Leave => leave_ids.push(PeerId(ev.peer as u64)),
+                            ChurnEventKind::Fail => counters.fails += 1,
+                        }
+                    }
+                    let (out, left) = if cfg.mode == ChurnReplayMode::Batched {
+                        let out = server.register_batch_renewing(joins);
+                        let left = server.leave_batch(&leave_ids);
+                        (out, left)
+                    } else {
+                        churn_epoch_shard_parallel(&mut server, joins, &leave_ids, threads)
+                            .expect("synthetic ids are landmark-stable")
+                    };
+                    counters.joins += out.joined as u64;
+                    counters.renewals += out.renewed as u64;
+                    counters.rejected += out.rejected as u64;
+                    counters.leaves += left as u64;
+                }
+            }
+            // Heartbeat round: this epoch's stride group of live peers
+            // renews (before the sweep — a peer checking in this epoch
+            // must not be expired by it).
+            let phase = (counters.epochs % cfg.heartbeat_every) as usize;
+            let beats: Vec<PeerId> = groups[phase]
+                .iter()
+                .filter(|&&p| alive[p])
+                .map(|&p| PeerId(p as u64))
+                .collect();
+            counters.heartbeats += match cfg.mode {
+                ChurnReplayMode::Sequential => beats
+                    .iter()
+                    .map(|&p| server.renew_batch(&[p]))
+                    .sum::<usize>(),
+                ChurnReplayMode::Batched => server.renew_batch(&beats),
+                ChurnReplayMode::ShardParallel => {
+                    renew_shard_parallel(&mut server, &beats, threads)
+                }
+            } as u64;
+            if counters.epochs % cfg.expire_every == 0 {
+                let expired = match cfg.mode {
+                    ChurnReplayMode::ShardParallel => {
+                        expire_stale_shard_parallel(&mut server, cfg.max_age, threads)
+                    }
+                    _ => server.expire_stale_batch(cfg.max_age),
+                };
+                counters.expired += expired.len() as u64;
+            }
+            peak = peak.max(server.peer_count());
+        }
+    }
+    let elapsed = t0.elapsed();
+    let sweep: SweepStats = server
+        .shards()
+        .iter()
+        .fold(SweepStats::default(), |acc, s| {
+            let st = s.leases().sweep_stats();
+            SweepStats {
+                entries_swept: acc.entries_swept + st.entries_swept,
+                buckets_swept: acc.buckets_swept + st.buckets_swept,
+            }
+        });
+    let result = ChurnSoakResult {
+        config: cfg.clone(),
+        counters,
+        peak_population: peak,
+        final_population: server.peer_count(),
+        elapsed_secs: elapsed.as_secs_f64(),
+        events_per_sec: counters.events as f64 / elapsed.as_secs_f64().max(1e-9),
+        sweep_entries: sweep.entries_swept,
+        sweep_buckets: sweep.buckets_swept,
+    };
+    (result, server)
+}
+
+/// Runs a churn soak (see [`ChurnSoakConfig`]).
+pub fn run_soak(cfg: &ChurnSoakConfig, seed: u64) -> ChurnSoakResult {
+    run_soak_with_server(cfg, seed).0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +637,61 @@ mod tests {
             result.handover_improvement
         );
         assert_eq!(result.table().n_rows(), 2);
+    }
+
+    #[test]
+    fn soak_counters_add_up_and_sweeps_stay_linear() {
+        let cfg = ChurnSoakConfig::quick();
+        let (result, server) = run_soak_with_server(&cfg, 11);
+        let c = result.counters;
+        // Every trace event lands in exactly one disposition. Join events
+        // split into fresh joins vs renewals (cycle 2 rejoins peers whose
+        // lease survived); departures into graceful leaves (some find the
+        // peer already expired and count nothing) and silent fails.
+        assert_eq!(c.events, (cfg.peers as u64 * 2) * cfg.cycles as u64);
+        assert_eq!(c.rejected, 0, "synthetic paths always hit a landmark");
+        assert_eq!(
+            c.joins + c.renewals,
+            cfg.peers as u64 * cfg.cycles as u64,
+            "every join event either opens or renews a lease"
+        );
+        assert!(c.renewals > 0, "cycle 2 must drive the renewal path");
+        assert!(c.heartbeats > 0, "live peers must heartbeat");
+        assert!(c.expired > 0, "silent failures must be expired by leases");
+        // Conservation: everyone who joined has left, failed-and-expired,
+        // or is still registered.
+        assert_eq!(
+            c.joins,
+            c.leaves + c.expired + result.final_population as u64
+        );
+        assert!(result.peak_population > 0);
+        assert_eq!(server.peer_count(), result.final_population);
+        // The epoch-bucketed sweep touches noted lease activity only (one
+        // note per open/renewal, re-notes bounded by sweeps), far below
+        // the full-scan worst case of population × sweeps.
+        let noted = c.joins + c.renewals + c.heartbeats;
+        assert!(
+            result.sweep_entries <= 2 * noted,
+            "sweep cost {} exceeds twice the noted activity {}",
+            result.sweep_entries,
+            noted
+        );
+    }
+
+    #[test]
+    fn soak_modes_agree_at_small_scale() {
+        let mut cfg = ChurnSoakConfig::quick();
+        let base = run_soak(&cfg, 3);
+        cfg.mode = ChurnReplayMode::Sequential;
+        let seq = run_soak(&cfg, 3);
+        cfg.mode = ChurnReplayMode::ShardParallel;
+        cfg.threads = Some(3);
+        let par = run_soak(&cfg, 3);
+        assert_eq!(seq.counters, base.counters);
+        assert_eq!(par.counters, base.counters);
+        assert_eq!(seq.final_population, base.final_population);
+        assert_eq!(par.final_population, base.final_population);
+        assert_eq!(seq.peak_population, base.peak_population);
+        assert_eq!(par.peak_population, base.peak_population);
     }
 }

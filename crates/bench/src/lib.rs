@@ -15,6 +15,7 @@
 //! | A1 | `dtree_accuracy` | P[dtree = d] per topology family |
 //! | A2 | `setup_delay` | end-to-end streaming setup delay per policy |
 //! | —  | `internet_mapping` | map-statistics validation (§3 substitution) |
+//! | —  | `churn_soak` | 10⁵–10⁶-peer churn replay through the batched lease path |
 //!
 //! Binaries print the paper-style table, an ASCII rendition of the figure,
 //! and write CSV + a JSON manifest under `target/experiments/<name>/`
@@ -33,5 +34,7 @@ mod swarm;
 pub use output::ExperimentWriter;
 pub use runner::run_parallel;
 pub use swarm::{
-    register_shard_parallel, trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig,
+    churn_epoch_shard_parallel, expire_stale_shard_parallel, register_shard_parallel,
+    renew_shard_parallel, trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig,
+    SyntheticJoins,
 };

@@ -18,7 +18,7 @@
 //!   landmark shard) — all producing identical directory state.
 
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
-use nearpeer_core::{ManagementServer, PeerId, PeerPath, ServerConfig};
+use nearpeer_core::{LandmarkId, ManagementServer, PeerId, PeerPath, ServerConfig};
 use nearpeer_probe::{TraceConfig, TraceResult, Tracer};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
@@ -302,7 +302,7 @@ impl<'t> Swarm<'t> {
 /// registration): one per core, degenerating to the sequential/batched
 /// path on single-core hosts — where scoped threads would only add spawn
 /// overhead — and, conservatively, when `available_parallelism` errors.
-fn auto_build_threads() -> usize {
+pub(crate) fn auto_build_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
@@ -431,6 +431,210 @@ pub fn register_shard_parallel(
     Ok(())
 }
 
+/// Synthetic tree-consistent join generator for populations where the
+/// simulated round-1 traceroutes are prohibitive (the churn soak's
+/// 10⁵–10⁶ peers; tracing runs at ~10³ peers/s on one core).
+///
+/// Router ids pack `(landmark, level, prefix)`, so peers of one landmark
+/// share path suffixes exactly like traced routes (exercising the path
+/// tree, interning and the router index realistically), each peer gets a
+/// unique access router, and distinct landmarks never collide. A peer's
+/// landmark and path are **pure functions of its id** — a peer that
+/// leaves and rejoins re-traces to the same landmark, which is what makes
+/// the shard-parallel churn path's per-landmark grouping safe.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticJoins {
+    n_landmarks: u32,
+    branching: u64,
+    depth: u32,
+}
+
+impl SyntheticJoins {
+    /// A generator over `n_landmarks` landmarks (routers `0..n`), with the
+    /// join_throughput bench's shape: branching 4, depth 8.
+    pub fn new(n_landmarks: usize) -> Self {
+        assert!(
+            (1..=64).contains(&n_landmarks),
+            "synthetic landmark ids are packed into 6 bits"
+        );
+        Self {
+            n_landmarks: n_landmarks as u32,
+            branching: 4,
+            depth: 8,
+        }
+    }
+
+    /// The landmark peer `i` (re-)traces to.
+    pub fn landmark_of(&self, peer: u64) -> LandmarkId {
+        LandmarkId((peer % self.n_landmarks as u64) as u32)
+    }
+
+    /// Peer `i`'s router path: unique access router, shared mid-levels,
+    /// terminating at its landmark's router.
+    pub fn path(&self, peer: u64) -> PeerPath {
+        let lmk = (peer % self.n_landmarks as u64) as u32;
+        let within = peer / self.n_landmarks as u64;
+        let mut routers = Vec::with_capacity(self.depth as usize + 1);
+        // Unique access router per peer, top id range (below the packed
+        // infrastructure range, above the landmark ids).
+        routers.push(RouterId(u32::MAX - peer as u32));
+        for level in (1..self.depth).rev() {
+            let prefix = (within % self.branching.pow(level)) as u32;
+            routers.push(RouterId(0x4000_0000 + (lmk << 24) + (level << 18) + prefix));
+        }
+        routers.push(RouterId(lmk));
+        PeerPath::new(routers).expect("packed id ranges are loop-free")
+    }
+
+    /// A join item for peer `i`.
+    pub fn join(&self, peer: u64) -> (PeerId, PeerPath) {
+        (PeerId(peer), self.path(peer))
+    }
+
+    /// A management server whose landmarks match this generator (all
+    /// landmark pairs 4 hops apart — churn replay is write-side work, the
+    /// bridge matrix only matters to queries).
+    pub fn server(&self, config: ServerConfig) -> ManagementServer {
+        let routers: Vec<RouterId> = (0..self.n_landmarks).map(RouterId).collect();
+        let dist: Vec<Vec<u32>> = (0..self.n_landmarks)
+            .map(|i| {
+                (0..self.n_landmarks)
+                    .map(|j| if i == j { 0 } else { 4 })
+                    .collect()
+            })
+            .collect();
+        ManagementServer::new(routers, dist, config)
+    }
+}
+
+/// Applies one epoch's churn batch **shard-parallel**: join/renewal items
+/// are grouped by landmark and absorbed by each shard on its own crossbeam
+/// scoped thread ([`nearpeer_core::DirectoryShard::absorb_batch`] — fresh
+/// peers insert, registered peers renew their lease at `epoch`), and every
+/// shard thread also removes its own members from the shared `leaves`
+/// list. Returns the summed per-shard outcome plus the leave count.
+///
+/// Like [`ManagementServer::shards_mut`] itself, this bypasses the
+/// facade's cross-shard checks: **callers must guarantee a peer id never
+/// targets two different landmarks** (true for [`SyntheticJoins`], where
+/// the landmark is a pure function of the id) and that super-peers are
+/// disabled. `threads <= 1` degenerates to the facade's batched calls,
+/// which produce identical directory state.
+pub fn churn_epoch_shard_parallel(
+    server: &mut ManagementServer,
+    joins: Vec<(PeerId, PeerPath)>,
+    leaves: &[PeerId],
+    threads: usize,
+) -> Result<(nearpeer_core::ChurnBatchOutcome, usize), String> {
+    debug_assert!(
+        server.super_peer_directory().is_none(),
+        "shard-parallel churn bypasses super-peer maintenance"
+    );
+    if threads <= 1 {
+        let absorbed = server.register_batch_renewing(joins);
+        let left = server.leave_batch(leaves);
+        return Ok((absorbed, left));
+    }
+    let epoch = server.epoch();
+    let mut groups: Vec<Vec<(PeerId, PeerPath)>> =
+        (0..server.landmarks().len()).map(|_| Vec::new()).collect();
+    let mut rejected = 0usize;
+    for (peer, path) in joins {
+        match server.landmark_at_router(path.landmark_router()) {
+            Some(lm) => groups[lm.index()].push((peer, path)),
+            None => rejected += 1,
+        }
+    }
+    let (absorbed, left) = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = server
+            .shards_mut()
+            .iter_mut()
+            .zip(groups)
+            .map(|(shard, items)| {
+                scope.spawn(move |_| {
+                    let absorbed = shard.absorb_batch(items, epoch);
+                    let left = shard.remove_batch(leaves).len();
+                    (absorbed, left)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).fold(
+            (nearpeer_core::ChurnBatchOutcome::default(), 0usize),
+            |(mut acc, left_acc), (a, left)| {
+                acc.joined += a.joined;
+                acc.renewed += a.renewed;
+                acc.rejected += a.rejected;
+                (acc, left_acc + left)
+            },
+        )
+    })
+    .expect("scoped churn workers never panic");
+    Ok((
+        nearpeer_core::ChurnBatchOutcome {
+            joined: absorbed.joined,
+            renewed: absorbed.renewed,
+            rejected: absorbed.rejected + rejected,
+        },
+        left,
+    ))
+}
+
+/// Shard-parallel heartbeat round: every shard renews its own members of
+/// `peers` at the current epoch on its own scoped thread. Returns the
+/// number renewed — the same observable as
+/// [`ManagementServer::renew_batch`]. Same caller contract as
+/// [`churn_epoch_shard_parallel`].
+pub fn renew_shard_parallel(
+    server: &mut ManagementServer,
+    peers: &[PeerId],
+    threads: usize,
+) -> usize {
+    if threads <= 1 {
+        return server.renew_batch(peers);
+    }
+    let epoch = server.epoch();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = server
+            .shards_mut()
+            .iter_mut()
+            .map(|shard| scope.spawn(move |_| shard.renew_batch(peers, epoch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+    .expect("scoped renewal workers never panic")
+}
+
+/// Shard-parallel lease expiry: every shard sweeps its epoch-bucketed
+/// arena on its own scoped thread; results merge into one ascending id
+/// list — the same observable as
+/// [`ManagementServer::expire_stale_batch`]. Same caller contract as
+/// [`churn_epoch_shard_parallel`] (no super-peers).
+pub fn expire_stale_shard_parallel(
+    server: &mut ManagementServer,
+    max_age: u64,
+    threads: usize,
+) -> Vec<PeerId> {
+    debug_assert!(server.super_peer_directory().is_none());
+    if threads <= 1 {
+        return server.expire_stale_batch(max_age);
+    }
+    let cutoff = server.epoch().saturating_sub(max_age);
+    let mut expired: Vec<PeerId> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = server
+            .shards_mut()
+            .iter_mut()
+            .map(|shard| scope.spawn(move |_| shard.expire_stale_batch(cutoff)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+    .expect("scoped expiry workers never panic");
+    expired.sort_unstable();
+    expired
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +756,53 @@ mod tests {
         assert!(swarm.phases.trace > Duration::ZERO);
         assert!(swarm.phases.register > Duration::ZERO);
         assert_eq!(swarm.phases.trace_threads, 3);
+    }
+
+    #[test]
+    fn synthetic_joins_register_and_rejoin_cleanly() {
+        let gen = SyntheticJoins::new(3);
+        let mut server = gen.server(ServerConfig::default());
+        let joins: Vec<_> = (0..60u64).map(|i| gen.join(i)).collect();
+        let out = server.register_batch_renewing(joins.clone());
+        assert_eq!((out.joined, out.renewed, out.rejected), (60, 0, 0));
+        // Paths are pure functions of the id: every rejoin renews.
+        server.advance_epoch();
+        let again = server.register_batch_renewing(joins);
+        assert_eq!((again.joined, again.renewed), (0, 60));
+        for i in 0..60u64 {
+            assert_eq!(server.landmark_of(PeerId(i)), Some(gen.landmark_of(i)));
+        }
+    }
+
+    #[test]
+    fn shard_parallel_churn_epoch_matches_facade() {
+        let gen = SyntheticJoins::new(4);
+        let joins: Vec<_> = (0..120u64).map(|i| gen.join(i)).collect();
+        let leaves: Vec<PeerId> = (0..40u64).map(PeerId).collect();
+
+        let mut facade = gen.server(ServerConfig::default());
+        let fa = facade.register_batch_renewing(joins.clone());
+        let fl = facade.leave_batch(&leaves);
+        facade.advance_epoch();
+        for _ in 0..3 {
+            facade.advance_epoch();
+        }
+        let fe = facade.expire_stale_batch(2);
+
+        for threads in [2, 5] {
+            let mut par = gen.server(ServerConfig::default());
+            let (pa, pl) = churn_epoch_shard_parallel(&mut par, joins.clone(), &leaves, threads)
+                .expect("synthetic ids are landmark-stable");
+            assert_eq!(pa, fa, "threads={threads}");
+            assert_eq!(pl, fl);
+            for _ in 0..4 {
+                par.advance_epoch();
+            }
+            let pe = expire_stale_shard_parallel(&mut par, 2, threads);
+            assert_eq!(pe, fe);
+            assert_eq!(par.peer_count(), facade.peer_count());
+            assert_eq!(par.report().per_landmark, facade.report().per_landmark);
+        }
     }
 
     #[test]

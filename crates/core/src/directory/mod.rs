@@ -7,7 +7,10 @@
 //! [`DirectoryShard`]s — each owning its landmark's
 //! [`crate::PathTree`], its slice of the router index and its peers'
 //! soft-state leases, with paths interned once in an arena-backed
-//! [`PathStore`] instead of cloned into every structure.
+//! [`PathStore`] instead of cloned into every structure and leases held
+//! in a slab-backed [`LeaseArena`] (generational slots, one open-addressed
+//! peer→slot table, epoch-bucketed expiry) so million-peer churn neither
+//! fragments the heap nor pays a full-table scan per expiry sweep.
 //!
 //! The [`crate::ManagementServer`] facade keeps the original single-server
 //! API on top: it routes writes to the owning shard, merges `&self` reads
@@ -19,8 +22,10 @@
 //! landmark and amortise the tree descent; disjoint shards can be built
 //! from different threads via [`crate::ManagementServer::shards_mut`].
 
+mod lease_arena;
 mod path_store;
 mod shard;
 
+pub use lease_arena::{LeaseArena, PeerSlot, SweepStats};
 pub use path_store::{PathRef, PathStore};
-pub use shard::DirectoryShard;
+pub use shard::{DirectoryShard, ShardAbsorb};

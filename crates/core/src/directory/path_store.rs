@@ -72,6 +72,15 @@ impl PathStore {
         self.hits
     }
 
+    /// Pre-sizes the arena for `additional` interns beyond the current
+    /// live count (batch absorption at churn scale would otherwise grow
+    /// the slot vector doubling-step by doubling-step mid-batch). Free
+    /// slots already on the free list count towards the headroom.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = additional.saturating_sub(self.free.len());
+        self.slots.reserve(needed);
+    }
+
     /// Interns a path, returning a handle. Identical paths (same router
     /// sequence) share a slot; the slot's reference count is bumped.
     pub fn intern(&mut self, path: PeerPath) -> PathRef {

@@ -1,5 +1,6 @@
 //! One landmark's slice of the management directory.
 
+use super::lease_arena::LeaseArena;
 use super::path_store::{PathRef, PathStore};
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
@@ -7,7 +8,19 @@ use crate::path::PeerPath;
 use crate::path_tree::PathTree;
 use crate::router_index::{query_nearest_entries, EntryMap, Neighbor};
 use nearpeer_topology::RouterId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// What happened to each item of a churn-absorbing batch
+/// ([`DirectoryShard::absorb_batch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardAbsorb {
+    /// Fresh peers inserted (lease opened at the batch epoch).
+    pub joined: usize,
+    /// Already-registered peers whose lease was renewed instead.
+    pub renewed: usize,
+    /// Items skipped (wrong landmark root).
+    pub rejected: usize,
+}
 
 /// The per-landmark directory shard: everything the server knows about the
 /// peers registered under one landmark.
@@ -15,7 +28,10 @@ use std::collections::{HashMap, HashSet};
 /// A shard owns the landmark's [`PathTree`], its slice of the router index
 /// (entries for every router on its peers' paths), the interned path arena
 /// ([`PathStore`] — one copy per distinct path instead of one clone per
-/// structure), and the soft-state lease table. Shards never reference each
+/// structure), and the soft-state lease table — a slab-backed
+/// [`LeaseArena`] holding membership, path handle and last-seen epoch in
+/// one contiguous allocation with epoch-bucketed expiry (was three per-peer
+/// `HashMap`s before the churn refactor). Shards never reference each
 /// other, so distinct shards can be **mutated from different threads**
 /// (`&mut` access via [`crate::ManagementServer::shards_mut`]) and
 /// **queried concurrently** (every read takes `&self`). Cross-landmark
@@ -27,9 +43,8 @@ pub struct DirectoryShard {
     root: RouterId,
     store: PathStore,
     entries: EntryMap,
-    peer_paths: HashMap<PeerId, PathRef>,
+    leases: LeaseArena<PathRef>,
     tree: PathTree,
-    last_seen: HashMap<PeerId, u64>,
     inserts: u64,
     removals: u64,
 }
@@ -42,9 +57,8 @@ impl DirectoryShard {
             root,
             store: PathStore::new(),
             entries: EntryMap::new(),
-            peer_paths: HashMap::new(),
+            leases: LeaseArena::new(),
             tree: PathTree::new(root),
-            last_seen: HashMap::new(),
             inserts: 0,
             removals: 0,
         }
@@ -62,27 +76,28 @@ impl DirectoryShard {
 
     /// Peers registered in this shard.
     pub fn len(&self) -> usize {
-        self.peer_paths.len()
+        self.leases.len()
     }
 
     /// Whether the shard holds no peer.
     pub fn is_empty(&self) -> bool {
-        self.peer_paths.is_empty()
+        self.leases.is_empty()
     }
 
     /// Whether `peer` is registered here.
     pub fn contains(&self, peer: PeerId) -> bool {
-        self.peer_paths.contains_key(&peer)
+        self.leases.contains(peer)
     }
 
     /// The stored (interned) path of a peer.
     pub fn path_of(&self, peer: PeerId) -> Option<&PeerPath> {
-        self.peer_paths.get(&peer).map(|&r| self.store.get(r))
+        self.leases.get(peer).map(|&r| self.store.get(r))
     }
 
-    /// Iterator over the shard's peers (arbitrary order).
+    /// Iterator over the shard's peers (slot order — arbitrary from the
+    /// caller's point of view).
     pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
-        self.peer_paths.keys().copied()
+        self.leases.iter().map(|(p, _, _)| p)
     }
 
     /// The landmark's path tree (analytics view).
@@ -93,6 +108,11 @@ impl DirectoryShard {
     /// The interned path arena (diagnostics: dedup hits, distinct paths).
     pub fn path_store(&self) -> &PathStore {
         &self.store
+    }
+
+    /// The slab-backed lease table (diagnostics: sweep cost, slot reuse).
+    pub fn leases(&self) -> &LeaseArena<PathRef> {
+        &self.leases
     }
 
     /// Distinct routers referenced by this shard's paths.
@@ -138,25 +158,48 @@ impl DirectoryShard {
 
     /// The epoch `peer` last checked in, if registered.
     pub fn last_seen(&self, peer: PeerId) -> Option<u64> {
-        self.last_seen.get(&peer).copied()
+        self.leases.last_seen(peer)
     }
 
     /// Records a heartbeat; `false` if the peer is not in this shard.
     pub fn heartbeat(&mut self, peer: PeerId, epoch: u64) -> bool {
-        if !self.peer_paths.contains_key(&peer) {
-            return false;
-        }
-        self.last_seen.insert(peer, epoch);
-        true
+        self.leases.renew(peer, epoch)
     }
 
-    /// Shard peers last seen strictly before `cutoff`.
+    /// Shard peers last seen strictly before `cutoff` — read-only
+    /// diagnostic (O(peers) slab scan). The expiring path is
+    /// [`Self::expire_stale_batch`], whose epoch-bucketed sweep is linear
+    /// in the lease activity being retired instead.
     pub fn stale_peers(&self, cutoff: u64) -> Vec<PeerId> {
-        self.last_seen
-            .iter()
-            .filter(|&(_, &seen)| seen < cutoff)
-            .map(|(&p, _)| p)
-            .collect()
+        self.leases.stale(cutoff)
+    }
+
+    /// Indexes every router of an interned path for `peer`.
+    fn index_path(&mut self, peer: PeerId, r: PathRef) {
+        let path = self.store.get(r);
+        for (router, depth) in path.with_depths() {
+            self.entries
+                .entry(router)
+                .or_default()
+                .insert((depth, peer));
+        }
+    }
+
+    /// Drops `peer`'s entries for the path behind `r` from the router
+    /// index and releases the arena slot.
+    fn unindex_path(&mut self, peer: PeerId, r: PathRef) {
+        {
+            let path = self.store.get(r);
+            for (router, depth) in path.with_depths() {
+                if let Some(set) = self.entries.get_mut(&router) {
+                    set.remove(&(depth, peer));
+                    if set.is_empty() {
+                        self.entries.remove(&router);
+                    }
+                }
+            }
+        }
+        self.store.release(r);
     }
 
     /// Registers one peer: interns the path, indexes every router on it,
@@ -170,20 +213,13 @@ impl DirectoryShard {
                 self.root
             )));
         }
-        if self.peer_paths.contains_key(&peer) {
+        if self.leases.contains(peer) {
             return Err(CoreError::DuplicatePeer(peer));
         }
         let r = self.store.intern(path);
-        let path = self.store.get(r);
-        for (router, depth) in path.with_depths() {
-            self.entries
-                .entry(router)
-                .or_default()
-                .insert((depth, peer));
-        }
-        self.tree.insert(peer, path);
-        self.peer_paths.insert(peer, r);
-        self.last_seen.insert(peer, epoch);
+        self.index_path(peer, r);
+        self.tree.insert(peer, self.store.get(r));
+        self.leases.insert(peer, r, epoch);
         self.inserts += 1;
         Ok(())
     }
@@ -194,21 +230,42 @@ impl DirectoryShard {
     /// also duplicates *within* the batch) are skipped. Returns the number
     /// of peers inserted.
     pub fn insert_batch(&mut self, items: Vec<(PeerId, PeerPath)>, epoch: u64) -> usize {
+        self.absorb(items, epoch, false).joined
+    }
+
+    /// Churn-absorbing batch: like [`Self::insert_batch`], but an item
+    /// whose peer is already registered here **renews its lease** at
+    /// `epoch` (keeping the stored path) instead of being skipped — the
+    /// rejoin-before-expiry case a million-peer churn replay hits
+    /// constantly. Wrong-root items are counted as rejected.
+    pub fn absorb_batch(&mut self, items: Vec<(PeerId, PeerPath)>, epoch: u64) -> ShardAbsorb {
+        self.absorb(items, epoch, true)
+    }
+
+    fn absorb(
+        &mut self,
+        items: Vec<(PeerId, PeerPath)>,
+        epoch: u64,
+        renew_existing: bool,
+    ) -> ShardAbsorb {
+        let mut out = ShardAbsorb::default();
         let mut accepted: Vec<(PeerId, PathRef)> = Vec::with_capacity(items.len());
+        self.store.reserve(items.len());
         for (peer, path) in items {
-            if path.landmark_router() != self.root || self.peer_paths.contains_key(&peer) {
+            if path.landmark_router() != self.root {
+                out.rejected += 1;
+                continue;
+            }
+            if self.leases.contains(peer) {
+                if renew_existing {
+                    self.leases.renew(peer, epoch);
+                    out.renewed += 1;
+                }
                 continue;
             }
             let r = self.store.intern(path);
-            let path = self.store.get(r);
-            for (router, depth) in path.with_depths() {
-                self.entries
-                    .entry(router)
-                    .or_default()
-                    .insert((depth, peer));
-            }
-            self.peer_paths.insert(peer, r);
-            self.last_seen.insert(peer, epoch);
+            self.index_path(peer, r);
+            self.leases.insert(peer, r, epoch);
             accepted.push((peer, r));
         }
         let store = &self.store;
@@ -217,30 +274,59 @@ impl DirectoryShard {
             .insert_batch(accepted.iter().map(|&(p, r)| (p, store.get(r))));
         debug_assert_eq!(inserted, accepted.len());
         self.inserts += accepted.len() as u64;
-        accepted.len()
+        out.joined = accepted.len();
+        out
     }
 
     /// Removes a peer, releasing its arena slot; `false` if unknown.
     pub fn remove(&mut self, peer: PeerId) -> bool {
-        let Some(r) = self.peer_paths.remove(&peer) else {
+        let Some(r) = self.leases.remove(peer) else {
             return false;
         };
-        {
-            let path = self.store.get(r);
-            for (router, depth) in path.with_depths() {
-                if let Some(set) = self.entries.get_mut(&router) {
-                    set.remove(&(depth, peer));
-                    if set.is_empty() {
-                        self.entries.remove(&router);
-                    }
-                }
-            }
-        }
+        self.unindex_path(peer, r);
         self.tree.remove(peer);
-        self.store.release(r);
-        self.last_seen.remove(&peer);
         self.removals += 1;
         true
+    }
+
+    /// Renews the lease of every listed peer registered here at `epoch`
+    /// (one heartbeat round, batched). Peers in other shards cost one
+    /// open-addressed probe each. Returns the number renewed.
+    pub fn renew_batch(&mut self, peers: &[PeerId], epoch: u64) -> usize {
+        peers
+            .iter()
+            .filter(|&&peer| self.leases.renew(peer, epoch))
+            .count()
+    }
+
+    /// Removes every listed peer registered here, returning the ones
+    /// actually removed (in input order). Peers in other shards — or
+    /// listed twice — are simply not found; the probe per miss is one
+    /// open-addressed lookup.
+    pub fn remove_batch(&mut self, peers: &[PeerId]) -> Vec<PeerId> {
+        let mut removed = Vec::new();
+        for &peer in peers {
+            if self.remove(peer) {
+                removed.push(peer);
+            }
+        }
+        removed
+    }
+
+    /// Expires every lease last seen strictly before `cutoff`, returning
+    /// the expired peers sorted by id. This is the epoch-bucketed linear
+    /// sweep ([`LeaseArena::take_expired`]): cost proportional to the
+    /// lease activity being retired, never a scan of the whole table.
+    pub fn expire_stale_batch(&mut self, cutoff: u64) -> Vec<PeerId> {
+        let expired = self.leases.take_expired(cutoff);
+        let mut out = Vec::with_capacity(expired.len());
+        for (peer, r) in expired {
+            self.unindex_path(peer, r);
+            self.tree.remove(peer);
+            self.removals += 1;
+            out.push(peer);
+        }
+        out
     }
 }
 
@@ -337,6 +423,64 @@ mod tests {
         ];
         assert_eq!(s.insert_batch(items, 0), 1);
         assert_eq!(s.path_of(PeerId(1)).unwrap().attach(), RouterId(4));
+    }
+
+    #[test]
+    fn absorb_batch_renews_instead_of_skipping() {
+        let mut s = shard();
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        let out = s.absorb_batch(
+            vec![
+                (PeerId(1), path(&[5, 2, 1, 0])), // registered: renew, keep path
+                (PeerId(2), path(&[5, 2, 1, 0])), // fresh: join
+                (PeerId(3), path(&[9, 42])),      // wrong root: reject
+            ],
+            7,
+        );
+        assert_eq!(
+            out,
+            ShardAbsorb {
+                joined: 1,
+                renewed: 1,
+                rejected: 1
+            }
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last_seen(PeerId(1)), Some(7), "lease renewed");
+        assert_eq!(
+            s.path_of(PeerId(1)).unwrap().attach(),
+            RouterId(4),
+            "renewal keeps the stored path"
+        );
+        assert_eq!(s.inserts(), 2);
+    }
+
+    #[test]
+    fn remove_batch_ignores_foreign_and_duplicate_ids() {
+        let mut s = shard();
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.insert(PeerId(2), path(&[5, 2, 1, 0]), 0).unwrap();
+        let removed = s.remove_batch(&[PeerId(2), PeerId(9), PeerId(2), PeerId(1)]);
+        assert_eq!(removed, vec![PeerId(2), PeerId(1)]);
+        assert!(s.is_empty());
+        assert_eq!(s.removals(), 2);
+    }
+
+    #[test]
+    fn expire_batch_sweeps_and_cleans_indexes() {
+        let mut s = shard();
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.insert(PeerId(2), path(&[5, 2, 1, 0]), 0).unwrap();
+        s.heartbeat(PeerId(1), 4);
+        let expired = s.expire_stale_batch(3);
+        assert_eq!(expired, vec![PeerId(2)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tree().n_peers(), 1);
+        assert!(s.path_of(PeerId(2)).is_none());
+        assert_eq!(s.path_store().distinct(), 1);
+        assert_eq!(s.removals(), 1);
+        // Matches what the read-only diagnostic would have named.
+        assert!(s.stale_peers(3).is_empty());
     }
 
     #[test]

@@ -47,11 +47,13 @@ mod router_index;
 mod server;
 mod superpeer;
 
-pub use directory::{DirectoryShard, PathRef, PathStore};
+pub use directory::{
+    DirectoryShard, LeaseArena, PathRef, PathStore, PeerSlot, ShardAbsorb, SweepStats,
+};
 pub use error::CoreError;
 pub use ids::{LandmarkId, PeerId};
 pub use path::PeerPath;
 pub use path_tree::PathTree;
 pub use router_index::{Neighbor, RouterIndex};
-pub use server::{DirectoryView, JoinOutcome, ManagementServer, ServerConfig};
+pub use server::{ChurnBatchOutcome, DirectoryView, JoinOutcome, ManagementServer, ServerConfig};
 pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};

@@ -6,7 +6,7 @@
 //! merge per-shard answers, and only genuinely cross-landmark state —
 //! bridge distances, super-peer regions, aggregate counters — lives here.
 
-use crate::directory::DirectoryShard;
+use crate::directory::{DirectoryShard, ShardAbsorb};
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
@@ -125,6 +125,20 @@ pub struct ServerStats {
     pub leaves: u64,
     /// Mobility handovers processed.
     pub handovers: u64,
+}
+
+/// What happened to each item of a churn-absorbing batch
+/// ([`ManagementServer::register_batch_renewing`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnBatchOutcome {
+    /// Fresh peers registered (lease opened at the current epoch).
+    pub joined: usize,
+    /// Already-registered peers whose lease was renewed instead.
+    pub renewed: usize,
+    /// Items dropped: unknown landmark, or a peer re-appearing under a
+    /// *different* landmark than its registration (that move is a
+    /// [`ManagementServer::handover`], not a renewal).
+    pub rejected: usize,
 }
 
 /// Read-path counters, interior-mutable so pure queries stay `&self` (and
@@ -470,18 +484,128 @@ impl ManagementServer {
     /// returning the expired ids in ascending order — this is how silently
     /// failed peers leave the directory (the staleness W3 measures without
     /// it). Expiries count as leaves.
+    ///
+    /// Since the lease-arena refactor this *is* the batched sweep
+    /// ([`Self::expire_stale_batch`]): epoch buckets below the cutoff are
+    /// retired linearly instead of scanning every lease.
     pub fn expire_stale(&mut self, max_age: u64) -> Vec<PeerId> {
+        self.expire_stale_batch(max_age)
+    }
+
+    /// Batched expiry: every shard sweeps its epoch-bucketed lease arena
+    /// once (cost linear in the lease activity being retired, no per-peer
+    /// full-map scans), then the per-shard results merge into one
+    /// ascending id list. Semantically identical to the historical
+    /// `expire_stale`; expiries count as leaves.
+    pub fn expire_stale_batch(&mut self, max_age: u64) -> Vec<PeerId> {
         let cutoff = self.epoch.saturating_sub(max_age);
-        let mut stale: Vec<PeerId> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.stale_peers(cutoff))
-            .collect();
+        let mut stale: Vec<PeerId> = Vec::new();
+        for shard in &mut self.shards {
+            stale.extend(shard.expire_stale_batch(cutoff));
+        }
         stale.sort_unstable();
-        for &peer in &stale {
-            let _ = self.deregister(peer);
+        if let Some(dir) = self.super_peers.as_mut() {
+            for &peer in &stale {
+                dir.on_deregister(peer);
+            }
         }
         stale
+    }
+
+    /// One heartbeat round, batched: renews the lease of every listed
+    /// peer still registered, at the current epoch. Unknown ids are
+    /// ignored (one open-addressed probe per shard); returns the number
+    /// renewed. The single-peer [`Self::heartbeat`] keeps its error
+    /// reporting; at churn scale the directory only cares that live peers
+    /// stay leased.
+    pub fn renew_batch(&mut self, peers: &[PeerId]) -> usize {
+        let epoch = self.epoch;
+        self.shards
+            .iter_mut()
+            .map(|shard| shard.renew_batch(peers, epoch))
+            .sum()
+    }
+
+    /// Batched departures — churn, W3. Every listed peer still registered
+    /// is removed (each shard removes its own members; a miss costs one
+    /// open-addressed probe per shard); unknown or duplicated ids are
+    /// ignored. Returns the number of peers removed. Removals count as
+    /// leaves.
+    pub fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
+        let mut removed_total = 0usize;
+        for shard in &mut self.shards {
+            let removed = shard.remove_batch(peers);
+            if let Some(dir) = self.super_peers.as_mut() {
+                for &peer in &removed {
+                    dir.on_deregister(peer);
+                }
+            }
+            removed_total += removed.len();
+        }
+        removed_total
+    }
+
+    /// Batched churn absorption: like [`Self::register_batch`] but
+    /// **write-only** (no neighbor answers — churn replay is directory
+    /// maintenance, not discovery) and with lease renewal piggybacked on
+    /// the join path: an item whose peer is already registered under the
+    /// same landmark renews its lease at the current epoch and keeps its
+    /// stored path — the rejoin-before-expiry case of a faulty peer coming
+    /// back. A peer re-appearing under a *different* landmark is rejected
+    /// (that is a [`Self::handover`]); so are unknown-landmark paths.
+    /// Later occurrences of a peer inserted earlier in the same batch
+    /// count as renewals (all leases in one batch share the current epoch,
+    /// so this matches applying the items one by one).
+    pub fn register_batch_renewing(&mut self, batch: Vec<(PeerId, PeerPath)>) -> ChurnBatchOutcome {
+        let epoch = self.epoch;
+        let mut out = ChurnBatchOutcome::default();
+        let mut per_shard: Vec<Vec<(PeerId, PeerPath)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut fresh: Vec<(PeerId, LandmarkId)> = Vec::new();
+        let mut fresh_landmark: HashMap<PeerId, LandmarkId> = HashMap::new();
+        for (peer, path) in batch {
+            let Ok(landmark) = self.landmark_for_path(&path) else {
+                out.rejected += 1;
+                continue;
+            };
+            if let Some(idx) = self.shard_idx_of(peer) {
+                if idx == landmark.index() {
+                    self.shards[idx].heartbeat(peer, epoch);
+                    out.renewed += 1;
+                } else {
+                    out.rejected += 1;
+                }
+            } else if let Some(&lm) = fresh_landmark.get(&peer) {
+                // Joined earlier in this batch; same-epoch renewal is a
+                // no-op on the lease, so only the disposition is counted.
+                if lm == landmark {
+                    out.renewed += 1;
+                } else {
+                    out.rejected += 1;
+                }
+            } else {
+                fresh_landmark.insert(peer, landmark);
+                per_shard[landmark.index()].push((peer, path));
+                fresh.push((peer, landmark));
+            }
+        }
+        for (shard, items) in self.shards.iter_mut().zip(per_shard) {
+            if !items.is_empty() {
+                let absorbed: ShardAbsorb = shard.absorb_batch(items, epoch);
+                debug_assert_eq!(absorbed.renewed + absorbed.rejected, 0);
+                out.joined += absorbed.joined;
+            }
+        }
+        if let Some(dir) = self.super_peers.as_mut() {
+            let shards = &self.shards;
+            dir.on_register_batch(fresh.iter().map(|&(peer, landmark)| {
+                let path = shards[landmark.index()]
+                    .path_of(peer)
+                    .expect("fresh items were inserted");
+                (peer, path)
+            }));
+        }
+        out
     }
 
     /// Mobility handover (W3): the peer re-traceroutes from its new

@@ -7,8 +7,8 @@
 //! errors, neighbor answers and counters.
 
 use nearpeer_core::{
-    CoreError, JoinOutcome, LandmarkId, ManagementServer, Neighbor, PathTree, PeerId, PeerPath,
-    RouterIndex, ServerConfig, SuperPeerConfig, SuperPeerDirectory,
+    ChurnBatchOutcome, CoreError, JoinOutcome, LandmarkId, ManagementServer, Neighbor, PathTree,
+    PeerId, PeerPath, RouterIndex, ServerConfig, SuperPeerConfig, SuperPeerDirectory,
 };
 use nearpeer_topology::RouterId;
 use proptest::prelude::*;
@@ -205,6 +205,60 @@ impl ReferenceServer {
         Ok(())
     }
 
+    /// Mirrors the facade's batched churn absorption: renew same-landmark
+    /// rejoins, reject cross-landmark moves and unknown landmarks, insert
+    /// the fresh remainder (no neighbor answers).
+    fn register_batch_renewing(&mut self, batch: Vec<(PeerId, PeerPath)>) -> ChurnBatchOutcome {
+        let mut out = ChurnBatchOutcome::default();
+        let mut fresh: Vec<(PeerId, PeerPath)> = Vec::new();
+        let mut fresh_landmark: HashMap<PeerId, LandmarkId> = HashMap::new();
+        for (peer, path) in batch {
+            let Ok(lm) = self.landmark_for(&path) else {
+                out.rejected += 1;
+                continue;
+            };
+            let registered = self.peer_landmark.get(&peer).copied();
+            let pending = fresh_landmark.get(&peer).copied();
+            match registered.or(pending) {
+                Some(existing) if existing == lm => {
+                    if registered.is_some() {
+                        self.last_seen.insert(peer, self.epoch);
+                    }
+                    out.renewed += 1;
+                }
+                Some(_) => out.rejected += 1,
+                None => {
+                    fresh_landmark.insert(peer, lm);
+                    fresh.push((peer, path));
+                }
+            }
+        }
+        for (peer, path) in &fresh {
+            let lm = fresh_landmark[peer];
+            self.index.insert(*peer, path.clone()).expect("validated");
+            self.trees[lm.index()].insert(*peer, path);
+            self.peer_landmark.insert(*peer, lm);
+            self.last_seen.insert(*peer, self.epoch);
+            self.joins += 1;
+            out.joined += 1;
+        }
+        for (peer, path) in &fresh {
+            self.super_peers.on_register(*peer, path);
+        }
+        out
+    }
+
+    fn renew_batch(&mut self, peers: &[PeerId]) -> usize {
+        peers.iter().filter(|&&p| self.heartbeat(p).is_ok()).count()
+    }
+
+    fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
+        peers
+            .iter()
+            .filter(|&&p| self.deregister(p).is_ok())
+            .count()
+    }
+
     fn expire_stale(&mut self, max_age: u64) -> Vec<PeerId> {
         let cutoff = self.epoch.saturating_sub(max_age);
         let mut stale: Vec<PeerId> = self
@@ -270,11 +324,15 @@ fn spec_path(s: JoinSpec) -> PeerPath {
 enum Op {
     Register(JoinSpec),
     RegisterBatch(Vec<JoinSpec>),
+    RegisterBatchRenewing(Vec<JoinSpec>),
     Deregister { peer: u8 },
+    LeaveBatch(Vec<u8>),
     Handover(JoinSpec),
     Heartbeat { peer: u8 },
+    RenewBatch(Vec<u8>),
     AdvanceEpoch,
     ExpireStale { max_age: u8 },
+    ExpireStaleBatch { max_age: u8 },
     Query { peer: u8, k: u8 },
 }
 
@@ -299,11 +357,19 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         arb_spec().prop_map(Op::Register),
         prop::collection::vec(arb_spec(), 1..7).prop_map(Op::RegisterBatch),
+        prop::collection::vec(arb_spec(), 1..7).prop_map(Op::RegisterBatchRenewing),
         any::<u8>().prop_map(|peer| Op::Deregister { peer: peer % 24 }),
+        prop::collection::vec(any::<u8>(), 1..7)
+            .prop_map(|ps| Op::LeaveBatch(ps.into_iter().map(|p| p % 24).collect())),
         arb_spec().prop_map(Op::Handover),
         any::<u8>().prop_map(|peer| Op::Heartbeat { peer: peer % 24 }),
+        prop::collection::vec(any::<u8>(), 1..7)
+            .prop_map(|ps| Op::RenewBatch(ps.into_iter().map(|p| p % 24).collect())),
         Just(Op::AdvanceEpoch),
         any::<u8>().prop_map(|max_age| Op::ExpireStale {
+            max_age: max_age % 6
+        }),
+        any::<u8>().prop_map(|max_age| Op::ExpireStaleBatch {
             max_age: max_age % 6
         }),
         (any::<u8>(), 1u8..8).prop_map(|(peer, k)| Op::Query { peer: peer % 24, k }),
@@ -371,11 +437,25 @@ proptest! {
                         }
                     }
                 }
+                Op::RegisterBatchRenewing(specs) => {
+                    let batch: Vec<(PeerId, PeerPath)> = specs
+                        .iter()
+                        .map(|&s| (PeerId(s.peer as u64), spec_path(s)))
+                        .collect();
+                    prop_assert_eq!(
+                        server.register_batch_renewing(batch.clone()),
+                        reference.register_batch_renewing(batch)
+                    );
+                }
                 Op::Deregister { peer } => {
                     let peer = PeerId(peer as u64);
                     let got = server.deregister(peer);
                     let want = reference.deregister(peer);
                     prop_assert_eq!(got.is_ok(), want.is_ok());
+                }
+                Op::LeaveBatch(peers) => {
+                    let ids: Vec<PeerId> = peers.iter().map(|&p| PeerId(p as u64)).collect();
+                    prop_assert_eq!(server.leave_batch(&ids), reference.leave_batch(&ids));
                 }
                 Op::Handover(spec) => {
                     let peer = PeerId(spec.peer as u64);
@@ -395,6 +475,10 @@ proptest! {
                         reference.heartbeat(peer).is_ok()
                     );
                 }
+                Op::RenewBatch(peers) => {
+                    let ids: Vec<PeerId> = peers.iter().map(|&p| PeerId(p as u64)).collect();
+                    prop_assert_eq!(server.renew_batch(&ids), reference.renew_batch(&ids));
+                }
                 Op::AdvanceEpoch => {
                     server.advance_epoch();
                     reference.epoch += 1;
@@ -402,6 +486,12 @@ proptest! {
                 Op::ExpireStale { max_age } => {
                     prop_assert_eq!(
                         server.expire_stale(max_age as u64),
+                        reference.expire_stale(max_age as u64)
+                    );
+                }
+                Op::ExpireStaleBatch { max_age } => {
+                    prop_assert_eq!(
+                        server.expire_stale_batch(max_age as u64),
                         reference.expire_stale(max_age as u64)
                     );
                 }
@@ -436,6 +526,12 @@ proptest! {
                     reference.peer_landmark.get(&peer).copied()
                 );
                 prop_assert_eq!(server.path_of(peer), reference.index.path_of(peer));
+                // Lease parity: the slab arena's last-seen epoch matches
+                // the reference's per-peer map.
+                prop_assert_eq!(
+                    server.shards().iter().find_map(|s| s.last_seen(peer)),
+                    reference.last_seen.get(&peer).copied()
+                );
             }
             for (li, tree) in reference.trees.iter().enumerate() {
                 let shard_tree = server.tree(LandmarkId(li as u32)).expect("landmark exists");

@@ -80,6 +80,40 @@ impl ChurnTrace {
         Self { events }
     }
 
+    /// The time of the last event, or 0 for an empty trace.
+    pub fn span_us(&self) -> u64 {
+        self.events.last().map(|e| e.time_us).unwrap_or(0)
+    }
+
+    /// Splits the trace into consecutive fixed-width time windows — the
+    /// epoch grid a batched churn replay drives heartbeat epochs and lease
+    /// expiry on. Yields `(window_index, events)` for every **non-empty**
+    /// window, in time order; `window_index` is `time_us / width_us`, so
+    /// gaps in a bursty trace are visible to the caller. Every event lands
+    /// in exactly one window, and a peer's join always precedes its
+    /// departure within a window (the generator orders equal-time events
+    /// join-first).
+    ///
+    /// # Panics
+    /// On `width_us == 0`.
+    pub fn windows(&self, width_us: u64) -> impl Iterator<Item = (u64, &[ChurnEvent])> + '_ {
+        assert!(width_us > 0, "window width must be positive");
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            if start >= self.events.len() {
+                return None;
+            }
+            let idx = self.events[start].time_us / width_us;
+            let mut end = start + 1;
+            while end < self.events.len() && self.events[end].time_us / width_us == idx {
+                end += 1;
+            }
+            let slice = &self.events[start..end];
+            start = end;
+            Some((idx, slice))
+        })
+    }
+
     /// Number of peers concurrently alive at `time_us`.
     pub fn population_at(&self, time_us: u64) -> usize {
         let mut alive = 0usize;
@@ -185,6 +219,32 @@ mod tests {
         assert!(trace.peak_population() >= 1);
         // After the last event everyone is gone.
         assert_eq!(trace.population_at(u64::MAX), 0);
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace = ChurnTrace::generate(&base_config(), 7);
+        let width = 250_000u64;
+        let mut seen = 0usize;
+        let mut last_idx = None;
+        for (idx, events) in trace.windows(width) {
+            assert!(!events.is_empty());
+            assert!(last_idx < Some(idx) || last_idx.is_none(), "indices ascend");
+            for e in events {
+                assert_eq!(e.time_us / width, idx, "event in its own window");
+            }
+            seen += events.len();
+            last_idx = Some(idx);
+        }
+        assert_eq!(
+            seen,
+            trace.events.len(),
+            "every event in exactly one window"
+        );
+        // A window spanning the whole trace yields one slice.
+        let all: Vec<_> = trace.windows(trace.span_us() + 1).collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1.len(), trace.events.len());
     }
 
     #[test]

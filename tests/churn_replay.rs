@@ -144,3 +144,111 @@ fn churn_trace_replay_through_the_wire() {
         assert_eq!(srv.peer_count(), 0);
     }
 }
+
+// --- Lease-expiry edge regressions (the `last_seen` bucketing off-by-one
+// family): epoch 0 must be a universal no-op, and a lease renewed in the
+// same epoch it was opened must live exactly as long as an unrenewed one —
+// the duplicate heartbeat must neither expire it early nor double-report
+// it. Pinned on both the legacy `expire_stale` entry point and the
+// epoch-bucketed `expire_stale_batch` sweep behind it.
+
+use nearpeer::core::LandmarkId;
+use nearpeer::topology::RouterId;
+
+fn lease_server() -> ManagementServer {
+    ManagementServer::new(
+        vec![RouterId(0), RouterId(100)],
+        vec![vec![0, 5], vec![5, 0]],
+        ServerConfig::default(),
+    )
+}
+
+fn lease_path(ids: &[u32]) -> PeerPath {
+    PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+}
+
+#[test]
+fn expiry_at_epoch_zero_is_a_noop_for_any_max_age() {
+    let mut srv = lease_server();
+    srv.register(PeerId(1), lease_path(&[4, 2, 1, 0])).unwrap();
+    srv.register(PeerId(2), lease_path(&[110, 105, 100]))
+        .unwrap();
+    assert_eq!(srv.epoch(), 0);
+    for max_age in [0u64, 1, 2, u64::MAX] {
+        assert!(
+            srv.expire_stale(max_age).is_empty(),
+            "epoch 0 expiry with max_age {max_age} must expire nobody"
+        );
+        assert!(srv.expire_stale_batch(max_age).is_empty());
+    }
+    assert_eq!(srv.peer_count(), 2);
+}
+
+#[test]
+fn lease_renewed_in_its_opening_epoch_expires_on_schedule() {
+    let mut srv = lease_server();
+    srv.register(PeerId(1), lease_path(&[4, 2, 1, 0])).unwrap();
+    srv.register(PeerId(2), lease_path(&[5, 2, 1, 0])).unwrap();
+    // Peer 1 heartbeats in the very epoch its lease was opened — the
+    // same-epoch renewal must be a no-op, not a second bucket entry that
+    // an early sweep trips over or a later sweep reports twice.
+    srv.heartbeat(PeerId(1)).unwrap();
+    srv.heartbeat(PeerId(1)).unwrap();
+    let max_age = 3u64;
+    // Ages 1..=max_age: both leases are inside the window.
+    for _ in 0..max_age {
+        srv.advance_epoch();
+        assert!(
+            srv.expire_stale(max_age).is_empty(),
+            "epoch {}: lease age <= max_age must survive",
+            srv.epoch()
+        );
+    }
+    // One epoch past the window both expire together — the renewed lease
+    // neither earlier nor later than the untouched one, and exactly once.
+    srv.advance_epoch();
+    assert_eq!(srv.expire_stale(max_age), vec![PeerId(1), PeerId(2)]);
+    assert!(srv.expire_stale(max_age).is_empty(), "no double expiry");
+    assert_eq!(srv.peer_count(), 0);
+}
+
+#[test]
+fn renewal_in_the_expiry_epoch_survives_the_sweep() {
+    let mut srv = lease_server();
+    srv.register(PeerId(1), lease_path(&[4, 2, 1, 0])).unwrap();
+    for _ in 0..4 {
+        srv.advance_epoch();
+    }
+    // The heartbeat lands in the same epoch the sweep runs: the renewed
+    // lease must survive even though its *original* bucket note sits
+    // below the cutoff.
+    srv.heartbeat(PeerId(1)).unwrap();
+    assert!(srv.expire_stale_batch(2).is_empty());
+    assert_eq!(srv.peer_count(), 1);
+    // And it still expires once the renewed epoch itself lapses.
+    for _ in 0..3 {
+        srv.advance_epoch();
+    }
+    assert_eq!(srv.expire_stale_batch(2), vec![PeerId(1)]);
+}
+
+#[test]
+fn expired_slot_reuse_does_not_resurrect_the_departed_peer() {
+    let mut srv = lease_server();
+    srv.register(PeerId(7), lease_path(&[4, 2, 1, 0])).unwrap();
+    for _ in 0..5 {
+        srv.advance_epoch();
+    }
+    assert_eq!(srv.expire_stale(2), vec![PeerId(7)]);
+    // A different peer reuses the freed lease slot; the departed id must
+    // stay gone and the newcomer must be fully queryable.
+    srv.register(PeerId(8), lease_path(&[4, 2, 1, 0])).unwrap();
+    assert_eq!(srv.landmark_of(PeerId(7)), None);
+    assert!(srv.path_of(PeerId(7)).is_none());
+    assert_eq!(srv.landmark_of(PeerId(8)), Some(LandmarkId(0)));
+    // The returning peer 7 is a fresh join, not a renewal of the dead
+    // lease: its lease starts at the *current* epoch.
+    srv.register(PeerId(7), lease_path(&[5, 2, 1, 0])).unwrap();
+    let shard = &srv.shards()[0];
+    assert_eq!(shard.last_seen(PeerId(7)), Some(srv.epoch()));
+}

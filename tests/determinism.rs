@@ -5,10 +5,12 @@
 //! must never matter: parallel round-1 tracing has to reproduce the
 //! sequential build bit for bit.
 
+use nearpeer::core::PeerId;
 use nearpeer::probe::{TraceConfig, Tracer};
 use nearpeer::routing::RouteOracle;
 use nearpeer::topology::generators::{mapper, MapperConfig};
 use nearpeer::topology::{io, RouterId, Topology};
+use nearpeer_bench::experiments::churn::{run_soak_with_server, ChurnReplayMode, ChurnSoakConfig};
 use nearpeer_bench::{trace_round1, Swarm, SwarmConfig};
 
 fn generate(seed: u64) -> Topology {
@@ -104,6 +106,75 @@ fn parallel_round1_is_bit_identical_to_sequential() {
                     );
                 }
                 assert!(sequential.iter().all(|t| t.is_some()));
+            }
+        }
+    }
+}
+
+/// Churn replay must be a pure function of the trace seed, not of the
+/// batching strategy: feeding the same `ChurnTrace` through the
+/// sequential path (one facade call per event), the batched path
+/// (per-epoch `register_batch_renewing`/`leave_batch`/
+/// `expire_stale_batch`) and the shard-parallel path (per-landmark scoped
+/// threads over `shards_mut`, at several forced worker counts) must leave
+/// **identical directory state** — peers, paths, leases, per-landmark
+/// trees, join/leave stats — and identical `BENCH_churn`-style counters.
+#[test]
+fn churn_replay_modes_produce_identical_directories() {
+    for seed in [5u64, 21] {
+        let base = ChurnSoakConfig {
+            peers: 300,
+            cycles: 2,
+            mean_lifetime_secs: 30.0,
+            arrival_rate: 40.0,
+            failure_fraction: 0.4,
+            n_landmarks: 3,
+            epochs_per_cycle: 20,
+            expire_every: 3,
+            max_age: 5,
+            heartbeat_every: 2,
+            mode: ChurnReplayMode::Sequential,
+            threads: None,
+        };
+        let (seq_result, seq_server) = run_soak_with_server(&base, seed);
+        let runs = [
+            (ChurnReplayMode::Batched, None),
+            (ChurnReplayMode::ShardParallel, Some(2)),
+            (ChurnReplayMode::ShardParallel, Some(5)),
+        ];
+        for (mode, threads) in runs {
+            let cfg = ChurnSoakConfig {
+                mode,
+                threads,
+                ..base.clone()
+            };
+            let (result, server) = run_soak_with_server(&cfg, seed);
+            let label = format!("seed {seed}, {mode:?} threads {threads:?}");
+            assert_eq!(result.counters, seq_result.counters, "{label}");
+            assert_eq!(
+                result.peak_population, seq_result.peak_population,
+                "{label}"
+            );
+            assert_eq!(
+                result.final_population, seq_result.final_population,
+                "{label}"
+            );
+            // Full directory-state equality, not just counters.
+            let (s, o) = (seq_server.report(), server.report());
+            assert_eq!(o.peers, s.peers, "{label}");
+            assert_eq!(o.indexed_routers, s.indexed_routers, "{label}");
+            assert_eq!(o.per_landmark, s.per_landmark, "{label}");
+            assert_eq!(o.stats.joins, s.stats.joins, "{label}");
+            assert_eq!(o.stats.leaves, s.stats.leaves, "{label}");
+            assert_eq!(o.epoch, s.epoch, "{label}");
+            for p in 0..base.peers as u64 {
+                let peer = PeerId(p);
+                assert_eq!(server.path_of(peer), seq_server.path_of(peer), "{label}");
+                assert_eq!(
+                    server.shards().iter().find_map(|sh| sh.last_seen(peer)),
+                    seq_server.shards().iter().find_map(|sh| sh.last_seen(peer)),
+                    "{label}: lease of peer {p}"
+                );
             }
         }
     }
