@@ -21,6 +21,7 @@
 use nearpeer_bench::experiments::churn::{
     run_soak, ChurnReplayMode, ChurnSoakConfig, ChurnSoakResult,
 };
+use nearpeer_core::AdaptiveLeaseConfig;
 use std::time::Instant;
 
 struct Args {
@@ -29,6 +30,7 @@ struct Args {
     mode: ChurnReplayMode,
     expire_every: u64,
     sweep_expiry: bool,
+    adaptive: bool,
     budget_secs: u64,
     seed: u64,
 }
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         mode: ChurnReplayMode::Batched,
         expire_every: 4,
         sweep_expiry: false,
+        adaptive: false,
         budget_secs: 0,
         seed: 42,
     };
@@ -73,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--sweep-expiry" => out.sweep_expiry = true,
+            "--adaptive" => out.adaptive = true,
             "--budget-secs" => {
                 let v = value("--budget-secs")?;
                 out.budget_secs = v
@@ -86,7 +90,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: [--peers N] [--events N] [--mode seq|batch|parallel] \
-                            [--expire-every K] [--sweep-expiry] [--budget-secs S] [--seed S]"
+                            [--expire-every K] [--sweep-expiry] [--adaptive] \
+                            [--budget-secs S] [--seed S]"
                         .into(),
                 )
             }
@@ -101,7 +106,7 @@ fn config_for(args: &Args) -> ChurnSoakConfig {
     // departs once); `--events` asks for enough cycles to cover it.
     let per_cycle = (args.peers as u64) * 2;
     let cycles = (args.events.div_ceil(per_cycle)).max(1) as usize;
-    ChurnSoakConfig {
+    let mut cfg = ChurnSoakConfig {
         peers: args.peers,
         cycles,
         // Keep the arrival horizon ~100s regardless of population so the
@@ -110,7 +115,18 @@ fn config_for(args: &Args) -> ChurnSoakConfig {
         expire_every: args.expire_every,
         mode: args.mode,
         ..ChurnSoakConfig::smoke()
+    };
+    if args.adaptive {
+        // The floor must outlast the heartbeat stride, or live peers
+        // expire between renewals (see AdaptiveLeaseConfig::min_age).
+        cfg.adaptive = Some(AdaptiveLeaseConfig {
+            ewma_shift: 1,
+            margin: 1,
+            min_age: cfg.heartbeat_every as u32 + 1,
+            max_age: cfg.max_age as u32,
+        });
     }
+    cfg
 }
 
 fn mode_name(mode: ChurnReplayMode) -> &'static str {

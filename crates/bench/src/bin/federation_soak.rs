@@ -1,0 +1,174 @@
+//! Federation soak: replay a region-biased churn + mobility trace
+//! through an N-region federation — cross-region handovers plant
+//! forwarding tombstones, federation-aware expiry distinguishes "moved"
+//! from "silent", and the run fails if population conservation breaks or
+//! any tombstone leaks past the drain.
+//!
+//! This is the CI guard for the federation subsystem, mirroring the
+//! `churn_soak` gate: peers use synthetic tree-consistent paths
+//! (`SyntheticJoins`), the directory under test is the production one.
+//! Run in release mode.
+//!
+//! ```sh
+//! cargo run --release -p nearpeer-bench --bin federation_soak -- \
+//!     [--regions N] [--peers N] [--events N] [--fanout N] [--adaptive] \
+//!     [--budget-secs S] [--seed S]
+//! ```
+
+use nearpeer_bench::experiments::federation::{
+    check_federation_soak, run_federation_soak, FederationSoakConfig, FederationSoakResult,
+};
+use nearpeer_core::AdaptiveLeaseConfig;
+use std::time::Instant;
+
+struct Args {
+    regions: usize,
+    peers: usize,
+    events: u64,
+    fanout: Option<usize>,
+    adaptive: bool,
+    budget_secs: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        regions: 4,
+        peers: 25_000,
+        events: 0,
+        fanout: None,
+        adaptive: false,
+        budget_secs: 0,
+        seed: 42,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--regions" => {
+                let v = value("--regions")?;
+                out.regions = v.parse().map_err(|_| format!("bad --regions value {v}"))?;
+            }
+            "--peers" => {
+                let v = value("--peers")?;
+                out.peers = v.parse().map_err(|_| format!("bad --peers value {v}"))?;
+            }
+            "--events" => {
+                let v = value("--events")?;
+                out.events = v.parse().map_err(|_| format!("bad --events value {v}"))?;
+            }
+            "--fanout" => {
+                let v = value("--fanout")?;
+                out.fanout = Some(v.parse().map_err(|_| format!("bad --fanout value {v}"))?);
+            }
+            "--adaptive" => out.adaptive = true,
+            "--budget-secs" => {
+                let v = value("--budget-secs")?;
+                out.budget_secs = v
+                    .parse()
+                    .map_err(|_| format!("bad --budget-secs value {v}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--regions N] [--peers N] [--events N] [--fanout N] \
+                     [--adaptive] [--budget-secs S] [--seed S]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn config_for(args: &Args) -> FederationSoakConfig {
+    // A cycle is roughly 2·peers churn events plus the mobility moves;
+    // `--events` asks for enough cycles to cover it.
+    let per_cycle = (args.peers as u64) * 2;
+    let cycles = if args.events == 0 {
+        1
+    } else {
+        (args.events.div_ceil(per_cycle)).max(1) as usize
+    };
+    let mut cfg = FederationSoakConfig {
+        regions: args.regions,
+        peers: args.peers,
+        cycles,
+        // Landmarks scale with regions (2 per region, like the smoke
+        // shape); arrival horizon ~100s regardless of population.
+        n_landmarks: args.regions * 2,
+        arrival_rate: (args.peers as f64 / 100.0).max(10.0),
+        fanout: args.fanout,
+        ..FederationSoakConfig::smoke()
+    };
+    if args.adaptive {
+        // The floor must outlast the heartbeat stride, or live peers
+        // expire between renewals (see AdaptiveLeaseConfig::min_age).
+        cfg.adaptive = Some(AdaptiveLeaseConfig {
+            ewma_shift: 1,
+            margin: 1,
+            min_age: cfg.heartbeat_every as u32 + 1,
+            max_age: cfg.max_age as u32,
+        });
+    }
+    cfg
+}
+
+fn print_result(r: &FederationSoakResult) {
+    let c = r.counters;
+    println!(
+        "federation_soak: {} regions x {} peers x {} cycle(s), fanout {:?}, adaptive {}: \
+         {} events in {:.2}s = {:.0} events/sec",
+        r.config.regions,
+        r.config.peers,
+        r.config.cycles,
+        r.config.fanout,
+        r.config.adaptive.is_some(),
+        c.events,
+        r.elapsed_secs,
+        r.events_per_sec,
+    );
+    println!(
+        "  joins {} / renewals {} / comebacks {} / moves {} ({} cross-region, {} skipped)",
+        c.joins, c.renewals, c.comeback_handovers, c.moves, c.cross_region_moves, c.skipped_moves
+    );
+    println!(
+        "  heartbeats {} / leaves {} / fails {} / expired {} / tombstones swept {}",
+        c.heartbeats, c.leaves, c.fails, c.expired, c.moved_swept
+    );
+    println!(
+        "  peak population {} / final {} {:?} / residual tombstones {} / epochs {}",
+        r.peak_population, r.final_population, r.final_per_region, r.final_tombstones, c.epochs
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = Instant::now();
+    let cfg = config_for(&args);
+    let result = run_federation_soak(&cfg, args.seed);
+    print_result(&result);
+    if let Err(msg) = check_federation_soak(&result) {
+        eprintln!("federation_soak: FAILED: {msg}");
+        std::process::exit(1);
+    }
+    let total = t0.elapsed();
+    if args.budget_secs > 0 && total.as_secs() > args.budget_secs {
+        eprintln!(
+            "federation_soak: took {:.2?}, budget {}s — the federated replay regressed",
+            total, args.budget_secs
+        );
+        std::process::exit(1);
+    }
+    println!("federation_soak: OK ({:.2?} total)", total);
+}

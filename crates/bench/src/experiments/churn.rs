@@ -188,6 +188,7 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
                 neighbor_count: config.k,
                 cross_landmark_fallback: true,
                 super_peers: None,
+                adaptive_leases: None,
             },
         );
         let mut attach_of: HashMap<usize, RouterId> = HashMap::new();
@@ -241,6 +242,7 @@ pub fn run(config: &ChurnStudyConfig, seed: u64) -> ChurnStudyResult {
             neighbor_count: config.k,
             cross_landmark_fallback: true,
             super_peers: None,
+            adaptive_leases: None,
         },
     );
     let mut pool = bed.access.clone();
@@ -359,6 +361,10 @@ pub struct ChurnSoakConfig {
     /// Worker threads for [`ChurnReplayMode::ShardParallel`]; `None` picks
     /// `available_parallelism`.
     pub threads: Option<usize>,
+    /// Adaptive lease lengths for the directory (per-peer `max_age` from
+    /// the session EWMA, capped to the configured band); `None` = the
+    /// uniform `max_age` lease.
+    pub adaptive: Option<nearpeer_core::AdaptiveLeaseConfig>,
 }
 
 impl ChurnSoakConfig {
@@ -377,6 +383,7 @@ impl ChurnSoakConfig {
             heartbeat_every: 4,
             mode: ChurnReplayMode::Batched,
             threads: None,
+            adaptive: None,
         }
     }
 
@@ -395,6 +402,7 @@ impl ChurnSoakConfig {
             heartbeat_every: 2,
             mode: ChurnReplayMode::Batched,
             threads: None,
+            adaptive: None,
         }
     }
 }
@@ -462,6 +470,7 @@ pub fn run_soak_with_server(
         neighbor_count: 5,
         cross_landmark_fallback: false,
         super_peers: None,
+        adaptive_leases: cfg.adaptive,
     });
     let trace = ChurnTrace::generate(
         &ChurnConfig {

@@ -7,7 +7,7 @@
 
 use crate::experiments::common::measure_quality;
 use crate::runner::run_parallel;
-use crate::swarm::{Swarm, SwarmConfig};
+use crate::swarm::{sweep_trace_threads, Swarm, SwarmConfig};
 use nearpeer_metrics::Table;
 use nearpeer_probe::{ProbePlan, TraceConfig};
 use nearpeer_topology::generators::{mapper, MapperConfig};
@@ -118,6 +118,9 @@ pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
         .collect();
     let cfg = config.clone();
     let plans_for_jobs = plans.clone();
+    // run_parallel clamps its workers to the job count; budget the inner
+    // tracing pools against what will actually run, not what was asked.
+    let sweep_workers = threads.clamp(1, jobs.len().max(1));
     let raw = run_parallel(jobs, threads, move |(plan_idx, seed)| {
         let (_, plan) = plans_for_jobs[plan_idx];
         let access = (cfg.n_peers as f64 * 1.3) as usize + 16;
@@ -131,6 +134,7 @@ pub fn run(config: &DecreasedConfig, threads: usize) -> DecreasedResult {
                 plan,
                 ..TraceConfig::default()
             },
+            trace_threads: sweep_trace_threads(sweep_workers),
             ..Default::default()
         };
         let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");

@@ -7,7 +7,7 @@
 //! degrees should visibly weaken the assumption.
 
 use crate::runner::run_parallel;
-use crate::swarm::{Swarm, SwarmConfig};
+use crate::swarm::{sweep_trace_threads, Swarm, SwarmConfig};
 use nearpeer_metrics::{Summary, Table};
 use nearpeer_routing::bfs_distances;
 use nearpeer_topology::generators::{
@@ -155,6 +155,9 @@ pub fn run(config: &DtreeConfig, threads: usize) -> DtreeResult {
         .collect();
     let cfg = config.clone();
     let fams = families.clone();
+    // run_parallel clamps its workers to the job count; budget the inner
+    // tracing pools against what will actually run, not what was asked.
+    let sweep_workers = threads.clamp(1, jobs.len().max(1));
     let raw = run_parallel(jobs, threads, move |(family_idx, seed)| {
         let spec = &fams[family_idx].1;
         let topo = spec.generate(seed).expect("valid family config");
@@ -164,6 +167,7 @@ pub fn run(config: &DtreeConfig, threads: usize) -> DtreeResult {
         let swarm_cfg = SwarmConfig {
             n_peers: cfg.n_peers.min(topo.n_routers() / 2),
             n_landmarks: cfg.n_landmarks,
+            trace_threads: sweep_trace_threads(sweep_workers),
             ..Default::default()
         };
         let swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");

@@ -7,7 +7,7 @@
 
 use crate::experiments::common::measure_quality;
 use crate::runner::run_parallel;
-use crate::swarm::{Swarm, SwarmConfig};
+use crate::swarm::{sweep_trace_threads, Swarm, SwarmConfig};
 use nearpeer_core::landmarks::PlacementPolicy;
 use nearpeer_metrics::{Series, SeriesSet, Table};
 use nearpeer_topology::generators::{mapper, MapperConfig};
@@ -129,6 +129,9 @@ pub fn run(config: &LandmarkStudyConfig, threads: usize) -> LandmarkStudyResult 
         })
         .collect();
     let cfg = config.clone();
+    // run_parallel clamps its workers to the job count; budget the inner
+    // tracing pools against what will actually run, not what was asked.
+    let sweep_workers = threads.clamp(1, jobs.len().max(1));
     let results = run_parallel(jobs, threads, move |(n_landmarks, policy, seed)| {
         let access = (cfg.n_peers as f64 * 1.3) as usize + 16;
         let topo = mapper(&MapperConfig::with_access(cfg.core_size, access), seed)
@@ -138,6 +141,7 @@ pub fn run(config: &LandmarkStudyConfig, threads: usize) -> LandmarkStudyResult 
             n_landmarks,
             placement: policy,
             neighbor_count: cfg.k,
+            trace_threads: sweep_trace_threads(sweep_workers),
             ..Default::default()
         };
         let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");

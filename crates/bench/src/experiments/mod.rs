@@ -6,6 +6,7 @@ pub mod complexity;
 pub mod convergence;
 pub mod decreased;
 pub mod dtree;
+pub mod federation;
 pub mod landmark_policies;
 pub mod mapping;
 pub mod quality;

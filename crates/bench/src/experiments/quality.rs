@@ -6,7 +6,7 @@
 
 use crate::experiments::common::measure_quality;
 use crate::runner::run_parallel;
-use crate::swarm::{Swarm, SwarmConfig};
+use crate::swarm::{sweep_trace_threads, Swarm, SwarmConfig};
 use nearpeer_core::landmarks::PlacementPolicy;
 use nearpeer_metrics::{Series, SeriesSet, Summary, Table};
 use nearpeer_topology::generators::{mapper, MapperConfig};
@@ -124,6 +124,9 @@ pub fn run(config: &QualityConfig, threads: usize) -> QualityResult {
         .flat_map(|&n| (0..config.seeds).map(move |s| (n, s)))
         .collect();
     let cfg = config.clone();
+    // run_parallel clamps its workers to the job count; budget the inner
+    // tracing pools against what will actually run, not what was asked.
+    let sweep_workers = threads.clamp(1, jobs.len().max(1));
     let ratios = run_parallel(jobs, threads, move |(n, seed)| {
         // Fresh map per seed; enough degree-1 routers for the population.
         let access = (n as f64 * 1.3) as usize + 16;
@@ -134,6 +137,9 @@ pub fn run(config: &QualityConfig, threads: usize) -> QualityResult {
             n_landmarks: cfg.n_landmarks,
             placement: cfg.placement,
             neighbor_count: cfg.k,
+            // Share the machine between the sweep workers and each
+            // build's round-1 tracing pool (no nested oversubscription).
+            trace_threads: sweep_trace_threads(sweep_workers),
             ..Default::default()
         };
         let mut swarm = Swarm::build(&topo, &swarm_cfg, seed).expect("swarm builds");

@@ -154,6 +154,7 @@ pub fn run(config: &SuperPeerStudyConfig, seed: u64) -> SuperPeerStudyResult {
                         region_depth: config.region_depth,
                         promote_threshold: threshold,
                     }),
+                    adaptive_leases: None,
                 },
             );
             let mut delegated = 0usize;

@@ -16,6 +16,7 @@
 //! | A2 | `setup_delay` | end-to-end streaming setup delay per policy |
 //! | —  | `internet_mapping` | map-statistics validation (§3 substitution) |
 //! | —  | `churn_soak` | 10⁵–10⁶-peer churn replay through the batched lease path |
+//! | —  | `federation_soak` | N-region churn + mobility replay through the federation front door |
 //!
 //! Binaries print the paper-style table, an ASCII rendition of the figure,
 //! and write CSV + a JSON manifest under `target/experiments/<name>/`
@@ -27,14 +28,16 @@
 
 pub mod cli;
 pub mod experiments;
+mod federation;
 mod output;
 mod runner;
 mod swarm;
 
+pub use federation::{synthetic_federation, synthetic_move_landmark, FederatedSwarm};
 pub use output::ExperimentWriter;
 pub use runner::run_parallel;
 pub use swarm::{
     churn_epoch_shard_parallel, expire_stale_shard_parallel, register_shard_parallel,
-    renew_shard_parallel, trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig,
-    SyntheticJoins,
+    renew_shard_parallel, sweep_trace_threads, trace_round1, BuildPhases, BuildStrategy, Swarm,
+    SwarmConfig, SyntheticJoins,
 };

@@ -229,6 +229,7 @@ impl<'t> Swarm<'t> {
                 neighbor_count: config.neighbor_count,
                 cross_landmark_fallback: config.cross_landmark_fallback,
                 super_peers: None,
+                adaptive_leases: None,
             },
         );
 
@@ -306,6 +307,21 @@ pub(crate) fn auto_build_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
+}
+
+/// The round-1 trace worker budget for a swarm built **inside a sweep**
+/// already running `sweep_workers` parallel jobs (`run_parallel`): the
+/// machine's cores divided by the outer worker count, floored at one.
+///
+/// Without this, every sweep job's `Swarm::build` spawned its own
+/// `available_parallelism` tracing pool *under* the sweep's
+/// `available_parallelism` workers — `cores²` runnable threads on seed
+/// sweeps, all contending for the same cores. Experiments thread this
+/// budget into [`SwarmConfig::trace_threads`], so outer × inner never
+/// exceeds the machine (`Some(1)` = genuinely sequential inner builds,
+/// which on an oversubscribed sweep is exactly right).
+pub fn sweep_trace_threads(sweep_workers: usize) -> Option<usize> {
+    Some((auto_build_threads() / sweep_workers.max(1)).max(1))
 }
 
 /// Per-peer trace seed: each newcomer `i` derives its own RNG stream from
@@ -464,6 +480,11 @@ impl SyntheticJoins {
         }
     }
 
+    /// The number of landmarks this generator packs paths for.
+    pub fn n_landmarks(&self) -> usize {
+        self.n_landmarks as usize
+    }
+
     /// The landmark peer `i` (re-)traces to.
     pub fn landmark_of(&self, peer: u64) -> LandmarkId {
         LandmarkId((peer % self.n_landmarks as u64) as u32)
@@ -472,7 +493,17 @@ impl SyntheticJoins {
     /// Peer `i`'s router path: unique access router, shared mid-levels,
     /// terminating at its landmark's router.
     pub fn path(&self, peer: u64) -> PeerPath {
-        let lmk = (peer % self.n_landmarks as u64) as u32;
+        self.path_to(peer, self.landmark_of(peer))
+    }
+
+    /// Peer `i`'s router path when attached under an **arbitrary**
+    /// landmark — the federated-mobility case: a move re-traces the peer
+    /// to a landmark of the destination region, and the resulting path is
+    /// still a pure function of `(peer, landmark)` (so replays stay
+    /// deterministic and rejoins renew cleanly).
+    pub fn path_to(&self, peer: u64, landmark: LandmarkId) -> PeerPath {
+        let lmk = landmark.0;
+        debug_assert!(lmk < self.n_landmarks);
         let within = peer / self.n_landmarks as u64;
         let mut routers = Vec::with_capacity(self.depth as usize + 1);
         // Unique access router per peer, top id range (below the packed
@@ -489,6 +520,12 @@ impl SyntheticJoins {
     /// A join item for peer `i`.
     pub fn join(&self, peer: u64) -> (PeerId, PeerPath) {
         (PeerId(peer), self.path(peer))
+    }
+
+    /// A join item for peer `i` under an arbitrary landmark (see
+    /// [`Self::path_to`]).
+    pub fn join_to(&self, peer: u64, landmark: LandmarkId) -> (PeerId, PeerPath) {
+        (PeerId(peer), self.path_to(peer, landmark))
     }
 
     /// A management server whose landmarks match this generator (all
@@ -618,12 +655,14 @@ pub fn expire_stale_shard_parallel(
     if threads <= 1 {
         return server.expire_stale_batch(max_age);
     }
-    let cutoff = server.epoch().saturating_sub(max_age);
+    let now = server.epoch();
     let mut expired: Vec<PeerId> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = server
             .shards_mut()
             .iter_mut()
-            .map(|shard| scope.spawn(move |_| shard.expire_stale_batch(cutoff)))
+            // expire_epoch (not the raw cutoff sweep) so per-shard
+            // adaptive lease lengths behave identically to the facade.
+            .map(|shard| scope.spawn(move |_| shard.expire_epoch(now, max_age).expired))
             .collect();
         handles
             .into_iter()

@@ -1,0 +1,170 @@
+//! Adaptive lease lengths: per-peer `max_age` from observed sessions.
+//!
+//! The million-peer churn soak (PR 4) showed the cost of one global lease
+//! length: with exponential lifetimes, short-lived peers keep their stale
+//! registration discoverable for ~`max_age` epochs after failing silently,
+//! even though their whole session lasted a fraction of that. The fix is
+//! the classic soft-state one — size each peer's lease to its own observed
+//! behaviour.
+//!
+//! This is the *small* version queued in the ROADMAP: every shard keeps an
+//! **EWMA of each peer's session length** (epochs between lease open and
+//! close, updated when a session ends — graceful leave or expiry), and at
+//! renewal time derives the peer's lease length as
+//! `clamp(ewma + margin, min_age, max_age)`. Peers without history use the
+//! sweep's default. The per-lease TTL is enforced by the arena's
+//! generalized deadline sweep ([`super::LeaseArena::take_due`]), which
+//! stays linear in noted lease activity.
+
+use crate::ids::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tuning for adaptive lease lengths
+/// ([`crate::ServerConfig::adaptive_leases`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveLeaseConfig {
+    /// EWMA weight as a right-shift: `ewma += (sample - ewma) >> shift`
+    /// (shift 1 = weight ½ on the newest session).
+    pub ewma_shift: u32,
+    /// Slack epochs added on top of the EWMA estimate — a lease should
+    /// outlive the *expected* session, not race it.
+    pub margin: u32,
+    /// Floor for the derived lease length, in epochs (also the arena's
+    /// sweep floor: TTLs are never handed out below it).
+    ///
+    /// **Must exceed the deployment's renewal cadence**: a peer whose
+    /// sessions averaged one epoch gets a lease of `min_age` at rejoin —
+    /// if its heartbeats arrive every `h` epochs, `min_age <= h` lets the
+    /// sweep expire a live, cooperating peer between renewals (and the
+    /// expiry records yet another short session, sticking the peer in a
+    /// rejoin/expire loop). Size it `heartbeat_interval + 1` or more.
+    pub min_age: u32,
+    /// Cap for the derived lease length, in epochs ("capped to the
+    /// configured max").
+    pub max_age: u32,
+}
+
+impl Default for AdaptiveLeaseConfig {
+    fn default() -> Self {
+        Self {
+            ewma_shift: 1,
+            margin: 1,
+            min_age: 1,
+            max_age: 8,
+        }
+    }
+}
+
+/// Per-shard adaptive-lease state: the config plus one EWMA cell per peer
+/// observed closing a session. Cells whose estimate caps out (derived TTL
+/// = the configured `max_age`, i.e. no shorter than the default lease)
+/// are evicted on update — only peers that actually *benefit* from a
+/// shorter lease occupy memory. What remains is bounded by the universe
+/// of short-lived peer ids the shard serves (rejoining peers reuse their
+/// cell), not by event count; a hard cap/eviction policy for transient-id
+/// deployments is a ROADMAP follow-on.
+#[derive(Debug)]
+pub(crate) struct AdaptiveLeases {
+    cfg: AdaptiveLeaseConfig,
+    ewma: HashMap<PeerId, u32>,
+}
+
+impl AdaptiveLeases {
+    pub(crate) fn new(cfg: AdaptiveLeaseConfig) -> Self {
+        Self {
+            cfg,
+            ewma: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> AdaptiveLeaseConfig {
+        self.cfg
+    }
+
+    /// Folds one finished session (epochs between open and last renewal)
+    /// into the peer's EWMA. Estimates that cap out free their cell: a
+    /// peer whose lease would clamp to `max_age` anyway behaves exactly
+    /// like a history-less peer on the default lease.
+    pub(crate) fn observe(&mut self, peer: PeerId, session_epochs: u64) {
+        let sample = session_epochs.min(u32::MAX as u64) as u32;
+        let next = match self.ewma.get(&peer) {
+            Some(&old) => {
+                let shift = self.cfg.ewma_shift.min(31);
+                (old as i64 + ((sample as i64 - old as i64) >> shift)).clamp(0, u32::MAX as i64)
+                    as u32
+            }
+            None => sample,
+        };
+        if next.saturating_add(self.cfg.margin) >= self.cfg.max_age {
+            self.ewma.remove(&peer);
+        } else {
+            self.ewma.insert(peer, next);
+        }
+    }
+
+    /// The lease length for `peer`, if it has history:
+    /// `clamp(ewma + margin, min_age, max_age)`. Fresh peers return `None`
+    /// and fall back to the sweep's default.
+    pub(crate) fn ttl(&self, peer: PeerId) -> Option<u32> {
+        let floor = self.cfg.min_age.max(1);
+        self.ewma.get(&peer).map(|&e| {
+            e.saturating_add(self.cfg.margin)
+                .clamp(floor, self.cfg.max_age.max(floor))
+        })
+    }
+
+    /// Peers with recorded history (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn tracked(&self) -> usize {
+        self.ewma.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_observed_sessions() {
+        let mut a = AdaptiveLeases::new(AdaptiveLeaseConfig {
+            ewma_shift: 1,
+            margin: 0,
+            min_age: 1,
+            max_age: 100,
+        });
+        let p = PeerId(1);
+        assert_eq!(a.ttl(p), None, "no history yet");
+        a.observe(p, 40);
+        assert_eq!(a.ttl(p), Some(40), "first sample is taken whole");
+        for _ in 0..8 {
+            a.observe(p, 4);
+        }
+        let ttl = a.ttl(p).unwrap();
+        assert!(ttl <= 6, "EWMA must track the short sessions, got {ttl}");
+        assert_eq!(a.tracked(), 1);
+    }
+
+    #[test]
+    fn ttl_is_clamped_to_the_configured_band() {
+        let mut a = AdaptiveLeases::new(AdaptiveLeaseConfig {
+            ewma_shift: 1,
+            margin: 2,
+            min_age: 3,
+            max_age: 8,
+        });
+        a.observe(PeerId(1), 0);
+        assert_eq!(a.ttl(PeerId(1)), Some(3), "floor applies");
+        // A capped-out estimate frees its cell: the peer rides the
+        // default lease (= the configured max in a consistent
+        // deployment), exactly like a history-less one.
+        a.observe(PeerId(2), 1_000);
+        assert_eq!(a.ttl(PeerId(2)), None, "cap evicts");
+        assert_eq!(a.tracked(), 1, "only shorter-than-default peers held");
+        a.observe(PeerId(3), 4);
+        assert_eq!(a.ttl(PeerId(3)), Some(6), "ewma + margin in band");
+        // A long-lived peer turning short-lived re-enters tracking.
+        a.observe(PeerId(2), 1);
+        assert_eq!(a.ttl(PeerId(2)), Some(3));
+    }
+}

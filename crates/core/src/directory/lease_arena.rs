@@ -24,6 +24,23 @@
 //!   touches only noted entries — work proportional to the lease activity
 //!   being retired, never a scan of the full table.
 //!
+//! Two extensions ride on the same slot/bucket machinery for the
+//! federation subsystem ([`crate::federation`]):
+//!
+//! * **forwarding tombstones** — a slot can hold a *moved* marker instead
+//!   of a live lease ([`LeaseArena::insert_tombstone`]): the peer handed
+//!   its registration over to another region, and the tombstone records
+//!   the destination so federation-aware expiry can distinguish "peer
+//!   silent" from "peer moved". Tombstones occupy table entries (so
+//!   lookups find them) but never count as live leases, and the ordinary
+//!   epoch-bucket sweep retires them like any lapsed lease;
+//! * **per-lease TTLs** — a slot may carry its own lease length
+//!   ([`LeaseArena::set_ttl`], derived by the shard's adaptive-lease EWMA),
+//!   and the generalized sweep [`LeaseArena::take_due`] expires each lease
+//!   at `last_seen + ttl` instead of one global cutoff. Not-yet-due leases
+//!   found in a popped bucket are re-noted at `due - min_ttl`, so each
+//!   lease still costs O(1) notes per open/renewal.
+//!
 //! The arena is generic over its payload `T` (the shard stores a
 //! [`super::PathRef`]); `crates/core/tests/lease_arena_properties.rs` pins
 //! it op-for-op to a naive `HashMap` reference model.
@@ -52,14 +69,44 @@ impl PeerSlot {
     }
 }
 
+/// What a slot holds: a live lease, or a forwarding tombstone left behind
+/// by a cross-region handover (the `u32` is the destination region).
+#[derive(Debug)]
+enum Occupant<T> {
+    Live(PeerId, T),
+    Moved(PeerId, u32),
+}
+
+impl<T> Occupant<T> {
+    fn peer(&self) -> PeerId {
+        match self {
+            Occupant::Live(p, _) | Occupant::Moved(p, _) => *p,
+        }
+    }
+}
+
+/// Sentinel TTL: "use the sweep's default lease length".
+const TTL_DEFAULT: u32 = u32::MAX;
+
 /// One slab entry. `occupant` is `None` while the slot sits on the free
 /// list; the generation survives vacancy (it is bumped on removal, so
-/// handles issued before the removal go stale).
+/// handles issued before the removal go stale). `opened` is the epoch the
+/// current occupancy began (session-length bookkeeping for adaptive
+/// leases); `ttl` is the per-lease length, [`TTL_DEFAULT`] = whatever the
+/// sweep passes.
 #[derive(Debug)]
 struct Slot<T> {
     generation: u32,
     last_seen: u64,
-    occupant: Option<(PeerId, T)>,
+    opened: u64,
+    ttl: u32,
+    /// The newest bucket epoch holding a note for this occupancy. A sweep
+    /// examining an **older** note skips re-noting (the newer note already
+    /// keeps the lease findable) — without this, renewals would leave
+    /// chains of stale notes that each sweep re-examines and re-notes,
+    /// breaking the linear-in-activity cost bound.
+    noted: u64,
+    occupant: Option<Occupant<T>>,
 }
 
 /// Cumulative sweep-cost counters, exposed so tests (and the churn soak)
@@ -72,6 +119,39 @@ pub struct SweepStats {
     pub entries_swept: u64,
     /// Epoch buckets retired across all sweeps.
     pub buckets_swept: u64,
+}
+
+/// One lease closed by a [`LeaseArena::take_due`] sweep, with the session
+/// bookkeeping adaptive leases feed their EWMA from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiredLease<T> {
+    /// The peer whose lease lapsed.
+    pub peer: PeerId,
+    /// The lease payload.
+    pub value: T,
+    /// Epoch the lease was opened.
+    pub opened: u64,
+    /// Epoch of the last open/renewal.
+    pub last_seen: u64,
+}
+
+/// Everything one [`LeaseArena::take_due`] sweep retired.
+#[derive(Debug)]
+pub struct SweepOutcome<T> {
+    /// Live leases past their deadline, ascending by peer id.
+    pub expired: Vec<ExpiredLease<T>>,
+    /// Forwarding tombstones whose retention lapsed, ascending by peer id
+    /// (`(peer, destination_region)` — the peer *moved*, it did not fail).
+    pub moved: Vec<(PeerId, u32)>,
+}
+
+impl<T> Default for SweepOutcome<T> {
+    fn default() -> Self {
+        Self {
+            expired: Vec::new(),
+            moved: Vec::new(),
+        }
+    }
 }
 
 const EMPTY: u32 = u32::MAX;
@@ -93,7 +173,10 @@ pub struct LeaseArena<T> {
     table: Vec<u32>,
     /// `64 - log2(table.len())`: fibonacci-hash shift.
     shift: u32,
+    /// Live leases (tombstones counted separately).
     len: usize,
+    /// Forwarding tombstones currently held.
+    tombstones: usize,
     /// `buckets[i]` holds `(slot, generation)` entries noted at epoch
     /// `base_epoch + i`.
     buckets: VecDeque<Vec<(u32, u32)>>,
@@ -122,20 +205,26 @@ impl<T> LeaseArena<T> {
             table: vec![EMPTY; table_cap],
             shift: 64 - table_cap.trailing_zeros(),
             len: 0,
+            tombstones: 0,
             buckets: VecDeque::new(),
             base_epoch: 0,
             sweep: SweepStats::default(),
         }
     }
 
-    /// Live leases.
+    /// Live leases (forwarding tombstones are not counted).
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether no lease is open.
+    /// Whether no lease is open (tombstones may still be held).
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Forwarding tombstones currently held (not yet swept).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
     }
 
     /// Cumulative expiry-sweep cost counters.
@@ -153,7 +242,8 @@ impl<T> LeaseArena<T> {
         (peer.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
     }
 
-    /// Table position holding `peer`'s slot index, if present.
+    /// Table position holding `peer`'s slot index (live *or* tombstone),
+    /// if present.
     fn probe(&self, peer: PeerId) -> Option<usize> {
         let mask = self.table.len() - 1;
         let mut i = self.home(peer);
@@ -162,8 +252,8 @@ impl<T> LeaseArena<T> {
             if idx == EMPTY {
                 return None;
             }
-            if let Some((p, _)) = &self.slots[idx as usize].occupant {
-                if *p == peer {
+            if let Some(occ) = &self.slots[idx as usize].occupant {
+                if occ.peer() == peer {
                     return Some(i);
                 }
             }
@@ -184,7 +274,7 @@ impl<T> LeaseArena<T> {
                 .occupant
                 .as_ref()
                 .expect("table entries reference occupied slots")
-                .0;
+                .peer();
             let mut i = self.home(peer);
             while self.table[i] != EMPTY {
                 i = (i + 1) & mask;
@@ -194,7 +284,7 @@ impl<T> LeaseArena<T> {
     }
 
     fn table_insert(&mut self, peer: PeerId, slot: u32) {
-        if (self.len + 1) * 4 >= self.table.len() * 3 {
+        if (self.len + self.tombstones + 1) * 4 >= self.table.len() * 3 {
             self.grow_table();
         }
         let mask = self.table.len() - 1;
@@ -206,8 +296,9 @@ impl<T> LeaseArena<T> {
     }
 
     /// Removes `peer`'s table entry by backward-shift deletion (no
-    /// tombstones, so probe chains never rot under churn). Must be called
-    /// while the slab still holds the peer (keys are read through it).
+    /// tombstone markers in the *table*, so probe chains never rot under
+    /// churn). Must be called while the slab still holds the peer (keys
+    /// are read through it).
     fn table_remove(&mut self, pos: usize) {
         let mask = self.table.len() - 1;
         let mut hole = pos;
@@ -222,7 +313,7 @@ impl<T> LeaseArena<T> {
                 .occupant
                 .as_ref()
                 .expect("table entries reference occupied slots")
-                .0;
+                .peer();
             let home = self.home(peer);
             // `j`'s entry may fill the hole iff its home position does not
             // lie cyclically in (hole, j] — otherwise moving it would break
@@ -250,20 +341,21 @@ impl<T> LeaseArena<T> {
             self.buckets.push_back(Vec::new());
         }
         self.buckets[idx].push((slot, generation));
+        let clamped = self.base_epoch + idx as u64;
+        let s = &mut self.slots[slot as usize];
+        s.noted = s.noted.max(clamped);
     }
 
-    /// Opens a lease for `peer` at `epoch`. Returns the generational
-    /// handle, or `None` if the peer already holds a lease (use
-    /// [`Self::renew`] for that).
-    pub fn insert(&mut self, peer: PeerId, value: T, epoch: u64) -> Option<PeerSlot> {
-        if self.probe(peer).is_some() {
-            return None;
-        }
-        let slot = match self.free.pop() {
+    /// Takes a slot off the free list (or grows the slab) and fills it.
+    fn alloc_slot(&mut self, occupant: Occupant<T>, epoch: u64) -> u32 {
+        match self.free.pop() {
             Some(idx) => {
                 let s = &mut self.slots[idx as usize];
                 s.last_seen = epoch;
-                s.occupant = Some((peer, value));
+                s.opened = epoch;
+                s.ttl = TTL_DEFAULT;
+                s.noted = 0;
+                s.occupant = Some(occupant);
                 idx
             }
             None => {
@@ -271,11 +363,45 @@ impl<T> LeaseArena<T> {
                 self.slots.push(Slot {
                     generation: 0,
                     last_seen: epoch,
-                    occupant: Some((peer, value)),
+                    opened: epoch,
+                    ttl: TTL_DEFAULT,
+                    noted: 0,
+                    occupant: Some(occupant),
                 });
                 idx
             }
-        };
+        }
+    }
+
+    /// Frees `pos`/`slot` after its occupant was taken: bumps the
+    /// generation and recycles the slot.
+    fn release_slot(&mut self, pos: usize, slot: u32) {
+        self.table_remove(pos);
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.occupant.is_none());
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Opens a lease for `peer` at `epoch`. Returns the generational
+    /// handle, or `None` if the peer already holds a live lease (use
+    /// [`Self::renew`] for that). A forwarding tombstone left for the same
+    /// peer is cleared first — the peer came back, the move record is
+    /// obsolete.
+    pub fn insert(&mut self, peer: PeerId, value: T, epoch: u64) -> Option<PeerSlot> {
+        if let Some(pos) = self.probe(peer) {
+            let idx = self.table[pos];
+            match self.slots[idx as usize].occupant {
+                Some(Occupant::Live(..)) => return None,
+                Some(Occupant::Moved(..)) => {
+                    self.slots[idx as usize].occupant = None;
+                    self.release_slot(pos, idx);
+                    self.tombstones -= 1;
+                }
+                None => unreachable!("probed slots are occupied"),
+            }
+        }
+        let slot = self.alloc_slot(Occupant::Live(peer, value), epoch);
         self.table_insert(peer, slot);
         self.len += 1;
         let generation = self.slots[slot as usize].generation;
@@ -286,21 +412,77 @@ impl<T> LeaseArena<T> {
         })
     }
 
-    /// Whether `peer` holds a lease.
+    /// Leaves a forwarding tombstone for `peer`: the peer's registration
+    /// moved to region `to` at `epoch`. Returns `false` (and does nothing)
+    /// if the peer still holds a live lease or an earlier tombstone —
+    /// close the lease first ([`Self::remove`]). The tombstone is noted in
+    /// `epoch`'s bucket and retired by the ordinary sweeps once its
+    /// retention lapses.
+    pub fn insert_tombstone(&mut self, peer: PeerId, to: u32, epoch: u64) -> bool {
+        if self.probe(peer).is_some() {
+            return false;
+        }
+        let slot = self.alloc_slot(Occupant::Moved(peer, to), epoch);
+        self.table_insert(peer, slot);
+        self.tombstones += 1;
+        let generation = self.slots[slot as usize].generation;
+        self.note(slot, generation, epoch);
+        true
+    }
+
+    /// The destination region recorded by `peer`'s forwarding tombstone,
+    /// if one is held.
+    pub fn forwarded_to(&self, peer: PeerId) -> Option<u32> {
+        let pos = self.probe(peer)?;
+        match self.slots[self.table[pos] as usize].occupant {
+            Some(Occupant::Moved(_, to)) => Some(to),
+            _ => None,
+        }
+    }
+
+    /// Clears `peer`'s forwarding tombstone ahead of its sweep, returning
+    /// the recorded destination.
+    pub fn clear_tombstone(&mut self, peer: PeerId) -> Option<u32> {
+        let pos = self.probe(peer)?;
+        let idx = self.table[pos];
+        match self.slots[idx as usize].occupant {
+            Some(Occupant::Moved(_, to)) => {
+                self.slots[idx as usize].occupant = None;
+                self.release_slot(pos, idx);
+                self.tombstones -= 1;
+                Some(to)
+            }
+            _ => None,
+        }
+    }
+
+    /// Table position of `peer`'s **live** lease.
+    fn probe_live(&self, peer: PeerId) -> Option<usize> {
+        let pos = self.probe(peer)?;
+        match self.slots[self.table[pos] as usize].occupant {
+            Some(Occupant::Live(..)) => Some(pos),
+            _ => None,
+        }
+    }
+
+    /// Whether `peer` holds a live lease (tombstones don't count).
     pub fn contains(&self, peer: PeerId) -> bool {
-        self.probe(peer).is_some()
+        self.probe_live(peer).is_some()
     }
 
     /// The payload of `peer`'s lease.
     pub fn get(&self, peer: PeerId) -> Option<&T> {
-        let pos = self.probe(peer)?;
+        let pos = self.probe_live(peer)?;
         let slot = self.table[pos] as usize;
-        self.slots[slot].occupant.as_ref().map(|(_, v)| v)
+        match &self.slots[slot].occupant {
+            Some(Occupant::Live(_, v)) => Some(v),
+            _ => None,
+        }
     }
 
     /// The current handle for `peer`'s lease.
     pub fn slot_of(&self, peer: PeerId) -> Option<PeerSlot> {
-        let pos = self.probe(peer)?;
+        let pos = self.probe_live(peer)?;
         let index = self.table[pos];
         Some(PeerSlot {
             index,
@@ -317,13 +499,41 @@ impl<T> LeaseArena<T> {
         if slot.generation != handle.generation {
             return None;
         }
-        slot.occupant.as_ref().map(|(p, v)| (*p, v))
+        match &slot.occupant {
+            Some(Occupant::Live(p, v)) => Some((*p, v)),
+            _ => None,
+        }
     }
 
     /// The epoch `peer` last opened or renewed its lease.
     pub fn last_seen(&self, peer: PeerId) -> Option<u64> {
-        let pos = self.probe(peer)?;
+        let pos = self.probe_live(peer)?;
         Some(self.slots[self.table[pos] as usize].last_seen)
+    }
+
+    /// The epoch `peer`'s current lease was opened (session bookkeeping).
+    pub fn opened(&self, peer: PeerId) -> Option<u64> {
+        let pos = self.probe_live(peer)?;
+        Some(self.slots[self.table[pos] as usize].opened)
+    }
+
+    /// `peer`'s own lease length, if one was set ([`Self::set_ttl`]).
+    pub fn ttl_of(&self, peer: PeerId) -> Option<u32> {
+        let pos = self.probe_live(peer)?;
+        let ttl = self.slots[self.table[pos] as usize].ttl;
+        (ttl != TTL_DEFAULT).then_some(ttl)
+    }
+
+    /// Sets `peer`'s per-lease length (epochs of silence before
+    /// [`Self::take_due`] expires it). `false` if the peer holds no live
+    /// lease. Leases without a set TTL use the sweep's default.
+    pub fn set_ttl(&mut self, peer: PeerId, ttl: u32) -> bool {
+        let Some(pos) = self.probe_live(peer) else {
+            return false;
+        };
+        let idx = self.table[pos] as usize;
+        self.slots[idx].ttl = ttl;
+        true
     }
 
     /// Renews `peer`'s lease at `epoch`; `false` if the peer holds none.
@@ -331,7 +541,7 @@ impl<T> LeaseArena<T> {
     /// duplicate bucket note — the same-epoch guard of the expiry
     /// off-by-one family).
     pub fn renew(&mut self, peer: PeerId, epoch: u64) -> bool {
-        let Some(pos) = self.probe(peer) else {
+        let Some(pos) = self.probe_live(peer) else {
             return false;
         };
         let idx = self.table[pos];
@@ -345,25 +555,51 @@ impl<T> LeaseArena<T> {
         true
     }
 
+    /// [`Self::renew`] plus a TTL update in one probe — the adaptive-lease
+    /// path ("derive the lease length at renewal time").
+    pub fn renew_with_ttl(&mut self, peer: PeerId, epoch: u64, ttl: u32) -> bool {
+        let Some(pos) = self.probe_live(peer) else {
+            return false;
+        };
+        let idx = self.table[pos];
+        let slot = &mut self.slots[idx as usize];
+        slot.ttl = ttl;
+        if slot.last_seen == epoch {
+            return true;
+        }
+        slot.last_seen = epoch;
+        let generation = slot.generation;
+        self.note(idx, generation, epoch);
+        true
+    }
+
     /// Closes `peer`'s lease, returning the payload. The slot's generation
     /// is bumped, so handles issued before this call go stale.
     pub fn remove(&mut self, peer: PeerId) -> Option<T> {
-        let pos = self.probe(peer)?;
+        self.remove_full(peer).map(|(v, _, _)| v)
+    }
+
+    /// Like [`Self::remove`], but also reports `(opened, last_seen)` — the
+    /// observed session span adaptive leases feed their EWMA from.
+    pub fn remove_full(&mut self, peer: PeerId) -> Option<(T, u64, u64)> {
+        let pos = self.probe_live(peer)?;
         let idx = self.table[pos] as usize;
-        self.table_remove(pos);
         let slot = &mut self.slots[idx];
-        let (_, value) = slot.occupant.take().expect("probed slots are occupied");
-        slot.generation = slot.generation.wrapping_add(1);
-        self.free.push(idx as u32);
+        let (opened, last_seen) = (slot.opened, slot.last_seen);
+        let Some(Occupant::Live(_, value)) = slot.occupant.take() else {
+            unreachable!("probe_live found a live occupant");
+        };
+        self.release_slot(pos, idx as u32);
         self.len -= 1;
-        Some(value)
+        Some((value, opened, last_seen))
     }
 
     /// Iterator over live leases in slot order: `(peer, last_seen, &T)`.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, u64, &T)> + '_ {
-        self.slots
-            .iter()
-            .filter_map(|s| s.occupant.as_ref().map(|(p, v)| (*p, s.last_seen, v)))
+        self.slots.iter().filter_map(|s| match &s.occupant {
+            Some(Occupant::Live(p, v)) => Some((*p, s.last_seen, v)),
+            _ => None,
+        })
     }
 
     /// Peers whose lease was last seen strictly before `cutoff` —
@@ -378,22 +614,49 @@ impl<T> LeaseArena<T> {
     }
 
     /// Closes every lease last seen strictly before `cutoff` and returns
-    /// them sorted by peer id. This is the epoch-bucketed linear sweep:
-    /// buckets below the cutoff are popped whole; each entry is re-checked
-    /// against the lease's actual `last_seen` (renewed leases moved to a
-    /// newer bucket; generation mismatches mean the slot was freed or
-    /// reused). A live-but-renewed entry found in a popped bucket is
-    /// re-noted under its current epoch so the lease always keeps at least
-    /// one note at or above its `last_seen` bucket.
+    /// them sorted by peer id — the uniform-lease sweep every
+    /// non-federated, non-adaptive path uses. Equivalent to
+    /// [`Self::take_due`] with every lease on the same length; forwarding
+    /// tombstones older than the cutoff are retired too (silently — use
+    /// `take_due` to observe them).
     pub fn take_expired(&mut self, cutoff: u64) -> Vec<(PeerId, T)> {
-        let mut expired: Vec<(PeerId, T)> = Vec::new();
+        // `take_due(now, default_ttl, min_ttl) = (cutoff + 1, 1, 1)` pops
+        // buckets `< cutoff` and expires `last_seen + 1 < cutoff + 1`,
+        // i.e. exactly `last_seen < cutoff`, re-noting survivors at
+        // `last_seen` — bit-identical to the historical uniform sweep.
+        self.take_due(cutoff.saturating_add(1), 1, 1)
+            .expired
+            .into_iter()
+            .map(|e| (e.peer, e.value))
+            .collect()
+    }
+
+    /// The generalized epoch-bucket sweep: closes every live lease whose
+    /// own deadline lapsed (`last_seen + ttl < now`, where `ttl` is the
+    /// per-lease length or `default_ttl` if none was set) and retires
+    /// forwarding tombstones the same way (retention = `default_ttl`).
+    ///
+    /// `min_ttl` must be a lower bound on every TTL in use (callers clamp
+    /// adaptive TTLs to a configured floor): buckets up to
+    /// `now - min_ttl` are popped, each entry re-checked against its
+    /// lease's actual deadline, and not-yet-due leases re-noted at
+    /// `due - min_ttl` so they are re-examined exactly when they lapse —
+    /// at most one extra note per lease per sweep generation, keeping the
+    /// sweep linear in noted activity. A TTL *below* `min_ttl` is never
+    /// expired early — its bucket just pops later, delaying (never
+    /// corrupting) the expiry.
+    pub fn take_due(&mut self, now: u64, default_ttl: u64, min_ttl: u64) -> SweepOutcome<T> {
+        let min_ttl = min_ttl.max(1);
+        let pop_cutoff = now.saturating_sub(min_ttl);
+        let mut out = SweepOutcome::default();
         let mut renote: Vec<(u32, u32, u64)> = Vec::new();
-        while self.base_epoch < cutoff {
+        while self.base_epoch < pop_cutoff {
             let Some(bucket) = self.buckets.pop_front() else {
                 // Nothing was ever noted this far back; skip ahead.
-                self.base_epoch = cutoff;
+                self.base_epoch = pop_cutoff;
                 break;
             };
+            let bucket_epoch = self.base_epoch;
             self.base_epoch += 1;
             self.sweep.buckets_swept += 1;
             for (idx, generation) in bucket {
@@ -402,31 +665,58 @@ impl<T> LeaseArena<T> {
                 if slot.generation != generation || slot.occupant.is_none() {
                     continue; // freed (and possibly reused) since noted
                 }
-                if slot.last_seen >= cutoff {
-                    // Renewed past the cutoff: keep the lease findable by
-                    // future sweeps.
-                    renote.push((idx, generation, slot.last_seen));
+                let ttl = match slot.occupant {
+                    Some(Occupant::Live(..)) if slot.ttl != TTL_DEFAULT => slot.ttl as u64,
+                    // Tombstone retention matches the default lease length.
+                    _ => default_ttl,
+                };
+                let due = slot.last_seen.saturating_add(ttl);
+                if due >= now {
+                    // Not yet due. If a newer note for this occupancy
+                    // exists (a renewal, or an earlier sweep's re-note),
+                    // it keeps the lease findable — re-noting here too
+                    // would build chains of stale notes that every sweep
+                    // re-examines. Only the newest note re-notes forward.
+                    if slot.noted <= bucket_epoch {
+                        renote.push((idx, generation, due - min_ttl));
+                    }
                     continue;
                 }
-                let (peer, value) = slot.occupant.take().expect("checked occupied");
-                slot.generation = slot.generation.wrapping_add(1);
-                let pos = self
-                    .probe_vacated(peer, idx)
-                    .expect("expired lease was in the table");
-                self.table_remove(pos);
-                self.free.push(idx);
-                self.len -= 1;
-                expired.push((peer, value));
+                let (opened, last_seen) = (slot.opened, slot.last_seen);
+                match slot.occupant.take().expect("checked occupied") {
+                    Occupant::Live(peer, value) => {
+                        let pos = self
+                            .probe_vacated(peer, idx)
+                            .expect("expired lease was in the table");
+                        self.release_slot(pos, idx);
+                        self.len -= 1;
+                        out.expired.push(ExpiredLease {
+                            peer,
+                            value,
+                            opened,
+                            last_seen,
+                        });
+                    }
+                    Occupant::Moved(peer, to) => {
+                        let pos = self
+                            .probe_vacated(peer, idx)
+                            .expect("swept tombstone was in the table");
+                        self.release_slot(pos, idx);
+                        self.tombstones -= 1;
+                        out.moved.push((peer, to));
+                    }
+                }
             }
         }
-        for (idx, generation, seen) in renote {
+        for (idx, generation, epoch) in renote {
             // The slot may have been freed by a *later* entry in the same
             // sweep only via remove(), which bumps the generation — note()
             // is still safe because readers re-check both.
-            self.note(idx, generation, seen);
+            self.note(idx, generation, epoch);
         }
-        expired.sort_unstable_by_key(|(p, _)| *p);
-        expired
+        out.expired.sort_unstable_by_key(|e| e.peer);
+        out.moved.sort_unstable_by_key(|&(p, _)| p);
+        out
     }
 
     /// Like [`Self::probe`], but for a peer whose slab occupant was just
@@ -463,6 +753,7 @@ mod tests {
         assert!(a.contains(PeerId(7)));
         assert_eq!(a.get(PeerId(7)), Some(&70));
         assert_eq!(a.last_seen(PeerId(7)), Some(1));
+        assert_eq!(a.opened(PeerId(7)), Some(1));
         assert_eq!(a.get_slot(h), Some((PeerId(7), &70)));
         assert_eq!(a.slot_of(PeerId(7)), Some(h));
         assert!(a.insert(PeerId(7), 71, 2).is_none(), "double insert");
@@ -613,5 +904,132 @@ mod tests {
         for p in 0..64u64 {
             assert_eq!(a.get(PeerId(p)).copied(), (p % 2 == 1).then_some(p as u8));
         }
+    }
+
+    // --- Forwarding tombstones. ---
+
+    #[test]
+    fn tombstone_lifecycle() {
+        let mut a = arena();
+        a.insert(PeerId(1), 10, 0).unwrap();
+        assert!(!a.insert_tombstone(PeerId(1), 2, 0), "live lease blocks");
+        assert_eq!(a.remove(PeerId(1)), Some(10));
+        assert!(a.insert_tombstone(PeerId(1), 2, 3));
+        assert!(!a.insert_tombstone(PeerId(1), 4, 3), "one tombstone only");
+        assert_eq!(a.tombstone_count(), 1);
+        assert_eq!(a.len(), 0, "tombstones are not live leases");
+        assert!(!a.contains(PeerId(1)));
+        assert_eq!(a.get(PeerId(1)), None);
+        assert!(!a.renew(PeerId(1), 4), "tombstones cannot renew");
+        assert_eq!(a.forwarded_to(PeerId(1)), Some(2));
+        assert_eq!(a.forwarded_to(PeerId(9)), None);
+    }
+
+    #[test]
+    fn tombstone_cleared_when_peer_returns() {
+        let mut a = arena();
+        a.insert(PeerId(1), 10, 0).unwrap();
+        a.remove(PeerId(1));
+        assert!(a.insert_tombstone(PeerId(1), 3, 1));
+        // The peer re-registers here: the stale move record must vanish.
+        assert!(a.insert(PeerId(1), 11, 2).is_some());
+        assert_eq!(a.forwarded_to(PeerId(1)), None);
+        assert_eq!(a.tombstone_count(), 0);
+        assert_eq!(a.get(PeerId(1)), Some(&11));
+        assert_eq!(a.opened(PeerId(1)), Some(2));
+    }
+
+    #[test]
+    fn sweeps_retire_tombstones_as_moved() {
+        let mut a = arena();
+        a.insert(PeerId(1), 10, 0).unwrap();
+        a.insert(PeerId(2), 20, 0).unwrap();
+        a.remove(PeerId(1));
+        assert!(a.insert_tombstone(PeerId(1), 7, 0));
+        // Uniform sweep with default retention 3, at epoch 5: both the
+        // silent lease and the tombstone lapsed — but they come out in
+        // different lists.
+        let out = a.take_due(5, 3, 3);
+        assert_eq!(out.moved, vec![(PeerId(1), 7)]);
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.expired[0].peer, PeerId(2));
+        assert_eq!(out.expired[0].value, 20);
+        assert_eq!(a.tombstone_count(), 0);
+        assert!(a.is_empty());
+        // take_expired retires tombstones too (silently).
+        a.insert(PeerId(3), 30, 5).unwrap();
+        a.remove(PeerId(3));
+        a.insert_tombstone(PeerId(3), 1, 5);
+        assert!(a.take_expired(9).is_empty());
+        assert_eq!(a.tombstone_count(), 0);
+    }
+
+    // --- Per-lease TTLs (adaptive leases). ---
+
+    #[test]
+    fn custom_ttl_expires_earlier_than_default() {
+        let mut a = arena();
+        a.insert(PeerId(1), 10, 0).unwrap();
+        a.insert(PeerId(2), 20, 0).unwrap();
+        assert!(a.set_ttl(PeerId(1), 2), "short-lived peer gets 2 epochs");
+        assert_eq!(a.ttl_of(PeerId(1)), Some(2));
+        assert_eq!(a.ttl_of(PeerId(2)), None, "default lease");
+        // At epoch 4 with default 8: peer 1 (due 0+2) lapsed, peer 2
+        // (due 0+8) lives on.
+        let out = a.take_due(4, 8, 2);
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.expired[0].peer, PeerId(1));
+        assert!(a.contains(PeerId(2)));
+        // Peer 2 expires once the default lapses; the renote at
+        // `due - min_ttl` must keep it findable.
+        let out = a.take_due(9, 8, 2);
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.expired[0].peer, PeerId(2));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn renew_with_ttl_updates_both_in_one_probe() {
+        let mut a = arena();
+        a.insert(PeerId(1), 10, 0).unwrap();
+        assert!(a.renew_with_ttl(PeerId(1), 3, 5));
+        assert_eq!(a.last_seen(PeerId(1)), Some(3));
+        assert_eq!(a.ttl_of(PeerId(1)), Some(5));
+        // Same-epoch renewal still refreshes the TTL without a new note.
+        assert!(a.renew_with_ttl(PeerId(1), 3, 6));
+        assert_eq!(a.ttl_of(PeerId(1)), Some(6));
+        assert!(!a.renew_with_ttl(PeerId(9), 3, 5));
+        // Due at 3 + 6 = 9.
+        assert!(a.take_due(9, 20, 1).expired.is_empty());
+        let out = a.take_due(10, 20, 1);
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.expired[0].last_seen, 3);
+        assert_eq!(out.expired[0].opened, 0);
+    }
+
+    #[test]
+    fn ttl_sweep_stays_linear() {
+        let mut a = arena();
+        for p in 0..1_000u64 {
+            a.insert(PeerId(p), p as u32, 0).unwrap();
+            if p % 2 == 0 {
+                a.set_ttl(PeerId(p), 4);
+            }
+        }
+        // Sweep epoch by epoch with default 16, floor 4: evens lapse at 4,
+        // odds at 16; no sweep may rescan the whole table.
+        let mut expired = 0usize;
+        for now in 1..=20u64 {
+            expired += a.take_due(now, 16, 4).expired.len();
+        }
+        assert_eq!(expired, 1_000);
+        // 1000 opens + at most one renote per survivor per examination
+        // generation: far below 1000 × 20.
+        let stats = a.sweep_stats();
+        assert!(
+            stats.entries_swept <= 2_500,
+            "sweep touched {} entries",
+            stats.entries_swept
+        );
     }
 }

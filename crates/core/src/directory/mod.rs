@@ -22,10 +22,12 @@
 //! landmark and amortise the tree descent; disjoint shards can be built
 //! from different threads via [`crate::ManagementServer::shards_mut`].
 
+mod adaptive;
 mod lease_arena;
 mod path_store;
 mod shard;
 
-pub use lease_arena::{LeaseArena, PeerSlot, SweepStats};
+pub use adaptive::AdaptiveLeaseConfig;
+pub use lease_arena::{ExpiredLease, LeaseArena, PeerSlot, SweepOutcome, SweepStats};
 pub use path_store::{PathRef, PathStore};
-pub use shard::{DirectoryShard, ShardAbsorb};
+pub use shard::{DirectoryShard, ShardAbsorb, ShardSweep};

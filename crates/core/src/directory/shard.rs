@@ -1,5 +1,6 @@
 //! One landmark's slice of the management directory.
 
+use super::adaptive::{AdaptiveLeaseConfig, AdaptiveLeases};
 use super::lease_arena::LeaseArena;
 use super::path_store::{PathRef, PathStore};
 use crate::error::CoreError;
@@ -9,6 +10,18 @@ use crate::path_tree::PathTree;
 use crate::router_index::{query_nearest_entries, EntryMap, Neighbor};
 use nearpeer_topology::RouterId;
 use std::collections::HashSet;
+
+/// Everything one [`DirectoryShard::expire_epoch`] sweep retired: leases
+/// that lapsed silently, and forwarding tombstones whose retention ended.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSweep {
+    /// Peers whose lease expired (they are gone from the shard), ascending.
+    pub expired: Vec<PeerId>,
+    /// Swept forwarding tombstones `(peer, destination_region)` — these
+    /// peers did not fail, they handed over to another region and the
+    /// grace record has now been retired. Ascending by peer.
+    pub moved: Vec<(PeerId, u32)>,
+}
 
 /// What happened to each item of a churn-absorbing batch
 /// ([`DirectoryShard::absorb_batch`]).
@@ -45,6 +58,7 @@ pub struct DirectoryShard {
     entries: EntryMap,
     leases: LeaseArena<PathRef>,
     tree: PathTree,
+    adaptive: Option<AdaptiveLeases>,
     inserts: u64,
     removals: u64,
 }
@@ -52,6 +66,18 @@ pub struct DirectoryShard {
 impl DirectoryShard {
     /// Creates the empty shard for `landmark` whose router is `root`.
     pub fn new(landmark: LandmarkId, root: RouterId) -> Self {
+        Self::with_adaptive(landmark, root, None)
+    }
+
+    /// Like [`Self::new`], with adaptive lease lengths enabled when a
+    /// config is given: the shard tracks each peer's EWMA session length
+    /// and sizes its lease accordingly at open/renewal time (see
+    /// [`AdaptiveLeaseConfig`]).
+    pub fn with_adaptive(
+        landmark: LandmarkId,
+        root: RouterId,
+        adaptive: Option<AdaptiveLeaseConfig>,
+    ) -> Self {
         Self {
             landmark,
             root,
@@ -59,6 +85,7 @@ impl DirectoryShard {
             entries: EntryMap::new(),
             leases: LeaseArena::new(),
             tree: PathTree::new(root),
+            adaptive: adaptive.map(AdaptiveLeases::new),
             inserts: 0,
             removals: 0,
         }
@@ -162,8 +189,37 @@ impl DirectoryShard {
     }
 
     /// Records a heartbeat; `false` if the peer is not in this shard.
+    /// With adaptive leases on, the renewal also re-derives the peer's
+    /// lease length from its session EWMA ("at renewal time").
     pub fn heartbeat(&mut self, peer: PeerId, epoch: u64) -> bool {
-        self.leases.renew(peer, epoch)
+        match self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+            Some(ttl) => self.leases.renew_with_ttl(peer, epoch, ttl),
+            None => self.leases.renew(peer, epoch),
+        }
+    }
+
+    /// The destination region of `peer`'s forwarding tombstone, if this
+    /// shard holds one (the peer handed over to another region's server).
+    pub fn forwarded_to(&self, peer: PeerId) -> Option<u32> {
+        self.leases.forwarded_to(peer)
+    }
+
+    /// Forwarding tombstones currently held (not yet swept).
+    pub fn tombstone_count(&self) -> usize {
+        self.leases.tombstone_count()
+    }
+
+    /// The adaptive-lease config, when enabled.
+    pub fn adaptive_config(&self) -> Option<AdaptiveLeaseConfig> {
+        self.adaptive.as_ref().map(|a| a.cfg())
+    }
+
+    /// Folds a finished session into the peer's EWMA (no-op without
+    /// adaptive leases).
+    fn observe_session(&mut self, peer: PeerId, opened: u64, last_seen: u64) {
+        if let Some(a) = self.adaptive.as_mut() {
+            a.observe(peer, last_seen.saturating_sub(opened));
+        }
     }
 
     /// Shard peers last seen strictly before `cutoff` — read-only
@@ -220,6 +276,9 @@ impl DirectoryShard {
         self.index_path(peer, r);
         self.tree.insert(peer, self.store.get(r));
         self.leases.insert(peer, r, epoch);
+        if let Some(ttl) = self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+            self.leases.set_ttl(peer, ttl);
+        }
         self.inserts += 1;
         Ok(())
     }
@@ -258,7 +317,10 @@ impl DirectoryShard {
             }
             if self.leases.contains(peer) {
                 if renew_existing {
-                    self.leases.renew(peer, epoch);
+                    match self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+                        Some(ttl) => self.leases.renew_with_ttl(peer, epoch, ttl),
+                        None => self.leases.renew(peer, epoch),
+                    };
                     out.renewed += 1;
                 }
                 continue;
@@ -266,6 +328,9 @@ impl DirectoryShard {
             let r = self.store.intern(path);
             self.index_path(peer, r);
             self.leases.insert(peer, r, epoch);
+            if let Some(ttl) = self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+                self.leases.set_ttl(peer, ttl);
+            }
             accepted.push((peer, r));
         }
         let store = &self.store;
@@ -280,6 +345,22 @@ impl DirectoryShard {
 
     /// Removes a peer, releasing its arena slot; `false` if unknown.
     pub fn remove(&mut self, peer: PeerId) -> bool {
+        let Some((r, opened, last_seen)) = self.leases.remove_full(peer) else {
+            return false;
+        };
+        self.observe_session(peer, opened, last_seen);
+        self.unindex_path(peer, r);
+        self.tree.remove(peer);
+        self.removals += 1;
+        true
+    }
+
+    /// Removes a peer that is **relocating** (a handover, not a session
+    /// end): identical to [`Self::remove`] except the session EWMA is not
+    /// updated — the session continues from the new attachment, and
+    /// folding the dwell time in would shrink a mobile peer's lease
+    /// estimate mid-session. `false` if unknown.
+    pub fn remove_moved(&mut self, peer: PeerId) -> bool {
         let Some(r) = self.leases.remove(peer) else {
             return false;
         };
@@ -289,14 +370,36 @@ impl DirectoryShard {
         true
     }
 
+    /// Removes a peer that **handed over to another region**, leaving a
+    /// forwarding tombstone in the lease arena: the peer's path, tree and
+    /// index entries are torn down like a departure, but the arena keeps a
+    /// `(peer → region)` marker — noted in the current epoch's bucket and
+    /// retired by the ordinary sweeps — so federation-aware expiry can
+    /// tell "peer moved" apart from "peer silent". The session EWMA is
+    /// *not* updated: the session continues elsewhere. `false` if unknown.
+    pub fn remove_forwarding(&mut self, peer: PeerId, to_region: u32, epoch: u64) -> bool {
+        let Some(r) = self.leases.remove(peer) else {
+            return false;
+        };
+        self.unindex_path(peer, r);
+        self.tree.remove(peer);
+        self.removals += 1;
+        let planted = self.leases.insert_tombstone(peer, to_region, epoch);
+        debug_assert!(planted, "slot was just vacated");
+        true
+    }
+
     /// Renews the lease of every listed peer registered here at `epoch`
     /// (one heartbeat round, batched). Peers in other shards cost one
     /// open-addressed probe each. Returns the number renewed.
     pub fn renew_batch(&mut self, peers: &[PeerId], epoch: u64) -> usize {
-        peers
-            .iter()
-            .filter(|&&peer| self.leases.renew(peer, epoch))
-            .count()
+        let mut renewed = 0usize;
+        for &peer in peers {
+            if self.heartbeat(peer, epoch) {
+                renewed += 1;
+            }
+        }
+        renewed
     }
 
     /// Removes every listed peer registered here, returning the ones
@@ -317,14 +420,56 @@ impl DirectoryShard {
     /// the expired peers sorted by id. This is the epoch-bucketed linear
     /// sweep ([`LeaseArena::take_expired`]): cost proportional to the
     /// lease activity being retired, never a scan of the whole table.
+    /// Uniform-lease semantics — adaptive TTLs and forwarding tombstones
+    /// are served by [`Self::expire_epoch`] (this method still retires
+    /// lapsed tombstones, silently).
     pub fn expire_stale_batch(&mut self, cutoff: u64) -> Vec<PeerId> {
-        let expired = self.leases.take_expired(cutoff);
-        let mut out = Vec::with_capacity(expired.len());
-        for (peer, r) in expired {
-            self.unindex_path(peer, r);
-            self.tree.remove(peer);
+        let outcome = self.leases_sweep_uniform(cutoff);
+        self.finish_sweep(outcome).expired
+    }
+
+    /// The epoch-bucketed expiry sweep at heartbeat epoch `now` with
+    /// default lease length `max_age` — the entry point the facade (and
+    /// the shard-parallel churn drivers) use:
+    ///
+    /// * without adaptive leases this is exactly
+    ///   [`Self::expire_stale_batch`] at `cutoff = now - max_age`;
+    /// * with adaptive leases each peer expires at its **own** deadline
+    ///   (`last_seen + derived ttl`, see [`AdaptiveLeaseConfig`]), with
+    ///   `max_age` as the default for peers without history;
+    /// * either way, forwarding tombstones whose retention (`max_age`)
+    ///   lapsed are retired and reported in [`ShardSweep::moved`] — the
+    ///   federation's "peer moved, not silent" signal.
+    pub fn expire_epoch(&mut self, now: u64, max_age: u64) -> ShardSweep {
+        let outcome = match self.adaptive.as_ref().map(|a| a.cfg()) {
+            Some(cfg) => {
+                let min_ttl = (cfg.min_age as u64).min(max_age).max(1);
+                self.leases.take_due(now, max_age, min_ttl)
+            }
+            None => self.leases_sweep_uniform(now.saturating_sub(max_age)),
+        };
+        self.finish_sweep(outcome)
+    }
+
+    /// The historical uniform sweep (`last_seen < cutoff`), expressed
+    /// through the generalized deadline sweep.
+    fn leases_sweep_uniform(&mut self, cutoff: u64) -> super::lease_arena::SweepOutcome<PathRef> {
+        self.leases.take_due(cutoff.saturating_add(1), 1, 1)
+    }
+
+    /// Tears down the directory state of a sweep's expired leases and
+    /// folds their sessions into the EWMA.
+    fn finish_sweep(&mut self, outcome: super::lease_arena::SweepOutcome<PathRef>) -> ShardSweep {
+        let mut out = ShardSweep {
+            expired: Vec::with_capacity(outcome.expired.len()),
+            moved: outcome.moved,
+        };
+        for lease in outcome.expired {
+            self.observe_session(lease.peer, lease.opened, lease.last_seen);
+            self.unindex_path(lease.peer, lease.value);
+            self.tree.remove(lease.peer);
             self.removals += 1;
-            out.push(peer);
+            out.expired.push(lease.peer);
         }
         out
     }
@@ -481,6 +626,104 @@ mod tests {
         assert_eq!(s.removals(), 1);
         // Matches what the read-only diagnostic would have named.
         assert!(s.stale_peers(3).is_empty());
+    }
+
+    #[test]
+    fn remove_forwarding_leaves_a_swept_tombstone() {
+        let mut s = shard();
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.insert(PeerId(2), path(&[5, 2, 1, 0]), 0).unwrap();
+        assert!(s.remove_forwarding(PeerId(1), 3, 2));
+        assert!(!s.remove_forwarding(PeerId(9), 3, 2));
+        // The peer is gone from every directory structure...
+        assert_eq!(s.len(), 1);
+        assert!(s.path_of(PeerId(1)).is_none());
+        assert_eq!(s.tree().n_peers(), 1);
+        assert_eq!(s.removals(), 1);
+        // ...but the forwarding record remains until its retention lapses.
+        assert_eq!(s.forwarded_to(PeerId(1)), Some(3));
+        assert_eq!(s.tombstone_count(), 1);
+        let sweep = s.expire_epoch(4, 4);
+        assert!(sweep.expired.is_empty() && sweep.moved.is_empty());
+        let sweep = s.expire_epoch(7, 4);
+        assert_eq!(sweep.moved, vec![(PeerId(1), 3)]);
+        // Peer 2's lease (last seen 0) lapsed in the same sweep — the two
+        // dispositions stay distinguishable.
+        assert_eq!(sweep.expired, vec![PeerId(2)]);
+        assert_eq!(s.tombstone_count(), 0);
+        assert_eq!(s.forwarded_to(PeerId(1)), None);
+    }
+
+    #[test]
+    fn expire_epoch_matches_expire_stale_batch_without_adaptive() {
+        let build = || {
+            let mut s = shard();
+            s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+            s.insert(PeerId(2), path(&[5, 2, 1, 0]), 0).unwrap();
+            s.heartbeat(PeerId(1), 4);
+            s
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(
+            a.expire_epoch(6, 3).expired,
+            b.expire_stale_batch(3),
+            "expire_epoch(now, max_age) == expire_stale_batch(now - max_age)"
+        );
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn adaptive_shortens_the_lease_of_short_lived_peers() {
+        let cfg = AdaptiveLeaseConfig {
+            ewma_shift: 1,
+            margin: 1,
+            min_age: 1,
+            max_age: 16,
+        };
+        let mut s = DirectoryShard::with_adaptive(LandmarkId(0), RouterId(0), Some(cfg));
+        // Peer 1 lives one epoch, leaves, and rejoins repeatedly: its EWMA
+        // settles near 1, so its lease is derived as ~2 epochs.
+        for round in 0u64..4 {
+            let e = round * 10;
+            s.insert(PeerId(1), path(&[4, 2, 1, 0]), e).unwrap();
+            s.heartbeat(PeerId(1), e + 1);
+            assert!(s.remove(PeerId(1)));
+        }
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 100).unwrap();
+        // A fresh peer joins at the same epoch with no history.
+        s.insert(PeerId(2), path(&[5, 2, 1, 0]), 100).unwrap();
+        // Sweep at epoch 106 with the default lease of 16: the adapted
+        // peer (ttl ≈ 2) is expired ~8 epochs sooner than the default
+        // would allow; the history-less peer keeps the full lease.
+        let sweep = s.expire_epoch(106, 16);
+        assert_eq!(sweep.expired, vec![PeerId(1)]);
+        assert!(s.contains(PeerId(2)));
+        assert_eq!(s.adaptive_config(), Some(cfg));
+    }
+
+    #[test]
+    fn adaptive_lease_never_exceeds_the_configured_cap() {
+        let cfg = AdaptiveLeaseConfig {
+            ewma_shift: 0, // take each session whole
+            margin: 0,
+            min_age: 1,
+            max_age: 4,
+        };
+        let mut s = DirectoryShard::with_adaptive(LandmarkId(0), RouterId(0), Some(cfg));
+        // One very long session: the estimate caps out, so the peer is
+        // untracked and rides the default lease on rejoin (= the
+        // configured cap in a consistent deployment).
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 0).unwrap();
+        s.heartbeat(PeerId(1), 50);
+        assert!(s.remove(PeerId(1)));
+        s.insert(PeerId(1), path(&[4, 2, 1, 0]), 60).unwrap();
+        let sweep = s.expire_epoch(65, cfg.max_age as u64);
+        assert_eq!(
+            sweep.expired,
+            vec![PeerId(1)],
+            "never more than the 4-epoch cap, however long the EWMA history"
+        );
     }
 
     #[test]

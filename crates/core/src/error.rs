@@ -16,6 +16,9 @@ pub enum CoreError {
     InvalidPath(String),
     /// The server has no landmark matching the path's terminal router.
     UnknownLandmark(String),
+    /// A federation was configured inconsistently (no regions, more
+    /// regions than landmarks, super-peers enabled per region, …).
+    InvalidFederation(String),
     /// Wire-format decoding failed.
     Codec(crate::codec::CodecError),
 }
@@ -27,6 +30,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownPeer(p) => write!(f, "{p} is not registered"),
             CoreError::InvalidPath(msg) => write!(f, "invalid peer path: {msg}"),
             CoreError::UnknownLandmark(msg) => write!(f, "unknown landmark: {msg}"),
+            CoreError::InvalidFederation(msg) => write!(f, "invalid federation: {msg}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
         }
     }

@@ -1,0 +1,908 @@
+//! The federation front door: cross-region routing over per-region
+//! management servers.
+
+use super::region::{Region, RegionId};
+use crate::error::CoreError;
+use crate::ids::{LandmarkId, PeerId};
+use crate::path::PeerPath;
+use crate::router_index::Neighbor;
+use crate::server::{ManagementServer, ServerConfig};
+use nearpeer_routing::RouteOracle;
+use nearpeer_topology::{RouterId, Topology};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Federation tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FederationConfig {
+    /// Foreign regions consulted per query, ranked by bridge distance
+    /// from the query's home region (`None` = all of them — required for
+    /// answers identical to a single global server; small values trade
+    /// recall for fan-out). `Some(0)` answers purely from the home
+    /// region.
+    pub fanout: Option<usize>,
+    /// Per-region server configuration. Super-peers must be disabled —
+    /// regional promotion under cross-region mobility is future work.
+    pub server: ServerConfig,
+}
+
+/// What a newcomer (or a handed-over peer) receives from the federation.
+/// The landmark id is **global** (an index into
+/// [`Federation::landmarks`]), unlike the region-local ids the underlying
+/// servers speak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedJoin {
+    /// The region the peer registered in.
+    pub region: RegionId,
+    /// The (global) landmark the peer registered under.
+    pub landmark: LandmarkId,
+    /// The closest peers across the consulted regions, nearest first.
+    pub neighbors: Vec<Neighbor>,
+}
+
+/// Dispositions of a write-only federated batch
+/// ([`Federation::register_batch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederatedBatchOutcome {
+    /// Fresh peers registered.
+    pub joined: usize,
+    /// Same-region rejoins whose lease was renewed instead.
+    pub renewed: usize,
+    /// Items dropped: unknown landmark, or a peer currently registered in
+    /// a *different* region (that move is a [`Federation::handover`]).
+    pub rejected: usize,
+}
+
+/// Aggregate federation counters (the cross-region view; each region's
+/// server keeps its own [`crate::ServerStats`] underneath).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Federated queries answered ([`Federation::closest_to_path`]).
+    pub queries: u64,
+    /// Foreign regions consulted across all queries (fan-out volume).
+    pub remote_regions_consulted: u64,
+    /// Neighbors served through cross-region bridge fills.
+    pub cross_region_fills: u64,
+    /// Handovers processed (intra- and cross-region).
+    pub handovers: u64,
+    /// The subset of handovers that crossed regions (these leave
+    /// forwarding tombstones behind).
+    pub cross_region_handovers: u64,
+}
+
+/// Everything one federated expiry sweep retired, split by disposition —
+/// the distinction the forwarding tombstones exist for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FederationSweep {
+    /// Leases that lapsed silently: `(region, peer)` — these peers failed.
+    pub expired: Vec<(RegionId, PeerId)>,
+    /// Forwarding tombstones retired: `(old region, peer)` — these peers
+    /// handed over to another region and their grace record aged out.
+    pub moved_swept: Vec<(RegionId, PeerId)>,
+}
+
+impl FederationSweep {
+    /// The expired peer ids across all regions, ascending.
+    pub fn expired_ids(&self) -> Vec<PeerId> {
+        let mut ids: Vec<PeerId> = self.expired.iter().map(|&(_, p)| p).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Read-path counters (interior-mutable, so federated queries stay
+/// `&self` like the underlying servers').
+#[derive(Debug, Default)]
+struct QueryCounters {
+    queries: AtomicU64,
+    remote: AtomicU64,
+    fills: AtomicU64,
+}
+
+/// A federation of per-region management servers behind one routing front
+/// door.
+///
+/// The federation owns the **global** landmark list and distance matrix;
+/// each [`Region`]'s server sees only its own landmark subset (and the
+/// corresponding sub-matrix), so regional writes validate exactly as a
+/// standalone deployment would. Queries answer from the home region and
+/// fan out to the bridge-closest foreign regions; peers moving between
+/// regions are handed over atomically, leaving a forwarding tombstone in
+/// the old region's lease arena.
+///
+/// Concurrency contract: reads (`closest_to_path`, `neighbors_of`,
+/// `locate`, `stats`) take `&self` — the per-region servers' read paths
+/// are already concurrent, and the federation's own counters are atomic.
+/// Writes take `&mut self` and touch at most two regions.
+#[derive(Debug)]
+pub struct Federation {
+    regions: Vec<Region>,
+    landmark_routers: Vec<RouterId>,
+    landmark_dist: Vec<Vec<u32>>,
+    /// Global landmark index → owning region.
+    landmark_region: Vec<RegionId>,
+    /// Landmark router → global landmark index.
+    router_landmark: HashMap<RouterId, u32>,
+    /// Region × region bridge matrix: the minimum landmark-to-landmark
+    /// hop distance across the pair (`u32::MAX` = no measured bridge).
+    bridge: Vec<Vec<u32>>,
+    fanout: Option<usize>,
+    fallback: bool,
+    neighbor_count: usize,
+    counters: QueryCounters,
+    handovers: u64,
+    cross_region_handovers: u64,
+    epoch: u64,
+}
+
+impl Federation {
+    /// Builds a federation over `n_regions` regions by partitioning the
+    /// landmarks **round-robin** (global landmark `i` → region
+    /// `i % n_regions`), deriving each region's distance sub-matrix and
+    /// the cross-region bridge matrix from the global `landmark_dist`
+    /// (row-major square, `u32::MAX` = unknown).
+    pub fn new(
+        landmark_routers: Vec<RouterId>,
+        landmark_dist: Vec<Vec<u32>>,
+        n_regions: usize,
+        config: FederationConfig,
+    ) -> Result<Self, CoreError> {
+        let n = landmark_routers.len();
+        if n_regions == 0 {
+            return Err(CoreError::InvalidFederation("zero regions".into()));
+        }
+        if n_regions > n {
+            return Err(CoreError::InvalidFederation(format!(
+                "{n_regions} regions over {n} landmarks: every region needs at least one"
+            )));
+        }
+        if landmark_dist.len() != n || landmark_dist.iter().any(|row| row.len() != n) {
+            return Err(CoreError::InvalidFederation(format!(
+                "landmark distance matrix must be {n}x{n}"
+            )));
+        }
+        if config.server.super_peers.is_some() {
+            return Err(CoreError::InvalidFederation(
+                "super-peers are not supported per region yet".into(),
+            ));
+        }
+        let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); n_regions];
+        for i in 0..n {
+            partitions[i % n_regions].push(i as u32);
+        }
+        let mut landmark_region = vec![RegionId(0); n];
+        let mut regions = Vec::with_capacity(n_regions);
+        for (r, globals) in partitions.into_iter().enumerate() {
+            let id = RegionId(r as u32);
+            for &g in &globals {
+                landmark_region[g as usize] = id;
+            }
+            let routers: Vec<RouterId> = globals
+                .iter()
+                .map(|&g| landmark_routers[g as usize])
+                .collect();
+            let dist: Vec<Vec<u32>> = globals
+                .iter()
+                .map(|&a| {
+                    globals
+                        .iter()
+                        .map(|&b| landmark_dist[a as usize][b as usize])
+                        .collect()
+                })
+                .collect();
+            let server = ManagementServer::new(routers, dist, config.server);
+            regions.push(Region::new(id, server, globals));
+        }
+        let mut bridge = vec![vec![u32::MAX; n_regions]; n_regions];
+        for (a, row) in bridge.iter_mut().enumerate() {
+            row[a] = 0;
+            for (la, &ra) in landmark_region.iter().enumerate() {
+                if ra.index() != a {
+                    continue;
+                }
+                for (lb, &rb) in landmark_region.iter().enumerate() {
+                    if rb.index() == a {
+                        continue;
+                    }
+                    row[rb.index()] = row[rb.index()].min(landmark_dist[la][lb]);
+                }
+            }
+        }
+        let router_landmark = landmark_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        Ok(Self {
+            regions,
+            landmark_routers,
+            landmark_dist,
+            landmark_region,
+            router_landmark,
+            bridge,
+            fanout: config.fanout,
+            fallback: config.server.cross_landmark_fallback,
+            neighbor_count: config.server.neighbor_count,
+            counters: QueryCounters::default(),
+            handovers: 0,
+            cross_region_handovers: 0,
+            epoch: 0,
+        })
+    }
+
+    /// Convenience constructor measuring the landmark distance matrix
+    /// over the topology (one set of landmark-to-landmark traceroutes at
+    /// startup, exactly like [`ManagementServer::bootstrap`]).
+    pub fn bootstrap(
+        topo: &Topology,
+        landmark_routers: Vec<RouterId>,
+        n_regions: usize,
+        config: FederationConfig,
+    ) -> Result<Self, CoreError> {
+        let oracle = RouteOracle::with_destinations(topo, &landmark_routers);
+        let n = landmark_routers.len();
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for (i, &a) in landmark_routers.iter().enumerate() {
+            dist[i][i] = 0;
+            for (j, &b) in landmark_routers.iter().enumerate().skip(i + 1) {
+                if let Some(h) = oracle.hops(a, b) {
+                    dist[i][j] = h;
+                    dist[j][i] = h;
+                }
+            }
+        }
+        Self::new(landmark_routers, dist, n_regions, config)
+    }
+
+    /// The regions, indexed by [`RegionId`].
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// One region.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Mutable access to one region (the `shards_mut` idiom one level up;
+    /// see [`Region::server_mut`] for the caller contract).
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id.index()]
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The global landmark routers, indexed by global [`LandmarkId`].
+    pub fn landmarks(&self) -> &[RouterId] {
+        &self.landmark_routers
+    }
+
+    /// The global landmark distance matrix.
+    pub fn landmark_distances(&self) -> &[Vec<u32>] {
+        &self.landmark_dist
+    }
+
+    /// The region owning a global landmark.
+    pub fn region_of_landmark(&self, landmark: LandmarkId) -> RegionId {
+        self.landmark_region[landmark.index()]
+    }
+
+    /// The bridge distance between two regions: the minimum
+    /// landmark-to-landmark hop count across the pair.
+    pub fn bridge(&self, a: RegionId, b: RegionId) -> u32 {
+        self.bridge[a.index()][b.index()]
+    }
+
+    /// The federation-wide heartbeat epoch (regions advance in lockstep).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registered peers across all regions.
+    pub fn peer_count(&self) -> usize {
+        self.regions.iter().map(|r| r.peer_count()).sum()
+    }
+
+    /// Forwarding tombstones currently held across all regions. Drains to
+    /// zero once every handover's grace record has been swept — the "no
+    /// leaked leases" invariant the federation soak asserts.
+    pub fn tombstone_count(&self) -> usize {
+        self.regions
+            .iter()
+            .map(|r| r.server().tombstone_count())
+            .sum()
+    }
+
+    /// Aggregate federation counters.
+    pub fn stats(&self) -> FederationStats {
+        FederationStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            remote_regions_consulted: self.counters.remote.load(Ordering::Relaxed),
+            cross_region_fills: self.counters.fills.load(Ordering::Relaxed),
+            handovers: self.handovers,
+            cross_region_handovers: self.cross_region_handovers,
+        }
+    }
+
+    /// The home `(region, global landmark)` of a path, by its terminal
+    /// router.
+    fn home_of_path(&self, path: &PeerPath) -> Result<(RegionId, u32), CoreError> {
+        self.router_landmark
+            .get(&path.landmark_router())
+            .map(|&g| (self.landmark_region[g as usize], g))
+            .ok_or_else(|| {
+                CoreError::UnknownLandmark(format!(
+                    "path terminates at {} which is no federation landmark",
+                    path.landmark_router()
+                ))
+            })
+    }
+
+    /// The region a peer is currently registered in, if any.
+    pub fn region_of_peer(&self, peer: PeerId) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .find(|r| r.server().landmark_of(peer).is_some())
+            .map(|r| r.id())
+    }
+
+    /// The peer's current region and stored path, if registered.
+    pub fn locate(&self, peer: PeerId) -> Option<(RegionId, &PeerPath)> {
+        self.regions
+            .iter()
+            .find_map(|r| r.server().path_of(peer).map(|p| (r.id(), p)))
+    }
+
+    /// Resolves a peer starting from a (possibly stale) region hint by
+    /// **following forwarding tombstones**: a client that cached "peer p
+    /// is in region 2" before p moved asks region 2, reads the tombstone,
+    /// and lands on the current region in one extra hop per move — no
+    /// global scan. Returns the region currently holding the peer, or
+    /// `None` if the trail goes cold (tombstone swept, peer gone).
+    pub fn resolve(&self, hint: RegionId, peer: PeerId) -> Option<RegionId> {
+        let mut at = hint;
+        for _ in 0..=self.regions.len() {
+            let server = self.regions.get(at.index())?.server();
+            if server.landmark_of(peer).is_some() {
+                return Some(at);
+            }
+            match server.forwarded_to(peer) {
+                Some(next) => at = RegionId(next),
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Advances every region's heartbeat epoch in lockstep and returns
+    /// the new federation epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        for region in &mut self.regions {
+            let e = region.server_mut().advance_epoch();
+            debug_assert_eq!(e, self.epoch, "regions advance in lockstep");
+        }
+        self.epoch
+    }
+
+    /// Registers a newcomer: the path routes it to its home region
+    /// (write-only insert there), and the answer is computed through the
+    /// federated query path — so the neighbor list reflects every
+    /// consulted region, not just the home one. A peer already registered
+    /// anywhere in the federation is rejected as a duplicate.
+    pub fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<FederatedJoin, CoreError> {
+        let (region, global) = self.home_of_path(&path)?;
+        if self.region_of_peer(peer).is_some() {
+            return Err(CoreError::DuplicatePeer(peer));
+        }
+        let out = self.regions[region.index()]
+            .server_mut()
+            .register_batch_renewing(vec![(peer, path)]);
+        debug_assert_eq!(out.joined, 1, "validated fresh insert");
+        let k = self.neighbor_count;
+        let stored = self.regions[region.index()]
+            .server()
+            .path_of(peer)
+            .expect("just inserted");
+        let neighbors = self.closest_to_path(stored, k, Some(peer));
+        Ok(FederatedJoin {
+            region,
+            landmark: LandmarkId(global),
+            neighbors,
+        })
+    }
+
+    /// Write-only batched registration (the churn/soak path — no
+    /// neighbor answers): items group by home region, fresh peers insert,
+    /// same-region rejoins renew their lease. A peer currently registered
+    /// in a *different* region is rejected — that move is a
+    /// [`Self::handover`].
+    pub fn register_batch(&mut self, batch: Vec<(PeerId, PeerPath)>) -> FederatedBatchOutcome {
+        let mut out = FederatedBatchOutcome::default();
+        let mut per_region: Vec<Vec<(PeerId, PeerPath)>> =
+            (0..self.regions.len()).map(|_| Vec::new()).collect();
+        // Within-batch assignments: a later item may renew in the same
+        // region but must not register the peer into a second one.
+        let mut pending: HashMap<PeerId, RegionId> = HashMap::new();
+        for (peer, path) in batch {
+            let Ok((region, _)) = self.home_of_path(&path) else {
+                out.rejected += 1;
+                continue;
+            };
+            match self
+                .region_of_peer(peer)
+                .or_else(|| pending.get(&peer).copied())
+            {
+                Some(at) if at != region => out.rejected += 1,
+                // Registered here (renew) or brand new (join): both are
+                // what register_batch_renewing absorbs; duplicates within
+                // one region's batch resolve exactly as one by one.
+                _ => {
+                    pending.insert(peer, region);
+                    per_region[region.index()].push((peer, path));
+                }
+            }
+        }
+        for (region, items) in self.regions.iter_mut().zip(per_region) {
+            if items.is_empty() {
+                continue;
+            }
+            let absorbed = region.server_mut().register_batch_renewing(items);
+            out.joined += absorbed.joined;
+            out.renewed += absorbed.renewed;
+            out.rejected += absorbed.rejected;
+        }
+        out
+    }
+
+    /// Batched departures across all regions; returns the number removed.
+    pub fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
+        self.regions
+            .iter_mut()
+            .map(|r| r.server_mut().leave_batch(peers))
+            .sum()
+    }
+
+    /// Batched heartbeat renewal across all regions; returns the number
+    /// renewed. (Replay drivers that track each peer's region can renew
+    /// through [`Self::region_mut`] instead and skip the foreign-region
+    /// probes.)
+    pub fn renew_batch(&mut self, peers: &[PeerId]) -> usize {
+        self.regions
+            .iter_mut()
+            .map(|r| r.server_mut().renew_batch(peers))
+            .sum()
+    }
+
+    /// Mobility handover: the peer re-traceroutes from its new attachment
+    /// and the federation moves its registration to the new path's home
+    /// region. The new path is validated before anything is torn down.
+    /// Cross-region moves leave a **forwarding tombstone** in the old
+    /// region (see [`ManagementServer::deregister_forwarding`]); the
+    /// answer is federated either way.
+    pub fn handover(
+        &mut self,
+        peer: PeerId,
+        new_path: PeerPath,
+    ) -> Result<FederatedJoin, CoreError> {
+        let Some(from) = self.region_of_peer(peer) else {
+            return Err(CoreError::UnknownPeer(peer));
+        };
+        let (dest, global) = self.home_of_path(&new_path)?;
+        if from == dest {
+            // Same region: the server's own atomic handover applies (its
+            // region-local answer is discarded for the federated one).
+            self.regions[dest.index()]
+                .server_mut()
+                .handover(peer, new_path)?;
+        } else {
+            self.regions[from.index()]
+                .server_mut()
+                .deregister_forwarding(peer, dest.0)?;
+            let out = self.regions[dest.index()]
+                .server_mut()
+                .register_batch_renewing(vec![(peer, new_path)]);
+            debug_assert_eq!(out.joined, 1, "peer was only live in `from`");
+            self.cross_region_handovers += 1;
+        }
+        self.handovers += 1;
+        let k = self.neighbor_count;
+        let stored = self.regions[dest.index()]
+            .server()
+            .path_of(peer)
+            .expect("just moved here");
+        let neighbors = self.closest_to_path(stored, k, Some(peer));
+        Ok(FederatedJoin {
+            region: dest,
+            landmark: LandmarkId(global),
+            neighbors,
+        })
+    }
+
+    /// Neighbors of a registered peer, through the federated query path.
+    pub fn neighbors_of(&self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
+        let (_, path) = self.locate(peer).ok_or(CoreError::UnknownPeer(peer))?;
+        Ok(self.closest_to_path(path, k, Some(peer)))
+    }
+
+    /// The regions a query from `home` consults: the home region first,
+    /// then foreign regions ascending by `(bridge, id)`, bounded by the
+    /// configured fanout.
+    fn query_regions(&self, home: RegionId) -> Vec<RegionId> {
+        let mut foreign: Vec<RegionId> = (0..self.regions.len() as u32)
+            .map(RegionId)
+            .filter(|&r| r != home)
+            .collect();
+        foreign.sort_unstable_by_key(|&r| (self.bridge(home, r), r.0));
+        let take = self.fanout.unwrap_or(foreign.len()).min(foreign.len());
+        let mut out = Vec::with_capacity(take + 1);
+        out.push(home);
+        out.extend(foreign.into_iter().take(take));
+        out
+    }
+
+    /// The closest registered peers to a query path across the consulted
+    /// regions — the federation's routing front door. Exact candidates
+    /// (peers sharing a router with the query path) merge by `(dtree,
+    /// peer)` from every consulted region; if the list stays short and
+    /// the fallback is enabled, it is topped up with **cross-region
+    /// bridge fills** ranked by
+    /// `depth(query) + hops(L_query, L_other) + depth(peer)` over the
+    /// global landmark distance matrix. With `fanout = None` this is the
+    /// answer one big server over all landmarks would give. `&self`, like
+    /// the underlying servers' read paths.
+    pub fn closest_to_path(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> Vec<Neighbor> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let excl: HashSet<PeerId> = exclude.into_iter().collect();
+        let home = self.home_of_path(path).ok();
+        let consulted: Vec<RegionId> = match home {
+            Some((home, _)) => self.query_regions(home),
+            // No home landmark: exact answers only, from everywhere.
+            None => (0..self.regions.len() as u32).map(RegionId).collect(),
+        };
+        self.counters
+            .remote
+            .fetch_add(consulted.len().saturating_sub(1) as u64, Ordering::Relaxed);
+        let mut result: Vec<Neighbor> = Vec::with_capacity(k.saturating_mul(2));
+        for &r in &consulted {
+            result.extend(
+                self.regions[r.index()]
+                    .server()
+                    .index()
+                    .query_nearest(path, k, &excl),
+            );
+        }
+        result.sort_unstable_by_key(|n| (n.dtree, n.peer));
+        result.truncate(k);
+        if result.len() < k && self.fallback {
+            if let Some((_, own_global)) = home {
+                let missing = k - result.len();
+                let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
+                let fill = self.bridge_fill(path, own_global, missing, &consulted, &excl, &have);
+                self.counters
+                    .fills
+                    .fetch_add(fill.len() as u64, Ordering::Relaxed);
+                result.extend(fill);
+            }
+        }
+        result
+    }
+
+    /// Cross-region fill: one ordered cursor per foreign landmark in a
+    /// consulted region (`region(L).peers_through(L's router)`, ascending
+    /// by depth below the landmark), k-way merged by the bridge estimate.
+    /// Mirrors the single server's cross-landmark fill with the global
+    /// distance matrix supplying the bridges.
+    fn bridge_fill(
+        &self,
+        path: &PeerPath,
+        own_global: u32,
+        k: usize,
+        consulted: &[RegionId],
+        exclude: &HashSet<PeerId>,
+        already: &HashSet<PeerId>,
+    ) -> Vec<Neighbor> {
+        let consulted: HashSet<RegionId> = consulted.iter().copied().collect();
+        let query_depth = path.depth();
+        type Cursor<'a> = (u32, Box<dyn Iterator<Item = (PeerId, u32)> + 'a>);
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+        let mut iters: Vec<Cursor<'_>> = Vec::new();
+        for (li, &lrouter) in self.landmark_routers.iter().enumerate() {
+            if li as u32 == own_global {
+                continue;
+            }
+            let region = self.landmark_region[li];
+            if !consulted.contains(&region) {
+                continue;
+            }
+            let bridge = self.landmark_dist[own_global as usize][li];
+            if bridge == u32::MAX {
+                continue;
+            }
+            let base = query_depth + bridge;
+            let mut iter = self.regions[region.index()]
+                .server()
+                .index()
+                .peers_through(lrouter);
+            if let Some((peer, depth)) = iter.next() {
+                let idx = iters.len();
+                heap.push(std::cmp::Reverse((base + depth, peer, idx)));
+                iters.push((base, Box::new(iter)));
+            }
+        }
+        let mut out = Vec::with_capacity(k);
+        let mut emitted: HashSet<PeerId> = HashSet::new();
+        while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
+            let (base, iter) = &mut iters[idx];
+            if let Some((next_peer, depth)) = iter.next() {
+                heap.push(std::cmp::Reverse((*base + depth, next_peer, idx)));
+            }
+            if exclude.contains(&peer) || already.contains(&peer) || !emitted.insert(peer) {
+                continue;
+            }
+            out.push(Neighbor { peer, dtree: est });
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Federated lease expiry: every region sweeps its epoch-bucketed
+    /// arenas once, and the results keep the distinction the forwarding
+    /// tombstones encode — a lease that lapsed **silently** (the peer
+    /// failed) versus a tombstone that aged out (the peer **moved** and
+    /// its grace record is done). Handover must never leak leases:
+    /// sweeping until [`Self::tombstone_count`] reaches zero retires
+    /// every grace record.
+    pub fn expire_stale(&mut self, max_age: u64) -> FederationSweep {
+        let mut out = FederationSweep::default();
+        for region in &mut self.regions {
+            let id = region.id();
+            let sweep = region.server_mut().expire_stale_full(max_age);
+            out.expired
+                .extend(sweep.expired.into_iter().map(|p| (id, p)));
+            out.moved_swept
+                .extend(sweep.moved.into_iter().map(|(p, _)| (id, p)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    /// Four landmarks at routers 0/100/200/300. Distances: neighbors on a
+    /// line, 5 hops apart each (0-100: 5, 0-200: 10, ...).
+    fn four_landmarks() -> (Vec<RouterId>, Vec<Vec<u32>>) {
+        let routers = vec![RouterId(0), RouterId(100), RouterId(200), RouterId(300)];
+        let dist = (0..4u32)
+            .map(|i| (0..4u32).map(|j| i.abs_diff(j) * 5).collect())
+            .collect();
+        (routers, dist)
+    }
+
+    fn federation(n_regions: usize, fanout: Option<usize>) -> Federation {
+        let (routers, dist) = four_landmarks();
+        Federation::new(
+            routers,
+            dist,
+            n_regions,
+            FederationConfig {
+                fanout,
+                server: ServerConfig {
+                    neighbor_count: 3,
+                    ..ServerConfig::default()
+                },
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_and_bridge_matrix() {
+        let fed = federation(2, None);
+        // Round-robin: landmarks 0,2 → region 0; 1,3 → region 1.
+        assert_eq!(fed.n_regions(), 2);
+        assert_eq!(fed.region(RegionId(0)).landmark_globals(), &[0, 2]);
+        assert_eq!(fed.region(RegionId(1)).landmark_globals(), &[1, 3]);
+        assert_eq!(fed.region_of_landmark(LandmarkId(3)), RegionId(1));
+        // Bridge = min cross-pair distance: landmarks 0↔1 are 5 apart.
+        assert_eq!(fed.bridge(RegionId(0), RegionId(1)), 5);
+        assert_eq!(fed.bridge(RegionId(1), RegionId(0)), 5);
+        assert_eq!(fed.bridge(RegionId(0), RegionId(0)), 0);
+        // Each region's server got the matching sub-matrix.
+        let r0 = fed.region(RegionId(0)).server();
+        assert_eq!(r0.landmarks(), &[RouterId(0), RouterId(200)]);
+        assert_eq!(r0.landmark_distances()[0][1], 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let (routers, dist) = four_landmarks();
+        assert!(matches!(
+            Federation::new(
+                routers.clone(),
+                dist.clone(),
+                0,
+                FederationConfig::default()
+            ),
+            Err(CoreError::InvalidFederation(_))
+        ));
+        assert!(matches!(
+            Federation::new(
+                routers.clone(),
+                dist.clone(),
+                5,
+                FederationConfig::default()
+            ),
+            Err(CoreError::InvalidFederation(_))
+        ));
+        let cfg = FederationConfig {
+            server: ServerConfig {
+                super_peers: Some(crate::SuperPeerConfig {
+                    region_depth: 2,
+                    promote_threshold: 2,
+                }),
+                ..ServerConfig::default()
+            },
+            ..FederationConfig::default()
+        };
+        assert!(matches!(
+            Federation::new(routers, dist, 2, cfg),
+            Err(CoreError::InvalidFederation(_))
+        ));
+    }
+
+    #[test]
+    fn register_routes_to_home_region_and_answers_across_regions() {
+        let mut fed = federation(2, None);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        // Peer 2 under landmark 1 (region 1), sharing no routers with 1.
+        let out = fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        assert_eq!(out.region, RegionId(1));
+        assert_eq!(out.landmark, LandmarkId(1), "global landmark id");
+        // The federated answer reaches across regions through the bridge:
+        // query depth 2 + bridge(L1→L0) 5 + peer 1's depth 3 = 10.
+        assert_eq!(out.neighbors.len(), 1);
+        assert_eq!(out.neighbors[0].peer, PeerId(1));
+        assert_eq!(out.neighbors[0].dtree, 2 + 5 + 3);
+        assert_eq!(fed.peer_count(), 2);
+        assert_eq!(fed.region_of_peer(PeerId(1)), Some(RegionId(0)));
+        // Duplicates are caught across regions.
+        assert!(matches!(
+            fed.register(PeerId(1), path(&[111, 105, 100])),
+            Err(CoreError::DuplicatePeer(_))
+        ));
+        assert!(matches!(
+            fed.register(PeerId(3), path(&[7, 8, 999])),
+            Err(CoreError::UnknownLandmark(_))
+        ));
+        let stats = fed.stats();
+        assert_eq!(stats.queries, 2, "one federated answer per join");
+        assert!(stats.remote_regions_consulted >= 2);
+        assert_eq!(stats.cross_region_fills, 1);
+    }
+
+    #[test]
+    fn fanout_zero_answers_purely_locally() {
+        let mut fed = federation(2, Some(0));
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        let out = fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        assert!(
+            out.neighbors.is_empty(),
+            "no foreign region consulted, no candidates: {:?}",
+            out.neighbors
+        );
+        assert_eq!(fed.stats().remote_regions_consulted, 0);
+    }
+
+    #[test]
+    fn cross_region_handover_leaves_a_resolvable_tombstone() {
+        let mut fed = federation(2, None);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        fed.advance_epoch();
+        // Peer 1 moves from landmark 0 (region 0) to landmark 1 (region 1).
+        let out = fed.handover(PeerId(1), path(&[111, 105, 100])).unwrap();
+        assert_eq!(out.region, RegionId(1));
+        assert_eq!(out.landmark, LandmarkId(1));
+        assert_eq!(out.neighbors[0].peer, PeerId(2), "now a same-region peer");
+        assert_eq!(fed.region_of_peer(PeerId(1)), Some(RegionId(1)));
+        assert_eq!(fed.peer_count(), 2, "moved, not duplicated");
+        // The old region forwards stale lookups.
+        assert_eq!(fed.tombstone_count(), 1);
+        assert_eq!(fed.resolve(RegionId(0), PeerId(1)), Some(RegionId(1)));
+        assert_eq!(fed.resolve(RegionId(1), PeerId(1)), Some(RegionId(1)));
+        let stats = fed.stats();
+        assert_eq!(stats.handovers, 1);
+        assert_eq!(stats.cross_region_handovers, 1);
+        // Expiry distinguishes "moved" from "silent": advance far enough
+        // for both the tombstone and peer 2's untouched lease to lapse,
+        // while peer 1 keeps heartbeating in its new region.
+        for _ in 0..3 {
+            fed.advance_epoch();
+            assert_eq!(fed.renew_batch(&[PeerId(1)]), 1);
+        }
+        let sweep = fed.expire_stale(2);
+        assert_eq!(sweep.moved_swept, vec![(RegionId(0), PeerId(1))]);
+        assert_eq!(
+            sweep.expired,
+            vec![(RegionId(1), PeerId(2))],
+            "only the silent peer counts as expired"
+        );
+        assert_eq!(fed.region_of_peer(PeerId(1)), Some(RegionId(1)));
+        assert_eq!(fed.tombstone_count(), 0, "no leaked leases");
+        assert_eq!(fed.resolve(RegionId(0), PeerId(1)), None, "trail swept");
+    }
+
+    #[test]
+    fn intra_region_handover_keeps_the_region() {
+        let mut fed = federation(2, None);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        // Landmark 2 is also region 0 (round-robin): same-region move.
+        let out = fed.handover(PeerId(1), path(&[210, 205, 200])).unwrap();
+        assert_eq!(out.region, RegionId(0));
+        assert_eq!(out.landmark, LandmarkId(2));
+        assert_eq!(fed.tombstone_count(), 0, "no tombstone within a region");
+        let stats = fed.stats();
+        assert_eq!((stats.handovers, stats.cross_region_handovers), (1, 0));
+        assert!(matches!(
+            fed.handover(PeerId(9), path(&[4, 2, 1, 0])),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        // Validation precedes teardown: a bad destination changes nothing.
+        let err = fed.handover(PeerId(1), path(&[7, 8, 999])).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownLandmark(_)));
+        assert_eq!(fed.region_of_peer(PeerId(1)), Some(RegionId(0)));
+    }
+
+    #[test]
+    fn batch_register_renews_and_rejects_cross_region_moves() {
+        let mut fed = federation(4, None);
+        let out = fed.register_batch(vec![
+            (PeerId(1), path(&[4, 2, 1, 0])),
+            (PeerId(2), path(&[110, 105, 100])),
+            (PeerId(3), path(&[7, 8, 999])), // unknown landmark
+        ]);
+        assert_eq!((out.joined, out.renewed, out.rejected), (2, 0, 1));
+        fed.advance_epoch();
+        let out = fed.register_batch(vec![
+            (PeerId(1), path(&[4, 2, 1, 0])),    // rejoin: renew
+            (PeerId(2), path(&[210, 205, 200])), // different region: handover material
+        ]);
+        assert_eq!((out.joined, out.renewed, out.rejected), (0, 1, 1));
+        assert_eq!(fed.peer_count(), 2);
+        assert_eq!(fed.leave_batch(&[PeerId(1), PeerId(2), PeerId(9)]), 2);
+        assert_eq!(fed.peer_count(), 0);
+    }
+
+    #[test]
+    fn single_region_federation_is_one_big_server() {
+        let mut fed = federation(1, None);
+        assert_eq!(fed.region(RegionId(0)).landmark_globals(), &[0, 1, 2, 3]);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        let out = fed.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        assert_eq!(
+            out.neighbors[0],
+            Neighbor {
+                peer: PeerId(1),
+                dtree: 2
+            }
+        );
+        assert_eq!(fed.renew_batch(&[PeerId(1)]), 1);
+    }
+}

@@ -18,8 +18,12 @@
 //!   the sharded [`directory`];
 //! * [`directory`] — the scalability layer: one [`DirectoryShard`] per
 //!   landmark (path tree + index slice + leases) with arena-interned
-//!   paths ([`PathStore`]), batched joins and a concurrent `&self` read
-//!   path;
+//!   paths ([`PathStore`]), batched joins, adaptive lease lengths and a
+//!   concurrent `&self` read path;
+//! * [`federation`] — the multi-region layer above the shards: one
+//!   [`ManagementServer`] per landmark partition behind a routing front
+//!   door ([`Federation`]) with bridge-matrix query fan-out and
+//!   cross-region handover leaving forwarding tombstones;
 //! * [`policy`] — the selection baselines the evaluation compares against:
 //!   random (the paper's baseline), brute-force closest (`Dclosest`),
 //!   Vivaldi-distance and landmark-binning;
@@ -37,6 +41,7 @@ pub mod actors;
 pub mod codec;
 pub mod directory;
 mod error;
+pub mod federation;
 mod ids;
 pub mod landmarks;
 mod path;
@@ -48,9 +53,14 @@ mod server;
 mod superpeer;
 
 pub use directory::{
-    DirectoryShard, LeaseArena, PathRef, PathStore, PeerSlot, ShardAbsorb, SweepStats,
+    AdaptiveLeaseConfig, DirectoryShard, LeaseArena, PathRef, PathStore, PeerSlot, ShardAbsorb,
+    ShardSweep, SweepStats,
 };
 pub use error::CoreError;
+pub use federation::{
+    FederatedBatchOutcome, FederatedJoin, Federation, FederationConfig, FederationStats,
+    FederationSweep, Region, RegionId,
+};
 pub use ids::{LandmarkId, PeerId};
 pub use path::PeerPath;
 pub use path_tree::PathTree;

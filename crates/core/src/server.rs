@@ -6,7 +6,7 @@
 //! merge per-shard answers, and only genuinely cross-landmark state —
 //! bridge distances, super-peer regions, aggregate counters — lives here.
 
-use crate::directory::{DirectoryShard, ShardAbsorb};
+use crate::directory::{AdaptiveLeaseConfig, DirectoryShard, ShardAbsorb};
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
@@ -29,6 +29,12 @@ pub struct ServerConfig {
     pub cross_landmark_fallback: bool,
     /// Enables super-peer promotion (W2).
     pub super_peers: Option<SuperPeerConfig>,
+    /// Enables adaptive lease lengths: each shard tracks an EWMA of every
+    /// peer's session length and sizes its lease accordingly at renewal
+    /// time, capped to the configured band (see [`AdaptiveLeaseConfig`]).
+    /// `None` = one uniform lease length (the `max_age` passed to
+    /// [`ManagementServer::expire_stale`]).
+    pub adaptive_leases: Option<AdaptiveLeaseConfig>,
 }
 
 impl Default for ServerConfig {
@@ -37,6 +43,7 @@ impl Default for ServerConfig {
             neighbor_count: 5,
             cross_landmark_fallback: true,
             super_peers: None,
+            adaptive_leases: None,
         }
     }
 }
@@ -176,6 +183,16 @@ pub struct ManagementServer {
     epoch: u64,
 }
 
+impl std::fmt::Debug for ManagementServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagementServer")
+            .field("landmarks", &self.landmark_routers.len())
+            .field("peers", &self.peer_count())
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ManagementServer {
     /// Creates a server from landmark routers and their pairwise hop
     /// distances (row-major square matrix; `u32::MAX` = unknown).
@@ -193,7 +210,9 @@ impl ManagementServer {
         let shards = landmark_routers
             .iter()
             .enumerate()
-            .map(|(i, &r)| DirectoryShard::new(LandmarkId(i as u32), r))
+            .map(|(i, &r)| {
+                DirectoryShard::with_adaptive(LandmarkId(i as u32), r, config.adaptive_leases)
+            })
             .collect();
         Self {
             super_peers: config.super_peers.map(SuperPeerDirectory::new),
@@ -248,6 +267,14 @@ impl ManagementServer {
     /// The landmark routers, indexed by [`LandmarkId`].
     pub fn landmarks(&self) -> &[RouterId] {
         &self.landmark_routers
+    }
+
+    /// The pairwise landmark hop-distance matrix (row-major, indexed by
+    /// [`LandmarkId`]; `u32::MAX` = unknown). This is the bridge matrix
+    /// cross-landmark fills rank with — and the raw material the
+    /// federation derives its cross-region bridges from.
+    pub fn landmark_distances(&self) -> &[Vec<u32>] {
+        &self.landmark_dist
     }
 
     /// The landmark whose router is `router`, if any.
@@ -458,6 +485,40 @@ impl ManagementServer {
         Ok(())
     }
 
+    /// Removes a peer that is **handing over to another region's server**
+    /// (federation mobility): directory state is torn down like a
+    /// departure, but the owning shard's lease arena keeps a forwarding
+    /// tombstone `(peer → to_region)` — noted in the current epoch's
+    /// bucket and retired by the ordinary expiry sweeps — so
+    /// federation-aware expiry reports the peer as *moved*, not silent,
+    /// and stale lookups can still be redirected until the tombstone is
+    /// swept. Counts as a removal in this server's shard counters (the
+    /// federation's own stats track it as a handover).
+    pub fn deregister_forwarding(&mut self, peer: PeerId, to_region: u32) -> Result<(), CoreError> {
+        let Some(idx) = self.shard_idx_of(peer) else {
+            return Err(CoreError::UnknownPeer(peer));
+        };
+        let epoch = self.epoch;
+        self.shards[idx].remove_forwarding(peer, to_region, epoch);
+        if let Some(dir) = self.super_peers.as_mut() {
+            dir.on_deregister(peer);
+        }
+        Ok(())
+    }
+
+    /// The destination region recorded by `peer`'s forwarding tombstone,
+    /// if any shard holds one.
+    pub fn forwarded_to(&self, peer: PeerId) -> Option<u32> {
+        self.shards.iter().find_map(|s| s.forwarded_to(peer))
+    }
+
+    /// Forwarding tombstones currently held across all shards (not yet
+    /// swept). A federation with no in-flight handovers past their
+    /// retention drains this to zero.
+    pub fn tombstone_count(&self) -> usize {
+        self.shards.iter().map(|s| s.tombstone_count()).sum()
+    }
+
     /// Records a heartbeat from a live peer (faulty-peer management, W3).
     pub fn heartbeat(&mut self, peer: PeerId) -> Result<(), CoreError> {
         let Some(idx) = self.shard_idx_of(peer) else {
@@ -496,20 +557,33 @@ impl ManagementServer {
     /// once (cost linear in the lease activity being retired, no per-peer
     /// full-map scans), then the per-shard results merge into one
     /// ascending id list. Semantically identical to the historical
-    /// `expire_stale`; expiries count as leaves.
+    /// `expire_stale` (with adaptive leases on, each peer expires at its
+    /// own derived deadline instead, `max_age` being the default for
+    /// history-less peers); expiries count as leaves.
     pub fn expire_stale_batch(&mut self, max_age: u64) -> Vec<PeerId> {
-        let cutoff = self.epoch.saturating_sub(max_age);
-        let mut stale: Vec<PeerId> = Vec::new();
+        self.expire_stale_full(max_age).expired
+    }
+
+    /// [`Self::expire_stale_batch`] with the federation-aware split: the
+    /// same sweep also retires forwarding tombstones whose retention
+    /// (`max_age`) lapsed and reports them separately — those peers
+    /// *moved* to another region's server, they did not fail.
+    pub fn expire_stale_full(&mut self, max_age: u64) -> crate::directory::ShardSweep {
+        let now = self.epoch;
+        let mut out = crate::directory::ShardSweep::default();
         for shard in &mut self.shards {
-            stale.extend(shard.expire_stale_batch(cutoff));
+            let sweep = shard.expire_epoch(now, max_age);
+            out.expired.extend(sweep.expired);
+            out.moved.extend(sweep.moved);
         }
-        stale.sort_unstable();
+        out.expired.sort_unstable();
+        out.moved.sort_unstable();
         if let Some(dir) = self.super_peers.as_mut() {
-            for &peer in &stale {
+            for &peer in &out.expired {
                 dir.on_deregister(peer);
             }
         }
-        stale
+        out
     }
 
     /// One heartbeat round, batched: renews the lease of every listed
@@ -614,11 +688,16 @@ impl ManagementServer {
     /// torn down, so a handover to an unknown landmark leaves the peer
     /// registered where it was.
     pub fn handover(&mut self, peer: PeerId, new_path: PeerPath) -> Result<JoinOutcome, CoreError> {
-        if self.shard_idx_of(peer).is_none() {
+        let Some(idx) = self.shard_idx_of(peer) else {
             return Err(CoreError::UnknownPeer(peer));
-        }
+        };
         self.landmark_for_path(&new_path)?;
-        self.deregister(peer)?;
+        // Not `deregister`: a relocation is no session end, so the
+        // adaptive-lease EWMA must not absorb the dwell time.
+        self.shards[idx].remove_moved(peer);
+        if let Some(dir) = self.super_peers.as_mut() {
+            dir.on_deregister(peer);
+        }
         let outcome = self.register(peer, new_path)?;
         // The shard counters saw one remove + one insert; `stats()` folds
         // the pair into one handover.
@@ -807,7 +886,7 @@ pub struct DirectoryView<'a> {
     server: &'a ManagementServer,
 }
 
-impl DirectoryView<'_> {
+impl<'a> DirectoryView<'a> {
     /// Number of registered peers.
     pub fn len(&self) -> usize {
         self.server.peer_count()
@@ -845,8 +924,9 @@ impl DirectoryView<'_> {
     }
 
     /// Peers whose path traverses `router`, nearest-first (by hops below
-    /// the router).
-    pub fn peers_through(&self, router: RouterId) -> impl Iterator<Item = (PeerId, u32)> + '_ {
+    /// the router). Takes `self` (the view is `Copy`) so the iterator
+    /// borrows the server, not the view temporary.
+    pub fn peers_through(self, router: RouterId) -> impl Iterator<Item = (PeerId, u32)> + 'a {
         self.server.peers_through_merged(router)
     }
 
@@ -1118,6 +1198,66 @@ mod tests {
         assert!(srv.expire_stale(2).is_empty());
         srv.advance_epoch();
         assert_eq!(srv.expire_stale(2), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn deregister_forwarding_plants_and_sweeps_a_tombstone() {
+        let mut srv = two_landmark_server(ServerConfig::default());
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        srv.advance_epoch();
+        srv.deregister_forwarding(PeerId(1), 7).unwrap();
+        assert!(matches!(
+            srv.deregister_forwarding(PeerId(9), 7),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        assert_eq!(srv.peer_count(), 1);
+        assert_eq!(srv.forwarded_to(PeerId(1)), Some(7));
+        assert_eq!(srv.tombstone_count(), 1);
+        // The moved peer never shows up as silently expired.
+        for _ in 0..5 {
+            srv.advance_epoch();
+        }
+        let sweep = srv.expire_stale_full(3);
+        assert_eq!(sweep.expired, vec![PeerId(2)], "peer 2 was silent");
+        assert_eq!(sweep.moved, vec![(PeerId(1), 7)], "peer 1 moved");
+        assert_eq!(srv.tombstone_count(), 0);
+        assert_eq!(srv.forwarded_to(PeerId(1)), None);
+        // The tombstone never counted as a leave; only real removals do.
+        assert_eq!(srv.stats().leaves, 2);
+    }
+
+    #[test]
+    fn adaptive_leases_expire_short_lived_peers_sooner() {
+        let cfg = ServerConfig {
+            adaptive_leases: Some(crate::directory::AdaptiveLeaseConfig {
+                ewma_shift: 0,
+                margin: 1,
+                min_age: 1,
+                max_age: 16,
+            }),
+            ..ServerConfig::default()
+        };
+        let mut srv = two_landmark_server(cfg);
+        // Peer 1's first session lasts one epoch, then it leaves and
+        // rejoins: its lease is now sized ~2 epochs, not the default 10.
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.advance_epoch();
+        srv.heartbeat(PeerId(1)).unwrap();
+        srv.deregister(PeerId(1)).unwrap();
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        // A history-less peer joins at the same epoch.
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        for _ in 0..5 {
+            srv.advance_epoch();
+        }
+        let expired = srv.expire_stale(10);
+        assert_eq!(
+            expired,
+            vec![PeerId(1)],
+            "the short-lived peer must not hold its lease for the full default"
+        );
+        assert_eq!(srv.peer_count(), 1, "the fresh peer keeps the default");
     }
 
     #[test]

@@ -404,6 +404,7 @@ proptest! {
                 neighbor_count: K,
                 cross_landmark_fallback: true,
                 super_peers: Some(sp),
+                adaptive_leases: None,
             },
         );
         let mut reference = ReferenceServer::new(sp);

@@ -63,6 +63,7 @@ proptest! {
                     region_depth: 2,
                     promote_threshold: 3,
                 }),
+                adaptive_leases: None,
             },
         );
         // Reference model: the set of currently registered peers.

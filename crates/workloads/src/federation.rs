@@ -1,0 +1,360 @@
+//! Region-biased churn + mobility traces for federated directories.
+//!
+//! A multi-region deployment does not see uniform traffic: populations
+//! concentrate in a few regions (the *home skew*), peers churn with the
+//! usual exponential lifetimes, and a mobile subset re-attaches over its
+//! lifetime — mostly bouncing between nearby attachments and its home
+//! region (the *return bias*), occasionally roaming further. This
+//! generator produces exactly that shape as one time-sorted event stream
+//! a federated replay can window into heartbeat epochs, the same way
+//! [`crate::ChurnTrace`] drives the single-server churn soak.
+
+use crate::arrivals::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens at a federated trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FederatedEventKind {
+    /// The peer joins in its home region.
+    Join,
+    /// The peer re-attaches in another (or the same) region — a handover.
+    Move {
+        /// The region the peer moves to.
+        to_region: u32,
+    },
+    /// The peer leaves gracefully.
+    Leave,
+    /// The peer fails silently (no Leave — leases must catch it).
+    Fail,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FederatedEvent {
+    /// Simulated time in microseconds.
+    pub time_us: u64,
+    /// Dense peer index.
+    pub peer: usize,
+    /// Join / move / leave / fail.
+    pub kind: FederatedEventKind,
+}
+
+/// Federated trace parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FederatedChurnConfig {
+    /// Number of peers over the trace.
+    pub peers: usize,
+    /// Number of regions events refer to.
+    pub regions: usize,
+    /// Arrival process of the joins.
+    pub arrivals: ArrivalProcess,
+    /// Mean session length in seconds (exponential); `None` = static.
+    pub mean_lifetime_secs: Option<f64>,
+    /// Fraction of departures that fail silently instead of leaving.
+    pub failure_fraction: f64,
+    /// Home-region skew ∈ [0, 1): 0 spreads homes uniformly, values near
+    /// 1 concentrate them geometrically in the low-numbered regions
+    /// (region r drawn with weight ∝ `(1 - skew)^r`).
+    pub home_skew: f64,
+    /// Fraction of peers that are mobile (re-attach during their
+    /// session).
+    pub mobile_fraction: f64,
+    /// Mean dwell time between a mobile peer's moves, seconds
+    /// (exponential).
+    pub mean_dwell_secs: f64,
+    /// Probability a move returns the peer to its **home** region;
+    /// otherwise the destination is uniform over the other regions.
+    pub return_home_bias: f64,
+}
+
+/// A generated, time-sorted federated schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederatedTrace {
+    /// Regions the events refer to (`0..regions`).
+    pub regions: usize,
+    /// Home region per peer (index = dense peer id).
+    pub home: Vec<u32>,
+    /// Events sorted by time (a peer's join precedes its other events).
+    pub events: Vec<FederatedEvent>,
+}
+
+impl FederatedTrace {
+    /// Generates a trace (deterministic per seed).
+    pub fn generate(config: &FederatedChurnConfig, seed: u64) -> Self {
+        assert!(config.regions >= 1, "need at least one region");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfed_e8a7e);
+        let joins = config.arrivals.times(config.peers, seed ^ 0x6a6f696e);
+        // Geometric home weights: w_r ∝ (1 - skew)^r, flat at skew = 0.
+        let decay = (1.0 - config.home_skew).clamp(f64::EPSILON, 1.0);
+        let weights: Vec<f64> = (0..config.regions).map(|r| decay.powi(r as i32)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut home = Vec::with_capacity(config.peers);
+        let mut events: Vec<FederatedEvent> = Vec::with_capacity(config.peers * 3);
+        for (peer, &t_join) in joins.iter().enumerate() {
+            let mut pick = rng.gen::<f64>() * total_w;
+            let mut home_region = config.regions - 1;
+            for (r, &w) in weights.iter().enumerate() {
+                if pick < w {
+                    home_region = r;
+                    break;
+                }
+                pick -= w;
+            }
+            home.push(home_region as u32);
+            events.push(FederatedEvent {
+                time_us: t_join,
+                peer,
+                kind: FederatedEventKind::Join,
+            });
+            let depart = config.mean_lifetime_secs.map(|mean| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let life_us = ((-u.ln() * mean * 1e6) as u64).max(1);
+                let kind = if rng.gen::<f64>() < config.failure_fraction {
+                    FederatedEventKind::Fail
+                } else {
+                    FederatedEventKind::Leave
+                };
+                (t_join.saturating_add(life_us), kind)
+            });
+            // Mobility: moves strictly inside (join, depart).
+            if config.regions > 1 && rng.gen::<f64>() < config.mobile_fraction {
+                let horizon = depart.map(|(t, _)| t).unwrap_or(u64::MAX);
+                let mut t = t_join;
+                loop {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let dwell = ((-u.ln() * config.mean_dwell_secs * 1e6) as u64).max(1);
+                    t = t.saturating_add(dwell);
+                    if t >= horizon {
+                        break;
+                    }
+                    let to_region = if rng.gen::<f64>() < config.return_home_bias {
+                        home_region as u32
+                    } else {
+                        // Uniform over the *other* regions.
+                        let mut r = rng.gen_range(0..config.regions - 1) as u32;
+                        if r >= home_region as u32 {
+                            r += 1;
+                        }
+                        r
+                    };
+                    events.push(FederatedEvent {
+                        time_us: t,
+                        peer,
+                        kind: FederatedEventKind::Move { to_region },
+                    });
+                }
+            }
+            if let Some((t, kind)) = depart {
+                events.push(FederatedEvent {
+                    time_us: t,
+                    peer,
+                    kind,
+                });
+            }
+        }
+        // Joins first at equal times, departures last, moves in between.
+        events.sort_by_key(|e| {
+            let order = match e.kind {
+                FederatedEventKind::Join => 0u8,
+                FederatedEventKind::Move { .. } => 1,
+                FederatedEventKind::Leave | FederatedEventKind::Fail => 2,
+            };
+            (e.time_us, e.peer, order)
+        });
+        Self {
+            regions: config.regions,
+            home,
+            events,
+        }
+    }
+
+    /// The time of the last event, or 0 for an empty trace.
+    pub fn span_us(&self) -> u64 {
+        self.events.last().map(|e| e.time_us).unwrap_or(0)
+    }
+
+    /// Move events in the trace.
+    pub fn n_moves(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FederatedEventKind::Move { .. }))
+            .count()
+    }
+
+    /// Splits the trace into consecutive fixed-width time windows — the
+    /// heartbeat-epoch grid of a federated replay, mirroring
+    /// [`crate::ChurnTrace::windows`]. Yields `(window_index, events)` for
+    /// every non-empty window in time order.
+    ///
+    /// # Panics
+    /// On `width_us == 0`.
+    pub fn windows(&self, width_us: u64) -> impl Iterator<Item = (u64, &[FederatedEvent])> + '_ {
+        assert!(width_us > 0, "window width must be positive");
+        let mut start = 0usize;
+        std::iter::from_fn(move || {
+            if start >= self.events.len() {
+                return None;
+            }
+            let idx = self.events[start].time_us / width_us;
+            let mut end = start + 1;
+            while end < self.events.len() && self.events[end].time_us / width_us == idx {
+                end += 1;
+            }
+            let slice = &self.events[start..end];
+            start = end;
+            Some((idx, slice))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> FederatedChurnConfig {
+        FederatedChurnConfig {
+            peers: 300,
+            regions: 4,
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 30.0 },
+            mean_lifetime_secs: Some(20.0),
+            failure_fraction: 0.3,
+            home_skew: 0.5,
+            mobile_fraction: 0.4,
+            mean_dwell_secs: 6.0,
+            return_home_bias: 0.5,
+        }
+    }
+
+    #[test]
+    fn every_peer_joins_once_and_departs_once() {
+        let trace = FederatedTrace::generate(&base_config(), 5);
+        let joins = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == FederatedEventKind::Join)
+            .count();
+        let departs = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FederatedEventKind::Leave | FederatedEventKind::Fail))
+            .count();
+        assert_eq!(joins, 300);
+        assert_eq!(departs, 300);
+        assert_eq!(trace.home.len(), 300);
+        assert!(trace.home.iter().all(|&h| h < 4));
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].time_us <= w[1].time_us));
+    }
+
+    #[test]
+    fn moves_target_valid_regions_within_the_session() {
+        let trace = FederatedTrace::generate(&base_config(), 9);
+        assert!(trace.n_moves() > 0, "a mobile 40% must move");
+        // Per peer: all moves fall strictly between join and departure.
+        for p in 0..300usize {
+            let join = trace
+                .events
+                .iter()
+                .find(|e| e.peer == p && e.kind == FederatedEventKind::Join)
+                .unwrap()
+                .time_us;
+            let depart = trace
+                .events
+                .iter()
+                .find(|e| {
+                    e.peer == p
+                        && matches!(e.kind, FederatedEventKind::Leave | FederatedEventKind::Fail)
+                })
+                .unwrap()
+                .time_us;
+            for e in trace.events.iter().filter(|e| e.peer == p) {
+                if let FederatedEventKind::Move { to_region } = e.kind {
+                    assert!((to_region as usize) < trace.regions);
+                    assert!(e.time_us > join && e.time_us < depart, "peer {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn home_skew_concentrates_low_regions() {
+        let flat = FederatedTrace::generate(
+            &FederatedChurnConfig {
+                home_skew: 0.0,
+                ..base_config()
+            },
+            3,
+        );
+        let skewed = FederatedTrace::generate(
+            &FederatedChurnConfig {
+                home_skew: 0.8,
+                ..base_config()
+            },
+            3,
+        );
+        let share0 = |t: &FederatedTrace| {
+            t.home.iter().filter(|&&h| h == 0).count() as f64 / t.home.len() as f64
+        };
+        assert!(share0(&flat) < 0.40, "flat: {}", share0(&flat));
+        assert!(
+            share0(&skewed) > share0(&flat) + 0.2,
+            "skew must concentrate region 0: {} vs {}",
+            share0(&skewed),
+            share0(&flat)
+        );
+    }
+
+    #[test]
+    fn return_bias_pulls_moves_home() {
+        let cfg = FederatedChurnConfig {
+            return_home_bias: 1.0,
+            ..base_config()
+        };
+        let trace = FederatedTrace::generate(&cfg, 7);
+        for e in &trace.events {
+            if let FederatedEventKind::Move { to_region } = e.kind {
+                assert_eq!(to_region, trace.home[e.peer], "bias 1.0 = always home");
+            }
+        }
+    }
+
+    #[test]
+    fn single_region_never_moves() {
+        let cfg = FederatedChurnConfig {
+            regions: 1,
+            ..base_config()
+        };
+        let trace = FederatedTrace::generate(&cfg, 2);
+        assert_eq!(trace.n_moves(), 0);
+        assert!(trace.home.iter().all(|&h| h == 0));
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace = FederatedTrace::generate(&base_config(), 11);
+        let width = 500_000u64;
+        let seen: usize = trace.windows(width).map(|(_, ev)| ev.len()).sum();
+        assert_eq!(seen, trace.events.len());
+        for (idx, events) in trace.windows(width) {
+            assert!(!events.is_empty());
+            assert!(events.iter().all(|e| e.time_us / width == idx));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = base_config();
+        assert_eq!(
+            FederatedTrace::generate(&cfg, 4),
+            FederatedTrace::generate(&cfg, 4)
+        );
+        assert_ne!(
+            FederatedTrace::generate(&cfg, 4),
+            FederatedTrace::generate(&cfg, 5)
+        );
+    }
+}

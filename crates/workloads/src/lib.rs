@@ -8,6 +8,8 @@
 //! * [`ArrivalProcess`] — when peers join (batch, uniform, Poisson);
 //! * [`ChurnTrace`] — join/leave schedules with exponential lifetimes (W3);
 //! * [`MobilityTrace`] — handover events for moving peers (W3);
+//! * [`FederatedTrace`] — region-biased churn + mobility for multi-region
+//!   federations (skewed home regions, moves with return-home bias);
 //! * [`Sweep`] — tiny cartesian-product helper for parameter sweeps.
 //!
 //! All generators take an explicit seed and are bit-reproducible.
@@ -17,10 +19,12 @@
 
 mod arrivals;
 mod churn;
+mod federation;
 mod mobility;
 mod sweep;
 
 pub use arrivals::ArrivalProcess;
 pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnTrace};
+pub use federation::{FederatedChurnConfig, FederatedEvent, FederatedEventKind, FederatedTrace};
 pub use mobility::{MobilityConfig, MobilityTrace, MoveEvent};
 pub use sweep::Sweep;

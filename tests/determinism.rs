@@ -11,6 +11,9 @@ use nearpeer::routing::RouteOracle;
 use nearpeer::topology::generators::{mapper, MapperConfig};
 use nearpeer::topology::{io, RouterId, Topology};
 use nearpeer_bench::experiments::churn::{run_soak_with_server, ChurnReplayMode, ChurnSoakConfig};
+use nearpeer_bench::experiments::federation::{
+    run_federation_soak_with_state, FederationSoakConfig,
+};
 use nearpeer_bench::{trace_round1, Swarm, SwarmConfig};
 
 fn generate(seed: u64) -> Topology {
@@ -135,6 +138,7 @@ fn churn_replay_modes_produce_identical_directories() {
             heartbeat_every: 2,
             mode: ChurnReplayMode::Sequential,
             threads: None,
+            adaptive: None,
         };
         let (seq_result, seq_server) = run_soak_with_server(&base, seed);
         let runs = [
@@ -177,6 +181,65 @@ fn churn_replay_modes_produce_identical_directories() {
                 );
             }
         }
+    }
+}
+
+/// Federated replays must be pure functions of `(seed, region count)`:
+/// replaying the same region-biased churn/mobility trace through a fresh
+/// federation twice must leave identical counters **and identical
+/// directory state** — per-region populations, peer locations, stored
+/// paths, lease epochs — for every region count; different seeds must
+/// diverge. (Cross-region handovers, forwarding tombstones and
+/// federation-aware expiry are all on this path.)
+#[test]
+fn federated_replays_are_deterministic_across_seeds_and_region_counts() {
+    let mut fingerprints = Vec::new();
+    for seed in [5u64, 21] {
+        for regions in [1usize, 2, 4] {
+            let cfg = FederationSoakConfig {
+                peers: 250,
+                regions,
+                n_landmarks: 4,
+                cycles: 2,
+                epochs_per_cycle: 20,
+                ..FederationSoakConfig::quick()
+            };
+            let (first, fed_a) = run_federation_soak_with_state(&cfg, seed);
+            let (second, fed_b) = run_federation_soak_with_state(&cfg, seed);
+            let label = format!("seed {seed}, {regions} regions");
+            assert_eq!(first.counters, second.counters, "{label}");
+            assert_eq!(first.final_per_region, second.final_per_region, "{label}");
+            assert_eq!(first.peak_population, second.peak_population, "{label}");
+            assert_eq!(fed_a.peer_count(), fed_b.peer_count(), "{label}");
+            assert_eq!(fed_a.tombstone_count(), 0, "{label}: drained");
+            for p in 0..cfg.peers as u64 {
+                let peer = PeerId(p);
+                assert_eq!(
+                    fed_a.locate(peer).map(|(r, path)| (r, path.clone())),
+                    fed_b.locate(peer).map(|(r, path)| (r, path.clone())),
+                    "{label}: location of peer {p}"
+                );
+            }
+            for (ra, rb) in fed_a.regions().iter().zip(fed_b.regions()) {
+                let (a, b) = (ra.server().report(), rb.server().report());
+                assert_eq!(a.peers, b.peers, "{label}");
+                assert_eq!(a.per_landmark, b.per_landmark, "{label}");
+                assert_eq!(a.epoch, b.epoch, "{label}");
+            }
+            fingerprints.push((seed, regions, first.counters));
+        }
+    }
+    // Different seeds must explore different schedules.
+    for regions in [1usize, 2, 4] {
+        let a = fingerprints
+            .iter()
+            .find(|(s, r, _)| *s == 5 && *r == regions)
+            .unwrap();
+        let b = fingerprints
+            .iter()
+            .find(|(s, r, _)| *s == 21 && *r == regions)
+            .unwrap();
+        assert_ne!(a.2, b.2, "{regions} regions: seeds 5 and 21 agree?!");
     }
 }
 
