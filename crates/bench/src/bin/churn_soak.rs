@@ -124,6 +124,7 @@ fn config_for(args: &Args) -> ChurnSoakConfig {
             margin: 1,
             min_age: cfg.heartbeat_every as u32 + 1,
             max_age: cfg.max_age as u32,
+            max_tracked: 65_536,
         });
     }
     cfg

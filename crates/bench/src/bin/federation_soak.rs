@@ -113,6 +113,7 @@ fn config_for(args: &Args) -> FederationSoakConfig {
             margin: 1,
             min_age: cfg.heartbeat_every as u32 + 1,
             max_age: cfg.max_age as u32,
+            max_tracked: 65_536,
         });
     }
     cfg

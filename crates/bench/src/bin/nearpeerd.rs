@@ -1,0 +1,185 @@
+//! `nearpeerd` — the discovery server on a real socket.
+//!
+//! Serves the actorized plane ([`nearpeer_core::ActorServer`], or an
+//! [`nearpeer_core::ActorFederation`] with `--regions > 1`) over TCP:
+//! one thread per connection runs a frame-reassembly loop and feeds
+//! decoded messages to the shared [`nearpeer_core::WireService`]. The
+//! world is the synthetic landmark layout (`--landmarks N` routers, all
+//! 4 hops apart), matching what `wire_loadgen` mirrors locally.
+//!
+//! Transport rules: partial reads reassemble; a malformed frame is
+//! skipped (the codec consumed it); an oversized length prefix drops the
+//! connection; a `Shutdown` frame is acked, then the daemon stops
+//! accepting, drains every open connection and exits.
+
+use nearpeer_bench::wire::{build_service, FrameConn};
+use nearpeer_core::protocol::Message;
+use nearpeer_core::{ServerConfig, WireService};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    landmarks: usize,
+    regions: usize,
+    neighbor_count: usize,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut out = Self {
+            listen: "127.0.0.1:4700".into(),
+            landmarks: 8,
+            regions: 1,
+            neighbor_count: 5,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--listen" => out.listen = value("--listen")?,
+                "--landmarks" => {
+                    let v = value("--landmarks")?;
+                    out.landmarks = v.parse().map_err(|_| format!("bad --landmarks {v}"))?;
+                }
+                "--regions" => {
+                    let v = value("--regions")?;
+                    out.regions = v.parse().map_err(|_| format!("bad --regions {v}"))?;
+                }
+                "--neighbor-count" => {
+                    let v = value("--neighbor-count")?;
+                    out.neighbor_count =
+                        v.parse().map_err(|_| format!("bad --neighbor-count {v}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: nearpeerd [--listen ADDR] [--landmarks N] [--regions N] \
+                         [--neighbor-count K]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        if out.landmarks == 0 || out.regions == 0 {
+            return Err("--landmarks and --regions must be >= 1".into());
+        }
+        if out.regions > out.landmarks {
+            return Err("--regions cannot exceed --landmarks".into());
+        }
+        Ok(out)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = ServerConfig {
+        neighbor_count: args.neighbor_count,
+        ..ServerConfig::default()
+    };
+    let service = match build_service(args.landmarks, args.regions, config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("nearpeerd: cannot build serving plane: {e}");
+            std::process::exit(2);
+        }
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("nearpeerd: cannot bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    let local = listener.local_addr().expect("bound socket has an address");
+    // The readiness line scripts wait for (stdout, flushed).
+    println!(
+        "nearpeerd listening on {local} landmarks={} regions={} k={}",
+        args.landmarks, args.regions, args.neighbor_count
+    );
+    io::stdout().flush().ok();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        handles.push(std::thread::spawn(move || {
+            serve_connection(stream, service, shutdown, local)
+        }));
+    }
+    // Drain: every live connection loop notices the flag within its read
+    // timeout and exits; queued writes finish because the actors' drop
+    // path joins their workers after the mailboxes disconnect.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    eprintln!("nearpeerd: drained, exiting");
+}
+
+/// One connection's serve loop: reassemble frames, answer requests.
+fn serve_connection(
+    stream: TcpStream,
+    service: Arc<dyn WireService>,
+    shutdown: Arc<AtomicBool>,
+    local: SocketAddr,
+) {
+    let mut conn = match FrameConn::new(stream) {
+        Ok(conn) => conn,
+        Err(_) => return,
+    };
+    // A bounded read lets the loop observe a shutdown requested on
+    // another connection without dropping a frame mid-reassembly.
+    if conn
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match conn.recv() {
+            Ok(Some(msg)) => {
+                let stop = matches!(msg, Message::Shutdown { .. });
+                if let Some(reply) = service.handle(msg) {
+                    if conn.send(&reply).is_err() {
+                        return;
+                    }
+                }
+                if stop {
+                    shutdown.store(true, Ordering::Release);
+                    // Unblock the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(local);
+                    return;
+                }
+            }
+            // Clean close on a frame boundary.
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            // Oversized frame or transport error: the stream position is
+            // untrustworthy, drop the connection.
+            Err(_) => return,
+        }
+    }
+}

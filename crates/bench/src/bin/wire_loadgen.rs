@@ -1,0 +1,394 @@
+//! `wire_loadgen` — drives a running `nearpeerd` and checks its answers.
+//!
+//! Three phases over `--conns` pipelined connections:
+//!
+//! 1. **register** — every peer `0..--peers` joins over the wire
+//!    (partitioned across connections; join answers are not compared —
+//!    under concurrent registration they depend on arrival order);
+//! 2. **query** (timed) — `--queries` pipelined `QueryRequest`s; every
+//!    reply is then checked **bit-for-bit** against a local synchronous
+//!    mirror of the server (the final directory state is a pure function
+//!    of the registered set, so the mirror agrees no matter how the wire
+//!    registrations interleaved);
+//! 3. **handover** — `--handovers` mobility moves on one connection (the
+//!    server handles one connection's frames in order), each answer
+//!    checked against the mirror applying the same moves in the same
+//!    order.
+//!
+//! Prints a JSON result line and exits non-zero on any answer mismatch,
+//! join error, or a query rate below `--min-qps`.
+
+use nearpeer_bench::wire::{world, FrameConn, Mirror};
+use nearpeer_core::protocol::{Message, WireNeighbor};
+use nearpeer_core::{LandmarkId, Neighbor, PeerId, PeerPath, ServerConfig};
+use std::collections::HashMap;
+use std::io;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    landmarks: usize,
+    regions: usize,
+    peers: u64,
+    queries: u64,
+    conns: usize,
+    k: usize,
+    handovers: u64,
+    min_qps: f64,
+    window: usize,
+    shutdown: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut out = Self {
+            addr: String::new(),
+            landmarks: 8,
+            regions: 1,
+            peers: 100_000,
+            queries: 50_000,
+            conns: 4,
+            k: 5,
+            handovers: 1_000,
+            min_qps: 0.0,
+            window: 256,
+            shutdown: false,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+            fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+                v.parse().map_err(|_| format!("bad {flag} value {v}"))
+            }
+            match arg.as_str() {
+                "--addr" => out.addr = value("--addr")?,
+                "--landmarks" => out.landmarks = num("--landmarks", value("--landmarks")?)?,
+                "--regions" => out.regions = num("--regions", value("--regions")?)?,
+                "--peers" => out.peers = num("--peers", value("--peers")?)?,
+                "--queries" => out.queries = num("--queries", value("--queries")?)?,
+                "--conns" => out.conns = num("--conns", value("--conns")?)?,
+                "--k" => out.k = num("--k", value("--k")?)?,
+                "--handovers" => out.handovers = num("--handovers", value("--handovers")?)?,
+                "--min-qps" => out.min_qps = num("--min-qps", value("--min-qps")?)?,
+                "--window" => out.window = num("--window", value("--window")?)?,
+                "--shutdown" => out.shutdown = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: wire_loadgen --addr HOST:PORT [--landmarks N] [--regions N] \
+                         [--peers N] [--queries N] [--conns N] [--k K] [--handovers N] \
+                         [--min-qps Q] [--window W] [--shutdown]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        if out.addr.is_empty() {
+            return Err("--addr is required".into());
+        }
+        if out.peers == 0 || out.conns == 0 || out.window == 0 || out.k == 0 {
+            return Err("--peers, --conns, --window and --k must be >= 1".into());
+        }
+        Ok(out)
+    }
+}
+
+/// Keeps up to `window` requests in flight on one connection; the server
+/// answers a connection's frames in order, so the `i`-th reply matches
+/// the `i`-th request.
+fn run_pipelined(
+    conn: &mut FrameConn,
+    total: u64,
+    window: usize,
+    mut make: impl FnMut(u64) -> Message,
+    mut on_reply: impl FnMut(u64, Message),
+) -> io::Result<()> {
+    let mut sent = 0u64;
+    let mut recvd = 0u64;
+    while recvd < total {
+        while sent < total && sent - recvd < window as u64 {
+            conn.send(&make(sent))?;
+            sent += 1;
+        }
+        match conn.recv()? {
+            Some(msg) => {
+                on_reply(recvd, msg);
+                recvd += 1;
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed with replies outstanding",
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits `0..total` into `parts` contiguous ranges.
+fn ranges(total: u64, parts: usize) -> Vec<(u64, u64)> {
+    let chunk = total.div_ceil(parts as u64).max(1);
+    (0..parts as u64)
+        .map(|t| ((t * chunk).min(total), ((t + 1) * chunk).min(total)))
+        .collect()
+}
+
+fn same_answer(wire: &[WireNeighbor], local: &[Neighbor]) -> bool {
+    wire.len() == local.len()
+        && wire
+            .iter()
+            .zip(local)
+            .all(|(w, n)| w.peer == n.peer && w.dtree == n.dtree)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("wire_loadgen: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let joins = world(args.landmarks);
+    let config = ServerConfig {
+        neighbor_count: args.k,
+        ..ServerConfig::default()
+    };
+    let window = args.window;
+    let n_landmarks = args.landmarks as u32;
+
+    let mut conns = Vec::with_capacity(args.conns);
+    for _ in 0..args.conns {
+        match FrameConn::connect(&args.addr) {
+            Ok(conn) => conns.push(conn),
+            Err(e) => fail(&format!("cannot connect to {}: {e}", args.addr)),
+        }
+    }
+
+    // Phase 1: register every peer over the wire, conns in parallel.
+    let reg_start = Instant::now();
+    let mut workers = Vec::new();
+    for (mut conn, (lo, hi)) in conns.into_iter().zip(ranges(args.peers, args.conns)) {
+        workers.push(std::thread::spawn(move || {
+            let mut errors = 0u64;
+            run_pipelined(
+                &mut conn,
+                hi - lo,
+                window,
+                |i| {
+                    let (peer, path) = joins.join(lo + i);
+                    Message::JoinRequest { peer, path }
+                },
+                |_, msg| match msg {
+                    Message::JoinReply { .. } => {}
+                    Message::JoinError { peer, reason } => {
+                        eprintln!("wire_loadgen: join {peer} refused: {reason}");
+                        errors += 1;
+                    }
+                    other => fail(&format!("unexpected {} to a join", other.kind_name())),
+                },
+            )
+            .unwrap_or_else(|e| fail(&format!("register phase: {e}")));
+            (conn, errors)
+        }));
+    }
+    let mut conns = Vec::with_capacity(args.conns);
+    let mut join_errors = 0u64;
+    for worker in workers {
+        let (conn, errors) = worker
+            .join()
+            .unwrap_or_else(|_| fail("register worker died"));
+        conns.push(conn);
+        join_errors += errors;
+    }
+    let register_secs = reg_start.elapsed().as_secs_f64();
+
+    // The local mirror: same world, same config, registered as one
+    // batch — order-independent, so it matches whatever interleaving the
+    // wire registrations landed in.
+    let mut mirror = Mirror::build(args.landmarks, args.regions, config)
+        .unwrap_or_else(|e| fail(&format!("cannot build mirror: {e}")));
+    let items: Vec<_> = (0..args.peers).map(|p| joins.join(p)).collect();
+    let joined = mirror.register_all(items);
+    if joined as u64 + join_errors != args.peers {
+        fail(&format!(
+            "mirror joined {joined} peers but the wire joined {}",
+            args.peers - join_errors
+        ));
+    }
+
+    // Phase 2 (timed): pipelined queries, replies collected raw and
+    // verified after the clock stops.
+    let query_start = Instant::now();
+    let peers = args.peers;
+    let k = args.k.min(u16::MAX as usize) as u16;
+    let mut workers = Vec::new();
+    for (mut conn, (lo, hi)) in conns.into_iter().zip(ranges(args.queries, args.conns)) {
+        workers.push(std::thread::spawn(move || {
+            let mut replies: Vec<(u64, Vec<WireNeighbor>)> = Vec::with_capacity((hi - lo) as usize);
+            run_pipelined(
+                &mut conn,
+                hi - lo,
+                window,
+                |i| {
+                    let peer = (lo + i) % peers;
+                    Message::QueryRequest {
+                        nonce: lo + i,
+                        path: joins.path(peer),
+                        k,
+                        exclude: Some(PeerId(peer)),
+                    }
+                },
+                |i, msg| match msg {
+                    Message::QueryReply { nonce, neighbors } => {
+                        assert_eq!(nonce, lo + i, "pipelined replies arrive in order");
+                        replies.push((nonce, neighbors));
+                    }
+                    other => fail(&format!("unexpected {} to a query", other.kind_name())),
+                },
+            )
+            .unwrap_or_else(|e| fail(&format!("query phase: {e}")));
+            (conn, replies)
+        }));
+    }
+    let mut conns = Vec::with_capacity(args.conns);
+    let mut replies = Vec::with_capacity(args.queries as usize);
+    for worker in workers {
+        let (conn, mut part) = worker.join().unwrap_or_else(|_| fail("query worker died"));
+        conns.push(conn);
+        replies.append(&mut part);
+    }
+    let query_secs = query_start.elapsed().as_secs_f64();
+    let qps = if query_secs > 0.0 {
+        args.queries as f64 / query_secs
+    } else {
+        f64::INFINITY
+    };
+
+    // Verify every reply bit-for-bit against the mirror (distinct queried
+    // peers repeat every `peers` queries; cache their expected answer).
+    let mut expected: HashMap<u64, Vec<Neighbor>> = HashMap::new();
+    let mut query_mismatches = 0u64;
+    for (nonce, neighbors) in &replies {
+        let peer = nonce % peers;
+        let want = expected.entry(peer).or_insert_with(|| {
+            mirror.closest_to_path(&joins.path(peer), k as usize, Some(PeerId(peer)))
+        });
+        if !same_answer(neighbors, want) {
+            query_mismatches += 1;
+            if query_mismatches <= 5 {
+                eprintln!(
+                    "wire_loadgen: query {nonce} (peer {peer}) answered {neighbors:?}, expected {want:?}"
+                );
+            }
+        }
+    }
+
+    // Phase 3: handovers on one connection, mirrored move-by-move.
+    let handovers = args.handovers.min(args.peers);
+    let mut handover_mismatches = 0u64;
+    let handover_start = Instant::now();
+    {
+        let conn = &mut conns[0];
+        // Precomputed so the send and verify closures share it read-only.
+        let moves: Vec<(PeerId, PeerPath)> = (0..handovers)
+            .map(|i| {
+                let dest = LandmarkId((joins.landmark_of(i).0 + 1) % n_landmarks);
+                joins.join_to(i, dest)
+            })
+            .collect();
+        run_pipelined(
+            conn,
+            handovers,
+            window,
+            |i| {
+                let (peer, path) = moves[i as usize].clone();
+                Message::HandoverRequest { peer, path }
+            },
+            |i, msg| match msg {
+                Message::JoinReply { peer, neighbors, .. } => {
+                    let (sent_peer, path) = moves[i as usize].clone();
+                    assert_eq!(peer, sent_peer, "replies arrive in order");
+                    let want = mirror
+                        .handover(peer, path)
+                        .unwrap_or_else(|e| fail(&format!("mirror refused handover: {e}")));
+                    if !same_answer(&neighbors, &want) {
+                        handover_mismatches += 1;
+                        if handover_mismatches <= 5 {
+                            eprintln!(
+                                "wire_loadgen: handover {peer} answered {neighbors:?}, expected {want:?}"
+                            );
+                        }
+                    }
+                }
+                Message::JoinError { peer, reason } => {
+                    fail(&format!("handover {peer} refused: {reason}"))
+                }
+                other => fail(&format!("unexpected {} to a handover", other.kind_name())),
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("handover phase: {e}")));
+    }
+    let handover_secs = handover_start.elapsed().as_secs_f64();
+
+    // Optionally stop the daemon: close the idle connections first so it
+    // can drain, then ask the last one to shut down and wait for the ack.
+    if args.shutdown {
+        let mut conn = conns.pop().expect("at least one connection");
+        drop(conns);
+        conn.send(&Message::Shutdown { nonce: 99 })
+            .unwrap_or_else(|e| fail(&format!("shutdown send: {e}")));
+        match conn.recv() {
+            Ok(Some(Message::ProbePong { nonce: 99 })) => {}
+            other => fail(&format!("shutdown not acknowledged: {other:?}")),
+        }
+    }
+
+    let mismatches = query_mismatches + handover_mismatches;
+    println!(
+        "{{\"addr\":\"{}\",\"landmarks\":{},\"regions\":{},\"peers\":{},\"conns\":{},\"k\":{},\
+         \"window\":{},\"register_secs\":{:.3},\"register_rate\":{:.0},\"queries\":{},\
+         \"query_secs\":{:.3},\"qps\":{:.0},\"handovers\":{},\"handover_secs\":{:.3},\
+         \"join_errors\":{},\"query_mismatches\":{},\"handover_mismatches\":{}}}",
+        args.addr,
+        args.landmarks,
+        args.regions,
+        args.peers,
+        args.conns,
+        args.k,
+        args.window,
+        register_secs,
+        args.peers as f64 / register_secs.max(1e-9),
+        args.queries,
+        query_secs,
+        qps,
+        handovers,
+        handover_secs,
+        join_errors,
+        query_mismatches,
+        handover_mismatches,
+    );
+    if mismatches > 0 || join_errors > 0 {
+        eprintln!(
+            "wire_loadgen: FAILED — {mismatches} mismatched answers, {join_errors} join errors"
+        );
+        std::process::exit(1);
+    }
+    if qps < args.min_qps {
+        eprintln!(
+            "wire_loadgen: FAILED — {qps:.0} queries/s below the --min-qps {} floor",
+            args.min_qps
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "wire_loadgen: OK — {} peers, {} queries at {qps:.0}/s, {handovers} handovers, all answers bit-identical",
+        args.peers, args.queries
+    );
+}

@@ -32,6 +32,7 @@ mod federation;
 mod output;
 mod runner;
 mod swarm;
+pub mod wire;
 
 pub use federation::{synthetic_federation, synthetic_move_landmark, FederatedSwarm};
 pub use output::ExperimentWriter;

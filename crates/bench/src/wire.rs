@@ -1,0 +1,302 @@
+//! Shared plumbing for the wire binaries (`nearpeerd`, `wire_loadgen`).
+//!
+//! Both sides of the socket rebuild the same deterministic world from
+//! `(n_landmarks, regions)` — the [`SyntheticJoins`] landmark layout
+//! (routers `0..n`, all pairs 4 hops apart) — so no topology ever
+//! crosses the wire: the daemon serves it, the load generator mirrors
+//! it locally to check the answers bit-for-bit.
+
+use crate::SyntheticJoins;
+use bytes::BytesMut;
+use nearpeer_core::codec::{self, CodecError};
+use nearpeer_core::protocol::Message;
+use nearpeer_core::{
+    ActorFederation, ActorServer, CoreError, FederatedJoin, Federation, FederationConfig,
+    JoinOutcome, ManagementServer, Neighbor, PeerId, PeerPath, ServerConfig, WireService,
+};
+use nearpeer_topology::RouterId;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The synthetic landmark layout shared by server and load generator:
+/// routers `0..n`, every distinct pair 4 hops apart — exactly what
+/// [`SyntheticJoins::server`] builds.
+pub fn synthetic_landmarks(n_landmarks: usize) -> (Vec<RouterId>, Vec<Vec<u32>>) {
+    let n = n_landmarks as u32;
+    let routers = (0..n).map(RouterId).collect();
+    let dist = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0 } else { 4 }).collect())
+        .collect();
+    (routers, dist)
+}
+
+/// Builds the actorized serving plane over the synthetic landmark
+/// layout: one [`ActorServer`] for a single region, an
+/// [`ActorFederation`] (full fanout) otherwise.
+pub fn build_service(
+    n_landmarks: usize,
+    regions: usize,
+    config: ServerConfig,
+) -> Result<Arc<dyn WireService>, CoreError> {
+    let (routers, dist) = synthetic_landmarks(n_landmarks);
+    if regions <= 1 {
+        Ok(Arc::new(ActorServer::new(routers, dist, config)?))
+    } else {
+        Ok(Arc::new(ActorFederation::new(
+            routers,
+            dist,
+            regions,
+            FederationConfig {
+                fanout: None,
+                server: config,
+            },
+        )?))
+    }
+}
+
+/// The synchronous twin of what [`build_service`] serves, used by the
+/// load generator to check wire answers bit-for-bit: the actorized
+/// planes are pinned answer-equivalent to these by `tests/properties.rs`.
+pub enum Mirror {
+    /// Single-region twin of an [`ActorServer`].
+    Single(ManagementServer),
+    /// Multi-region twin of an [`ActorFederation`].
+    Federated(Federation),
+}
+
+impl Mirror {
+    /// Builds the mirror from the same `(n_landmarks, regions, config)`
+    /// the daemon was started with.
+    pub fn build(
+        n_landmarks: usize,
+        regions: usize,
+        config: ServerConfig,
+    ) -> Result<Self, CoreError> {
+        let (routers, dist) = synthetic_landmarks(n_landmarks);
+        if regions <= 1 {
+            Ok(Mirror::Single(ManagementServer::new(routers, dist, config)))
+        } else {
+            Ok(Mirror::Federated(Federation::new(
+                routers,
+                dist,
+                regions,
+                FederationConfig {
+                    fanout: None,
+                    server: config,
+                },
+            )?))
+        }
+    }
+
+    /// Write-only bulk registration. Registration order does not matter:
+    /// the final directory state is a pure function of the registered
+    /// `(peer, path)` set, which is why the load generator can register
+    /// over many concurrent connections and still mirror exactly.
+    pub fn register_all(&mut self, items: Vec<(PeerId, PeerPath)>) -> usize {
+        match self {
+            Mirror::Single(srv) => srv.register_batch_renewing(items).joined,
+            Mirror::Federated(fed) => fed.register_batch(items).joined,
+        }
+    }
+
+    /// Mobility handover, answering the peer's fresh neighbor list.
+    pub fn handover(&mut self, peer: PeerId, path: PeerPath) -> Result<Vec<Neighbor>, CoreError> {
+        match self {
+            Mirror::Single(srv) => srv.handover(peer, path).map(|o: JoinOutcome| o.neighbors),
+            Mirror::Federated(fed) => fed.handover(peer, path).map(|o: FederatedJoin| o.neighbors),
+        }
+    }
+
+    /// The closest registered peers to a query path.
+    pub fn closest_to_path(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> Vec<Neighbor> {
+        match self {
+            Mirror::Single(srv) => srv.closest_to_path(path, k, exclude),
+            Mirror::Federated(fed) => fed.closest_to_path(path, k, exclude),
+        }
+    }
+
+    /// Registered peer count.
+    pub fn peer_count(&self) -> usize {
+        match self {
+            Mirror::Single(srv) => srv.peer_count(),
+            Mirror::Federated(fed) => fed.peer_count(),
+        }
+    }
+}
+
+/// The world both binaries derive peers and paths from.
+pub fn world(n_landmarks: usize) -> SyntheticJoins {
+    SyntheticJoins::new(n_landmarks)
+}
+
+/// A blocking framed connection: length-prefixed [`codec`] frames over a
+/// `TcpStream`, with reassembly across partial reads.
+pub struct FrameConn {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl FrameConn {
+    /// Wraps an accepted/connected stream (enables `TCP_NODELAY` — the
+    /// protocol is request/reply and frames are small).
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: BytesMut::with_capacity(64 * 1024),
+        })
+    }
+
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::new(TcpStream::connect(addr)?)
+    }
+
+    /// Bounds every blocking read; `None` blocks forever. While a
+    /// timeout is set, [`Self::recv`] surfaces `WouldBlock`/`TimedOut`
+    /// with any partially-read frame preserved in the buffer.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Encodes and writes one frame.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.stream.write_all(&codec::encode_to_bytes(msg))
+    }
+
+    /// Reads the next message, reassembling frames across partial reads.
+    /// `Ok(None)` means the peer closed cleanly on a frame boundary.
+    /// Malformed-but-consumed frames are skipped (the codec resyncs);
+    /// an oversized length prefix is connection-fatal (`InvalidData`) —
+    /// the stream position can no longer be trusted.
+    pub fn recv(&mut self) -> io::Result<Option<Message>> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match codec::decode(&mut self.buf) {
+                Ok(msg) => return Ok(Some(msg)),
+                Err(CodecError::Incomplete) => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return if self.buf.is_empty() {
+                            Ok(None)
+                        } else {
+                            Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "connection closed mid-frame",
+                            ))
+                        };
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(CodecError::FrameTooLarge(n)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame of {n} bytes exceeds limit"),
+                    ));
+                }
+                // Anything else consumed exactly one bad frame; resync.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nearpeer_core::LandmarkId;
+    use std::net::TcpListener;
+
+    #[test]
+    fn mirror_matches_wire_service_answers() {
+        let config = ServerConfig {
+            neighbor_count: 5,
+            ..ServerConfig::default()
+        };
+        for regions in [1usize, 2] {
+            let service = build_service(4, regions, config).unwrap();
+            let mut mirror = Mirror::build(4, regions, config).unwrap();
+            let joins = world(4);
+            let items: Vec<_> = (0..64u64).map(|p| joins.join(p)).collect();
+            for (peer, path) in &items {
+                let reply = service.handle(Message::JoinRequest {
+                    peer: *peer,
+                    path: path.clone(),
+                });
+                assert!(matches!(reply, Some(Message::JoinReply { .. })));
+            }
+            assert_eq!(mirror.register_all(items), 64);
+            for p in 0..64u64 {
+                let path = joins.path(p);
+                let expected = mirror.closest_to_path(&path, 5, Some(PeerId(p)));
+                let got = service.handle(Message::QueryRequest {
+                    nonce: p,
+                    path,
+                    k: 5,
+                    exclude: Some(PeerId(p)),
+                });
+                match got {
+                    Some(Message::QueryReply { nonce, neighbors }) => {
+                        assert_eq!(nonce, p);
+                        assert_eq!(neighbors.len(), expected.len());
+                        for (w, n) in neighbors.iter().zip(&expected) {
+                            assert_eq!((w.peer, w.dtree), (n.peer, n.dtree));
+                        }
+                    }
+                    other => panic!("expected QueryReply, got {other:?}"),
+                }
+            }
+            // A handover answers the same fresh neighbor list on both sides.
+            let peer = PeerId(3);
+            let dest = LandmarkId((joins.landmark_of(3).0 + 1) % 4);
+            let new_path = joins.path_to(3, dest);
+            let expected = mirror.handover(peer, new_path.clone()).unwrap();
+            match service.handle(Message::HandoverRequest {
+                peer,
+                path: new_path,
+            }) {
+                Some(Message::JoinReply { neighbors, .. }) => {
+                    assert_eq!(neighbors.len(), expected.len());
+                    for (w, n) in neighbors.iter().zip(&expected) {
+                        assert_eq!((w.peer, w.dtree), (n.peer, n.dtree));
+                    }
+                }
+                other => panic!("expected JoinReply, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_conn_reassembles_partial_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            let frame = codec::encode_to_bytes(&Message::Heartbeat { peer: PeerId(9) });
+            // Dribble the frame one byte at a time across the socket.
+            for b in frame.iter() {
+                s.write_all(&[*b]).unwrap();
+                s.flush().unwrap();
+            }
+            s.write_all(&codec::encode_to_bytes(&Message::ProbePing { nonce: 4 }))
+                .unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FrameConn::new(stream).unwrap();
+        assert_eq!(
+            conn.recv().unwrap(),
+            Some(Message::Heartbeat { peer: PeerId(9) })
+        );
+        assert_eq!(conn.recv().unwrap(), Some(Message::ProbePing { nonce: 4 }));
+        assert_eq!(conn.recv().unwrap(), None);
+        writer.join().unwrap();
+    }
+}

@@ -98,8 +98,47 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
             put_path(&mut payload, path);
         }
         Message::Heartbeat { peer } => payload.put_u64(peer.0),
+        Message::QueryRequest {
+            nonce,
+            path,
+            k,
+            exclude,
+        } => {
+            payload.put_u64(*nonce);
+            put_path(&mut payload, path);
+            payload.put_u16(*k);
+            match exclude {
+                Some(p) => {
+                    payload.put_u8(1);
+                    payload.put_u64(p.0);
+                }
+                None => payload.put_u8(0),
+            }
+        }
+        Message::QueryReply { nonce, neighbors } => {
+            payload.put_u64(*nonce);
+            put_neighbors(&mut payload, neighbors);
+        }
+        Message::FillRequest {
+            nonce,
+            router,
+            limit,
+        } => {
+            payload.put_u64(*nonce);
+            payload.put_u32(router.0);
+            payload.put_u16(*limit);
+        }
+        Message::FillReply { nonce, items } => {
+            payload.put_u64(*nonce);
+            put_neighbors(&mut payload, items);
+        }
+        Message::Shutdown { nonce } => payload.put_u64(*nonce),
     }
     let len = payload.len() as u32 + 2;
+    assert!(
+        len <= MAX_FRAME_LEN,
+        "encoded frame of {len} bytes exceeds MAX_FRAME_LEN"
+    );
     dst.put_u32(len);
     dst.put_u8(WIRE_VERSION);
     dst.put_u8(msg.kind());
@@ -120,25 +159,39 @@ fn put_path(dst: &mut BytesMut, path: &PeerPath) {
     }
 }
 
+fn put_neighbors(dst: &mut BytesMut, neighbors: &[WireNeighbor]) {
+    dst.put_u16(neighbors.len() as u16);
+    for n in neighbors {
+        dst.put_u64(n.peer.0);
+        dst.put_u32(n.dtree);
+    }
+}
+
 /// Attempts to decode one frame from the front of `src`.
 ///
 /// On success the frame's bytes are consumed; on [`CodecError::Incomplete`]
 /// nothing is consumed (feed more bytes and retry); on any other error the
-/// offending frame *is* consumed so the stream can resynchronise.
+/// offending frame *is* consumed so the stream can resynchronise — except
+/// [`CodecError::FrameTooLarge`], which is raised before a single payload
+/// byte is buffered or allocated and consumes nothing: a length prefix past
+/// the limit means the stream cannot be trusted to resync, so the caller
+/// must drop the connection.
 pub fn decode(src: &mut BytesMut) -> Result<Message, CodecError> {
     if src.len() < 4 {
         return Err(CodecError::Incomplete);
     }
     let len = u32::from_be_bytes([src[0], src[1], src[2], src[3]]);
+    // Hostile/corrupt length prefix: reject before buffering or allocating
+    // anything for the claimed payload.
     if len > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLarge(len));
+    }
+    if src.len() < 4 + len as usize {
+        return Err(CodecError::Incomplete);
     }
     if len < 2 {
         src.advance(4 + len as usize);
         return Err(CodecError::BadPayload("frame shorter than header".into()));
-    }
-    if src.len() < 4 + len as usize {
-        return Err(CodecError::Incomplete);
     }
     src.advance(4);
     let mut frame = src.split_to(len as usize);
@@ -171,6 +224,18 @@ fn get_path(frame: &mut BytesMut) -> Result<PeerPath, CodecError> {
     need(frame, n * 4, "path routers")?;
     let routers: Vec<RouterId> = (0..n).map(|_| RouterId(frame.get_u32())).collect();
     PeerPath::new(routers).map_err(|e| CodecError::BadPayload(e.to_string()))
+}
+
+fn get_neighbors(frame: &mut BytesMut) -> Result<Vec<WireNeighbor>, CodecError> {
+    need(frame, 2, "neighbor count")?;
+    let n = frame.get_u16() as usize;
+    need(frame, n * 12, "neighbors")?;
+    Ok((0..n)
+        .map(|_| WireNeighbor {
+            peer: PeerId(frame.get_u64()),
+            dtree: frame.get_u32(),
+        })
+        .collect())
 }
 
 fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError> {
@@ -240,6 +305,54 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
                 peer: PeerId(frame.get_u64()),
             })
         }
+        9 => {
+            need(frame, 8, "nonce")?;
+            let nonce = frame.get_u64();
+            let path = get_path(frame)?;
+            need(frame, 2 + 1, "query tail")?;
+            let k = frame.get_u16();
+            let exclude = match frame.get_u8() {
+                0 => None,
+                1 => {
+                    need(frame, 8, "exclude")?;
+                    Some(PeerId(frame.get_u64()))
+                }
+                other => return Err(CodecError::BadPayload(format!("bad exclude flag {other}"))),
+            };
+            Ok(Message::QueryRequest {
+                nonce,
+                path,
+                k,
+                exclude,
+            })
+        }
+        10 | 12 => {
+            need(frame, 8, "nonce")?;
+            let nonce = frame.get_u64();
+            let items = get_neighbors(frame)?;
+            Ok(if kind == 10 {
+                Message::QueryReply {
+                    nonce,
+                    neighbors: items,
+                }
+            } else {
+                Message::FillReply { nonce, items }
+            })
+        }
+        11 => {
+            need(frame, 8 + 4 + 2, "fill request")?;
+            Ok(Message::FillRequest {
+                nonce: frame.get_u64(),
+                router: RouterId(frame.get_u32()),
+                limit: frame.get_u16(),
+            })
+        }
+        13 => {
+            need(frame, 8, "nonce")?;
+            Ok(Message::Shutdown {
+                nonce: frame.get_u64(),
+            })
+        }
         other => Err(CodecError::UnknownKind(other)),
     }
 }
@@ -289,6 +402,48 @@ mod tests {
                 path: sample_path(),
             },
             Message::Heartbeat { peer: PeerId(5) },
+            Message::QueryRequest {
+                nonce: 11,
+                path: sample_path(),
+                k: 5,
+                exclude: Some(PeerId(7)),
+            },
+            Message::QueryRequest {
+                nonce: 12,
+                path: sample_path(),
+                k: 1,
+                exclude: None,
+            },
+            Message::QueryReply {
+                nonce: 11,
+                neighbors: vec![
+                    WireNeighbor {
+                        peer: PeerId(3),
+                        dtree: 1,
+                    },
+                    WireNeighbor {
+                        peer: PeerId(4),
+                        dtree: 9,
+                    },
+                ],
+            },
+            Message::QueryReply {
+                nonce: 12,
+                neighbors: vec![],
+            },
+            Message::FillRequest {
+                nonce: 13,
+                router: RouterId(4),
+                limit: 16,
+            },
+            Message::FillReply {
+                nonce: 13,
+                items: vec![WireNeighbor {
+                    peer: PeerId(6),
+                    dtree: 0,
+                }],
+            },
+            Message::Shutdown { nonce: 14 },
         ]
     }
 
@@ -361,6 +516,51 @@ mod tests {
             decode(&mut buf),
             Err(CodecError::FrameTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn rejects_max_u32_prefix_before_any_buffering() {
+        // A hostile length prefix claiming 4 GiB, with nothing behind it:
+        // must be rejected immediately (not reported Incomplete, which
+        // would make the server buffer towards 4 GiB), allocation-free.
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        assert!(matches!(
+            decode(&mut buf),
+            Err(CodecError::FrameTooLarge(u32::MAX))
+        ));
+        // Nothing consumed: the connection is poisoned, the caller drops it.
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn truncated_after_short_prefix_is_incomplete_not_panic() {
+        // len=1 (< header size) with the payload byte not yet arrived:
+        // previously this advanced past the end of the buffer and panicked.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert!(
+            matches!(decode(&mut buf), Err(CodecError::Incomplete)),
+            "truncated after prefix must be Incomplete"
+        );
+        assert_eq!(buf.len(), 4, "nothing consumed while incomplete");
+        // len=0 needs no further bytes — the empty frame is complete,
+        // consumed, and rejected.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        assert!(matches!(decode(&mut buf), Err(CodecError::BadPayload(_))));
+        assert!(buf.is_empty(), "undersized frame consumed for resync");
+        // Once the (undersized) frame has fully arrived it is consumed and
+        // rejected so the stream can resynchronise.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(WIRE_VERSION);
+        encode(&Message::Leave { peer: PeerId(5) }, &mut buf);
+        assert!(matches!(decode(&mut buf), Err(CodecError::BadPayload(_))));
+        assert_eq!(
+            decode(&mut buf).unwrap(),
+            Message::Leave { peer: PeerId(5) }
+        );
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! sweep's default. The per-lease TTL is enforced by the arena's
 //! generalized deadline sweep ([`super::LeaseArena::take_due`]), which
 //! stays linear in noted lease activity.
+//!
+//! The cell table is **hard-capped** ([`AdaptiveLeaseConfig::max_tracked`])
+//! with clock/second-chance eviction: a deployment whose peers mint a
+//! fresh id per session would otherwise grow the map by one cell per
+//! transient id, forever. Cells touched since the hand last passed (a
+//! renewal consulted them, or a new session was folded in) survive one
+//! sweep; cold cells make room. Losing a cell only means the peer rides
+//! the default lease until its next session closes — an accuracy hit on
+//! ids that were not renewing anyway, never a correctness one.
 
 use crate::ids::PeerId;
 use serde::{Deserialize, Serialize};
@@ -43,6 +52,12 @@ pub struct AdaptiveLeaseConfig {
     /// Cap for the derived lease length, in epochs ("capped to the
     /// configured max").
     pub max_age: u32,
+    /// Hard cap on EWMA cells held **per shard**. Deployments with
+    /// never-recycled (transient) peer ids would otherwise grow the map
+    /// without bound; at the cap, a clock/second-chance sweep evicts a
+    /// cell not touched since the hand last passed. `0` disables tracking
+    /// entirely (every peer rides the default lease).
+    pub max_tracked: u32,
 }
 
 impl Default for AdaptiveLeaseConfig {
@@ -52,29 +67,44 @@ impl Default for AdaptiveLeaseConfig {
             margin: 1,
             min_age: 1,
             max_age: 8,
+            max_tracked: 65_536,
         }
     }
+}
+
+/// One tracked peer: its session-length EWMA plus the clock's reference
+/// bit (set whenever the cell is consulted or updated, cleared as the
+/// hand passes).
+#[derive(Debug)]
+struct Cell {
+    peer: PeerId,
+    ewma: u32,
+    referenced: bool,
 }
 
 /// Per-shard adaptive-lease state: the config plus one EWMA cell per peer
 /// observed closing a session. Cells whose estimate caps out (derived TTL
 /// = the configured `max_age`, i.e. no shorter than the default lease)
 /// are evicted on update — only peers that actually *benefit* from a
-/// shorter lease occupy memory. What remains is bounded by the universe
-/// of short-lived peer ids the shard serves (rejoining peers reuse their
-/// cell), not by event count; a hard cap/eviction policy for transient-id
-/// deployments is a ROADMAP follow-on.
+/// shorter lease occupy memory — and the table is hard-capped at
+/// [`AdaptiveLeaseConfig::max_tracked`] with clock eviction for
+/// transient-id deployments.
 #[derive(Debug)]
 pub(crate) struct AdaptiveLeases {
     cfg: AdaptiveLeaseConfig,
-    ewma: HashMap<PeerId, u32>,
+    cells: Vec<Cell>,
+    index: HashMap<PeerId, usize>,
+    /// Clock hand: the next eviction candidate in `cells`.
+    hand: usize,
 }
 
 impl AdaptiveLeases {
     pub(crate) fn new(cfg: AdaptiveLeaseConfig) -> Self {
         Self {
             cfg,
-            ewma: HashMap::new(),
+            cells: Vec::new(),
+            index: HashMap::new(),
+            hand: 0,
         }
     }
 
@@ -85,11 +115,14 @@ impl AdaptiveLeases {
     /// Folds one finished session (epochs between open and last renewal)
     /// into the peer's EWMA. Estimates that cap out free their cell: a
     /// peer whose lease would clamp to `max_age` anyway behaves exactly
-    /// like a history-less peer on the default lease.
+    /// like a history-less peer on the default lease. A fresh cell at the
+    /// cap evicts the first cell the clock hand finds unreferenced.
     pub(crate) fn observe(&mut self, peer: PeerId, session_epochs: u64) {
         let sample = session_epochs.min(u32::MAX as u64) as u32;
-        let next = match self.ewma.get(&peer) {
-            Some(&old) => {
+        let existing = self.index.get(&peer).copied();
+        let next = match existing {
+            Some(i) => {
+                let old = self.cells[i].ewma;
                 let shift = self.cfg.ewma_shift.min(31);
                 (old as i64 + ((sample as i64 - old as i64) >> shift)).clamp(0, u32::MAX as i64)
                     as u32
@@ -97,27 +130,90 @@ impl AdaptiveLeases {
             None => sample,
         };
         if next.saturating_add(self.cfg.margin) >= self.cfg.max_age {
-            self.ewma.remove(&peer);
-        } else {
-            self.ewma.insert(peer, next);
+            if let Some(i) = existing {
+                self.remove_cell(i);
+            }
+            return;
+        }
+        match existing {
+            Some(i) => {
+                self.cells[i].ewma = next;
+                self.cells[i].referenced = true;
+            }
+            None => self.insert_cell(peer, next),
         }
     }
 
     /// The lease length for `peer`, if it has history:
     /// `clamp(ewma + margin, min_age, max_age)`. Fresh peers return `None`
-    /// and fall back to the sweep's default.
-    pub(crate) fn ttl(&self, peer: PeerId) -> Option<u32> {
+    /// and fall back to the sweep's default. Consulting a cell marks it
+    /// referenced — peers that keep renewing survive the clock.
+    pub(crate) fn ttl(&mut self, peer: PeerId) -> Option<u32> {
         let floor = self.cfg.min_age.max(1);
-        self.ewma.get(&peer).map(|&e| {
-            e.saturating_add(self.cfg.margin)
-                .clamp(floor, self.cfg.max_age.max(floor))
-        })
+        let &i = self.index.get(&peer)?;
+        let cell = &mut self.cells[i];
+        cell.referenced = true;
+        Some(
+            cell.ewma
+                .saturating_add(self.cfg.margin)
+                .clamp(floor, self.cfg.max_age.max(floor)),
+        )
+    }
+
+    fn insert_cell(&mut self, peer: PeerId, ewma: u32) {
+        if self.cfg.max_tracked == 0 {
+            return;
+        }
+        // Fresh cells are born *cold* (reference bit unset): a transient id
+        // never consulted again is the very next eviction candidate, while
+        // a cell proves itself hot the first time a renewal reads it or a
+        // second session folds in. Born-hot cells would make a full table
+        // look uniformly referenced and degrade the clock to FIFO —
+        // evicting the long-resident cells sitting at the hand first.
+        if self.cells.len() < self.cfg.max_tracked as usize {
+            self.index.insert(peer, self.cells.len());
+            self.cells.push(Cell {
+                peer,
+                ewma,
+                referenced: false,
+            });
+            return;
+        }
+        // At the cap: the hand clears reference bits until it finds a cold
+        // cell, then replaces it in place. Terminates within two laps.
+        loop {
+            let cell = &mut self.cells[self.hand];
+            if cell.referenced {
+                cell.referenced = false;
+                self.hand = (self.hand + 1) % self.cells.len();
+            } else {
+                self.index.remove(&cell.peer);
+                cell.peer = peer;
+                cell.ewma = ewma;
+                cell.referenced = false;
+                self.index.insert(peer, self.hand);
+                self.hand = (self.hand + 1) % self.cells.len();
+                return;
+            }
+        }
+    }
+
+    fn remove_cell(&mut self, i: usize) {
+        self.index.remove(&self.cells[i].peer);
+        self.cells.swap_remove(i);
+        if let Some(moved) = self.cells.get(i) {
+            self.index.insert(moved.peer, i);
+        }
+        if self.hand >= self.cells.len() {
+            self.hand = 0;
+        }
     }
 
     /// Peers with recorded history (diagnostics).
     #[cfg(test)]
     pub(crate) fn tracked(&self) -> usize {
-        self.ewma.len()
+        debug_assert_eq!(self.cells.len(), self.index.len());
+        self.cells.len()
     }
 }
 
@@ -125,14 +221,19 @@ impl AdaptiveLeases {
 mod tests {
     use super::*;
 
-    #[test]
-    fn ewma_converges_toward_observed_sessions() {
-        let mut a = AdaptiveLeases::new(AdaptiveLeaseConfig {
+    fn cfg(max_tracked: u32) -> AdaptiveLeaseConfig {
+        AdaptiveLeaseConfig {
             ewma_shift: 1,
             margin: 0,
             min_age: 1,
             max_age: 100,
-        });
+            max_tracked,
+        }
+    }
+
+    #[test]
+    fn ewma_converges_toward_observed_sessions() {
+        let mut a = AdaptiveLeases::new(cfg(1024));
         let p = PeerId(1);
         assert_eq!(a.ttl(p), None, "no history yet");
         a.observe(p, 40);
@@ -152,6 +253,7 @@ mod tests {
             margin: 2,
             min_age: 3,
             max_age: 8,
+            max_tracked: 1024,
         });
         a.observe(PeerId(1), 0);
         assert_eq!(a.ttl(PeerId(1)), Some(3), "floor applies");
@@ -166,5 +268,40 @@ mod tests {
         // A long-lived peer turning short-lived re-enters tracking.
         a.observe(PeerId(2), 1);
         assert_eq!(a.ttl(PeerId(2)), Some(3));
+    }
+
+    #[test]
+    fn transient_id_storm_holds_the_table_at_the_cap() {
+        let mut a = AdaptiveLeases::new(cfg(64));
+        // Four resident peers with established short-session history.
+        for p in 1..=4u64 {
+            a.observe(PeerId(p), 3);
+        }
+        let resident_ttls: Vec<_> = (1..=4u64).map(|p| a.ttl(PeerId(p)).unwrap()).collect();
+        // A storm of never-recycled ids, each closing one short session —
+        // exactly the workload that used to grow the map without bound.
+        // Residents renew (= get re-referenced) faster than the hand laps
+        // the table, so second-chance keeps them; transient cells, never
+        // touched again, recycle among themselves.
+        for wave in 0..200u64 {
+            for i in 0..16u64 {
+                a.observe(PeerId(1_000_000 + wave * 16 + i), 2);
+            }
+            for p in 1..=4u64 {
+                assert!(a.ttl(PeerId(p)).is_some(), "resident {p} evicted");
+            }
+        }
+        assert_eq!(a.tracked(), 64, "table pinned at max_tracked");
+        // No lease-length regression for the residents.
+        let after: Vec<_> = (1..=4u64).map(|p| a.ttl(PeerId(p)).unwrap()).collect();
+        assert_eq!(after, resident_ttls);
+    }
+
+    #[test]
+    fn zero_cap_disables_tracking() {
+        let mut a = AdaptiveLeases::new(cfg(0));
+        a.observe(PeerId(1), 2);
+        assert_eq!(a.ttl(PeerId(1)), None);
+        assert_eq!(a.tracked(), 0);
     }
 }

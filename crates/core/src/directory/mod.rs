@@ -25,9 +25,11 @@
 mod adaptive;
 mod lease_arena;
 mod path_store;
+pub mod query;
 mod shard;
 
 pub use adaptive::AdaptiveLeaseConfig;
 pub use lease_arena::{ExpiredLease, LeaseArena, PeerSlot, SweepOutcome, SweepStats};
 pub use path_store::{PathRef, PathStore};
+pub use query::MergedPeersThrough;
 pub use shard::{DirectoryShard, ShardAbsorb, ShardSweep};

@@ -1,0 +1,135 @@
+//! Shard-merging query plans, shared by every front end.
+//!
+//! The synchronous [`crate::ManagementServer`] facade and the actorized
+//! runtime ([`crate::runtime`]) answer queries over the same per-landmark
+//! [`DirectoryShard`]s; these free functions are the single implementation
+//! of the merge logic, so both front ends return **bit-identical** answers
+//! by construction. Each takes a slice of shard references — the facade
+//! passes its owned shards, the runtime passes the shards behind its read
+//! guards — and every function is a pure read (`&DirectoryShard` only).
+
+use crate::ids::{LandmarkId, PeerId};
+use crate::path::PeerPath;
+use crate::router_index::Neighbor;
+use nearpeer_topology::RouterId;
+use std::collections::{BinaryHeap, HashSet};
+
+use super::DirectoryShard;
+
+/// The `k` best peers across the shards for a query path, ascending
+/// `(dtree, peer)` — identical to what a single global index returns,
+/// because the shards partition the peer set.
+pub fn query_nearest_merged(
+    shards: &[&DirectoryShard],
+    query: &PeerPath,
+    k: usize,
+    exclude: &HashSet<PeerId>,
+) -> Vec<Neighbor> {
+    let mut merged: Vec<Neighbor> = Vec::with_capacity(k.saturating_mul(2));
+    for shard in shards {
+        merged.extend(shard.query_nearest(query, k, exclude));
+    }
+    merged.sort_unstable_by_key(|n| (n.dtree, n.peer));
+    merged.truncate(k);
+    merged
+}
+
+/// All registered peers whose path traverses `router`, nearest-first — a
+/// lazy k-way merge of the shards' ordered per-router lists.
+pub fn peers_through_merged<'a>(
+    shards: &[&'a DirectoryShard],
+    router: RouterId,
+) -> MergedPeersThrough<'a> {
+    let mut heap = BinaryHeap::new();
+    let mut iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + 'a>> = Vec::new();
+    for shard in shards {
+        let mut iter = shard.peers_through(router);
+        if let Some((peer, depth)) = iter.next() {
+            let idx = iters.len();
+            heap.push(std::cmp::Reverse((depth, peer, idx)));
+            iters.push(Box::new(iter));
+        }
+    }
+    MergedPeersThrough { heap, iters }
+}
+
+/// Cross-landmark fill: rank foreign peers by
+/// `depth(query) + hops(L_query, L_other) + depth(peer)` using the
+/// per-landmark ordered lists at the landmark routers.
+///
+/// `landmark_routers` / `landmark_dist` are the facade's bootstrap
+/// measurements; `own` is the query path's landmark (excluded from the
+/// fill); `already` holds peers the caller placed in the answer before
+/// falling back.
+#[allow(clippy::too_many_arguments)]
+pub fn cross_landmark_candidates(
+    shards: &[&DirectoryShard],
+    landmark_routers: &[RouterId],
+    landmark_dist: &[Vec<u32>],
+    own: LandmarkId,
+    query_depth: u32,
+    k: usize,
+    exclude: &HashSet<PeerId>,
+    already: &HashSet<PeerId>,
+) -> Vec<Neighbor> {
+    // K-way merge over the other landmarks' peer lists (each ordered by
+    // depth below its landmark router). Every cursor keeps its own
+    // `base` (= query depth + bridge): all its entries share it, and
+    // deriving it from a popped estimate instead (as this code once
+    // did, by subtracting the peer's *full* path depth) breaks — and
+    // underflows — for peers whose path merely traverses another
+    // landmark's router mid-path.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
+    let mut iters: Vec<(u32, MergedPeersThrough<'_>)> = Vec::new();
+    for (li, &lrouter) in landmark_routers.iter().enumerate() {
+        if LandmarkId(li as u32) == own {
+            continue;
+        }
+        let bridge = landmark_dist[own.index()][li];
+        if bridge == u32::MAX {
+            continue;
+        }
+        let base = query_depth + bridge;
+        let mut iter = peers_through_merged(shards, lrouter);
+        if let Some((peer, depth)) = iter.next() {
+            let idx = iters.len();
+            heap.push(std::cmp::Reverse((base + depth, peer, idx)));
+            iters.push((base, iter));
+        }
+    }
+    let mut out = Vec::with_capacity(k);
+    let mut emitted: HashSet<PeerId> = HashSet::new();
+    while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
+        let (base, iter) = &mut iters[idx];
+        if let Some((next_peer, depth)) = iter.next() {
+            heap.push(std::cmp::Reverse((*base + depth, next_peer, idx)));
+        }
+        if exclude.contains(&peer) || already.contains(&peer) || !emitted.insert(peer) {
+            continue;
+        }
+        out.push(Neighbor { peer, dtree: est });
+        if out.len() == k {
+            break;
+        }
+    }
+    out
+}
+
+/// Lazy ascending `(depth, peer)` merge of the shards' per-router lists.
+pub struct MergedPeersThrough<'a> {
+    heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>>,
+    iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + 'a>>,
+}
+
+impl Iterator for MergedPeersThrough<'_> {
+    type Item = (PeerId, u32);
+
+    fn next(&mut self) -> Option<(PeerId, u32)> {
+        let std::cmp::Reverse((depth, peer, idx)) = self.heap.pop()?;
+        if let Some((next_peer, next_depth)) = self.iters[idx].next() {
+            self.heap
+                .push(std::cmp::Reverse((next_depth, next_peer, idx)));
+        }
+        Some((peer, depth))
+    }
+}

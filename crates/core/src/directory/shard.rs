@@ -192,7 +192,7 @@ impl DirectoryShard {
     /// With adaptive leases on, the renewal also re-derives the peer's
     /// lease length from its session EWMA ("at renewal time").
     pub fn heartbeat(&mut self, peer: PeerId, epoch: u64) -> bool {
-        match self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+        match self.adaptive.as_mut().and_then(|a| a.ttl(peer)) {
             Some(ttl) => self.leases.renew_with_ttl(peer, epoch, ttl),
             None => self.leases.renew(peer, epoch),
         }
@@ -276,7 +276,7 @@ impl DirectoryShard {
         self.index_path(peer, r);
         self.tree.insert(peer, self.store.get(r));
         self.leases.insert(peer, r, epoch);
-        if let Some(ttl) = self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+        if let Some(ttl) = self.adaptive.as_mut().and_then(|a| a.ttl(peer)) {
             self.leases.set_ttl(peer, ttl);
         }
         self.inserts += 1;
@@ -317,7 +317,7 @@ impl DirectoryShard {
             }
             if self.leases.contains(peer) {
                 if renew_existing {
-                    match self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+                    match self.adaptive.as_mut().and_then(|a| a.ttl(peer)) {
                         Some(ttl) => self.leases.renew_with_ttl(peer, epoch, ttl),
                         None => self.leases.renew(peer, epoch),
                     };
@@ -328,7 +328,7 @@ impl DirectoryShard {
             let r = self.store.intern(path);
             self.index_path(peer, r);
             self.leases.insert(peer, r, epoch);
-            if let Some(ttl) = self.adaptive.as_ref().and_then(|a| a.ttl(peer)) {
+            if let Some(ttl) = self.adaptive.as_mut().and_then(|a| a.ttl(peer)) {
                 self.leases.set_ttl(peer, ttl);
             }
             accepted.push((peer, r));
@@ -680,6 +680,7 @@ mod tests {
             margin: 1,
             min_age: 1,
             max_age: 16,
+            max_tracked: 1024,
         };
         let mut s = DirectoryShard::with_adaptive(LandmarkId(0), RouterId(0), Some(cfg));
         // Peer 1 lives one epoch, leaves, and rejoins repeatedly: its EWMA
@@ -709,6 +710,7 @@ mod tests {
             margin: 0,
             min_age: 1,
             max_age: 4,
+            max_tracked: 1024,
         };
         let mut s = DirectoryShard::with_adaptive(LandmarkId(0), RouterId(0), Some(cfg));
         // One very long session: the estimate caps out, so the peer is

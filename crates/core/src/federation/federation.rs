@@ -90,6 +90,21 @@ impl FederationSweep {
     }
 }
 
+/// A [`Federation`] taken apart for the actorized runtime: the routing
+/// metadata the front door keeps, plus the per-region servers that move
+/// behind worker threads (crate-internal).
+pub(crate) struct RuntimeParts {
+    pub landmark_routers: Vec<RouterId>,
+    pub landmark_dist: Vec<Vec<u32>>,
+    pub landmark_region: Vec<RegionId>,
+    pub router_landmark: HashMap<RouterId, u32>,
+    pub bridge: Vec<Vec<u32>>,
+    pub fanout: Option<usize>,
+    pub fallback: bool,
+    pub neighbor_count: usize,
+    pub servers: Vec<ManagementServer>,
+}
+
 /// Read-path counters (interior-mutable, so federated queries stay
 /// `&self` like the underlying servers').
 #[derive(Debug, Default)]
@@ -654,6 +669,30 @@ impl Federation {
             }
         }
         out
+    }
+
+    /// Consumes the federation, yielding the routing metadata and the
+    /// owned per-region servers — everything the actorized runtime
+    /// ([`crate::runtime::ActorFederation`]) distributes across its
+    /// workers. Construction-time validation has already run, so the
+    /// runtime inherits a well-formed partition and bridge matrix.
+    pub(crate) fn into_runtime_parts(self) -> RuntimeParts {
+        let mut servers = Vec::with_capacity(self.regions.len());
+        for region in self.regions {
+            let (server, _globals) = region.into_server();
+            servers.push(server);
+        }
+        RuntimeParts {
+            landmark_routers: self.landmark_routers,
+            landmark_dist: self.landmark_dist,
+            landmark_region: self.landmark_region,
+            router_landmark: self.router_landmark,
+            bridge: self.bridge,
+            fanout: self.fanout,
+            fallback: self.fallback,
+            neighbor_count: self.neighbor_count,
+            servers,
+        }
     }
 
     /// Federated lease expiry: every region sweeps its epoch-bucketed

@@ -68,6 +68,12 @@ impl Region {
         &mut self.server
     }
 
+    /// Consumes the region, yielding its server and landmark partition —
+    /// the actorized runtime distributes these across worker threads.
+    pub(crate) fn into_server(self) -> (ManagementServer, Vec<u32>) {
+        (self.server, self.landmark_globals)
+    }
+
     /// Global landmark indices owned by this region, in local-id order.
     pub fn landmark_globals(&self) -> &[u32] {
         &self.landmark_globals

@@ -24,6 +24,10 @@
 //!   [`ManagementServer`] per landmark partition behind a routing front
 //!   door ([`Federation`]) with bridge-matrix query fan-out and
 //!   cross-region handover leaving forwarding tombstones;
+//! * [`runtime`] — the actorized serving plane: every shard and region
+//!   behind its own mailbox worker, query fan-out carried as codec
+//!   frames, and the [`WireService`] trait the `nearpeerd` TCP server
+//!   drives;
 //! * [`policy`] — the selection baselines the evaluation compares against:
 //!   random (the paper's baseline), brute-force closest (`Dclosest`),
 //!   Vivaldi-distance and landmark-binning;
@@ -49,6 +53,7 @@ mod path_tree;
 pub mod policy;
 pub mod protocol;
 mod router_index;
+pub mod runtime;
 mod server;
 mod superpeer;
 
@@ -65,5 +70,6 @@ pub use ids::{LandmarkId, PeerId};
 pub use path::PeerPath;
 pub use path_tree::PathTree;
 pub use router_index::{Neighbor, RouterIndex};
+pub use runtime::{ActorFederation, ActorServer, WireService};
 pub use server::{ChurnBatchOutcome, DirectoryView, JoinOutcome, ManagementServer, ServerConfig};
 pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};

@@ -14,6 +14,7 @@
 
 use crate::ids::PeerId;
 use crate::path::PeerPath;
+use nearpeer_topology::RouterId;
 use serde::{Deserialize, Serialize};
 
 /// One inferred neighbor as carried on the wire.
@@ -80,6 +81,56 @@ pub enum Message {
         /// The live peer.
         peer: PeerId,
     },
+    /// Closest-peer query for an arbitrary path — the serving plane's hot
+    /// read. Carried both client→server (a registered peer refreshing its
+    /// neighbor list with its own stored path and `exclude = itself`) and
+    /// server→server (the federation front door fanning the same query out
+    /// to its region actors as RPC frames).
+    QueryRequest {
+        /// Correlates the reply when requests are pipelined or fanned out.
+        nonce: u64,
+        /// The query path (a stored peer path or an arbitrary probe path).
+        path: PeerPath,
+        /// Neighbors wanted.
+        k: u16,
+        /// A peer to leave out of the answer (usually the asker).
+        exclude: Option<PeerId>,
+    },
+    /// The answer to a [`Message::QueryRequest`].
+    QueryReply {
+        /// The echoed request nonce.
+        nonce: u64,
+        /// Closest peers, nearest first.
+        neighbors: Vec<WireNeighbor>,
+    },
+    /// Bridge-fill RPC (server→server): the first `limit` peers of the
+    /// ordered peers-through-router cursor at `router`, nearest first.
+    /// The federation front door merges these prefixes exactly like the
+    /// in-process k-way fill merges live cursors.
+    FillRequest {
+        /// Correlates the reply.
+        nonce: u64,
+        /// The landmark router whose cursor is requested.
+        router: RouterId,
+        /// Cursor prefix length wanted.
+        limit: u16,
+    },
+    /// The answer to a [`Message::FillRequest`]: `(peer, depth)` pairs in
+    /// cursor order ([`WireNeighbor::dtree`] carries the depth below the
+    /// requested router, not a full tree distance).
+    FillReply {
+        /// The echoed request nonce.
+        nonce: u64,
+        /// Cursor prefix, nearest first.
+        items: Vec<WireNeighbor>,
+    },
+    /// Administrative: ask the server to drain and exit (answered with a
+    /// [`Message::ProbePong`] echoing the nonce before the socket closes).
+    /// Servers may refuse it from untrusted peers by dropping it.
+    Shutdown {
+        /// Echo token for the acknowledging pong.
+        nonce: u64,
+    },
 }
 
 impl Message {
@@ -94,6 +145,11 @@ impl Message {
             Message::Leave { .. } => 6,
             Message::HandoverRequest { .. } => 7,
             Message::Heartbeat { .. } => 8,
+            Message::QueryRequest { .. } => 9,
+            Message::QueryReply { .. } => 10,
+            Message::FillRequest { .. } => 11,
+            Message::FillReply { .. } => 12,
+            Message::Shutdown { .. } => 13,
         }
     }
 
@@ -108,6 +164,11 @@ impl Message {
             Message::Leave { .. } => "leave",
             Message::HandoverRequest { .. } => "handover-request",
             Message::Heartbeat { .. } => "heartbeat",
+            Message::QueryRequest { .. } => "query-request",
+            Message::QueryReply { .. } => "query-reply",
+            Message::FillRequest { .. } => "fill-request",
+            Message::FillReply { .. } => "fill-reply",
+            Message::Shutdown { .. } => "shutdown",
         }
     }
 }
@@ -115,7 +176,6 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nearpeer_topology::RouterId;
 
     #[test]
     fn kinds_are_distinct() {
@@ -139,9 +199,29 @@ mod tests {
             Message::Leave { peer: PeerId(1) },
             Message::HandoverRequest {
                 peer: PeerId(1),
-                path,
+                path: path.clone(),
             },
             Message::Heartbeat { peer: PeerId(1) },
+            Message::QueryRequest {
+                nonce: 1,
+                path,
+                k: 5,
+                exclude: Some(PeerId(1)),
+            },
+            Message::QueryReply {
+                nonce: 1,
+                neighbors: vec![],
+            },
+            Message::FillRequest {
+                nonce: 2,
+                router: RouterId(1),
+                limit: 8,
+            },
+            Message::FillReply {
+                nonce: 2,
+                items: vec![],
+            },
+            Message::Shutdown { nonce: 3 },
         ];
         let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();
         kinds.sort();

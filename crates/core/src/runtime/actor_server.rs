@@ -1,0 +1,617 @@
+//! The actorized management server: one write mailbox per shard.
+//!
+//! [`crate::ManagementServer`] already serves concurrent reads (`&self`
+//! queries merge per-shard answers); writes were the missing half — they
+//! take `&mut self` and serialize the whole facade. [`ActorServer`] keeps
+//! the same shards but puts **each one behind its own mailbox worker**:
+//!
+//! * every shard lives in its own `RwLock`, so queries keep taking read
+//!   guards across all shards and merging through the shared plans in
+//!   [`crate::directory::query`] — answers are bit-identical to the
+//!   synchronous facade *by construction*;
+//! * every shard has one worker thread owning its writes. The worker
+//!   batch-drains its mailbox and applies the whole batch under a single
+//!   write-lock acquisition, so writes to different shards run in
+//!   parallel and writers never block each other enqueueing;
+//! * the cross-shard invariant (a peer id registered in at most one
+//!   shard) moves into a front-door **claims map**. Membership decisions
+//!   happen under the claims mutex, and the matching shard ops are
+//!   enqueued *before the mutex is released* — so each shard's mailbox
+//!   order agrees with the claims order, and two racing writes on the
+//!   same peer cannot interleave their shard effects. The mutex is never
+//!   held across a wait: callers release it, then block on their op's
+//!   reply channel.
+
+use crate::directory::query;
+use crate::directory::{DirectoryShard, ShardSweep};
+use crate::error::CoreError;
+use crate::ids::{LandmarkId, PeerId};
+use crate::path::PeerPath;
+use crate::router_index::Neighbor;
+use crate::server::{JoinOutcome, ServerConfig, ServerStats};
+use crossbeam::channel::{unbounded, Sender};
+use nearpeer_topology::RouterId;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// One write operation bound for a shard worker. Every op carries a
+/// oneshot reply channel: the front door enqueues under the claims lock
+/// and awaits the reply after releasing it.
+enum ShardOp {
+    Insert {
+        peer: PeerId,
+        path: PeerPath,
+        epoch: u64,
+        reply: mpsc::Sender<Result<(), CoreError>>,
+    },
+    Remove {
+        peer: PeerId,
+        reply: mpsc::Sender<bool>,
+    },
+    /// Handover teardown: the move is no session end, so the adaptive
+    /// lease EWMA must not absorb the dwell time (mirrors the facade).
+    RemoveMoved {
+        peer: PeerId,
+        reply: mpsc::Sender<bool>,
+    },
+    Heartbeat {
+        peer: PeerId,
+        epoch: u64,
+        reply: mpsc::Sender<bool>,
+    },
+    Expire {
+        now: u64,
+        max_age: u64,
+        reply: mpsc::Sender<ShardSweep>,
+    },
+}
+
+/// State shared between the front door, the shard workers and any number
+/// of querying threads.
+struct Shared {
+    config: ServerConfig,
+    landmark_routers: Vec<RouterId>,
+    landmark_by_router: HashMap<RouterId, LandmarkId>,
+    landmark_dist: Vec<Vec<u32>>,
+    shards: Vec<RwLock<DirectoryShard>>,
+    queries: AtomicU64,
+    fills: AtomicU64,
+}
+
+impl Shared {
+    fn landmark_for_path(&self, path: &PeerPath) -> Result<LandmarkId, CoreError> {
+        self.landmark_by_router
+            .get(&path.landmark_router())
+            .copied()
+            .ok_or_else(|| {
+                CoreError::UnknownLandmark(format!(
+                    "path terminates at {} which is no landmark",
+                    path.landmark_router()
+                ))
+            })
+    }
+}
+
+/// The actorized serving plane over per-landmark shards: concurrent
+/// reads *and* concurrent writes, all through `&self`.
+///
+/// Answers are bit-identical to a [`crate::ManagementServer`] fed the
+/// same operations (pinned by `tests/properties.rs`): both front ends
+/// call the same query plans over the same shard type. Super-peers are
+/// not supported (the delegate field of [`JoinOutcome`] stays `None`).
+pub struct ActorServer {
+    shared: Arc<Shared>,
+    /// Front-door membership authority: peer → owning shard index.
+    claims: Mutex<HashMap<PeerId, u32>>,
+    write_txs: Vec<Sender<ShardOp>>,
+    workers: Vec<JoinHandle<()>>,
+    epoch: AtomicU64,
+    handovers: AtomicU64,
+}
+
+impl ActorServer {
+    /// Builds the actorized server from the same inputs as
+    /// [`crate::ManagementServer::new`] and spawns one write worker per
+    /// shard. Super-peer promotion is rejected — regional election under
+    /// concurrent writes is future work.
+    pub fn new(
+        landmark_routers: Vec<RouterId>,
+        landmark_dist: Vec<Vec<u32>>,
+        config: ServerConfig,
+    ) -> Result<Self, CoreError> {
+        if config.super_peers.is_some() {
+            return Err(CoreError::InvalidFederation(
+                "super-peers are not supported by the actorized server".into(),
+            ));
+        }
+        let landmark_by_router = landmark_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, LandmarkId(i as u32)))
+            .collect();
+        let shards = landmark_routers
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                RwLock::new(DirectoryShard::with_adaptive(
+                    LandmarkId(i as u32),
+                    r,
+                    config.adaptive_leases,
+                ))
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            config,
+            landmark_by_router,
+            landmark_dist,
+            shards,
+            landmark_routers,
+            queries: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+        });
+        let mut write_txs = Vec::with_capacity(shared.shards.len());
+        let mut workers = Vec::with_capacity(shared.shards.len());
+        for i in 0..shared.shards.len() {
+            let (tx, rx) = unbounded::<ShardOp>();
+            let shard_shared = Arc::clone(&shared);
+            workers.push(super::mailbox::spawn_batch_worker(
+                format!("shard-{i}"),
+                rx,
+                move |batch| {
+                    let mut shard = shard_shared.shards[i].write().expect("shard poisoned");
+                    for op in batch {
+                        apply_shard_op(&mut shard, op);
+                    }
+                },
+            ));
+            write_txs.push(tx);
+        }
+        Ok(Self {
+            shared,
+            claims: Mutex::new(HashMap::new()),
+            write_txs,
+            workers,
+            epoch: AtomicU64::new(0),
+            handovers: AtomicU64::new(0),
+        })
+    }
+
+    /// The landmark routers, indexed by [`LandmarkId`].
+    pub fn landmarks(&self) -> &[RouterId] {
+        &self.shared.landmark_routers
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// Registered peer count.
+    pub fn peer_count(&self) -> usize {
+        self.claims.lock().expect("claims poisoned").len()
+    }
+
+    /// The current heartbeat epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the heartbeat epoch and returns it. `&self`, unlike the
+    /// facade: epoch is an atomic, and in-flight ops carry the epoch they
+    /// were admitted under.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Registers a newcomer and answers its closest peers — the actorized
+    /// [`crate::ManagementServer::register`].
+    pub fn register(&self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        let landmark = self.shared.landmark_for_path(&path)?;
+        let query_path = path.clone();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut claims = self.claims.lock().expect("claims poisoned");
+            if claims.contains_key(&peer) {
+                return Err(CoreError::DuplicatePeer(peer));
+            }
+            claims.insert(peer, landmark.0);
+            let epoch = self.epoch.load(Ordering::Acquire);
+            self.send_op(
+                landmark.index(),
+                ShardOp::Insert {
+                    peer,
+                    path,
+                    epoch,
+                    reply: tx,
+                },
+            );
+        }
+        if let Err(e) = rx.recv().expect("shard worker alive") {
+            // Unreachable while the claims map is the only admission path
+            // (landmark validated, duplicate excluded) — but a path that
+            // fails shard-level validation must roll its claim back.
+            self.claims.lock().expect("claims poisoned").remove(&peer);
+            return Err(e);
+        }
+        let neighbors =
+            self.closest_to_path(&query_path, self.shared.config.neighbor_count, Some(peer));
+        Ok(JoinOutcome {
+            landmark,
+            neighbors,
+            delegate: None,
+        })
+    }
+
+    /// Removes a departed peer — the actorized
+    /// [`crate::ManagementServer::deregister`].
+    pub fn deregister(&self, peer: PeerId) -> Result<(), CoreError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut claims = self.claims.lock().expect("claims poisoned");
+            let Some(idx) = claims.remove(&peer) else {
+                return Err(CoreError::UnknownPeer(peer));
+            };
+            self.send_op(idx as usize, ShardOp::Remove { peer, reply: tx });
+        }
+        let removed = rx.recv().expect("shard worker alive");
+        debug_assert!(removed, "claims and shards agree");
+        Ok(())
+    }
+
+    /// Renews a live peer's lease — the actorized
+    /// [`crate::ManagementServer::heartbeat`].
+    pub fn heartbeat(&self, peer: PeerId) -> Result<(), CoreError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let claims = self.claims.lock().expect("claims poisoned");
+            let Some(&idx) = claims.get(&peer) else {
+                return Err(CoreError::UnknownPeer(peer));
+            };
+            let epoch = self.epoch.load(Ordering::Acquire);
+            self.send_op(
+                idx as usize,
+                ShardOp::Heartbeat {
+                    peer,
+                    epoch,
+                    reply: tx,
+                },
+            );
+        }
+        let renewed = rx.recv().expect("shard worker alive");
+        debug_assert!(renewed, "claims and shards agree");
+        Ok(())
+    }
+
+    /// Mobility handover — the actorized
+    /// [`crate::ManagementServer::handover`]. The new path is validated
+    /// before teardown; the teardown and the re-insert enqueue under one
+    /// claims-lock critical section, so no concurrent writer can observe
+    /// the peer half-moved.
+    pub fn handover(&self, peer: PeerId, new_path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        let landmark = self.shared.landmark_for_path(&new_path)?;
+        let query_path = new_path.clone();
+        let (rm_tx, rm_rx) = mpsc::channel();
+        let (ins_tx, ins_rx) = mpsc::channel();
+        {
+            let mut claims = self.claims.lock().expect("claims poisoned");
+            let Some(&old) = claims.get(&peer) else {
+                return Err(CoreError::UnknownPeer(peer));
+            };
+            claims.insert(peer, landmark.0);
+            let epoch = self.epoch.load(Ordering::Acquire);
+            self.send_op(old as usize, ShardOp::RemoveMoved { peer, reply: rm_tx });
+            self.send_op(
+                landmark.index(),
+                ShardOp::Insert {
+                    peer,
+                    path: new_path,
+                    epoch,
+                    reply: ins_tx,
+                },
+            );
+        }
+        let removed = rm_rx.recv().expect("shard worker alive");
+        debug_assert!(removed, "claims and shards agree");
+        ins_rx
+            .recv()
+            .expect("shard worker alive")
+            .expect("validated insert into claimed slot");
+        self.handovers.fetch_add(1, Ordering::Relaxed);
+        let neighbors =
+            self.closest_to_path(&query_path, self.shared.config.neighbor_count, Some(peer));
+        Ok(JoinOutcome {
+            landmark,
+            neighbors,
+            delegate: None,
+        })
+    }
+
+    /// Expires every peer not seen for more than `max_age` epochs,
+    /// ascending ids — the actorized
+    /// [`crate::ManagementServer::expire_stale`]. All shards sweep
+    /// concurrently (one `Expire` op lands in every mailbox).
+    pub fn expire_stale(&self, max_age: u64) -> Vec<PeerId> {
+        let now = self.epoch.load(Ordering::Acquire);
+        let mut rxs = Vec::with_capacity(self.write_txs.len());
+        {
+            let _claims = self.claims.lock().expect("claims poisoned");
+            for i in 0..self.write_txs.len() {
+                let (tx, rx) = mpsc::channel();
+                self.send_op(
+                    i,
+                    ShardOp::Expire {
+                        now,
+                        max_age,
+                        reply: tx,
+                    },
+                );
+                rxs.push(rx);
+            }
+        }
+        let mut expired = Vec::new();
+        let mut moved = Vec::new();
+        for rx in rxs {
+            let sweep = rx.recv().expect("shard worker alive");
+            expired.extend(sweep.expired);
+            moved.extend(sweep.moved.into_iter().map(|(p, _)| p));
+        }
+        {
+            let mut claims = self.claims.lock().expect("claims poisoned");
+            for p in expired.iter().chain(moved.iter()) {
+                claims.remove(p);
+            }
+        }
+        expired.sort_unstable();
+        expired
+    }
+
+    /// The closest registered peers to a query path — the actorized
+    /// [`crate::ManagementServer::closest_to_path`]. Takes read guards on
+    /// every shard and runs the shared merge plans, so any number of
+    /// threads can query while writes land on other shards.
+    pub fn closest_to_path(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> Vec<Neighbor> {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        let guards: Vec<_> = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned"))
+            .collect();
+        let shards: Vec<&DirectoryShard> = guards.iter().map(|g| &**g).collect();
+        let excl: HashSet<PeerId> = exclude.into_iter().collect();
+        let mut result = query::query_nearest_merged(&shards, path, k, &excl);
+        if result.len() < k && self.shared.config.cross_landmark_fallback {
+            if let Ok(own) = self.shared.landmark_for_path(path) {
+                let missing = k - result.len();
+                let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
+                let fill = query::cross_landmark_candidates(
+                    &shards,
+                    &self.shared.landmark_routers,
+                    &self.shared.landmark_dist,
+                    own,
+                    path.depth(),
+                    missing,
+                    &excl,
+                    &have,
+                );
+                self.shared
+                    .fills
+                    .fetch_add(fill.len() as u64, Ordering::Relaxed);
+                result.extend(fill);
+            }
+        }
+        result
+    }
+
+    /// Neighbors of an already-registered peer (fresh query).
+    pub fn neighbors_of(&self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
+        let idx = {
+            let claims = self.claims.lock().expect("claims poisoned");
+            *claims.get(&peer).ok_or(CoreError::UnknownPeer(peer))?
+        };
+        let path = {
+            let shard = self.shared.shards[idx as usize]
+                .read()
+                .expect("shard poisoned");
+            shard
+                .path_of(peer)
+                .ok_or(CoreError::UnknownPeer(peer))?
+                .clone()
+        };
+        Ok(self.closest_to_path(&path, k, Some(peer)))
+    }
+
+    /// The first `limit` peers of the ordered peers-through-router cursor
+    /// at `router`, merged across shards (the fill RPC's server side).
+    pub fn peers_through_prefix(&self, router: RouterId, limit: usize) -> Vec<(PeerId, u32)> {
+        let guards: Vec<_> = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned"))
+            .collect();
+        let shards: Vec<&DirectoryShard> = guards.iter().map(|g| &**g).collect();
+        query::peers_through_merged(&shards, router)
+            .take(limit)
+            .collect()
+    }
+
+    /// Aggregate counters, shaped like the facade's
+    /// [`crate::ManagementServer::stats`].
+    pub fn stats(&self) -> ServerStats {
+        let handovers = self.handovers.load(Ordering::Relaxed);
+        let (inserts, removals) = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.read().expect("shard poisoned");
+                (g.inserts(), g.removals())
+            })
+            .fold((0u64, 0u64), |(i, r), (si, sr)| (i + si, r + sr));
+        ServerStats {
+            joins: inserts - handovers,
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            cross_landmark_fills: self.shared.fills.load(Ordering::Relaxed),
+            leaves: removals - handovers,
+            handovers,
+        }
+    }
+
+    fn send_op(&self, shard: usize, op: ShardOp) {
+        self.write_txs[shard]
+            .send(op)
+            .expect("shard worker outlives the front door");
+    }
+}
+
+impl Drop for ActorServer {
+    fn drop(&mut self) {
+        // Disconnect every mailbox, then join: workers drain what's
+        // queued and exit on their own.
+        self.write_txs.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ActorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorServer")
+            .field("landmarks", &self.shared.landmark_routers.len())
+            .field("peers", &self.peer_count())
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+fn apply_shard_op(shard: &mut DirectoryShard, op: ShardOp) {
+    match op {
+        ShardOp::Insert {
+            peer,
+            path,
+            epoch,
+            reply,
+        } => {
+            let _ = reply.send(shard.insert(peer, path, epoch));
+        }
+        ShardOp::Remove { peer, reply } => {
+            let _ = reply.send(shard.remove(peer));
+        }
+        ShardOp::RemoveMoved { peer, reply } => {
+            let _ = reply.send(shard.remove_moved(peer));
+        }
+        ShardOp::Heartbeat { peer, epoch, reply } => {
+            let _ = reply.send(shard.heartbeat(peer, epoch));
+        }
+        ShardOp::Expire {
+            now,
+            max_age,
+            reply,
+        } => {
+            let _ = reply.send(shard.expire_epoch(now, max_age));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    fn two_landmark_server() -> ActorServer {
+        ActorServer::new(
+            vec![RouterId(0), RouterId(100)],
+            vec![vec![0, 5], vec![5, 0]],
+            ServerConfig {
+                neighbor_count: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_query_handover_deregister_roundtrip() {
+        let srv = two_landmark_server();
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        let out = srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        assert_eq!(out.landmark, LandmarkId(0));
+        assert_eq!(out.neighbors[0].peer, PeerId(1));
+        assert_eq!(out.neighbors[0].dtree, 2);
+        assert!(matches!(
+            srv.register(PeerId(1), path(&[4, 2, 1, 0])),
+            Err(CoreError::DuplicatePeer(_))
+        ));
+        let out = srv.handover(PeerId(1), path(&[110, 105, 100])).unwrap();
+        assert_eq!(out.landmark, LandmarkId(1));
+        // Cross-landmark answer via the bridge: depth 2 + bridge 5 + depth 3.
+        assert_eq!(out.neighbors[0].peer, PeerId(2));
+        assert_eq!(out.neighbors[0].dtree, 10);
+        assert_eq!(srv.peer_count(), 2);
+        srv.deregister(PeerId(2)).unwrap();
+        assert!(matches!(
+            srv.deregister(PeerId(2)),
+            Err(CoreError::UnknownPeer(_))
+        ));
+        assert_eq!(srv.peer_count(), 1);
+        let stats = srv.stats();
+        assert_eq!((stats.joins, stats.leaves, stats.handovers), (2, 1, 1));
+    }
+
+    #[test]
+    fn expiry_sweeps_unrenewed_peers() {
+        let srv = two_landmark_server();
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        for _ in 0..3 {
+            srv.advance_epoch();
+            srv.heartbeat(PeerId(1)).unwrap();
+        }
+        assert_eq!(srv.expire_stale(2), vec![PeerId(2)]);
+        assert_eq!(srv.peer_count(), 1);
+        assert!(matches!(
+            srv.heartbeat(PeerId(2)),
+            Err(CoreError::UnknownPeer(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_writers_land_on_disjoint_shards() {
+        let srv = Arc::new(two_landmark_server());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let srv = Arc::clone(&srv);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let id = 1 + t * 50 + i;
+                        let p = if id % 2 == 0 {
+                            path(&[1000 + id as u32, 2, 1, 0])
+                        } else {
+                            path(&[1000 + id as u32, 105, 100])
+                        };
+                        srv.register(PeerId(id), p).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(srv.peer_count(), 200);
+        // Every peer is findable and excluded from its own answer.
+        for id in 1..=200u64 {
+            let n = srv.neighbors_of(PeerId(id), 3).unwrap();
+            assert!(n.iter().all(|x| x.peer != PeerId(id)));
+            assert_eq!(n.len(), 3);
+        }
+    }
+}

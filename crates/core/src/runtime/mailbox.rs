@@ -1,0 +1,72 @@
+//! The generic mailbox worker behind every actor in [`crate::runtime`].
+//!
+//! One worker owns one blocking receive loop: it parks on the mailbox's
+//! channel, and each time it wakes it **drains everything queued** into a
+//! batch before applying it. The actors use this to amortise their lock
+//! acquisitions — a shard worker takes its shard's write lock once per
+//! batch, not once per operation — which is exactly the advantage a
+//! mailbox has over callers contending on the lock directly.
+//!
+//! Lifecycle is channel-driven: a worker exits when every sender to its
+//! mailbox is gone, so an actor shuts down by dropping its send handles
+//! and joining the threads. No poison message, no shutdown flag.
+
+use crossbeam::channel::Receiver;
+use std::thread::{Builder, JoinHandle};
+
+/// Spawns a named worker thread that feeds `apply` with batches drained
+/// from `rx`. Every batch is non-empty; the thread exits when the channel
+/// disconnects (all senders dropped).
+pub(crate) fn spawn_batch_worker<T, F>(
+    name: String,
+    rx: Receiver<T>,
+    mut apply: F,
+) -> JoinHandle<()>
+where
+    T: Send + 'static,
+    F: FnMut(Vec<T>) + Send + 'static,
+{
+    Builder::new()
+        .name(name)
+        .spawn(move || {
+            let mut batch = Vec::new();
+            while let Ok(first) = rx.recv() {
+                batch.push(first);
+                while let Ok(more) = rx.try_recv() {
+                    batch.push(more);
+                }
+                apply(std::mem::take(&mut batch));
+            }
+        })
+        .expect("spawn mailbox worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn worker_drains_batches_and_exits_on_disconnect() {
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let sum = Arc::new(AtomicUsize::new(0));
+        let batches = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let (sum, batches) = (Arc::clone(&sum), Arc::clone(&batches));
+            spawn_batch_worker("test-worker".into(), rx, move |batch| {
+                assert!(!batch.is_empty());
+                batches.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(batch.iter().sum::<u64>() as usize, Ordering::Relaxed);
+            })
+        };
+        for i in 1..=100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        let n = batches.load(Ordering::Relaxed);
+        assert!((1..=100).contains(&n), "batches in [1, 100], got {n}");
+    }
+}

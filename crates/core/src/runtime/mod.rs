@@ -1,0 +1,258 @@
+//! The actorized serving plane: mailbox workers behind every shard and
+//! region, and the wire-facing service trait `nearpeerd` serves.
+//!
+//! The synchronous data plane ([`crate::ManagementServer`],
+//! [`crate::Federation`]) reads concurrently but writes through
+//! `&mut self` — one writer at a time across the whole directory. This
+//! module is the other half:
+//!
+//! * [`mailbox`] — the generic batch-draining worker thread every actor
+//!   is built from;
+//! * [`ActorServer`] — one write mailbox per [`crate::DirectoryShard`];
+//!   reads take shard read guards and run the shared merge plans in
+//!   [`crate::directory::query`], so answers are bit-identical to the
+//!   facade's by construction;
+//! * [`ActorFederation`] — one write mailbox plus a query-worker pool
+//!   per region; the home-first + fanout query is carried as encoded
+//!   [`crate::codec`] frames (`QueryRequest`/`FillRequest` RPCs), fanned
+//!   out concurrently and merged order-independently;
+//! * [`WireService`] — the one-method trait both actors implement, and
+//!   the only thing the `nearpeerd` TCP server needs to know about.
+//!
+//! Everything here takes `&self`: callers on any number of threads (one
+//! per TCP connection in `nearpeerd`) issue reads and writes without
+//! coordinating.
+
+mod actor_federation;
+mod actor_server;
+pub(crate) mod mailbox;
+
+pub use actor_federation::ActorFederation;
+pub use actor_server::ActorServer;
+
+use crate::protocol::{Message, WireNeighbor};
+use crate::router_index::Neighbor;
+
+/// A directory service addressable by protocol messages — the boundary
+/// between the wire (`nearpeerd`'s per-connection frame loops) and the
+/// actors behind it.
+///
+/// `handle` consumes one decoded request and returns the reply to send
+/// back, or `None` for fire-and-forget messages ([`Message::Leave`],
+/// [`Message::Heartbeat`]) and for messages a server ignores (stray
+/// replies). [`Message::Shutdown`] is acknowledged with a
+/// [`Message::ProbePong`]; acting on it (draining and exiting) is the
+/// transport's business, not the service's.
+pub trait WireService: Send + Sync {
+    /// Handles one request message, returning the reply, if any.
+    fn handle(&self, msg: Message) -> Option<Message>;
+}
+
+/// Converts an answer list to its wire form.
+fn to_wire(neighbors: Vec<Neighbor>) -> Vec<WireNeighbor> {
+    neighbors
+        .into_iter()
+        .map(|n| WireNeighbor {
+            peer: n.peer,
+            dtree: n.dtree,
+        })
+        .collect()
+}
+
+impl WireService for ActorServer {
+    fn handle(&self, msg: Message) -> Option<Message> {
+        match msg {
+            Message::ProbePing { nonce } => Some(Message::ProbePong { nonce }),
+            Message::JoinRequest { peer, path } => Some(match self.register(peer, path) {
+                Ok(out) => Message::JoinReply {
+                    peer,
+                    neighbors: to_wire(out.neighbors),
+                    delegate: out.delegate,
+                },
+                Err(e) => Message::JoinError {
+                    peer,
+                    reason: e.to_string(),
+                },
+            }),
+            Message::HandoverRequest { peer, path } => Some(match self.handover(peer, path) {
+                Ok(out) => Message::JoinReply {
+                    peer,
+                    neighbors: to_wire(out.neighbors),
+                    delegate: out.delegate,
+                },
+                Err(e) => Message::JoinError {
+                    peer,
+                    reason: e.to_string(),
+                },
+            }),
+            Message::Leave { peer } => {
+                let _ = self.deregister(peer);
+                None
+            }
+            Message::Heartbeat { peer } => {
+                let _ = self.heartbeat(peer);
+                None
+            }
+            Message::QueryRequest {
+                nonce,
+                path,
+                k,
+                exclude,
+            } => Some(Message::QueryReply {
+                nonce,
+                neighbors: to_wire(self.closest_to_path(&path, k as usize, exclude)),
+            }),
+            Message::FillRequest {
+                nonce,
+                router,
+                limit,
+            } => Some(Message::FillReply {
+                nonce,
+                items: self
+                    .peers_through_prefix(router, limit as usize)
+                    .into_iter()
+                    .map(|(peer, depth)| WireNeighbor { peer, dtree: depth })
+                    .collect(),
+            }),
+            Message::Shutdown { nonce } => Some(Message::ProbePong { nonce }),
+            // Stray replies are not requests; drop them.
+            Message::ProbePong { .. }
+            | Message::JoinReply { .. }
+            | Message::JoinError { .. }
+            | Message::QueryReply { .. }
+            | Message::FillReply { .. } => None,
+        }
+    }
+}
+
+impl WireService for ActorFederation {
+    fn handle(&self, msg: Message) -> Option<Message> {
+        match msg {
+            Message::ProbePing { nonce } => Some(Message::ProbePong { nonce }),
+            Message::JoinRequest { peer, path } => Some(match self.register(peer, path) {
+                Ok(out) => Message::JoinReply {
+                    peer,
+                    neighbors: to_wire(out.neighbors),
+                    delegate: None,
+                },
+                Err(e) => Message::JoinError {
+                    peer,
+                    reason: e.to_string(),
+                },
+            }),
+            Message::HandoverRequest { peer, path } => Some(match self.handover(peer, path) {
+                Ok(out) => Message::JoinReply {
+                    peer,
+                    neighbors: to_wire(out.neighbors),
+                    delegate: None,
+                },
+                Err(e) => Message::JoinError {
+                    peer,
+                    reason: e.to_string(),
+                },
+            }),
+            Message::Leave { peer } => {
+                self.leave_batch(&[peer]);
+                None
+            }
+            Message::Heartbeat { peer } => {
+                self.renew_batch(&[peer]);
+                None
+            }
+            Message::QueryRequest {
+                nonce,
+                path,
+                k,
+                exclude,
+            } => Some(Message::QueryReply {
+                nonce,
+                // Client-facing queries get the full federated answer
+                // (fan-out + bridge fills); the region workers' own
+                // QueryRequest handling stays exact-candidates-only.
+                neighbors: to_wire(self.closest_to_path(&path, k as usize, exclude)),
+            }),
+            Message::FillRequest { nonce, .. } => Some(Message::FillReply {
+                nonce,
+                items: Vec::new(),
+            }),
+            Message::Shutdown { nonce } => Some(Message::ProbePong { nonce }),
+            Message::ProbePong { .. }
+            | Message::JoinReply { .. }
+            | Message::JoinError { .. }
+            | Message::QueryReply { .. }
+            | Message::FillReply { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PeerId;
+    use crate::path::PeerPath;
+    use crate::ServerConfig;
+    use nearpeer_topology::RouterId;
+
+    fn path(ids: &[u32]) -> PeerPath {
+        PeerPath::new(ids.iter().map(|&i| RouterId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn wire_service_maps_requests_to_replies() {
+        let srv =
+            ActorServer::new(vec![RouterId(0)], vec![vec![0]], ServerConfig::default()).unwrap();
+        assert_eq!(
+            srv.handle(Message::ProbePing { nonce: 7 }),
+            Some(Message::ProbePong { nonce: 7 })
+        );
+        let reply = srv
+            .handle(Message::JoinRequest {
+                peer: PeerId(1),
+                path: path(&[4, 2, 1, 0]),
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Message::JoinReply {
+                peer: PeerId(1),
+                ..
+            }
+        ));
+        // Duplicate turns into a JoinError carried on the wire.
+        let reply = srv
+            .handle(Message::JoinRequest {
+                peer: PeerId(1),
+                path: path(&[4, 2, 1, 0]),
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Message::JoinError {
+                peer: PeerId(1),
+                ..
+            }
+        ));
+        let reply = srv
+            .handle(Message::QueryRequest {
+                nonce: 9,
+                path: path(&[5, 2, 1, 0]),
+                k: 3,
+                exclude: None,
+            })
+            .unwrap();
+        match reply {
+            Message::QueryReply { nonce, neighbors } => {
+                assert_eq!(nonce, 9);
+                assert_eq!(neighbors.len(), 1);
+                assert_eq!(neighbors[0].peer, PeerId(1));
+            }
+            other => panic!("expected QueryReply, got {}", other.kind_name()),
+        }
+        assert_eq!(srv.handle(Message::Leave { peer: PeerId(1) }), None);
+        assert_eq!(srv.peer_count(), 0);
+        assert_eq!(
+            srv.handle(Message::Shutdown { nonce: 3 }),
+            Some(Message::ProbePong { nonce: 3 })
+        );
+    }
+}

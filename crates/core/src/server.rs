@@ -6,6 +6,7 @@
 //! merge per-shard answers, and only genuinely cross-landmark state —
 //! bridge distances, super-peer regions, aggregate counters — lives here.
 
+use crate::directory::query::{self, MergedPeersThrough};
 use crate::directory::{AdaptiveLeaseConfig, DirectoryShard, ShardAbsorb};
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
@@ -15,8 +16,9 @@ use crate::router_index::Neighbor;
 use crate::superpeer::{SuperPeerConfig, SuperPeerDirectory};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
-use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,6 +179,12 @@ pub struct ManagementServer {
     /// Hop distance between landmark routers (bootstrap measurements).
     landmark_dist: Vec<Vec<u32>>,
     shards: Vec<DirectoryShard>,
+    /// Facade-level peer→shard map: one hash probe per lookup instead of
+    /// one per shard. The facade's own write methods keep it coherent;
+    /// [`Self::shards_mut`] marks it dirty and the next lookup rebuilds it
+    /// from the shards (interior-mutable so lookups stay `&self`).
+    peer_shard: RwLock<HashMap<PeerId, u32>>,
+    peer_shard_dirty: AtomicBool,
     super_peers: Option<SuperPeerDirectory>,
     counters: QueryCounters,
     handovers: u64,
@@ -220,6 +228,8 @@ impl ManagementServer {
             landmark_by_router,
             landmark_dist,
             shards,
+            peer_shard: RwLock::new(HashMap::new()),
+            peer_shard_dirty: AtomicBool::new(false),
             counters: QueryCounters::default(),
             handovers: 0,
             landmark_routers,
@@ -320,8 +330,11 @@ impl ManagementServer {
     /// The facade's own write methods keep cross-shard invariants (a peer
     /// id registered in at most one shard); callers of this API take over
     /// that responsibility for the peers they insert. Join/leave stats stay
-    /// correct automatically (they are derived from shard counters).
+    /// correct automatically (they are derived from shard counters), and
+    /// the facade's peer→shard map is marked stale here and rebuilt from
+    /// the shards on the next lookup.
     pub fn shards_mut(&mut self) -> &mut [DirectoryShard] {
+        *self.peer_shard_dirty.get_mut() = true;
         &mut self.shards
     }
 
@@ -351,12 +364,48 @@ impl ManagementServer {
         DirectoryView { server: self }
     }
 
-    /// O(#shards) hash probes per lookup — deliberate: a facade-level
-    /// peer→shard map would desynchronise under [`Self::shards_mut`]
-    /// parallel construction, and landmark counts are small (the paper
-    /// uses single digits). Revisit alongside the async-shard follow-on.
+    /// One hash probe per lookup against the facade-level peer→shard map.
+    /// (Historically this probed every shard — O(#shards) — because a
+    /// facade map would desynchronise under [`Self::shards_mut`] parallel
+    /// construction; the map now survives that by going stale there and
+    /// lazily rebuilding from the shards, which stay the ground truth.)
     fn shard_idx_of(&self, peer: PeerId) -> Option<usize> {
-        self.shards.iter().position(|s| s.contains(peer))
+        if self.peer_shard_dirty.load(Ordering::Acquire) {
+            let mut map = self.peer_shard.write().expect("peer map poisoned");
+            // Double-checked: another reader may have rebuilt while this
+            // one waited on the write lock.
+            if self.peer_shard_dirty.load(Ordering::Acquire) {
+                map.clear();
+                for (i, shard) in self.shards.iter().enumerate() {
+                    for p in shard.peers() {
+                        map.insert(p, i as u32);
+                    }
+                }
+                self.peer_shard_dirty.store(false, Ordering::Release);
+            }
+            return map.get(&peer).map(|&i| i as usize);
+        }
+        self.peer_shard
+            .read()
+            .expect("peer map poisoned")
+            .get(&peer)
+            .map(|&i| i as usize)
+    }
+
+    /// Records `peer`'s shard in the facade map (write paths only).
+    fn map_insert(&mut self, peer: PeerId, shard: usize) {
+        self.peer_shard
+            .get_mut()
+            .expect("peer map poisoned")
+            .insert(peer, shard as u32);
+    }
+
+    /// Drops `peer` from the facade map (write paths only).
+    fn map_remove(&mut self, peer: PeerId) {
+        self.peer_shard
+            .get_mut()
+            .expect("peer map poisoned")
+            .remove(&peer);
     }
 
     fn landmark_for_path(&self, path: &PeerPath) -> Result<LandmarkId, CoreError> {
@@ -382,6 +431,7 @@ impl ManagementServer {
         }
         let epoch = self.epoch;
         self.shards[landmark.index()].insert(peer, path, epoch)?;
+        self.map_insert(peer, landmark.index());
         let path = self.shards[landmark.index()]
             .path_of(peer)
             .expect("just inserted");
@@ -442,6 +492,9 @@ impl ManagementServer {
                 shard.insert_batch(items, epoch);
             }
         }
+        for &(_, peer, landmark) in &accepted {
+            self.map_insert(peer, landmark.index());
+        }
         if let Some(dir) = self.super_peers.as_mut() {
             let shards = &self.shards;
             dir.on_register_batch(accepted.iter().map(|&(_, peer, landmark)| {
@@ -479,6 +532,7 @@ impl ManagementServer {
             return Err(CoreError::UnknownPeer(peer));
         };
         self.shards[idx].remove(peer);
+        self.map_remove(peer);
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
@@ -500,6 +554,7 @@ impl ManagementServer {
         };
         let epoch = self.epoch;
         self.shards[idx].remove_forwarding(peer, to_region, epoch);
+        self.map_remove(peer);
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
@@ -571,8 +626,15 @@ impl ManagementServer {
     pub fn expire_stale_full(&mut self, max_age: u64) -> crate::directory::ShardSweep {
         let now = self.epoch;
         let mut out = crate::directory::ShardSweep::default();
+        let map = self.peer_shard.get_mut().expect("peer map poisoned");
         for shard in &mut self.shards {
             let sweep = shard.expire_epoch(now, max_age);
+            for &peer in &sweep.expired {
+                map.remove(&peer);
+            }
+            for &(peer, _) in &sweep.moved {
+                map.remove(&peer);
+            }
             out.expired.extend(sweep.expired);
             out.moved.extend(sweep.moved);
         }
@@ -607,8 +669,12 @@ impl ManagementServer {
     /// leaves.
     pub fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
         let mut removed_total = 0usize;
+        let map = self.peer_shard.get_mut().expect("peer map poisoned");
         for shard in &mut self.shards {
             let removed = shard.remove_batch(peers);
+            for &peer in &removed {
+                map.remove(&peer);
+            }
             if let Some(dir) = self.super_peers.as_mut() {
                 for &peer in &removed {
                     dir.on_deregister(peer);
@@ -670,6 +736,9 @@ impl ManagementServer {
                 out.joined += absorbed.joined;
             }
         }
+        for &(peer, landmark) in &fresh {
+            self.map_insert(peer, landmark.index());
+        }
         if let Some(dir) = self.super_peers.as_mut() {
             let shards = &self.shards;
             dir.on_register_batch(fresh.iter().map(|&(peer, landmark)| {
@@ -695,6 +764,7 @@ impl ManagementServer {
         // Not `deregister`: a relocation is no session end, so the
         // adaptive-lease EWMA must not absorb the dwell time.
         self.shards[idx].remove_moved(peer);
+        self.map_remove(peer);
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
@@ -768,42 +838,28 @@ impl ManagementServer {
     }
 
     /// The `k` best peers across all shards for a query path, ascending
-    /// `(dtree, peer)` — identical to what a single global index returns,
-    /// because the shards partition the peer set.
+    /// `(dtree, peer)` — delegated to the shared plan in
+    /// [`crate::directory::query`], which the actorized runtime uses too.
     fn query_nearest_merged(
         &self,
         query: &PeerPath,
         k: usize,
         exclude: &HashSet<PeerId>,
     ) -> Vec<Neighbor> {
-        let mut merged: Vec<Neighbor> = Vec::with_capacity(k.saturating_mul(2));
-        for shard in &self.shards {
-            merged.extend(shard.query_nearest(query, k, exclude));
-        }
-        merged.sort_unstable_by_key(|n| (n.dtree, n.peer));
-        merged.truncate(k);
-        merged
+        let shards: Vec<&DirectoryShard> = self.shards.iter().collect();
+        query::query_nearest_merged(&shards, query, k, exclude)
     }
 
     /// All registered peers whose path traverses `router`, nearest-first —
-    /// a lazy k-way merge of the shards' ordered per-router lists.
+    /// the shared lazy k-way merge over the shards' ordered lists.
     fn peers_through_merged(&self, router: RouterId) -> MergedPeersThrough<'_> {
-        let mut heap = BinaryHeap::new();
-        let mut iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + '_>> = Vec::new();
-        for shard in &self.shards {
-            let mut iter = shard.peers_through(router);
-            if let Some((peer, depth)) = iter.next() {
-                let idx = iters.len();
-                heap.push(std::cmp::Reverse((depth, peer, idx)));
-                iters.push(Box::new(iter));
-            }
-        }
-        MergedPeersThrough { heap, iters }
+        let shards: Vec<&DirectoryShard> = self.shards.iter().collect();
+        query::peers_through_merged(&shards, router)
     }
 
     /// Cross-landmark fill: rank foreign peers by
     /// `depth(query) + hops(L_query, L_other) + depth(peer)` using the
-    /// per-landmark ordered lists at the landmark routers.
+    /// shared k-way fill merge.
     fn cross_landmark_candidates(
         &self,
         path: &PeerPath,
@@ -814,67 +870,17 @@ impl ManagementServer {
         let Ok(own) = self.landmark_for_path(path) else {
             return Vec::new();
         };
-        let query_depth = path.depth();
-        // K-way merge over the other landmarks' peer lists (each ordered by
-        // depth below its landmark router). Every cursor keeps its own
-        // `base` (= query depth + bridge): all its entries share it, and
-        // deriving it from a popped estimate instead (as this code once
-        // did, by subtracting the peer's *full* path depth) breaks — and
-        // underflows — for peers whose path merely traverses another
-        // landmark's router mid-path.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>> = BinaryHeap::new();
-        let mut iters: Vec<(u32, MergedPeersThrough<'_>)> = Vec::new();
-        for (li, &lrouter) in self.landmark_routers.iter().enumerate() {
-            if LandmarkId(li as u32) == own {
-                continue;
-            }
-            let bridge = self.landmark_dist[own.index()][li];
-            if bridge == u32::MAX {
-                continue;
-            }
-            let base = query_depth + bridge;
-            let mut iter = self.peers_through_merged(lrouter);
-            if let Some((peer, depth)) = iter.next() {
-                let idx = iters.len();
-                heap.push(std::cmp::Reverse((base + depth, peer, idx)));
-                iters.push((base, iter));
-            }
-        }
-        let mut out = Vec::with_capacity(k);
-        let mut emitted: HashSet<PeerId> = HashSet::new();
-        while let Some(std::cmp::Reverse((est, peer, idx))) = heap.pop() {
-            let (base, iter) = &mut iters[idx];
-            if let Some((next_peer, depth)) = iter.next() {
-                heap.push(std::cmp::Reverse((*base + depth, next_peer, idx)));
-            }
-            if exclude.contains(&peer) || already.contains(&peer) || !emitted.insert(peer) {
-                continue;
-            }
-            out.push(Neighbor { peer, dtree: est });
-            if out.len() == k {
-                break;
-            }
-        }
-        out
-    }
-}
-
-/// Lazy ascending `(depth, peer)` merge of the shards' per-router lists.
-struct MergedPeersThrough<'a> {
-    heap: BinaryHeap<std::cmp::Reverse<(u32, PeerId, usize)>>,
-    iters: Vec<Box<dyn Iterator<Item = (PeerId, u32)> + 'a>>,
-}
-
-impl Iterator for MergedPeersThrough<'_> {
-    type Item = (PeerId, u32);
-
-    fn next(&mut self) -> Option<(PeerId, u32)> {
-        let std::cmp::Reverse((depth, peer, idx)) = self.heap.pop()?;
-        if let Some((next_peer, next_depth)) = self.iters[idx].next() {
-            self.heap
-                .push(std::cmp::Reverse((next_depth, next_peer, idx)));
-        }
-        Some((peer, depth))
+        let shards: Vec<&DirectoryShard> = self.shards.iter().collect();
+        query::cross_landmark_candidates(
+            &shards,
+            &self.landmark_routers,
+            &self.landmark_dist,
+            own,
+            path.depth(),
+            k,
+            exclude,
+            already,
+        )
     }
 }
 
@@ -1235,6 +1241,7 @@ mod tests {
                 margin: 1,
                 min_age: 1,
                 max_age: 16,
+                max_tracked: 1024,
             }),
             ..ServerConfig::default()
         };
@@ -1384,6 +1391,67 @@ mod tests {
             seq.report().per_landmark,
             "tree shapes must match"
         );
+    }
+
+    /// The facade peer→shard map must give the same answer as probing
+    /// every shard — after `shards_mut` parallel construction (which
+    /// bypasses the facade's write methods) and after every kind of churn.
+    #[test]
+    fn peer_shard_map_agrees_with_probe() {
+        fn probe(srv: &ManagementServer, p: PeerId) -> Option<usize> {
+            srv.shards().iter().position(|s| s.contains(p))
+        }
+        fn check(srv: &ManagementServer, universe: impl Iterator<Item = u64>) {
+            for p in universe {
+                let peer = PeerId(p);
+                assert_eq!(
+                    srv.landmark_of(peer),
+                    probe(srv, peer).map(|i| LandmarkId(i as u32)),
+                    "map and probe disagree on peer {p}"
+                );
+            }
+        }
+
+        let mut srv = two_landmark_server(ServerConfig::default());
+        let epoch = srv.epoch();
+        let mut groups: Vec<Vec<(PeerId, PeerPath)>> = vec![Vec::new(), Vec::new()];
+        for i in 0..40u64 {
+            let (lm, p) = if i % 2 == 0 {
+                (0, path(&[1000 + i as u32, 2, 1, 0]))
+            } else {
+                (1, path(&[1000 + i as u32, 105, 101, 100]))
+            };
+            groups[lm].push((PeerId(i), p));
+        }
+        std::thread::scope(|scope| {
+            for (shard, items) in srv.shards_mut().iter_mut().zip(groups) {
+                scope.spawn(move || shard.insert_batch(items, epoch));
+            }
+        });
+        // Lookups right after the parallel build see the rebuilt map.
+        check(&srv, 0..50);
+
+        // Every churn path keeps the map coherent without a rebuild.
+        srv.deregister(PeerId(0)).unwrap();
+        srv.handover(PeerId(1), path(&[999, 2, 1, 0])).unwrap();
+        srv.deregister_forwarding(PeerId(3), 7).unwrap();
+        assert_eq!(srv.leave_batch(&[PeerId(2), PeerId(4), PeerId(99)]), 2);
+        srv.register(PeerId(50), path(&[998, 2, 1, 0])).unwrap();
+        srv.register_batch(vec![
+            (PeerId(51), path(&[997, 2, 1, 0])),
+            (PeerId(52), path(&[996, 105, 100])),
+            (PeerId(51), path(&[995, 2, 1, 0])), // dup in batch
+        ]);
+        srv.register_batch_renewing(vec![
+            (PeerId(53), path(&[994, 2, 1, 0])),
+            (PeerId(50), path(&[998, 2, 1, 0])), // renewal
+        ]);
+        for _ in 0..6 {
+            srv.advance_epoch();
+            srv.renew_batch(&[PeerId(5), PeerId(6)]);
+        }
+        srv.expire_stale(3);
+        check(&srv, 0..60);
     }
 
     #[test]

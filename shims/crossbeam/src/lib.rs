@@ -62,6 +62,28 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still exist).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
     /// Sending half; clonable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -136,6 +158,21 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: a queued message, or the channel's
+        /// emptiness/disconnect state right now (mailbox workers use this
+        /// to drain a batch after the blocking `recv` woke them).
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if let Some(item) = state.items.pop_front() {
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
 
@@ -296,6 +333,17 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 
     #[test]

@@ -39,11 +39,14 @@ fn arb_path() -> impl Strategy<Value = PeerPath> {
     })
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    let neighbor = (any::<u64>(), any::<u32>()).prop_map(|(p, d)| WireNeighbor {
+fn arb_neighbor() -> impl Strategy<Value = WireNeighbor> {
+    (any::<u64>(), any::<u32>()).prop_map(|(p, d)| WireNeighbor {
         peer: PeerId(p),
         dtree: d,
-    });
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         any::<u64>().prop_map(|nonce| Message::ProbePing { nonce }),
         any::<u64>().prop_map(|nonce| Message::ProbePong { nonce }),
@@ -53,7 +56,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         }),
         (
             any::<u64>(),
-            prop::collection::vec(neighbor, 0..16),
+            prop::collection::vec(arb_neighbor(), 0..16),
             prop::option::of(any::<u64>().prop_map(PeerId))
         )
             .prop_map(|(p, neighbors, delegate)| Message::JoinReply {
@@ -70,6 +73,31 @@ fn arb_message() -> impl Strategy<Value = Message> {
             peer: PeerId(p),
             path
         }),
+        any::<u64>().prop_map(|p| Message::Heartbeat { peer: PeerId(p) }),
+        (
+            any::<u64>(),
+            arb_path(),
+            any::<u16>(),
+            prop::option::of(any::<u64>().prop_map(PeerId))
+        )
+            .prop_map(|(nonce, path, k, exclude)| Message::QueryRequest {
+                nonce,
+                path,
+                k,
+                exclude,
+            }),
+        (any::<u64>(), prop::collection::vec(arb_neighbor(), 0..16))
+            .prop_map(|(nonce, neighbors)| Message::QueryReply { nonce, neighbors }),
+        (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(|(nonce, r, limit)| {
+            Message::FillRequest {
+                nonce,
+                router: RouterId(r),
+                limit,
+            }
+        }),
+        (any::<u64>(), prop::collection::vec(arb_neighbor(), 0..16))
+            .prop_map(|(nonce, items)| Message::FillReply { nonce, items }),
+        any::<u64>().prop_map(|nonce| Message::Shutdown { nonce }),
     ]
 }
 
@@ -163,6 +191,41 @@ proptest! {
         // consume anything on Incomplete.
         let before = buf.len();
         if let Err(CodecError::Incomplete) = decode(&mut buf) { prop_assert_eq!(buf.len(), before) }
+    }
+
+    /// The transport guarantee `nearpeerd` relies on: any frame stream cut
+    /// into arbitrary chunks reassembles to exactly the encoded messages,
+    /// no matter where the cuts land (mid-length-prefix, mid-payload, on a
+    /// boundary).
+    #[test]
+    fn codec_reassembles_random_chunking(
+        msgs in prop::collection::vec(arb_message(), 1..6),
+        chunks in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        let mut stream = bytes::BytesMut::new();
+        for m in &msgs {
+            encode(m, &mut stream);
+        }
+        let stream: Vec<u8> = stream[..].to_vec();
+        let mut buf = bytes::BytesMut::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        let mut next_chunk = 0usize;
+        while pos < stream.len() {
+            let n = chunks[next_chunk % chunks.len()].min(stream.len() - pos);
+            next_chunk += 1;
+            buf.extend_from_slice(&stream[pos..pos + n]);
+            pos += n;
+            loop {
+                match decode(&mut buf) {
+                    Ok(m) => decoded.push(m),
+                    Err(CodecError::Incomplete) => break,
+                    Err(e) => prop_assert!(false, "well-formed stream decoded to {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+        prop_assert!(buf.is_empty());
     }
 
     #[test]
