@@ -1,10 +1,14 @@
 //! Previews a churn workload before spending simulation time on it:
 //! prints the event schedule summary, an ASCII population-over-time
-//! curve and session-length statistics. The trace uses the suite's fixed
-//! seed (42, like the other binaries); `--quick` shrinks the population.
+//! curve, session-length statistics, and what bootstrapping the peak
+//! population costs (trace/register phase split plus the route oracle's
+//! tree accounting). The trace uses the suite's fixed seed (42, like the
+//! other binaries); `--quick` shrinks the population.
 
 use nearpeer_bench::cli::CommonArgs;
+use nearpeer_bench::{oracle_stats_line, Swarm, SwarmConfig};
 use nearpeer_metrics::Summary;
+use nearpeer_topology::generators::{mapper, MapperConfig};
 use nearpeer_workloads::{ArrivalProcess, ChurnConfig, ChurnEventKind, ChurnTrace};
 use std::collections::HashMap;
 
@@ -80,4 +84,31 @@ fn main() {
     }
     println!("     +{}", "-".repeat(BUCKETS));
     println!("      0s{:>55.1}s", horizon as f64 / 1e6);
+
+    // What bootstrapping this population costs: build a swarm of the peak
+    // size over a small representative map and report the phase split plus
+    // the oracle's tree accounting (the default trace path runs entirely
+    // out of the landmark arena — zero lazy trees).
+    let bootstrap_peers = trace.peak_population().max(10);
+    let topo = mapper(
+        &MapperConfig::with_access(200, bootstrap_peers + bootstrap_peers / 5 + 20),
+        SEED,
+    )
+    .expect("mapper topology");
+    let swarm_cfg = SwarmConfig {
+        n_peers: bootstrap_peers,
+        n_landmarks: 4,
+        ..SwarmConfig::default()
+    };
+    match Swarm::build(&topo, &swarm_cfg, SEED) {
+        Ok(swarm) => {
+            println!(
+                "\nbootstrap cost at peak ({bootstrap_peers} peers): trace {:.2?} \
+                 ({} threads) / register {:.2?}",
+                swarm.phases.trace, swarm.phases.trace_threads, swarm.phases.register,
+            );
+            println!("{}", oracle_stats_line(&swarm.phases.oracle));
+        }
+        Err(e) => println!("\nbootstrap cost preview skipped: {e}"),
+    }
 }

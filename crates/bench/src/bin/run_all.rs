@@ -7,7 +7,8 @@ use nearpeer_bench::experiments::{
     churn, complexity, convergence, decreased, dtree, landmark_policies, mapping, quality,
     setup_delay, superpeers,
 };
-use nearpeer_bench::ExperimentWriter;
+use nearpeer_bench::{oracle_stats_line, ExperimentWriter, Swarm, SwarmConfig};
+use nearpeer_topology::generators::{mapper, MapperConfig};
 
 const SEED: u64 = 42;
 
@@ -22,6 +23,28 @@ fn main() {
         "nearpeer experiment suite ({} configs, seed {SEED})",
         if q { "quick" } else { "standard" }
     );
+
+    // A representative swarm build up front, so every suite run leads with
+    // the route oracle's tree accounting (the one-tree-per-trace invariant
+    // scale_smoke gates in CI).
+    let peers = if q { 200 } else { 2_000 };
+    let topo =
+        mapper(&MapperConfig::with_access(400, peers + peers / 5), SEED).expect("mapper topology");
+    let swarm_cfg = SwarmConfig {
+        n_peers: peers,
+        n_landmarks: 4,
+        ..SwarmConfig::default()
+    };
+    match Swarm::build(&topo, &swarm_cfg, SEED) {
+        Ok(swarm) => {
+            println!(
+                "reference swarm ({peers} peers): trace {:.2?} ({} threads) / register {:.2?}",
+                swarm.phases.trace, swarm.phases.trace_threads, swarm.phases.register,
+            );
+            println!("{}", oracle_stats_line(&swarm.phases.oracle));
+        }
+        Err(e) => println!("reference swarm skipped: {e}"),
+    }
 
     section("F2", "neighbor quality vs population");
     let quality_cfg = if q {

@@ -2,27 +2,31 @@
 //! through the shared route oracle, then the batched, shard-parallel
 //! directory path — inside a wall-clock budget.
 //!
-//! This is the CI guard for both scaling refactors: if shard-parallel
+//! This is the CI guard for the scaling refactors: if shard-parallel
 //! construction or parallel tracing regresses (accidental serialisation,
 //! quadratic descent, lost batching), the budget blows and CI goes red. The
 //! trace-phase vs register-phase wall-clock split is printed so a regression
-//! report says *which* round slowed down. Run it in release mode; the budget
-//! is generous on purpose — it catches order-of-magnitude regressions, not
-//! noise. Both parallel paths degrade gracefully to their sequential
-//! equivalents on a single-core runner.
+//! report says *which* round slowed down, and the oracle's tree accounting
+//! is both printed and asserted: the default trace path must build
+//! O(landmarks) trees — `lazy_trees_built == 0` — and the trace phase must
+//! fit its own (generous) wall-clock budget. Run it in release mode; the
+//! budgets catch order-of-magnitude regressions, not noise. Both parallel
+//! paths degrade gracefully to their sequential equivalents on a
+//! single-core runner.
 //!
 //! ```sh
 //! cargo run --release -p nearpeer-bench --bin scale_smoke -- \
-//!     [--peers N] [--budget-secs S] [--trace-threads T]
+//!     [--peers N] [--budget-secs S] [--trace-budget-secs S] [--trace-threads T]
 //! ```
 
-use nearpeer_bench::{BuildStrategy, Swarm, SwarmConfig};
+use nearpeer_bench::{oracle_stats_line, BuildStrategy, Swarm, SwarmConfig};
 use nearpeer_topology::generators::{mapper, MapperConfig};
 use std::time::Instant;
 
 struct Args {
     peers: usize,
     budget_secs: u64,
+    trace_budget_secs: Option<u64>,
     trace_threads: Option<usize>,
 }
 
@@ -30,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         peers: 10_000,
         budget_secs: 120,
+        trace_budget_secs: None,
         trace_threads: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -45,6 +50,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --budget-secs value {v}"))?;
             }
+            "--trace-budget-secs" => {
+                let v = iter.next().ok_or("--trace-budget-secs needs a value")?;
+                out.trace_budget_secs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --trace-budget-secs value {v}"))?,
+                );
+            }
             "--trace-threads" => {
                 let v = iter.next().ok_or("--trace-threads needs a value")?;
                 let t: usize = v
@@ -55,9 +67,10 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.trace_threads = Some(t);
             }
-            "--help" | "-h" => {
-                return Err("usage: [--peers N] [--budget-secs S] [--trace-threads T]".into())
-            }
+            "--help" | "-h" => return Err(
+                "usage: [--peers N] [--budget-secs S] [--trace-budget-secs S] [--trace-threads T]"
+                    .into(),
+            ),
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -115,6 +128,7 @@ fn main() {
         swarm.phases.register,
         100.0 * swarm.phases.trace.as_secs_f64() / build_elapsed.as_secs_f64().max(1e-9),
     );
+    println!("{}", oracle_stats_line(&swarm.phases.oracle));
     println!("{report}");
     let interned: usize = swarm
         .server
@@ -140,6 +154,27 @@ fn main() {
             report.stats.queries
         );
         std::process::exit(1);
+    }
+    // The default trace path prices every hop off the landmark arena: a
+    // single lazily built tree means someone reintroduced a per-hop (or
+    // otherwise off-arena) oracle call into round 1.
+    if swarm.phases.oracle.lazy_trees_built != 0 {
+        eprintln!(
+            "scale_smoke: default trace path built {} lazy trees (expected 0 — \
+             round 1 must run out of the O(landmarks) arena)",
+            swarm.phases.oracle.lazy_trees_built
+        );
+        std::process::exit(1);
+    }
+    if let Some(trace_budget) = args.trace_budget_secs {
+        if swarm.phases.trace.as_secs() > trace_budget {
+            eprintln!(
+                "scale_smoke: trace phase took {:.2?}, budget {trace_budget}s — \
+                 round-1 tracing regressed",
+                swarm.phases.trace
+            );
+            std::process::exit(1);
+        }
     }
     let total = t0.elapsed();
     if total.as_secs() > args.budget_secs {

@@ -38,7 +38,7 @@ pub use federation::{synthetic_federation, synthetic_move_landmark, FederatedSwa
 pub use output::ExperimentWriter;
 pub use runner::run_parallel;
 pub use swarm::{
-    churn_epoch_shard_parallel, expire_stale_shard_parallel, register_shard_parallel,
-    renew_shard_parallel, sweep_trace_threads, trace_round1, BuildPhases, BuildStrategy, Swarm,
-    SwarmConfig, SyntheticJoins,
+    churn_epoch_shard_parallel, expire_stale_shard_parallel, oracle_stats_line,
+    register_shard_parallel, renew_shard_parallel, sweep_trace_threads, trace_round1, BuildPhases,
+    BuildStrategy, Swarm, SwarmConfig, SyntheticJoins,
 };

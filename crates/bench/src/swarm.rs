@@ -19,8 +19,8 @@
 
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use nearpeer_core::{LandmarkId, ManagementServer, PeerId, PeerPath, ServerConfig};
-use nearpeer_probe::{TraceConfig, TraceResult, Tracer};
-use nearpeer_routing::RouteOracle;
+use nearpeer_probe::{TraceConfig, TraceResult, TraceScratch, Tracer};
+use nearpeer_routing::{OracleStats, RouteOracle};
 use nearpeer_topology::{RouterId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -110,6 +110,12 @@ pub struct BuildPhases {
     /// Trace workers actually used for round 1 (the resolved value of
     /// [`SwarmConfig::trace_threads`]).
     pub trace_threads: usize,
+    /// The oracle's tree-accounting counters at the end of the build —
+    /// how many shortest-path trees the whole swarm construction cost.
+    /// On the default trace path `oracle.lazy_trees_built == 0`: round 1
+    /// runs entirely out of the O(landmarks) eager arena (`scale_smoke`
+    /// gates this in CI).
+    pub oracle: OracleStats,
 }
 
 /// A fully initialised swarm: topology + landmarks + populated server.
@@ -253,9 +259,11 @@ impl<'t> Swarm<'t> {
                 register_shard_parallel(&mut server, joins)?;
             }
         }
-        // Tracing memoised one tree per distinct intermediate router —
-        // far too much to keep alive for the swarm's lifetime. Keep only
-        // the landmark arena on the stored oracle.
+        // The default trace path reads everything off the landmark arena;
+        // only `exact_hop_rtts` (or ad-hoc callers) populate the lazy
+        // cache, and that cache is both capped and dropped here — keep
+        // only the landmark arena on the stored oracle.
+        let oracle_stats = oracle.stats();
         oracle.discard_lazy_trees();
         Ok(Self {
             topo,
@@ -269,6 +277,7 @@ impl<'t> Swarm<'t> {
                 trace: trace_elapsed,
                 register: t_register.elapsed(),
                 trace_threads: threads,
+                oracle: oracle_stats,
             },
         })
     }
@@ -296,6 +305,29 @@ impl<'t> Swarm<'t> {
             .sum::<f64>()
             / self.join_cost.len() as f64
     }
+}
+
+/// One-line human-readable rendering of an [`OracleStats`] snapshot, shared
+/// by `scale_smoke`, `churn_preview` and `run_all` so tree-count
+/// observability reads the same everywhere:
+/// `oracle: trees 8 eager + 0 lazy, hits 29k arena / 0 lazy, scratch reuses 7, evictions 0`.
+pub fn oracle_stats_line(stats: &OracleStats) -> String {
+    fn k(n: u64) -> String {
+        if n >= 10_000 {
+            format!("{}k", n / 1_000)
+        } else {
+            n.to_string()
+        }
+    }
+    format!(
+        "oracle: trees {} eager + {} lazy, hits {} arena / {} lazy, scratch reuses {}, evictions {}",
+        k(stats.eager_trees_built),
+        k(stats.lazy_trees_built),
+        k(stats.arena_hits),
+        k(stats.lazy_hits),
+        k(stats.scratch_reuses),
+        k(stats.lazy_evictions),
+    )
 }
 
 /// Worker count for the adaptive build paths (round-1 tracing when
@@ -349,10 +381,13 @@ pub fn trace_round1(
     threads: usize,
 ) -> Vec<Option<TraceResult>> {
     if threads <= 1 || jobs.len() < 2 {
+        let mut scratch = TraceScratch::new();
         return jobs
             .iter()
             .enumerate()
-            .map(|(i, &(src, dst))| tracer.trace(src, dst, trace_seed(seed, i)))
+            .map(|(i, &(src, dst))| {
+                tracer.trace_with_scratch(src, dst, trace_seed(seed, i), &mut scratch)
+            })
             .collect();
     }
     // Contiguous chunks, like the register-phase query workers: a trace is
@@ -368,10 +403,18 @@ pub fn trace_round1(
         {
             let base = chunk_idx * chunk;
             scope.spawn(move |_| {
+                // One scratch per worker: route/TTL/coin-flip buffers are
+                // reused across the whole chunk.
+                let mut scratch = TraceScratch::new();
                 for (k, (&(src, dst), slot)) in
                     jobs_chunk.iter().zip(out_chunk.iter_mut()).enumerate()
                 {
-                    *slot = tracer.trace(src, dst, trace_seed(seed, base + k));
+                    *slot = tracer.trace_with_scratch(
+                        src,
+                        dst,
+                        trace_seed(seed, base + k),
+                        &mut scratch,
+                    );
                 }
             });
         }

@@ -12,7 +12,11 @@
 //! * TTL-by-TTL probing along the oracle route ([`Tracer::trace`]) — the
 //!   tracer is `Send + Sync` and every trace is seed-deterministic, so many
 //!   newcomers trace concurrently through one shared tracer with results
-//!   bit-identical to a sequential run;
+//!   bit-identical to a sequential run. A trace prices every TTL off the
+//!   **one** tree rooted at its destination
+//!   (`RouteOracle::route_annotated`); the hop-rooted per-hop-tree model
+//!   survives behind [`TraceConfig::exact_hop_rtts`]. Bulk callers reuse
+//!   [`TraceScratch`] buffers via [`Tracer::trace_with_scratch`];
 //! * per-probe cost accounting (probes sent, elapsed time) so the
 //!   setup-delay experiments can compare against coordinate systems;
 //! * fault injection: anonymous routers (no ICMP reply) and probe loss with
@@ -32,4 +36,4 @@ mod plan;
 mod trace;
 
 pub use plan::ProbePlan;
-pub use trace::{Hop, TraceConfig, TraceResult, Tracer};
+pub use trace::{Hop, TraceConfig, TraceResult, TraceScratch, Tracer};

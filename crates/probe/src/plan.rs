@@ -21,29 +21,39 @@ impl ProbePlan {
     /// `path_len`). Always non-empty for `path_len >= 1`, always sorted,
     /// always ends at `path_len`.
     pub fn ttls(&self, path_len: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.ttls_into(path_len, &mut out);
+        out
+    }
+
+    /// [`ProbePlan::ttls`] into a caller-owned buffer (cleared first) — the
+    /// allocation-free form for trace hot loops.
+    pub fn ttls_into(&self, path_len: u32, out: &mut Vec<u32>) {
+        out.clear();
         if path_len == 0 {
-            return Vec::new();
+            return;
         }
         match *self {
-            ProbePlan::Full => (1..=path_len).collect(),
+            ProbePlan::Full => out.extend(1..=path_len),
             ProbePlan::Stride(stride) => {
                 let stride = stride.max(1);
-                let mut ttls: Vec<u32> = (1..=path_len).step_by(stride as usize).collect();
-                if *ttls.last().expect("path_len >= 1") != path_len {
-                    ttls.push(path_len);
+                out.extend((1..=path_len).step_by(stride as usize));
+                if *out.last().expect("path_len >= 1") != path_len {
+                    out.push(path_len);
                 }
-                ttls
             }
             ProbePlan::Budget(budget) => {
                 let budget = budget.max(1).min(path_len);
                 if budget == 1 {
-                    return vec![path_len];
+                    out.push(path_len);
+                    return;
                 }
-                let mut ttls: Vec<u32> = (0..budget)
-                    .map(|i| 1 + (i as u64 * (path_len - 1) as u64 / (budget - 1) as u64) as u32)
-                    .collect();
-                ttls.dedup();
-                ttls
+                out.extend(
+                    (0..budget).map(|i| {
+                        1 + (i as u64 * (path_len - 1) as u64 / (budget - 1) as u64) as u32
+                    }),
+                );
+                out.dedup();
             }
         }
     }

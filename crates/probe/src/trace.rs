@@ -1,7 +1,7 @@
 //! The TTL walk itself.
 
 use crate::plan::ProbePlan;
-use nearpeer_routing::RouteOracle;
+use nearpeer_routing::{RouteHop, RouteOracle};
 use nearpeer_topology::RouterId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +23,22 @@ pub struct TraceConfig {
     /// Fixed per-probe processing overhead added to the wire RTT, in
     /// microseconds (packet construction, ICMP generation).
     pub per_probe_overhead_us: u64,
+    /// Price each hop's RTT through a shortest-path tree **rooted at the
+    /// hop** (`RouteOracle::rtt_us(source, hop)`) instead of off the
+    /// destination tree's latency prefix.
+    ///
+    /// Off by default: the default path reads the whole trace — routers
+    /// *and* RTTs — from the one tree rooted at the destination
+    /// (`RouteOracle::route_annotated`), so a 10k-peer round 1 builds
+    /// O(landmarks) trees instead of one per distinct intermediate router.
+    /// The two modes agree on the router sequence, reachability, and the
+    /// destination's RTT always, and on every hop RTT whenever hop-shortest
+    /// paths are unique; under equal-hop-count ties the hop-rooted tree may
+    /// pick an equally short path with a *different latency* than the
+    /// route's own prefix. Turn this on only when per-hop RTTs must match
+    /// the hop-rooted model exactly (it rebuilds the lazy-tree cost the
+    /// default path exists to avoid).
+    pub exact_hop_rtts: bool,
 }
 
 impl Default for TraceConfig {
@@ -33,7 +49,27 @@ impl Default for TraceConfig {
             loss_probability: 0.0,
             anonymous_probability: 0.0,
             per_probe_overhead_us: 200,
+            exact_hop_rtts: false,
         }
+    }
+}
+
+/// Reusable per-thread buffers for [`Tracer::trace_with_scratch`]: the
+/// annotated route, the probe plan's TTLs, and the per-router anonymous
+/// coin flips. One scratch per tracing thread turns the per-trace
+/// allocation cost into amortized zero — the only `Vec` a trace allocates
+/// is the `hops` it returns.
+#[derive(Debug, Default)]
+pub struct TraceScratch {
+    route: Vec<RouteHop>,
+    ttls: Vec<u32>,
+    anonymous: Vec<bool>,
+}
+
+impl TraceScratch {
+    /// Creates an empty scratch; buffers grow to the longest route seen.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -123,11 +159,33 @@ impl<'o, 't> Tracer<'o, 't> {
     /// Traces from `source` towards `destination`; `None` when the two are
     /// disconnected. Deterministic per `(topology, config, seed)`.
     pub fn trace(&self, source: RouterId, destination: RouterId, seed: u64) -> Option<TraceResult> {
-        let route = self.oracle.route(source, destination)?;
+        self.trace_with_scratch(source, destination, seed, &mut TraceScratch::new())
+    }
+
+    /// [`Tracer::trace`] reusing caller-owned buffers — the bulk-tracing
+    /// form the swarm builder uses (one [`TraceScratch`] per worker).
+    /// Results are identical to [`Tracer::trace`].
+    pub fn trace_with_scratch(
+        &self,
+        source: RouterId,
+        destination: RouterId,
+        seed: u64,
+        scratch: &mut TraceScratch,
+    ) -> Option<TraceResult> {
+        let TraceScratch {
+            route,
+            ttls,
+            anonymous,
+        } = scratch;
+        // One tree per trace: the destination tree yields the routers AND
+        // each hop's one-way latency prefix.
+        if !self.oracle.route_annotated_into(source, destination, route) {
+            return None;
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         // route[0] = source, route[k] = router at TTL k.
         let path_len = (route.len() - 1) as u32;
-        let ttls = self.config.plan.ttls(path_len);
+        self.config.plan.ttls_into(path_len, ttls);
 
         let mut hops = Vec::with_capacity(ttls.len());
         let mut probes_sent = 0u32;
@@ -135,20 +193,31 @@ impl<'o, 't> Tracer<'o, 't> {
         let mut destination_reached = false;
 
         // Anonymous routers are drawn once per trace so retries at the same
-        // TTL behave consistently.
-        let anonymous: Vec<bool> = route
-            .iter()
-            .map(|_| rng.gen::<f64>() < self.config.anonymous_probability)
-            .collect();
+        // TTL behave consistently. Drawn per route entry, up front, so the
+        // RNG stream is identical whichever TTLs the plan selects (and
+        // identical to every release since the seed).
+        anonymous.clear();
+        anonymous.extend(
+            route
+                .iter()
+                .map(|_| rng.gen::<f64>() < self.config.anonymous_probability),
+        );
 
-        for ttl in ttls {
-            let router = route[ttl as usize];
+        for &ttl in ttls.iter() {
+            let hop = route[ttl as usize];
+            let router = hop.router;
             let is_dst = router == destination;
-            // RTT to the hop: twice the one-way latency prefix along the route.
-            let hop_rtt = self
-                .oracle
-                .rtt_us(source, router)
-                .expect("hop on a connected route");
+            // RTT to the hop: twice the one-way latency prefix along the
+            // route — already carried by the annotated hop. The exact mode
+            // re-derives it from a tree rooted at the hop instead (see
+            // `TraceConfig::exact_hop_rtts` for when the two differ).
+            let hop_rtt = if self.config.exact_hop_rtts {
+                self.oracle
+                    .rtt_us(source, router)
+                    .expect("hop on a connected route")
+            } else {
+                hop.prefix_latency_us * 2
+            };
             let mut answered = false;
             for _ in 0..self.config.probes_per_hop.max(1) {
                 probes_sent += 1;

@@ -2,10 +2,10 @@
 //! consistent subsequences of the oracle route under every plan and fault
 //! mix.
 
-use nearpeer_probe::{ProbePlan, TraceConfig, Tracer};
+use nearpeer_probe::{ProbePlan, TraceConfig, TraceScratch, Tracer};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::generators::{mapper, MapperConfig};
-use nearpeer_topology::RouterId;
+use nearpeer_topology::{RouterId, Topology, TopologyBuilder};
 use proptest::prelude::*;
 
 fn arb_plan() -> impl Strategy<Value = ProbePlan> {
@@ -14,6 +14,27 @@ fn arb_plan() -> impl Strategy<Value = ProbePlan> {
         (1u32..6).prop_map(ProbePlan::Stride),
         (1u32..6).prop_map(ProbePlan::Budget),
     ]
+}
+
+/// A random tree topology: unique paths, hence no shortest-path ties —
+/// the regime where the default (destination-tree prefix) and
+/// `exact_hop_rtts` (per-hop-tree) pricing must agree on every field.
+fn tree_topology(n: usize, seed: u64) -> Topology {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut b = TopologyBuilder::with_routers(n);
+    for i in 1..n {
+        let parent = (next() % i as u64) as u32;
+        let latency = 10_000 + 977 * i as u32 + (next() % 997) as u32;
+        b.link(RouterId(i as u32), RouterId(parent), latency)
+            .expect("parent < i: no self-loops or duplicates");
+    }
+    b.build()
 }
 
 proptest! {
@@ -77,6 +98,92 @@ proptest! {
         let lossy = Tracer::new(&oracle, lossy_cfg).trace(src, dst, seed).unwrap();
         prop_assert!(lossy.probes_sent >= clean.probes_sent);
         prop_assert!(lossy.elapsed_us >= clean.elapsed_us);
+    }
+
+    #[test]
+    fn default_equals_exact_mode_on_tie_free_topologies(
+        n in 4usize..50,
+        seed in 0u64..300,
+        pick in any::<u64>(),
+        plan in arb_plan(),
+        loss in 0.0f64..0.5,
+        anon in 0.0f64..0.5,
+    ) {
+        let topo = tree_topology(n, seed);
+        let oracle = RouteOracle::new(&topo);
+        let src = RouterId((pick % n as u64) as u32);
+        let dst = RouterId(((pick / n as u64) % n as u64) as u32);
+        let base = TraceConfig {
+            plan,
+            loss_probability: loss,
+            anonymous_probability: anon,
+            probes_per_hop: 2,
+            ..TraceConfig::default()
+        };
+        let default_trace = Tracer::new(&oracle, base).trace(src, dst, seed ^ pick).unwrap();
+        let exact_cfg = TraceConfig { exact_hop_rtts: true, ..base };
+        let exact_trace = Tracer::new(&oracle, exact_cfg).trace(src, dst, seed ^ pick).unwrap();
+        // Every field — routers, RTTs, probe counts, elapsed time — agrees
+        // when shortest paths are unique.
+        prop_assert_eq!(default_trace, exact_trace);
+    }
+
+    #[test]
+    fn structural_fields_agree_between_modes_even_with_ties(
+        seed in 0u64..200,
+        pick in any::<u64>(),
+        plan in arb_plan(),
+    ) {
+        // Mapper graphs have equal-hop-count ties, so per-hop RTTs may
+        // differ between the modes — but the router sequence, reachability
+        // and probe accounting must not.
+        let topo = mapper(&MapperConfig::with_access(40, 60), seed).unwrap();
+        let oracle = RouteOracle::new(&topo);
+        let access = topo.access_routers();
+        let src = access[(pick % access.len() as u64) as usize];
+        let dst = RouterId((pick % 40) as u32);
+        let base = TraceConfig { plan, ..TraceConfig::default() };
+        let default_trace = Tracer::new(&oracle, base).trace(src, dst, seed ^ pick).unwrap();
+        let exact_cfg = TraceConfig { exact_hop_rtts: true, ..base };
+        let exact_trace = Tracer::new(&oracle, exact_cfg).trace(src, dst, seed ^ pick).unwrap();
+        prop_assert_eq!(default_trace.router_path(), exact_trace.router_path());
+        prop_assert_eq!(default_trace.destination_reached, exact_trace.destination_reached);
+        prop_assert_eq!(default_trace.probes_sent, exact_trace.probes_sent);
+        let d_hops: Vec<(u32, Option<RouterId>)> =
+            default_trace.hops.iter().map(|h| (h.ttl, h.router)).collect();
+        let e_hops: Vec<(u32, Option<RouterId>)> =
+            exact_trace.hops.iter().map(|h| (h.ttl, h.router)).collect();
+        prop_assert_eq!(d_hops, e_hops);
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_traces(
+        seed in 0u64..200,
+        pick in any::<u64>(),
+        plan in arb_plan(),
+        loss in 0.0f64..0.5,
+        anon in 0.0f64..0.5,
+    ) {
+        let topo = mapper(&MapperConfig::with_access(40, 60), seed).unwrap();
+        let oracle = RouteOracle::new(&topo);
+        let access = topo.access_routers();
+        let cfg = TraceConfig {
+            plan,
+            loss_probability: loss,
+            anonymous_probability: anon,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(&oracle, cfg);
+        // One scratch across several different (src, dst, seed) traces must
+        // reproduce the fresh-allocation results exactly.
+        let mut scratch = TraceScratch::new();
+        for k in 0..5u64 {
+            let src = access[((pick + k) % access.len() as u64) as usize];
+            let dst = RouterId(((pick / (k + 1)) % 40) as u32);
+            let fresh = tracer.trace(src, dst, seed ^ k);
+            let reused = tracer.trace_with_scratch(src, dst, seed ^ k, &mut scratch);
+            prop_assert_eq!(fresh, reused, "trace {}", k);
+        }
     }
 
     #[test]

@@ -15,9 +15,19 @@
 //! * [`RouteOracle`] — cached per-destination trees, full router paths and
 //!   RTT estimates (used by the traceroute simulation and the coordinate
 //!   baselines). The oracle is `Send + Sync`: an eager arena of trees for
-//!   the destinations known up front (landmarks) plus a lock-striped lazy
-//!   cache, so a whole swarm's round-1 traceroutes run concurrently against
-//!   one shared oracle with bit-identical results to a sequential run.
+//!   the destinations known up front (landmarks) plus a lock-striped,
+//!   hard-capped lazy cache ([`OracleConfig`]), so a whole swarm's round-1
+//!   traceroutes run concurrently against one shared oracle with
+//!   bit-identical results to a sequential run. [`OracleStats`] counts the
+//!   trees actually built.
+//! * [`RouteOracle::route_annotated`] + [`RouteHop`] — the route with a
+//!   one-way latency prefix per hop, read off the destination tree alone:
+//!   one tree prices every TTL of a traceroute.
+//! * [`SptScratch`] + [`CsrGraph`] — reusable build buffers
+//!   (generation-stamped, bump-reset between builds) and a CSR-packed
+//!   adjacency view, so bulk tree construction stops paying per-build
+//!   allocation churn. Both produce trees bit-identical to the plain
+//!   [`shortest_path_tree`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +37,8 @@ mod oracle;
 mod spt;
 
 pub use bfs::{bfs_distances, bfs_distances_bounded, hop_distance, multi_source_bfs};
-pub use oracle::RouteOracle;
-pub use spt::{shortest_path_tree, ShortestPathTree, SptMetric};
+pub use oracle::{OracleConfig, OracleStats, RouteOracle};
+pub use spt::{
+    shortest_path_tree, shortest_path_tree_with_scratch, CsrGraph, RouteHop, ShortestPathTree,
+    SptMetric, SptScratch,
+};

@@ -1,4 +1,18 @@
 //! Deterministic shortest-path trees.
+//!
+//! Three building blocks live here:
+//!
+//! * [`ShortestPathTree`] — one rooted tree with parent/hops/latency per
+//!   router and path extraction, including the **latency-annotated** route
+//!   ([`ShortestPathTree::annotated_path_to_root`]) that lets a traceroute
+//!   simulation price every hop of a route from the destination tree alone;
+//! * [`SptScratch`] — reusable build buffers (queue, heap, dist/parent
+//!   arrays with generation-stamped reset), so bulk tree construction stops
+//!   paying one allocate-and-memset cycle per tree;
+//! * [`CsrGraph`] — a CSR-packed adjacency view of a topology: one offsets
+//!   array plus flat neighbor/latency arrays, cache-friendlier to sweep
+//!   than the builder's `Vec<Vec<Edge>>` and built once per
+//!   [`crate::RouteOracle`].
 
 use nearpeer_topology::{RouterId, Topology};
 use std::cmp::Reverse;
@@ -16,6 +30,23 @@ pub enum SptMetric {
 }
 
 const NO_PARENT: u32 = u32::MAX;
+
+/// One hop of an annotated route (see
+/// [`ShortestPathTree::annotated_path_to_root`]): the router, the one-way
+/// latency accumulated from the route's start up to it, and its hop index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHop {
+    /// The router at this hop.
+    pub router: RouterId,
+    /// Cumulative one-way latency from the route's start (the query vertex
+    /// `v`) to this router along the route, in microseconds. Zero for the
+    /// start itself; monotone non-decreasing along the route.
+    pub prefix_latency_us: u64,
+    /// Hops from the route's start: 0 for the start, so for a route
+    /// extracted towards a traceroute destination this is exactly the TTL
+    /// that makes this router answer.
+    pub depth: u32,
+}
 
 /// A shortest-path tree rooted at one router, with deterministic tie-breaks
 /// (lowest-id parent at equal distance).
@@ -77,6 +108,236 @@ impl ShortestPathTree {
         }
         Some(path)
     }
+
+    /// The latency-annotated route `v, ..., root`: every hop carries the
+    /// one-way latency prefix from `v` and its hop index, so a caller can
+    /// price **all** hops of the route from this one tree — no tree rooted
+    /// at each intermediate router required. `None` if unreachable.
+    ///
+    /// The prefix is exact, not an estimate: tree latencies accumulate
+    /// along tree paths, so the latency from `v` to an ancestor `a` is
+    /// `latency(v) - latency(a)`.
+    pub fn annotated_path_to_root(&self, v: RouterId) -> Option<Vec<RouteHop>> {
+        let mut out = Vec::new();
+        self.annotated_path_to_root_into(v, &mut out).then_some(out)
+    }
+
+    /// [`Self::annotated_path_to_root`] into a caller-owned buffer
+    /// (cleared first); returns whether `v` reaches the root. The
+    /// allocation-free form the traceroute hot loop uses.
+    pub fn annotated_path_to_root_into(&self, v: RouterId, out: &mut Vec<RouteHop>) -> bool {
+        out.clear();
+        if !self.reaches(v) {
+            return false;
+        }
+        let total = self.latency_us[v.index()];
+        let mut cur = v;
+        let mut depth = 0u32;
+        loop {
+            out.push(RouteHop {
+                router: cur,
+                prefix_latency_us: total - self.latency_us[cur.index()],
+                depth,
+            });
+            match self.parent(cur) {
+                Some(p) => {
+                    cur = p;
+                    depth += 1;
+                }
+                None => return true,
+            }
+        }
+    }
+}
+
+/// Adjacency sources the tree builders can sweep: the builder-owned
+/// `Vec<Vec<Edge>>` topology, or the flat [`CsrGraph`] packing of it. One
+/// generic implementation keeps the two paths bit-identical by
+/// construction.
+trait Adjacency {
+    fn n_nodes(&self) -> usize;
+    /// Calls `f(neighbor, link_latency_us)` for every neighbor of `v`, in
+    /// ascending neighbor order (the determinism contract).
+    fn for_each_neighbor(&self, v: u32, f: impl FnMut(u32, u32));
+}
+
+impl Adjacency for &Topology {
+    fn n_nodes(&self) -> usize {
+        self.n_routers()
+    }
+
+    fn for_each_neighbor(&self, v: u32, mut f: impl FnMut(u32, u32)) {
+        for e in self.neighbors(RouterId(v)) {
+            f(e.to.0, e.latency_us);
+        }
+    }
+}
+
+/// A CSR (compressed sparse row) adjacency view of a topology: node `v`'s
+/// neighbors and link latencies live in `targets[offsets[v]..offsets[v+1]]`
+/// — two flat arrays instead of one heap allocation per router, so the
+/// tree builders' inner loop walks contiguous memory. Neighbor order (and
+/// therefore every tie-break) is exactly the topology's sorted adjacency
+/// order: trees built through a `CsrGraph` are bit-identical to trees
+/// built straight off the [`Topology`].
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    latencies_us: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Packs a topology's adjacency lists. One linear pass; the view is
+    /// immutable afterwards and safe to share across threads.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.n_routers();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(topo.n_links() * 2);
+        let mut latencies_us = Vec::with_capacity(topo.n_links() * 2);
+        offsets.push(0);
+        for v in topo.routers() {
+            for e in topo.neighbors(v) {
+                targets.push(e.to.0);
+                latencies_us.push(e.latency_us);
+            }
+            offsets.push(u32::try_from(targets.len()).expect("edge count fits u32"));
+        }
+        Self {
+            offsets,
+            targets,
+            latencies_us,
+        }
+    }
+
+    /// Number of routers in the packed view.
+    pub fn n_routers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Builds the shortest-path tree rooted at `root` through this packed
+    /// view, reusing `scratch`'s buffers. Bit-identical to
+    /// [`shortest_path_tree`] on the originating topology.
+    pub fn shortest_path_tree(
+        &self,
+        root: RouterId,
+        metric: SptMetric,
+        scratch: &mut SptScratch,
+    ) -> ShortestPathTree {
+        build_tree(self, root, metric, scratch)
+    }
+}
+
+impl Adjacency for &CsrGraph {
+    fn n_nodes(&self) -> usize {
+        self.n_routers()
+    }
+
+    fn for_each_neighbor(&self, v: u32, mut f: impl FnMut(u32, u32)) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        for (&to, &lat) in self.targets[lo..hi].iter().zip(&self.latencies_us[lo..hi]) {
+            f(to, lat);
+        }
+    }
+}
+
+/// Reusable shortest-path-tree build state: the BFS queue / Dijkstra heap
+/// plus parent/hops/latency working arrays, sized once and **generation
+/// stamped** so "resetting" between builds is a counter bump, not a memset
+/// of three n-entry arrays. One scratch serves any number of sequential
+/// builds (one per thread for parallel builders); reuse is bit-identical
+/// to building with a fresh scratch every time.
+#[derive(Debug, Default)]
+pub struct SptScratch {
+    queue: VecDeque<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    parent: Vec<u32>,
+    hops: Vec<u32>,
+    latency_us: Vec<u64>,
+    /// `stamp[i] == generation` marks entry `i` as written by the current
+    /// build; anything else is stale and read as unreachable.
+    stamp: Vec<u32>,
+    generation: u32,
+    builds: u64,
+}
+
+impl SptScratch {
+    /// An empty scratch; buffers size themselves to the first topology
+    /// built through them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trees built through this scratch so far (diagnostics; the oracle's
+    /// `scratch_reuses` counter is derived from it).
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Starts a build over `n` nodes: sizes the arrays if the topology
+    /// changed, advances the generation (handling wrap-around by a full
+    /// restamp), clears the queue and heap.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+            self.parent.resize(n, NO_PARENT);
+            self.hops.resize(n, u32::MAX);
+            self.latency_us.resize(n, u64::MAX);
+            self.generation = 0;
+        }
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+        self.queue.clear();
+        self.heap.clear();
+        self.builds += 1;
+    }
+
+    #[inline]
+    fn visited(&self, i: usize) -> bool {
+        self.stamp[i] == self.generation
+    }
+
+    #[inline]
+    fn visit(&mut self, i: usize, parent: u32, hops: u32, latency_us: u64) {
+        self.stamp[i] = self.generation;
+        self.parent[i] = parent;
+        self.hops[i] = hops;
+        self.latency_us[i] = latency_us;
+    }
+
+    /// Copies the stamped entries out into an exact-size owned tree;
+    /// unstamped entries materialise as unreachable.
+    fn materialize(&self, root: RouterId, metric: SptMetric) -> ShortestPathTree {
+        let n = self.stamp.len();
+        let mut parent = Vec::with_capacity(n);
+        let mut hops = Vec::with_capacity(n);
+        let mut latency_us = Vec::with_capacity(n);
+        for i in 0..n {
+            if self.visited(i) {
+                parent.push(self.parent[i]);
+                hops.push(self.hops[i]);
+                latency_us.push(self.latency_us[i]);
+            } else {
+                parent.push(NO_PARENT);
+                hops.push(u32::MAX);
+                latency_us.push(u64::MAX);
+            }
+        }
+        ShortestPathTree {
+            root,
+            metric,
+            parent,
+            hops,
+            latency_us,
+        }
+    }
 }
 
 /// Builds the shortest-path tree rooted at `root` under the given metric.
@@ -86,71 +347,67 @@ impl ShortestPathTree {
 /// `(distance, id)` pairs in total order — rebuilding the same tree for the
 /// same topology every time.
 pub fn shortest_path_tree(topo: &Topology, root: RouterId, metric: SptMetric) -> ShortestPathTree {
+    shortest_path_tree_with_scratch(topo, root, metric, &mut SptScratch::new())
+}
+
+/// [`shortest_path_tree`] reusing a caller-owned [`SptScratch`] — the bulk
+/// build form. The result is bit-identical to a fresh-scratch build.
+pub fn shortest_path_tree_with_scratch(
+    topo: &Topology,
+    root: RouterId,
+    metric: SptMetric,
+    scratch: &mut SptScratch,
+) -> ShortestPathTree {
+    build_tree(topo, root, metric, scratch)
+}
+
+fn build_tree<A: Adjacency>(
+    adj: A,
+    root: RouterId,
+    metric: SptMetric,
+    scratch: &mut SptScratch,
+) -> ShortestPathTree {
     match metric {
-        SptMetric::Hops => bfs_tree(topo, root),
-        SptMetric::Latency => dijkstra_tree(topo, root),
+        SptMetric::Hops => bfs_tree(adj, root, scratch),
+        SptMetric::Latency => dijkstra_tree(adj, root, scratch),
     }
 }
 
-fn bfs_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
-    let n = topo.n_routers();
-    let mut parent = vec![NO_PARENT; n];
-    let mut hops = vec![u32::MAX; n];
-    let mut latency = vec![u64::MAX; n];
-    hops[root.index()] = 0;
-    latency[root.index()] = 0;
-    let mut queue = VecDeque::from([root]);
-    while let Some(v) = queue.pop_front() {
-        for e in topo.neighbors(v) {
-            let u = e.to.index();
-            if hops[u] == u32::MAX {
-                hops[u] = hops[v.index()] + 1;
-                latency[u] = latency[v.index()] + e.latency_us as u64;
-                parent[u] = v.0;
-                queue.push_back(e.to);
+fn bfs_tree<A: Adjacency>(adj: A, root: RouterId, s: &mut SptScratch) -> ShortestPathTree {
+    s.begin(adj.n_nodes());
+    s.visit(root.index(), NO_PARENT, 0, 0);
+    s.queue.push_back(root.0);
+    while let Some(v) = s.queue.pop_front() {
+        let vh = s.hops[v as usize];
+        let vl = s.latency_us[v as usize];
+        adj.for_each_neighbor(v, |u, lat| {
+            if !s.visited(u as usize) {
+                s.visit(u as usize, v, vh + 1, vl + lat as u64);
+                s.queue.push_back(u);
             }
-        }
+        });
     }
-    ShortestPathTree {
-        root,
-        metric: SptMetric::Hops,
-        parent,
-        hops,
-        latency_us: latency,
-    }
+    s.materialize(root, SptMetric::Hops)
 }
 
-fn dijkstra_tree(topo: &Topology, root: RouterId) -> ShortestPathTree {
-    let n = topo.n_routers();
-    let mut parent = vec![NO_PARENT; n];
-    let mut hops = vec![u32::MAX; n];
-    let mut latency = vec![u64::MAX; n];
-    latency[root.index()] = 0;
-    hops[root.index()] = 0;
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    heap.push(Reverse((0, root.0)));
-    while let Some(Reverse((d, v))) = heap.pop() {
-        if d > latency[v as usize] {
+fn dijkstra_tree<A: Adjacency>(adj: A, root: RouterId, s: &mut SptScratch) -> ShortestPathTree {
+    s.begin(adj.n_nodes());
+    s.visit(root.index(), NO_PARENT, 0, 0);
+    s.heap.push(Reverse((0, root.0)));
+    while let Some(Reverse((d, v))) = s.heap.pop() {
+        if d > s.latency_us[v as usize] {
             continue; // stale entry
         }
-        for e in topo.neighbors(RouterId(v)) {
-            let u = e.to.index();
-            let nd = d + e.latency_us as u64;
-            if nd < latency[u] {
-                latency[u] = nd;
-                hops[u] = hops[v as usize] + 1;
-                parent[u] = v;
-                heap.push(Reverse((nd, e.to.0)));
+        let vh = s.hops[v as usize];
+        adj.for_each_neighbor(v, |u, lat| {
+            let nd = d + lat as u64;
+            if !s.visited(u as usize) || nd < s.latency_us[u as usize] {
+                s.visit(u as usize, v, vh + 1, nd);
+                s.heap.push(Reverse((nd, u)));
             }
-        }
+        });
     }
-    ShortestPathTree {
-        root,
-        metric: SptMetric::Latency,
-        parent,
-        hops,
-        latency_us: latency,
-    }
+    s.materialize(root, SptMetric::Latency)
 }
 
 #[cfg(test)]
@@ -199,8 +456,17 @@ mod tests {
         assert_eq!(spt.path_to_root(RouterId(1)), None);
         assert_eq!(spt.hops_to_root(RouterId(1)), None);
         assert_eq!(spt.latency_to_root_us(RouterId(1)), None);
+        assert_eq!(spt.annotated_path_to_root(RouterId(1)), None);
         // Root trivially reaches itself.
         assert_eq!(spt.path_to_root(RouterId(0)), Some(vec![RouterId(0)]));
+        assert_eq!(
+            spt.annotated_path_to_root(RouterId(0)),
+            Some(vec![RouteHop {
+                router: RouterId(0),
+                prefix_latency_us: 0,
+                depth: 0
+            }])
+        );
     }
 
     #[test]
@@ -214,10 +480,109 @@ mod tests {
     }
 
     #[test]
+    fn annotated_path_carries_exact_prefixes() {
+        let mut b = TopologyBuilder::with_routers(4);
+        b.link(RouterId(0), RouterId(1), 100).unwrap();
+        b.link(RouterId(1), RouterId(2), 250).unwrap();
+        b.link(RouterId(2), RouterId(3), 50).unwrap();
+        let t = b.build();
+        // Tree rooted at 3; route from 0 is 0 → 1 → 2 → 3.
+        let spt = shortest_path_tree(&t, RouterId(3), SptMetric::Hops);
+        let route = spt.annotated_path_to_root(RouterId(0)).unwrap();
+        let expect = [
+            (RouterId(0), 0u64, 0u32),
+            (RouterId(1), 100, 1),
+            (RouterId(2), 350, 2),
+            (RouterId(3), 400, 3),
+        ];
+        assert_eq!(route.len(), expect.len());
+        for (hop, (router, prefix, depth)) in route.iter().zip(expect) {
+            assert_eq!(
+                (hop.router, hop.prefix_latency_us, hop.depth),
+                (router, prefix, depth)
+            );
+        }
+        // The annotated route's router sequence is path_to_root exactly.
+        let plain = spt.path_to_root(RouterId(0)).unwrap();
+        let routers: Vec<RouterId> = route.iter().map(|h| h.router).collect();
+        assert_eq!(routers, plain);
+    }
+
+    #[test]
+    fn annotated_into_reuses_the_buffer() {
+        let t = regular::line(6);
+        let spt = shortest_path_tree(&t, RouterId(5), SptMetric::Hops);
+        let mut buf = vec![
+            RouteHop {
+                router: RouterId(9),
+                prefix_latency_us: 9,
+                depth: 9
+            };
+            32
+        ];
+        assert!(spt.annotated_path_to_root_into(RouterId(0), &mut buf));
+        assert_eq!(buf, spt.annotated_path_to_root(RouterId(0)).unwrap());
+        // An unreachable query clears the buffer rather than leaving stale
+        // hops behind.
+        let t2 = TopologyBuilder::with_routers(2).build();
+        let spt2 = shortest_path_tree(&t2, RouterId(0), SptMetric::Hops);
+        assert!(!spt2.annotated_path_to_root_into(RouterId(1), &mut buf));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn trees_are_deterministic() {
         let t = regular::grid(4, 4);
         let a = shortest_path_tree(&t, RouterId(5), SptMetric::Hops);
         let b = shortest_path_tree(&t, RouterId(5), SptMetric::Hops);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_builds() {
+        let topos = [regular::grid(4, 4), regular::ring(9)];
+        let mut scratch = SptScratch::new();
+        for t in &topos {
+            // One scratch across every root, both metrics, and a topology
+            // size change in the middle — each tree must equal the
+            // fresh-scratch build exactly.
+            for metric in [SptMetric::Hops, SptMetric::Latency] {
+                for root in t.routers() {
+                    let reused = shortest_path_tree_with_scratch(t, root, metric, &mut scratch);
+                    let fresh = shortest_path_tree(t, root, metric);
+                    assert_eq!(reused, fresh, "{root} {metric:?}");
+                }
+            }
+        }
+        assert_eq!(scratch.builds(), (16 + 9) * 2);
+    }
+
+    #[test]
+    fn csr_builds_match_topology_builds() {
+        let topos = [regular::grid(4, 3), regular::ring(7), regular::line(5)];
+        for t in &topos {
+            let csr = CsrGraph::new(t);
+            assert_eq!(csr.n_routers(), t.n_routers());
+            let mut scratch = SptScratch::new();
+            for metric in [SptMetric::Hops, SptMetric::Latency] {
+                for root in t.routers() {
+                    assert_eq!(
+                        csr.shortest_path_tree(root, metric, &mut scratch),
+                        shortest_path_tree(t, root, metric),
+                        "{root} {metric:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_handles_isolated_routers() {
+        let t = TopologyBuilder::with_routers(3).build();
+        let csr = CsrGraph::new(&t);
+        let tree = csr.shortest_path_tree(RouterId(1), SptMetric::Hops, &mut SptScratch::new());
+        assert!(tree.reaches(RouterId(1)));
+        assert!(!tree.reaches(RouterId(0)));
+        assert!(!tree.reaches(RouterId(2)));
     }
 }

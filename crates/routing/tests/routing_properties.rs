@@ -2,10 +2,11 @@
 //! valid, truly shortest routes on arbitrary connected topologies.
 
 use nearpeer_routing::{
-    bfs_distances, hop_distance, multi_source_bfs, shortest_path_tree, RouteOracle, SptMetric,
+    bfs_distances, hop_distance, multi_source_bfs, shortest_path_tree,
+    shortest_path_tree_with_scratch, RouteOracle, SptMetric, SptScratch,
 };
 use nearpeer_topology::generators::{mapper, waxman, MapperConfig, WaxmanConfig};
-use nearpeer_topology::{RouterId, Topology};
+use nearpeer_topology::{RouterId, Topology, TopologyBuilder};
 use proptest::prelude::*;
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
@@ -23,6 +24,32 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
         } else {
             mapper(&MapperConfig::with_access(n.max(5), n), seed).unwrap()
         }
+    })
+}
+
+/// A uniformly random tree with distinct link latencies. Tree paths are
+/// *unique*, so there are no shortest-path ties: the hop-shortest route is
+/// the only route, and per-hop-tree RTTs must coincide exactly with the
+/// destination tree's latency prefixes.
+fn arb_tree_topology() -> impl Strategy<Value = Topology> {
+    (4usize..50, 0u64..500).prop_map(|(n, seed)| {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = TopologyBuilder::with_routers(n);
+        for i in 1..n {
+            let parent = (next() % i as u64) as u32;
+            // Distinct latencies (units of 10 + unique offset) keep even
+            // latency-metric trees tie-free.
+            let latency = 10_000 + 977 * i as u32 + (next() % 997) as u32;
+            b.link(RouterId(i as u32), RouterId(parent), latency)
+                .expect("parent < i: no self-loops or duplicates");
+        }
+        b.build()
     })
 }
 
@@ -98,6 +125,83 @@ proptest! {
         for r in topo.routers() {
             let want = d1[r.index()].min(d2[r.index()]);
             prop_assert_eq!(merged[r.index()].0, want);
+        }
+    }
+
+    #[test]
+    fn annotated_prefixes_are_monotone_and_anchor_to_rtt(
+        topo in arb_topology(),
+        pick in any::<u64>(),
+    ) {
+        let n = topo.n_routers() as u64;
+        let src = RouterId((pick % n) as u32);
+        let dst = RouterId(((pick / n) % n) as u32);
+        let oracle = RouteOracle::new(&topo);
+        let annotated = oracle.route_annotated(src, dst).expect("generators are connected");
+        let plain = oracle.route(src, dst).unwrap();
+        // Same routers, hop for hop, with the hop index as depth.
+        prop_assert_eq!(annotated.len(), plain.len());
+        for (i, (hop, &router)) in annotated.iter().zip(&plain).enumerate() {
+            prop_assert_eq!(hop.router, router);
+            prop_assert_eq!(hop.depth as usize, i);
+        }
+        // Prefixes start at zero and never decrease along the route.
+        prop_assert_eq!(annotated[0].prefix_latency_us, 0);
+        for w in annotated.windows(2) {
+            prop_assert!(
+                w[0].prefix_latency_us <= w[1].prefix_latency_us,
+                "prefix decreased: {:?} -> {:?}", w[0], w[1]
+            );
+            // Each step adds exactly the traversed link's latency.
+            let link = topo.link_latency_us(w[0].router, w[1].router).unwrap() as u64;
+            prop_assert_eq!(w[1].prefix_latency_us - w[0].prefix_latency_us, link);
+        }
+        // At the destination the doubled prefix IS the oracle RTT.
+        prop_assert_eq!(
+            annotated.last().unwrap().prefix_latency_us * 2,
+            oracle.rtt_us(src, dst).unwrap()
+        );
+    }
+
+    #[test]
+    fn annotated_prefixes_match_per_hop_trees_when_tie_free(
+        topo in arb_tree_topology(),
+        pick in any::<u64>(),
+    ) {
+        let n = topo.n_routers() as u64;
+        let src = RouterId((pick % n) as u32);
+        let dst = RouterId(((pick / n) % n) as u32);
+        let oracle = RouteOracle::new(&topo);
+        let annotated = oracle.route_annotated(src, dst).expect("trees are connected");
+        // On a tree every path is unique, so the per-hop-tree RTT (what
+        // `TraceConfig::exact_hop_rtts` prices from) must equal the doubled
+        // destination-tree prefix at EVERY hop — the two trace modes agree
+        // hop for hop exactly when shortest paths are tie-free.
+        for hop in &annotated {
+            prop_assert_eq!(
+                hop.prefix_latency_us * 2,
+                oracle.rtt_us(src, hop.router).unwrap(),
+                "hop {} at depth {}", hop.router, hop.depth
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_and_fresh_builds_are_bit_identical(
+        topo in arb_topology(),
+        picks in any::<u32>(),
+    ) {
+        // One scratch reused across roots and metrics must reproduce the
+        // fresh-scratch trees bit for bit.
+        let n = topo.n_routers() as u32;
+        let mut scratch = SptScratch::new();
+        for k in 0..4u32 {
+            let root = RouterId((picks.wrapping_mul(k + 1)) % n);
+            for metric in [SptMetric::Hops, SptMetric::Latency] {
+                let fresh = shortest_path_tree(&topo, root, metric);
+                let reused = shortest_path_tree_with_scratch(&topo, root, metric, &mut scratch);
+                prop_assert_eq!(&fresh, &reused, "root {} metric {:?}", root, metric);
+            }
         }
     }
 

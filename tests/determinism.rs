@@ -73,7 +73,9 @@ fn same_seed_same_traceroute() {
 /// this host has cores: the traced hop records, probe counts and elapsed
 /// costs must be bit-identical to the sequential order, because every peer
 /// derives its own RNG stream from `seed ^ i·0x9E37_79B9` and the shared
-/// oracle's trees are a pure function of the topology.
+/// oracle's trees are a pure function of the topology. The default
+/// (one-destination-tree) trace path is pinned across thread counts
+/// {1,2,4,8} **and across independent reruns** for 2 seeds × 2 topologies.
 #[test]
 fn parallel_round1_is_bit_identical_to_sequential() {
     let topologies = [
@@ -101,14 +103,74 @@ fn parallel_round1_is_bit_identical_to_sequential() {
                     .map(|src| (src, target))
                     .collect();
                 let sequential = trace_round1(&tracer, &jobs, seed, 1);
-                for threads in [2, 5] {
+                for threads in [2, 4, 8] {
                     let parallel = trace_round1(&tracer, &jobs, seed, threads);
                     assert_eq!(
                         parallel, sequential,
                         "topology {t_idx}, seed {seed}, threads {threads}"
                     );
                 }
+                // An independent rerun — fresh oracle, fresh tree cache,
+                // fresh scratches — reproduces the whole round bit for bit.
+                let rerun_oracle = RouteOracle::new(topo);
+                let rerun_tracer = Tracer::new(&rerun_oracle, cfg);
+                let rerun = trace_round1(&rerun_tracer, &jobs, seed, 4);
+                assert_eq!(rerun, sequential, "topology {t_idx}, seed {seed}, rerun");
                 assert!(sequential.iter().all(|t| t.is_some()));
+            }
+        }
+    }
+}
+
+/// The default (destination-tree prefix) and `exact_hop_rtts`
+/// (per-hop-tree) pricing modes must be **structurally identical** on
+/// every topology: same router sequence, same reachability, same probe
+/// accounting. Only per-hop `rtt_us`/`elapsed_us` may differ, and only
+/// under shortest-path ties. 2 seeds × 2 topologies, across thread counts.
+#[test]
+fn default_and_exact_trace_modes_are_structurally_identical() {
+    let topologies = [
+        mapper(&MapperConfig::tiny(), 3).expect("tiny map"),
+        mapper(&MapperConfig::with_access(40, 120), 8).expect("wide map"),
+    ];
+    for (t_idx, topo) in topologies.iter().enumerate() {
+        for seed in [5u64, 99] {
+            let oracle = RouteOracle::new(topo);
+            let default_tracer = Tracer::new(&oracle, TraceConfig::default());
+            let exact_tracer = Tracer::new(
+                &oracle,
+                TraceConfig {
+                    exact_hop_rtts: true,
+                    ..TraceConfig::default()
+                },
+            );
+            let target = topo
+                .routers()
+                .max_by_key(|&r| topo.degree(r))
+                .expect("non-empty topology");
+            let jobs: Vec<(RouterId, RouterId)> = topo
+                .access_routers()
+                .into_iter()
+                .map(|src| (src, target))
+                .collect();
+            for threads in [1usize, 4] {
+                let default_run = trace_round1(&default_tracer, &jobs, seed, threads);
+                let exact_run = trace_round1(&exact_tracer, &jobs, seed, threads);
+                for (i, (d, e)) in default_run.iter().zip(&exact_run).enumerate() {
+                    let label =
+                        format!("topology {t_idx}, seed {seed}, threads {threads}, job {i}");
+                    let (d, e) = (
+                        d.as_ref().expect("connected"),
+                        e.as_ref().expect("connected"),
+                    );
+                    assert_eq!(d.router_path(), e.router_path(), "{label}");
+                    assert_eq!(d.destination_reached, e.destination_reached, "{label}");
+                    assert_eq!(d.probes_sent, e.probes_sent, "{label}");
+                    assert_eq!(d.hops.len(), e.hops.len(), "{label}");
+                    for (dh, eh) in d.hops.iter().zip(&e.hops) {
+                        assert_eq!((dh.ttl, dh.router), (eh.ttl, eh.router), "{label}");
+                    }
+                }
             }
         }
     }
