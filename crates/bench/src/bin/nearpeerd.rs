@@ -19,13 +19,16 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Args {
     listen: String,
     landmarks: usize,
     regions: usize,
     neighbor_count: usize,
+    /// Seconds a connection may sit idle (no complete frame) before the
+    /// daemon evicts it; `0` disables the deadline.
+    idle_secs: u64,
 }
 
 impl Args {
@@ -35,6 +38,7 @@ impl Args {
             landmarks: 8,
             regions: 1,
             neighbor_count: 5,
+            idle_secs: 300,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -54,10 +58,14 @@ impl Args {
                     out.neighbor_count =
                         v.parse().map_err(|_| format!("bad --neighbor-count {v}"))?;
                 }
+                "--idle-secs" => {
+                    let v = value("--idle-secs")?;
+                    out.idle_secs = v.parse().map_err(|_| format!("bad --idle-secs {v}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: nearpeerd [--listen ADDR] [--landmarks N] [--regions N] \
-                         [--neighbor-count K]"
+                         [--neighbor-count K] [--idle-secs S]"
                             .into(),
                     )
                 }
@@ -120,8 +128,9 @@ fn main() {
         };
         let service = Arc::clone(&service);
         let shutdown = Arc::clone(&shutdown);
+        let idle = (args.idle_secs > 0).then(|| Duration::from_secs(args.idle_secs));
         handles.push(std::thread::spawn(move || {
-            serve_connection(stream, service, shutdown, local)
+            serve_connection(stream, service, shutdown, local, idle)
         }));
     }
     // Drain: every live connection loop notices the flag within its read
@@ -139,22 +148,27 @@ fn serve_connection(
     service: Arc<dyn WireService>,
     shutdown: Arc<AtomicBool>,
     local: SocketAddr,
+    idle_deadline: Option<Duration>,
 ) {
+    let peer = stream.peer_addr().ok();
     let mut conn = match FrameConn::new(stream) {
         Ok(conn) => conn,
         Err(_) => return,
     };
     // A bounded read lets the loop observe a shutdown requested on
-    // another connection without dropping a frame mid-reassembly.
+    // another connection without dropping a frame mid-reassembly — and,
+    // stacked up, gives the idle deadline its resolution.
     if conn
         .set_read_timeout(Some(Duration::from_millis(250)))
         .is_err()
     {
         return;
     }
+    let mut last_frame = Instant::now();
     loop {
         match conn.recv() {
             Ok(Some(msg)) => {
+                last_frame = Instant::now();
                 let stop = matches!(msg, Message::Shutdown { .. });
                 if let Some(reply) = service.handle(msg) {
                     if conn.send(&reply).is_err() {
@@ -175,6 +189,27 @@ fn serve_connection(
             {
                 if shutdown.load(Ordering::Acquire) {
                     return;
+                }
+                if let Some(limit) = idle_deadline {
+                    let idle = last_frame.elapsed();
+                    if idle >= limit {
+                        // A client that stopped talking without closing
+                        // would otherwise pin this thread (and its fd)
+                        // forever.
+                        match peer {
+                            Some(addr) => eprintln!(
+                                "nearpeerd: evicting idle connection {addr} \
+                                 ({}s without a frame)",
+                                idle.as_secs()
+                            ),
+                            None => eprintln!(
+                                "nearpeerd: evicting idle connection \
+                                 ({}s without a frame)",
+                                idle.as_secs()
+                            ),
+                        }
+                        return;
+                    }
                 }
             }
             // Oversized frame or transport error: the stream position is

@@ -1,0 +1,244 @@
+//! Crash-restart soak: the durability pipeline's CI guard.
+//!
+//! Three stages, each fatal on failure:
+//!
+//! 1. the **fault matrix** — recovery driven through every
+//!    [`nearpeer_core::FaultPlan`] arm (truncated/bit-rotted snapshot,
+//!    torn/corrupted journal, writer killed between batches), asserting
+//!    fail-closed or last-consistent-point per class;
+//! 2. the **kill/rejoin soak** — churn a federation while one region's
+//!    ops stream through the background writer, kill it mid-load,
+//!    verify queries route around the hole, rejoin it from the durable
+//!    bytes, and gate on zero counter drift between the dead server and
+//!    its recovery plus the conservation/tombstone gates;
+//! 3. optionally (`--throughput`), an **A/B pair** with the kill
+//!    disabled: the same workload with the writer on vs off, reporting
+//!    the snapshotting overhead ratio.
+//!
+//! Run in release mode.
+//!
+//! ```sh
+//! cargo run --release -p nearpeer-bench --bin restart_soak -- \
+//!     [--peers N] [--regions N] [--epochs N] [--kill-at E] [--down E] \
+//!     [--throughput] [--json] [--budget-secs S] [--seed S]
+//! ```
+
+use nearpeer_bench::experiments::restart::{
+    check_restart_soak, run_fault_matrix, run_restart_soak, RestartSoakConfig, RestartSoakResult,
+};
+use std::time::Instant;
+
+struct Args {
+    peers: usize,
+    regions: usize,
+    epochs: u64,
+    kill_at: u64,
+    down: u64,
+    throughput: bool,
+    json: bool,
+    budget_secs: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let smoke = RestartSoakConfig::smoke();
+    let mut out = Args {
+        peers: smoke.peers,
+        regions: smoke.regions,
+        epochs: smoke.epochs,
+        kill_at: smoke.kill_at_epoch,
+        down: smoke.down_epochs,
+        throughput: false,
+        json: false,
+        budget_secs: 0,
+        seed: 42,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--peers" => {
+                let v = value("--peers")?;
+                out.peers = v.parse().map_err(|_| format!("bad --peers value {v}"))?;
+            }
+            "--regions" => {
+                let v = value("--regions")?;
+                out.regions = v.parse().map_err(|_| format!("bad --regions value {v}"))?;
+            }
+            "--epochs" => {
+                let v = value("--epochs")?;
+                out.epochs = v.parse().map_err(|_| format!("bad --epochs value {v}"))?;
+            }
+            "--kill-at" => {
+                let v = value("--kill-at")?;
+                out.kill_at = v.parse().map_err(|_| format!("bad --kill-at value {v}"))?;
+            }
+            "--down" => {
+                let v = value("--down")?;
+                out.down = v.parse().map_err(|_| format!("bad --down value {v}"))?;
+            }
+            "--throughput" => out.throughput = true,
+            "--json" => out.json = true,
+            "--budget-secs" => {
+                let v = value("--budget-secs")?;
+                out.budget_secs = v
+                    .parse()
+                    .map_err(|_| format!("bad --budget-secs value {v}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: [--peers N] [--regions N] [--epochs N] [--kill-at E] [--down E] \
+                     [--throughput] [--json] [--budget-secs S] [--seed S]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn config_for(args: &Args) -> RestartSoakConfig {
+    RestartSoakConfig {
+        peers: args.peers,
+        regions: args.regions,
+        n_landmarks: args.regions * 2,
+        epochs: args.epochs,
+        kill_at_epoch: args.kill_at,
+        down_epochs: args.down,
+        ..RestartSoakConfig::smoke()
+    }
+}
+
+fn print_result(label: &str, r: &RestartSoakResult) {
+    let c = r.counters;
+    println!(
+        "restart_soak[{label}]: {} regions x {} leases x {} epochs: {} events in {:.2}s = {:.0} events/sec",
+        r.config.regions, r.config.peers, c.epochs_run, c.events, r.elapsed_secs, r.events_per_sec,
+    );
+    println!(
+        "  joins {} / leaves {} / expired {} / heartbeats {} / handovers {} / forwards {}",
+        c.joins, c.leaves, c.expired, c.heartbeats, c.handovers, c.forward_moves
+    );
+    if r.killed {
+        println!(
+            "  kill@{}: drift {} / journal {} records ({} bytes, torn {}) / dropped {}+{}+{} / fallback {}/{}",
+            r.config.kill_at_epoch,
+            r.recovered_drift,
+            r.recovery_journal_records,
+            r.recovery_journal_bytes,
+            r.recovery_torn_tail,
+            c.dropped_joins,
+            c.dropped_leaves,
+            c.dropped_heartbeats,
+            c.fallback_answered,
+            c.fallback_queries,
+        );
+    }
+    println!(
+        "  peak population {} / final {} / residual tombstones {} / snapshots {} (+{} rate-limited) / writer records {}",
+        r.peak_population,
+        r.final_population,
+        r.final_tombstones,
+        r.snapshots_written,
+        r.snapshots_skipped,
+        r.writer_records,
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = Instant::now();
+
+    // Stage 1: the fault matrix.
+    let matrix = run_fault_matrix();
+    let mut matrix_ok = true;
+    for case in &matrix {
+        println!(
+            "restart_soak[faults]: {:<18} {} — {}",
+            case.name,
+            if case.passed { "ok" } else { "FAILED" },
+            case.detail
+        );
+        matrix_ok &= case.passed;
+    }
+    if !matrix_ok {
+        eprintln!("restart_soak: FAILED: fault matrix");
+        std::process::exit(1);
+    }
+
+    // Stage 2: the kill/rejoin gate.
+    let cfg = config_for(&args);
+    let result = match run_restart_soak(&cfg, args.seed) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("restart_soak: FAILED: {msg}");
+            std::process::exit(1);
+        }
+    };
+    print_result("kill+rejoin", &result);
+    if let Err(msg) = check_restart_soak(&result) {
+        eprintln!("restart_soak: FAILED: {msg}");
+        std::process::exit(1);
+    }
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&result).unwrap());
+    }
+
+    // Stage 3: snapshotting-overhead A/B (kill disabled, identical
+    // workloads, writer on vs off).
+    if args.throughput {
+        let durable_cfg = RestartSoakConfig {
+            kill_at_epoch: u64::MAX,
+            ..cfg.clone()
+        };
+        let baseline_cfg = RestartSoakConfig {
+            durability: false,
+            ..durable_cfg.clone()
+        };
+        let durable = run_restart_soak(&durable_cfg, args.seed).expect("durable run");
+        let baseline = run_restart_soak(&baseline_cfg, args.seed).expect("baseline run");
+        for r in [&durable, &baseline] {
+            if let Err(msg) = check_restart_soak(r) {
+                eprintln!("restart_soak: FAILED: throughput run: {msg}");
+                std::process::exit(1);
+            }
+        }
+        let ratio = durable.events_per_sec / baseline.events_per_sec.max(1e-9);
+        print_result("durable", &durable);
+        print_result("baseline", &baseline);
+        println!(
+            "restart_soak[throughput]: durable {:.0} ev/s vs baseline {:.0} ev/s = {:.1}% of baseline",
+            durable.events_per_sec,
+            baseline.events_per_sec,
+            ratio * 100.0
+        );
+        if ratio < 0.9 {
+            eprintln!(
+                "restart_soak: FAILED: snapshotting costs {:.1}% > 10% of churn throughput",
+                (1.0 - ratio) * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let total = t0.elapsed();
+    if args.budget_secs > 0 && total.as_secs() > args.budget_secs {
+        eprintln!(
+            "restart_soak: took {:.2?}, budget {}s — the restart cycle regressed",
+            total, args.budget_secs
+        );
+        std::process::exit(1);
+    }
+    println!("restart_soak: OK ({:.2?} total)", total);
+}

@@ -23,7 +23,12 @@ use nearpeer_core::protocol::{Message, WireNeighbor};
 use nearpeer_core::{LandmarkId, Neighbor, PeerId, PeerPath, ServerConfig};
 use std::collections::HashMap;
 use std::io;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Connection attempts retried across the whole run (initial connects and
+/// mid-phase reconnects), reported in the JSON summary.
+static CONNECT_RETRIES: AtomicU64 = AtomicU64::new(0);
 
 struct Args {
     addr: String,
@@ -93,37 +98,101 @@ impl Args {
     }
 }
 
-/// Keeps up to `window` requests in flight on one connection; the server
-/// answers a connection's frames in order, so the `i`-th reply matches
-/// the `i`-th request.
-fn run_pipelined(
-    conn: &mut FrameConn,
-    total: u64,
-    window: usize,
-    mut make: impl FnMut(u64) -> Message,
-    mut on_reply: impl FnMut(u64, Message),
-) -> io::Result<()> {
-    let mut sent = 0u64;
-    let mut recvd = 0u64;
-    while recvd < total {
-        while sent < total && sent - recvd < window as u64 {
-            conn.send(&make(sent))?;
-            sent += 1;
-        }
-        match conn.recv()? {
-            Some(msg) => {
-                on_reply(recvd, msg);
-                recvd += 1;
-            }
-            None => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed with replies outstanding",
-                ))
+/// Connects with capped exponential backoff plus jitter instead of
+/// aborting on the first refusal — the daemon may still be binding its
+/// socket, or restarting after a crash. Every retry counts toward the
+/// summary's `connect_retries`.
+fn connect_with_backoff(addr: &str) -> io::Result<FrameConn> {
+    const ATTEMPTS: u32 = 12;
+    let mut delay = Duration::from_millis(25);
+    let cap = Duration::from_secs(1);
+    let mut attempt = 0u32;
+    loop {
+        match FrameConn::connect(addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if attempt + 1 >= ATTEMPTS => return Err(e),
+            Err(_) => {
+                attempt += 1;
+                CONNECT_RETRIES.fetch_add(1, Ordering::Relaxed);
+                // Jitter without an RNG dependency: the clock's
+                // sub-millisecond bits de-synchronize workers that would
+                // otherwise retry in lockstep.
+                let nanos = SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.subsec_nanos())
+                    .unwrap_or(0);
+                let jitter = delay.mul_f64(f64::from(nanos % 997) / 997.0 * 0.25);
+                std::thread::sleep(delay + jitter);
+                delay = (delay * 2).min(cap);
             }
         }
     }
-    Ok(())
+}
+
+/// Keeps up to `window` requests in flight on one connection; the server
+/// answers a connection's frames in order, so the `i`-th reply matches
+/// the `i`-th request.
+///
+/// Crash tolerance: a transport error mid-phase reconnects (same capped
+/// backoff as the initial connect) and resumes from the last acknowledged
+/// reply, replaying the unacknowledged window. Replayed replies reach
+/// `on_reply` with the `resent` flag up — a join the server applied just
+/// before the connection died bounces off its replay as a duplicate,
+/// which is a delivery confirmation, not a failure.
+fn run_pipelined(
+    conn: &mut FrameConn,
+    addr: &str,
+    total: u64,
+    window: usize,
+    mut make: impl FnMut(u64) -> Message,
+    mut on_reply: impl FnMut(u64, Message, bool),
+) -> io::Result<()> {
+    const MAX_RECONNECTS: u32 = 5;
+    let mut sent = 0u64;
+    let mut recvd = 0u64;
+    let mut resent_below = 0u64;
+    let mut reconnects = 0u32;
+    loop {
+        let outcome: io::Result<()> = (|| {
+            while recvd < total {
+                while sent < total && sent - recvd < window as u64 {
+                    conn.send(&make(sent))?;
+                    sent += 1;
+                }
+                match conn.recv()? {
+                    Some(msg) => {
+                        on_reply(recvd, msg, recvd < resent_below);
+                        recvd += 1;
+                    }
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed with replies outstanding",
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        })();
+        match outcome {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                reconnects += 1;
+                if reconnects > MAX_RECONNECTS {
+                    return Err(e);
+                }
+                eprintln!(
+                    "wire_loadgen: connection lost ({e}); reconnecting \
+                     ({reconnects}/{MAX_RECONNECTS})"
+                );
+                *conn = connect_with_backoff(addr)?;
+                // In-flight replies died with the socket: replay the
+                // unacknowledged requests on the fresh connection.
+                resent_below = sent;
+                sent = recvd;
+            }
+        }
+    }
 }
 
 /// Splits `0..total` into `parts` contiguous ranges.
@@ -165,7 +234,7 @@ fn main() {
 
     let mut conns = Vec::with_capacity(args.conns);
     for _ in 0..args.conns {
-        match FrameConn::connect(&args.addr) {
+        match connect_with_backoff(&args.addr) {
             Ok(conn) => conns.push(conn),
             Err(e) => fail(&format!("cannot connect to {}: {e}", args.addr)),
         }
@@ -175,18 +244,24 @@ fn main() {
     let reg_start = Instant::now();
     let mut workers = Vec::new();
     for (mut conn, (lo, hi)) in conns.into_iter().zip(ranges(args.peers, args.conns)) {
+        let addr = args.addr.clone();
         workers.push(std::thread::spawn(move || {
             let mut errors = 0u64;
             run_pipelined(
                 &mut conn,
+                &addr,
                 hi - lo,
                 window,
                 |i| {
                     let (peer, path) = joins.join(lo + i);
                     Message::JoinRequest { peer, path }
                 },
-                |_, msg| match msg {
+                |_, msg, resent| match msg {
                     Message::JoinReply { .. } => {}
+                    // A replayed join bouncing off as an error means the
+                    // pre-crash send was already applied; only a refusal
+                    // on a first delivery is a real error.
+                    Message::JoinError { .. } if resent => {}
                     Message::JoinError { peer, reason } => {
                         eprintln!("wire_loadgen: join {peer} refused: {reason}");
                         errors += 1;
@@ -230,10 +305,12 @@ fn main() {
     let k = args.k.min(u16::MAX as usize) as u16;
     let mut workers = Vec::new();
     for (mut conn, (lo, hi)) in conns.into_iter().zip(ranges(args.queries, args.conns)) {
+        let addr = args.addr.clone();
         workers.push(std::thread::spawn(move || {
             let mut replies: Vec<(u64, Vec<WireNeighbor>)> = Vec::with_capacity((hi - lo) as usize);
             run_pipelined(
                 &mut conn,
+                &addr,
                 hi - lo,
                 window,
                 |i| {
@@ -245,7 +322,7 @@ fn main() {
                         exclude: Some(PeerId(peer)),
                     }
                 },
-                |i, msg| match msg {
+                |i, msg, _resent| match msg {
                     Message::QueryReply { nonce, neighbors } => {
                         assert_eq!(nonce, lo + i, "pipelined replies arrive in order");
                         replies.push((nonce, neighbors));
@@ -305,13 +382,14 @@ fn main() {
             .collect();
         run_pipelined(
             conn,
+            &args.addr,
             handovers,
             window,
             |i| {
                 let (peer, path) = moves[i as usize].clone();
                 Message::HandoverRequest { peer, path }
             },
-            |i, msg| match msg {
+            |i, msg, _resent| match msg {
                 Message::JoinReply { peer, neighbors, .. } => {
                     let (sent_peer, path) = moves[i as usize].clone();
                     assert_eq!(peer, sent_peer, "replies arrive in order");
@@ -355,7 +433,8 @@ fn main() {
         "{{\"addr\":\"{}\",\"landmarks\":{},\"regions\":{},\"peers\":{},\"conns\":{},\"k\":{},\
          \"window\":{},\"register_secs\":{:.3},\"register_rate\":{:.0},\"queries\":{},\
          \"query_secs\":{:.3},\"qps\":{:.0},\"handovers\":{},\"handover_secs\":{:.3},\
-         \"join_errors\":{},\"query_mismatches\":{},\"handover_mismatches\":{}}}",
+         \"join_errors\":{},\"query_mismatches\":{},\"handover_mismatches\":{},\
+         \"connect_retries\":{}}}",
         args.addr,
         args.landmarks,
         args.regions,
@@ -373,6 +452,7 @@ fn main() {
         join_errors,
         query_mismatches,
         handover_mismatches,
+        CONNECT_RETRIES.load(Ordering::Relaxed),
     );
     if mismatches > 0 || join_errors > 0 {
         eprintln!(

@@ -10,5 +10,6 @@ pub mod federation;
 pub mod landmark_policies;
 pub mod mapping;
 pub mod quality;
+pub mod restart;
 pub mod setup_delay;
 pub mod superpeers;

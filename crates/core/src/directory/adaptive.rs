@@ -25,6 +25,8 @@
 //! the default lease until its next session closes — an accuracy hit on
 //! ids that were not renewing anyway, never a correctness one.
 
+use super::persist::wire::{put_u32, put_u64, put_u8, Reader};
+use super::persist::PersistError;
 use crate::ids::PeerId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -215,6 +217,73 @@ impl AdaptiveLeases {
         debug_assert_eq!(self.cells.len(), self.index.len());
         self.cells.len()
     }
+
+    /// Streams the cell table + clock hand into `out`. The config is not
+    /// written: it lives in the snapshot's config section, and decode
+    /// receives it from there.
+    pub(crate) fn persist_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.cells.len() as u64);
+        for cell in &self.cells {
+            put_u64(out, cell.peer.0);
+            put_u32(out, cell.ewma);
+            put_u8(out, u8::from(cell.referenced));
+        }
+        put_u64(out, self.hand as u64);
+    }
+
+    /// Rebuilds the EWMA state written by [`Self::persist_encode`],
+    /// re-deriving the peer index. Fails closed on duplicate peers, a
+    /// table above `max_tracked`, or an out-of-range clock hand.
+    pub(crate) fn persist_decode(
+        cfg: AdaptiveLeaseConfig,
+        r: &mut Reader<'_>,
+    ) -> Result<Self, PersistError> {
+        let n = r.len_prefix(13)?;
+        if n > cfg.max_tracked as usize {
+            return Err(PersistError::Corrupt(format!(
+                "adaptive table holds {n} cells, config caps it at {}",
+                cfg.max_tracked
+            )));
+        }
+        let mut cells = Vec::with_capacity(n);
+        let mut index = HashMap::with_capacity(n);
+        for i in 0..n {
+            let peer = PeerId(r.u64()?);
+            let ewma = r.u32()?;
+            let referenced = match r.u8()? {
+                0 => false,
+                1 => true,
+                t => {
+                    return Err(PersistError::Corrupt(format!(
+                        "adaptive cell {i} has reference tag {t}"
+                    )))
+                }
+            };
+            if index.insert(peer, i).is_some() {
+                return Err(PersistError::Corrupt(format!(
+                    "adaptive table tracks {peer} twice"
+                )));
+            }
+            cells.push(Cell {
+                peer,
+                ewma,
+                referenced,
+            });
+        }
+        let hand = r.u64()? as usize;
+        if hand >= cells.len().max(1) {
+            return Err(PersistError::Corrupt(format!(
+                "adaptive clock hand {hand} out of range for {} cells",
+                cells.len()
+            )));
+        }
+        Ok(AdaptiveLeases {
+            cfg,
+            cells,
+            index,
+            hand,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -303,5 +372,48 @@ mod tests {
         a.observe(PeerId(1), 2);
         assert_eq!(a.ttl(PeerId(1)), None);
         assert_eq!(a.tracked(), 0);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_ewmas_reference_bits_and_hand() {
+        let mut a = AdaptiveLeases::new(cfg(4));
+        for p in 1..=6u64 {
+            a.observe(PeerId(p), p);
+        }
+        // Reference one survivor so bits differ across cells.
+        let _ = a.ttl(PeerId(5));
+
+        let mut bytes = Vec::new();
+        a.persist_encode(&mut bytes);
+        let mut reader = super::Reader::new(&bytes);
+        let mut restored = AdaptiveLeases::persist_decode(a.cfg(), &mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0);
+        assert_eq!(restored.tracked(), a.tracked());
+        for p in 1..=6u64 {
+            assert_eq!(restored.ttl(PeerId(p)), a.ttl(PeerId(p)), "peer {p}");
+        }
+        // Future behaviour: the clock evicts the same victim next.
+        restored.observe(PeerId(100), 1);
+        a.observe(PeerId(100), 1);
+        for p in 1..=6u64 {
+            assert_eq!(restored.ttl(PeerId(p)), a.ttl(PeerId(p)), "post-evict {p}");
+        }
+    }
+
+    #[test]
+    fn persist_decode_rejects_duplicate_peer_cells() {
+        let mut a = AdaptiveLeases::new(cfg(8));
+        a.observe(PeerId(3), 2);
+        let mut bytes = Vec::new();
+        a.persist_encode(&mut bytes);
+        // Duplicate the single 13-byte cell and bump the count to 2.
+        let cell = bytes[8..21].to_vec();
+        bytes.splice(21..21, cell);
+        bytes[..8].copy_from_slice(&2u64.to_le_bytes());
+        let mut reader = super::Reader::new(&bytes);
+        assert!(matches!(
+            AdaptiveLeases::persist_decode(a.cfg(), &mut reader),
+            Err(super::PersistError::Corrupt(_))
+        ));
     }
 }

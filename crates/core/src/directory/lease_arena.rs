@@ -45,6 +45,8 @@
 //! [`super::PathRef`]); `crates/core/tests/lease_arena_properties.rs` pins
 //! it op-for-op to a naive `HashMap` reference model.
 
+use super::persist::wire::{put_u32, put_u64, put_u8, Reader};
+use super::persist::PersistError;
 use crate::ids::PeerId;
 use std::collections::VecDeque;
 
@@ -735,6 +737,193 @@ impl<T> LeaseArena<T> {
             i = (i + 1) & mask;
         }
     }
+
+    /// Streams the arena into `out`: the slab verbatim (generations, lease
+    /// clocks, per-lease TTLs, note high-water marks, occupants — payloads
+    /// written by `enc_t`), the free list in reuse order, the table
+    /// *capacity* (its layout is derivable), the epoch buckets verbatim
+    /// (stale notes included — they are part of future sweep cost), and
+    /// the sweep counters.
+    pub(crate) fn persist_encode(
+        &self,
+        out: &mut Vec<u8>,
+        mut enc_t: impl FnMut(&T, &mut Vec<u8>),
+    ) {
+        put_u64(out, self.slots.len() as u64);
+        for s in &self.slots {
+            put_u32(out, s.generation);
+            put_u64(out, s.last_seen);
+            put_u64(out, s.opened);
+            put_u32(out, s.ttl);
+            put_u64(out, s.noted);
+            match &s.occupant {
+                None => put_u8(out, 0),
+                Some(Occupant::Live(peer, value)) => {
+                    put_u8(out, 1);
+                    put_u64(out, peer.0);
+                    enc_t(value, out);
+                }
+                Some(Occupant::Moved(peer, to)) => {
+                    put_u8(out, 2);
+                    put_u64(out, peer.0);
+                    put_u32(out, *to);
+                }
+            }
+        }
+        put_u64(out, self.free.len() as u64);
+        for &f in &self.free {
+            put_u32(out, f);
+        }
+        put_u64(out, self.table.len() as u64);
+        put_u64(out, self.base_epoch);
+        put_u64(out, self.buckets.len() as u64);
+        for bucket in &self.buckets {
+            put_u64(out, bucket.len() as u64);
+            for &(slot, generation) in bucket {
+                put_u32(out, slot);
+                put_u32(out, generation);
+            }
+        }
+        put_u64(out, self.sweep.entries_swept);
+        put_u64(out, self.sweep.buckets_swept);
+    }
+
+    /// Rebuilds an arena written by [`Self::persist_encode`], re-deriving
+    /// the probe table from the slab. Fails closed on any structural
+    /// violation: duplicate occupant peers, a free list that does not
+    /// cover exactly the vacant slots, a table capacity that is not a
+    /// power of two or cannot hold the occupants, or bucket notes pointing
+    /// outside the slab.
+    pub(crate) fn persist_decode(
+        r: &mut Reader<'_>,
+        mut dec_t: impl FnMut(&mut Reader<'_>) -> Result<T, PersistError>,
+    ) -> Result<Self, PersistError> {
+        let n_slots = r.len_prefix(29)?;
+        let mut slots: Vec<Slot<T>> = Vec::with_capacity(n_slots);
+        let mut len = 0usize;
+        let mut tombstones = 0usize;
+        let mut peers_seen = std::collections::HashSet::with_capacity(n_slots);
+        for i in 0..n_slots {
+            let generation = r.u32()?;
+            let last_seen = r.u64()?;
+            let opened = r.u64()?;
+            let ttl = r.u32()?;
+            let noted = r.u64()?;
+            let occupant = match r.u8()? {
+                0 => None,
+                1 => {
+                    let peer = PeerId(r.u64()?);
+                    if !peers_seen.insert(peer) {
+                        return Err(PersistError::Corrupt(format!(
+                            "lease slab holds {peer} twice"
+                        )));
+                    }
+                    len += 1;
+                    Some(Occupant::Live(peer, dec_t(r)?))
+                }
+                2 => {
+                    let peer = PeerId(r.u64()?);
+                    if !peers_seen.insert(peer) {
+                        return Err(PersistError::Corrupt(format!(
+                            "lease slab holds {peer} twice"
+                        )));
+                    }
+                    tombstones += 1;
+                    Some(Occupant::Moved(peer, r.u32()?))
+                }
+                t => {
+                    return Err(PersistError::Corrupt(format!(
+                        "lease slot {i} has unknown occupant tag {t}"
+                    )))
+                }
+            };
+            slots.push(Slot {
+                generation,
+                last_seen,
+                opened,
+                ttl,
+                noted,
+                occupant,
+            });
+        }
+        let n_free = r.len_prefix(4)?;
+        if n_free != n_slots - len - tombstones {
+            return Err(PersistError::Corrupt(format!(
+                "lease free list holds {n_free} entries for {} vacant slots",
+                n_slots - len - tombstones
+            )));
+        }
+        let mut free = Vec::with_capacity(n_free);
+        let mut on_free = vec![false; n_slots];
+        for _ in 0..n_free {
+            let f = r.u32()?;
+            let idx = f as usize;
+            if idx >= n_slots || slots[idx].occupant.is_some() || on_free[idx] {
+                return Err(PersistError::Corrupt(format!(
+                    "lease free-list entry {f} is out of bounds, occupied, or duplicated"
+                )));
+            }
+            on_free[idx] = true;
+            free.push(f);
+        }
+        let table_cap = r.u64()? as usize;
+        if !table_cap.is_power_of_two() || table_cap < 8 || len + tombstones >= table_cap {
+            return Err(PersistError::Corrupt(format!(
+                "lease table capacity {table_cap} cannot hold {} occupants",
+                len + tombstones
+            )));
+        }
+        let base_epoch = r.u64()?;
+        let n_buckets = r.len_prefix(8)?;
+        let mut buckets = VecDeque::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let n_entries = r.len_prefix(8)?;
+            let mut bucket = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let slot = r.u32()?;
+                let generation = r.u32()?;
+                if slot as usize >= n_slots {
+                    return Err(PersistError::Corrupt(format!(
+                        "bucket note references slot {slot} beyond the slab"
+                    )));
+                }
+                bucket.push((slot, generation));
+            }
+            buckets.push_back(bucket);
+        }
+        let sweep = SweepStats {
+            entries_swept: r.u64()?,
+            buckets_swept: r.u64()?,
+        };
+        // Re-derive the probe table: insert every occupant at its home (or
+        // next free) position. Layout may differ from the pre-crash table
+        // (that depended on insertion/deletion history), but every probe
+        // answers identically and the growth trigger sees the same
+        // occupancy/capacity ratio.
+        let shift = 64 - table_cap.trailing_zeros();
+        let mask = table_cap - 1;
+        let mut table = vec![EMPTY; table_cap];
+        for (i, s) in slots.iter().enumerate() {
+            if let Some(occ) = &s.occupant {
+                let mut pos = (occ.peer().0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize;
+                while table[pos] != EMPTY {
+                    pos = (pos + 1) & mask;
+                }
+                table[pos] = i as u32;
+            }
+        }
+        Ok(LeaseArena {
+            slots,
+            free,
+            table,
+            shift,
+            len,
+            tombstones,
+            buckets,
+            base_epoch,
+            sweep,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -743,6 +932,91 @@ mod tests {
 
     fn arena() -> LeaseArena<u32> {
         LeaseArena::new()
+    }
+
+    fn persist_roundtrip(a: &LeaseArena<u32>) -> LeaseArena<u32> {
+        let mut bytes = Vec::new();
+        a.persist_encode(&mut bytes, |v, out| {
+            super::put_u32(out, *v);
+        });
+        let mut reader = super::Reader::new(&bytes);
+        let restored = LeaseArena::persist_decode(&mut reader, |r| r.u32()).unwrap();
+        assert_eq!(reader.remaining(), 0, "decoder must consume everything");
+        restored
+    }
+
+    #[test]
+    fn persist_restores_leases_tombstones_buckets_and_future_sweeps() {
+        let mut a = arena();
+        for p in 0..200u64 {
+            a.insert(PeerId(p), p as u32, p % 7).unwrap();
+        }
+        for p in (0..200u64).step_by(3) {
+            a.renew(PeerId(p), 8);
+        }
+        for p in (0..200u64).step_by(5) {
+            a.remove(PeerId(p));
+        }
+        a.set_ttl(PeerId(1), 3);
+        a.remove(PeerId(13));
+        a.insert_tombstone(PeerId(13), 4, 9);
+        let _ = a.take_due(6, 4, 1);
+
+        let mut b = persist_roundtrip(&a);
+        assert_eq!(b.len(), a.len());
+        assert_eq!(b.tombstone_count(), a.tombstone_count());
+        assert_eq!(b.sweep_stats(), a.sweep_stats());
+        assert_eq!(b.slot_capacity(), a.slot_capacity());
+        for p in 0..200u64 {
+            let peer = PeerId(p);
+            assert_eq!(b.contains(peer), a.contains(peer), "contains {p}");
+            assert_eq!(b.get(peer), a.get(peer), "payload {p}");
+            assert_eq!(b.last_seen(peer), a.last_seen(peer), "last_seen {p}");
+            assert_eq!(b.opened(peer), a.opened(peer), "opened {p}");
+            assert_eq!(b.ttl_of(peer), a.ttl_of(peer), "ttl {p}");
+            assert_eq!(b.slot_of(peer), a.slot_of(peer), "slot {p}");
+            assert_eq!(b.forwarded_to(peer), a.forwarded_to(peer), "moved {p}");
+        }
+        // Future behaviour must match exactly: run identical sweeps and
+        // churn on both arenas and compare every outcome.
+        for now in 10..30u64 {
+            let sa = a.take_due(now, 4, 1);
+            let sb = b.take_due(now, 4, 1);
+            assert_eq!(sb.expired, sa.expired, "sweep at {now}");
+            assert_eq!(sb.moved, sa.moved, "moved at {now}");
+            assert_eq!(
+                b.insert(PeerId(1000 + now), now as u32, now),
+                a.insert(PeerId(1000 + now), now as u32, now)
+            );
+        }
+        assert_eq!(b.len(), a.len());
+        assert_eq!(b.sweep_stats(), a.sweep_stats());
+    }
+
+    #[test]
+    fn persist_decode_rejects_duplicate_peers_and_bad_table() {
+        let mut a = arena();
+        a.insert(PeerId(5), 50, 1).unwrap();
+        let mut bytes = Vec::new();
+        a.persist_encode(&mut bytes, |v, out| super::put_u32(out, *v));
+
+        // In an empty arena the table capacity sits at a fixed offset:
+        // n_slots(8) + free_len(8). Smash it to a non-power-of-two.
+        let mut bad = Vec::new();
+        arena().persist_encode(&mut bad, |v, out| super::put_u32(out, *v));
+        bad[16..24].copy_from_slice(&7u64.to_le_bytes());
+        let mut reader = super::Reader::new(&bad);
+        assert!(matches!(
+            LeaseArena::<u32>::persist_decode(&mut reader, |r| r.u32()),
+            Err(super::PersistError::Corrupt(_))
+        ));
+
+        // Truncation anywhere fails closed with Truncated.
+        let mut reader = super::Reader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            LeaseArena::<u32>::persist_decode(&mut reader, |r| r.u32()),
+            Err(super::PersistError::Truncated)
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 mod adaptive;
 mod lease_arena;
 mod path_store;
+pub mod persist;
 pub mod query;
 mod shard;
 

@@ -8,6 +8,8 @@
 //! (mobile peers re-joining, synthetic workloads, NAT'd households) share
 //! one arena slot via reference counting.
 
+use super::persist::wire::{put_path, put_u32, put_u64, put_u8, Reader};
+use super::persist::PersistError;
 use crate::path::PeerPath;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -22,6 +24,13 @@ impl PathRef {
     /// The raw arena slot (diagnostics only).
     pub fn slot(self) -> u32 {
         self.0
+    }
+
+    /// Rebuilds a handle from a persisted slot index. Only the snapshot
+    /// decoder may mint refs: it validates every minted ref against the
+    /// restored store before use.
+    pub(crate) fn from_slot(slot: u32) -> PathRef {
+        PathRef(slot)
     }
 }
 
@@ -156,6 +165,105 @@ impl PathStore {
             self.live -= 1;
         }
     }
+
+    /// Whether `r` currently points at an occupied slot (snapshot decoding
+    /// validates minted refs through this before any [`Self::get`]).
+    pub(crate) fn is_live(&self, r: PathRef) -> bool {
+        matches!(self.slots.get(r.0 as usize), Some(Slot::Occupied { .. }))
+    }
+
+    /// Sum of reference counts over occupied slots. The shard decoder
+    /// cross-checks this against the number of live leases (each live
+    /// lease holds exactly one reference).
+    pub(crate) fn total_refs(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Occupied { refs, .. } => u64::from(*refs),
+                Slot::Vacant => 0,
+            })
+            .sum()
+    }
+
+    /// Streams the arena into `out`: slots (tag + refcount + path), the
+    /// free list verbatim (slot-reuse order is part of future behaviour),
+    /// and the dedup-hit counter. The content-hash index is derivable and
+    /// not persisted.
+    pub(crate) fn persist_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                Slot::Vacant => put_u8(out, 0),
+                Slot::Occupied { path, refs } => {
+                    put_u8(out, 1);
+                    put_u32(out, *refs);
+                    put_path(out, path);
+                }
+            }
+        }
+        put_u64(out, self.free.len() as u64);
+        for &f in &self.free {
+            put_u32(out, f);
+        }
+        put_u64(out, self.hits);
+    }
+
+    /// Rebuilds a store written by [`Self::persist_encode`], re-deriving
+    /// the hash index and live count and validating the free list (every
+    /// entry in bounds and vacant, no duplicates). Fails closed.
+    pub(crate) fn persist_decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n_slots = r.len_prefix(1)?;
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut live = 0usize;
+        for i in 0..n_slots {
+            match r.u8()? {
+                0 => slots.push(Slot::Vacant),
+                1 => {
+                    let refs = r.u32()?;
+                    if refs == 0 {
+                        return Err(PersistError::Corrupt(format!(
+                            "path slot {i} occupied with zero refs"
+                        )));
+                    }
+                    let path = r.path()?;
+                    by_hash
+                        .entry(content_hash(&path))
+                        .or_default()
+                        .push(i as u32);
+                    slots.push(Slot::Occupied { path, refs });
+                    live += 1;
+                }
+                t => {
+                    return Err(PersistError::Corrupt(format!(
+                        "path slot {i} has unknown tag {t}"
+                    )))
+                }
+            }
+        }
+        let n_free = r.len_prefix(4)?;
+        let mut free = Vec::with_capacity(n_free);
+        let mut seen = vec![false; n_slots];
+        for _ in 0..n_free {
+            let f = r.u32()?;
+            let idx = f as usize;
+            if idx >= n_slots || !matches!(slots[idx], Slot::Vacant) || seen[idx] {
+                return Err(PersistError::Corrupt(format!(
+                    "path free-list entry {f} is out of bounds, live, or duplicated"
+                )));
+            }
+            seen[idx] = true;
+            free.push(f);
+        }
+        let hits = r.u64()?;
+        Ok(PathStore {
+            slots,
+            by_hash,
+            free,
+            live,
+            hits,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -211,5 +319,54 @@ mod tests {
         let a = store.intern(path(&[1, 2]));
         store.release(a);
         let _ = store.get(a);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_slots_free_order_and_hits() {
+        let mut store = PathStore::new();
+        let a = store.intern(path(&[1, 2, 3]));
+        let _b = store.intern(path(&[1, 2, 3]));
+        let c = store.intern(path(&[4, 2, 3]));
+        let d = store.intern(path(&[9, 8]));
+        store.release(c);
+        store.release(d);
+
+        let mut bytes = Vec::new();
+        store.persist_encode(&mut bytes);
+        let mut reader = super::Reader::new(&bytes);
+        let mut restored = PathStore::persist_decode(&mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0);
+
+        assert_eq!(restored.distinct(), store.distinct());
+        assert_eq!(restored.dedup_hits(), store.dedup_hits());
+        assert_eq!(restored.total_refs(), store.total_refs());
+        assert_eq!(restored.get(a), store.get(a));
+        assert!(restored.is_live(a));
+        assert!(!restored.is_live(c));
+        // Future behaviour: the next intern reuses the same freed slot the
+        // live store would.
+        assert_eq!(
+            restored.intern(path(&[7, 6, 0])).slot(),
+            store.intern(path(&[7, 6, 0])).slot()
+        );
+    }
+
+    #[test]
+    fn persist_decode_rejects_live_free_list_entry() {
+        let mut store = PathStore::new();
+        let _ = store.intern(path(&[1, 2]));
+        let mut bytes = Vec::new();
+        store.persist_encode(&mut bytes);
+        // The free list is empty; forge one pointing at the live slot 0.
+        // Layout: ... | u64 free_len | entries | u64 hits.
+        let hits_at = bytes.len() - 8;
+        let free_len_at = hits_at - 8;
+        bytes.splice(free_len_at..hits_at, 1u64.to_le_bytes());
+        bytes.splice(hits_at..hits_at, 0u32.to_le_bytes());
+        let mut reader = super::Reader::new(&bytes);
+        assert!(matches!(
+            PathStore::persist_decode(&mut reader),
+            Err(super::PersistError::Corrupt(_))
+        ));
     }
 }

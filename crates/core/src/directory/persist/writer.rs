@@ -1,0 +1,489 @@
+//! The background durability writer: a bounded, rate-limited batch
+//! mailbox that keeps persistence off the serving path.
+//!
+//! Callers enqueue [`JournalOp`]s (cheap, blocking only when the bounded
+//! queue is full — real backpressure instead of unbounded memory) and
+//! *offer* snapshots. One worker thread (reusing the runtime's
+//! batch-draining mailbox loop) drains everything queued per wake and
+//! applies it **in order** to a [`DurableMedium`]: journal records are
+//! buffered and appended once per batch; a snapshot install atomically
+//! replaces the stored snapshot and truncates the journal, discarding any
+//! ops buffered before it in the same batch (they are, by FIFO order,
+//! already contained in the snapshot's state). Snapshot offers are
+//! rate-limited: offers arriving within `min_snapshot_interval` of the
+//! last install are counted and dropped, so an eager snapshot cadence
+//! degrades to skipped offers, never to a stalled serving thread.
+//!
+//! Failure model is fail-stop: the first medium error (or the configured
+//! `kill_after_batches` fault point) parks the worker permanently; the
+//! durable bytes end at a batch boundary, exactly like a machine that
+//! died between flushes. [`WriterStats::error`] reports what happened.
+
+use super::journal::{self, JournalOp};
+use crate::runtime::mailbox::spawn_batch_worker;
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the durability writer persists bytes. Implementations must make
+/// [`DurableMedium::install_snapshot`] atomic-ish: after it returns, the
+/// stored snapshot is the new one and the journal is empty.
+pub trait DurableMedium: Send + 'static {
+    /// Appends raw journal bytes (header + records, already framed).
+    fn append_journal(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Replaces the stored snapshot and truncates the journal.
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> std::io::Result<()>;
+}
+
+/// The durable bytes held by a [`MemoryMedium`] — what a recovery would
+/// read back after a simulated crash.
+#[derive(Debug, Default, Clone)]
+pub struct DurableBytes {
+    /// Last installed snapshot, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Journal appended since that snapshot (header + records).
+    pub journal: Vec<u8>,
+}
+
+/// In-memory medium for tests, benches, and crash simulation: the bytes
+/// survive the writer via a shared handle, like a disk surviving a
+/// process.
+#[derive(Debug, Default)]
+pub struct MemoryMedium {
+    store: Arc<Mutex<DurableBytes>>,
+}
+
+impl MemoryMedium {
+    /// Creates an empty medium.
+    pub fn new() -> Self {
+        MemoryMedium::default()
+    }
+
+    /// The shared handle to the durable bytes; clone it before handing
+    /// the medium to [`DurabilityWriter::spawn`].
+    pub fn handle(&self) -> Arc<Mutex<DurableBytes>> {
+        Arc::clone(&self.store)
+    }
+}
+
+impl DurableMedium for MemoryMedium {
+    fn append_journal(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.store.lock().unwrap().journal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> std::io::Result<()> {
+        let mut store = self.store.lock().unwrap();
+        store.snapshot = Some(snapshot.to_vec());
+        store.journal.clear();
+        Ok(())
+    }
+}
+
+/// File-backed medium: `snapshot.bin` (written via tmp + rename) and
+/// `journal.log` (append + flush) inside one directory. Starts a fresh
+/// journal epoch: the journal file is truncated on creation, so recover
+/// *before* creating a medium over the same directory.
+#[derive(Debug)]
+pub struct FileMedium {
+    dir: PathBuf,
+    journal: fs::File,
+}
+
+impl FileMedium {
+    /// Opens (creating if needed) `dir` and truncates its journal.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let journal = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(dir.join("journal.log"))?;
+        Ok(FileMedium { dir, journal })
+    }
+
+    /// Path of the snapshot file inside the medium's directory.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+
+    /// Path of the journal file inside the medium's directory.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.log")
+    }
+}
+
+impl DurableMedium for FileMedium {
+    fn append_journal(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.journal.write_all(bytes)?;
+        self.journal.flush()
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> std::io::Result<()> {
+        let tmp = self.dir.join("snapshot.tmp");
+        fs::write(&tmp, snapshot)?;
+        fs::rename(&tmp, self.snapshot_path())?;
+        self.journal.set_len(0)?;
+        self.journal.seek(SeekFrom::Start(0))?;
+        Ok(())
+    }
+}
+
+/// Tuning for a [`DurabilityWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterConfig {
+    /// Bounded mailbox depth (ops + snapshot offers). A full queue blocks
+    /// the producer — bounded memory under a stalled disk.
+    pub queue_capacity: usize,
+    /// Minimum spacing between snapshot installs; offers inside the
+    /// window are counted as skipped.
+    pub min_snapshot_interval: Duration,
+    /// Fault point: stop persisting after this many batches (the journal
+    /// ends at a batch boundary, like a machine dying between flushes).
+    pub kill_after_batches: Option<u64>,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig {
+            queue_capacity: 4096,
+            min_snapshot_interval: Duration::from_millis(500),
+            kill_after_batches: None,
+        }
+    }
+}
+
+/// Counters mirrored out of the worker thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Journal ops accepted by the worker.
+    pub records: u64,
+    /// Batches the worker processed.
+    pub batches: u64,
+    /// Snapshots actually installed.
+    pub snapshots_written: u64,
+    /// Snapshot offers dropped by rate limiting.
+    pub snapshots_skipped: u64,
+    /// Journal bytes appended to the medium since the last install.
+    pub journal_bytes: u64,
+    /// First medium error (the worker is parked after it), if any.
+    pub error: Option<String>,
+}
+
+#[derive(Default)]
+struct SharedStats {
+    records: AtomicU64,
+    batches: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshots_skipped: AtomicU64,
+    journal_bytes: AtomicU64,
+    error: Mutex<Option<String>>,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> WriterStats {
+        WriterStats {
+            records: self.records.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshots_skipped: self.snapshots_skipped.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            error: self.error.lock().unwrap().clone(),
+        }
+    }
+}
+
+enum Cmd {
+    Append(JournalOp),
+    Snapshot(Vec<u8>),
+}
+
+/// Handle to the background durability worker.
+pub struct DurabilityWriter {
+    tx: Option<crossbeam::channel::Sender<Cmd>>,
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<SharedStats>,
+}
+
+impl std::fmt::Debug for DurabilityWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityWriter")
+            .field("stats", &self.shared.snapshot())
+            .finish()
+    }
+}
+
+impl DurabilityWriter {
+    /// Spawns the worker thread over `medium`.
+    pub fn spawn<M: DurableMedium>(mut medium: M, config: WriterConfig) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<Cmd>(config.queue_capacity);
+        let shared = Arc::new(SharedStats::default());
+        let worker_shared = Arc::clone(&shared);
+        let mut last_snapshot: Option<Instant> = None;
+        let mut journal_len: usize = 0;
+        let mut killed = false;
+        let mut buf: Vec<u8> = Vec::new();
+        let handle = spawn_batch_worker("durability-writer".into(), rx, move |batch| {
+            if killed {
+                return;
+            }
+            let batch_no = worker_shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(limit) = config.kill_after_batches {
+                if batch_no > limit {
+                    killed = true;
+                    return;
+                }
+            }
+            buf.clear();
+            for cmd in batch {
+                match cmd {
+                    Cmd::Append(op) => {
+                        journal::append_record(&mut buf, &op);
+                        worker_shared.records.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Cmd::Snapshot(bytes) => {
+                        let now = Instant::now();
+                        let due = last_snapshot
+                            .is_none_or(|t| now.duration_since(t) >= config.min_snapshot_interval);
+                        if !due {
+                            worker_shared
+                                .snapshots_skipped
+                                .fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        match medium.install_snapshot(&bytes) {
+                            Ok(()) => {
+                                // Ops buffered before this offer are part
+                                // of the snapshot's state; dropping them
+                                // keeps replay exactly-once.
+                                buf.clear();
+                                journal_len = 0;
+                                worker_shared.journal_bytes.store(0, Ordering::Relaxed);
+                                last_snapshot = Some(now);
+                                worker_shared
+                                    .snapshots_written
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                *worker_shared.error.lock().unwrap() =
+                                    Some(format!("install_snapshot: {e}"));
+                                killed = true;
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            if buf.is_empty() {
+                return;
+            }
+            let mut out = Vec::with_capacity(buf.len() + 6);
+            if journal_len == 0 {
+                journal::journal_header(&mut out);
+            }
+            out.extend_from_slice(&buf);
+            match medium.append_journal(&out) {
+                Ok(()) => {
+                    journal_len += out.len();
+                    worker_shared
+                        .journal_bytes
+                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    *worker_shared.error.lock().unwrap() = Some(format!("append_journal: {e}"));
+                    killed = true;
+                }
+            }
+        });
+        DurabilityWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+            shared,
+        }
+    }
+
+    /// Enqueues one journal op, blocking while the queue is full.
+    /// Returns false if the worker is gone (after [`DurabilityWriter::close`]).
+    pub fn append(&self, op: JournalOp) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Cmd::Append(op)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Offers a serialized snapshot; the worker installs it unless rate
+    /// limiting drops the offer. Blocks while the queue is full.
+    pub fn offer_snapshot(&self, snapshot: Vec<u8>) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Cmd::Snapshot(snapshot)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> WriterStats {
+        self.shared.snapshot()
+    }
+
+    /// Drains the queue, stops the worker, and returns the final stats.
+    pub fn close(mut self) -> WriterStats {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+impl Drop for DurabilityWriter {
+    fn drop(&mut self) {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::persist::journal::JournalReader;
+    use crate::ids::PeerId;
+
+    #[test]
+    fn ops_land_in_the_journal_in_order() {
+        let medium = MemoryMedium::new();
+        let store = medium.handle();
+        let writer = DurabilityWriter::spawn(medium, WriterConfig::default());
+        for i in 0..100 {
+            assert!(writer.append(JournalOp::Deregister(PeerId(i))));
+        }
+        let stats = writer.close();
+        assert_eq!(stats.records, 100);
+        assert!(stats.error.is_none());
+        let bytes = store.lock().unwrap().journal.clone();
+        let mut reader = JournalReader::new(&bytes).unwrap();
+        let mut got = Vec::new();
+        while let Some(op) = reader.next_op() {
+            got.push(op);
+        }
+        assert_eq!(
+            got,
+            (0..100)
+                .map(|i| JournalOp::Deregister(PeerId(i)))
+                .collect::<Vec<_>>()
+        );
+        assert!(!reader.torn_tail());
+    }
+
+    #[test]
+    fn snapshot_install_truncates_journal_and_drops_covered_ops() {
+        let medium = MemoryMedium::new();
+        let store = medium.handle();
+        let writer = DurabilityWriter::spawn(
+            medium,
+            WriterConfig {
+                min_snapshot_interval: Duration::ZERO,
+                ..WriterConfig::default()
+            },
+        );
+        writer.append(JournalOp::Deregister(PeerId(1)));
+        writer.offer_snapshot(vec![0xAB; 16]);
+        writer.append(JournalOp::Deregister(PeerId(2)));
+        let stats = writer.close();
+        assert_eq!(stats.snapshots_written, 1);
+        let bytes = store.lock().unwrap().clone();
+        assert_eq!(bytes.snapshot.as_deref(), Some(&[0xAB; 16][..]));
+        let mut reader = JournalReader::new(&bytes.journal).unwrap();
+        let mut got = Vec::new();
+        while let Some(op) = reader.next_op() {
+            got.push(op);
+        }
+        // Only the op after the install survives in the journal.
+        assert_eq!(got, vec![JournalOp::Deregister(PeerId(2))]);
+    }
+
+    #[test]
+    fn rate_limit_skips_rapid_snapshot_offers() {
+        let medium = MemoryMedium::new();
+        let writer = DurabilityWriter::spawn(
+            medium,
+            WriterConfig {
+                min_snapshot_interval: Duration::from_secs(3600),
+                ..WriterConfig::default()
+            },
+        );
+        writer.offer_snapshot(vec![1]);
+        writer.offer_snapshot(vec![2]);
+        writer.offer_snapshot(vec![3]);
+        let stats = writer.close();
+        assert_eq!(stats.snapshots_written, 1);
+        assert_eq!(stats.snapshots_skipped, 2);
+    }
+
+    #[test]
+    fn kill_after_batches_parks_the_worker_at_a_batch_boundary() {
+        let medium = MemoryMedium::new();
+        let store = medium.handle();
+        let writer = DurabilityWriter::spawn(
+            medium,
+            WriterConfig {
+                queue_capacity: 1, // force one op per batch
+                kill_after_batches: Some(2),
+                ..WriterConfig::default()
+            },
+        );
+        for i in 0..10 {
+            writer.append(JournalOp::Deregister(PeerId(i)));
+            // Give the worker time to drain, so each op lands in its own
+            // batch and the kill point bites before the last op.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        writer.close();
+        let bytes = store.lock().unwrap().journal.clone();
+        let mut reader = JournalReader::new(&bytes).unwrap();
+        let mut got = 0;
+        while reader.next_op().is_some() {
+            got += 1;
+        }
+        // The journal is a clean prefix: intact records, no torn tail.
+        assert!(!reader.torn_tail());
+        assert!(
+            (1..10).contains(&got),
+            "expected a strict prefix, got {got}"
+        );
+    }
+
+    #[test]
+    fn file_medium_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "nearpeer-writer-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let medium = FileMedium::create(&dir).unwrap();
+        let snap_path = medium.snapshot_path();
+        let journal_path = medium.journal_path();
+        let writer = DurabilityWriter::spawn(
+            medium,
+            WriterConfig {
+                min_snapshot_interval: Duration::ZERO,
+                ..WriterConfig::default()
+            },
+        );
+        writer.offer_snapshot(vec![7; 8]);
+        writer.append(JournalOp::Deregister(PeerId(9)));
+        let stats = writer.close();
+        assert!(stats.error.is_none(), "{:?}", stats.error);
+        assert_eq!(fs::read(&snap_path).unwrap(), vec![7; 8]);
+        let journal = fs::read(&journal_path).unwrap();
+        let mut reader = JournalReader::new(&journal).unwrap();
+        assert_eq!(reader.next_op(), Some(JournalOp::Deregister(PeerId(9))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

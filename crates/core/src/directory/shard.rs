@@ -258,6 +258,103 @@ impl DirectoryShard {
         self.store.release(r);
     }
 
+    /// Streams the shard into `out`: identity, lifetime counters, the
+    /// interned path arena, the lease slab (payloads are 4-byte path
+    /// refs), and the adaptive EWMA table when enabled. The router index
+    /// and path tree are *not* written — the final directory state is a
+    /// pure function of the registered set, so both rebuild from the
+    /// restored leases.
+    pub(crate) fn persist_encode(&self, out: &mut Vec<u8>) {
+        use super::persist::wire::{put_u32, put_u64, put_u8};
+        put_u32(out, self.landmark.0);
+        put_u32(out, self.root.0);
+        put_u64(out, self.inserts);
+        put_u64(out, self.removals);
+        self.store.persist_encode(out);
+        self.leases
+            .persist_encode(out, |r, buf| put_u32(buf, r.slot()));
+        match &self.adaptive {
+            None => put_u8(out, 0),
+            Some(a) => {
+                put_u8(out, 1);
+                a.persist_encode(out);
+            }
+        }
+    }
+
+    /// Rebuilds a shard written by [`Self::persist_encode`], re-deriving
+    /// the router index and path tree from the restored leases and
+    /// cross-checking the structures against each other: every live lease
+    /// must reference a live interned path rooted at this shard's
+    /// landmark, and the store's reference counts must sum to exactly the
+    /// live-lease count. `adaptive` must match how the shard was running
+    /// (it comes from the snapshot's own config section). Fails closed.
+    pub(crate) fn persist_decode(
+        r: &mut super::persist::Reader<'_>,
+        adaptive: Option<AdaptiveLeaseConfig>,
+    ) -> Result<Self, super::persist::PersistError> {
+        use super::persist::PersistError;
+        let landmark = LandmarkId(r.u32()?);
+        let root = RouterId(r.u32()?);
+        let inserts = r.u64()?;
+        let removals = r.u64()?;
+        let store = PathStore::persist_decode(r)?;
+        let leases = LeaseArena::persist_decode(r, |rd| {
+            let slot = rd.u32()?;
+            let pr = PathRef::from_slot(slot);
+            if !store.is_live(pr) {
+                return Err(PersistError::Corrupt(format!(
+                    "lease references dead path slot {slot}"
+                )));
+            }
+            Ok(pr)
+        })?;
+        if store.total_refs() != leases.len() as u64 {
+            return Err(PersistError::Corrupt(format!(
+                "path store holds {} refs for {} live leases",
+                store.total_refs(),
+                leases.len()
+            )));
+        }
+        let adaptive = match (r.u8()?, adaptive) {
+            (0, None) => None,
+            (1, Some(cfg)) => Some(AdaptiveLeases::persist_decode(cfg, r)?),
+            (flag, _) => {
+                return Err(PersistError::Corrupt(format!(
+                    "shard adaptive flag {flag} disagrees with the snapshot config"
+                )))
+            }
+        };
+        let mut shard = DirectoryShard {
+            landmark,
+            root,
+            store,
+            entries: EntryMap::new(),
+            leases,
+            tree: PathTree::new(root),
+            adaptive,
+            inserts,
+            removals,
+        };
+        let pairs: Vec<(PeerId, PathRef)> = shard.leases.iter().map(|(p, _, r)| (p, *r)).collect();
+        for &(_, pr) in &pairs {
+            if shard.store.get(pr).landmark_router() != root {
+                return Err(PersistError::Corrupt(format!(
+                    "stored path in shard {} does not terminate at its landmark router",
+                    landmark.0
+                )));
+            }
+        }
+        for &(peer, pr) in &pairs {
+            shard.index_path(peer, pr);
+        }
+        let DirectoryShard { store, tree, .. } = &mut shard;
+        for &(peer, pr) in &pairs {
+            tree.insert(peer, store.get(pr));
+        }
+        Ok(shard)
+    }
+
     /// Registers one peer: interns the path, indexes every router on it,
     /// attaches the peer to the path tree and opens its lease at `epoch`.
     pub fn insert(&mut self, peer: PeerId, path: PeerPath, epoch: u64) -> Result<(), CoreError> {

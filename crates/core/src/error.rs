@@ -21,6 +21,15 @@ pub enum CoreError {
     InvalidFederation(String),
     /// Wire-format decoding failed.
     Codec(crate::codec::CodecError),
+    /// A server or federation configuration is degenerate (zero shards,
+    /// zero neighbor count, adaptive `min_age > max_age`, …).
+    InvalidConfig(String),
+    /// Snapshot or journal persistence failed (corrupt bytes, bad
+    /// checksum, unsupported version, I/O error).
+    Persist(crate::directory::persist::PersistError),
+    /// The addressed region is crashed/down; callers should fall back to
+    /// fanout (reads) or retry after rejoin (writes).
+    RegionUnavailable(u32),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +41,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownLandmark(msg) => write!(f, "unknown landmark: {msg}"),
             CoreError::InvalidFederation(msg) => write!(f, "invalid federation: {msg}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CoreError::Persist(e) => write!(f, "persistence error: {e}"),
+            CoreError::RegionUnavailable(r) => write!(f, "region {r} is unavailable"),
         }
     }
 }
@@ -41,5 +53,11 @@ impl std::error::Error for CoreError {}
 impl From<crate::codec::CodecError> for CoreError {
     fn from(e: crate::codec::CodecError) -> Self {
         CoreError::Codec(e)
+    }
+}
+
+impl From<crate::directory::persist::PersistError> for CoreError {
+    fn from(e: crate::directory::persist::PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }

@@ -2,6 +2,7 @@
 //! management servers.
 
 use super::region::{Region, RegionId};
+use crate::directory::persist::RecoveryReport;
 use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
@@ -148,6 +149,11 @@ pub struct Federation {
     handovers: u64,
     cross_region_handovers: u64,
     epoch: u64,
+    /// Regions currently crashed ([`Self::crash_region`]): their server
+    /// slot holds an empty stand-in, writes to them are refused with
+    /// [`CoreError::RegionUnavailable`], and queries route around them
+    /// until [`Self::rejoin_region`] restores the recovered server.
+    down: Vec<bool>,
 }
 
 impl Federation {
@@ -181,6 +187,13 @@ impl Federation {
                 "super-peers are not supported per region yet".into(),
             ));
         }
+        if config.fanout == Some(0) && n_regions > 1 {
+            return Err(CoreError::InvalidFederation(format!(
+                "fanout 0 over {n_regions} regions: cross-region peers would be \
+                 permanently invisible (use fanout >= 1, or a single region)"
+            )));
+        }
+        config.server.validate()?;
         let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); n_regions];
         for i in 0..n {
             partitions[i % n_regions].push(i as u32);
@@ -208,21 +221,7 @@ impl Federation {
             let server = ManagementServer::new(routers, dist, config.server);
             regions.push(Region::new(id, server, globals));
         }
-        let mut bridge = vec![vec![u32::MAX; n_regions]; n_regions];
-        for (a, row) in bridge.iter_mut().enumerate() {
-            row[a] = 0;
-            for (la, &ra) in landmark_region.iter().enumerate() {
-                if ra.index() != a {
-                    continue;
-                }
-                for (lb, &rb) in landmark_region.iter().enumerate() {
-                    if rb.index() == a {
-                        continue;
-                    }
-                    row[rb.index()] = row[rb.index()].min(landmark_dist[la][lb]);
-                }
-            }
-        }
+        let bridge = Self::compute_bridge(&landmark_region, &landmark_dist, n_regions);
         let router_landmark = landmark_routers
             .iter()
             .enumerate()
@@ -242,7 +241,35 @@ impl Federation {
             handovers: 0,
             cross_region_handovers: 0,
             epoch: 0,
+            down: vec![false; n_regions],
         })
+    }
+
+    /// Derives the region×region bridge matrix — the minimum
+    /// landmark-to-landmark hop distance across each pair — from the
+    /// global distance matrix and the landmark→region assignment. Run at
+    /// construction and re-run when a restarted region rejoins.
+    fn compute_bridge(
+        landmark_region: &[RegionId],
+        landmark_dist: &[Vec<u32>],
+        n_regions: usize,
+    ) -> Vec<Vec<u32>> {
+        let mut bridge = vec![vec![u32::MAX; n_regions]; n_regions];
+        for (a, row) in bridge.iter_mut().enumerate() {
+            row[a] = 0;
+            for (la, &ra) in landmark_region.iter().enumerate() {
+                if ra.index() != a {
+                    continue;
+                }
+                for (lb, &rb) in landmark_region.iter().enumerate() {
+                    if rb.index() == a {
+                        continue;
+                    }
+                    row[rb.index()] = row[rb.index()].min(landmark_dist[la][lb]);
+                }
+            }
+        }
+        bridge
     }
 
     /// Convenience constructor measuring the landmark distance matrix
@@ -397,6 +424,11 @@ impl Federation {
     pub fn advance_epoch(&mut self) -> u64 {
         self.epoch += 1;
         for region in &mut self.regions {
+            if self.down[region.id().index()] {
+                // A crashed region's stand-in does not tick; the recovered
+                // server fast-forwards to the federation epoch at rejoin.
+                continue;
+            }
             let e = region.server_mut().advance_epoch();
             debug_assert_eq!(e, self.epoch, "regions advance in lockstep");
         }
@@ -410,6 +442,9 @@ impl Federation {
     /// anywhere in the federation is rejected as a duplicate.
     pub fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<FederatedJoin, CoreError> {
         let (region, global) = self.home_of_path(&path)?;
+        if self.down[region.index()] {
+            return Err(CoreError::RegionUnavailable(region.0));
+        }
         if self.region_of_peer(peer).is_some() {
             return Err(CoreError::DuplicatePeer(peer));
         }
@@ -447,6 +482,10 @@ impl Federation {
                 out.rejected += 1;
                 continue;
             };
+            if self.down[region.index()] {
+                out.rejected += 1;
+                continue;
+            }
             match self
                 .region_of_peer(peer)
                 .or_else(|| pending.get(&peer).copied())
@@ -473,10 +512,14 @@ impl Federation {
         out
     }
 
-    /// Batched departures across all regions; returns the number removed.
+    /// Batched departures across all live regions; returns the number
+    /// removed. Peers whose region is crashed are untouched (their leases
+    /// expire or are re-resolved after the region rejoins).
     pub fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
+        let down = &self.down;
         self.regions
             .iter_mut()
+            .filter(|r| !down[r.id().index()])
             .map(|r| r.server_mut().leave_batch(peers))
             .sum()
     }
@@ -486,8 +529,10 @@ impl Federation {
     /// through [`Self::region_mut`] instead and skip the foreign-region
     /// probes.)
     pub fn renew_batch(&mut self, peers: &[PeerId]) -> usize {
+        let down = &self.down;
         self.regions
             .iter_mut()
+            .filter(|r| !down[r.id().index()])
             .map(|r| r.server_mut().renew_batch(peers))
             .sum()
     }
@@ -507,6 +552,10 @@ impl Federation {
             return Err(CoreError::UnknownPeer(peer));
         };
         let (dest, global) = self.home_of_path(&new_path)?;
+        if self.down[dest.index()] {
+            // Validation precedes teardown: the peer stays where it is.
+            return Err(CoreError::RegionUnavailable(dest.0));
+        }
         if from == dest {
             // Same region: the server's own atomic handover applies (its
             // region-local answer is discarded for the federated one).
@@ -549,9 +598,16 @@ impl Federation {
     fn query_regions(&self, home: RegionId) -> Vec<RegionId> {
         let mut foreign: Vec<RegionId> = (0..self.regions.len() as u32)
             .map(RegionId)
-            .filter(|&r| r != home)
+            .filter(|&r| r != home && !self.down[r.index()])
             .collect();
         foreign.sort_unstable_by_key(|&r| (self.bridge(home, r), r.0));
+        if self.down[home.index()] {
+            // The home region is crashed: rather than erroring (or
+            // answering from its empty stand-in plus a capped fan-out),
+            // degrade to full fan-out over every live region — the best
+            // answer available until the region rejoins.
+            return foreign;
+        }
         let take = self.fanout.unwrap_or(foreign.len()).min(foreign.len());
         let mut out = Vec::with_capacity(take + 1);
         out.push(home);
@@ -580,8 +636,11 @@ impl Federation {
         let home = self.home_of_path(path).ok();
         let consulted: Vec<RegionId> = match home {
             Some((home, _)) => self.query_regions(home),
-            // No home landmark: exact answers only, from everywhere.
-            None => (0..self.regions.len() as u32).map(RegionId).collect(),
+            // No home landmark: exact answers only, from every live region.
+            None => (0..self.regions.len() as u32)
+                .map(RegionId)
+                .filter(|&r| !self.down[r.index()])
+                .collect(),
         };
         self.counters
             .remote
@@ -706,6 +765,9 @@ impl Federation {
         let mut out = FederationSweep::default();
         for region in &mut self.regions {
             let id = region.id();
+            if self.down[id.index()] {
+                continue;
+            }
             let sweep = region.server_mut().expire_stale_full(max_age);
             out.expired
                 .extend(sweep.expired.into_iter().map(|p| (id, p)));
@@ -713,6 +775,97 @@ impl Federation {
                 .extend(sweep.moved.into_iter().map(|(p, _)| (id, p)));
         }
         out
+    }
+
+    // ---- crash / restart ------------------------------------------------
+
+    /// Whether a region is currently crashed.
+    pub fn region_down(&self, id: RegionId) -> bool {
+        self.down[id.index()]
+    }
+
+    /// Serializes one region's directory into the versioned snapshot
+    /// format ([`ManagementServer::snapshot_bytes`]). Refused while the
+    /// region is down — its state lives in the snapshot/journal pair that
+    /// will rejoin it, not in the empty stand-in.
+    pub fn snapshot_region(&self, id: RegionId) -> Result<Vec<u8>, CoreError> {
+        if self.down[id.index()] {
+            return Err(CoreError::RegionUnavailable(id.0));
+        }
+        self.regions[id.index()].server().snapshot_bytes()
+    }
+
+    /// Simulates a region crash: the region's server is torn out and
+    /// returned (the test harness's view of what died with the process),
+    /// an empty stand-in takes its slot, and the region is marked down —
+    /// writes to it are refused, queries route around it
+    /// ([`Self::query_regions`]). Crashing an already-down region fails.
+    pub fn crash_region(&mut self, id: RegionId) -> Result<ManagementServer, CoreError> {
+        if self.down[id.index()] {
+            return Err(CoreError::RegionUnavailable(id.0));
+        }
+        let region = &mut self.regions[id.index()];
+        let routers = region.server().landmarks().to_vec();
+        let dist = region.server().landmark_distances().to_vec();
+        let config = *region.server().config();
+        let stand_in = ManagementServer::new(routers, dist, config);
+        self.down[id.index()] = true;
+        Ok(region.replace_server(stand_in))
+    }
+
+    /// Rejoins a crashed region from its durable state: the snapshot plus
+    /// the journal of operations since it was taken. The recovered server
+    /// must serve the exact landmark partition the region owned (anything
+    /// else fails closed), its epoch is fast-forwarded to the federation
+    /// epoch the cluster reached while the region was down, and the
+    /// bridge matrix is re-derived before the region resumes serving.
+    pub fn rejoin_region(
+        &mut self,
+        id: RegionId,
+        snapshot: &[u8],
+        journal: &[u8],
+    ) -> Result<RecoveryReport, CoreError> {
+        if !self.down[id.index()] {
+            return Err(CoreError::InvalidFederation(format!(
+                "{id} is live; rejoin only applies to a crashed region"
+            )));
+        }
+        let (mut server, report) = ManagementServer::recover(snapshot, journal)?;
+        let region = &self.regions[id.index()];
+        if server.landmarks() != region.server().landmarks() {
+            return Err(CoreError::InvalidFederation(format!(
+                "recovered snapshot serves landmarks {:?}, {id} owns {:?}",
+                server.landmarks(),
+                region.server().landmarks()
+            )));
+        }
+        if server.landmark_distances() != region.server().landmark_distances() {
+            return Err(CoreError::InvalidFederation(format!(
+                "recovered snapshot's landmark sub-matrix does not match {id}'s"
+            )));
+        }
+        if server.epoch() > self.epoch {
+            return Err(CoreError::InvalidFederation(format!(
+                "recovered {id} is at epoch {} but the federation is at {} — \
+                 the snapshot/journal pair is from a different run",
+                server.epoch(),
+                self.epoch
+            )));
+        }
+        // The cluster kept ticking while the region was down; catch the
+        // recovered server up so leases age consistently (a peer that
+        // could not renew during the outage expires on schedule).
+        while server.epoch() < self.epoch {
+            server.advance_epoch();
+        }
+        self.regions[id.index()].replace_server(server);
+        self.down[id.index()] = false;
+        self.bridge = Self::compute_bridge(
+            &self.landmark_region,
+            &self.landmark_dist,
+            self.regions.len(),
+        );
+        Ok(report)
     }
 }
 
@@ -801,8 +954,35 @@ mod tests {
             ..FederationConfig::default()
         };
         assert!(matches!(
-            Federation::new(routers, dist, 2, cfg),
+            Federation::new(routers.clone(), dist.clone(), 2, cfg),
             Err(CoreError::InvalidFederation(_))
+        ));
+        // Per-region server configs are validated at the front door too.
+        let cfg = FederationConfig {
+            server: ServerConfig {
+                neighbor_count: 0,
+                ..ServerConfig::default()
+            },
+            ..FederationConfig::default()
+        };
+        assert!(matches!(
+            Federation::new(routers.clone(), dist.clone(), 2, cfg),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let cfg = FederationConfig {
+            server: ServerConfig {
+                adaptive_leases: Some(crate::AdaptiveLeaseConfig {
+                    min_age: 9,
+                    max_age: 3,
+                    ..crate::AdaptiveLeaseConfig::default()
+                }),
+                ..ServerConfig::default()
+            },
+            ..FederationConfig::default()
+        };
+        assert!(matches!(
+            Federation::new(routers, dist, 2, cfg),
+            Err(CoreError::InvalidConfig(_))
         ));
     }
 
@@ -837,15 +1017,22 @@ mod tests {
     }
 
     #[test]
-    fn fanout_zero_answers_purely_locally() {
-        let mut fed = federation(2, Some(0));
+    fn fanout_zero_with_multiple_regions_is_rejected() {
+        // Historically legal (answers came purely from the home region),
+        // but it silently made every cross-region peer invisible — now a
+        // typed construction error. A single region still accepts it:
+        // there is no foreign region to consult anyway.
+        let (routers, dist) = four_landmarks();
+        let cfg = FederationConfig {
+            fanout: Some(0),
+            ..FederationConfig::default()
+        };
+        assert!(matches!(
+            Federation::new(routers.clone(), dist.clone(), 2, cfg),
+            Err(CoreError::InvalidFederation(_))
+        ));
+        let mut fed = Federation::new(routers, dist, 1, cfg).unwrap();
         fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
-        let out = fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
-        assert!(
-            out.neighbors.is_empty(),
-            "no foreign region consulted, no candidates: {:?}",
-            out.neighbors
-        );
         assert_eq!(fed.stats().remote_regions_consulted, 0);
     }
 
@@ -943,5 +1130,99 @@ mod tests {
             }
         );
         assert_eq!(fed.renew_batch(&[PeerId(1)]), 1);
+    }
+
+    #[test]
+    fn crashed_region_refuses_writes_and_queries_route_around_it() {
+        let mut fed = federation(2, None);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        let dead = fed.crash_region(RegionId(0)).unwrap();
+        assert_eq!(dead.peer_count(), 1, "the crash took peer 1 with it");
+        assert!(fed.region_down(RegionId(0)));
+        assert_eq!(fed.peer_count(), 1, "only the live region counts");
+        // Writes to the crashed region fail typed; double-crash too.
+        assert!(matches!(
+            fed.register(PeerId(3), path(&[5, 2, 1, 0])),
+            Err(CoreError::RegionUnavailable(0))
+        ));
+        assert!(matches!(
+            fed.handover(PeerId(2), path(&[5, 2, 1, 0])),
+            Err(CoreError::RegionUnavailable(0))
+        ));
+        assert_eq!(fed.region_of_peer(PeerId(2)), Some(RegionId(1)));
+        assert!(matches!(
+            fed.crash_region(RegionId(0)),
+            Err(CoreError::RegionUnavailable(0))
+        ));
+        assert!(matches!(
+            fed.snapshot_region(RegionId(0)),
+            Err(CoreError::RegionUnavailable(0))
+        ));
+        let batch = fed.register_batch(vec![
+            (PeerId(4), path(&[6, 2, 1, 0])),    // home region crashed
+            (PeerId(5), path(&[120, 105, 100])), // live region
+        ]);
+        assert_eq!((batch.joined, batch.rejected), (1, 1));
+        // A query homed in the crashed region degrades to full fan-out
+        // over the live regions instead of erroring.
+        let answer = fed.closest_to_path(&path(&[9, 2, 1, 0]), 3, None);
+        let peers: Vec<PeerId> = answer.iter().map(|n| n.peer).collect();
+        assert_eq!(peers, vec![PeerId(2), PeerId(5)]);
+    }
+
+    #[test]
+    fn rejoin_restores_the_region_exactly_and_resumes_serving() {
+        use crate::directory::persist::journal::{append_op, JournalOp};
+        let mut fed = federation(2, None);
+        fed.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        fed.register(PeerId(2), path(&[110, 105, 100])).unwrap();
+        fed.advance_epoch();
+        // Durable state: a snapshot, then journaled ops applied after it.
+        let snapshot = fed.snapshot_region(RegionId(0)).unwrap();
+        let mut journal = Vec::new();
+        let op = JournalOp::RegisterBatch(vec![(PeerId(3), path(&[210, 205, 200]))]);
+        append_op(&mut journal, &op);
+        fed.region_mut(RegionId(0))
+            .server_mut()
+            .apply_journal_op(op);
+        fed.crash_region(RegionId(0)).unwrap();
+        // The cluster keeps ticking while the region is down.
+        fed.advance_epoch();
+        fed.advance_epoch();
+        // Rejoining a live region is refused.
+        assert!(matches!(
+            fed.rejoin_region(RegionId(1), &snapshot, &journal),
+            Err(CoreError::InvalidFederation(_))
+        ));
+        // A damaged snapshot fails closed and the region stays down.
+        let mut bad = snapshot.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(matches!(
+            fed.rejoin_region(RegionId(0), &bad, &journal),
+            Err(CoreError::Persist(_))
+        ));
+        assert!(fed.region_down(RegionId(0)));
+        // The real pair rejoins: both peers are back, epochs caught up,
+        // and the region serves again.
+        let report = fed.rejoin_region(RegionId(0), &snapshot, &journal).unwrap();
+        assert_eq!(report.journal_records, 1);
+        assert!(!fed.region_down(RegionId(0)));
+        assert_eq!(fed.peer_count(), 3);
+        assert_eq!(fed.region_of_peer(PeerId(1)), Some(RegionId(0)));
+        assert_eq!(fed.region_of_peer(PeerId(3)), Some(RegionId(0)));
+        assert_eq!(fed.region(RegionId(0)).server().epoch(), fed.epoch());
+        fed.register(PeerId(4), path(&[5, 2, 1, 0])).unwrap();
+        let answer = fed.neighbors_of(PeerId(4), 3).unwrap();
+        assert_eq!(answer[0].peer, PeerId(1), "shares router 2, dtree 2");
+        // A snapshot from the wrong region cannot rejoin.
+        let foreign = fed.snapshot_region(RegionId(1)).unwrap();
+        fed.crash_region(RegionId(0)).unwrap();
+        assert!(matches!(
+            fed.rejoin_region(RegionId(0), &foreign, &[]),
+            Err(CoreError::InvalidFederation(_))
+        ));
+        assert!(fed.region_down(RegionId(0)));
     }
 }

@@ -74,6 +74,14 @@ impl Region {
         (self.server, self.landmark_globals)
     }
 
+    /// Swaps this region's server for another (crash/rejoin bookkeeping in
+    /// [`super::Federation`]), returning the previous one. The caller
+    /// guarantees the replacement serves the same landmark partition.
+    pub(crate) fn replace_server(&mut self, server: ManagementServer) -> ManagementServer {
+        debug_assert_eq!(server.landmarks().len(), self.landmark_globals.len());
+        std::mem::replace(&mut self.server, server)
+    }
+
     /// Global landmark indices owned by this region, in local-id order.
     pub fn landmark_globals(&self) -> &[u32] {
         &self.landmark_globals

@@ -57,6 +57,13 @@ pub mod runtime;
 mod server;
 mod superpeer;
 
+pub use directory::persist::fault::FaultPlan;
+pub use directory::persist::journal::{JournalOp, JournalReader};
+pub use directory::persist::writer::{
+    DurabilityWriter, DurableBytes, DurableMedium, FileMedium, MemoryMedium, WriterConfig,
+    WriterStats,
+};
+pub use directory::persist::{PersistError, RecoveryReport};
 pub use directory::{
     AdaptiveLeaseConfig, DirectoryShard, LeaseArena, PathRef, PathStore, PeerSlot, ShardAbsorb,
     ShardSweep, SweepStats,

@@ -126,6 +126,14 @@ impl ActorServer {
                 "super-peers are not supported by the actorized server".into(),
             ));
         }
+        if landmark_routers.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "a server needs at least one landmark (zero shards cannot \
+                 register anything)"
+                    .into(),
+            ));
+        }
+        config.validate()?;
         let landmark_by_router = landmark_routers
             .iter()
             .enumerate()
@@ -540,6 +548,40 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_construction() {
+        assert!(matches!(
+            ActorServer::new(Vec::new(), Vec::new(), ServerConfig::default()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ActorServer::new(
+                vec![RouterId(0)],
+                vec![vec![0]],
+                ServerConfig {
+                    neighbor_count: 0,
+                    ..ServerConfig::default()
+                },
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ActorServer::new(
+                vec![RouterId(0)],
+                vec![vec![0]],
+                ServerConfig {
+                    adaptive_leases: Some(crate::AdaptiveLeaseConfig {
+                        min_age: 8,
+                        max_age: 2,
+                        ..crate::AdaptiveLeaseConfig::default()
+                    }),
+                    ..ServerConfig::default()
+                },
+            ),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! merge per-shard answers, and only genuinely cross-landmark state —
 //! bridge distances, super-peer regions, aggregate counters — lives here.
 
+use crate::directory::persist::journal::{JournalOp, JournalReader};
+use crate::directory::persist::{self, wire, PersistError, RecoveryReport};
 use crate::directory::query::{self, MergedPeersThrough};
 use crate::directory::{AdaptiveLeaseConfig, DirectoryShard, ShardAbsorb};
 use crate::error::CoreError;
@@ -47,6 +49,38 @@ impl Default for ServerConfig {
             super_peers: None,
             adaptive_leases: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Rejects configurations that cannot work at runtime with a typed
+    /// [`CoreError::InvalidConfig`], instead of letting them surface later
+    /// as silent misbehavior (a zero neighbor count answers every query
+    /// with nothing; an adaptive band with `min_age > max_age` or
+    /// `min_age == 0` would expire live, cooperating peers between
+    /// renewals).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.neighbor_count == 0 {
+            return Err(CoreError::InvalidConfig(
+                "neighbor_count must be at least 1".into(),
+            ));
+        }
+        if let Some(a) = self.adaptive_leases {
+            if a.min_age == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "adaptive_leases.min_age must be at least 1 (a zero floor expires \
+                     live peers between renewals)"
+                        .into(),
+                ));
+            }
+            if a.min_age > a.max_age {
+                return Err(CoreError::InvalidConfig(format!(
+                    "adaptive_leases.min_age ({}) exceeds max_age ({})",
+                    a.min_age, a.max_age
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -882,6 +916,241 @@ impl ManagementServer {
             already,
         )
     }
+
+    // ---- durability -----------------------------------------------------
+
+    /// Serializes the complete directory state into the versioned snapshot
+    /// format (see [`crate::directory::persist`]): a `NPSN` header, the
+    /// config section, aggregate counters, the landmark set and bridge
+    /// matrix, one section per shard (interned paths, lease slots with
+    /// generations and forwarding tombstones, epoch buckets, adaptive EWMA
+    /// cells), and a trailing FNV-1a checksum over everything before it.
+    ///
+    /// [`ManagementServer::recover`] restores a byte-identical directory
+    /// from this: same answers, same conservation counters, same future
+    /// expiry behavior. Super-peer state is runtime-only and not
+    /// persisted — snapshotting a server with super-peers enabled returns
+    /// [`PersistError::Unsupported`].
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        if self.config.super_peers.is_some() {
+            return Err(PersistError::Unsupported(
+                "super-peer state is runtime-only and cannot be snapshotted".into(),
+            )
+            .into());
+        }
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(&persist::SNAPSHOT_MAGIC);
+        wire::put_u16(&mut out, persist::SNAPSHOT_VERSION);
+        wire::put_u16(&mut out, 0); // flags, reserved
+
+        // Config section.
+        wire::put_u64(&mut out, self.config.neighbor_count as u64);
+        wire::put_u8(&mut out, self.config.cross_landmark_fallback as u8);
+        match self.config.adaptive_leases {
+            None => wire::put_u8(&mut out, 0),
+            Some(a) => {
+                wire::put_u8(&mut out, 1);
+                wire::put_u32(&mut out, a.ewma_shift);
+                wire::put_u32(&mut out, a.margin);
+                wire::put_u32(&mut out, a.min_age);
+                wire::put_u32(&mut out, a.max_age);
+                wire::put_u32(&mut out, a.max_tracked);
+            }
+        }
+        // Facade counters.
+        wire::put_u64(&mut out, self.epoch);
+        wire::put_u64(&mut out, self.handovers);
+        wire::put_u64(&mut out, self.counters.queries.load(Ordering::Relaxed));
+        wire::put_u64(
+            &mut out,
+            self.counters.cross_landmark_fills.load(Ordering::Relaxed),
+        );
+        // Landmarks and the bridge matrix.
+        wire::put_u32(&mut out, self.landmark_routers.len() as u32);
+        for &r in &self.landmark_routers {
+            wire::put_u32(&mut out, r.0);
+        }
+        for row in &self.landmark_dist {
+            for &d in row {
+                wire::put_u32(&mut out, d);
+            }
+        }
+        // Per-shard sections.
+        for shard in &self.shards {
+            shard.persist_encode(&mut out);
+        }
+        let sum = persist::checksum(&out);
+        wire::put_u64(&mut out, sum);
+        Ok(out)
+    }
+
+    /// Rebuilds a server from a snapshot plus the journal of operations
+    /// applied since it was taken, returning the server and a
+    /// [`RecoveryReport`] describing what was consumed.
+    ///
+    /// Fail-closed contract: the snapshot checksum is verified **before**
+    /// any state is parsed, so a truncated or corrupted snapshot yields a
+    /// typed error and no server — never a partial directory. A journal
+    /// with a torn tail (incomplete or corrupt final records, the normal
+    /// outcome of a crash mid-append) replays cleanly up to the last
+    /// intact record and reports the tear; a journal with a damaged header
+    /// fails closed like the snapshot.
+    pub fn recover(snapshot: &[u8], journal: &[u8]) -> Result<(Self, RecoveryReport), CoreError> {
+        // Header and checksum first: nothing is parsed from bytes that
+        // have not been proven intact.
+        if snapshot.len() < 16 {
+            return Err(PersistError::Truncated.into());
+        }
+        let magic: [u8; 4] = snapshot[..4].try_into().expect("length checked");
+        if magic != persist::SNAPSHOT_MAGIC {
+            return Err(PersistError::BadMagic(magic).into());
+        }
+        let version = u16::from_le_bytes(snapshot[4..6].try_into().expect("length checked"));
+        if version != persist::SNAPSHOT_VERSION {
+            return Err(PersistError::UnsupportedVersion(version).into());
+        }
+        let body_end = snapshot.len() - 8;
+        let stored = u64::from_le_bytes(snapshot[body_end..].try_into().expect("length checked"));
+        let computed = persist::checksum(&snapshot[..body_end]);
+        if stored != computed {
+            return Err(PersistError::ChecksumMismatch { stored, computed }.into());
+        }
+        let flags = u16::from_le_bytes(snapshot[6..8].try_into().expect("length checked"));
+        if flags != 0 {
+            return Err(
+                PersistError::Unsupported(format!("unknown snapshot flags {flags:#06x}")).into(),
+            );
+        }
+        let mut r = persist::Reader::new(&snapshot[8..body_end]);
+        // Config section.
+        let neighbor_count = r.u64()? as usize;
+        let cross_landmark_fallback = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(PersistError::Corrupt(format!("bad cross-landmark flag {t}")).into()),
+        };
+        let adaptive_leases = match r.u8()? {
+            0 => None,
+            1 => Some(AdaptiveLeaseConfig {
+                ewma_shift: r.u32()?,
+                margin: r.u32()?,
+                min_age: r.u32()?,
+                max_age: r.u32()?,
+                max_tracked: r.u32()?,
+            }),
+            t => return Err(PersistError::Corrupt(format!("bad adaptive flag {t}")).into()),
+        };
+        let config = ServerConfig {
+            neighbor_count,
+            cross_landmark_fallback,
+            super_peers: None,
+            adaptive_leases,
+        };
+        config.validate()?;
+        // Facade counters.
+        let epoch = r.u64()?;
+        let handovers = r.u64()?;
+        let queries = r.u64()?;
+        let fills = r.u64()?;
+        // Landmarks and the bridge matrix.
+        let n = r.u32()? as usize;
+        if n == 0 {
+            return Err(CoreError::InvalidConfig(
+                "snapshot holds zero landmarks (no shards)".into(),
+            ));
+        }
+        let mut landmark_routers = Vec::with_capacity(n);
+        for _ in 0..n {
+            landmark_routers.push(RouterId(r.u32()?));
+        }
+        let mut landmark_dist = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(r.u32()?);
+            }
+            landmark_dist.push(row);
+        }
+        // Per-shard sections, validated against the landmark set.
+        let mut shards = Vec::with_capacity(n);
+        for (i, &router) in landmark_routers.iter().enumerate() {
+            let shard = DirectoryShard::persist_decode(&mut r, adaptive_leases)?;
+            if shard.landmark() != LandmarkId(i as u32) || shard.tree().root() != router {
+                return Err(PersistError::Corrupt(format!(
+                    "shard {i} does not match its landmark section"
+                ))
+                .into());
+            }
+            shards.push(shard);
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes after the last shard section",
+                r.remaining()
+            ))
+            .into());
+        }
+        let mut server = Self::new(landmark_routers, landmark_dist, config);
+        server.shards = shards;
+        server.epoch = epoch;
+        server.handovers = handovers;
+        server.counters.queries.store(queries, Ordering::Relaxed);
+        server
+            .counters
+            .cross_landmark_fills
+            .store(fills, Ordering::Relaxed);
+        // The facade peer→shard map lazily rebuilds from the restored
+        // shards on the first lookup.
+        *server.peer_shard_dirty.get_mut() = true;
+        let mut report = RecoveryReport {
+            snapshot_bytes: snapshot.len(),
+            ..RecoveryReport::default()
+        };
+        // Journal replay: every intact record re-applies through the same
+        // write paths the original run used, so counters and conservation
+        // invariants land exactly where they were.
+        let mut reader = JournalReader::new(journal)?;
+        while let Some(op) = reader.next_op() {
+            server.apply_journal_op(op);
+        }
+        report.journal_records = reader.records_read();
+        report.journal_bytes = reader.bytes_consumed();
+        report.journal_torn_tail = reader.torn_tail();
+        Ok((server, report))
+    }
+
+    /// Applies one journaled operation through the ordinary write paths.
+    /// Outcomes are discarded: the journal records operations that already
+    /// succeeded (or were already rejected) on the live server, so replay
+    /// reproduces their effects, not their answers.
+    pub fn apply_journal_op(&mut self, op: JournalOp) {
+        match op {
+            JournalOp::RegisterBatch(items) => {
+                let _ = self.register_batch_renewing(items);
+            }
+            JournalOp::RenewBatch(peers) => {
+                let _ = self.renew_batch(&peers);
+            }
+            JournalOp::LeaveBatch(peers) => {
+                let _ = self.leave_batch(&peers);
+            }
+            JournalOp::Handover { peer, path } => {
+                let _ = self.handover(peer, path);
+            }
+            JournalOp::DeregisterForwarding { peer, to_region } => {
+                let _ = self.deregister_forwarding(peer, to_region);
+            }
+            JournalOp::Deregister(peer) => {
+                let _ = self.deregister(peer);
+            }
+            JournalOp::AdvanceEpoch => {
+                self.advance_epoch();
+            }
+            JournalOp::ExpireStale { max_age } => {
+                let _ = self.expire_stale_full(max_age);
+            }
+        }
+    }
 }
 
 /// Read-only merged view over a [`ManagementServer`]'s shards, with the
@@ -1520,5 +1789,244 @@ mod tests {
         srv.deregister(PeerId(1)).unwrap();
         srv.deregister(PeerId(2)).unwrap();
         assert_eq!(srv.shards()[0].path_store().distinct(), 1);
+    }
+
+    #[test]
+    fn config_validation_rejects_impossible_values() {
+        let zero_neighbors = ServerConfig {
+            neighbor_count: 0,
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            zero_neighbors.validate(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let inverted_band = ServerConfig {
+            adaptive_leases: Some(AdaptiveLeaseConfig {
+                min_age: 10,
+                max_age: 4,
+                ..AdaptiveLeaseConfig::default()
+            }),
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            inverted_band.validate(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        let zero_floor = ServerConfig {
+            adaptive_leases: Some(AdaptiveLeaseConfig {
+                min_age: 0,
+                ..AdaptiveLeaseConfig::default()
+            }),
+            ..ServerConfig::default()
+        };
+        assert!(matches!(
+            zero_floor.validate(),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        assert!(ServerConfig::default().validate().is_ok());
+    }
+
+    /// Asserts every externally observable part of the directory matches:
+    /// registered set with paths, counters, epoch, tombstones, and query
+    /// answers.
+    fn assert_same_directory(a: &ManagementServer, b: &ManagementServer) {
+        assert_eq!(a.peer_count(), b.peer_count());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.tombstone_count(), b.tombstone_count());
+        assert_eq!(a.landmarks(), b.landmarks());
+        assert_eq!(a.landmark_distances(), b.landmark_distances());
+        let mut peers: Vec<PeerId> = a.index().peers().collect();
+        peers.sort_unstable();
+        let mut b_peers: Vec<PeerId> = b.index().peers().collect();
+        b_peers.sort_unstable();
+        assert_eq!(peers, b_peers);
+        for &p in &peers {
+            assert_eq!(a.path_of(p), b.path_of(p));
+            assert_eq!(a.landmark_of(p), b.landmark_of(p));
+            assert_eq!(a.neighbors_of(p, 3).unwrap(), b.neighbors_of(p, 3).unwrap());
+        }
+    }
+
+    /// A server with adaptive leases on, exercised through every write
+    /// path: joins, renewals, a handover, a forwarding tombstone, leaves
+    /// and expiries across several epochs.
+    fn churned_adaptive_server() -> ManagementServer {
+        let mut srv = two_landmark_server(ServerConfig {
+            adaptive_leases: Some(AdaptiveLeaseConfig {
+                min_age: 2,
+                max_age: 12,
+                ..AdaptiveLeaseConfig::default()
+            }),
+            ..ServerConfig::default()
+        });
+        for i in 0..40u64 {
+            let p = if i % 2 == 0 {
+                path(&[200 + i as u32, 2, 1, 0])
+            } else {
+                path(&[300 + i as u32, 105, 100])
+            };
+            srv.register(PeerId(i), p).unwrap();
+        }
+        srv.advance_epoch();
+        let renew: Vec<PeerId> = (0..30).map(PeerId).collect();
+        srv.renew_batch(&renew);
+        srv.advance_epoch();
+        srv.handover(PeerId(0), path(&[310, 105, 100])).unwrap();
+        srv.deregister_forwarding(PeerId(1), 3).unwrap();
+        srv.deregister(PeerId(2)).unwrap();
+        srv.leave_batch(&[PeerId(3), PeerId(5)]);
+        for _ in 0..4 {
+            srv.advance_epoch();
+        }
+        srv.expire_stale(3);
+        srv
+    }
+
+    #[test]
+    fn snapshot_recover_roundtrip_restores_exact_directory() {
+        let srv = churned_adaptive_server();
+        let bytes = srv.snapshot_bytes().unwrap();
+        let (restored, report) = ManagementServer::recover(&bytes, &[]).unwrap();
+        assert_eq!(report.snapshot_bytes, bytes.len());
+        assert_eq!(report.journal_records, 0);
+        assert!(!report.journal_torn_tail);
+        assert_same_directory(&srv, &restored);
+        // Future behavior matches too: the same sweep on both sides
+        // expires the same peers (adaptive EWMA state survived).
+        let mut live = srv;
+        let mut back = restored;
+        for _ in 0..6 {
+            live.advance_epoch();
+            back.advance_epoch();
+            assert_eq!(live.expire_stale(3), back.expire_stale(3));
+        }
+        assert_same_directory(&live, &back);
+    }
+
+    #[test]
+    fn journal_replay_reaches_live_state() {
+        use crate::directory::persist::journal::append_op;
+        let mut live = churned_adaptive_server();
+        let snapshot = live.snapshot_bytes().unwrap();
+        // Keep mutating the live server, journaling every op.
+        let mut journal = Vec::new();
+        let ops = vec![
+            JournalOp::AdvanceEpoch,
+            JournalOp::RegisterBatch(vec![
+                (PeerId(100), path(&[210, 2, 1, 0])),
+                (PeerId(101), path(&[320, 105, 100])),
+                (PeerId(4), path(&[204, 2, 1, 0])), // renewal
+            ]),
+            JournalOp::RenewBatch((6..20).map(PeerId).collect()),
+            JournalOp::Handover {
+                peer: PeerId(100),
+                path: path(&[321, 105, 100]),
+            },
+            JournalOp::DeregisterForwarding {
+                peer: PeerId(101),
+                to_region: 7,
+            },
+            JournalOp::Deregister(PeerId(6)),
+            JournalOp::AdvanceEpoch,
+            JournalOp::AdvanceEpoch,
+            JournalOp::LeaveBatch(vec![PeerId(7), PeerId(999)]),
+            JournalOp::ExpireStale { max_age: 2 },
+        ];
+        for op in ops {
+            append_op(&mut journal, &op);
+            live.apply_journal_op(op);
+        }
+        let (recovered, report) = ManagementServer::recover(&snapshot, &journal).unwrap();
+        assert_eq!(report.journal_records, 10);
+        assert_eq!(report.journal_bytes, journal.len());
+        assert!(!report.journal_torn_tail);
+        assert_same_directory(&live, &recovered);
+    }
+
+    #[test]
+    fn recovery_fails_closed_on_damaged_snapshot() {
+        let srv = churned_adaptive_server();
+        let good = srv.snapshot_bytes().unwrap();
+
+        // Too short to even hold a header and checksum.
+        assert!(matches!(
+            ManagementServer::recover(&good[..10], &[]),
+            Err(CoreError::Persist(PersistError::Truncated))
+        ));
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ManagementServer::recover(&bad, &[]),
+            Err(CoreError::Persist(PersistError::BadMagic(_)))
+        ));
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            ManagementServer::recover(&bad, &[]),
+            Err(CoreError::Persist(PersistError::UnsupportedVersion(99)))
+        ));
+        // A single flipped body byte fails the checksum before parsing.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            ManagementServer::recover(&bad, &[]),
+            Err(CoreError::Persist(PersistError::ChecksumMismatch { .. }))
+        ));
+        // Truncation anywhere also fails the checksum (the trailing eight
+        // bytes are now body bytes, not the stored sum).
+        let cut = good.len() - 20;
+        assert!(matches!(
+            ManagementServer::recover(&good[..cut], &[]),
+            Err(CoreError::Persist(PersistError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn torn_journal_tail_replays_to_last_intact_record() {
+        use crate::directory::persist::journal::append_op;
+        let mut live = churned_adaptive_server();
+        let snapshot = live.snapshot_bytes().unwrap();
+        let mut journal = Vec::new();
+        append_op(&mut journal, &JournalOp::AdvanceEpoch);
+        live.apply_journal_op(JournalOp::AdvanceEpoch);
+        append_op(
+            &mut journal,
+            &JournalOp::RegisterBatch(vec![(PeerId(500), path(&[250, 2, 1, 0]))]),
+        );
+        live.apply_journal_op(JournalOp::RegisterBatch(vec![(
+            PeerId(500),
+            path(&[250, 2, 1, 0]),
+        )]));
+        let intact = journal.len();
+        // A record the crash cut in half: replay must stop cleanly before
+        // it, reporting the tear.
+        append_op(
+            &mut journal,
+            &JournalOp::RegisterBatch(vec![(PeerId(501), path(&[251, 2, 1, 0]))]),
+        );
+        journal.truncate(intact + 7);
+        let (recovered, report) = ManagementServer::recover(&snapshot, &journal).unwrap();
+        assert_eq!(report.journal_records, 2);
+        assert_eq!(report.journal_bytes, intact);
+        assert!(report.journal_torn_tail);
+        assert!(!recovered.index().contains(PeerId(501)));
+        assert_same_directory(&live, &recovered);
+    }
+
+    #[test]
+    fn super_peer_servers_refuse_to_snapshot() {
+        let srv = two_landmark_server(ServerConfig {
+            super_peers: Some(crate::superpeer::SuperPeerConfig::default()),
+            ..ServerConfig::default()
+        });
+        assert!(matches!(
+            srv.snapshot_bytes(),
+            Err(CoreError::Persist(PersistError::Unsupported(_)))
+        ));
     }
 }

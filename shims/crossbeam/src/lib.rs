@@ -1,10 +1,12 @@
 //! Offline stand-in for `crossbeam` (0.8 API subset).
 //!
-//! Provides [`channel::unbounded`]: a multi-producer multi-consumer
-//! FIFO built on `Mutex<VecDeque>` + `Condvar`. Slower than crossbeam's
-//! lock-free queue but semantically identical for the sweep runner's
-//! work-distribution pattern (clonable receivers, disconnect on last
-//! sender drop, blocking `recv`, iteration until disconnect).
+//! Provides [`channel::unbounded`] and [`channel::bounded`]:
+//! multi-producer multi-consumer FIFOs built on `Mutex<VecDeque>` +
+//! `Condvar`. Slower than crossbeam's lock-free queue but semantically
+//! identical for the sweep runner's work-distribution pattern (clonable
+//! receivers, disconnect on last sender drop, blocking `recv`, iteration
+//! until disconnect). The bounded variant blocks `send` while the queue
+//! is full (backpressure) and offers a non-blocking [`Sender::try_send`].
 //!
 //! Also provides [`thread::scope`] (re-exported as [`scope`]): crossbeam's
 //! scoped-thread API implemented on `std::thread::scope`. The closure
@@ -24,12 +26,17 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Signals blocked bounded senders that a slot opened (a message
+        /// was popped, or every receiver went away).
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued items.
+        capacity: Option<usize>,
     }
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
@@ -84,6 +91,36 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full; the value is returned.
+        Full(T),
+        /// Every receiver is gone; the value is returned.
+        Disconnected(T),
+    }
+
+    // Like upstream: Debug without a `T: Debug` bound.
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Sending half; clonable.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -94,15 +131,16 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded mpmc channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                capacity,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -112,12 +150,52 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded mpmc channel holding at most `cap` queued
+    /// messages; `send` blocks while the queue is full. Upstream crossbeam
+    /// supports `cap == 0` as a rendezvous channel — this shim approximates
+    /// it with capacity 1 (the batch-writer usage never passes 0).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`, failing only if every receiver is dropped.
+        /// Enqueues `value`, failing only if every receiver is dropped. On a
+        /// bounded channel this blocks while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.capacity {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.shared.space.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: enqueues `value`, or reports the channel full
+        /// (bounded only) or disconnected without waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
             if state.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = state.capacity {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             state.items.push_back(value);
             drop(state);
@@ -152,6 +230,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap();
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -167,6 +247,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.queue.lock().unwrap();
             if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(item);
             }
             if state.senders == 0 {
@@ -193,7 +275,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().unwrap().receivers -= 1;
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full bounded queue so they can
+                // observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -351,6 +440,52 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(channel::SendError(5)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_accepts_after_recv() {
+        let (tx, rx) = channel::bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn bounded_zero_capacity_holds_at_least_one() {
+        let (tx, rx) = channel::bounded(0);
+        assert!(tx.try_send(9).is_ok());
+        assert_eq!(tx.try_send(10), Err(channel::TrySendError::Full(10)));
+        assert_eq!(rx.recv(), Ok(9));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space_and_delivers_in_order() {
+        let (tx, rx) = channel::bounded::<usize>(1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<usize> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn bounded_blocked_sender_errors_when_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(rx);
+            assert_eq!(handle.join().unwrap(), Err(channel::SendError(2)));
+        });
     }
 
     #[test]
