@@ -7,19 +7,22 @@
 //! world is the synthetic landmark layout (`--landmarks N` routers, all
 //! 4 hops apart), matching what `wire_loadgen` mirrors locally.
 //!
-//! Transport rules: partial reads reassemble; a malformed frame is
-//! skipped (the codec consumed it); an oversized length prefix drops the
+//! Transport rules (see [`nearpeer_bench::wire::serve_connection`]):
+//! partial reads reassemble; a malformed frame is skipped (the codec
+//! consumed it); an oversized length prefix drops the connection; idle
+//! eviction counts byte progress, not completed frames; standing
+//! subscriptions get server-initiated `DeltaPush` frames on their own
 //! connection; a `Shutdown` frame is acked, then the daemon stops
-//! accepting, drains every open connection and exits.
+//! accepting, drains every open connection (granting in-flight partial
+//! frames a bounded grace) and exits.
 
-use nearpeer_bench::wire::{build_service, FrameConn};
-use nearpeer_core::protocol::Message;
-use nearpeer_core::{ServerConfig, WireService};
+use nearpeer_bench::wire::{build_service, serve_connection};
+use nearpeer_core::ServerConfig;
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct Args {
     listen: String,
@@ -140,81 +143,4 @@ fn main() {
         let _ = handle.join();
     }
     eprintln!("nearpeerd: drained, exiting");
-}
-
-/// One connection's serve loop: reassemble frames, answer requests.
-fn serve_connection(
-    stream: TcpStream,
-    service: Arc<dyn WireService>,
-    shutdown: Arc<AtomicBool>,
-    local: SocketAddr,
-    idle_deadline: Option<Duration>,
-) {
-    let peer = stream.peer_addr().ok();
-    let mut conn = match FrameConn::new(stream) {
-        Ok(conn) => conn,
-        Err(_) => return,
-    };
-    // A bounded read lets the loop observe a shutdown requested on
-    // another connection without dropping a frame mid-reassembly — and,
-    // stacked up, gives the idle deadline its resolution.
-    if conn
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .is_err()
-    {
-        return;
-    }
-    let mut last_frame = Instant::now();
-    loop {
-        match conn.recv() {
-            Ok(Some(msg)) => {
-                last_frame = Instant::now();
-                let stop = matches!(msg, Message::Shutdown { .. });
-                if let Some(reply) = service.handle(msg) {
-                    if conn.send(&reply).is_err() {
-                        return;
-                    }
-                }
-                if stop {
-                    shutdown.store(true, Ordering::Release);
-                    // Unblock the accept loop so it observes the flag.
-                    let _ = TcpStream::connect(local);
-                    return;
-                }
-            }
-            // Clean close on a frame boundary.
-            Ok(None) => return,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(limit) = idle_deadline {
-                    let idle = last_frame.elapsed();
-                    if idle >= limit {
-                        // A client that stopped talking without closing
-                        // would otherwise pin this thread (and its fd)
-                        // forever.
-                        match peer {
-                            Some(addr) => eprintln!(
-                                "nearpeerd: evicting idle connection {addr} \
-                                 ({}s without a frame)",
-                                idle.as_secs()
-                            ),
-                            None => eprintln!(
-                                "nearpeerd: evicting idle connection \
-                                 ({}s without a frame)",
-                                idle.as_secs()
-                            ),
-                        }
-                        return;
-                    }
-                }
-            }
-            // Oversized frame or transport error: the stream position is
-            // untrustworthy, drop the connection.
-            Err(_) => return,
-        }
-    }
 }

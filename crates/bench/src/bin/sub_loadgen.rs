@@ -1,0 +1,499 @@
+//! `sub_loadgen` — standing-subscription client against a running
+//! `nearpeerd` (single region: the federated front door refuses
+//! subscriptions).
+//!
+//! Two connections:
+//!
+//! 1. the **subscription connection** registers `--subs` watcher peers,
+//!    subscribes each (`min_interval_ms = 0`), checks every `SubAck`
+//!    snapshot bit-for-bit against a local [`Mirror`], and from then on
+//!    receives server-initiated `DeltaPush` frames;
+//! 2. the **churn connection** replays a generated churn trace
+//!    window-by-window (`JoinRequest` / fire-and-forget `Leave`; `Fail`
+//!    events are skipped — no expiry sweep runs over the wire).
+//!
+//! After each window, a `ProbePing` on the churn connection confirms the
+//! mutations are applied, then a `ProbePing` on the subscription
+//! connection **fences the push channel**: the serving loop flushes every
+//! queued `DeltaPush` before a reply, so reading until the pong yields
+//! all deltas for the window. Each delta is applied to the client-side
+//! view and the touched views are compared (as `(peer, dtree)` sets)
+//! against the mirror replaying the same windows; a final sweep checks
+//! every view. Exits non-zero on any parity mismatch or a replay
+//! throughput below `--min-events-per-sec`.
+
+use nearpeer_bench::wire::{world, FrameConn, Mirror};
+use nearpeer_core::protocol::{Message, WireNeighbor};
+use nearpeer_core::{Neighbor, PeerId, PeerPath, ServerConfig};
+use nearpeer_workloads::{ArrivalProcess, ChurnConfig, ChurnEventKind, ChurnTrace};
+use std::collections::BTreeSet;
+use std::io;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    landmarks: usize,
+    subs: u64,
+    churners: usize,
+    windows: u64,
+    k: usize,
+    pipeline: usize,
+    seed: u64,
+    min_events_per_sec: f64,
+    shutdown: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Self, String> {
+        let mut out = Self {
+            addr: String::new(),
+            landmarks: 8,
+            subs: 10_000,
+            churners: 20_000,
+            windows: 32,
+            k: 5,
+            pipeline: 256,
+            seed: 42,
+            min_events_per_sec: 0.0,
+            shutdown: false,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+            fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+                v.parse().map_err(|_| format!("bad {flag} value {v}"))
+            }
+            match arg.as_str() {
+                "--addr" => out.addr = value("--addr")?,
+                "--landmarks" => out.landmarks = num("--landmarks", value("--landmarks")?)?,
+                "--subs" => out.subs = num("--subs", value("--subs")?)?,
+                "--churners" => out.churners = num("--churners", value("--churners")?)?,
+                "--windows" => out.windows = num("--windows", value("--windows")?)?,
+                "--k" => out.k = num("--k", value("--k")?)?,
+                "--pipeline" => out.pipeline = num("--pipeline", value("--pipeline")?)?,
+                "--seed" => out.seed = num("--seed", value("--seed")?)?,
+                "--min-events-per-sec" => {
+                    out.min_events_per_sec =
+                        num("--min-events-per-sec", value("--min-events-per-sec")?)?
+                }
+                "--shutdown" => out.shutdown = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: sub_loadgen --addr HOST:PORT [--landmarks N] [--subs N] \
+                         [--churners N] [--windows N] [--k K] [--pipeline W] [--seed S] \
+                         [--min-events-per-sec F] [--shutdown]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        if out.addr.is_empty() {
+            return Err("--addr is required".into());
+        }
+        if out.subs == 0 || out.windows == 0 || out.k == 0 || out.pipeline == 0 {
+            return Err("--subs, --windows, --k and --pipeline must be >= 1".into());
+        }
+        Ok(out)
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sub_loadgen: {msg}");
+    std::process::exit(1);
+}
+
+/// Connects with capped backoff — the daemon may still be binding.
+fn connect_with_backoff(addr: &str) -> io::Result<FrameConn> {
+    const ATTEMPTS: u32 = 12;
+    let mut delay = Duration::from_millis(25);
+    for attempt in 0.. {
+        match FrameConn::connect(addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if attempt + 1 >= ATTEMPTS => return Err(e),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+    unreachable!("loop returns")
+}
+
+/// Keeps up to `window` requests in flight; the server answers one
+/// connection's frames in order, so reply `i` matches request `i`.
+fn pipelined(
+    conn: &mut FrameConn,
+    total: u64,
+    window: usize,
+    mut make: impl FnMut(u64) -> Message,
+    mut on_reply: impl FnMut(u64, Message),
+) -> io::Result<()> {
+    let mut sent = 0u64;
+    let mut recvd = 0u64;
+    while recvd < total {
+        while sent < total && sent - recvd < window as u64 {
+            conn.send(&make(sent))?;
+            sent += 1;
+        }
+        match conn.recv()? {
+            Some(msg) => {
+                on_reply(recvd, msg);
+                recvd += 1;
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed with replies outstanding",
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The client-side contract for applying a delta to a view: drop
+/// `removed`, then upsert `added`.
+fn apply(view: &mut Vec<Neighbor>, added: &[WireNeighbor], removed: &[PeerId]) {
+    view.retain(|n| !removed.contains(&n.peer));
+    for a in added {
+        match view.iter_mut().find(|n| n.peer == a.peer) {
+            Some(n) => n.dtree = a.dtree,
+            None => view.push(Neighbor {
+                peer: a.peer,
+                dtree: a.dtree,
+            }),
+        }
+    }
+}
+
+/// Delta-applied views are unordered; answers compare as
+/// `(peer, dtree)` sets.
+fn same_set(view: &[Neighbor], mut want: Vec<Neighbor>) -> bool {
+    let mut got = view.to_vec();
+    got.sort_unstable_by_key(|n| n.peer);
+    want.sort_unstable_by_key(|n| n.peer);
+    got == want
+}
+
+fn same_snapshot(wire: &[WireNeighbor], local: &[Neighbor]) -> bool {
+    wire.len() == local.len()
+        && wire
+            .iter()
+            .zip(local)
+            .all(|(w, n)| w.peer == n.peer && w.dtree == n.dtree)
+}
+
+/// Fences the push channel: every `DeltaPush` the server queued before
+/// handling this ping arrives before the pong. Returns the push count.
+fn fence_pushes(
+    conn: &mut FrameConn,
+    nonce: u64,
+    mut on_push: impl FnMut(PeerId, Vec<WireNeighbor>, Vec<PeerId>),
+) -> io::Result<u64> {
+    conn.send(&Message::ProbePing { nonce })?;
+    let mut pushes = 0u64;
+    loop {
+        match conn.recv()? {
+            Some(Message::DeltaPush {
+                peer,
+                added,
+                removed,
+                ..
+            }) => {
+                pushes += 1;
+                on_push(peer, added, removed);
+            }
+            Some(Message::ProbePong { nonce: n }) if n == nonce => return Ok(pushes),
+            Some(other) => fail(&format!(
+                "unexpected {} on the subscription connection",
+                other.kind_name()
+            )),
+            None => fail("server closed the subscription connection"),
+        }
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let joins = world(args.landmarks);
+    let config = ServerConfig {
+        neighbor_count: args.k,
+        ..ServerConfig::default()
+    };
+    // Single-region mirror: subscriptions only exist there (the federated
+    // front door refuses them, and so will the daemon if started with
+    // --regions > 1 — surfaced below as a subscribe error).
+    let mut mirror = Mirror::build(args.landmarks, 1, config)
+        .unwrap_or_else(|e| fail(&format!("cannot build mirror: {e}")));
+    let mut conn_subs = connect_with_backoff(&args.addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {}: {e}", args.addr)));
+    let mut conn_churn = connect_with_backoff(&args.addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {}: {e}", args.addr)));
+
+    // Watcher population: ids disjoint from the churn trace's 0..churners.
+    let sub_ids: Vec<PeerId> = (0..args.subs)
+        .map(|i| PeerId(args.churners as u64 + i))
+        .collect();
+    let k = args.k.min(u16::MAX as usize) as u16;
+    pipelined(
+        &mut conn_subs,
+        args.subs,
+        args.pipeline,
+        |i| {
+            let (peer, path) = joins.join(sub_ids[i as usize].0);
+            Message::JoinRequest { peer, path }
+        },
+        |_, msg| match msg {
+            Message::JoinReply { .. } => {}
+            Message::JoinError { peer, reason } => {
+                fail(&format!("watcher {peer} refused: {reason}"))
+            }
+            other => fail(&format!(
+                "unexpected {} to a watcher join",
+                other.kind_name()
+            )),
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("watcher registration: {e}")));
+    let items: Vec<(PeerId, PeerPath)> = sub_ids.iter().map(|p| joins.join(p.0)).collect();
+    let joined = mirror.register_all(items);
+    if joined as u64 != args.subs {
+        fail(&format!(
+            "mirror registered {joined} of {} watchers",
+            args.subs
+        ));
+    }
+
+    // Subscribe every watcher; the SubAck snapshot must equal the mirror
+    // answer bit-for-bit (the directory is a pure function of the
+    // registered set, and nothing else is in flight yet).
+    let mut views: Vec<Vec<Neighbor>> = vec![Vec::new(); args.subs as usize];
+    let mut initial_mismatches = 0u64;
+    pipelined(
+        &mut conn_subs,
+        args.subs,
+        args.pipeline,
+        |i| Message::Subscribe {
+            nonce: i,
+            peer: sub_ids[i as usize],
+            k,
+            min_interval_ms: 0,
+        },
+        |i, msg| match msg {
+            Message::SubAck {
+                nonce, neighbors, ..
+            } => {
+                assert_eq!(nonce, i, "pipelined acks arrive in order");
+                let peer = sub_ids[i as usize];
+                let want = mirror.closest_to_path(&joins.path(peer.0), args.k, Some(peer));
+                if !same_snapshot(&neighbors, &want) {
+                    initial_mismatches += 1;
+                    if initial_mismatches <= 5 {
+                        eprintln!(
+                            "sub_loadgen: initial snapshot of {peer} was {neighbors:?}, \
+                             expected {want:?}"
+                        );
+                    }
+                }
+                views[i as usize] = neighbors
+                    .iter()
+                    .map(|w| Neighbor {
+                        peer: w.peer,
+                        dtree: w.dtree,
+                    })
+                    .collect();
+            }
+            Message::JoinError { peer, reason } => {
+                fail(&format!("subscribe {peer} refused: {reason}"))
+            }
+            other => fail(&format!("unexpected {} to a subscribe", other.kind_name())),
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("subscribe phase: {e}")));
+
+    // Churn replay, one wire window at a time.
+    let trace = ChurnTrace::generate(
+        &ChurnConfig {
+            peers: args.churners,
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: 2_000.0,
+            },
+            mean_lifetime_secs: Some(30.0),
+            failure_fraction: 0.2,
+        },
+        args.seed,
+    );
+    let width = (trace.span_us() / args.windows).max(1);
+    let view_of = |peer: PeerId| (peer.0 - args.churners as u64) as usize;
+    let mut events = 0u64;
+    let mut deltas = 0u64;
+    let mut mismatches = 0u64;
+    let mut join_errors = 0u64;
+    let mut harness_time = Duration::ZERO;
+    let t0 = Instant::now();
+    for (idx, window) in trace.windows(width) {
+        let mut batch_joins: Vec<(PeerId, PeerPath)> = Vec::new();
+        let mut batch_leaves: Vec<PeerId> = Vec::new();
+        for ev in window {
+            match ev.kind {
+                ChurnEventKind::Join => batch_joins.push(joins.join(ev.peer as u64)),
+                ChurnEventKind::Leave => batch_leaves.push(PeerId(ev.peer as u64)),
+                // No expiry sweep runs over the wire; skipping the event
+                // on both sides keeps the mirror in lockstep.
+                ChurnEventKind::Fail => {}
+            }
+        }
+        events += (batch_joins.len() + batch_leaves.len()) as u64;
+        let n_joins = batch_joins.len() as u64;
+        pipelined(
+            &mut conn_churn,
+            n_joins,
+            args.pipeline,
+            |i| {
+                let (peer, path) = batch_joins[i as usize].clone();
+                Message::JoinRequest { peer, path }
+            },
+            |_, msg| match msg {
+                Message::JoinReply { .. } => {}
+                Message::JoinError { .. } => join_errors += 1,
+                other => fail(&format!("unexpected {} to a churn join", other.kind_name())),
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("churn window {idx}: {e}")));
+        for &peer in &batch_leaves {
+            conn_churn
+                .send(&Message::Leave { peer })
+                .unwrap_or_else(|e| fail(&format!("churn window {idx}: {e}")));
+        }
+        // Churn fence: the pong proves every mutation above is applied
+        // (and its deltas queued) before we fence the push channel.
+        conn_churn
+            .send(&Message::ProbePing { nonce: idx })
+            .unwrap_or_else(|e| fail(&format!("churn fence {idx}: {e}")));
+        match conn_churn.recv() {
+            Ok(Some(Message::ProbePong { nonce })) if nonce == idx => {}
+            other => fail(&format!("churn fence {idx} broken: {other:?}")),
+        }
+
+        let mut touched: BTreeSet<PeerId> = BTreeSet::new();
+        deltas += fence_pushes(&mut conn_subs, idx, |peer, added, removed| {
+            apply(&mut views[view_of(peer)], &added, &removed);
+            touched.insert(peer);
+        })
+        .unwrap_or_else(|e| fail(&format!("push fence {idx}: {e}")));
+
+        // Mirror the window and verify the touched views (harness work,
+        // excluded from the replay throughput).
+        let tv = Instant::now();
+        mirror.register_all(batch_joins);
+        mirror.leave_all(&batch_leaves);
+        for &peer in &touched {
+            let want = mirror.closest_to_path(&joins.path(peer.0), args.k, Some(peer));
+            if !same_set(&views[view_of(peer)], want) {
+                mismatches += 1;
+                if mismatches <= 5 {
+                    eprintln!("sub_loadgen: window {idx}: view of {peer} diverged");
+                }
+            }
+        }
+        harness_time += tv.elapsed();
+    }
+    let replay_secs = t0.elapsed().saturating_sub(harness_time).as_secs_f64();
+    let events_per_sec = events as f64 / replay_secs.max(1e-9);
+
+    // Final sweep: every view must equal a fresh mirror query — catches a
+    // delta that never arrived for an otherwise-untouched view.
+    let mut final_mismatches = 0u64;
+    for (i, &peer) in sub_ids.iter().enumerate() {
+        let want = mirror.closest_to_path(&joins.path(peer.0), args.k, Some(peer));
+        if !same_set(&views[i], want) {
+            final_mismatches += 1;
+            if final_mismatches <= 5 {
+                eprintln!("sub_loadgen: final view of {peer} diverged");
+            }
+        }
+    }
+
+    // Unsubscribe everyone (empty acks), exercising the teardown path.
+    pipelined(
+        &mut conn_subs,
+        args.subs,
+        args.pipeline,
+        |i| Message::Unsubscribe {
+            nonce: i,
+            peer: sub_ids[i as usize],
+        },
+        |i, msg| match msg {
+            Message::SubAck {
+                nonce, neighbors, ..
+            } => {
+                assert_eq!(nonce, i);
+                assert!(neighbors.is_empty(), "unsubscribe acks are empty");
+            }
+            other => fail(&format!(
+                "unexpected {} to an unsubscribe",
+                other.kind_name()
+            )),
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("unsubscribe phase: {e}")));
+
+    if args.shutdown {
+        drop(conn_churn);
+        conn_subs
+            .send(&Message::Shutdown { nonce: 99 })
+            .unwrap_or_else(|e| fail(&format!("shutdown send: {e}")));
+        match conn_subs.recv() {
+            Ok(Some(Message::ProbePong { nonce: 99 })) => {}
+            other => fail(&format!("shutdown not acknowledged: {other:?}")),
+        }
+    }
+
+    println!(
+        "{{\"addr\":\"{}\",\"landmarks\":{},\"subs\":{},\"churners\":{},\"windows\":{},\"k\":{},\
+         \"events\":{},\"deltas\":{},\"replay_secs\":{:.3},\"events_per_sec\":{:.0},\
+         \"initial_mismatches\":{},\"window_mismatches\":{},\"final_mismatches\":{},\
+         \"join_errors\":{}}}",
+        args.addr,
+        args.landmarks,
+        args.subs,
+        args.churners,
+        args.windows,
+        args.k,
+        events,
+        deltas,
+        replay_secs,
+        events_per_sec,
+        initial_mismatches,
+        mismatches,
+        final_mismatches,
+        join_errors,
+    );
+    let bad = initial_mismatches + mismatches + final_mismatches;
+    if bad > 0 {
+        fail(&format!("{bad} views diverged from the mirror"));
+    }
+    if deltas == 0 {
+        fail("the replay pushed no deltas at all");
+    }
+    if events_per_sec < args.min_events_per_sec {
+        eprintln!(
+            "sub_loadgen: FAILED — {events_per_sec:.0} events/s below the \
+             --min-events-per-sec {} floor",
+            args.min_events_per_sec
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "sub_loadgen: OK — {} subs, {events} churn events at {events_per_sec:.0}/s, \
+         {deltas} deltas, every view matches the mirror",
+        args.subs
+    );
+}

@@ -12,4 +12,5 @@ pub mod mapping;
 pub mod quality;
 pub mod restart;
 pub mod setup_delay;
+pub mod subs;
 pub mod superpeers;

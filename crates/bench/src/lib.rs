@@ -17,6 +17,8 @@
 //! | —  | `internet_mapping` | map-statistics validation (§3 substitution) |
 //! | —  | `churn_soak` | 10⁵–10⁶-peer churn replay through the batched lease path |
 //! | —  | `federation_soak` | N-region churn + mobility replay through the federation front door |
+//! | —  | `sub_soak` | standing-subscription soak: delta parity, latency CDF, coalescing under storms |
+//! | —  | `sub_loadgen` | wire-level subscription client: SubAck/DeltaPush parity against `nearpeerd` |
 //!
 //! Binaries print the paper-style table, an ASCII rendition of the figure,
 //! and write CSV + a JSON manifest under `target/experiments/<name>/`
@@ -39,6 +41,6 @@ pub use output::ExperimentWriter;
 pub use runner::run_parallel;
 pub use swarm::{
     churn_epoch_shard_parallel, expire_stale_shard_parallel, oracle_stats_line,
-    register_shard_parallel, renew_shard_parallel, sweep_trace_threads, trace_round1, BuildPhases,
-    BuildStrategy, Swarm, SwarmConfig, SyntheticJoins,
+    register_shard_parallel, renew_shard_parallel, subs_stats_line, sweep_trace_threads,
+    trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig, SyntheticJoins,
 };

@@ -18,7 +18,9 @@
 //!   landmark shard) — all producing identical directory state.
 
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
-use nearpeer_core::{LandmarkId, ManagementServer, PeerId, PeerPath, ServerConfig};
+use nearpeer_core::{
+    LandmarkId, ManagementServer, PeerId, PeerPath, ServerConfig, SubscriptionStats,
+};
 use nearpeer_probe::{TraceConfig, TraceResult, TraceScratch, Tracer};
 use nearpeer_routing::{OracleStats, RouteOracle};
 use nearpeer_topology::{RouterId, Topology};
@@ -116,6 +118,12 @@ pub struct BuildPhases {
     /// runs entirely out of the O(landmarks) eager arena (`scale_smoke`
     /// gates this in CI).
     pub oracle: OracleStats,
+    /// Subscription-plane counters, for builds whose driver ran a
+    /// standing-subscription phase afterwards (`None` straight out of
+    /// [`Swarm::build`] — a fresh swarm has no subscribers yet; `sub_soak`
+    /// stashes the registry's final counters here so reports render
+    /// through the same struct).
+    pub subs: Option<SubscriptionStats>,
 }
 
 /// A fully initialised swarm: topology + landmarks + populated server.
@@ -278,6 +286,7 @@ impl<'t> Swarm<'t> {
                 register: t_register.elapsed(),
                 trace_threads: threads,
                 oracle: oracle_stats,
+                subs: None,
             },
         })
     }
@@ -327,6 +336,29 @@ pub fn oracle_stats_line(stats: &OracleStats) -> String {
         k(stats.lazy_hits),
         k(stats.scratch_reuses),
         k(stats.lazy_evictions),
+    )
+}
+
+/// One-line human-readable rendering of a [`SubscriptionStats`] snapshot,
+/// the subscription plane's sibling of [`oracle_stats_line`]:
+/// `subs: active 10k, pushed 122k (+31k coalesced, 2k cancelled), refills 9k, queue 0 now / 312 peak`.
+pub fn subs_stats_line(stats: &SubscriptionStats) -> String {
+    fn k(n: u64) -> String {
+        if n >= 10_000 {
+            format!("{}k", n / 1_000)
+        } else {
+            n.to_string()
+        }
+    }
+    format!(
+        "subs: active {}, pushed {} (+{} coalesced, {} cancelled), refills {}, queue {} now / {} peak",
+        k(stats.active),
+        k(stats.pushed),
+        k(stats.coalesced),
+        k(stats.dropped_to_coalesce),
+        k(stats.refills),
+        k(stats.queue_depth),
+        k(stats.peak_queue_depth),
     )
 }
 

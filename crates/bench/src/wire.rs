@@ -16,9 +16,10 @@ use nearpeer_core::{
 };
 use nearpeer_topology::RouterId;
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The synthetic landmark layout shared by server and load generator:
 /// routers `0..n`, every distinct pair 4 hops apart — exactly what
@@ -61,9 +62,9 @@ pub fn build_service(
 /// planes are pinned answer-equivalent to these by `tests/properties.rs`.
 pub enum Mirror {
     /// Single-region twin of an [`ActorServer`].
-    Single(ManagementServer),
+    Single(Box<ManagementServer>),
     /// Multi-region twin of an [`ActorFederation`].
-    Federated(Federation),
+    Federated(Box<Federation>),
 }
 
 impl Mirror {
@@ -76,9 +77,11 @@ impl Mirror {
     ) -> Result<Self, CoreError> {
         let (routers, dist) = synthetic_landmarks(n_landmarks);
         if regions <= 1 {
-            Ok(Mirror::Single(ManagementServer::new(routers, dist, config)))
+            Ok(Mirror::Single(Box::new(ManagementServer::new(
+                routers, dist, config,
+            ))))
         } else {
-            Ok(Mirror::Federated(Federation::new(
+            Ok(Mirror::Federated(Box::new(Federation::new(
                 routers,
                 dist,
                 regions,
@@ -86,7 +89,7 @@ impl Mirror {
                     fanout: None,
                     server: config,
                 },
-            )?))
+            )?)))
         }
     }
 
@@ -106,6 +109,14 @@ impl Mirror {
         match self {
             Mirror::Single(srv) => srv.handover(peer, path).map(|o: JoinOutcome| o.neighbors),
             Mirror::Federated(fed) => fed.handover(peer, path).map(|o: FederatedJoin| o.neighbors),
+        }
+    }
+
+    /// Graceful bulk departure, answering how many peers actually left.
+    pub fn leave_all(&mut self, peers: &[PeerId]) -> usize {
+        match self {
+            Mirror::Single(srv) => srv.leave_batch(peers),
+            Mirror::Federated(fed) => fed.leave_batch(peers),
         }
     }
 
@@ -141,6 +152,7 @@ pub fn world(n_landmarks: usize) -> SyntheticJoins {
 pub struct FrameConn {
     stream: TcpStream,
     buf: BytesMut,
+    bytes_in: u64,
 }
 
 impl FrameConn {
@@ -151,6 +163,7 @@ impl FrameConn {
         Ok(Self {
             stream,
             buf: BytesMut::with_capacity(64 * 1024),
+            bytes_in: 0,
         })
     }
 
@@ -193,6 +206,7 @@ impl FrameConn {
                             ))
                         };
                     }
+                    self.bytes_in += n as u64;
                     self.buf.extend_from_slice(&chunk[..n]);
                 }
                 Err(CodecError::FrameTooLarge(n)) => {
@@ -204,6 +218,188 @@ impl FrameConn {
                 // Anything else consumed exactly one bad frame; resync.
                 Err(_) => continue,
             }
+        }
+    }
+
+    /// Total bytes ever read off the socket, including bytes of a frame
+    /// still being reassembled. This — not completed frames — is the
+    /// liveness signal: a sender dribbling a large frame is making
+    /// progress even though [`Self::recv`] has not returned yet.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Whether the receive buffer holds a partially reassembled frame.
+    pub fn has_partial_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+/// Most pushes one drain round sends before the serve loop goes back to
+/// reading requests, so a subscription storm cannot starve replies.
+const PUSH_BATCH: usize = 256;
+
+/// Read-timeout windows a draining connection grants an in-flight frame
+/// after shutdown is requested, before cutting the stream mid-reassembly.
+const SHUTDOWN_GRACE_WINDOWS: u32 = 8;
+
+/// One connection's serve loop, shared by `nearpeerd` and the in-process
+/// transport tests: reassemble frames, answer requests, and interleave
+/// server-initiated pushes for the connection's subscription client.
+///
+/// Delivery rules:
+///
+/// * pushes queued for this client are flushed **before** each reply, so
+///   any request/reply round-trip (a `ProbePing` will do) fences every
+///   delta the server queued before it;
+/// * idle pushes flow on the read-timeout tick even when the client is
+///   not talking;
+/// * liveness for the idle deadline is **byte progress** (see
+///   [`FrameConn::bytes_received`]), not completed frames — a client
+///   dribbling one large frame is alive, a silent one is not;
+/// * a shutdown requested elsewhere lets an in-flight partial frame
+///   finish for a bounded grace ([`SHUTDOWN_GRACE_WINDOWS`] read
+///   windows) instead of cutting it mid-reassembly.
+pub fn serve_connection(
+    stream: TcpStream,
+    service: Arc<dyn WireService>,
+    shutdown: Arc<AtomicBool>,
+    local: SocketAddr,
+    idle_deadline: Option<Duration>,
+) {
+    let peer = stream.peer_addr().ok();
+    let mut conn = match FrameConn::new(stream) {
+        Ok(conn) => conn,
+        Err(_) => return,
+    };
+    // A bounded read lets the loop observe a shutdown requested on
+    // another connection without dropping a frame mid-reassembly — and,
+    // stacked up, gives the idle deadline its resolution.
+    if conn
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        return;
+    }
+    let client = service.open_client();
+    serve_frames(
+        &mut conn,
+        &*service,
+        &shutdown,
+        local,
+        idle_deadline,
+        client,
+        peer,
+    );
+    if let Some(client) = client {
+        service.close_client(client);
+    }
+}
+
+/// The loop behind [`serve_connection`], separated so the subscription
+/// client is torn down on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn serve_frames(
+    conn: &mut FrameConn,
+    service: &dyn WireService,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    idle_deadline: Option<Duration>,
+    client: Option<u64>,
+    peer: Option<SocketAddr>,
+) {
+    let mut last_progress = Instant::now();
+    let mut seen_bytes = conn.bytes_received();
+    let mut grace_left = SHUTDOWN_GRACE_WINDOWS;
+    let mut pushes: Vec<Message> = Vec::new();
+    loop {
+        match conn.recv() {
+            Ok(Some(msg)) => {
+                seen_bytes = conn.bytes_received();
+                last_progress = Instant::now();
+                let stop = matches!(msg, Message::Shutdown { .. });
+                if let Some(client) = client {
+                    if flush_pushes(conn, service, client, &mut pushes).is_err() {
+                        return;
+                    }
+                }
+                if let Some(reply) = service.handle_from(client, msg) {
+                    if conn.send(&reply).is_err() {
+                        return;
+                    }
+                }
+                if stop {
+                    shutdown.store(true, Ordering::Release);
+                    // Unblock the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(local);
+                    return;
+                }
+            }
+            // Clean close on a frame boundary.
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if let Some(client) = client {
+                    if flush_pushes(conn, service, client, &mut pushes).is_err() {
+                        return;
+                    }
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    if !conn.has_partial_frame() || grace_left == 0 {
+                        return;
+                    }
+                    grace_left -= 1;
+                }
+                if conn.bytes_received() != seen_bytes {
+                    seen_bytes = conn.bytes_received();
+                    last_progress = Instant::now();
+                }
+                if let Some(limit) = idle_deadline {
+                    let idle = last_progress.elapsed();
+                    if idle >= limit {
+                        // A client that stopped talking without closing
+                        // would otherwise pin this thread (and its fd)
+                        // forever.
+                        match peer {
+                            Some(addr) => eprintln!(
+                                "nearpeerd: evicting idle connection {addr} \
+                                 ({}s without progress)",
+                                idle.as_secs()
+                            ),
+                            None => eprintln!(
+                                "nearpeerd: evicting idle connection \
+                                 ({}s without progress)",
+                                idle.as_secs()
+                            ),
+                        }
+                        return;
+                    }
+                }
+            }
+            // Oversized frame or transport error: the stream position is
+            // untrustworthy, drop the connection.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends every push ready for `client` right now; loops while full
+/// batches keep coming, stops as soon as a drain comes back short.
+fn flush_pushes(
+    conn: &mut FrameConn,
+    service: &dyn WireService,
+    client: u64,
+    scratch: &mut Vec<Message>,
+) -> io::Result<()> {
+    loop {
+        scratch.clear();
+        service.drain_pushes(client, PUSH_BATCH, scratch);
+        for msg in scratch.iter() {
+            conn.send(msg)?;
+        }
+        if scratch.len() < PUSH_BATCH {
+            return Ok(());
         }
     }
 }
@@ -271,6 +467,116 @@ mod tests {
                 other => panic!("expected JoinReply, got {other:?}"),
             }
         }
+    }
+
+    /// Spawns [`serve_connection`] over a fresh single-region service and
+    /// hands back the client stream plus the shutdown flag.
+    fn spawn_server(
+        idle_deadline: Option<Duration>,
+    ) -> (FrameConn, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = build_service(2, 1, ServerConfig::default()).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server_shutdown = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            serve_connection(stream, service, server_shutdown, addr, idle_deadline);
+        });
+        let conn = FrameConn::connect(addr).unwrap();
+        (conn, shutdown, handle)
+    }
+
+    #[test]
+    fn dribbling_sender_survives_idle_eviction() {
+        // Idle deadline shorter than the time the frame takes to arrive:
+        // only byte-progress liveness keeps this connection alive.
+        let (mut conn, _, server) = spawn_server(Some(Duration::from_millis(600)));
+        let frame = codec::encode_to_bytes(&Message::ProbePing { nonce: 42 });
+        for b in frame.iter() {
+            conn.stream.write_all(&[*b]).unwrap();
+            conn.stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(
+            conn.recv().unwrap(),
+            Some(Message::ProbePong { nonce: 42 }),
+            "server evicted a sender that was making byte progress"
+        );
+        drop(conn);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_lets_inflight_frame_finish() {
+        let (mut conn, shutdown, server) = spawn_server(None);
+        let frame = codec::encode_to_bytes(&Message::ProbePing { nonce: 7 });
+        let (head, tail) = frame.split_at(frame.len() / 2);
+        conn.stream.write_all(head).unwrap();
+        conn.stream.flush().unwrap();
+        // Give the serve loop a tick to buffer the partial frame, then
+        // request shutdown from "another connection".
+        std::thread::sleep(Duration::from_millis(400));
+        shutdown.store(true, Ordering::Release);
+        // Hold the tail across at least one read-timeout tick so the
+        // loop provably observes shutdown with the frame half-buffered.
+        std::thread::sleep(Duration::from_millis(400));
+        conn.stream.write_all(tail).unwrap();
+        conn.stream.flush().unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(
+            conn.recv().unwrap(),
+            Some(Message::ProbePong { nonce: 7 }),
+            "shutdown cut a frame that was already half-received"
+        );
+        // With the frame answered and the flag set, the loop exits.
+        assert_eq!(conn.recv().unwrap(), None);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pushes_arrive_before_the_fencing_reply() {
+        let (mut conn, _, server) = spawn_server(None);
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let joins = world(2);
+        let (peer, path) = joins.join(0);
+        conn.send(&Message::JoinRequest { peer, path }).unwrap();
+        assert!(matches!(
+            conn.recv().unwrap(),
+            Some(Message::JoinReply { .. })
+        ));
+        conn.send(&Message::Subscribe {
+            nonce: 1,
+            peer,
+            k: 3,
+            min_interval_ms: 0,
+        })
+        .unwrap();
+        assert!(matches!(conn.recv().unwrap(), Some(Message::SubAck { .. })));
+        // A second join must reach the subscriber as a DeltaPush, and a
+        // ProbePing round-trip fences it: pong after push, never before.
+        let (peer2, path2) = joins.join(1);
+        conn.send(&Message::JoinRequest {
+            peer: peer2,
+            path: path2,
+        })
+        .unwrap();
+        assert!(matches!(
+            conn.recv().unwrap(),
+            Some(Message::JoinReply { .. })
+        ));
+        conn.send(&Message::ProbePing { nonce: 99 }).unwrap();
+        match conn.recv().unwrap() {
+            Some(Message::DeltaPush { added, .. }) => {
+                assert_eq!(added.len(), 1);
+                assert_eq!(added[0].peer, peer2);
+            }
+            other => panic!("expected DeltaPush before the pong, got {other:?}"),
+        }
+        assert_eq!(conn.recv().unwrap(), Some(Message::ProbePong { nonce: 99 }));
+        drop(conn);
+        server.join().unwrap();
     }
 
     #[test]

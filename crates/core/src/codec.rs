@@ -133,6 +133,46 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
             put_neighbors(&mut payload, items);
         }
         Message::Shutdown { nonce } => payload.put_u64(*nonce),
+        Message::Subscribe {
+            nonce,
+            peer,
+            k,
+            min_interval_ms,
+        } => {
+            payload.put_u64(*nonce);
+            payload.put_u64(peer.0);
+            payload.put_u16(*k);
+            payload.put_u32(*min_interval_ms);
+        }
+        Message::Unsubscribe { nonce, peer } => {
+            payload.put_u64(*nonce);
+            payload.put_u64(peer.0);
+        }
+        Message::DeltaPush {
+            peer,
+            epoch,
+            class,
+            added,
+            removed,
+        } => {
+            payload.put_u64(peer.0);
+            payload.put_u64(*epoch);
+            payload.put_u8(*class);
+            put_neighbors(&mut payload, added);
+            payload.put_u16(removed.len() as u16);
+            for p in removed {
+                payload.put_u64(p.0);
+            }
+        }
+        Message::SubAck {
+            nonce,
+            peer,
+            neighbors,
+        } => {
+            payload.put_u64(*nonce);
+            payload.put_u64(peer.0);
+            put_neighbors(&mut payload, neighbors);
+        }
     }
     let len = payload.len() as u32 + 2;
     assert!(
@@ -353,6 +393,51 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
                 nonce: frame.get_u64(),
             })
         }
+        14 => {
+            need(frame, 8 + 8 + 2 + 4, "subscribe")?;
+            Ok(Message::Subscribe {
+                nonce: frame.get_u64(),
+                peer: PeerId(frame.get_u64()),
+                k: frame.get_u16(),
+                min_interval_ms: frame.get_u32(),
+            })
+        }
+        15 => {
+            need(frame, 8 + 8, "unsubscribe")?;
+            Ok(Message::Unsubscribe {
+                nonce: frame.get_u64(),
+                peer: PeerId(frame.get_u64()),
+            })
+        }
+        16 => {
+            need(frame, 8 + 8 + 1, "delta push header")?;
+            let peer = PeerId(frame.get_u64());
+            let epoch = frame.get_u64();
+            let class = frame.get_u8();
+            let added = get_neighbors(frame)?;
+            need(frame, 2, "removed count")?;
+            let n = frame.get_u16() as usize;
+            need(frame, n * 8, "removed peers")?;
+            let removed = (0..n).map(|_| PeerId(frame.get_u64())).collect();
+            Ok(Message::DeltaPush {
+                peer,
+                epoch,
+                class,
+                added,
+                removed,
+            })
+        }
+        17 => {
+            need(frame, 8 + 8, "sub ack header")?;
+            let nonce = frame.get_u64();
+            let peer = PeerId(frame.get_u64());
+            let neighbors = get_neighbors(frame)?;
+            Ok(Message::SubAck {
+                nonce,
+                peer,
+                neighbors,
+            })
+        }
         other => Err(CodecError::UnknownKind(other)),
     }
 }
@@ -444,6 +529,41 @@ mod tests {
                 }],
             },
             Message::Shutdown { nonce: 14 },
+            Message::Subscribe {
+                nonce: 15,
+                peer: PeerId(7),
+                k: 8,
+                min_interval_ms: 250,
+            },
+            Message::Unsubscribe {
+                nonce: 16,
+                peer: PeerId(7),
+            },
+            Message::DeltaPush {
+                peer: PeerId(7),
+                epoch: 3,
+                class: 2,
+                added: vec![WireNeighbor {
+                    peer: PeerId(9),
+                    dtree: 4,
+                }],
+                removed: vec![PeerId(1), PeerId(2)],
+            },
+            Message::DeltaPush {
+                peer: PeerId(8),
+                epoch: 0,
+                class: 0,
+                added: vec![],
+                removed: vec![],
+            },
+            Message::SubAck {
+                nonce: 15,
+                peer: PeerId(7),
+                neighbors: vec![WireNeighbor {
+                    peer: PeerId(9),
+                    dtree: 4,
+                }],
+            },
         ]
     }
 

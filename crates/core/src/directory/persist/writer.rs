@@ -228,78 +228,84 @@ impl DurabilityWriter {
         let mut journal_len: usize = 0;
         let mut killed = false;
         let mut buf: Vec<u8> = Vec::new();
-        let handle = spawn_batch_worker("durability-writer".into(), rx, move |batch| {
-            if killed {
-                return;
-            }
-            let batch_no = worker_shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Some(limit) = config.kill_after_batches {
-                if batch_no > limit {
-                    killed = true;
+        let handle = spawn_batch_worker(
+            "durability-writer".into(),
+            rx,
+            crate::runtime::mailbox::DEFAULT_DRAIN_CAP,
+            move |batch| {
+                if killed {
                     return;
                 }
-            }
-            buf.clear();
-            for cmd in batch {
-                match cmd {
-                    Cmd::Append(op) => {
-                        journal::append_record(&mut buf, &op);
-                        worker_shared.records.fetch_add(1, Ordering::Relaxed);
+                let batch_no = worker_shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(limit) = config.kill_after_batches {
+                    if batch_no > limit {
+                        killed = true;
+                        return;
                     }
-                    Cmd::Snapshot(bytes) => {
-                        let now = Instant::now();
-                        let due = last_snapshot
-                            .is_none_or(|t| now.duration_since(t) >= config.min_snapshot_interval);
-                        if !due {
-                            worker_shared
-                                .snapshots_skipped
-                                .fetch_add(1, Ordering::Relaxed);
-                            continue;
+                }
+                buf.clear();
+                for cmd in batch {
+                    match cmd {
+                        Cmd::Append(op) => {
+                            journal::append_record(&mut buf, &op);
+                            worker_shared.records.fetch_add(1, Ordering::Relaxed);
                         }
-                        match medium.install_snapshot(&bytes) {
-                            Ok(()) => {
-                                // Ops buffered before this offer are part
-                                // of the snapshot's state; dropping them
-                                // keeps replay exactly-once.
-                                buf.clear();
-                                journal_len = 0;
-                                worker_shared.journal_bytes.store(0, Ordering::Relaxed);
-                                last_snapshot = Some(now);
+                        Cmd::Snapshot(bytes) => {
+                            let now = Instant::now();
+                            let due = last_snapshot.is_none_or(|t| {
+                                now.duration_since(t) >= config.min_snapshot_interval
+                            });
+                            if !due {
                                 worker_shared
-                                    .snapshots_written
+                                    .snapshots_skipped
                                     .fetch_add(1, Ordering::Relaxed);
+                                continue;
                             }
-                            Err(e) => {
-                                *worker_shared.error.lock().unwrap() =
-                                    Some(format!("install_snapshot: {e}"));
-                                killed = true;
-                                return;
+                            match medium.install_snapshot(&bytes) {
+                                Ok(()) => {
+                                    // Ops buffered before this offer are part
+                                    // of the snapshot's state; dropping them
+                                    // keeps replay exactly-once.
+                                    buf.clear();
+                                    journal_len = 0;
+                                    worker_shared.journal_bytes.store(0, Ordering::Relaxed);
+                                    last_snapshot = Some(now);
+                                    worker_shared
+                                        .snapshots_written
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    *worker_shared.error.lock().unwrap() =
+                                        Some(format!("install_snapshot: {e}"));
+                                    killed = true;
+                                    return;
+                                }
                             }
                         }
                     }
                 }
-            }
-            if buf.is_empty() {
-                return;
-            }
-            let mut out = Vec::with_capacity(buf.len() + 6);
-            if journal_len == 0 {
-                journal::journal_header(&mut out);
-            }
-            out.extend_from_slice(&buf);
-            match medium.append_journal(&out) {
-                Ok(()) => {
-                    journal_len += out.len();
-                    worker_shared
-                        .journal_bytes
-                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                if buf.is_empty() {
+                    return;
                 }
-                Err(e) => {
-                    *worker_shared.error.lock().unwrap() = Some(format!("append_journal: {e}"));
-                    killed = true;
+                let mut out = Vec::with_capacity(buf.len() + 6);
+                if journal_len == 0 {
+                    journal::journal_header(&mut out);
                 }
-            }
-        });
+                out.extend_from_slice(&buf);
+                match medium.append_journal(&out) {
+                    Ok(()) => {
+                        journal_len += out.len();
+                        worker_shared
+                            .journal_bytes
+                            .fetch_add(out.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *worker_shared.error.lock().unwrap() = Some(format!("append_journal: {e}"));
+                        killed = true;
+                    }
+                }
+            },
+        );
         DurabilityWriter {
             tx: Some(tx),
             handle: Some(handle),

@@ -28,6 +28,11 @@
 //!   behind its own mailbox worker, query fan-out carried as codec
 //!   frames, and the [`WireService`] trait the `nearpeerd` TCP server
 //!   drives;
+//! * [`subscription`] — standing "watch my `k` nearest" queries: churn
+//!   entry points push [`subscription::NeighborDelta`]s computed
+//!   incrementally from the touched subtrees, through bounded
+//!   priority-ordered per-client delivery queues with rate limiting and
+//!   coalescing;
 //! * [`policy`] — the selection baselines the evaluation compares against:
 //!   random (the paper's baseline), brute-force closest (`Dclosest`),
 //!   Vivaldi-distance and landmark-binning;
@@ -55,6 +60,7 @@ pub mod protocol;
 mod router_index;
 pub mod runtime;
 mod server;
+pub mod subscription;
 mod superpeer;
 
 pub use directory::persist::fault::FaultPlan;
@@ -79,4 +85,8 @@ pub use path_tree::PathTree;
 pub use router_index::{Neighbor, RouterIndex};
 pub use runtime::{ActorFederation, ActorServer, WireService};
 pub use server::{ChurnBatchOutcome, DirectoryView, JoinOutcome, ManagementServer, ServerConfig};
+pub use subscription::{
+    DeltaClass, NeighborDelta, Subscription, SubscriptionHost, SubscriptionRegistry,
+    SubscriptionStats,
+};
 pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};

@@ -131,6 +131,55 @@ pub enum Message {
         /// Echo token for the acknowledging pong.
         nonce: u64,
     },
+    /// Standing subscription: "push me deltas of my `k` nearest" for a
+    /// registered peer (answered with a [`Message::SubAck`] carrying the
+    /// initial snapshot, then server-initiated [`Message::DeltaPush`]es on
+    /// the same connection as churn touches the answer).
+    Subscribe {
+        /// Correlates the acknowledging [`Message::SubAck`].
+        nonce: u64,
+        /// The subscribing peer (must be registered on this server).
+        peer: PeerId,
+        /// Neighbors watched.
+        k: u16,
+        /// Minimum milliseconds between pushes; deltas inside the window
+        /// coalesce server-side.
+        min_interval_ms: u32,
+    },
+    /// Cancels a standing subscription (answered with an empty
+    /// [`Message::SubAck`]).
+    Unsubscribe {
+        /// Correlates the acknowledging [`Message::SubAck`].
+        nonce: u64,
+        /// The unsubscribing peer.
+        peer: PeerId,
+    },
+    /// Server-initiated incremental update to a subscription's answer:
+    /// drop `removed`, then upsert `added` (an entry for a peer already in
+    /// the view replaces its stale `dtree`).
+    DeltaPush {
+        /// The subscriber this delta belongs to.
+        peer: PeerId,
+        /// Server epoch of the last churn event merged into this delta.
+        epoch: u64,
+        /// Delivery class ([`crate::subscription::DeltaClass`] code):
+        /// 0 join, 1 expiry, 2 handover.
+        class: u8,
+        /// Peers entering the answer (or with a changed `dtree`).
+        added: Vec<WireNeighbor>,
+        /// Peers leaving the answer.
+        removed: Vec<PeerId>,
+    },
+    /// Acknowledges a [`Message::Subscribe`] (with the initial answer
+    /// snapshot) or an [`Message::Unsubscribe`] (empty).
+    SubAck {
+        /// The echoed request nonce.
+        nonce: u64,
+        /// The subscriber.
+        peer: PeerId,
+        /// Initial answer snapshot, nearest first (empty on unsubscribe).
+        neighbors: Vec<WireNeighbor>,
+    },
 }
 
 impl Message {
@@ -150,6 +199,10 @@ impl Message {
             Message::FillRequest { .. } => 11,
             Message::FillReply { .. } => 12,
             Message::Shutdown { .. } => 13,
+            Message::Subscribe { .. } => 14,
+            Message::Unsubscribe { .. } => 15,
+            Message::DeltaPush { .. } => 16,
+            Message::SubAck { .. } => 17,
         }
     }
 
@@ -169,6 +222,10 @@ impl Message {
             Message::FillRequest { .. } => "fill-request",
             Message::FillReply { .. } => "fill-reply",
             Message::Shutdown { .. } => "shutdown",
+            Message::Subscribe { .. } => "subscribe",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::DeltaPush { .. } => "delta-push",
+            Message::SubAck { .. } => "sub-ack",
         }
     }
 }
@@ -222,6 +279,28 @@ mod tests {
                 items: vec![],
             },
             Message::Shutdown { nonce: 3 },
+            Message::Subscribe {
+                nonce: 4,
+                peer: PeerId(1),
+                k: 8,
+                min_interval_ms: 250,
+            },
+            Message::Unsubscribe {
+                nonce: 5,
+                peer: PeerId(1),
+            },
+            Message::DeltaPush {
+                peer: PeerId(1),
+                epoch: 9,
+                class: 2,
+                added: vec![],
+                removed: vec![PeerId(2)],
+            },
+            Message::SubAck {
+                nonce: 4,
+                peer: PeerId(1),
+                neighbors: vec![],
+            },
         ];
         let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();
         kinds.sort();

@@ -198,6 +198,7 @@ impl ActorFederation {
             workers.push(super::mailbox::spawn_batch_worker(
                 format!("region-{r}-write"),
                 wrx,
+                super::mailbox::DEFAULT_DRAIN_CAP,
                 move |batch| {
                     let mut srv = wserver.write().expect("region server poisoned");
                     for op in batch {
@@ -213,6 +214,7 @@ impl ActorFederation {
                 workers.push(super::mailbox::spawn_batch_worker(
                     format!("region-{r}-query-{w}"),
                     qrx,
+                    super::mailbox::DEFAULT_DRAIN_CAP,
                     move |batch| {
                         let srv = qserver.read().expect("region server poisoned");
                         for job in batch {

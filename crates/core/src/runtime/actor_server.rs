@@ -29,12 +29,17 @@ use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
 use crate::router_index::Neighbor;
 use crate::server::{JoinOutcome, ServerConfig, ServerStats};
+use crate::subscription::{
+    DeltaClass, NeighborDelta, Subscription, SubscriptionHost, SubscriptionRegistry,
+    SubscriptionStats,
+};
 use crossbeam::channel::{unbounded, Sender};
 use nearpeer_topology::RouterId;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One write operation bound for a shard worker. Every op carries a
 /// oneshot reply channel: the front door enqueues under the claims lock
@@ -109,6 +114,12 @@ pub struct ActorServer {
     workers: Vec<JoinHandle<()>>,
     epoch: AtomicU64,
     handovers: AtomicU64,
+    /// Standing subscriptions. Lock order: `subs` before `claims` /
+    /// shard read guards (the registry's host callbacks take both); no
+    /// path takes `subs` while holding `claims`.
+    subs: Mutex<SubscriptionRegistry>,
+    /// Wall-clock origin for subscription rate limiting.
+    started: Instant,
 }
 
 impl ActorServer {
@@ -167,6 +178,7 @@ impl ActorServer {
             workers.push(super::mailbox::spawn_batch_worker(
                 format!("shard-{i}"),
                 rx,
+                super::mailbox::DEFAULT_DRAIN_CAP,
                 move |batch| {
                     let mut shard = shard_shared.shards[i].write().expect("shard poisoned");
                     for op in batch {
@@ -183,6 +195,8 @@ impl ActorServer {
             workers,
             epoch: AtomicU64::new(0),
             handovers: AtomicU64::new(0),
+            subs: Mutex::new(SubscriptionRegistry::new()),
+            started: Instant::now(),
         })
     }
 
@@ -243,6 +257,7 @@ impl ActorServer {
             self.claims.lock().expect("claims poisoned").remove(&peer);
             return Err(e);
         }
+        self.notify_subs(DeltaClass::Join, &[peer], &[]);
         let neighbors =
             self.closest_to_path(&query_path, self.shared.config.neighbor_count, Some(peer));
         Ok(JoinOutcome {
@@ -265,6 +280,7 @@ impl ActorServer {
         }
         let removed = rx.recv().expect("shard worker alive");
         debug_assert!(removed, "claims and shards agree");
+        self.notify_subs(DeltaClass::Join, &[], &[peer]);
         Ok(())
     }
 
@@ -327,6 +343,7 @@ impl ActorServer {
             .expect("shard worker alive")
             .expect("validated insert into claimed slot");
         self.handovers.fetch_add(1, Ordering::Relaxed);
+        self.notify_subs(DeltaClass::Handover, &[peer], &[peer]);
         let neighbors =
             self.closest_to_path(&query_path, self.shared.config.neighbor_count, Some(peer));
         Ok(JoinOutcome {
@@ -371,6 +388,10 @@ impl ActorServer {
                 claims.remove(p);
             }
         }
+        if !(expired.is_empty() && moved.is_empty()) {
+            let gone: Vec<PeerId> = expired.iter().chain(moved.iter()).copied().collect();
+            self.notify_subs(DeltaClass::Expiry, &[], &gone);
+        }
         expired.sort_unstable();
         expired
     }
@@ -385,6 +406,19 @@ impl ActorServer {
         k: usize,
         exclude: Option<PeerId>,
     ) -> Vec<Neighbor> {
+        self.closest_split(path, k, exclude).0
+    }
+
+    /// [`ActorServer::closest_to_path`] plus the length of the exact
+    /// section (same-tree `dtree` candidates; everything after it is a
+    /// cross-landmark fill estimate) — the split the incremental
+    /// subscription engine needs to seed its answers.
+    pub fn closest_split(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> (Vec<Neighbor>, usize) {
         self.shared.queries.fetch_add(1, Ordering::Relaxed);
         let guards: Vec<_> = self
             .shared
@@ -395,6 +429,7 @@ impl ActorServer {
         let shards: Vec<&DirectoryShard> = guards.iter().map(|g| &**g).collect();
         let excl: HashSet<PeerId> = exclude.into_iter().collect();
         let mut result = query::query_nearest_merged(&shards, path, k, &excl);
+        let exact_len = result.len();
         if result.len() < k && self.shared.config.cross_landmark_fallback {
             if let Ok(own) = self.shared.landmark_for_path(path) {
                 let missing = k - result.len();
@@ -415,7 +450,7 @@ impl ActorServer {
                 result.extend(fill);
             }
         }
-        result
+        (result, exact_len)
     }
 
     /// Neighbors of an already-registered peer (fresh query).
@@ -473,10 +508,110 @@ impl ActorServer {
         }
     }
 
+    /// Registers a push-capable connection with the subscription plane
+    /// and returns its client token.
+    pub fn open_sub_client(&self) -> u64 {
+        self.subs.lock().expect("subs poisoned").open_client()
+    }
+
+    /// Drops a connection's subscriptions and queued deltas.
+    pub fn close_sub_client(&self, client: u64) {
+        self.subs
+            .lock()
+            .expect("subs poisoned")
+            .close_client(client);
+    }
+
+    /// Opens (or replaces) a standing subscription for `sub.peer`,
+    /// delivered through `client`'s push channel; returns the initial
+    /// answer snapshot.
+    pub fn subscribe(&self, client: u64, sub: Subscription) -> Result<Vec<Neighbor>, CoreError> {
+        let now = self.sub_now_ms();
+        let mut subs = self.subs.lock().expect("subs poisoned");
+        subs.subscribe(&ActorHost(self), client, sub, now)
+    }
+
+    /// Cancels `peer`'s standing subscription; `false` if there was none.
+    pub fn unsubscribe(&self, peer: PeerId) -> bool {
+        self.subs.lock().expect("subs poisoned").unsubscribe(peer)
+    }
+
+    /// Drains up to `max` rate-limit-eligible deltas queued for `client`,
+    /// priority first (handover > expiry > join), FIFO within a class.
+    pub fn drain_deltas(&self, client: u64, max: usize, out: &mut Vec<NeighborDelta>) {
+        let now = self.sub_now_ms();
+        self.subs
+            .lock()
+            .expect("subs poisoned")
+            .drain(client, now, max, out);
+    }
+
+    /// Subscription-plane counters.
+    pub fn subscription_stats(&self) -> SubscriptionStats {
+        self.subs.lock().expect("subs poisoned").stats()
+    }
+
+    /// Milliseconds since this server started — the subscription plane's
+    /// rate-limit clock.
+    fn sub_now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Feeds one applied churn event to the subscription engine. Called
+    /// after the shard write has landed and the claims lock is released,
+    /// so the registry's host callbacks see the post-event directory.
+    fn notify_subs(&self, class: DeltaClass, added: &[PeerId], removed: &[PeerId]) {
+        let mut subs = self.subs.lock().expect("subs poisoned");
+        if subs.is_empty() {
+            return;
+        }
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let now = self.sub_now_ms();
+        subs.observe(&ActorHost(self), class, epoch, now, added, removed);
+    }
+
     fn send_op(&self, shard: usize, op: ShardOp) {
         self.write_txs[shard]
             .send(op)
             .expect("shard worker outlives the front door");
+    }
+}
+
+/// The subscription engine's read-only window into the actorized
+/// directory. Every callback takes the claims lock and/or shard read
+/// guards; callers hold the `subs` mutex, never the reverse.
+struct ActorHost<'a>(&'a ActorServer);
+
+impl SubscriptionHost for ActorHost<'_> {
+    fn path_of(&self, peer: PeerId) -> Option<PeerPath> {
+        let idx = *self.0.claims.lock().expect("claims poisoned").get(&peer)?;
+        self.0.shared.shards[idx as usize]
+            .read()
+            .expect("shard poisoned")
+            .path_of(peer)
+            .cloned()
+    }
+
+    fn landmark_at(&self, router: RouterId) -> Option<LandmarkId> {
+        self.0.shared.landmark_by_router.get(&router).copied()
+    }
+
+    fn bridge(&self, from: LandmarkId, to: LandmarkId) -> Option<u32> {
+        let d = *self
+            .0
+            .shared
+            .landmark_dist
+            .get(from.index())?
+            .get(to.index())?;
+        (d != u32::MAX).then_some(d)
+    }
+
+    fn fills_enabled(&self) -> bool {
+        self.0.shared.config.cross_landmark_fallback
+    }
+
+    fn query_split(&self, path: &PeerPath, k: usize, exclude: PeerId) -> (Vec<Neighbor>, usize) {
+        self.0.closest_split(path, k, Some(exclude))
     }
 }
 
@@ -627,6 +762,48 @@ mod tests {
             srv.heartbeat(PeerId(2)),
             Err(CoreError::UnknownPeer(_))
         ));
+    }
+
+    #[test]
+    fn subscription_tracks_churn_and_matches_repoll() {
+        let srv = two_landmark_server();
+        srv.register(PeerId(1), path(&[4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(2), path(&[5, 2, 1, 0])).unwrap();
+        let client = srv.open_sub_client();
+        let initial = srv
+            .subscribe(
+                client,
+                Subscription {
+                    peer: PeerId(1),
+                    k: 3,
+                    min_interval_ms: 0,
+                },
+            )
+            .unwrap();
+        let mut view = initial;
+        // Churn: a closer join, a cross-landmark join, a departure.
+        srv.register(PeerId(3), path(&[9, 4, 2, 1, 0])).unwrap();
+        srv.register(PeerId(4), path(&[110, 105, 100])).unwrap();
+        srv.deregister(PeerId(2)).unwrap();
+        let mut deltas = Vec::new();
+        srv.drain_deltas(client, usize::MAX, &mut deltas);
+        assert!(!deltas.is_empty());
+        for d in deltas {
+            view.retain(|n| !d.removed.contains(&n.peer));
+            for a in d.added {
+                match view.iter_mut().find(|n| n.peer == a.peer) {
+                    Some(n) => n.dtree = a.dtree,
+                    None => view.push(a),
+                }
+            }
+        }
+        let mut expect = srv.neighbors_of(PeerId(1), 3).unwrap();
+        view.sort_by_key(|n| n.peer);
+        expect.sort_by_key(|n| n.peer);
+        assert_eq!(view, expect);
+        assert_eq!(srv.subscription_stats().active, 1);
+        srv.close_sub_client(client);
+        assert_eq!(srv.subscription_stats().active, 0);
     }
 
     #[test]

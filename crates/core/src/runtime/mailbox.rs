@@ -1,11 +1,15 @@
 //! The generic mailbox worker behind every actor in [`crate::runtime`].
 //!
 //! One worker owns one blocking receive loop: it parks on the mailbox's
-//! channel, and each time it wakes it **drains everything queued** into a
-//! batch before applying it. The actors use this to amortise their lock
-//! acquisitions — a shard worker takes its shard's write lock once per
-//! batch, not once per operation — which is exactly the advantage a
-//! mailbox has over callers contending on the lock directly.
+//! channel, and each time it wakes it drains **up to a cap** of what is
+//! queued into a batch before applying it. The actors use this to amortise
+//! their lock acquisitions — a shard worker takes its shard's write lock
+//! once per batch, not once per operation — which is exactly the advantage
+//! a mailbox has over callers contending on the lock directly. The cap
+//! bounds how long one batch can hold that lock: under a flood the worker
+//! applies a full batch, releases the lock, and immediately wakes again
+//! for the leftovers still queued in the channel, so readers get a window
+//! between batches instead of starving behind one unbounded drain.
 //!
 //! Lifecycle is channel-driven: a worker exits when every sender to its
 //! mailbox is gone, so an actor shuts down by dropping its send handles
@@ -14,26 +18,38 @@
 use crossbeam::channel::Receiver;
 use std::thread::{Builder, JoinHandle};
 
+/// Default per-batch drain cap: large enough that lock amortisation is
+/// intact (hundreds of ops per acquisition), small enough that a churn
+/// flood cannot pin a shard's write lock for an unbounded stretch.
+pub(crate) const DEFAULT_DRAIN_CAP: usize = 1024;
+
 /// Spawns a named worker thread that feeds `apply` with batches drained
-/// from `rx`. Every batch is non-empty; the thread exits when the channel
-/// disconnects (all senders dropped).
+/// from `rx`, at most `cap` items per batch. Every batch is non-empty;
+/// leftovers beyond the cap stay queued and wake the worker again without
+/// parking. The thread exits when the channel disconnects (all senders
+/// dropped).
 pub(crate) fn spawn_batch_worker<T, F>(
     name: String,
     rx: Receiver<T>,
+    cap: usize,
     mut apply: F,
 ) -> JoinHandle<()>
 where
     T: Send + 'static,
     F: FnMut(Vec<T>) + Send + 'static,
 {
+    assert!(cap > 0, "drain cap must admit at least one item");
     Builder::new()
         .name(name)
         .spawn(move || {
             let mut batch = Vec::new();
             while let Ok(first) = rx.recv() {
                 batch.push(first);
-                while let Ok(more) = rx.try_recv() {
-                    batch.push(more);
+                while batch.len() < cap {
+                    match rx.try_recv() {
+                        Ok(more) => batch.push(more),
+                        Err(_) => break,
+                    }
                 }
                 apply(std::mem::take(&mut batch));
             }
@@ -54,7 +70,7 @@ mod tests {
         let batches = Arc::new(AtomicUsize::new(0));
         let handle = {
             let (sum, batches) = (Arc::clone(&sum), Arc::clone(&batches));
-            spawn_batch_worker("test-worker".into(), rx, move |batch| {
+            spawn_batch_worker("test-worker".into(), rx, DEFAULT_DRAIN_CAP, move |batch| {
                 assert!(!batch.is_empty());
                 batches.fetch_add(1, Ordering::Relaxed);
                 sum.fetch_add(batch.iter().sum::<u64>() as usize, Ordering::Relaxed);
@@ -68,5 +84,30 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
         let n = batches.load(Ordering::Relaxed);
         assert!((1..=100).contains(&n), "batches in [1, 100], got {n}");
+    }
+
+    #[test]
+    fn drain_cap_bounds_batches_without_losing_leftovers() {
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        // Pre-load the mailbox so the very first wake-up sees a flood far
+        // beyond the cap; a capped worker must split it across batches.
+        for i in 1..=100u64 {
+            tx.send(i).unwrap();
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let max_batch = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let (sum, max_batch) = (Arc::clone(&sum), Arc::clone(&max_batch));
+            spawn_batch_worker("capped-worker".into(), rx, 8, move |batch| {
+                assert!(!batch.is_empty());
+                max_batch.fetch_max(batch.len(), Ordering::Relaxed);
+                sum.fetch_add(batch.iter().sum::<u64>() as usize, Ordering::Relaxed);
+            })
+        };
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050, "leftovers must survive");
+        let m = max_batch.load(Ordering::Relaxed);
+        assert!(m <= 8, "batch exceeded cap: {m}");
     }
 }

@@ -32,6 +32,7 @@ pub use actor_server::ActorServer;
 
 use crate::protocol::{Message, WireNeighbor};
 use crate::router_index::Neighbor;
+use crate::subscription::Subscription;
 
 /// A directory service addressable by protocol messages — the boundary
 /// between the wire (`nearpeerd`'s per-connection frame loops) and the
@@ -43,9 +44,39 @@ use crate::router_index::Neighbor;
 /// replies). [`Message::Shutdown`] is acknowledged with a
 /// [`Message::ProbePong`]; acting on it (draining and exiting) is the
 /// transport's business, not the service's.
+///
+/// Transports that keep a long-lived connection per client also get a
+/// push channel: `open_client`/`close_client` bracket the connection,
+/// `handle_from` routes requests that need a push channel (subscriptions)
+/// to it, and `drain_pushes` collects server-initiated
+/// [`Message::DeltaPush`] frames ready for that client. The defaults make
+/// all of this opt-in — a service without subscriptions implements
+/// `handle` alone and rejects [`Message::Subscribe`] there.
 pub trait WireService: Send + Sync {
     /// Handles one request message, returning the reply, if any.
     fn handle(&self, msg: Message) -> Option<Message>;
+
+    /// Registers a connection as a push-capable client. `None` (the
+    /// default) means this service has no push channel and subscription
+    /// requests will be refused by `handle`.
+    fn open_client(&self) -> Option<u64> {
+        None
+    }
+
+    /// Tears down a client opened by [`WireService::open_client`],
+    /// dropping its subscriptions and queued pushes.
+    fn close_client(&self, _client: u64) {}
+
+    /// Handles one request on behalf of `client` (the connection's token
+    /// from [`WireService::open_client`], if any). The default ignores
+    /// the client and delegates to [`WireService::handle`].
+    fn handle_from(&self, _client: Option<u64>, msg: Message) -> Option<Message> {
+        self.handle(msg)
+    }
+
+    /// Drains up to `max` server-initiated push frames ready for
+    /// `client` into `out`. The default pushes nothing.
+    fn drain_pushes(&self, _client: u64, _max: usize, _out: &mut Vec<Message>) {}
 }
 
 /// Converts an answer list to its wire form.
@@ -115,13 +146,84 @@ impl WireService for ActorServer {
                     .collect(),
             }),
             Message::Shutdown { nonce } => Some(Message::ProbePong { nonce }),
+            // Subscribing through plain `handle` means the transport never
+            // opened a push channel — there is nowhere to deliver deltas.
+            Message::Subscribe { peer, .. } => Some(Message::JoinError {
+                peer,
+                reason: "subscriptions need a push-capable connection".into(),
+            }),
+            Message::Unsubscribe { nonce, peer } => {
+                self.unsubscribe(peer);
+                Some(Message::SubAck {
+                    nonce,
+                    peer,
+                    neighbors: Vec::new(),
+                })
+            }
             // Stray replies are not requests; drop them.
             Message::ProbePong { .. }
             | Message::JoinReply { .. }
             | Message::JoinError { .. }
             | Message::QueryReply { .. }
-            | Message::FillReply { .. } => None,
+            | Message::FillReply { .. }
+            | Message::DeltaPush { .. }
+            | Message::SubAck { .. } => None,
         }
+    }
+
+    fn open_client(&self) -> Option<u64> {
+        Some(self.open_sub_client())
+    }
+
+    fn close_client(&self, client: u64) {
+        self.close_sub_client(client);
+    }
+
+    fn handle_from(&self, client: Option<u64>, msg: Message) -> Option<Message> {
+        match msg {
+            Message::Subscribe {
+                nonce,
+                peer,
+                k,
+                min_interval_ms,
+            } => Some(match client {
+                Some(client) => match self.subscribe(
+                    client,
+                    Subscription {
+                        peer,
+                        k: k as usize,
+                        min_interval_ms: min_interval_ms as u64,
+                    },
+                ) {
+                    Ok(initial) => Message::SubAck {
+                        nonce,
+                        peer,
+                        neighbors: to_wire(initial),
+                    },
+                    Err(e) => Message::JoinError {
+                        peer,
+                        reason: e.to_string(),
+                    },
+                },
+                None => Message::JoinError {
+                    peer,
+                    reason: "subscriptions need a push-capable connection".into(),
+                },
+            }),
+            other => self.handle(other),
+        }
+    }
+
+    fn drain_pushes(&self, client: u64, max: usize, out: &mut Vec<Message>) {
+        let mut deltas = Vec::new();
+        self.drain_deltas(client, max, &mut deltas);
+        out.extend(deltas.into_iter().map(|d| Message::DeltaPush {
+            peer: d.peer,
+            epoch: d.epoch,
+            class: d.class.code(),
+            added: to_wire(d.added),
+            removed: d.removed,
+        }));
     }
 }
 
@@ -176,11 +278,26 @@ impl WireService for ActorFederation {
                 items: Vec::new(),
             }),
             Message::Shutdown { nonce } => Some(Message::ProbePong { nonce }),
+            // A federated answer is merged across regions per query; a
+            // standing subscription would have to re-merge on every churn
+            // event in every region. Until that exists, refuse loudly
+            // rather than serve region-local (wrong) deltas.
+            Message::Subscribe { peer, .. } => Some(Message::JoinError {
+                peer,
+                reason: "subscriptions are not supported on a federated front door".into(),
+            }),
+            Message::Unsubscribe { nonce, peer } => Some(Message::SubAck {
+                nonce,
+                peer,
+                neighbors: Vec::new(),
+            }),
             Message::ProbePong { .. }
             | Message::JoinReply { .. }
             | Message::JoinError { .. }
             | Message::QueryReply { .. }
-            | Message::FillReply { .. } => None,
+            | Message::FillReply { .. }
+            | Message::DeltaPush { .. }
+            | Message::SubAck { .. } => None,
         }
     }
 }
@@ -254,5 +371,82 @@ mod tests {
             srv.handle(Message::Shutdown { nonce: 3 }),
             Some(Message::ProbePong { nonce: 3 })
         );
+    }
+
+    #[test]
+    fn subscribe_over_the_wire_acks_then_pushes() {
+        let srv =
+            ActorServer::new(vec![RouterId(0)], vec![vec![0]], ServerConfig::default()).unwrap();
+        srv.handle(Message::JoinRequest {
+            peer: PeerId(1),
+            path: path(&[4, 2, 1, 0]),
+        });
+        // Clientless subscribe is refused: no push channel to deliver on.
+        assert!(matches!(
+            srv.handle_from(
+                None,
+                Message::Subscribe {
+                    nonce: 1,
+                    peer: PeerId(1),
+                    k: 3,
+                    min_interval_ms: 0,
+                }
+            ),
+            Some(Message::JoinError { .. })
+        ));
+        let client = srv.open_client().expect("actor server is push-capable");
+        let ack = srv
+            .handle_from(
+                Some(client),
+                Message::Subscribe {
+                    nonce: 2,
+                    peer: PeerId(1),
+                    k: 3,
+                    min_interval_ms: 0,
+                },
+            )
+            .unwrap();
+        match ack {
+            Message::SubAck {
+                nonce, neighbors, ..
+            } => {
+                assert_eq!(nonce, 2);
+                assert!(neighbors.is_empty(), "nobody else registered yet");
+            }
+            other => panic!("expected SubAck, got {}", other.kind_name()),
+        }
+        srv.handle(Message::JoinRequest {
+            peer: PeerId(2),
+            path: path(&[5, 2, 1, 0]),
+        });
+        let mut pushes = Vec::new();
+        srv.drain_pushes(client, usize::MAX, &mut pushes);
+        assert_eq!(pushes.len(), 1);
+        match &pushes[0] {
+            Message::DeltaPush {
+                peer,
+                class,
+                added,
+                removed,
+                ..
+            } => {
+                assert_eq!(*peer, PeerId(1));
+                assert_eq!(*class, crate::subscription::DeltaClass::Join.code());
+                assert_eq!(added.len(), 1);
+                assert_eq!(added[0].peer, PeerId(2));
+                assert!(removed.is_empty());
+            }
+            other => panic!("expected DeltaPush, got {}", other.kind_name()),
+        }
+        // Unsubscribe through plain handle works (no push channel needed).
+        assert!(matches!(
+            srv.handle(Message::Unsubscribe {
+                nonce: 3,
+                peer: PeerId(1)
+            }),
+            Some(Message::SubAck { nonce: 3, .. })
+        ));
+        srv.close_client(client);
+        assert_eq!(srv.subscription_stats().active, 0);
     }
 }

@@ -15,6 +15,10 @@ use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
 use crate::path_tree::PathTree;
 use crate::router_index::Neighbor;
+use crate::subscription::{
+    DeltaClass, NeighborDelta, Subscription, SubscriptionHost, SubscriptionRegistry,
+    SubscriptionStats,
+};
 use crate::superpeer::{SuperPeerConfig, SuperPeerDirectory};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
@@ -223,6 +227,15 @@ pub struct ManagementServer {
     counters: QueryCounters,
     handovers: u64,
     epoch: u64,
+    /// Standing "watch my k nearest" subscriptions, fed incrementally by
+    /// every churn entry point (see [`crate::subscription`]). Runtime-only
+    /// state, like super-peers: not persisted, empty after recovery.
+    subs: SubscriptionRegistry,
+    /// Millisecond clock for subscription rate limiting and delta-latency
+    /// accounting; the embedding application advances it
+    /// ([`Self::set_sub_clock_ms`]) so the server itself stays
+    /// deterministic.
+    sub_clock_ms: u64,
 }
 
 impl std::fmt::Debug for ManagementServer {
@@ -268,6 +281,8 @@ impl ManagementServer {
             handovers: 0,
             landmark_routers,
             epoch: 0,
+            subs: SubscriptionRegistry::new(),
+            sub_clock_ms: 0,
         }
     }
 
@@ -457,6 +472,15 @@ impl ManagementServer {
     /// Round 2, newcomer insertion: stores the peer's path (`O(d·log n)`)
     /// in its landmark's shard and answers its closest peers.
     pub fn register(&mut self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
+        let outcome = self.register_with(peer, path)?;
+        self.notify_subs(DeltaClass::Join, &[peer], &[]);
+        Ok(outcome)
+    }
+
+    /// [`Self::register`] without the subscription hook — [`Self::handover`]
+    /// reuses the insertion but fires a single `Handover`-class event for
+    /// the whole move instead of a spurious join.
+    fn register_with(&mut self, peer: PeerId, path: PeerPath) -> Result<JoinOutcome, CoreError> {
         let landmark = self.landmark_for_path(&path)?;
         if self.shard_idx_of(peer).is_some() {
             // The owning shard would only catch a duplicate under the *same*
@@ -538,7 +562,7 @@ impl ManagementServer {
                 (peer, path)
             }));
         }
-        for (i, peer, landmark) in accepted {
+        for &(i, peer, landmark) in &accepted {
             let path = self.shards[landmark.index()]
                 .path_of(peer)
                 .expect("accepted items were inserted");
@@ -554,6 +578,8 @@ impl ManagementServer {
                 delegate,
             }));
         }
+        let joined: Vec<PeerId> = accepted.iter().map(|&(_, peer, _)| peer).collect();
+        self.notify_subs(DeltaClass::Join, &joined, &[]);
         results
             .into_iter()
             .map(|r| r.expect("every slot decided"))
@@ -570,6 +596,7 @@ impl ManagementServer {
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
+        self.notify_subs(DeltaClass::Join, &[], &[peer]);
         Ok(())
     }
 
@@ -592,6 +619,7 @@ impl ManagementServer {
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
+        self.notify_subs(DeltaClass::Handover, &[], &[peer]);
         Ok(())
     }
 
@@ -679,6 +707,11 @@ impl ManagementServer {
                 dir.on_deregister(peer);
             }
         }
+        if !self.subs.is_empty() && (!out.expired.is_empty() || !out.moved.is_empty()) {
+            let mut gone = out.expired.clone();
+            gone.extend(out.moved.iter().map(|&(peer, _)| peer));
+            self.notify_subs(DeltaClass::Expiry, &[], &gone);
+        }
         out
     }
 
@@ -702,7 +735,7 @@ impl ManagementServer {
     /// ignored. Returns the number of peers removed. Removals count as
     /// leaves.
     pub fn leave_batch(&mut self, peers: &[PeerId]) -> usize {
-        let mut removed_total = 0usize;
+        let mut all_removed: Vec<PeerId> = Vec::new();
         let map = self.peer_shard.get_mut().expect("peer map poisoned");
         for shard in &mut self.shards {
             let removed = shard.remove_batch(peers);
@@ -714,9 +747,10 @@ impl ManagementServer {
                     dir.on_deregister(peer);
                 }
             }
-            removed_total += removed.len();
+            all_removed.extend(removed);
         }
-        removed_total
+        self.notify_subs(DeltaClass::Join, &[], &all_removed);
+        all_removed.len()
     }
 
     /// Batched churn absorption: like [`Self::register_batch`] but
@@ -782,6 +816,8 @@ impl ManagementServer {
                 (peer, path)
             }));
         }
+        let joined: Vec<PeerId> = fresh.iter().map(|&(peer, _)| peer).collect();
+        self.notify_subs(DeltaClass::Join, &joined, &[]);
         out
     }
 
@@ -802,10 +838,14 @@ impl ManagementServer {
         if let Some(dir) = self.super_peers.as_mut() {
             dir.on_deregister(peer);
         }
-        let outcome = self.register(peer, new_path)?;
+        let outcome = self.register_with(peer, new_path)?;
         // The shard counters saw one remove + one insert; `stats()` folds
         // the pair into one handover.
         self.handovers += 1;
+        // One Handover-class event for the whole move: subscriptions
+        // holding the peer re-rank it at its new path, and the peer's own
+        // subscription re-watches from there.
+        self.notify_subs(DeltaClass::Handover, &[peer], &[peer]);
         Ok(outcome)
     }
 
@@ -820,9 +860,23 @@ impl ManagementServer {
         k: usize,
         exclude: Option<PeerId>,
     ) -> Vec<Neighbor> {
+        self.closest_split(path, k, exclude).0
+    }
+
+    /// [`Self::closest_to_path`] exposing the answer's structure: the full
+    /// list plus the length of its exact section (the cross-landmark fill
+    /// section, if any, follows it). The subscription engine needs the
+    /// split to maintain answers incrementally.
+    pub fn closest_split(
+        &self,
+        path: &PeerPath,
+        k: usize,
+        exclude: Option<PeerId>,
+    ) -> (Vec<Neighbor>, usize) {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let excl: HashSet<PeerId> = exclude.into_iter().collect();
         let mut result = self.query_nearest_merged(path, k, &excl);
+        let exact_len = result.len();
         if result.len() < k && self.config.cross_landmark_fallback {
             let missing = k - result.len();
             let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
@@ -832,13 +886,87 @@ impl ManagementServer {
                 .fetch_add(fill.len() as u64, Ordering::Relaxed);
             result.extend(fill);
         }
-        result
+        (result, exact_len)
     }
 
     /// Neighbors of an already-registered peer (fresh query, `&self`).
     pub fn neighbors_of(&self, peer: PeerId, k: usize) -> Result<Vec<Neighbor>, CoreError> {
         let path = self.path_of(peer).ok_or(CoreError::UnknownPeer(peer))?;
         Ok(self.closest_to_path(path, k, Some(peer)))
+    }
+
+    // ---- standing subscriptions -----------------------------------------
+
+    /// Opens a subscription delivery-queue client (one per connection or
+    /// embedding consumer); its id scopes [`Self::drain_deltas`] and
+    /// [`Self::close_sub_client`].
+    pub fn open_sub_client(&mut self) -> u64 {
+        self.subs.open_client()
+    }
+
+    /// Closes a delivery client, cancelling its subscriptions and queued
+    /// deltas.
+    pub fn close_sub_client(&mut self, client: u64) {
+        self.subs.close_client(client);
+    }
+
+    /// Registers (or replaces) a standing "watch my `k` nearest" query for
+    /// an already-registered peer and returns the initial answer snapshot;
+    /// subsequent churn pushes [`NeighborDelta`]s through the client's
+    /// delivery queue instead of requiring re-polls.
+    pub fn subscribe(
+        &mut self,
+        client: u64,
+        sub: Subscription,
+    ) -> Result<Vec<Neighbor>, CoreError> {
+        let mut subs = std::mem::take(&mut self.subs);
+        let now = self.sub_clock_ms;
+        let out = subs.subscribe(&*self, client, sub, now);
+        self.subs = subs;
+        out
+    }
+
+    /// Cancels a peer's standing subscription. Returns whether one
+    /// existed.
+    pub fn unsubscribe(&mut self, peer: PeerId) -> bool {
+        self.subs.unsubscribe(peer)
+    }
+
+    /// Drains up to `max` eligible pending deltas for a delivery client
+    /// into `out` — handover before expiry before join, rate-limited per
+    /// subscription against the subscription clock.
+    pub fn drain_deltas(&mut self, client: u64, max: usize, out: &mut Vec<NeighborDelta>) {
+        let now = self.sub_clock_ms;
+        self.subs.drain(client, now, max, out);
+    }
+
+    /// Subscription observability counters.
+    pub fn subscription_stats(&self) -> SubscriptionStats {
+        self.subs.stats()
+    }
+
+    /// Advances the millisecond clock used for subscription rate limiting
+    /// and delta-latency accounting (monotone; lower values are ignored).
+    pub fn set_sub_clock_ms(&mut self, now_ms: u64) {
+        self.sub_clock_ms = self.sub_clock_ms.max(now_ms);
+    }
+
+    /// The current subscription clock.
+    pub fn sub_clock_ms(&self) -> u64 {
+        self.sub_clock_ms
+    }
+
+    /// Feeds one completed churn mutation through the subscription engine.
+    /// The registry is detached while it re-ranks so it can issue ordinary
+    /// `&self` queries against the (already mutated) directory.
+    fn notify_subs(&mut self, class: DeltaClass, added: &[PeerId], removed: &[PeerId]) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let mut subs = std::mem::take(&mut self.subs);
+        let (epoch, now) = (self.epoch, self.sub_clock_ms);
+        subs.observe(&*self, class, epoch, now, added, removed);
+        self.subs = subs;
     }
 
     /// Builds an operator-facing snapshot of the server's state.
@@ -1150,6 +1278,29 @@ impl ManagementServer {
                 let _ = self.expire_stale_full(max_age);
             }
         }
+    }
+}
+
+impl SubscriptionHost for ManagementServer {
+    fn path_of(&self, peer: PeerId) -> Option<PeerPath> {
+        ManagementServer::path_of(self, peer).cloned()
+    }
+
+    fn landmark_at(&self, router: RouterId) -> Option<LandmarkId> {
+        self.landmark_by_router.get(&router).copied()
+    }
+
+    fn bridge(&self, from: LandmarkId, to: LandmarkId) -> Option<u32> {
+        let d = *self.landmark_dist.get(from.index())?.get(to.index())?;
+        (d != u32::MAX).then_some(d)
+    }
+
+    fn fills_enabled(&self) -> bool {
+        self.config.cross_landmark_fallback
+    }
+
+    fn query_split(&self, path: &PeerPath, k: usize, exclude: PeerId) -> (Vec<Neighbor>, usize) {
+        self.closest_split(path, k, Some(exclude))
     }
 }
 

@@ -31,6 +31,34 @@ fn sample_messages() -> Vec<Message> {
             path: path(&[7, 5, 0]),
         },
         Message::Leave { peer: PeerId(1) },
+        Message::Subscribe {
+            nonce: 7,
+            peer: PeerId(1),
+            k: 5,
+            min_interval_ms: 250,
+        },
+        Message::SubAck {
+            nonce: 7,
+            peer: PeerId(1),
+            neighbors: vec![WireNeighbor {
+                peer: PeerId(2),
+                dtree: 3,
+            }],
+        },
+        Message::DeltaPush {
+            peer: PeerId(1),
+            epoch: 12,
+            class: 2,
+            added: vec![WireNeighbor {
+                peer: PeerId(4),
+                dtree: 2,
+            }],
+            removed: vec![PeerId(2)],
+        },
+        Message::Unsubscribe {
+            nonce: 8,
+            peer: PeerId(1),
+        },
     ]
 }
 
