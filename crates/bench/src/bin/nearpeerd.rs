@@ -32,6 +32,15 @@ struct Args {
     /// Seconds a connection may sit idle (no complete frame) before the
     /// daemon evicts it; `0` disables the deadline.
     idle_secs: u64,
+    /// Dump a compact registry snapshot to stderr every N seconds;
+    /// `0` disables the dumps.
+    stats_every: u64,
+    /// Queries at or above this many µs land in the slow-query log;
+    /// `0` keeps the log disabled.
+    slow_query_us: u64,
+    /// Disable latency timing (counters still count) — the A/B switch
+    /// for measuring telemetry overhead.
+    no_timing: bool,
 }
 
 impl Args {
@@ -42,6 +51,9 @@ impl Args {
             regions: 1,
             neighbor_count: 5,
             idle_secs: 300,
+            stats_every: 0,
+            slow_query_us: 0,
+            no_timing: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -65,10 +77,21 @@ impl Args {
                     let v = value("--idle-secs")?;
                     out.idle_secs = v.parse().map_err(|_| format!("bad --idle-secs {v}"))?;
                 }
+                "--stats-every" => {
+                    let v = value("--stats-every")?;
+                    out.stats_every = v.parse().map_err(|_| format!("bad --stats-every {v}"))?;
+                }
+                "--slow-query-us" => {
+                    let v = value("--slow-query-us")?;
+                    out.slow_query_us =
+                        v.parse().map_err(|_| format!("bad --slow-query-us {v}"))?;
+                }
+                "--no-timing" => out.no_timing = true,
                 "--help" | "-h" => {
                     return Err(
                         "usage: nearpeerd [--listen ADDR] [--landmarks N] [--regions N] \
-                         [--neighbor-count K] [--idle-secs S]"
+                         [--neighbor-count K] [--idle-secs S] [--stats-every S] \
+                         [--slow-query-us U] [--no-timing]"
                             .into(),
                     )
                 }
@@ -104,6 +127,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let telemetry = service.telemetry();
+    if let Some(reg) = &telemetry {
+        if args.no_timing {
+            reg.set_timing(false);
+        }
+        if args.slow_query_us > 0 {
+            reg.slow().set_threshold_us(args.slow_query_us);
+        }
+    }
     let listener = match TcpListener::bind(&args.listen) {
         Ok(l) => l,
         Err(e) => {
@@ -120,6 +152,28 @@ fn main() {
     io::stdout().flush().ok();
 
     let shutdown = Arc::new(AtomicBool::new(false));
+    if args.stats_every > 0 {
+        if let Some(reg) = telemetry {
+            let shutdown = Arc::clone(&shutdown);
+            let every = Duration::from_secs(args.stats_every);
+            // Exits with the process: the dump loop polls the shutdown
+            // flag every second, and main does not join it.
+            std::thread::spawn(move || {
+                let mut since = Duration::ZERO;
+                loop {
+                    std::thread::sleep(Duration::from_secs(1));
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    since += Duration::from_secs(1);
+                    if since >= every {
+                        since = Duration::ZERO;
+                        eprintln!("nearpeerd: stats {}", reg.snapshot().compact_line());
+                    }
+                }
+            });
+        }
+    }
     let mut handles = Vec::new();
     for stream in listener.incoming() {
         if shutdown.load(Ordering::Acquire) {

@@ -24,7 +24,7 @@
 
 use nearpeer_bench::wire::{world, FrameConn, Mirror};
 use nearpeer_core::protocol::{Message, WireNeighbor};
-use nearpeer_core::{Neighbor, PeerId, PeerPath, ServerConfig};
+use nearpeer_core::{Histogram, Neighbor, PeerId, PeerPath, ServerConfig};
 use nearpeer_workloads::{ArrivalProcess, ChurnConfig, ChurnEventKind, ChurnTrace};
 use std::collections::BTreeSet;
 use std::io;
@@ -336,6 +336,7 @@ fn main() {
     let mut deltas = 0u64;
     let mut mismatches = 0u64;
     let mut join_errors = 0u64;
+    let fence_latency = Histogram::new();
     let mut harness_time = Duration::ZERO;
     let t0 = Instant::now();
     for (idx, window) in trace.windows(width) {
@@ -383,11 +384,15 @@ fn main() {
         }
 
         let mut touched: BTreeSet<PeerId> = BTreeSet::new();
+        let fence_start = Instant::now();
         deltas += fence_pushes(&mut conn_subs, idx, |peer, added, removed| {
             apply(&mut views[view_of(peer)], &added, &removed);
             touched.insert(peer);
         })
         .unwrap_or_else(|e| fail(&format!("push fence {idx}: {e}")));
+        // Client-observed delta delivery: the fence round-trip covers
+        // flushing every queued push for the window plus the pong.
+        fence_latency.record(fence_start.elapsed().as_micros() as u64);
 
         // Mirror the window and verify the touched views (harness work,
         // excluded from the replay throughput).
@@ -456,9 +461,11 @@ fn main() {
         }
     }
 
+    let fence = fence_latency.snapshot();
     println!(
         "{{\"addr\":\"{}\",\"landmarks\":{},\"subs\":{},\"churners\":{},\"windows\":{},\"k\":{},\
          \"events\":{},\"deltas\":{},\"replay_secs\":{:.3},\"events_per_sec\":{:.0},\
+         \"fence_p50_us\":{},\"fence_p95_us\":{},\"fence_p99_us\":{},\"fence_max_us\":{},\
          \"initial_mismatches\":{},\"window_mismatches\":{},\"final_mismatches\":{},\
          \"join_errors\":{}}}",
         args.addr,
@@ -471,6 +478,10 @@ fn main() {
         deltas,
         replay_secs,
         events_per_sec,
+        fence.quantile(0.5),
+        fence.quantile(0.95),
+        fence.quantile(0.99),
+        fence.max,
         initial_mismatches,
         mismatches,
         final_mismatches,

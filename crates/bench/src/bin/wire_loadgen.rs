@@ -20,7 +20,10 @@
 
 use nearpeer_bench::wire::{world, FrameConn, Mirror};
 use nearpeer_core::protocol::{Message, WireNeighbor};
-use nearpeer_core::{LandmarkId, Neighbor, PeerId, PeerPath, ServerConfig};
+use nearpeer_core::telemetry::find_metric;
+use nearpeer_core::{
+    Histogram, HistogramSnapshot, LandmarkId, Neighbor, PeerId, PeerPath, ServerConfig,
+};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +45,9 @@ struct Args {
     min_qps: f64,
     window: usize,
     shutdown: bool,
+    /// Pull the server's telemetry over the wire after the query phase
+    /// and cross-check it against the client's own counts.
+    scrape: bool,
 }
 
 impl Args {
@@ -58,6 +64,7 @@ impl Args {
             min_qps: 0.0,
             window: 256,
             shutdown: false,
+            scrape: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -77,11 +84,12 @@ impl Args {
                 "--min-qps" => out.min_qps = num("--min-qps", value("--min-qps")?)?,
                 "--window" => out.window = num("--window", value("--window")?)?,
                 "--shutdown" => out.shutdown = true,
+                "--scrape" => out.scrape = true,
                 "--help" | "-h" => {
                     return Err(
                         "usage: wire_loadgen --addr HOST:PORT [--landmarks N] [--regions N] \
                          [--peers N] [--queries N] [--conns N] [--k K] [--handovers N] \
-                         [--min-qps Q] [--window W] [--shutdown]"
+                         [--min-qps Q] [--window W] [--shutdown] [--scrape]"
                             .into(),
                     )
                 }
@@ -308,12 +316,24 @@ fn main() {
         let addr = args.addr.clone();
         workers.push(std::thread::spawn(move || {
             let mut replies: Vec<(u64, Vec<WireNeighbor>)> = Vec::with_capacity((hi - lo) as usize);
+            // Client-observed latency: send instant per request index
+            // (indexed, not FIFO, so a reconnect replay re-stamps its
+            // window instead of pairing replies with dead sends).
+            let latency = Histogram::new();
+            let sent_at: std::cell::RefCell<Vec<Instant>> =
+                std::cell::RefCell::new(Vec::with_capacity((hi - lo) as usize));
             run_pipelined(
                 &mut conn,
                 &addr,
                 hi - lo,
                 window,
                 |i| {
+                    let now = Instant::now();
+                    let mut sent_at = sent_at.borrow_mut();
+                    match sent_at.get_mut(i as usize) {
+                        Some(slot) => *slot = now,
+                        None => sent_at.push(now),
+                    }
                     let peer = (lo + i) % peers;
                     Message::QueryRequest {
                         nonce: lo + i,
@@ -325,21 +345,24 @@ fn main() {
                 |i, msg, _resent| match msg {
                     Message::QueryReply { nonce, neighbors } => {
                         assert_eq!(nonce, lo + i, "pipelined replies arrive in order");
+                        latency.record(sent_at.borrow()[i as usize].elapsed().as_micros() as u64);
                         replies.push((nonce, neighbors));
                     }
                     other => fail(&format!("unexpected {} to a query", other.kind_name())),
                 },
             )
             .unwrap_or_else(|e| fail(&format!("query phase: {e}")));
-            (conn, replies)
+            (conn, replies, latency.snapshot())
         }));
     }
     let mut conns = Vec::with_capacity(args.conns);
     let mut replies = Vec::with_capacity(args.queries as usize);
+    let mut latency = HistogramSnapshot::default();
     for worker in workers {
-        let (conn, mut part) = worker.join().unwrap_or_else(|_| fail("query worker died"));
+        let (conn, mut part, lat) = worker.join().unwrap_or_else(|_| fail("query worker died"));
         conns.push(conn);
         replies.append(&mut part);
+        latency.merge(&lat);
     }
     let query_secs = query_start.elapsed().as_secs_f64();
     let qps = if query_secs > 0.0 {
@@ -365,6 +388,44 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Mid-run scrape: pull the server's registry over the wire and
+    // cross-check the served-query counter against what this client just
+    // verified. The query replies above all arrived, so the server must
+    // have counted exactly that many query-request frames.
+    let mut scrape_p99_us = 0u64;
+    if args.scrape {
+        let conn = &mut conns[0];
+        conn.send(&Message::StatsRequest { nonce: 7777 })
+            .unwrap_or_else(|e| fail(&format!("scrape send: {e}")));
+        let text = match conn.recv() {
+            Ok(Some(Message::StatsReply { nonce: 7777, text })) => text,
+            other => fail(&format!("scrape not answered: {other:?}")),
+        };
+        let served = find_metric(&text, "wire_frames_total{kind=\"query-request\"}")
+            .unwrap_or_else(|| fail("scrape: wire_frames_total{kind=\"query-request\"} missing"));
+        if served != replies.len() as u64 {
+            fail(&format!(
+                "scrape: server served {served} query frames, client verified {}",
+                replies.len()
+            ));
+        }
+        scrape_p99_us = find_metric(
+            &text,
+            "wire_serve_us{kind=\"query-request\",quantile=\"0.99\"}",
+        )
+        .unwrap_or_else(|| fail("scrape: wire_serve_us p99 missing"));
+        if scrape_p99_us == 0 {
+            // Zero p99 over thousands of directory queries means the
+            // server timed nothing — `--scrape` against `--no-timing`.
+            fail("scrape: serve p99 is zero (is the server running --no-timing?)");
+        }
+        eprintln!(
+            "wire_loadgen: scrape OK — server counted {served} served queries \
+             (serve p99 {scrape_p99_us}us, exposition {} bytes)",
+            text.len()
+        );
     }
 
     // Phase 3: handovers on one connection, mirrored move-by-move.
@@ -432,9 +493,10 @@ fn main() {
     println!(
         "{{\"addr\":\"{}\",\"landmarks\":{},\"regions\":{},\"peers\":{},\"conns\":{},\"k\":{},\
          \"window\":{},\"register_secs\":{:.3},\"register_rate\":{:.0},\"queries\":{},\
-         \"query_secs\":{:.3},\"qps\":{:.0},\"handovers\":{},\"handover_secs\":{:.3},\
-         \"join_errors\":{},\"query_mismatches\":{},\"handover_mismatches\":{},\
-         \"connect_retries\":{}}}",
+         \"query_secs\":{:.3},\"qps\":{:.0},\"query_p50_us\":{},\"query_p95_us\":{},\
+         \"query_p99_us\":{},\"query_max_us\":{},\"scrape_p99_us\":{},\"handovers\":{},\
+         \"handover_secs\":{:.3},\"join_errors\":{},\"query_mismatches\":{},\
+         \"handover_mismatches\":{},\"connect_retries\":{}}}",
         args.addr,
         args.landmarks,
         args.regions,
@@ -447,6 +509,11 @@ fn main() {
         args.queries,
         query_secs,
         qps,
+        latency.quantile(0.5),
+        latency.quantile(0.95),
+        latency.quantile(0.99),
+        latency.max,
+        scrape_p99_us,
         handovers,
         handover_secs,
         join_errors,

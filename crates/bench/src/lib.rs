@@ -41,6 +41,7 @@ pub use output::ExperimentWriter;
 pub use runner::run_parallel;
 pub use swarm::{
     churn_epoch_shard_parallel, expire_stale_shard_parallel, oracle_stats_line,
-    register_shard_parallel, renew_shard_parallel, subs_stats_line, sweep_trace_threads,
-    trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig, SyntheticJoins,
+    register_shard_parallel, registry_stats_line, renew_shard_parallel, subs_stats_line,
+    sweep_trace_threads, trace_round1, BuildPhases, BuildStrategy, Swarm, SwarmConfig,
+    SyntheticJoins,
 };

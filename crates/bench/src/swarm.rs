@@ -20,6 +20,7 @@
 use nearpeer_core::landmarks::{place_landmarks, PlacementPolicy};
 use nearpeer_core::{
     LandmarkId, ManagementServer, PeerId, PeerPath, ServerConfig, SubscriptionStats,
+    TelemetryRegistry,
 };
 use nearpeer_probe::{TraceConfig, TraceResult, TraceScratch, Tracer};
 use nearpeer_routing::{OracleStats, RouteOracle};
@@ -316,50 +317,55 @@ impl<'t> Swarm<'t> {
     }
 }
 
-/// One-line human-readable rendering of an [`OracleStats`] snapshot, shared
-/// by `scale_smoke`, `churn_preview` and `run_all` so tree-count
-/// observability reads the same everywhere:
-/// `oracle: trees 8 eager + 0 lazy, hits 29k arena / 0 lazy, scratch reuses 7, evictions 0`.
-pub fn oracle_stats_line(stats: &OracleStats) -> String {
-    fn k(n: u64) -> String {
-        if n >= 10_000 {
-            format!("{}k", n / 1_000)
-        } else {
-            n.to_string()
-        }
-    }
-    format!(
-        "oracle: trees {} eager + {} lazy, hits {} arena / {} lazy, scratch reuses {}, evictions {}",
-        k(stats.eager_trees_built),
-        k(stats.lazy_trees_built),
-        k(stats.arena_hits),
-        k(stats.lazy_hits),
-        k(stats.scratch_reuses),
-        k(stats.lazy_evictions),
-    )
+/// Renders a stats snapshot through a throwaway [`TelemetryRegistry`] so
+/// every offline bench prints the same `name=value` compact line as the
+/// live plane's `--stats-every` dumps and `StatsReply` scrapes — one
+/// metric vocabulary everywhere, zeros elided.
+pub fn registry_stats_line(prefix: &str, fill: impl FnOnce(&TelemetryRegistry)) -> String {
+    let reg = TelemetryRegistry::new();
+    fill(&reg);
+    format!("{prefix}: {}", reg.snapshot().compact_line())
 }
 
-/// One-line human-readable rendering of a [`SubscriptionStats`] snapshot,
-/// the subscription plane's sibling of [`oracle_stats_line`]:
-/// `subs: active 10k, pushed 122k (+31k coalesced, 2k cancelled), refills 9k, queue 0 now / 312 peak`.
+/// Registry-snapshot line for an [`OracleStats`], shared by `scale_smoke`,
+/// `churn_preview` and `run_all` so tree-count observability reads the
+/// same everywhere:
+/// `oracle: oracle_arena_hits_total=29000 oracle_eager_trees_total=8 oracle_scratch_reuses_total=7`.
+pub fn oracle_stats_line(stats: &OracleStats) -> String {
+    registry_stats_line("oracle", |reg| {
+        reg.counter("oracle_eager_trees_total")
+            .add(stats.eager_trees_built);
+        reg.counter("oracle_lazy_trees_total")
+            .add(stats.lazy_trees_built);
+        reg.counter("oracle_arena_hits_total").add(stats.arena_hits);
+        reg.counter("oracle_lazy_hits_total").add(stats.lazy_hits);
+        reg.counter("oracle_scratch_reuses_total")
+            .add(stats.scratch_reuses);
+        reg.counter("oracle_lazy_evictions_total")
+            .add(stats.lazy_evictions);
+    })
+}
+
+/// Registry-snapshot line for a [`SubscriptionStats`], the subscription
+/// plane's sibling of [`oracle_stats_line`]. Metric names match what
+/// [`SubscriptionRegistry::bind_telemetry`] exposes live, so a soak log
+/// line and a `nearpeerd` scrape read identically.
+///
+/// [`SubscriptionRegistry::bind_telemetry`]: nearpeer_core::SubscriptionRegistry::bind_telemetry
 pub fn subs_stats_line(stats: &SubscriptionStats) -> String {
-    fn k(n: u64) -> String {
-        if n >= 10_000 {
-            format!("{}k", n / 1_000)
-        } else {
-            n.to_string()
-        }
-    }
-    format!(
-        "subs: active {}, pushed {} (+{} coalesced, {} cancelled), refills {}, queue {} now / {} peak",
-        k(stats.active),
-        k(stats.pushed),
-        k(stats.coalesced),
-        k(stats.dropped_to_coalesce),
-        k(stats.refills),
-        k(stats.queue_depth),
-        k(stats.peak_queue_depth),
-    )
+    registry_stats_line("subs", |reg| {
+        reg.gauge("sub_active").set(stats.active);
+        reg.counter("sub_pushed_total").add(stats.pushed);
+        reg.counter("sub_coalesced_total").add(stats.coalesced);
+        reg.counter("sub_dropped_to_coalesce_total")
+            .add(stats.dropped_to_coalesce);
+        reg.counter("sub_refills_total").add(stats.refills);
+        // Seed the peak first: `Gauge::set` folds into the high-water
+        // mark, so the rendered gauge carries both now and peak.
+        let queue = reg.gauge("sub_queue_depth");
+        queue.set(stats.peak_queue_depth);
+        queue.set(stats.queue_depth);
+    })
 }
 
 /// Worker count for the adaptive build paths (round-1 tracing when

@@ -11,10 +11,12 @@ use bytes::BytesMut;
 use nearpeer_core::codec::{self, CodecError};
 use nearpeer_core::protocol::Message;
 use nearpeer_core::{
-    ActorFederation, ActorServer, CoreError, FederatedJoin, Federation, FederationConfig,
-    JoinOutcome, ManagementServer, Neighbor, PeerId, PeerPath, ServerConfig, WireService,
+    ActorFederation, ActorServer, CoreError, Counter, FederatedJoin, Federation, FederationConfig,
+    Histogram, JoinOutcome, ManagementServer, Neighbor, PeerId, PeerPath, ServerConfig,
+    TelemetryRegistry, WireService,
 };
 use nearpeer_topology::RouterId;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,11 +43,14 @@ pub fn build_service(
     regions: usize,
     config: ServerConfig,
 ) -> Result<Arc<dyn WireService>, CoreError> {
+    let reg = Arc::new(TelemetryRegistry::new());
     let (routers, dist) = synthetic_landmarks(n_landmarks);
     if regions <= 1 {
-        Ok(Arc::new(ActorServer::new(routers, dist, config)?))
+        let srv = ActorServer::new(routers, dist, config)?;
+        srv.bind_telemetry(reg);
+        Ok(Arc::new(srv))
     } else {
-        Ok(Arc::new(ActorFederation::new(
+        let fed = ActorFederation::new(
             routers,
             dist,
             regions,
@@ -53,7 +58,9 @@ pub fn build_service(
                 fanout: None,
                 server: config,
             },
-        )?))
+        )?;
+        fed.bind_telemetry(reg);
+        Ok(Arc::new(fed))
     }
 }
 
@@ -184,6 +191,12 @@ impl FrameConn {
         self.stream.write_all(&codec::encode_to_bytes(msg))
     }
 
+    /// Writes an already-encoded frame (lets the serve loop encode once
+    /// and count the bytes it is about to send).
+    pub fn send_bytes(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)
+    }
+
     /// Reads the next message, reassembling frames across partial reads.
     /// `Ok(None)` means the peer closed cleanly on a frame boundary.
     /// Malformed-but-consumed frames are skipped (the codec resyncs);
@@ -232,6 +245,45 @@ impl FrameConn {
     /// Whether the receive buffer holds a partially reassembled frame.
     pub fn has_partial_frame(&self) -> bool {
         !self.buf.is_empty()
+    }
+}
+
+/// Per-kind serving metrics, cached per connection so the hot loop
+/// touches the registry's entry lock once per message kind seen, not
+/// once per frame. Kinds index by their `&'static` name, so the cache
+/// costs one `HashMap` probe per frame.
+struct ServeMetrics {
+    reg: Arc<TelemetryRegistry>,
+    per_kind: HashMap<&'static str, KindMetrics>,
+}
+
+#[derive(Clone)]
+struct KindMetrics {
+    /// Request frames of this kind served (replied to or absorbed).
+    frames: Arc<Counter>,
+    /// Time from decoded request to encoded reply, µs.
+    serve_us: Arc<Histogram>,
+    /// Encoded reply frame sizes, bytes (`_sum` = total bytes out).
+    reply_bytes: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new(reg: Arc<TelemetryRegistry>) -> Self {
+        Self {
+            reg,
+            per_kind: HashMap::new(),
+        }
+    }
+
+    fn kind(&mut self, name: &'static str) -> &KindMetrics {
+        self.per_kind.entry(name).or_insert_with(|| {
+            let label = format!("kind=\"{name}\"");
+            KindMetrics {
+                frames: self.reg.counter_labeled("wire_frames_total", &label),
+                serve_us: self.reg.histogram_labeled("wire_serve_us", &label),
+                reply_bytes: self.reg.histogram_labeled("wire_reply_bytes", &label),
+            }
+        })
     }
 }
 
@@ -312,19 +364,37 @@ fn serve_frames(
     let mut seen_bytes = conn.bytes_received();
     let mut grace_left = SHUTDOWN_GRACE_WINDOWS;
     let mut pushes: Vec<Message> = Vec::new();
+    let mut metrics = service.telemetry().map(ServeMetrics::new);
     loop {
         match conn.recv() {
             Ok(Some(msg)) => {
                 seen_bytes = conn.bytes_received();
                 last_progress = Instant::now();
                 let stop = matches!(msg, Message::Shutdown { .. });
+                let kind = msg.kind_name();
+                let started = metrics
+                    .as_ref()
+                    .filter(|m| m.reg.timing_enabled())
+                    .map(|_| Instant::now());
                 if let Some(client) = client {
                     if flush_pushes(conn, service, client, &mut pushes).is_err() {
                         return;
                     }
                 }
-                if let Some(reply) = service.handle_from(client, msg) {
-                    if conn.send(&reply).is_err() {
+                let reply = service.handle_from(client, msg);
+                let frame = reply.as_ref().map(codec::encode_to_bytes);
+                if let Some(m) = metrics.as_mut() {
+                    let km = m.kind(kind);
+                    km.frames.inc();
+                    if let Some(f) = &frame {
+                        km.reply_bytes.record(f.len() as u64);
+                    }
+                    if let Some(s) = started {
+                        km.serve_us.record(s.elapsed().as_micros() as u64);
+                    }
+                }
+                if let Some(frame) = frame {
+                    if conn.send_bytes(&frame).is_err() {
                         return;
                     }
                 }

@@ -173,6 +173,16 @@ pub fn encode(msg: &Message, dst: &mut BytesMut) {
             payload.put_u64(peer.0);
             put_neighbors(&mut payload, neighbors);
         }
+        Message::StatsRequest { nonce } => payload.put_u64(*nonce),
+        Message::StatsReply { nonce, text } => {
+            payload.put_u64(*nonce);
+            // u32 length: a full registry exposition can exceed the u16
+            // range long before it nears MAX_FRAME_LEN.
+            let bytes = text.as_bytes();
+            let max = (MAX_FRAME_LEN as usize).saturating_sub(2 + 8 + 4);
+            payload.put_u32(bytes.len().min(max) as u32);
+            payload.put_slice(&bytes[..bytes.len().min(max)]);
+        }
     }
     let len = payload.len() as u32 + 2;
     assert!(
@@ -438,6 +448,21 @@ fn decode_payload(kind: u8, frame: &mut BytesMut) -> Result<Message, CodecError>
                 neighbors,
             })
         }
+        18 => {
+            need(frame, 8, "nonce")?;
+            Ok(Message::StatsRequest {
+                nonce: frame.get_u64(),
+            })
+        }
+        19 => {
+            need(frame, 8 + 4, "stats reply header")?;
+            let nonce = frame.get_u64();
+            let n = frame.get_u32() as usize;
+            need(frame, n, "stats text")?;
+            let text = String::from_utf8(frame.split_to(n).to_vec())
+                .map_err(|e| CodecError::BadPayload(e.to_string()))?;
+            Ok(Message::StatsReply { nonce, text })
+        }
         other => Err(CodecError::UnknownKind(other)),
     }
 }
@@ -563,6 +588,15 @@ mod tests {
                     peer: PeerId(9),
                     dtree: 4,
                 }],
+            },
+            Message::StatsRequest { nonce: 17 },
+            Message::StatsReply {
+                nonce: 17,
+                text: "dir_queries_total 12\ndir_query_latency_us_count 12\n".into(),
+            },
+            Message::StatsReply {
+                nonce: 18,
+                text: String::new(),
             },
         ]
     }

@@ -20,11 +20,11 @@
 //! died between flushes. [`WriterStats::error`] reports what happened.
 
 use super::journal::{self, JournalOp};
-use crate::runtime::mailbox::spawn_batch_worker;
+use crate::runtime::mailbox::{spawn_batch_worker_observed, MailboxObs};
+use crate::telemetry::{Counter, Gauge, Histogram, TelemetryRegistry};
 use std::fs;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -175,24 +175,30 @@ pub struct WriterStats {
     pub error: Option<String>,
 }
 
+/// Worker-side counters as shared telemetry handles, so a registry that
+/// adopts them ([`DurabilityWriter::bind_telemetry`]) scrapes the same
+/// atomics the legacy [`WriterStats`] snapshot reads.
 #[derive(Default)]
 struct SharedStats {
-    records: AtomicU64,
-    batches: AtomicU64,
-    snapshots_written: AtomicU64,
-    snapshots_skipped: AtomicU64,
-    journal_bytes: AtomicU64,
+    records: Arc<Counter>,
+    batches: Arc<Counter>,
+    snapshots_written: Arc<Counter>,
+    snapshots_skipped: Arc<Counter>,
+    journal_bytes: Arc<Gauge>,
+    flush_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
     error: Mutex<Option<String>>,
 }
 
 impl SharedStats {
     fn snapshot(&self) -> WriterStats {
         WriterStats {
-            records: self.records.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
-            snapshots_skipped: self.snapshots_skipped.load(Ordering::Relaxed),
-            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            records: self.records.get(),
+            batches: self.batches.get(),
+            snapshots_written: self.snapshots_written.get(),
+            snapshots_skipped: self.snapshots_skipped.get(),
+            journal_bytes: self.journal_bytes.get(),
             error: self.error.lock().unwrap().clone(),
         }
     }
@@ -228,15 +234,24 @@ impl DurabilityWriter {
         let mut journal_len: usize = 0;
         let mut killed = false;
         let mut buf: Vec<u8> = Vec::new();
-        let handle = spawn_batch_worker(
+        // The mailbox loop increments `batches` (same Arc) before each
+        // apply, and samples queue depth/batch size for us.
+        let obs = MailboxObs {
+            batches: Arc::clone(&shared.batches),
+            items: Arc::new(Counter::new()),
+            batch_size: Arc::clone(&shared.batch_size),
+            queue_depth: Arc::clone(&shared.queue_depth),
+        };
+        let handle = spawn_batch_worker_observed(
             "durability-writer".into(),
             rx,
             crate::runtime::mailbox::DEFAULT_DRAIN_CAP,
+            Some(obs),
             move |batch| {
                 if killed {
                     return;
                 }
-                let batch_no = worker_shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
+                let batch_no = worker_shared.batches.get();
                 if let Some(limit) = config.kill_after_batches {
                     if batch_no > limit {
                         killed = true;
@@ -248,7 +263,7 @@ impl DurabilityWriter {
                     match cmd {
                         Cmd::Append(op) => {
                             journal::append_record(&mut buf, &op);
-                            worker_shared.records.fetch_add(1, Ordering::Relaxed);
+                            worker_shared.records.inc();
                         }
                         Cmd::Snapshot(bytes) => {
                             let now = Instant::now();
@@ -256,23 +271,24 @@ impl DurabilityWriter {
                                 now.duration_since(t) >= config.min_snapshot_interval
                             });
                             if !due {
-                                worker_shared
-                                    .snapshots_skipped
-                                    .fetch_add(1, Ordering::Relaxed);
+                                worker_shared.snapshots_skipped.inc();
                                 continue;
                             }
-                            match medium.install_snapshot(&bytes) {
+                            let flush_start = Instant::now();
+                            let installed = medium.install_snapshot(&bytes);
+                            worker_shared
+                                .flush_us
+                                .record(flush_start.elapsed().as_micros() as u64);
+                            match installed {
                                 Ok(()) => {
                                     // Ops buffered before this offer are part
                                     // of the snapshot's state; dropping them
                                     // keeps replay exactly-once.
                                     buf.clear();
                                     journal_len = 0;
-                                    worker_shared.journal_bytes.store(0, Ordering::Relaxed);
+                                    worker_shared.journal_bytes.set(0);
                                     last_snapshot = Some(now);
-                                    worker_shared
-                                        .snapshots_written
-                                        .fetch_add(1, Ordering::Relaxed);
+                                    worker_shared.snapshots_written.inc();
                                 }
                                 Err(e) => {
                                     *worker_shared.error.lock().unwrap() =
@@ -292,12 +308,15 @@ impl DurabilityWriter {
                     journal::journal_header(&mut out);
                 }
                 out.extend_from_slice(&buf);
-                match medium.append_journal(&out) {
+                let flush_start = Instant::now();
+                let appended = medium.append_journal(&out);
+                worker_shared
+                    .flush_us
+                    .record(flush_start.elapsed().as_micros() as u64);
+                match appended {
                     Ok(()) => {
                         journal_len += out.len();
-                        worker_shared
-                            .journal_bytes
-                            .fetch_add(out.len() as u64, Ordering::Relaxed);
+                        worker_shared.journal_bytes.add(out.len() as u64);
                     }
                     Err(e) => {
                         *worker_shared.error.lock().unwrap() = Some(format!("append_journal: {e}"));
@@ -334,6 +353,32 @@ impl DurabilityWriter {
     /// Live counters.
     pub fn stats(&self) -> WriterStats {
         self.shared.snapshot()
+    }
+
+    /// Adopts the writer's counters into `reg` under `writer_*` names:
+    /// op/batch/snapshot counters, journal-bytes and queue-depth gauges,
+    /// and the medium flush-latency + drain-batch-size histograms.
+    pub fn bind_telemetry(&self, reg: &TelemetryRegistry) {
+        reg.adopt_counter("writer_records_total", "", self.shared.records.clone());
+        reg.adopt_counter("writer_batches_total", "", self.shared.batches.clone());
+        reg.adopt_counter(
+            "writer_snapshots_written_total",
+            "",
+            self.shared.snapshots_written.clone(),
+        );
+        reg.adopt_counter(
+            "writer_snapshots_skipped_total",
+            "",
+            self.shared.snapshots_skipped.clone(),
+        );
+        reg.adopt_gauge(
+            "writer_journal_bytes",
+            "",
+            self.shared.journal_bytes.clone(),
+        );
+        reg.adopt_gauge("writer_queue_depth", "", self.shared.queue_depth.clone());
+        reg.adopt_histogram("writer_flush_us", "", self.shared.flush_us.clone());
+        reg.adopt_histogram("writer_batch_size", "", self.shared.batch_size.clone());
     }
 
     /// Drains the queue, stops the worker, and returns the final stats.

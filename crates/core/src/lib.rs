@@ -62,6 +62,7 @@ pub mod runtime;
 mod server;
 pub mod subscription;
 mod superpeer;
+pub mod telemetry;
 
 pub use directory::persist::fault::FaultPlan;
 pub use directory::persist::journal::{JournalOp, JournalReader};
@@ -90,3 +91,7 @@ pub use subscription::{
     SubscriptionStats,
 };
 pub use superpeer::{SuperPeerConfig, SuperPeerDirectory};
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, SlowQueryLog, SlowQueryRecord, TelemetryRegistry,
+    TelemetrySnapshot, TimerGuard,
+};

@@ -180,6 +180,23 @@ pub enum Message {
         /// Initial answer snapshot, nearest first (empty on unsubscribe).
         neighbors: Vec<WireNeighbor>,
     },
+    /// Administrative: pull the server's live telemetry (answered with a
+    /// [`Message::StatsReply`]). Read-only and side-effect-free, so safe
+    /// to serve to any connected peer.
+    StatsRequest {
+        /// Correlates the reply.
+        nonce: u64,
+    },
+    /// The answer to a [`Message::StatsRequest`]: the full registry in
+    /// the stable text exposition (one `name{labels} value` per line,
+    /// histograms as `_count`/`_sum`/`_max`/quantile series, slow-query
+    /// ring as trailing `# slow_query …` comments).
+    StatsReply {
+        /// The echoed request nonce.
+        nonce: u64,
+        /// Rendered telemetry snapshot.
+        text: String,
+    },
 }
 
 impl Message {
@@ -203,6 +220,8 @@ impl Message {
             Message::Unsubscribe { .. } => 15,
             Message::DeltaPush { .. } => 16,
             Message::SubAck { .. } => 17,
+            Message::StatsRequest { .. } => 18,
+            Message::StatsReply { .. } => 19,
         }
     }
 
@@ -226,6 +245,8 @@ impl Message {
             Message::Unsubscribe { .. } => "unsubscribe",
             Message::DeltaPush { .. } => "delta-push",
             Message::SubAck { .. } => "sub-ack",
+            Message::StatsRequest { .. } => "stats-request",
+            Message::StatsReply { .. } => "stats-reply",
         }
     }
 }
@@ -300,6 +321,11 @@ mod tests {
                 nonce: 4,
                 peer: PeerId(1),
                 neighbors: vec![],
+            },
+            Message::StatsRequest { nonce: 6 },
+            Message::StatsReply {
+                nonce: 6,
+                text: "queries_total 1\n".into(),
             },
         ];
         let mut kinds: Vec<u8> = msgs.iter().map(Message::kind).collect();

@@ -35,13 +35,15 @@ use crate::path::PeerPath;
 use crate::protocol::{Message, WireNeighbor};
 use crate::router_index::Neighbor;
 use crate::server::{ChurnBatchOutcome, ManagementServer};
+use crate::telemetry::{Counter, Histogram, SlowQueryRecord, TelemetryRegistry};
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Sender};
 use nearpeer_topology::RouterId;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Query workers per region. Reads share the region's `RwLock` read
 /// side, so a small pool is enough to overlap decode/encode work.
@@ -101,9 +103,10 @@ struct FedMeta {
     fallback: bool,
     neighbor_count: usize,
     servers: Vec<Arc<RwLock<ManagementServer>>>,
-    queries: AtomicU64,
-    remote: AtomicU64,
-    fills: AtomicU64,
+    queries: Arc<Counter>,
+    remote: Arc<Counter>,
+    fills: Arc<Counter>,
+    query_latency: Arc<Histogram>,
 }
 
 impl FedMeta {
@@ -154,6 +157,11 @@ pub struct ActorFederation {
     nonce: AtomicU64,
     handovers: AtomicU64,
     cross_region_handovers: AtomicU64,
+    /// One merged mailbox view across every region's write worker.
+    write_obs: super::mailbox::MailboxObs,
+    /// One merged mailbox view across every region's query pool.
+    query_obs: super::mailbox::MailboxObs,
+    telemetry: OnceLock<Arc<TelemetryRegistry>>,
 }
 
 impl ActorFederation {
@@ -185,20 +193,34 @@ impl ActorFederation {
                 .into_iter()
                 .map(|s| Arc::new(RwLock::new(s)))
                 .collect(),
-            queries: AtomicU64::new(0),
-            remote: AtomicU64::new(0),
-            fills: AtomicU64::new(0),
+            queries: Arc::new(Counter::new()),
+            remote: Arc::new(Counter::new()),
+            fills: Arc::new(Counter::new()),
+            query_latency: Arc::new(Histogram::new()),
         });
+        let write_obs = super::mailbox::MailboxObs {
+            batches: Arc::new(Counter::new()),
+            items: Arc::new(Counter::new()),
+            batch_size: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(crate::telemetry::Gauge::new()),
+        };
+        let query_obs = super::mailbox::MailboxObs {
+            batches: Arc::new(Counter::new()),
+            items: Arc::new(Counter::new()),
+            batch_size: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(crate::telemetry::Gauge::new()),
+        };
         let mut write_txs = Vec::with_capacity(meta.servers.len());
         let mut query_txs = Vec::with_capacity(meta.servers.len());
         let mut workers = Vec::new();
         for (r, server) in meta.servers.iter().enumerate() {
             let (wtx, wrx) = unbounded::<RegionOp>();
             let wserver = Arc::clone(server);
-            workers.push(super::mailbox::spawn_batch_worker(
+            workers.push(super::mailbox::spawn_batch_worker_observed(
                 format!("region-{r}-write"),
                 wrx,
                 super::mailbox::DEFAULT_DRAIN_CAP,
+                Some(write_obs.clone()),
                 move |batch| {
                     let mut srv = wserver.write().expect("region server poisoned");
                     for op in batch {
@@ -211,10 +233,11 @@ impl ActorFederation {
             for w in 0..QUERY_WORKERS {
                 let qserver = Arc::clone(server);
                 let qrx = qrx.clone();
-                workers.push(super::mailbox::spawn_batch_worker(
+                workers.push(super::mailbox::spawn_batch_worker_observed(
                     format!("region-{r}-query-{w}"),
                     qrx,
                     super::mailbox::DEFAULT_DRAIN_CAP,
+                    Some(query_obs.clone()),
                     move |batch| {
                         let srv = qserver.read().expect("region server poisoned");
                         for job in batch {
@@ -235,6 +258,9 @@ impl ActorFederation {
             nonce: AtomicU64::new(1),
             handovers: AtomicU64::new(0),
             cross_region_handovers: AtomicU64::new(0),
+            write_obs,
+            query_obs,
+            telemetry: OnceLock::new(),
         })
     }
 
@@ -270,12 +296,50 @@ impl ActorFederation {
     /// Aggregate federation counters.
     pub fn stats(&self) -> FederationStats {
         FederationStats {
-            queries: self.meta.queries.load(Ordering::Relaxed),
-            remote_regions_consulted: self.meta.remote.load(Ordering::Relaxed),
-            cross_region_fills: self.meta.fills.load(Ordering::Relaxed),
+            queries: self.meta.queries.get(),
+            remote_regions_consulted: self.meta.remote.get(),
+            cross_region_fills: self.meta.fills.get(),
             handovers: self.handovers.load(Ordering::Relaxed),
             cross_region_handovers: self.cross_region_handovers.load(Ordering::Relaxed),
         }
+    }
+
+    /// Adopts the federation's counters, query-latency histogram and
+    /// mailbox views into `reg`, and arms query timing. Idempotent in
+    /// the sense that only the first registry sticks; every region
+    /// server also binds its own shard counters under a region label.
+    pub fn bind_telemetry(&self, reg: Arc<TelemetryRegistry>) {
+        reg.adopt_counter("fed_queries_total", "", Arc::clone(&self.meta.queries));
+        reg.adopt_counter(
+            "fed_remote_regions_consulted_total",
+            "",
+            Arc::clone(&self.meta.remote),
+        );
+        reg.adopt_counter(
+            "fed_cross_region_fills_total",
+            "",
+            Arc::clone(&self.meta.fills),
+        );
+        reg.adopt_histogram(
+            "fed_query_latency_us",
+            "",
+            Arc::clone(&self.meta.query_latency),
+        );
+        for (obs, label) in [
+            (&self.write_obs, "mailbox=\"region-write\""),
+            (&self.query_obs, "mailbox=\"region-query\""),
+        ] {
+            reg.adopt_counter("mailbox_batches_total", label, Arc::clone(&obs.batches));
+            reg.adopt_counter("mailbox_items_total", label, Arc::clone(&obs.items));
+            reg.adopt_histogram("mailbox_batch_size", label, Arc::clone(&obs.batch_size));
+            reg.adopt_gauge("mailbox_queue_depth", label, Arc::clone(&obs.queue_depth));
+        }
+        let _ = self.telemetry.set(reg);
+    }
+
+    /// The registry bound via [`Self::bind_telemetry`], if any.
+    pub fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        self.telemetry.get().cloned()
     }
 
     /// Forwarding tombstones currently held across all regions.
@@ -517,7 +581,12 @@ impl ActorFederation {
         k: usize,
         exclude: Option<PeerId>,
     ) -> Vec<Neighbor> {
-        self.meta.queries.fetch_add(1, Ordering::Relaxed);
+        self.meta.queries.inc();
+        let started = self
+            .telemetry
+            .get()
+            .filter(|t| t.timing_enabled())
+            .map(|_| Instant::now());
         let home = self.meta.home_of_path(path).ok();
         let consulted: Vec<RegionId> = match home {
             Some((home, _)) => self.meta.query_regions(home),
@@ -525,7 +594,7 @@ impl ActorFederation {
         };
         self.meta
             .remote
-            .fetch_add(consulted.len().saturating_sub(1) as u64, Ordering::Relaxed);
+            .add(consulted.len().saturating_sub(1) as u64);
         let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
         let frame = codec::encode_to_bytes(&Message::QueryRequest {
             nonce,
@@ -562,6 +631,7 @@ impl ActorFederation {
         }
         result.sort_unstable_by_key(|n| (n.dtree, n.peer));
         result.truncate(k);
+        let exact_len = result.len();
         if result.len() < k && self.meta.fallback {
             if let Some((_, own_global)) = home {
                 let missing = k - result.len();
@@ -569,11 +639,20 @@ impl ActorFederation {
                 let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
                 let fill =
                     self.bridge_fill_rpc(path, own_global, missing, &consulted, &excl, &have);
-                self.meta
-                    .fills
-                    .fetch_add(fill.len() as u64, Ordering::Relaxed);
+                self.meta.fills.add(fill.len() as u64);
                 result.extend(fill);
             }
+        }
+        if let (Some(start), Some(t)) = (started, self.telemetry.get()) {
+            let us = start.elapsed().as_micros() as u64;
+            self.meta.query_latency.record(us);
+            t.slow().offer(us, || SlowQueryRecord {
+                latency_us: us,
+                landmark: home.map(|(_, g)| g as u64),
+                path_depth: path.depth() as usize,
+                fanout: result.len() - exact_len,
+                answered: result.len(),
+            });
         }
         result
     }

@@ -33,11 +33,12 @@ use crate::subscription::{
     DeltaClass, NeighborDelta, Subscription, SubscriptionHost, SubscriptionRegistry,
     SubscriptionStats,
 };
+use crate::telemetry::{Counter, Gauge, Histogram, SlowQueryRecord, TelemetryRegistry};
 use crossbeam::channel::{unbounded, Sender};
 use nearpeer_topology::RouterId;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -81,8 +82,16 @@ struct Shared {
     landmark_by_router: HashMap<RouterId, LandmarkId>,
     landmark_dist: Vec<Vec<u32>>,
     shards: Vec<RwLock<DirectoryShard>>,
-    queries: AtomicU64,
-    fills: AtomicU64,
+    queries: Arc<Counter>,
+    fills: Arc<Counter>,
+    query_latency: Arc<Histogram>,
+    /// Mailbox observability, shared by every shard worker (one merged
+    /// view: the queue-depth gauge is a sample from whichever worker
+    /// drained last, counters and batch sizes aggregate exactly).
+    mailbox_obs: super::mailbox::MailboxObs,
+    /// Registry bound after construction ([`ActorServer::bind_telemetry`]);
+    /// one atomic load on the query path while unbound.
+    telemetry: OnceLock<Arc<TelemetryRegistry>>,
 }
 
 impl Shared {
@@ -167,18 +176,27 @@ impl ActorServer {
             landmark_dist,
             shards,
             landmark_routers,
-            queries: AtomicU64::new(0),
-            fills: AtomicU64::new(0),
+            queries: Arc::new(Counter::new()),
+            fills: Arc::new(Counter::new()),
+            query_latency: Arc::new(Histogram::new()),
+            mailbox_obs: super::mailbox::MailboxObs {
+                batches: Arc::new(Counter::new()),
+                items: Arc::new(Counter::new()),
+                batch_size: Arc::new(Histogram::new()),
+                queue_depth: Arc::new(Gauge::new()),
+            },
+            telemetry: OnceLock::new(),
         });
         let mut write_txs = Vec::with_capacity(shared.shards.len());
         let mut workers = Vec::with_capacity(shared.shards.len());
         for i in 0..shared.shards.len() {
             let (tx, rx) = unbounded::<ShardOp>();
             let shard_shared = Arc::clone(&shared);
-            workers.push(super::mailbox::spawn_batch_worker(
+            workers.push(super::mailbox::spawn_batch_worker_observed(
                 format!("shard-{i}"),
                 rx,
                 super::mailbox::DEFAULT_DRAIN_CAP,
+                Some(shared.mailbox_obs.clone()),
                 move |batch| {
                     let mut shard = shard_shared.shards[i].write().expect("shard poisoned");
                     for op in batch {
@@ -419,7 +437,15 @@ impl ActorServer {
         k: usize,
         exclude: Option<PeerId>,
     ) -> (Vec<Neighbor>, usize) {
-        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.queries.inc();
+        // Clock calls only with a bound registry whose timing gate is on
+        // — the untelemetered query path stays as cheap as before.
+        let started = self
+            .shared
+            .telemetry
+            .get()
+            .filter(|t| t.timing_enabled())
+            .map(|_| Instant::now());
         let guards: Vec<_> = self
             .shared
             .shards
@@ -444,11 +470,24 @@ impl ActorServer {
                     &excl,
                     &have,
                 );
-                self.shared
-                    .fills
-                    .fetch_add(fill.len() as u64, Ordering::Relaxed);
+                self.shared.fills.add(fill.len() as u64);
                 result.extend(fill);
             }
+        }
+        if let (Some(start), Some(t)) = (started, self.shared.telemetry.get()) {
+            let us = start.elapsed().as_micros() as u64;
+            self.shared.query_latency.record(us);
+            t.slow().offer(us, || SlowQueryRecord {
+                latency_us: us,
+                landmark: self
+                    .shared
+                    .landmark_by_router
+                    .get(&path.landmark_router())
+                    .map(|l| l.0 as u64),
+                path_depth: path.depth() as usize,
+                fanout: result.len() - exact_len,
+                answered: result.len(),
+            });
         }
         (result, exact_len)
     }
@@ -499,13 +538,53 @@ impl ActorServer {
                 (g.inserts(), g.removals())
             })
             .fold((0u64, 0u64), |(i, r), (si, sr)| (i + si, r + sr));
+        // Saturating: the handover counter and the per-shard insert and
+        // remove counters are read at different instants while writers
+        // run, so a mid-handover snapshot could otherwise observe the
+        // re-insert pair half-applied and underflow the subtraction.
         ServerStats {
-            joins: inserts - handovers,
-            queries: self.shared.queries.load(Ordering::Relaxed),
-            cross_landmark_fills: self.shared.fills.load(Ordering::Relaxed),
-            leaves: removals - handovers,
+            joins: inserts.saturating_sub(handovers),
+            queries: self.shared.queries.get(),
+            cross_landmark_fills: self.shared.fills.get(),
+            leaves: removals.saturating_sub(handovers),
             handovers,
         }
+    }
+
+    /// Binds a telemetry registry (idempotent; first call wins): the
+    /// directory query counters and latency histogram (`dir_*`), the
+    /// shard-mailbox drain metrics (`mailbox_*{mailbox="shard"}`), and
+    /// the subscription counters (`sub_*`) all become scrapeable, query
+    /// timing honors the registry's gate, and slow queries land in its
+    /// trace log.
+    pub fn bind_telemetry(&self, reg: Arc<TelemetryRegistry>) {
+        reg.adopt_counter("dir_queries_total", "", self.shared.queries.clone());
+        reg.adopt_counter(
+            "dir_cross_landmark_fills_total",
+            "",
+            self.shared.fills.clone(),
+        );
+        reg.adopt_histogram(
+            "dir_query_latency_us",
+            "",
+            self.shared.query_latency.clone(),
+        );
+        let obs = &self.shared.mailbox_obs;
+        let label = "mailbox=\"shard\"";
+        reg.adopt_counter("mailbox_batches_total", label, obs.batches.clone());
+        reg.adopt_counter("mailbox_items_total", label, obs.items.clone());
+        reg.adopt_histogram("mailbox_batch_size", label, obs.batch_size.clone());
+        reg.adopt_gauge("mailbox_queue_depth", label, obs.queue_depth.clone());
+        self.subs
+            .lock()
+            .expect("subs poisoned")
+            .bind_telemetry(&reg);
+        let _ = self.shared.telemetry.set(reg);
+    }
+
+    /// The bound registry, if any.
+    pub fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        self.shared.telemetry.get().cloned()
     }
 
     /// Registers a push-capable connection with the subscription plane

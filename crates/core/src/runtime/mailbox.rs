@@ -15,7 +15,9 @@
 //! mailbox is gone, so an actor shuts down by dropping its send handles
 //! and joining the threads. No poison message, no shutdown flag.
 
+use crate::telemetry::{Counter, Gauge, Histogram};
 use crossbeam::channel::Receiver;
+use std::sync::Arc;
 use std::thread::{Builder, JoinHandle};
 
 /// Default per-batch drain cap: large enough that lock amortisation is
@@ -23,15 +25,47 @@ use std::thread::{Builder, JoinHandle};
 /// flood cannot pin a shard's write lock for an unbounded stretch.
 pub(crate) const DEFAULT_DRAIN_CAP: usize = 1024;
 
+/// Telemetry handles for one mailbox worker, shared with the registry
+/// that adopted them. All optional at the spawn site: an unobserved
+/// worker costs nothing extra.
+#[derive(Clone)]
+pub(crate) struct MailboxObs {
+    /// Batches applied.
+    pub batches: Arc<Counter>,
+    /// Items applied (sums batch lengths).
+    pub items: Arc<Counter>,
+    /// Distribution of batch sizes.
+    pub batch_size: Arc<Histogram>,
+    /// Items still queued, sampled after each drain.
+    pub queue_depth: Arc<Gauge>,
+}
+
 /// Spawns a named worker thread that feeds `apply` with batches drained
 /// from `rx`, at most `cap` items per batch. Every batch is non-empty;
 /// leftovers beyond the cap stay queued and wake the worker again without
 /// parking. The thread exits when the channel disconnects (all senders
 /// dropped).
+#[cfg(test)]
 pub(crate) fn spawn_batch_worker<T, F>(
     name: String,
     rx: Receiver<T>,
     cap: usize,
+    apply: F,
+) -> JoinHandle<()>
+where
+    T: Send + 'static,
+    F: FnMut(Vec<T>) + Send + 'static,
+{
+    spawn_batch_worker_observed(name, rx, cap, None, apply)
+}
+
+/// [`spawn_batch_worker`] with optional telemetry: batch count/size and
+/// post-drain queue depth land in the given handles.
+pub(crate) fn spawn_batch_worker_observed<T, F>(
+    name: String,
+    rx: Receiver<T>,
+    cap: usize,
+    obs: Option<MailboxObs>,
     mut apply: F,
 ) -> JoinHandle<()>
 where
@@ -50,6 +84,12 @@ where
                         Ok(more) => batch.push(more),
                         Err(_) => break,
                     }
+                }
+                if let Some(obs) = &obs {
+                    obs.batches.inc();
+                    obs.items.add(batch.len() as u64);
+                    obs.batch_size.record(batch.len() as u64);
+                    obs.queue_depth.set(rx.len() as u64);
                 }
                 apply(std::mem::take(&mut batch));
             }
@@ -109,5 +149,34 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 5050, "leftovers must survive");
         let m = max_batch.load(Ordering::Relaxed);
         assert!(m <= 8, "batch exceeded cap: {m}");
+    }
+
+    #[test]
+    fn observed_worker_conserves_item_count() {
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let obs = MailboxObs {
+            batches: Arc::new(Counter::new()),
+            items: Arc::new(Counter::new()),
+            batch_size: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(Gauge::new()),
+        };
+        let handle = spawn_batch_worker_observed(
+            "observed-worker".into(),
+            rx,
+            8,
+            Some(obs.clone()),
+            |_batch| {},
+        );
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        handle.join().unwrap();
+        assert_eq!(obs.items.get(), 100, "items conserve");
+        assert_eq!(obs.batch_size.count(), obs.batches.get());
+        let s = obs.batch_size.snapshot();
+        assert!(s.max <= 8, "batch size obeys the cap");
+        assert_eq!(s.sum, 100, "batch sizes sum to item count");
+        assert_eq!(obs.queue_depth.get(), 0, "drained at exit");
     }
 }

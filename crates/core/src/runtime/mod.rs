@@ -33,6 +33,8 @@ pub use actor_server::ActorServer;
 use crate::protocol::{Message, WireNeighbor};
 use crate::router_index::Neighbor;
 use crate::subscription::Subscription;
+use crate::telemetry::TelemetryRegistry;
+use std::sync::Arc;
 
 /// A directory service addressable by protocol messages — the boundary
 /// between the wire (`nearpeerd`'s per-connection frame loops) and the
@@ -77,6 +79,26 @@ pub trait WireService: Send + Sync {
     /// Drains up to `max` server-initiated push frames ready for
     /// `client` into `out`. The default pushes nothing.
     fn drain_pushes(&self, _client: u64, _max: usize, _out: &mut Vec<Message>) {}
+
+    /// The telemetry registry backing this service's
+    /// [`Message::StatsRequest`] answers, if one is bound. The default —
+    /// `None` — makes `StatsReply.text` empty, never an error: stats are
+    /// advisory and must not take a connection down.
+    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        None
+    }
+}
+
+/// The [`Message::StatsRequest`] answer every service shares: render the
+/// bound registry, or an empty exposition when none is bound.
+fn stats_reply(service: &impl WireService, nonce: u64) -> Message {
+    Message::StatsReply {
+        nonce,
+        text: service
+            .telemetry()
+            .map(|t| t.render_text())
+            .unwrap_or_default(),
+    }
 }
 
 /// Converts an answer list to its wire form.
@@ -160,6 +182,7 @@ impl WireService for ActorServer {
                     neighbors: Vec::new(),
                 })
             }
+            Message::StatsRequest { nonce } => Some(stats_reply(self, nonce)),
             // Stray replies are not requests; drop them.
             Message::ProbePong { .. }
             | Message::JoinReply { .. }
@@ -167,7 +190,8 @@ impl WireService for ActorServer {
             | Message::QueryReply { .. }
             | Message::FillReply { .. }
             | Message::DeltaPush { .. }
-            | Message::SubAck { .. } => None,
+            | Message::SubAck { .. }
+            | Message::StatsReply { .. } => None,
         }
     }
 
@@ -224,6 +248,10 @@ impl WireService for ActorServer {
             added: to_wire(d.added),
             removed: d.removed,
         }));
+    }
+
+    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        ActorServer::telemetry(self)
     }
 }
 
@@ -291,14 +319,20 @@ impl WireService for ActorFederation {
                 peer,
                 neighbors: Vec::new(),
             }),
+            Message::StatsRequest { nonce } => Some(stats_reply(self, nonce)),
             Message::ProbePong { .. }
             | Message::JoinReply { .. }
             | Message::JoinError { .. }
             | Message::QueryReply { .. }
             | Message::FillReply { .. }
             | Message::DeltaPush { .. }
-            | Message::SubAck { .. } => None,
+            | Message::SubAck { .. }
+            | Message::StatsReply { .. } => None,
         }
+    }
+
+    fn telemetry(&self) -> Option<Arc<TelemetryRegistry>> {
+        ActorFederation::telemetry(self)
     }
 }
 
@@ -448,5 +482,46 @@ mod tests {
         ));
         srv.close_client(client);
         assert_eq!(srv.subscription_stats().active, 0);
+    }
+
+    #[test]
+    fn stats_request_serves_the_bound_registry() {
+        let srv =
+            ActorServer::new(vec![RouterId(0)], vec![vec![0]], ServerConfig::default()).unwrap();
+        // Unbound: an empty exposition, never an error.
+        match srv.handle(Message::StatsRequest { nonce: 1 }) {
+            Some(Message::StatsReply { nonce: 1, text }) => assert!(text.is_empty()),
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+        let reg = Arc::new(TelemetryRegistry::new());
+        srv.bind_telemetry(Arc::clone(&reg));
+        srv.handle(Message::JoinRequest {
+            peer: PeerId(1),
+            path: path(&[4, 2, 1, 0]),
+        });
+        srv.handle(Message::QueryRequest {
+            nonce: 2,
+            path: path(&[5, 2, 1, 0]),
+            k: 3,
+            exclude: None,
+        });
+        match srv.handle(Message::StatsRequest { nonce: 3 }) {
+            Some(Message::StatsReply { nonce: 3, text }) => {
+                // The join answers with neighbors (one query) plus the
+                // explicit QueryRequest: two directory queries.
+                assert_eq!(
+                    crate::telemetry::find_metric(&text, "dir_queries_total"),
+                    Some(2)
+                );
+                assert_eq!(
+                    crate::telemetry::find_metric(&text, "dir_query_latency_us_count"),
+                    Some(2)
+                );
+                let items =
+                    crate::telemetry::find_metric(&text, "mailbox_items_total{mailbox=\"shard\"}");
+                assert!(items >= Some(1), "join went through the shard mailbox");
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
     }
 }

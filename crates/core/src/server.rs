@@ -20,11 +20,13 @@ use crate::subscription::{
     SubscriptionStats,
 };
 use crate::superpeer::{SuperPeerConfig, SuperPeerDirectory};
+use crate::telemetry::{Counter, Histogram, SlowQueryRecord, TelemetryRegistry};
 use nearpeer_routing::RouteOracle;
 use nearpeer_topology::{RouterId, Topology};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,11 +191,13 @@ pub struct ChurnBatchOutcome {
 }
 
 /// Read-path counters, interior-mutable so pure queries stay `&self` (and
-/// can be issued from many threads at once).
+/// can be issued from many threads at once). Held as shared telemetry
+/// handles so a bound [`TelemetryRegistry`] scrapes the same atomics.
 #[derive(Debug, Default)]
 struct QueryCounters {
-    queries: AtomicU64,
-    cross_landmark_fills: AtomicU64,
+    queries: Arc<Counter>,
+    cross_landmark_fills: Arc<Counter>,
+    latency_us: Arc<Histogram>,
 }
 
 /// The management server of §2: knows every peer's path to its landmark and
@@ -236,6 +240,10 @@ pub struct ManagementServer {
     /// ([`Self::set_sub_clock_ms`]) so the server itself stays
     /// deterministic.
     sub_clock_ms: u64,
+    /// Bound registry ([`Self::bind_telemetry`]): gates query-latency
+    /// timing and receives slow-query traces. `None` (the default) keeps
+    /// the read path free of clock calls.
+    telemetry: Option<Arc<TelemetryRegistry>>,
 }
 
 impl std::fmt::Debug for ManagementServer {
@@ -283,6 +291,7 @@ impl ManagementServer {
             epoch: 0,
             subs: SubscriptionRegistry::new(),
             sub_clock_ms: 0,
+            telemetry: None,
         }
     }
 
@@ -352,13 +361,33 @@ impl ManagementServer {
     pub fn stats(&self) -> ServerStats {
         let inserts: u64 = self.shards.iter().map(|s| s.inserts()).sum();
         let removals: u64 = self.shards.iter().map(|s| s.removals()).sum();
+        // Saturating: shard counters and the handover count are read
+        // non-atomically, so a snapshot racing a handover could otherwise
+        // see the re-insert pair half-applied and underflow.
         ServerStats {
-            joins: inserts - self.handovers,
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            cross_landmark_fills: self.counters.cross_landmark_fills.load(Ordering::Relaxed),
-            leaves: removals - self.handovers,
+            joins: inserts.saturating_sub(self.handovers),
+            queries: self.counters.queries.get(),
+            cross_landmark_fills: self.counters.cross_landmark_fills.get(),
+            leaves: removals.saturating_sub(self.handovers),
             handovers: self.handovers,
         }
+    }
+
+    /// Binds a telemetry registry: the directory's query counters, query
+    /// latency histogram, and subscription counters become scrapeable
+    /// (`dir_*` / `sub_*` names), query timing starts honoring the
+    /// registry's timing gate, and threshold-crossing queries land in its
+    /// slow-query log.
+    pub fn bind_telemetry(&mut self, reg: Arc<TelemetryRegistry>) {
+        reg.adopt_counter("dir_queries_total", "", self.counters.queries.clone());
+        reg.adopt_counter(
+            "dir_cross_landmark_fills_total",
+            "",
+            self.counters.cross_landmark_fills.clone(),
+        );
+        reg.adopt_histogram("dir_query_latency_us", "", self.counters.latency_us.clone());
+        self.subs.bind_telemetry(&reg);
+        self.telemetry = Some(reg);
     }
 
     /// Registered peer count (all shards).
@@ -873,7 +902,14 @@ impl ManagementServer {
         k: usize,
         exclude: Option<PeerId>,
     ) -> (Vec<Neighbor>, usize) {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.counters.queries.inc();
+        // Clock calls only when a registry is bound with timing on — the
+        // untelemetered read path stays exactly as cheap as before.
+        let started = self
+            .telemetry
+            .as_deref()
+            .filter(|t| t.timing_enabled())
+            .map(|_| Instant::now());
         let excl: HashSet<PeerId> = exclude.into_iter().collect();
         let mut result = self.query_nearest_merged(path, k, &excl);
         let exact_len = result.len();
@@ -881,10 +917,22 @@ impl ManagementServer {
             let missing = k - result.len();
             let have: HashSet<PeerId> = result.iter().map(|n| n.peer).collect();
             let fill = self.cross_landmark_candidates(path, missing, &excl, &have);
-            self.counters
-                .cross_landmark_fills
-                .fetch_add(fill.len() as u64, Ordering::Relaxed);
+            self.counters.cross_landmark_fills.add(fill.len() as u64);
             result.extend(fill);
+        }
+        if let (Some(start), Some(t)) = (started, self.telemetry.as_deref()) {
+            let us = start.elapsed().as_micros() as u64;
+            self.counters.latency_us.record(us);
+            t.slow().offer(us, || SlowQueryRecord {
+                latency_us: us,
+                landmark: self
+                    .landmark_by_router
+                    .get(&path.landmark_router())
+                    .map(|l| l.0 as u64),
+                path_depth: path.depth() as usize,
+                fanout: result.len() - exact_len,
+                answered: result.len(),
+            });
         }
         (result, exact_len)
     }
@@ -1088,11 +1136,8 @@ impl ManagementServer {
         // Facade counters.
         wire::put_u64(&mut out, self.epoch);
         wire::put_u64(&mut out, self.handovers);
-        wire::put_u64(&mut out, self.counters.queries.load(Ordering::Relaxed));
-        wire::put_u64(
-            &mut out,
-            self.counters.cross_landmark_fills.load(Ordering::Relaxed),
-        );
+        wire::put_u64(&mut out, self.counters.queries.get());
+        wire::put_u64(&mut out, self.counters.cross_landmark_fills.get());
         // Landmarks and the bridge matrix.
         wire::put_u32(&mut out, self.landmark_routers.len() as u32);
         for &r in &self.landmark_routers {
@@ -1222,11 +1267,8 @@ impl ManagementServer {
         server.shards = shards;
         server.epoch = epoch;
         server.handovers = handovers;
-        server.counters.queries.store(queries, Ordering::Relaxed);
-        server
-            .counters
-            .cross_landmark_fills
-            .store(fills, Ordering::Relaxed);
+        server.counters.queries.set(queries);
+        server.counters.cross_landmark_fills.set(fills);
         // The facade peer→shard map lazily rebuilds from the restored
         // shards on the first lookup.
         *server.peer_shard_dirty.get_mut() = true;

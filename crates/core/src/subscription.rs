@@ -37,9 +37,11 @@ use crate::error::CoreError;
 use crate::ids::{LandmarkId, PeerId};
 use crate::path::PeerPath;
 use crate::router_index::Neighbor;
+use crate::telemetry::{Counter, Gauge, TelemetryRegistry};
 use nearpeer_topology::RouterId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Delivery priority of a delta, ordered `Join < Expiry < Handover`:
 /// mobility updates go out first (the peer's old coordinates are
@@ -282,14 +284,19 @@ impl SubState {
     }
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Internal counters, held as shared telemetry handles so a
+/// [`TelemetryRegistry`] that adopts them (see
+/// [`SubscriptionRegistry::bind_telemetry`]) reads the very same atomics
+/// the engine mutates — the legacy [`SubscriptionStats`] snapshot and a
+/// live scrape can never disagree. The queue-depth gauge saturates on
+/// decrement and tracks its own peak.
+#[derive(Debug, Default)]
 struct Counters {
-    pushed: u64,
-    coalesced: u64,
-    dropped_to_coalesce: u64,
-    refills: u64,
-    queue_depth: u64,
-    peak_queue_depth: u64,
+    pushed: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    dropped_to_coalesce: Arc<Counter>,
+    refills: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
 }
 
 /// Per-add scratch slot for the router-walk minimum (generation-stamped
@@ -548,8 +555,8 @@ impl SubscriptionRegistry {
             let s = self.subs[sid as usize].as_mut().expect("eligible sub");
             let p = s.pending.take().expect("eligible pending");
             s.last_push_ms = now_ms;
-            self.counters.queue_depth -= 1;
-            self.counters.pushed += 1;
+            self.counters.queue_depth.sub(1);
+            self.counters.pushed.inc();
             out.push(NeighborDelta {
                 peer: s.peer,
                 epoch: p.epoch,
@@ -561,17 +568,33 @@ impl SubscriptionRegistry {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Safe under a concurrent scrape: every field is
+    /// one atomic read, and `queue_depth` saturates rather than
+    /// underflowing, so the snapshot never shows an inverted pair.
     pub fn stats(&self) -> SubscriptionStats {
         SubscriptionStats {
             active: self.by_peer.len() as u64,
-            pushed: self.counters.pushed,
-            coalesced: self.counters.coalesced,
-            dropped_to_coalesce: self.counters.dropped_to_coalesce,
-            refills: self.counters.refills,
-            queue_depth: self.counters.queue_depth,
-            peak_queue_depth: self.counters.peak_queue_depth,
+            pushed: self.counters.pushed.get(),
+            coalesced: self.counters.coalesced.get(),
+            dropped_to_coalesce: self.counters.dropped_to_coalesce.get(),
+            refills: self.counters.refills.get(),
+            queue_depth: self.counters.queue_depth.get(),
+            peak_queue_depth: self.counters.queue_depth.peak(),
         }
+    }
+
+    /// Adopts this registry's counters into `reg` under `sub_*` names,
+    /// making the engine's own atomics scrapeable live.
+    pub fn bind_telemetry(&self, reg: &TelemetryRegistry) {
+        reg.adopt_counter("sub_pushed_total", "", self.counters.pushed.clone());
+        reg.adopt_counter("sub_coalesced_total", "", self.counters.coalesced.clone());
+        reg.adopt_counter(
+            "sub_dropped_to_coalesce_total",
+            "",
+            self.counters.dropped_to_coalesce.clone(),
+        );
+        reg.adopt_counter("sub_refills_total", "", self.counters.refills.clone());
+        reg.adopt_gauge("sub_queue_depth", "", self.counters.queue_depth.clone());
     }
 
     // --- internals ----------------------------------------------------
@@ -586,11 +609,10 @@ impl SubscriptionRegistry {
         now_ms: u64,
     ) -> &'a mut Pending {
         if s.pending.is_some() {
-            counters.coalesced += 1;
+            counters.coalesced.inc();
         } else {
             *next_seq += 1;
-            counters.queue_depth += 1;
-            counters.peak_queue_depth = counters.peak_queue_depth.max(counters.queue_depth);
+            counters.queue_depth.add(1); // the gauge tracks its own peak
             s.pending = Some(Pending {
                 added: Vec::new(),
                 removed: Vec::new(),
@@ -610,7 +632,7 @@ impl SubscriptionRegistry {
     fn settle_pending(counters: &mut Counters, s: &mut SubState) {
         if s.pending.as_ref().is_some_and(Pending::is_empty) {
             s.pending = None;
-            counters.queue_depth -= 1;
+            counters.queue_depth.sub(1);
         }
     }
 
@@ -647,7 +669,7 @@ impl SubscriptionRegistry {
             now_ms,
         );
         if pending.note_remove(p) {
-            self.counters.dropped_to_coalesce += 1;
+            self.counters.dropped_to_coalesce.inc();
         }
         Self::settle_pending(&mut self.counters, s);
     }
@@ -767,7 +789,7 @@ impl SubscriptionRegistry {
             pending.note_add(Neighbor { peer: p, dtree: d });
             if let Some(ev) = evicted {
                 if pending.note_remove(ev.peer) {
-                    self.counters.dropped_to_coalesce += 1;
+                    self.counters.dropped_to_coalesce.inc();
                 }
             }
             Self::settle_pending(&mut self.counters, s);
@@ -797,7 +819,7 @@ impl SubscriptionRegistry {
             );
             pending.note_add(Neighbor { peer: p, dtree: d });
             if pending.note_remove(worst.peer) {
-                self.counters.dropped_to_coalesce += 1;
+                self.counters.dropped_to_coalesce.inc();
             }
             Self::settle_pending(&mut self.counters, s);
             self.members.entry(p).or_default().push(sid);
@@ -864,7 +886,7 @@ impl SubscriptionRegistry {
             );
             pending.note_add(Neighbor { peer: p, dtree: e });
             if pending.note_remove(worst.peer) {
-                self.counters.dropped_to_coalesce += 1;
+                self.counters.dropped_to_coalesce.inc();
             }
             Self::settle_pending(&mut self.counters, s);
             self.members.entry(p).or_default().push(sid);
@@ -938,7 +960,7 @@ impl SubscriptionRegistry {
         }
         let (peer, k, path) = (s.peer, s.k, s.path.clone());
         let (new, new_exact) = host.query_split(&path, k, peer);
-        self.counters.refills += 1;
+        self.counters.refills.inc();
         let s = self.subs[sid as usize].as_mut().expect("still alive");
         let mut note_removed: Vec<PeerId> = Vec::new();
         let mut note_added: Vec<Neighbor> = Vec::new();
@@ -966,7 +988,7 @@ impl SubscriptionRegistry {
             );
             for &p in &note_removed {
                 if pending.note_remove(p) {
-                    self.counters.dropped_to_coalesce += 1;
+                    self.counters.dropped_to_coalesce.inc();
                 }
             }
             for &n in &note_added {
@@ -1038,7 +1060,7 @@ impl SubscriptionRegistry {
             self.hungry.swap_remove(i);
         }
         if s.pending.is_some() {
-            self.counters.queue_depth -= 1;
+            self.counters.queue_depth.sub(1);
         }
         self.free.push(sid);
     }

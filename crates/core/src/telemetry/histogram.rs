@@ -1,0 +1,313 @@
+//! Lock-free log₂-bucketed histograms for hot-path latency recording.
+//!
+//! A [`Histogram`] is a fixed array of 64 atomic buckets: value `v` lands
+//! in bucket `bit_length(v)` (bucket 0 holds exactly the zeros, bucket
+//! `b ≥ 1` holds `[2^(b-1), 2^b)`, the last bucket is open-ended), so
+//! recording is two relaxed `fetch_add`s and a `fetch_max` — no locks, no
+//! allocation, safe to call from any number of threads at once. Snapshots
+//! are mergeable (bucket-wise addition, proven associative in tests) and
+//! yield p50/p90/p99/max by linear interpolation inside the crossing
+//! bucket.
+//!
+//! Concurrency contract: a snapshot taken while writers are recording is
+//! a *consistent-enough* view — each bucket is read atomically, and the
+//! snapshot's total is derived from the bucket reads themselves (never
+//! from a separately-read count that could disagree), so quantiles are
+//! always computed over an internally consistent distribution. The `sum`
+//! and `max` fields may trail the buckets by in-flight records; quantiles
+//! clamp to `max` only when `max` is ahead, so `p50 ≤ p90 ≤ p99 ≤ max`
+//! holds on every snapshot that recorded at least one value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets. Bucket 0 = zeros; bucket `b` covers
+/// `[2^(b-1), 2^b)` for `1 ≤ b < 63`; bucket 63 is open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The bucket a value lands in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+#[inline]
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A lock-free latency histogram (see module docs). Units are the
+/// caller's business — the serving plane records microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value. Lock-free; any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far (derived from the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Consistent-enough point-in-time copy (see module docs).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of recorded values (may trail the buckets under concurrency).
+    pub sum: u64,
+    /// Largest recorded value (may trail the buckets under concurrency).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values — always the bucket sum, never a separately
+    /// tracked counter, so it cannot disagree with the distribution the
+    /// quantiles are computed over.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Folds `other` into `self`. Bucket-wise addition: associative and
+    /// commutative, so shard-merging order never changes the result. The
+    /// sum wraps on overflow — the same mod-2⁶⁴ arithmetic as the atomic
+    /// `fetch_add` in [`Histogram::record`], so a merged sum always equals
+    /// the sum a single histogram would have accumulated.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation inside
+    /// the crossing bucket, clamped to the recorded `max`. Returns 0 on
+    /// an empty histogram. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the answering sample.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let lo = bucket_lo(b);
+                // Interpolation span: the bucket's real upper bound, but
+                // never past the recorded max (the open-ended last bucket
+                // would otherwise explode the estimate).
+                let hi = bucket_hi(b).min(self.max.max(lo));
+                let into = rank - cum; // 1..=n
+                let est = lo + ((hi - lo) as f64 * into as f64 / n as f64) as u64;
+                return est.min(self.max.max(lo));
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0 on empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            // Every bucket's bounds map back to the bucket itself.
+            assert_eq!(bucket_of(bucket_lo(b)), b, "lower bound of {b}");
+            assert_eq!(bucket_of(bucket_hi(b)), b, "upper bound of {b}");
+            // And the bounds tile without gaps or overlap.
+            assert_eq!(bucket_hi(b).wrapping_add(1), bucket_lo(b + 1));
+        }
+    }
+
+    #[test]
+    fn count_and_sum_track_records() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum, 1_001_007);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1, "one zero");
+        assert_eq!(s.buckets[1], 2, "two ones");
+    }
+
+    #[test]
+    fn quantiles_on_known_uniform_distribution() {
+        let h = Histogram::new();
+        // 1..=1000: true p50 = 500, p90 = 900, p99 = 990, max = 1000.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log buckets quantize; the estimate must land in the right
+        // power-of-two neighbourhood and stay monotone.
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!((256..=1000).contains(&p50), "p50 = {p50}");
+        assert!((512..=1000).contains(&p90), "p90 = {p90}");
+        assert!((512..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantiles_on_point_mass() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        // Log buckets can't pinpoint a value inside a bucket, but every
+        // estimate must stay inside [bucket_lo, max] and be monotone.
+        let mut prev = 0;
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((32..=42).contains(&v), "q = {q}, got {v}");
+            assert!(v >= prev, "monotone at q = {q}");
+            prev = v;
+        }
+        assert_eq!(s.quantile(1.0), 42, "top quantile hits the exact max");
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|i| {
+                let h = Histogram::new();
+                for v in 0..50u64 {
+                    h.record(v * (i + 1) * 37 % 10_000);
+                }
+                h.snapshot()
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a ⊕ b == b ⊕ a
+        let mut ab = parts[0];
+        ab.merge(&parts[1]);
+        let mut ba = parts[1];
+        ba.merge(&parts[0]);
+        assert_eq!(ab, ba);
+        // Totals conserve.
+        assert_eq!(left.count(), parts.iter().map(|p| p.count()).sum::<u64>());
+    }
+
+    #[test]
+    fn merged_equals_recording_into_one() {
+        let (a, b, one) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..200u64 {
+            let h = if v % 2 == 0 { &a } else { &b };
+            h.record(v * 13 % 777);
+            one.record(v * 13 % 777);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, one.snapshot());
+    }
+}

@@ -1,0 +1,224 @@
+//! Rate-limited slow-query trace log.
+//!
+//! The serving plane calls [`SlowQueryLog::offer`] with each query's
+//! latency; anything at or above the configured threshold is recorded
+//! into a bounded ring (newest wins) with per-query context — landmark,
+//! path depth, fan-out — so a slow p99 in the histogram can be traced to
+//! *which kind* of query was slow. A token-bucket rate limit caps how
+//! many records land per second so a latency storm cannot turn the log
+//! itself into overhead; suppressed records are still counted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Threshold value meaning "never record".
+pub const SLOW_QUERY_DISABLED: u64 = u64::MAX;
+
+/// How many trace records the ring retains.
+pub const SLOW_QUERY_RING: usize = 64;
+
+/// Default records-per-second cap.
+pub const SLOW_QUERY_RATE: u64 = 32;
+
+/// One traced slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryRecord {
+    /// End-to-end serve latency in microseconds.
+    pub latency_us: u64,
+    /// Landmark the query was routed through, if any.
+    pub landmark: Option<u64>,
+    /// Depth of the queried path (coordinate length).
+    pub path_depth: usize,
+    /// Cross-landmark fan-out: extra landmark trees consulted.
+    pub fanout: usize,
+    /// Answers returned to the client.
+    pub answered: usize,
+}
+
+struct Ring {
+    records: VecDeque<SlowQueryRecord>,
+    window_start: Option<Instant>,
+    in_window: u64,
+}
+
+/// See module docs. Cheap when disabled: `offer` is one relaxed load.
+pub struct SlowQueryLog {
+    threshold_us: AtomicU64,
+    max_per_sec: AtomicU64,
+    recorded: AtomicU64,
+    suppressed: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        Self {
+            threshold_us: AtomicU64::new(SLOW_QUERY_DISABLED),
+            max_per_sec: AtomicU64::new(SLOW_QUERY_RATE),
+            recorded: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                records: VecDeque::with_capacity(SLOW_QUERY_RING),
+                window_start: None,
+                in_window: 0,
+            }),
+        }
+    }
+}
+
+impl SlowQueryLog {
+    /// Sets the slow threshold in microseconds; [`SLOW_QUERY_DISABLED`]
+    /// turns tracing off. Takes effect on the next `offer`.
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Current threshold ([`SLOW_QUERY_DISABLED`] when off).
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Caps records landed per second (0 suppresses everything).
+    pub fn set_max_per_sec(&self, n: u64) {
+        self.max_per_sec.store(n, Ordering::Relaxed);
+    }
+
+    /// Offers one query observation. `make` builds the record only when
+    /// the latency crosses the threshold, so the fast path never touches
+    /// the lock or the context. Returns true when the record landed.
+    pub fn offer(&self, latency_us: u64, make: impl FnOnce() -> SlowQueryRecord) -> bool {
+        if latency_us < self.threshold_us.load(Ordering::Relaxed) {
+            return false;
+        }
+        let cap = self.max_per_sec.load(Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        let now = Instant::now();
+        match ring.window_start {
+            Some(start) if now.duration_since(start).as_secs() < 1 => {}
+            _ => {
+                ring.window_start = Some(now);
+                ring.in_window = 0;
+            }
+        }
+        if ring.in_window >= cap {
+            drop(ring);
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        ring.in_window += 1;
+        if ring.records.len() == SLOW_QUERY_RING {
+            ring.records.pop_front();
+        }
+        ring.records.push_back(make());
+        drop(ring);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records landed since startup.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped by the rate limiter since startup.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the retained ring, oldest first.
+    pub fn recent(&self) -> Vec<SlowQueryRecord> {
+        self.ring.lock().unwrap().records.iter().cloned().collect()
+    }
+
+    /// Renders the ring as `#`-prefixed comment lines for the text
+    /// exposition (comments keep metric parsers happy).
+    pub fn render(&self, out: &mut String) {
+        for r in self.recent() {
+            out.push_str(&format!(
+                "# slow_query latency_us={} landmark={} depth={} fanout={} answered={}\n",
+                r.latency_us,
+                r.landmark
+                    .map_or_else(|| "-".to_string(), |l| l.to_string()),
+                r.path_depth,
+                r.fanout,
+                r.answered,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(latency_us: u64) -> SlowQueryRecord {
+        SlowQueryRecord {
+            latency_us,
+            landmark: Some(3),
+            path_depth: 4,
+            fanout: 2,
+            answered: 8,
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_fast_path_skips() {
+        let log = SlowQueryLog::default();
+        assert!(!log.offer(u64::MAX - 1, || rec(1)));
+        assert_eq!(log.recorded(), 0);
+        assert!(log.recent().is_empty());
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowQueryLog::default();
+        log.set_threshold_us(100);
+        assert!(!log.offer(99, || rec(99)));
+        assert!(log.offer(100, || rec(100)));
+        assert!(log.offer(5000, || rec(5000)));
+        assert_eq!(log.recorded(), 2);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].latency_us, 100);
+        assert_eq!(recent[1].latency_us, 5000);
+    }
+
+    #[test]
+    fn rate_limit_suppresses_but_counts() {
+        let log = SlowQueryLog::default();
+        log.set_threshold_us(1);
+        log.set_max_per_sec(3);
+        let landed = (0..10).filter(|i| log.offer(10 + i, || rec(10))).count();
+        assert_eq!(landed, 3);
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.suppressed(), 7);
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let log = SlowQueryLog::default();
+        log.set_threshold_us(1);
+        log.set_max_per_sec(u64::MAX);
+        for i in 0..(SLOW_QUERY_RING as u64 + 10) {
+            log.offer(1000 + i, || rec(1000 + i));
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), SLOW_QUERY_RING);
+        assert_eq!(
+            recent.last().unwrap().latency_us,
+            1000 + SLOW_QUERY_RING as u64 + 9
+        );
+    }
+
+    #[test]
+    fn render_emits_comment_lines() {
+        let log = SlowQueryLog::default();
+        log.set_threshold_us(1);
+        log.offer(123, || rec(123));
+        let mut out = String::new();
+        log.render(&mut out);
+        assert!(out.starts_with("# slow_query latency_us=123 landmark=3"));
+    }
+}

@@ -59,6 +59,11 @@ fn sample_messages() -> Vec<Message> {
             nonce: 8,
             peer: PeerId(1),
         },
+        Message::StatsRequest { nonce: 9 },
+        Message::StatsReply {
+            nonce: 9,
+            text: "dir_queries_total 3\ndir_query_latency_us_count 3\n".into(),
+        },
     ]
 }
 

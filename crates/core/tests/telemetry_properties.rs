@@ -1,0 +1,113 @@
+//! Property tests for the telemetry plane: histogram conservation under
+//! arbitrary inputs and under concurrent recording.
+//!
+//! The histogram's contract is that the distribution is *conserved*: no
+//! record is lost, duplicated, or moved between buckets, whether values
+//! arrive from one thread or many, and whether they are read through one
+//! histogram or merged from per-shard snapshots. Quantiles are estimates
+//! (log₂ buckets quantize), so the properties pin what is exact — count,
+//! sum, max, bucket membership — and bound what is estimated.
+
+use nearpeer_core::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+/// The log₂ bucket a value lands in (mirrors the implementation's
+/// `bit_length` rule: bucket 0 holds exactly the zeros).
+fn expected_bucket(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(63)
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential conservation: count, sum, max and per-bucket membership
+    /// all match a straight fold over the inputs.
+    #[test]
+    fn records_are_conserved(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let s = record_all(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        let mut expected = [0u64; 64];
+        for &v in &values {
+            expected[expected_bucket(v)] += 1;
+        }
+        prop_assert_eq!(s.buckets, expected);
+    }
+
+    /// Quantiles are monotone in `q`, bounded by the recorded max, and at
+    /// least the crossing bucket's lower bound — for any input.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let s = record_all(&values);
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "monotone at q={q}: {est} < {prev}");
+            prop_assert!(est <= s.max, "q={q} estimate {est} above max {}", s.max);
+            prev = est;
+        }
+        prop_assert_eq!(s.quantile(1.0), s.max, "top quantile is the exact max");
+    }
+
+    /// Sharded recording merges to exactly the single-histogram snapshot,
+    /// for any assignment of values to shards.
+    #[test]
+    fn arbitrary_sharding_merges_to_the_whole(
+        tagged in prop::collection::vec((0usize..5, any::<u64>()), 0..200),
+    ) {
+        let shards: Vec<Histogram> = (0..5).map(|_| Histogram::new()).collect();
+        let one = Histogram::new();
+        for &(shard, v) in &tagged {
+            shards[shard].record(v);
+            one.record(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for s in &shards {
+            merged.merge(&s.snapshot());
+        }
+        prop_assert_eq!(merged, one.snapshot());
+    }
+
+    /// Concurrent conservation: the same multiset of values recorded from
+    /// several threads at once yields the same snapshot as a sequential
+    /// fold — nothing lost, duplicated, or re-bucketed by contention.
+    #[test]
+    fn concurrent_recording_conserves_the_distribution(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000, 0..50),
+            1..5,
+        ),
+    ) {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|chunk| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().expect("recorder thread panicked");
+        }
+        let all: Vec<u64> = per_thread.into_iter().flatten().collect();
+        prop_assert_eq!(h.snapshot(), record_all(&all));
+    }
+}

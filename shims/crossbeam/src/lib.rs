@@ -258,6 +258,17 @@ pub mod channel {
             }
         }
 
+        /// Number of messages currently queued (upstream crossbeam API;
+        /// the mailbox workers export this as a queue-depth gauge).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Blocking iterator over incoming messages until disconnect.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
